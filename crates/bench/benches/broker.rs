@@ -1,0 +1,42 @@
+//! Experiment F4 — the Figure 4 brokered sale and its premium structure.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::broker::{broker_deal_config, run_brokered_sale, BrokerConfig, BROKER, BUYER, SELLER};
+use protocols::script::Strategy;
+
+fn report() {
+    let config = BrokerConfig::default();
+    let deal = broker_deal_config(&config);
+    bench::header("F4: broker deal arcs and premiums (p = 1)", &["arc", "asset", "amount", "escrow/trading premium"]);
+    for arc in &deal.arcs {
+        bench::row(&[
+            format!("({}, {})", arc.from, arc.to),
+            arc.asset_name.clone(),
+            arc.amount.to_string(),
+            arc.escrow_premium.to_string(),
+        ]);
+    }
+    bench::header("F4: broker deal outcomes", &["scenario", "completed", "all compliant hedged"]);
+    for (name, strategies) in [
+        ("compliant", BTreeMap::new()),
+        ("seller defects", BTreeMap::from([(SELLER, Strategy::StopAfter(2))])),
+        ("buyer defects", BTreeMap::from([(BUYER, Strategy::StopAfter(2))])),
+        ("broker defects", BTreeMap::from([(BROKER, Strategy::StopAfter(2))])),
+    ] {
+        let r = run_brokered_sale(&config, &strategies);
+        bench::row(&[name.into(), r.completed.to_string(), r.all_compliant_hedged().to_string()]);
+    }
+}
+
+fn bench_broker(c: &mut Criterion) {
+    report();
+    let config = BrokerConfig::default();
+    c.bench_function("brokered_sale_compliant", |b| {
+        b.iter(|| run_brokered_sale(&config, &BTreeMap::new()))
+    });
+}
+
+criterion_group!(benches, bench_broker);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiments C4/C6 — exhaustive deviation sweeps (the paper's §10 model
+//! checking) and their running time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modelcheck::{check_auction, check_base_two_party, check_figure3_swap, check_hedged_two_party};
+
+fn report() {
+    bench::header(
+        "C4/C6: exhaustive deviation sweeps",
+        &["protocol", "runs", "violations"],
+    );
+    let rows = [
+        ("hedged two-party swap", check_hedged_two_party()),
+        ("base two-party swap", check_base_two_party()),
+        ("three-party swap (Fig. 3a)", check_figure3_swap()),
+        ("auction", check_auction()),
+    ];
+    for (name, summary) in rows {
+        bench::row(&[name.into(), summary.runs.to_string(), summary.violations.len().to_string()]);
+    }
+}
+
+fn bench_model_check(c: &mut Criterion) {
+    report();
+    c.bench_function("model_check_hedged_two_party", |b| b.iter(check_hedged_two_party));
+    c.bench_function("model_check_figure3_swap", |b| b.iter(check_figure3_swap));
+}
+
+criterion_group!(benches, bench_model_check);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment C3 — leader premium growth: linear on unique-path digraphs,
+//! exponential on complete digraphs, reduced back by bootstrapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swapgraph::bootstrap::rounds_needed;
+use swapgraph::{premiums, Digraph};
+
+fn report() {
+    bench::header(
+        "C3: leader redemption premium vs number of parties (p = 1)",
+        &["n", "cycle (unique paths)", "complete digraph", "bootstrap rounds to reach ~n·p (P=10)"],
+    );
+    for n in 2..=6u32 {
+        let cycle = premiums::leader_redemption_premium(&Digraph::cycle(n), 0, 1);
+        let complete = premiums::leader_redemption_premium(&Digraph::complete(n), 0, 1);
+        let rounds = rounds_needed(complete, u128::from(n), 10);
+        bench::row(&[n.to_string(), cycle.to_string(), complete.to_string(), rounds.to_string()]);
+    }
+}
+
+fn bench_premiums(c: &mut Criterion) {
+    report();
+    c.bench_function("leader_premium_cycle_8", |b| {
+        let g = Digraph::cycle(8);
+        b.iter(|| premiums::leader_redemption_premium(&g, 0, 1))
+    });
+    c.bench_function("leader_premium_complete_6", |b| {
+        let g = Digraph::complete(6);
+        b.iter(|| premiums::leader_redemption_premium(&g, 0, 1))
+    });
+    c.bench_function("escrow_premium_table_figure3", |b| {
+        let g = Digraph::figure3();
+        let leaders = std::collections::BTreeSet::from([0]);
+        b.iter(|| premiums::escrow_premium_table(&g, &leaders, 1).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_premiums);
+criterion_main!(benches);

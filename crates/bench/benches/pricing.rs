@@ -1,0 +1,39 @@
+//! Experiment C7 — Cox-Ross-Rubinstein premium estimates (§4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marketsim::adequacy::premium_grid;
+use swapgraph::pricing::{crr_price, CrrParams, ExerciseStyle, OptionKind};
+
+fn report() {
+    bench::header(
+        "C7: fair lock-up premium (CRR, principal = 100, blocks = hours)",
+        &["lockup (blocks)", "volatility", "premium", "fraction of principal"],
+    );
+    let rows = premium_grid(&[12, 24, 48, 96], &[0.25, 0.5, 1.0], 24 * 365).unwrap();
+    for row in rows {
+        bench::row(&[
+            row.lockup_blocks.to_string(),
+            format!("{:.2}", row.volatility),
+            format!("{:.3}", row.premium),
+            format!("{:.4}", row.premium_fraction),
+        ]);
+    }
+}
+
+fn bench_pricing(c: &mut Criterion) {
+    report();
+    let params = CrrParams {
+        spot: 100.0,
+        strike: 100.0,
+        rate: 0.0,
+        volatility: 0.5,
+        expiry: 48.0 / (24.0 * 365.0),
+        steps: 128,
+        kind: OptionKind::Call,
+        style: ExerciseStyle::American,
+    };
+    c.bench_function("crr_price_128_steps", |b| b.iter(|| crr_price(&params).unwrap()));
+}
+
+criterion_group!(benches, bench_pricing);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment C8 — rational sore losers: base vs hedged success rates over a
+//! volatility sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marketsim::rational::{compare_protocols, RationalExperiment};
+
+fn report() {
+    bench::header(
+        "C8: swap success rate with a rational counterparty (200 trials each)",
+        &["volatility", "base success", "hedged success", "compliant payoff on abort (base)", "(hedged)"],
+    );
+    for volatility in [0.2, 0.5, 1.0, 2.0] {
+        let comparison = compare_protocols(&RationalExperiment { volatility, ..RationalExperiment::default() });
+        bench::row(&[
+            format!("{volatility:.1}"),
+            format!("{:.2}", comparison.base.success_rate),
+            format!("{:.2}", comparison.hedged.success_rate),
+            format!("{:.2}", comparison.base.mean_compliant_payoff_on_abort),
+            format!("{:.2}", comparison.hedged.mean_compliant_payoff_on_abort),
+        ]);
+    }
+}
+
+fn bench_rational(c: &mut Criterion) {
+    report();
+    let experiment = RationalExperiment { trials: 20, ..RationalExperiment::default() };
+    c.bench_function("rational_comparison_20_trials", |b| b.iter(|| compare_protocols(&experiment)));
+}
+
+criterion_group!(benches, bench_rational);
+criterion_main!(benches);

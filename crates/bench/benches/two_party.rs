@@ -1,0 +1,51 @@
+//! Experiment F1/C1 — Figure 1 and the §5.1/§5.2 deviation payoff matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::script::Strategy;
+use protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
+
+fn report() {
+    let config = TwoPartyConfig::default();
+    bench::header(
+        "F1/C1: two-party swap deviation matrix (premiums p_a = p_b = 2)",
+        &["protocol", "scenario", "alice premium", "bob premium", "alice lockup (blocks)", "hedged"],
+    );
+    let scenarios: [(&str, Strategy, Strategy); 4] = [
+        ("compliant", Strategy::Compliant, Strategy::Compliant),
+        ("bob aborts before escrow", Strategy::Compliant, Strategy::StopAfter(1)),
+        ("bob absent", Strategy::Compliant, Strategy::StopAfter(0)),
+        ("alice aborts after escrow", Strategy::StopAfter(2), Strategy::Compliant),
+    ];
+    for (name, alice, bob) in scenarios {
+        for (proto, r) in [
+            ("base", run_base_swap(&config, alice, bob)),
+            ("hedged", run_hedged_swap(&config, alice, bob)),
+        ] {
+            bench::row(&[
+                proto.into(),
+                name.into(),
+                r.alice_premium_payoff.to_string(),
+                r.bob_premium_payoff.to_string(),
+                r.alice_lockup.principal_blocks.to_string(),
+                (r.hedged_for_alice && r.hedged_for_bob).to_string(),
+            ]);
+        }
+    }
+}
+
+fn bench_two_party(c: &mut Criterion) {
+    report();
+    let config = TwoPartyConfig::default();
+    c.bench_function("hedged_two_party_compliant", |b| {
+        b.iter(|| run_hedged_swap(&config, Strategy::Compliant, Strategy::Compliant))
+    });
+    c.bench_function("base_two_party_compliant", |b| {
+        b.iter(|| run_base_swap(&config, Strategy::Compliant, Strategy::Compliant))
+    });
+    c.bench_function("hedged_two_party_bob_reneges", |b| {
+        b.iter(|| run_hedged_swap(&config, Strategy::Compliant, Strategy::StopAfter(1)))
+    });
+}
+
+criterion_group!(benches, bench_two_party);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each Criterion bench in `benches/` regenerates one figure or quantitative
+//! claim of the paper (see EXPERIMENTS.md at the workspace root): it prints
+//! the paper-shaped table once, then benchmarks the underlying simulation so
+//! regressions in the substrate are visible.
+
+/// Prints a table header for a bench report.
+pub fn header(experiment: &str, columns: &[&str]) {
+    println!("\n=== {experiment} ===");
+    println!("{}", columns.join(" | "));
+}
+
+/// Prints one row of a bench report.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(" | "));
+}

@@ -1,0 +1,361 @@
+//! A single simulated blockchain.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::amount::Amount;
+use crate::contract::{CallEnv, Contract};
+use crate::error::ChainError;
+#[cfg(test)]
+use crate::error::ContractError;
+use crate::events::{ChainEvent, EventKind};
+use crate::ids::{AssetId, ChainId, ContractId, PartyId};
+use crate::ledger::{AccountRef, Ledger};
+use crate::time::Time;
+
+/// A simulated blockchain: a ledger, a contract store and a block clock.
+///
+/// Chains are created through [`crate::World::add_chain`] and advance their
+/// heights in lock-step with the rest of the world. All state is public:
+/// any party may read the ledger, the event log and the state of any
+/// contract (via [`Blockchain::contract_as`]), mirroring the transparency
+/// assumption of the paper.
+pub struct Blockchain {
+    id: ChainId,
+    name: String,
+    native_asset: AssetId,
+    height: Time,
+    ledger: Ledger,
+    contracts: BTreeMap<ContractId, Box<dyn Contract>>,
+    next_contract: u64,
+    events: Vec<ChainEvent>,
+}
+
+impl Blockchain {
+    /// Creates a new chain. Called by [`crate::World::add_chain`].
+    pub(crate) fn new(id: ChainId, name: impl Into<String>, native_asset: AssetId) -> Self {
+        Blockchain {
+            id,
+            name: name.into(),
+            native_asset,
+            height: Time::ZERO,
+            ledger: Ledger::new(),
+            contracts: BTreeMap::new(),
+            next_contract: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The chain's identifier.
+    pub fn id(&self) -> ChainId {
+        self.id
+    }
+
+    /// The chain's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The chain's native currency, used to denominate premiums.
+    pub fn native_asset(&self) -> AssetId {
+        self.native_asset
+    }
+
+    /// The current block height.
+    pub fn height(&self) -> Time {
+        self.height
+    }
+
+    /// Read-only access to the ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger, intended for initial endowments.
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
+    /// Convenience: the balance of `account` in `asset`.
+    pub fn balance(&self, account: AccountRef, asset: AssetId) -> Amount {
+        self.ledger.balance(account, asset)
+    }
+
+    /// Mints `amount` of `asset` to a party and records the event.
+    pub fn mint(&mut self, party: PartyId, asset: AssetId, amount: Amount) {
+        self.ledger.mint(AccountRef::Party(party), asset, amount);
+        self.events.push(ChainEvent {
+            height: self.height,
+            kind: EventKind::Mint { account: AccountRef::Party(party), asset, amount },
+        });
+    }
+
+    /// Publishes a new contract and returns its id.
+    pub fn publish(&mut self, publisher: PartyId, contract: Box<dyn Contract>) -> ContractId {
+        let id = ContractId(self.next_contract);
+        self.next_contract += 1;
+        self.events.push(ChainEvent {
+            height: self.height,
+            kind: EventKind::ContractPublished {
+                contract: id,
+                publisher,
+                type_name: contract.type_name().to_owned(),
+            },
+        });
+        self.contracts.insert(id, contract);
+        id
+    }
+
+    /// Calls contract `id` with the typed message `msg` on behalf of `caller`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::NoSuchContract`] if `id` is unknown, or
+    /// [`ChainError::ContractFailed`] wrapping the [`ContractError`] if the
+    /// contract rejects the call. Rejected calls are also recorded in the
+    /// event log.
+    pub fn call(
+        &mut self,
+        caller: PartyId,
+        id: ContractId,
+        msg: &dyn Any,
+        call_description: &str,
+        directory: &cryptosim::KeyDirectory,
+    ) -> Result<(), ChainError> {
+        // Temporarily remove the contract so that it and the ledger can be
+        // borrowed mutably at the same time.
+        let mut contract = self
+            .contracts
+            .remove(&id)
+            .ok_or(ChainError::NoSuchContract { chain: self.id, contract: id })?;
+        let result = {
+            let mut env = CallEnv::new(
+                self.id,
+                id,
+                caller,
+                self.height,
+                &mut self.ledger,
+                &mut self.events,
+                directory,
+            );
+            contract.handle(&mut env, msg)
+        };
+        self.contracts.insert(id, contract);
+        match result {
+            Ok(()) => {
+                self.events.push(ChainEvent {
+                    height: self.height,
+                    kind: EventKind::CallSucceeded {
+                        contract: id,
+                        caller,
+                        call: call_description.to_owned(),
+                    },
+                });
+                Ok(())
+            }
+            Err(err) => {
+                self.events.push(ChainEvent {
+                    height: self.height,
+                    kind: EventKind::CallFailed {
+                        contract: id,
+                        caller,
+                        call: call_description.to_owned(),
+                        error: err.to_string(),
+                    },
+                });
+                Err(ChainError::ContractFailed { contract: id, source: err })
+            }
+        }
+    }
+
+    /// Returns a reference to the contract with id `id`, if any.
+    pub fn contract(&self, id: ContractId) -> Option<&dyn Contract> {
+        self.contracts.get(&id).map(|c| c.as_ref())
+    }
+
+    /// Returns the contract downcast to its concrete type `T`, if it exists
+    /// and has that type.
+    ///
+    /// Contract state is public, so any party (and the test suite) may
+    /// inspect it this way.
+    pub fn contract_as<T: Contract + 'static>(&self, id: ContractId) -> Option<&T> {
+        self.contracts.get(&id).and_then(|c| c.as_any().downcast_ref::<T>())
+    }
+
+    /// The number of contracts published on this chain.
+    pub fn contract_count(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// The chain's public event log.
+    pub fn events(&self) -> &[ChainEvent] {
+        &self.events
+    }
+
+    /// Advances the chain by `blocks` blocks.
+    pub(crate) fn advance_blocks(&mut self, blocks: u64) {
+        self.height = self.height.plus(blocks);
+    }
+}
+
+impl fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Blockchain")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("height", &self.height)
+            .field("contracts", &self.contracts.len())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal counter contract used to exercise the chain plumbing.
+    #[derive(Debug, Default)]
+    struct Counter {
+        count: u64,
+        deposited: Amount,
+    }
+
+    #[derive(Debug)]
+    enum CounterMsg {
+        Bump,
+        Deposit(Amount),
+        Fail,
+    }
+
+    impl Contract for Counter {
+        fn type_name(&self) -> &'static str {
+            "Counter"
+        }
+
+        fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
+            let msg = msg.downcast_ref::<CounterMsg>().ok_or(ContractError::UnsupportedMessage)?;
+            match msg {
+                CounterMsg::Bump => {
+                    self.count += 1;
+                    Ok(())
+                }
+                CounterMsg::Deposit(amount) => {
+                    env.debit_caller(AssetId(0), *amount)?;
+                    self.deposited += *amount;
+                    Ok(())
+                }
+                CounterMsg::Fail => Err(ContractError::invalid_state("always fails")),
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn chain_fixture() -> Blockchain {
+        Blockchain::new(ChainId(0), "apricot", AssetId(100))
+    }
+
+    fn dir() -> cryptosim::KeyDirectory {
+        cryptosim::KeyDirectory::new()
+    }
+
+    #[test]
+    fn publish_and_call_contract() {
+        let mut chain = chain_fixture();
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir()).unwrap();
+        chain.call(PartyId(1), id, &CounterMsg::Bump, "Bump", &dir()).unwrap();
+        let counter = chain.contract_as::<Counter>(id).unwrap();
+        assert_eq!(counter.count, 2);
+        assert_eq!(chain.contract_count(), 1);
+    }
+
+    #[test]
+    fn call_unknown_contract_fails() {
+        let mut chain = chain_fixture();
+        let err = chain.call(PartyId(0), ContractId(9), &CounterMsg::Bump, "Bump", &dir()).unwrap_err();
+        assert!(matches!(err, ChainError::NoSuchContract { .. }));
+    }
+
+    #[test]
+    fn failed_calls_are_logged_and_propagated() {
+        let mut chain = chain_fixture();
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        let err = chain.call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir()).unwrap_err();
+        assert!(matches!(err, ChainError::ContractFailed { .. }));
+        assert!(chain
+            .events()
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::CallFailed { error, .. } if error.contains("always fails"))));
+        // The contract survives a failed call.
+        assert!(chain.contract(id).is_some());
+    }
+
+    #[test]
+    fn unsupported_message_is_rejected() {
+        let mut chain = chain_fixture();
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        #[derive(Debug)]
+        struct Bogus;
+        let err = chain.call(PartyId(0), id, &Bogus, "Bogus", &dir()).unwrap_err();
+        assert!(matches!(
+            err,
+            ChainError::ContractFailed { source: ContractError::UnsupportedMessage, .. }
+        ));
+    }
+
+    #[test]
+    fn deposits_move_funds_into_contract_account() {
+        let mut chain = chain_fixture();
+        chain.mint(PartyId(0), AssetId(0), Amount::new(10));
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain.call(PartyId(0), id, &CounterMsg::Deposit(Amount::new(6)), "Deposit", &dir()).unwrap();
+        assert_eq!(chain.balance(AccountRef::Contract(id), AssetId(0)), Amount::new(6));
+        assert_eq!(chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)), Amount::new(4));
+        assert_eq!(chain.contract_as::<Counter>(id).unwrap().deposited, Amount::new(6));
+    }
+
+    #[test]
+    fn heights_advance_and_are_recorded_in_events() {
+        let mut chain = chain_fixture();
+        chain.advance_blocks(5);
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        assert_eq!(chain.height(), Time(5));
+        assert_eq!(chain.events().last().unwrap().height, Time(5));
+        assert_eq!(id, ContractId(0));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let chain = chain_fixture();
+        assert_eq!(chain.id(), ChainId(0));
+        assert_eq!(chain.name(), "apricot");
+        assert_eq!(chain.native_asset(), AssetId(100));
+        assert!(format!("{chain:?}").contains("Blockchain"));
+    }
+
+    #[test]
+    fn contract_as_with_wrong_type_returns_none() {
+        #[derive(Debug)]
+        struct Other;
+        impl Contract for Other {
+            fn type_name(&self) -> &'static str {
+                "Other"
+            }
+            fn handle(&mut self, _: &mut CallEnv<'_>, _: &dyn Any) -> Result<(), ContractError> {
+                Ok(())
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut chain = chain_fixture();
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        assert!(chain.contract_as::<Other>(id).is_none());
+        assert!(chain.contract_as::<Counter>(ContractId(99)).is_none());
+    }
+}

@@ -1,0 +1,347 @@
+//! The smart-contract abstraction and its execution environment.
+
+use std::any::Any;
+use std::fmt;
+
+use cryptosim::KeyDirectory;
+
+use crate::amount::Amount;
+use crate::error::ContractError;
+use crate::events::{ChainEvent, EventKind};
+use crate::ids::{AssetId, ChainId, ContractId, PartyId};
+use crate::ledger::{AccountRef, Ledger};
+use crate::time::Time;
+
+/// Marker trait for typed contract messages.
+///
+/// Any `'static` type that is `Debug + Send` can be used as a message; the
+/// blanket implementation below makes that automatic. Contracts downcast the
+/// received `&dyn Any` to their own message type and reject anything else
+/// with [`ContractError::UnsupportedMessage`].
+pub trait ContractMessage: Any + fmt::Debug + Send {
+    /// Upcasts the message to [`Any`] for downcasting by contracts.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Any + fmt::Debug + Send> ContractMessage for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A blockchain-resident program.
+///
+/// Contracts are *passive, public, deterministic and trusted* (§3.1 of the
+/// paper): they hold escrowed assets and premiums, and transfer them when
+/// called with well-formed messages before the relevant deadlines. A
+/// contract can only touch the ledger of the chain it resides on, which the
+/// [`CallEnv`] enforces by construction.
+pub trait Contract: fmt::Debug + Send {
+    /// A short, stable name for the contract type (used in event logs).
+    fn type_name(&self) -> &'static str;
+
+    /// Handles a call from `env.caller()` carrying the typed message `msg`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a [`ContractError`] when the message is
+    /// malformed, unauthorised, too early, too late, or inconsistent with
+    /// the contract's current state. A failed call has no effect on the
+    /// ledger beyond what the implementation performed before failing;
+    /// well-written contracts validate before transferring.
+    fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError>;
+
+    /// Upcasts to [`Any`] so observers can downcast to the concrete type and
+    /// read its public state.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// The execution environment handed to a contract during a call.
+///
+/// The environment scopes every ledger mutation to the contract's own chain
+/// and account: a contract can pull funds from the *caller* (who authorised
+/// the movement by making the call), pay out of its own holdings, and move
+/// funds it holds into another contract on the same chain (used by the
+/// premium-bootstrapping protocol). It cannot touch arbitrary third-party
+/// balances.
+pub struct CallEnv<'a> {
+    chain: ChainId,
+    contract: ContractId,
+    caller: PartyId,
+    now: Time,
+    ledger: &'a mut Ledger,
+    events: &'a mut Vec<ChainEvent>,
+    directory: &'a KeyDirectory,
+}
+
+impl<'a> CallEnv<'a> {
+    /// Creates a call environment. Used by [`crate::Blockchain`]; protocol
+    /// code never constructs one directly.
+    pub(crate) fn new(
+        chain: ChainId,
+        contract: ContractId,
+        caller: PartyId,
+        now: Time,
+        ledger: &'a mut Ledger,
+        events: &'a mut Vec<ChainEvent>,
+        directory: &'a KeyDirectory,
+    ) -> Self {
+        CallEnv { chain, contract, caller, now, ledger, events, directory }
+    }
+
+    /// The public-key directory used to verify signatures on hashkey paths.
+    pub fn directory(&self) -> &KeyDirectory {
+        self.directory
+    }
+
+    /// The chain this contract resides on.
+    pub fn chain(&self) -> ChainId {
+        self.chain
+    }
+
+    /// This contract's id.
+    pub fn contract_id(&self) -> ContractId {
+        self.contract
+    }
+
+    /// The party making the call.
+    pub fn caller(&self) -> PartyId {
+        self.caller
+    }
+
+    /// The current block height.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Returns an error if the deadline has already been reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContractError::TooLate`] when `now >= deadline`.
+    pub fn ensure_before(&self, deadline: Time) -> Result<(), ContractError> {
+        if self.now.has_reached(deadline) {
+            Err(ContractError::TooLate { deadline, now: self.now })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Returns an error if `not_before` has not yet been reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContractError::TooEarly`] when `now < not_before`.
+    pub fn ensure_reached(&self, not_before: Time) -> Result<(), ContractError> {
+        if self.now.has_reached(not_before) {
+            Ok(())
+        } else {
+            Err(ContractError::TooEarly { not_before, now: self.now })
+        }
+    }
+
+    /// Returns the balance this contract holds in `asset`.
+    pub fn contract_balance(&self, asset: AssetId) -> Amount {
+        self.ledger.balance(AccountRef::Contract(self.contract), asset)
+    }
+
+    /// Returns the caller's balance in `asset`.
+    pub fn caller_balance(&self, asset: AssetId) -> Amount {
+        self.ledger.balance(AccountRef::Party(self.caller), asset)
+    }
+
+    /// Moves `amount` of `asset` from the caller into this contract.
+    ///
+    /// The caller authorised the movement by making the call, mirroring how
+    /// value is attached to a contract call on real chains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors (insufficient balance, zero transfer).
+    pub fn debit_caller(&mut self, asset: AssetId, amount: Amount) -> Result<(), ContractError> {
+        self.transfer_internal(
+            AccountRef::Party(self.caller),
+            AccountRef::Contract(self.contract),
+            asset,
+            amount,
+        )
+    }
+
+    /// Pays `amount` of `asset` from this contract's holdings to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors (insufficient contract balance).
+    pub fn pay_out(&mut self, to: PartyId, asset: AssetId, amount: Amount) -> Result<(), ContractError> {
+        self.transfer_internal(
+            AccountRef::Contract(self.contract),
+            AccountRef::Party(to),
+            asset,
+            amount,
+        )
+    }
+
+    /// Moves `amount` of `asset` from this contract into another contract on
+    /// the same chain.
+    ///
+    /// Used by the bootstrapping protocol, where a redeemed "principal" is in
+    /// fact a premium destined for the next-round escrow contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors (insufficient contract balance).
+    pub fn pay_into_contract(
+        &mut self,
+        to: ContractId,
+        asset: AssetId,
+        amount: Amount,
+    ) -> Result<(), ContractError> {
+        self.transfer_internal(
+            AccountRef::Contract(self.contract),
+            AccountRef::Contract(to),
+            asset,
+            amount,
+        )
+    }
+
+    /// Emits a free-form note into the chain event log.
+    pub fn emit_note(&mut self, text: impl Into<String>) {
+        self.events.push(ChainEvent {
+            height: self.now,
+            kind: EventKind::Note { contract: self.contract, text: text.into() },
+        });
+    }
+
+    fn transfer_internal(
+        &mut self,
+        from: AccountRef,
+        to: AccountRef,
+        asset: AssetId,
+        amount: Amount,
+    ) -> Result<(), ContractError> {
+        if amount.is_zero() {
+            // Zero-value escrow slots are legal no-ops at the protocol layer.
+            return Ok(());
+        }
+        self.ledger.transfer(from, to, asset, amount)?;
+        self.events.push(ChainEvent {
+            height: self.now,
+            kind: EventKind::Transfer { from, to, asset, amount },
+        });
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CallEnv<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CallEnv")
+            .field("chain", &self.chain)
+            .field("contract", &self.contract)
+            .field("caller", &self.caller)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_directory() -> &'static KeyDirectory {
+        use std::sync::OnceLock;
+        static DIR: OnceLock<KeyDirectory> = OnceLock::new();
+        DIR.get_or_init(KeyDirectory::new)
+    }
+
+    fn env_fixture<'a>(
+        ledger: &'a mut Ledger,
+        events: &'a mut Vec<ChainEvent>,
+        now: Time,
+    ) -> CallEnv<'a> {
+        CallEnv::new(ChainId(0), ContractId(7), PartyId(1), now, ledger, events, empty_directory())
+    }
+
+    #[test]
+    fn debit_and_pay_out_move_funds_and_log_events() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        ledger.mint(AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(10));
+        {
+            let mut env = env_fixture(&mut ledger, &mut events, Time(2));
+            env.debit_caller(AssetId(0), Amount::new(4)).unwrap();
+            assert_eq!(env.contract_balance(AssetId(0)), Amount::new(4));
+            assert_eq!(env.caller_balance(AssetId(0)), Amount::new(6));
+            env.pay_out(PartyId(2), AssetId(0), Amount::new(1)).unwrap();
+            env.emit_note("escrowed principal");
+        }
+        assert_eq!(ledger.balance(AccountRef::Party(PartyId(2)), AssetId(0)), Amount::new(1));
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0].kind, EventKind::Transfer { .. }));
+        assert!(matches!(events[2].kind, EventKind::Note { .. }));
+    }
+
+    #[test]
+    fn zero_transfers_are_noops() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        let mut env = env_fixture(&mut ledger, &mut events, Time(0));
+        env.debit_caller(AssetId(0), Amount::ZERO).unwrap();
+        env.pay_out(PartyId(2), AssetId(0), Amount::ZERO).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn deadline_helpers() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        let env = env_fixture(&mut ledger, &mut events, Time(5));
+        assert!(env.ensure_before(Time(6)).is_ok());
+        assert!(matches!(env.ensure_before(Time(5)), Err(ContractError::TooLate { .. })));
+        assert!(env.ensure_reached(Time(5)).is_ok());
+        assert!(matches!(env.ensure_reached(Time(6)), Err(ContractError::TooEarly { .. })));
+    }
+
+    #[test]
+    fn pay_into_contract_moves_between_contracts() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        ledger.mint(AccountRef::Contract(ContractId(7)), AssetId(0), Amount::new(3));
+        let mut env = env_fixture(&mut ledger, &mut events, Time(0));
+        env.pay_into_contract(ContractId(9), AssetId(0), Amount::new(3)).unwrap();
+        drop(env);
+        assert_eq!(ledger.balance(AccountRef::Contract(ContractId(9)), AssetId(0)), Amount::new(3));
+    }
+
+    #[test]
+    fn debit_fails_on_insufficient_funds() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        let mut env = env_fixture(&mut ledger, &mut events, Time(0));
+        assert!(matches!(
+            env.debit_caller(AssetId(0), Amount::new(1)),
+            Err(ContractError::Ledger(_))
+        ));
+    }
+
+    #[test]
+    fn env_accessors_and_debug() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        let env = env_fixture(&mut ledger, &mut events, Time(3));
+        assert_eq!(env.chain(), ChainId(0));
+        assert_eq!(env.contract_id(), ContractId(7));
+        assert_eq!(env.caller(), PartyId(1));
+        assert_eq!(env.now(), Time(3));
+        assert!(format!("{env:?}").contains("CallEnv"));
+    }
+
+    #[test]
+    fn contract_message_blanket_impl() {
+        #[derive(Debug)]
+        struct Ping;
+        let msg: Box<dyn ContractMessage> = Box::new(Ping);
+        // Call through the trait object (not the `Box` blanket impl) so the
+        // concrete type seen by `Any` is `Ping`.
+        assert!(msg.as_ref().as_any().downcast_ref::<Ping>().is_some());
+    }
+}

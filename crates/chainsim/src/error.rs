@@ -1,0 +1,174 @@
+//! Error types for ledgers, contracts and chains.
+
+use thiserror::Error;
+
+use crate::amount::Amount;
+use crate::ids::{AssetId, ChainId, ContractId, PartyId};
+use crate::ledger::AccountRef;
+use crate::time::Time;
+
+/// Errors raised by [`crate::Ledger`] operations.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+#[non_exhaustive]
+pub enum LedgerError {
+    /// The source account does not hold enough of the asset.
+    #[error("insufficient balance: {account:?} holds {held} of {asset}, needs {needed}")]
+    InsufficientBalance {
+        /// The account being debited.
+        account: AccountRef,
+        /// The asset being transferred.
+        asset: AssetId,
+        /// The balance currently held.
+        held: Amount,
+        /// The amount that was requested.
+        needed: Amount,
+    },
+
+    /// A transfer of zero value was requested where it is not meaningful.
+    #[error("zero-value transfer")]
+    ZeroTransfer,
+}
+
+/// Errors raised by contract execution.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+#[non_exhaustive]
+pub enum ContractError {
+    /// The message type was not understood by the contract.
+    #[error("unsupported message for contract")]
+    UnsupportedMessage,
+
+    /// The caller is not authorised to perform this call.
+    #[error("caller {caller} is not authorised for this call")]
+    Unauthorised {
+        /// The offending caller.
+        caller: PartyId,
+    },
+
+    /// The call arrived after the relevant deadline.
+    #[error("deadline {deadline} has passed (now {now})")]
+    TooLate {
+        /// The deadline that was missed.
+        deadline: Time,
+        /// The current time.
+        now: Time,
+    },
+
+    /// The call arrived before it is allowed.
+    #[error("call not allowed before {not_before} (now {now})")]
+    TooEarly {
+        /// The earliest allowed time.
+        not_before: Time,
+        /// The current time.
+        now: Time,
+    },
+
+    /// The contract is not in a state that permits this call.
+    #[error("invalid contract state: {reason}")]
+    InvalidState {
+        /// Human-readable explanation.
+        reason: String,
+    },
+
+    /// A revealed secret did not match the contract's hashlock.
+    #[error("secret does not match hashlock")]
+    HashlockMismatch,
+
+    /// A hashkey path or signature chain failed verification.
+    #[error("hashkey rejected: {reason}")]
+    HashkeyRejected {
+        /// Human-readable explanation.
+        reason: String,
+    },
+
+    /// An underlying ledger operation failed.
+    #[error("ledger error: {0}")]
+    Ledger(#[from] LedgerError),
+}
+
+impl ContractError {
+    /// Convenience constructor for [`ContractError::InvalidState`].
+    pub fn invalid_state(reason: impl Into<String>) -> Self {
+        ContractError::InvalidState { reason: reason.into() }
+    }
+
+    /// Convenience constructor for [`ContractError::HashkeyRejected`].
+    pub fn hashkey_rejected(reason: impl Into<String>) -> Self {
+        ContractError::HashkeyRejected { reason: reason.into() }
+    }
+}
+
+/// Errors raised by chain-level operations.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// The referenced contract does not exist on this chain.
+    #[error("no contract {contract} on {chain}")]
+    NoSuchContract {
+        /// The chain that was addressed.
+        chain: ChainId,
+        /// The missing contract id.
+        contract: ContractId,
+    },
+
+    /// The referenced chain does not exist in the world.
+    #[error("no chain {chain}")]
+    NoSuchChain {
+        /// The missing chain id.
+        chain: ChainId,
+    },
+
+    /// Contract execution failed.
+    #[error("contract {contract} rejected call: {source}")]
+    ContractFailed {
+        /// The contract that rejected the call.
+        contract: ContractId,
+        /// The underlying contract error.
+        source: ContractError,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LedgerError::InsufficientBalance {
+            account: AccountRef::Party(PartyId(1)),
+            asset: AssetId(2),
+            held: Amount::new(1),
+            needed: Amount::new(5),
+        };
+        assert!(e.to_string().contains("insufficient balance"));
+        let c = ContractError::TooLate { deadline: Time(4), now: Time(9) };
+        assert!(c.to_string().contains("deadline t=4 has passed"));
+        let ch = ChainError::NoSuchContract { chain: ChainId(0), contract: ContractId(3) };
+        assert!(ch.to_string().contains("no contract"));
+    }
+
+    #[test]
+    fn ledger_error_converts_to_contract_error() {
+        let err: ContractError = LedgerError::ZeroTransfer.into();
+        assert!(matches!(err, ContractError::Ledger(LedgerError::ZeroTransfer)));
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(matches!(
+            ContractError::invalid_state("nope"),
+            ContractError::InvalidState { .. }
+        ));
+        assert!(matches!(
+            ContractError::hashkey_rejected("bad path"),
+            ContractError::HashkeyRejected { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LedgerError>();
+        assert_send_sync::<ContractError>();
+        assert_send_sync::<ChainError>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Chain event log.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::amount::Amount;
+use crate::ids::{AssetId, ContractId, PartyId};
+use crate::ledger::AccountRef;
+use crate::time::Time;
+
+/// A single entry in a chain's public event log.
+///
+/// Every ledger mutation and contract interaction is recorded, which is what
+/// lets the protocol layer reconstruct lock-up intervals and payoff
+/// attributions after a run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainEvent {
+    /// The block height at which the event was recorded.
+    pub height: Time,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of events recorded on a chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A new contract was published.
+    ContractPublished {
+        /// The new contract's id.
+        contract: ContractId,
+        /// The publishing party.
+        publisher: PartyId,
+        /// The contract's type name (for diagnostics).
+        type_name: String,
+    },
+    /// A contract call succeeded.
+    CallSucceeded {
+        /// The contract that was called.
+        contract: ContractId,
+        /// The calling party.
+        caller: PartyId,
+        /// A short description of the call.
+        call: String,
+    },
+    /// A contract call was rejected.
+    CallFailed {
+        /// The contract that was called.
+        contract: ContractId,
+        /// The calling party.
+        caller: PartyId,
+        /// A short description of the call.
+        call: String,
+        /// The error message.
+        error: String,
+    },
+    /// Value moved between two accounts.
+    Transfer {
+        /// The debited account.
+        from: AccountRef,
+        /// The credited account.
+        to: AccountRef,
+        /// The asset transferred.
+        asset: AssetId,
+        /// The amount transferred.
+        amount: Amount,
+    },
+    /// Value was minted during setup.
+    Mint {
+        /// The credited account.
+        account: AccountRef,
+        /// The asset minted.
+        asset: AssetId,
+        /// The amount minted.
+        amount: Amount,
+    },
+    /// A free-form note emitted by a contract (for traces and debugging).
+    Note {
+        /// The contract that emitted the note.
+        contract: ContractId,
+        /// The note text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ChainEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::ContractPublished { contract, publisher, type_name } => {
+                write!(f, "[{}] {publisher} published {contract} ({type_name})", self.height)
+            }
+            EventKind::CallSucceeded { contract, caller, call } => {
+                write!(f, "[{}] {caller} -> {contract}: {call} ok", self.height)
+            }
+            EventKind::CallFailed { contract, caller, call, error } => {
+                write!(f, "[{}] {caller} -> {contract}: {call} FAILED ({error})", self.height)
+            }
+            EventKind::Transfer { from, to, asset, amount } => {
+                write!(f, "[{}] transfer {amount} of {asset}: {from} -> {to}", self.height)
+            }
+            EventKind::Mint { account, asset, amount } => {
+                write!(f, "[{}] mint {amount} of {asset} to {account}", self.height)
+            }
+            EventKind::Note { contract, text } => {
+                write!(f, "[{}] {contract}: {text}", self.height)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_display() {
+        let e = ChainEvent {
+            height: Time(3),
+            kind: EventKind::Transfer {
+                from: AccountRef::Party(PartyId(0)),
+                to: AccountRef::Contract(ContractId(1)),
+                asset: AssetId(0),
+                amount: Amount::new(10),
+            },
+        };
+        assert_eq!(e.to_string(), "[t=3] transfer 10 of asset#0: P0 -> contract#1");
+
+        let e = ChainEvent {
+            height: Time(0),
+            kind: EventKind::ContractPublished {
+                contract: ContractId(0),
+                publisher: PartyId(1),
+                type_name: "Htlc".into(),
+            },
+        };
+        assert!(e.to_string().contains("published"));
+
+        let e = ChainEvent {
+            height: Time(1),
+            kind: EventKind::CallFailed {
+                contract: ContractId(0),
+                caller: PartyId(1),
+                call: "Redeem".into(),
+                error: "too late".into(),
+            },
+        };
+        assert!(e.to_string().contains("FAILED"));
+    }
+}

@@ -1,0 +1,248 @@
+//! The per-chain asset ledger.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::amount::Amount;
+use crate::error::LedgerError;
+use crate::ids::{AssetId, ContractId, PartyId};
+
+/// The owner of a ledger balance: either a party or a contract.
+///
+/// Escrowing an asset is modelled exactly as in the paper: ownership is
+/// temporarily transferred to a contract account, and the contract later
+/// transfers it onward (redeem) or back (refund).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum AccountRef {
+    /// A party's account.
+    Party(PartyId),
+    /// A contract's account.
+    Contract(ContractId),
+}
+
+impl AccountRef {
+    /// Returns the party if this account belongs to one.
+    pub fn as_party(&self) -> Option<PartyId> {
+        match self {
+            AccountRef::Party(p) => Some(*p),
+            AccountRef::Contract(_) => None,
+        }
+    }
+
+    /// Returns `true` if this account belongs to a contract.
+    pub fn is_contract(&self) -> bool {
+        matches!(self, AccountRef::Contract(_))
+    }
+}
+
+impl fmt::Display for AccountRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccountRef::Party(p) => write!(f, "{p}"),
+            AccountRef::Contract(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<PartyId> for AccountRef {
+    fn from(party: PartyId) -> Self {
+        AccountRef::Party(party)
+    }
+}
+
+impl From<ContractId> for AccountRef {
+    fn from(contract: ContractId) -> Self {
+        AccountRef::Contract(contract)
+    }
+}
+
+/// A chain-local ledger mapping `(account, asset)` to a balance.
+///
+/// The ledger enforces conservation: apart from explicit [`Ledger::mint`]
+/// calls used to set up initial endowments, transfers never create or
+/// destroy value.
+///
+/// # Examples
+///
+/// ```
+/// use chainsim::{AccountRef, Amount, AssetId, Ledger, PartyId};
+///
+/// let mut ledger = Ledger::new();
+/// let alice = AccountRef::Party(PartyId(0));
+/// let bob = AccountRef::Party(PartyId(1));
+/// let coin = AssetId(0);
+/// ledger.mint(alice, coin, Amount::new(10));
+/// ledger.transfer(alice, bob, coin, Amount::new(4))?;
+/// assert_eq!(ledger.balance(bob, coin), Amount::new(4));
+/// # Ok::<(), chainsim::LedgerError>(())
+/// ```
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct Ledger {
+    balances: BTreeMap<(AccountRef, AssetId), Amount>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the balance of `account` in `asset` (zero if absent).
+    pub fn balance(&self, account: AccountRef, asset: AssetId) -> Amount {
+        self.balances.get(&(account, asset)).copied().unwrap_or(Amount::ZERO)
+    }
+
+    /// Creates `amount` new units of `asset` in `account`.
+    ///
+    /// Minting is a setup-only operation used to endow parties with their
+    /// initial principals and native-currency balances.
+    pub fn mint(&mut self, account: AccountRef, asset: AssetId, amount: Amount) {
+        if amount.is_zero() {
+            return;
+        }
+        let entry = self.balances.entry((account, asset)).or_insert(Amount::ZERO);
+        *entry = *entry + amount;
+    }
+
+    /// Moves `amount` of `asset` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::InsufficientBalance`] if `from` does not hold
+    /// `amount`, and [`LedgerError::ZeroTransfer`] if `amount` is zero.
+    pub fn transfer(
+        &mut self,
+        from: AccountRef,
+        to: AccountRef,
+        asset: AssetId,
+        amount: Amount,
+    ) -> Result<(), LedgerError> {
+        if amount.is_zero() {
+            return Err(LedgerError::ZeroTransfer);
+        }
+        let held = self.balance(from, asset);
+        if held < amount {
+            return Err(LedgerError::InsufficientBalance { account: from, asset, held, needed: amount });
+        }
+        self.balances.insert((from, asset), held - amount);
+        let to_held = self.balance(to, asset);
+        self.balances.insert((to, asset), to_held + amount);
+        Ok(())
+    }
+
+    /// Returns the total supply of `asset` across all accounts.
+    pub fn total_supply(&self, asset: AssetId) -> Amount {
+        self.balances
+            .iter()
+            .filter(|((_, a), _)| *a == asset)
+            .map(|(_, amount)| *amount)
+            .sum()
+    }
+
+    /// Iterates over all `(account, asset, balance)` entries with non-zero balances.
+    pub fn iter(&self) -> impl Iterator<Item = (AccountRef, AssetId, Amount)> + '_ {
+        self.balances
+            .iter()
+            .filter(|(_, amount)| !amount.is_zero())
+            .map(|((account, asset), amount)| (*account, *asset, *amount))
+    }
+
+    /// Returns all assets that appear in the ledger.
+    pub fn assets(&self) -> Vec<AssetId> {
+        let mut assets: Vec<AssetId> = self.balances.keys().map(|(_, a)| *a).collect();
+        assets.sort_unstable();
+        assets.dedup();
+        assets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coin() -> AssetId {
+        AssetId(0)
+    }
+
+    #[test]
+    fn mint_and_balance() {
+        let mut ledger = Ledger::new();
+        let alice = AccountRef::Party(PartyId(0));
+        ledger.mint(alice, coin(), Amount::new(5));
+        ledger.mint(alice, coin(), Amount::new(2));
+        assert_eq!(ledger.balance(alice, coin()), Amount::new(7));
+        assert_eq!(ledger.balance(alice, AssetId(9)), Amount::ZERO);
+    }
+
+    #[test]
+    fn mint_zero_is_noop() {
+        let mut ledger = Ledger::new();
+        ledger.mint(AccountRef::Party(PartyId(0)), coin(), Amount::ZERO);
+        assert_eq!(ledger.iter().count(), 0);
+    }
+
+    #[test]
+    fn transfer_moves_value() {
+        let mut ledger = Ledger::new();
+        let alice = AccountRef::Party(PartyId(0));
+        let escrow = AccountRef::Contract(ContractId(1));
+        ledger.mint(alice, coin(), Amount::new(10));
+        ledger.transfer(alice, escrow, coin(), Amount::new(4)).unwrap();
+        assert_eq!(ledger.balance(alice, coin()), Amount::new(6));
+        assert_eq!(ledger.balance(escrow, coin()), Amount::new(4));
+    }
+
+    #[test]
+    fn transfer_rejects_overdraft_and_zero() {
+        let mut ledger = Ledger::new();
+        let alice = AccountRef::Party(PartyId(0));
+        let bob = AccountRef::Party(PartyId(1));
+        ledger.mint(alice, coin(), Amount::new(3));
+        assert!(matches!(
+            ledger.transfer(alice, bob, coin(), Amount::new(4)),
+            Err(LedgerError::InsufficientBalance { .. })
+        ));
+        assert!(matches!(
+            ledger.transfer(alice, bob, coin(), Amount::ZERO),
+            Err(LedgerError::ZeroTransfer)
+        ));
+        // Failed transfers leave balances untouched.
+        assert_eq!(ledger.balance(alice, coin()), Amount::new(3));
+        assert_eq!(ledger.balance(bob, coin()), Amount::ZERO);
+    }
+
+    #[test]
+    fn total_supply_is_conserved_by_transfers() {
+        let mut ledger = Ledger::new();
+        let alice = AccountRef::Party(PartyId(0));
+        let bob = AccountRef::Party(PartyId(1));
+        ledger.mint(alice, coin(), Amount::new(100));
+        ledger.transfer(alice, bob, coin(), Amount::new(30)).unwrap();
+        ledger.transfer(bob, alice, coin(), Amount::new(10)).unwrap();
+        assert_eq!(ledger.total_supply(coin()), Amount::new(100));
+    }
+
+    #[test]
+    fn iter_and_assets() {
+        let mut ledger = Ledger::new();
+        let alice = AccountRef::Party(PartyId(0));
+        ledger.mint(alice, AssetId(2), Amount::new(1));
+        ledger.mint(alice, AssetId(1), Amount::new(1));
+        assert_eq!(ledger.assets(), vec![AssetId(1), AssetId(2)]);
+        assert_eq!(ledger.iter().count(), 2);
+    }
+
+    #[test]
+    fn account_ref_helpers() {
+        let p = AccountRef::from(PartyId(3));
+        let c = AccountRef::from(ContractId(4));
+        assert_eq!(p.as_party(), Some(PartyId(3)));
+        assert_eq!(c.as_party(), None);
+        assert!(c.is_contract());
+        assert!(!p.is_contract());
+        assert_eq!(p.to_string(), "P3");
+        assert_eq!(c.to_string(), "contract#4");
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic multi-blockchain simulator with Δ-bounded synchrony.
+//!
+//! The hedged cross-chain protocols of Xue & Herlihy (PODC 2021) are defined
+//! over a very small computational model (§3 of the paper):
+//!
+//! * several independent **blockchains**, each a tamper-proof ledger that
+//!   tracks ownership of assets by parties and contracts;
+//! * **smart contracts** that are passive, public, deterministic and can only
+//!   read or write the ledger of the chain they reside on;
+//! * a **synchronous execution model**: a change made to one chain is visible
+//!   to every other party within a known bound Δ, measured in block heights.
+//!
+//! This crate implements that model. A [`World`] owns a set of
+//! [`Blockchain`]s that advance in lock-step; contracts implement the
+//! [`Contract`] trait and are invoked through typed messages; parties are
+//! [`Actor`]s driven by the [`Scheduler`], which realises the synchronous
+//! round structure: in each round every actor observes the world as of the
+//! end of the previous round (propagation ≤ Δ), emits actions, and then all
+//! chains advance by Δ blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use chainsim::{AccountRef, Amount, AssetId, PartyId, World};
+//!
+//! let mut world = World::new(1);
+//! let apricot = world.add_chain("apricot");
+//! let tokens = AssetId(1);
+//! let alice = PartyId(0);
+//!
+//! world
+//!     .chain_mut(apricot)
+//!     .ledger_mut()
+//!     .mint(AccountRef::Party(alice), tokens, Amount::new(100));
+//! assert_eq!(
+//!     world.chain(apricot).ledger().balance(AccountRef::Party(alice), tokens),
+//!     Amount::new(100)
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod amount;
+mod chain;
+mod contract;
+mod error;
+mod events;
+mod ids;
+mod ledger;
+mod sim;
+mod time;
+mod world;
+
+pub use amount::{Amount, Payoff};
+pub use chain::Blockchain;
+pub use contract::{CallEnv, Contract, ContractMessage};
+pub use error::{ChainError, ContractError, LedgerError};
+pub use events::{ChainEvent, EventKind};
+pub use ids::{AssetId, ChainId, ContractAddr, ContractId, PartyId};
+pub use ledger::{AccountRef, Ledger};
+pub use sim::{Action, ActionOutcome, Actor, RunReport, Scheduler, StepTrace};
+pub use time::{StepSchedule, Time};
+pub use world::World;

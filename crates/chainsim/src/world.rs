@@ -1,0 +1,365 @@
+//! The multi-chain world: chains, assets, labels and the global clock.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cryptosim::KeyDirectory;
+
+use crate::amount::Amount;
+use crate::chain::Blockchain;
+use crate::error::ChainError;
+use crate::ids::{AssetId, ChainId, ContractAddr, PartyId};
+#[cfg(test)]
+use crate::ids::ContractId;
+use crate::time::{StepSchedule, Time};
+
+/// A collection of blockchains that advance in lock-step.
+///
+/// The world also carries cross-cutting directories that model standard
+/// assumptions of the paper:
+///
+/// * the [`KeyDirectory`] (every party's public key is known to all);
+/// * an asset registry (named token classes);
+/// * a contract label registry. When a party publishes a contract as a
+///   protocol step, it registers the contract under an agreed label (for
+///   example `"swap/apricot-escrow"`); counterparties discover the contract
+///   by looking the label up, which models "within Δ, Bob sees Alice's
+///   escrow contract on the apricot blockchain".
+///
+/// # Examples
+///
+/// ```
+/// use chainsim::{Amount, PartyId, World};
+///
+/// let mut world = World::new(1);
+/// let apricot = world.add_chain("apricot");
+/// let banana = world.add_chain("banana");
+/// let apricot_token = world.register_asset("apricot-token");
+/// world.chain_mut(apricot).mint(PartyId(0), apricot_token, Amount::new(100));
+/// assert_ne!(apricot, banana);
+/// assert_eq!(world.now().height(), 0);
+/// ```
+pub struct World {
+    chains: BTreeMap<ChainId, Blockchain>,
+    directory: KeyDirectory,
+    labels: BTreeMap<String, ContractAddr>,
+    asset_names: BTreeMap<AssetId, String>,
+    next_chain: u32,
+    next_asset: u32,
+    delta_blocks: u64,
+    started_at: Time,
+}
+
+impl World {
+    /// Creates an empty world whose synchrony bound Δ is `delta_blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_blocks` is zero.
+    pub fn new(delta_blocks: u64) -> Self {
+        assert!(delta_blocks > 0, "Δ must be at least one block");
+        World {
+            chains: BTreeMap::new(),
+            directory: KeyDirectory::new(),
+            labels: BTreeMap::new(),
+            asset_names: BTreeMap::new(),
+            next_chain: 0,
+            next_asset: 0,
+            delta_blocks,
+            started_at: Time::ZERO,
+        }
+    }
+
+    /// The synchrony bound Δ in blocks.
+    pub fn delta_blocks(&self) -> u64 {
+        self.delta_blocks
+    }
+
+    /// Adds a new chain with the given name and a fresh native currency.
+    pub fn add_chain(&mut self, name: impl Into<String>) -> ChainId {
+        let name = name.into();
+        let id = ChainId(self.next_chain);
+        self.next_chain += 1;
+        let native = self.register_asset(format!("{name}-native"));
+        let mut chain = Blockchain::new(id, name, native);
+        // Keep new chains height-aligned with existing ones.
+        chain.advance_blocks(self.now().height());
+        self.chains.insert(id, chain);
+        id
+    }
+
+    /// Registers a new named asset class and returns its id.
+    pub fn register_asset(&mut self, name: impl Into<String>) -> AssetId {
+        let id = AssetId(self.next_asset);
+        self.next_asset += 1;
+        self.asset_names.insert(id, name.into());
+        id
+    }
+
+    /// Returns the registered name of an asset, if any.
+    pub fn asset_name(&self, asset: AssetId) -> Option<&str> {
+        self.asset_names.get(&asset).map(String::as_str)
+    }
+
+    /// Returns the chain with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain does not exist; chains are created by the test or
+    /// protocol setup code that also holds their ids.
+    pub fn chain(&self, id: ChainId) -> &Blockchain {
+        self.chains.get(&id).unwrap_or_else(|| panic!("no such chain {id}"))
+    }
+
+    /// Mutable access to the chain with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain does not exist.
+    pub fn chain_mut(&mut self, id: ChainId) -> &mut Blockchain {
+        self.chains.get_mut(&id).unwrap_or_else(|| panic!("no such chain {id}"))
+    }
+
+    /// Fallible chain lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::NoSuchChain`] if the chain does not exist.
+    pub fn try_chain(&self, id: ChainId) -> Result<&Blockchain, ChainError> {
+        self.chains.get(&id).ok_or(ChainError::NoSuchChain { chain: id })
+    }
+
+    /// Iterates over all chains.
+    pub fn chains(&self) -> impl Iterator<Item = &Blockchain> {
+        self.chains.values()
+    }
+
+    /// The number of chains in the world.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Read access to the public-key directory.
+    pub fn directory(&self) -> &KeyDirectory {
+        &self.directory
+    }
+
+    /// Mutable access to the public-key directory (used during setup).
+    pub fn directory_mut(&mut self) -> &mut KeyDirectory {
+        &mut self.directory
+    }
+
+    /// The current global time (all chains share the same height).
+    pub fn now(&self) -> Time {
+        self.chains.values().next().map(Blockchain::height).unwrap_or(Time::ZERO)
+    }
+
+    /// A [`StepSchedule`] anchored at the protocol start time.
+    pub fn schedule(&self) -> StepSchedule {
+        StepSchedule::new(self.started_at, self.delta_blocks)
+    }
+
+    /// Marks the current time as the protocol start for timeout computation.
+    pub fn mark_protocol_start(&mut self) {
+        self.started_at = self.now();
+    }
+
+    /// Advances every chain by Δ blocks.
+    pub fn advance_delta(&mut self) {
+        for chain in self.chains.values_mut() {
+            chain.advance_blocks(self.delta_blocks);
+        }
+    }
+
+    /// Advances every chain by an arbitrary number of blocks.
+    pub fn advance_blocks(&mut self, blocks: u64) {
+        for chain in self.chains.values_mut() {
+            chain.advance_blocks(blocks);
+        }
+    }
+
+    /// Publishes `contract` on `chain` under `label` and returns its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain does not exist or the label is already taken
+    /// (labels are agreed protocol constants, so a collision is a bug).
+    pub fn publish_labeled(
+        &mut self,
+        chain: ChainId,
+        publisher: PartyId,
+        label: impl Into<String>,
+        contract: Box<dyn crate::Contract>,
+    ) -> ContractAddr {
+        let label = label.into();
+        assert!(!self.labels.contains_key(&label), "contract label {label:?} already registered");
+        let id = self.chain_mut(chain).publish(publisher, contract);
+        let addr = ContractAddr::new(chain, id);
+        self.labels.insert(label, addr);
+        addr
+    }
+
+    /// Looks up a contract address by its agreed label.
+    pub fn lookup(&self, label: &str) -> Option<ContractAddr> {
+        self.labels.get(label).copied()
+    }
+
+    /// Calls the contract at `addr` with a typed message.
+    ///
+    /// # Errors
+    ///
+    /// Returns chain and contract errors; see [`Blockchain::call`].
+    pub fn call(
+        &mut self,
+        caller: PartyId,
+        addr: ContractAddr,
+        msg: &dyn std::any::Any,
+        call_description: &str,
+    ) -> Result<(), ChainError> {
+        let chain = self
+            .chains
+            .get_mut(&addr.chain)
+            .ok_or(ChainError::NoSuchChain { chain: addr.chain })?;
+        chain.call(caller, addr.contract, msg, call_description, &self.directory)
+    }
+
+    /// Total balance of `party` in `asset` summed over every chain.
+    pub fn party_balance(&self, party: PartyId, asset: AssetId) -> Amount {
+        self.chains
+            .values()
+            .map(|chain| chain.balance(crate::AccountRef::Party(party), asset))
+            .sum()
+    }
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("chains", &self.chains.len())
+            .field("now", &self.now())
+            .field("delta_blocks", &self.delta_blocks)
+            .field("labels", &self.labels.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{CallEnv, Contract};
+    use crate::error::ContractError;
+    use std::any::Any;
+
+    #[derive(Debug, Default)]
+    struct Noop;
+
+    impl Contract for Noop {
+        fn type_name(&self) -> &'static str {
+            "Noop"
+        }
+        fn handle(&mut self, _: &mut CallEnv<'_>, _: &dyn Any) -> Result<(), ContractError> {
+            Ok(())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn chains_advance_in_lockstep() {
+        let mut world = World::new(3);
+        let a = world.add_chain("a");
+        let b = world.add_chain("b");
+        world.advance_delta();
+        world.advance_delta();
+        assert_eq!(world.chain(a).height(), Time(6));
+        assert_eq!(world.chain(b).height(), Time(6));
+        assert_eq!(world.now(), Time(6));
+    }
+
+    #[test]
+    fn late_added_chain_is_height_aligned() {
+        let mut world = World::new(2);
+        let _a = world.add_chain("a");
+        world.advance_delta();
+        let b = world.add_chain("b");
+        assert_eq!(world.chain(b).height(), Time(2));
+    }
+
+    #[test]
+    fn asset_registry() {
+        let mut world = World::new(1);
+        let chain = world.add_chain("apricot");
+        let token = world.register_asset("apricot-token");
+        assert_eq!(world.asset_name(token), Some("apricot-token"));
+        assert_eq!(world.asset_name(world.chain(chain).native_asset()), Some("apricot-native"));
+        assert_eq!(world.asset_name(AssetId(999)), None);
+    }
+
+    #[test]
+    fn labels_resolve_to_published_contracts() {
+        let mut world = World::new(1);
+        let chain = world.add_chain("apricot");
+        let addr = world.publish_labeled(chain, PartyId(0), "swap/escrow", Box::new(Noop));
+        assert_eq!(world.lookup("swap/escrow"), Some(addr));
+        assert_eq!(world.lookup("missing"), None);
+        world.call(PartyId(1), addr, &(), "noop").unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_labels_panic() {
+        let mut world = World::new(1);
+        let chain = world.add_chain("apricot");
+        world.publish_labeled(chain, PartyId(0), "dup", Box::new(Noop));
+        world.publish_labeled(chain, PartyId(0), "dup", Box::new(Noop));
+    }
+
+    #[test]
+    fn call_on_missing_chain_errors() {
+        let mut world = World::new(1);
+        let err = world
+            .call(PartyId(0), ContractAddr::new(ChainId(7), ContractId(0)), &(), "noop")
+            .unwrap_err();
+        assert!(matches!(err, ChainError::NoSuchChain { .. }));
+        assert!(world.try_chain(ChainId(7)).is_err());
+    }
+
+    #[test]
+    fn party_balance_sums_across_chains() {
+        let mut world = World::new(1);
+        let a = world.add_chain("a");
+        let b = world.add_chain("b");
+        let coin = world.register_asset("coin");
+        world.chain_mut(a).mint(PartyId(0), coin, Amount::new(3));
+        world.chain_mut(b).mint(PartyId(0), coin, Amount::new(4));
+        assert_eq!(world.party_balance(PartyId(0), coin), Amount::new(7));
+    }
+
+    #[test]
+    fn schedule_tracks_protocol_start() {
+        let mut world = World::new(5);
+        let _ = world.add_chain("a");
+        world.advance_delta();
+        world.mark_protocol_start();
+        assert_eq!(world.schedule().start(), Time(5));
+        assert_eq!(world.schedule().deadline(2), Time(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such chain")]
+    fn chain_accessor_panics_on_missing() {
+        let world = World::new(1);
+        let _ = world.chain(ChainId(0));
+    }
+
+    #[test]
+    fn debug_and_counts() {
+        let mut world = World::new(1);
+        world.add_chain("a");
+        assert_eq!(world.chain_count(), 1);
+        assert_eq!(world.chains().count(), 1);
+        assert!(format!("{world:?}").contains("World"));
+        assert!(world.directory().is_empty());
+    }
+}

@@ -1,0 +1,822 @@
+//! The multi-party arc escrow contract (§7, also used by the broker of §8).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, PartyId, Time};
+use cryptosim::{Hashlock, Secret};
+use serde::{Deserialize, Serialize};
+use swapgraph::{premiums, Digraph};
+
+use crate::hashkey::{Hashkey, PartyKeys};
+
+/// Lifecycle of a premium slot (escrow premium or a per-leader redemption
+/// premium).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PremiumSlotState {
+    /// Not deposited yet.
+    NotDeposited,
+    /// Held by the contract.
+    Held,
+    /// Refunded to its depositor.
+    Refunded,
+    /// Paid to the counterparty as compensation.
+    PaidToCounterparty,
+}
+
+/// Lifecycle of the arc's principal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrincipalState {
+    /// Not escrowed yet.
+    NotEscrowed,
+    /// Escrowed and held by the contract.
+    Held,
+    /// Redeemed by the receiver (all hashkeys presented in time).
+    Redeemed,
+    /// Refunded to the sender after timeout.
+    Refunded,
+}
+
+/// Deadlines of an [`ArcEscrow`], mirroring the four phases of the hedged
+/// multi-party protocol.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArcDeadlines {
+    /// Phase 1: the sender's escrow premium must be deposited before this height.
+    pub escrow_premium_deadline: Time,
+    /// Phase 2: the receiver's redemption premiums must be deposited before this height.
+    pub redemption_premium_deadline: Time,
+    /// Phase 3: the sender's asset must be escrowed before this height.
+    pub asset_escrow_deadline: Time,
+    /// Phase 4: a hashkey with path length `ℓ` is accepted strictly before
+    /// `hashkey_timeout_base + ℓ · delta_blocks`.
+    pub hashkey_timeout_base: Time,
+    /// The synchrony bound Δ in blocks.
+    pub delta_blocks: u64,
+    /// After this height, [`ArcEscrowMsg::Settle`] distributes whatever is
+    /// still held.
+    pub final_deadline: Time,
+}
+
+impl ArcDeadlines {
+    /// The latest height (exclusive) at which a hashkey with the given path
+    /// length is still accepted.
+    pub fn hashkey_deadline(&self, path_len: usize) -> Time {
+        self.hashkey_timeout_base.plus(path_len as u64 * self.delta_blocks)
+    }
+}
+
+/// Construction parameters for an [`ArcEscrow`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ArcEscrowParams {
+    /// The asset sender `u`.
+    pub sender: PartyId,
+    /// The asset receiver `v`.
+    pub receiver: PartyId,
+    /// Asset class of the principal transferred on this arc.
+    pub asset: AssetId,
+    /// Amount of the principal.
+    pub amount: Amount,
+    /// Asset class used for premiums (the chain's native currency).
+    pub premium_asset: AssetId,
+    /// The base premium `p`.
+    pub base_premium: Amount,
+    /// The escrow premium `E(u, v)` owed by the sender.
+    pub escrow_premium: Amount,
+    /// The hashlock vector: one `(leader, hashlock)` pair per leader.
+    pub hashlocks: Vec<(PartyId, Hashlock)>,
+    /// The swap digraph (public protocol agreement), with party ids as vertices.
+    pub digraph: Digraph,
+    /// The public keys of all participants.
+    pub keys: PartyKeys,
+    /// Phase deadlines.
+    pub deadlines: ArcDeadlines,
+}
+
+/// Messages accepted by an [`ArcEscrow`].
+#[derive(Clone, Debug)]
+pub enum ArcEscrowMsg {
+    /// The sender deposits the escrow premium `E(u, v)` (phase 1).
+    DepositEscrowPremium,
+    /// The receiver deposits the redemption premium for `leader`'s hashkey
+    /// along `path` (phase 2). The contract computes and charges the
+    /// Equation-(1) amount for that path.
+    DepositRedemptionPremium {
+        /// The leader whose hashkey this premium protects.
+        leader: PartyId,
+        /// The path from the receiver to that leader.
+        path: Vec<PartyId>,
+    },
+    /// The sender escrows the principal (phase 3). The escrow premium, if
+    /// held, is refunded immediately.
+    EscrowAsset,
+    /// Anyone presents a hashkey (phase 4). The corresponding redemption
+    /// premium is refunded, and when every leader's hashkey has been
+    /// presented the principal is redeemed to the receiver.
+    PresentHashkey {
+        /// The hashkey to present.
+        hashkey: Hashkey,
+    },
+    /// Anyone applies whatever timeout rules are currently due.
+    Settle,
+}
+
+/// A per-leader redemption premium slot.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct RedemptionSlot {
+    state: PremiumSlotState,
+    amount: Amount,
+    path: Vec<PartyId>,
+}
+
+/// The escrow contract for one arc `(u, v)` of a multi-party swap.
+///
+/// The contract holds up to three kinds of value:
+///
+/// * the **principal** (the asset `u` transfers to `v`),
+/// * the sender's **escrow premium** `E(u, v)`, awarded to `v` if the
+///   principal is not escrowed in time *and* the premium has been activated
+///   (all redemption premiums were deposited), refunded to `u` otherwise,
+/// * one **redemption premium** per leader, deposited by `v`, refunded when
+///   `v` presents that leader's hashkey in time and awarded to `u` otherwise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArcEscrow {
+    params: ArcEscrowParams,
+    escrow_premium: PremiumSlotState,
+    redemption: BTreeMap<PartyId, RedemptionSlot>,
+    principal: PrincipalState,
+    presented: BTreeMap<PartyId, Time>,
+    presented_hashkeys: BTreeMap<PartyId, Hashkey>,
+    revealed_secrets: BTreeMap<PartyId, Secret>,
+    escrowed_at: Option<Time>,
+    settled_at: Option<Time>,
+}
+
+impl ArcEscrow {
+    /// Creates a new, unfunded arc escrow.
+    pub fn new(params: ArcEscrowParams) -> Self {
+        ArcEscrow {
+            params,
+            escrow_premium: PremiumSlotState::NotDeposited,
+            redemption: BTreeMap::new(),
+            principal: PrincipalState::NotEscrowed,
+            presented: BTreeMap::new(),
+            presented_hashkeys: BTreeMap::new(),
+            revealed_secrets: BTreeMap::new(),
+            escrowed_at: None,
+            settled_at: None,
+        }
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &ArcEscrowParams {
+        &self.params
+    }
+
+    /// The escrow premium slot's state.
+    pub fn escrow_premium_state(&self) -> PremiumSlotState {
+        self.escrow_premium
+    }
+
+    /// The redemption premium slot for `leader`, if deposited.
+    pub fn redemption_premium_state(&self, leader: PartyId) -> PremiumSlotState {
+        self.redemption.get(&leader).map(|s| s.state).unwrap_or(PremiumSlotState::NotDeposited)
+    }
+
+    /// The amount held (or once held) in `leader`'s redemption premium slot.
+    pub fn redemption_premium_amount(&self, leader: PartyId) -> Amount {
+        self.redemption.get(&leader).map(|s| s.amount).unwrap_or(Amount::ZERO)
+    }
+
+    /// The path associated with `leader`'s redemption premium, if deposited.
+    ///
+    /// Counterparties read this to learn which path a premium propagated
+    /// along, so they can extend it on their own incoming arcs (the phase-2
+    /// distribution rule of §7.1).
+    pub fn redemption_premium_path(&self, leader: PartyId) -> Option<&[PartyId]> {
+        self.redemption.get(&leader).map(|s| s.path.as_slice())
+    }
+
+    /// The principal's state.
+    pub fn principal_state(&self) -> PrincipalState {
+        self.principal
+    }
+
+    /// Returns `true` if `leader`'s hashkey has been presented on this arc.
+    pub fn hashkey_presented(&self, leader: PartyId) -> bool {
+        self.presented.contains_key(&leader)
+    }
+
+    /// Returns `true` once every leader's hashkey has been presented.
+    pub fn all_hashkeys_presented(&self) -> bool {
+        self.params.hashlocks.iter().all(|(leader, _)| self.presented.contains_key(leader))
+    }
+
+    /// The secret revealed for `leader`, if its hashkey has been presented.
+    ///
+    /// This is how secrets propagate: a party reads them from the public
+    /// state of contracts on its outgoing arcs.
+    pub fn revealed_secret(&self, leader: PartyId) -> Option<&Secret> {
+        self.revealed_secrets.get(&leader)
+    }
+
+    /// The full hashkey presented for `leader`, if any.
+    ///
+    /// Parties read presented hashkeys from contracts on their outgoing
+    /// arcs, extend the path with their own signature, and present the
+    /// extension on their incoming arcs.
+    pub fn presented_hashkey(&self, leader: PartyId) -> Option<&Hashkey> {
+        self.presented_hashkeys.get(&leader)
+    }
+
+    /// The height at which the principal was escrowed.
+    pub fn escrowed_at(&self) -> Option<Time> {
+        self.escrowed_at
+    }
+
+    /// The height at which the principal was redeemed or refunded.
+    pub fn settled_at(&self) -> Option<Time> {
+        self.settled_at
+    }
+
+    /// Returns `true` if the escrow premium has been *activated*: every
+    /// leader's redemption premium has been deposited on this arc.
+    pub fn escrow_premium_activated(&self) -> bool {
+        self.params
+            .hashlocks
+            .iter()
+            .all(|(leader, _)| self.redemption.contains_key(leader))
+    }
+
+    fn hashlock_for(&self, leader: PartyId) -> Option<Hashlock> {
+        self.params.hashlocks.iter().find(|(l, _)| *l == leader).map(|(_, h)| *h)
+    }
+
+    fn deposit_escrow_premium(&mut self, env: &mut CallEnv<'_>) -> Result<(), ContractError> {
+        if env.caller() != self.params.sender {
+            return Err(ContractError::Unauthorised { caller: env.caller() });
+        }
+        if self.escrow_premium != PremiumSlotState::NotDeposited {
+            return Err(ContractError::invalid_state("escrow premium already deposited"));
+        }
+        env.ensure_before(self.params.deadlines.escrow_premium_deadline)?;
+        env.debit_caller(self.params.premium_asset, self.params.escrow_premium)?;
+        self.escrow_premium = PremiumSlotState::Held;
+        Ok(())
+    }
+
+    fn deposit_redemption_premium(
+        &mut self,
+        env: &mut CallEnv<'_>,
+        leader: PartyId,
+        path: &[PartyId],
+    ) -> Result<(), ContractError> {
+        if env.caller() != self.params.receiver {
+            return Err(ContractError::Unauthorised { caller: env.caller() });
+        }
+        if self.hashlock_for(leader).is_none() {
+            return Err(ContractError::invalid_state(format!("{leader} is not a leader")));
+        }
+        if self.redemption.contains_key(&leader) {
+            return Err(ContractError::invalid_state("redemption premium already deposited"));
+        }
+        env.ensure_before(self.params.deadlines.redemption_premium_deadline)?;
+        // Validate the path: starts at the receiver, ends at the leader, and
+        // is a simple path of the swap digraph.
+        if path.first() != Some(&self.params.receiver) || path.last() != Some(&leader) {
+            return Err(ContractError::hashkey_rejected(
+                "redemption premium path must run from the receiver to the leader",
+            ));
+        }
+        let vertices: Vec<u32> = path.iter().map(|p| p.0).collect();
+        let valid = self
+            .params
+            .digraph
+            .simple_paths(self.params.receiver.0, leader.0)
+            .contains(&vertices);
+        if !valid {
+            return Err(ContractError::hashkey_rejected(
+                "redemption premium path is not a simple path of the swap digraph",
+            ));
+        }
+        let units =
+            premiums::redemption_premium(&self.params.digraph, 1, &vertices, self.params.sender.0);
+        let amount = self.params.base_premium.scaled(units);
+        env.debit_caller(self.params.premium_asset, amount)?;
+        self.redemption.insert(
+            leader,
+            RedemptionSlot { state: PremiumSlotState::Held, amount, path: path.to_vec() },
+        );
+        Ok(())
+    }
+
+    fn escrow_asset(&mut self, env: &mut CallEnv<'_>) -> Result<(), ContractError> {
+        if env.caller() != self.params.sender {
+            return Err(ContractError::Unauthorised { caller: env.caller() });
+        }
+        if self.principal != PrincipalState::NotEscrowed {
+            return Err(ContractError::invalid_state("asset already escrowed"));
+        }
+        env.ensure_before(self.params.deadlines.asset_escrow_deadline)?;
+        env.debit_caller(self.params.asset, self.params.amount)?;
+        self.principal = PrincipalState::Held;
+        self.escrowed_at = Some(env.now());
+        // Lemma 1: the sender's escrow premium is refunded as soon as the
+        // asset is escrowed on the arc.
+        if self.escrow_premium == PremiumSlotState::Held {
+            env.pay_out(self.params.sender, self.params.premium_asset, self.params.escrow_premium)?;
+            self.escrow_premium = PremiumSlotState::Refunded;
+            env.emit_note("escrow premium refunded: asset escrowed in time");
+        }
+        Ok(())
+    }
+
+    fn present_hashkey(
+        &mut self,
+        env: &mut CallEnv<'_>,
+        hashkey: &Hashkey,
+    ) -> Result<(), ContractError> {
+        let leader = hashkey.leader();
+        let hashlock = self
+            .hashlock_for(leader)
+            .ok_or_else(|| ContractError::invalid_state(format!("{leader} is not a leader")))?;
+        if self.presented.contains_key(&leader) {
+            return Err(ContractError::invalid_state("hashkey already presented"));
+        }
+        let deadline = self.params.deadlines.hashkey_deadline(hashkey.path_len());
+        env.ensure_before(deadline)?;
+        hashkey.verify(
+            env.directory(),
+            &self.params.keys,
+            &self.params.digraph,
+            self.params.receiver,
+            &hashlock,
+        )?;
+        self.presented.insert(leader, env.now());
+        self.presented_hashkeys.insert(leader, hashkey.clone());
+        self.revealed_secrets.insert(leader, hashkey.secret().clone());
+        env.emit_note(format!("hashkey for {leader} presented"));
+        // Lemma 1: the receiver's redemption premium for this hashkey is
+        // refunded as soon as the hashkey is presented on the arc.
+        if let Some(slot) = self.redemption.get_mut(&leader) {
+            if slot.state == PremiumSlotState::Held {
+                env.pay_out(self.params.receiver, self.params.premium_asset, slot.amount)?;
+                slot.state = PremiumSlotState::Refunded;
+            }
+        }
+        // Redeem the principal once every leader's hashkey has arrived.
+        if self.principal == PrincipalState::Held && self.all_hashkeys_presented() {
+            env.pay_out(self.params.receiver, self.params.asset, self.params.amount)?;
+            self.principal = PrincipalState::Redeemed;
+            self.settled_at = Some(env.now());
+            env.emit_note("principal redeemed: all hashkeys presented");
+        }
+        Ok(())
+    }
+
+    fn settle(&mut self, env: &mut CallEnv<'_>) -> Result<(), ContractError> {
+        let mut acted = false;
+        let now = env.now();
+
+        // Escrow premium disposition once the asset-escrow deadline passed.
+        if self.escrow_premium == PremiumSlotState::Held
+            && now.has_reached(self.params.deadlines.asset_escrow_deadline)
+            && self.principal == PrincipalState::NotEscrowed
+        {
+            if self.escrow_premium_activated() {
+                env.pay_out(
+                    self.params.receiver,
+                    self.params.premium_asset,
+                    self.params.escrow_premium,
+                )?;
+                self.escrow_premium = PremiumSlotState::PaidToCounterparty;
+                env.emit_note("escrow premium paid to receiver: asset never escrowed");
+            } else {
+                env.pay_out(
+                    self.params.sender,
+                    self.params.premium_asset,
+                    self.params.escrow_premium,
+                )?;
+                self.escrow_premium = PremiumSlotState::Refunded;
+                env.emit_note("escrow premium refunded: premium was never activated");
+            }
+            acted = true;
+        }
+
+        if now.has_reached(self.params.deadlines.final_deadline) {
+            // Redemption premiums for hashkeys that never arrived go to the sender.
+            for (leader, slot) in self.redemption.iter_mut() {
+                if slot.state == PremiumSlotState::Held && !self.presented.contains_key(leader) {
+                    env.pay_out(self.params.sender, self.params.premium_asset, slot.amount)?;
+                    slot.state = PremiumSlotState::PaidToCounterparty;
+                    env.emit_note(format!(
+                        "redemption premium for {leader} paid to sender: hashkey never presented"
+                    ));
+                    acted = true;
+                }
+            }
+            // The principal returns to the sender if it was never redeemed.
+            if self.principal == PrincipalState::Held {
+                env.pay_out(self.params.sender, self.params.asset, self.params.amount)?;
+                self.principal = PrincipalState::Refunded;
+                self.settled_at = Some(now);
+                env.emit_note("principal refunded to sender after timeout");
+                acted = true;
+            }
+        }
+
+        if acted {
+            Ok(())
+        } else {
+            Err(ContractError::invalid_state("nothing to settle yet"))
+        }
+    }
+}
+
+impl Contract for ArcEscrow {
+    fn type_name(&self) -> &'static str {
+        "ArcEscrow"
+    }
+
+    fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
+        let msg = msg.downcast_ref::<ArcEscrowMsg>().ok_or(ContractError::UnsupportedMessage)?;
+        match msg {
+            ArcEscrowMsg::DepositEscrowPremium => self.deposit_escrow_premium(env),
+            ArcEscrowMsg::DepositRedemptionPremium { leader, path } => {
+                self.deposit_redemption_premium(env, *leader, path)
+            }
+            ArcEscrowMsg::EscrowAsset => self.escrow_asset(env),
+            ArcEscrowMsg::PresentHashkey { hashkey } => self.present_hashkey(env, hashkey),
+            ArcEscrowMsg::Settle => self.settle(env),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsim::{AccountRef, ContractAddr, World};
+    use cryptosim::KeyPair;
+
+    // Figure 3a parties.
+    const A: PartyId = PartyId(0);
+    const B: PartyId = PartyId(1);
+    const C: PartyId = PartyId(2);
+
+    struct Fixture {
+        world: World,
+        addr: ContractAddr,
+        token: AssetId,
+        native: AssetId,
+        secret: Secret,
+        pairs: Vec<KeyPair>,
+    }
+
+    /// Arc (B, A) of the Figure 3a swap on its own chain, with leader A.
+    /// Deadlines: phase boundaries at 2, 4, 6; hashkeys from height 6 with
+    /// Δ = 1; everything settles at 12.
+    fn setup() -> Fixture {
+        let mut world = World::new(1);
+        let chain = world.add_chain("banana");
+        let native = world.chain(chain).native_asset();
+        let token = world.register_asset("banana-token");
+        world.chain_mut(chain).mint(B, token, Amount::new(50));
+        world.chain_mut(chain).mint(B, native, Amount::new(20));
+        world.chain_mut(chain).mint(A, native, Amount::new(20));
+
+        let mut keys = PartyKeys::new();
+        let mut pairs = Vec::new();
+        for i in 0..3u32 {
+            let pair = KeyPair::from_seed(u64::from(i));
+            world.directory_mut().register(&pair);
+            keys.insert(PartyId(i), pair.public());
+            pairs.push(pair);
+        }
+
+        let secret = Secret::from_seed(11);
+        let escrow = ArcEscrow::new(ArcEscrowParams {
+            sender: B,
+            receiver: A,
+            asset: token,
+            amount: Amount::new(50),
+            premium_asset: native,
+            base_premium: Amount::new(1),
+            escrow_premium: Amount::new(5),
+            hashlocks: vec![(A, secret.hashlock())],
+            digraph: Digraph::figure3(),
+            keys,
+            deadlines: ArcDeadlines {
+                escrow_premium_deadline: Time(2),
+                redemption_premium_deadline: Time(4),
+                asset_escrow_deadline: Time(6),
+                hashkey_timeout_base: Time(6),
+                delta_blocks: 1,
+                final_deadline: Time(12),
+            },
+        });
+        let addr = world.publish_labeled(chain, B, "arc-ba", Box::new(escrow));
+        Fixture { world, addr, token, native, secret, pairs }
+    }
+
+    fn contract(f: &Fixture) -> &ArcEscrow {
+        f.world.chain(f.addr.chain).contract_as::<ArcEscrow>(f.addr.contract).unwrap()
+    }
+
+    fn balance(f: &Fixture, party: PartyId, asset: AssetId) -> Amount {
+        f.world.chain(f.addr.chain).balance(AccountRef::Party(party), asset)
+    }
+
+    fn leader_hashkey(f: &Fixture) -> Hashkey {
+        // Arc (B, A): the receiver is the leader A herself, path (A).
+        Hashkey::from_leader(A, f.secret.clone(), &f.pairs[0])
+    }
+
+    #[test]
+    fn full_compliant_lifecycle() {
+        let mut f = setup();
+        // Phase 1: sender B deposits the escrow premium E(B,A) = 5p.
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E(B,A)").unwrap();
+        assert_eq!(contract(&f).escrow_premium_state(), PremiumSlotState::Held);
+        f.world.advance_blocks(2);
+        // Phase 2: receiver A deposits the redemption premium R((A), B) = 2p.
+        f.world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R(A)",
+            )
+            .unwrap();
+        assert_eq!(contract(&f).redemption_premium_amount(A), Amount::new(2));
+        assert!(contract(&f).escrow_premium_activated());
+        f.world.advance_blocks(2);
+        // Phase 3: sender escrows the asset; escrow premium refunded at once.
+        f.world.call(B, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+        assert_eq!(contract(&f).escrow_premium_state(), PremiumSlotState::Refunded);
+        assert_eq!(balance(&f, B, f.native), Amount::new(20));
+        f.world.advance_blocks(2);
+        // Phase 4: the leader's hashkey is presented; premium refunded and
+        // the principal redeemed.
+        let hashkey = leader_hashkey(&f);
+        f.world.call(A, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey }, "k_A").unwrap();
+        let c = contract(&f);
+        assert_eq!(c.principal_state(), PrincipalState::Redeemed);
+        assert_eq!(c.redemption_premium_state(A), PremiumSlotState::Refunded);
+        assert!(c.all_hashkeys_presented());
+        assert!(c.revealed_secret(A).is_some());
+        assert_eq!(balance(&f, A, f.token), Amount::new(50));
+        assert_eq!(balance(&f, A, f.native), Amount::new(20));
+    }
+
+    #[test]
+    fn redemption_premium_amount_follows_equation_1() {
+        let mut f = setup();
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+        f.world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .unwrap();
+        // R_A((A), B) = 2p with p = 1.
+        assert_eq!(contract(&f).redemption_premium_amount(A), Amount::new(2));
+        assert_eq!(balance(&f, A, f.native), Amount::new(18));
+    }
+
+    #[test]
+    fn invalid_redemption_paths_are_rejected() {
+        let mut f = setup();
+        // Path that does not start at the receiver.
+        assert!(f
+            .world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![B, A] },
+                "R",
+            )
+            .is_err());
+        // Path that is not a digraph path.
+        assert!(f
+            .world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A, C, A] },
+                "R",
+            )
+            .is_err());
+        // Unknown leader.
+        assert!(f
+            .world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: C, path: vec![A] },
+                "R",
+            )
+            .is_err());
+        // Wrong depositor.
+        assert!(f
+            .world
+            .call(
+                B,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn activated_escrow_premium_goes_to_receiver_when_sender_defects() {
+        let mut f = setup();
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+        f.world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .unwrap();
+        // B never escrows the asset. After the asset-escrow deadline the
+        // activated escrow premium is awarded to A.
+        f.world.advance_blocks(6);
+        f.world.call(A, f.addr, &ArcEscrowMsg::Settle, "settle").unwrap();
+        assert_eq!(contract(&f).escrow_premium_state(), PremiumSlotState::PaidToCounterparty);
+        assert_eq!(balance(&f, A, f.native), Amount::new(18 + 5));
+        // A's own redemption premium is still held until the final deadline,
+        // then returns to the sender (A never needed to present a hashkey
+        // because nothing was escrowed, but the arc-local rule stands).
+        f.world.advance_blocks(6);
+        f.world.call(B, f.addr, &ArcEscrowMsg::Settle, "settle").unwrap();
+        assert_eq!(contract(&f).redemption_premium_state(A), PremiumSlotState::PaidToCounterparty);
+    }
+
+    #[test]
+    fn unactivated_escrow_premium_is_refunded() {
+        let mut f = setup();
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+        // A never deposits the redemption premium, so the escrow premium is
+        // never activated; B gets it back after the asset-escrow deadline.
+        f.world.advance_blocks(6);
+        f.world.call(B, f.addr, &ArcEscrowMsg::Settle, "settle").unwrap();
+        assert_eq!(contract(&f).escrow_premium_state(), PremiumSlotState::Refunded);
+        assert_eq!(balance(&f, B, f.native), Amount::new(20));
+    }
+
+    #[test]
+    fn unpresented_hashkey_forfeits_redemption_premium_and_refunds_principal() {
+        let mut f = setup();
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+        f.world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .unwrap();
+        f.world.advance_blocks(4);
+        f.world.call(B, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+        // A never presents the hashkey. After the final deadline: principal
+        // back to B, A's redemption premium to B.
+        f.world.advance_blocks(8);
+        f.world.call(B, f.addr, &ArcEscrowMsg::Settle, "settle").unwrap();
+        let c = contract(&f);
+        assert_eq!(c.principal_state(), PrincipalState::Refunded);
+        assert_eq!(c.redemption_premium_state(A), PremiumSlotState::PaidToCounterparty);
+        assert_eq!(balance(&f, B, f.token), Amount::new(50));
+        assert_eq!(balance(&f, B, f.native), Amount::new(22));
+        assert_eq!(balance(&f, A, f.native), Amount::new(18));
+    }
+
+    #[test]
+    fn hashkey_timeout_depends_on_path_length() {
+        let mut f = setup();
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+        f.world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .unwrap();
+        f.world.advance_blocks(4);
+        f.world.call(B, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+        // A path-length-1 hashkey times out at 6 + 1·Δ = 7; at height 7 it is late.
+        f.world.advance_blocks(3);
+        let hashkey = leader_hashkey(&f);
+        let err = f
+            .world
+            .call(A, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey }, "late k_A")
+            .unwrap_err();
+        assert!(err.to_string().contains("deadline"));
+        assert_eq!(contract(&f).principal_state(), PrincipalState::Held);
+    }
+
+    #[test]
+    fn forged_or_mismatched_hashkeys_are_rejected() {
+        let mut f = setup();
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+        f.world.advance_blocks(4);
+        f.world.call(B, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+        // Wrong secret.
+        let bogus = Hashkey::from_leader(A, Secret::from_seed(999), &f.pairs[0]);
+        assert!(f
+            .world
+            .call(A, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey: bogus }, "bad")
+            .is_err());
+        // Unknown leader.
+        let wrong_leader = Hashkey::from_leader(C, f.secret.clone(), &f.pairs[2]);
+        assert!(f
+            .world
+            .call(A, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey: wrong_leader }, "bad")
+            .is_err());
+        // Path that does not start at the receiver A: B extends the leader's
+        // hashkey, which is valid for arc (A,B) but not for this arc.
+        let for_other_arc = leader_hashkey(&f).extend(B, &f.pairs[1]);
+        assert!(f
+            .world
+            .call(A, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey: for_other_arc }, "bad")
+            .is_err());
+        assert_eq!(contract(&f).principal_state(), PrincipalState::Held);
+    }
+
+    #[test]
+    fn escrow_premium_and_asset_deadlines_are_enforced() {
+        let mut f = setup();
+        f.world.advance_blocks(2);
+        assert!(f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").is_err());
+        f.world.advance_blocks(4);
+        assert!(f.world.call(B, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").is_err());
+        // Redemption premium also respects its deadline.
+        assert!(f
+            .world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn settle_with_nothing_due_is_an_error() {
+        let mut f = setup();
+        assert!(f.world.call(A, f.addr, &ArcEscrowMsg::Settle, "settle").is_err());
+    }
+
+    #[test]
+    fn duplicate_deposits_and_presentations_are_rejected() {
+        let mut f = setup();
+        f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+        assert!(f.world.call(B, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").is_err());
+        f.world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .unwrap();
+        assert!(f
+            .world
+            .call(
+                A,
+                f.addr,
+                &ArcEscrowMsg::DepositRedemptionPremium { leader: A, path: vec![A] },
+                "R",
+            )
+            .is_err());
+        f.world.advance_blocks(4);
+        f.world.call(B, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+        f.world.advance_blocks(2);
+        let hashkey = leader_hashkey(&f);
+        f.world.call(A, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey }, "k_A").unwrap();
+        let hashkey = leader_hashkey(&f);
+        assert!(f.world.call(A, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey }, "k_A").is_err());
+    }
+
+    #[test]
+    fn deadline_helper_math() {
+        let deadlines = ArcDeadlines {
+            escrow_premium_deadline: Time(1),
+            redemption_premium_deadline: Time(2),
+            asset_escrow_deadline: Time(3),
+            hashkey_timeout_base: Time(10),
+            delta_blocks: 3,
+            final_deadline: Time(30),
+        };
+        assert_eq!(deadlines.hashkey_deadline(1), Time(13));
+        assert_eq!(deadlines.hashkey_deadline(3), Time(19));
+    }
+}

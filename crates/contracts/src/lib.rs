@@ -1,0 +1,45 @@
+//! Smart contracts for hedged cross-chain transactions.
+//!
+//! This crate provides the on-chain half of the protocols in Xue & Herlihy
+//! (PODC 2021): the escrow contracts that hold principals and premiums and
+//! decide, purely from chain-local information, who receives what and when.
+//!
+//! * [`HtlcEscrow`] — the classic hashed-timelock escrow used by the *base*
+//!   (unhedged) two-party swap of §5.1. It is the baseline against which the
+//!   hedged protocols are compared.
+//! * [`HedgedEscrow`] — the §5.2 contract: a principal slot plus a premium
+//!   slot, with the premium refunded if the principal is redeemed and paid
+//!   to the escrower if the principal times out unredeemed.
+//! * [`ArcEscrow`] — the multi-party arc contract of §7 (also used by the
+//!   broker protocol of §8): a hashlock *vector*, signature-authenticated
+//!   hashkey paths with per-length timeouts, an escrow premium with the
+//!   activation rule, and per-leader redemption premiums.
+//! * [`AuctionCoinContract`] / [`AuctionTicketContract`] — the two halves of
+//!   the §9 auction, including the auctioneer's premium endowment.
+//! * [`Hashkey`] and [`PartyKeys`] — signature-authenticated hashkey paths.
+//!
+//! All contracts implement [`chainsim::Contract`] and are driven by typed
+//! messages; their state is public and can be inspected with
+//! [`chainsim::Blockchain::contract_as`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod arc_escrow;
+mod auction;
+mod hashkey;
+mod hedged;
+mod htlc;
+
+pub use arc_escrow::{
+    ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, PremiumSlotState, PrincipalState,
+};
+pub use auction::{
+    AuctionCoinContract, AuctionCoinMsg, AuctionOutcome, AuctionParams, AuctionTicketContract,
+    AuctionTicketMsg,
+};
+pub use hashkey::{Hashkey, PartyKeys};
+pub use hedged::{
+    HedgedEscrow, HedgedEscrowMsg, HedgedEscrowParams, HedgedPremiumState, HedgedPrincipalState,
+};
+pub use htlc::{HtlcEscrow, HtlcMsg, HtlcState};

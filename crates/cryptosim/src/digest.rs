@@ -1,0 +1,177 @@
+//! SHA-256 digests used for hashlocks, public keys and signature tags.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sha2::{Digest as _, Sha256};
+
+/// Length in bytes of a [`Digest`].
+pub const DIGEST_LEN: usize = 32;
+
+/// A 32-byte SHA-256 digest.
+///
+/// Digests are used as hashlock values (`h = H(s)`), as simulated public
+/// keys and as signature tags. The [`fmt::Display`] implementation prints an
+/// abbreviated hex form; [`fmt::LowerHex`] prints the full digest.
+///
+/// # Examples
+///
+/// ```
+/// use cryptosim::sha256;
+///
+/// let d = sha256(b"apricot");
+/// assert_eq!(d.as_bytes().len(), 32);
+/// assert_eq!(d, sha256(b"apricot"));
+/// assert_ne!(d, sha256(b"banana"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Digest([u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Creates a digest from raw bytes.
+    pub const fn from_bytes(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Returns the all-zero digest, useful as a sentinel in tests.
+    pub const fn zero() -> Self {
+        Digest([0u8; DIGEST_LEN])
+    }
+
+    /// Returns the full lowercase hex encoding of this digest.
+    pub fn to_hex(&self) -> String {
+        hex::encode(self.0)
+    }
+
+    /// Returns an abbreviated hex prefix (8 characters) for logs.
+    pub fn short_hex(&self) -> String {
+        hex::encode(&self.0[..4])
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}…", self.short_hex())
+    }
+}
+
+impl fmt::LowerHex for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// Computes the SHA-256 digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// let d = cryptosim::sha256(b"hello");
+/// assert_eq!(
+///     d.to_hex(),
+///     "2cf24dba5fb0a30e26e83b2ac5b9e29e1b161e5c1fa7425e73043362938b9824"
+/// );
+/// ```
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    let out = hasher.finalize();
+    let mut bytes = [0u8; DIGEST_LEN];
+    bytes.copy_from_slice(&out);
+    Digest(bytes)
+}
+
+/// Computes the SHA-256 digest of the concatenation of several byte slices.
+///
+/// Each part is length-prefixed before hashing so that the encoding is
+/// unambiguous (`["ab", "c"]` and `["a", "bc"]` hash differently).
+pub fn sha256_concat(parts: &[&[u8]]) -> Digest {
+    let mut hasher = Sha256::new();
+    for part in parts {
+        hasher.update((part.len() as u64).to_be_bytes());
+        hasher.update(part);
+    }
+    let out = hasher.finalize();
+    let mut bytes = [0u8; DIGEST_LEN];
+    bytes.copy_from_slice(&out);
+    Digest(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_known_vector() {
+        // SHA-256 of the empty string.
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_is_deterministic() {
+        assert_eq!(sha256(b"apricot"), sha256(b"apricot"));
+    }
+
+    #[test]
+    fn sha256_distinguishes_inputs() {
+        assert_ne!(sha256(b"apricot"), sha256(b"banana"));
+    }
+
+    #[test]
+    fn concat_is_prefix_free() {
+        let a = sha256_concat(&[b"ab", b"c"]);
+        let b = sha256_concat(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concat_matches_same_split() {
+        assert_eq!(sha256_concat(&[b"x", b"y"]), sha256_concat(&[b"x", b"y"]));
+    }
+
+    #[test]
+    fn hex_roundtrip_and_display() {
+        let d = sha256(b"display");
+        assert_eq!(d.to_hex().len(), 64);
+        assert!(format!("{d}").ends_with('…'));
+        assert!(format!("{d:?}").starts_with("Digest("));
+        assert_eq!(format!("{d:x}"), d.to_hex());
+    }
+
+    #[test]
+    fn zero_digest_is_all_zero() {
+        assert_eq!(Digest::zero().as_bytes(), &[0u8; DIGEST_LEN]);
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let bytes = *sha256(b"roundtrip").as_bytes();
+        assert_eq!(Digest::from_bytes(bytes), Digest::from(bytes));
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the cryptographic substrate.
+
+use thiserror::Error;
+
+use crate::keys::PublicKey;
+
+/// Errors returned by cryptographic verification.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The public key has not been registered with the [`crate::KeyDirectory`].
+    #[error("unknown public key {key}")]
+    UnknownKey {
+        /// The unregistered key.
+        key: PublicKey,
+    },
+
+    /// The signature did not verify for the given key and message.
+    #[error("invalid signature for key {key}")]
+    BadSignature {
+        /// The key the signature claimed to come from.
+        key: PublicKey,
+    },
+
+    /// A revealed secret did not match the expected hashlock.
+    #[error("secret does not match hashlock")]
+    HashlockMismatch,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KeyPair;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let key = KeyPair::from_seed(1).public();
+        let unknown = CryptoError::UnknownKey { key };
+        let bad = CryptoError::BadSignature { key };
+        assert!(unknown.to_string().starts_with("unknown public key"));
+        assert!(bad.to_string().starts_with("invalid signature"));
+        assert_eq!(
+            CryptoError::HashlockMismatch.to_string(),
+            "secret does not match hashlock"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

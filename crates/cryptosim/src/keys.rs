@@ -1,0 +1,295 @@
+//! Simulated key pairs, signatures and the verification directory.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::digest::{sha256_concat, Digest};
+use crate::error::CryptoError;
+
+/// A party's public key (a digest of its secret key).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PublicKey(Digest);
+
+impl PublicKey {
+    /// Returns the digest underlying this public key.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({})", self.0.short_hex())
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pk:{}", self.0.short_hex())
+    }
+}
+
+/// A signing key pair.
+///
+/// The secret key is 32 bytes derived from a seed; the public key is a hash
+/// of the secret key. Signatures are keyed hashes (`H(sk ‖ msg)`), verified
+/// through a [`KeyDirectory`].
+///
+/// # Examples
+///
+/// ```
+/// use cryptosim::{KeyDirectory, KeyPair};
+///
+/// let mut dir = KeyDirectory::new();
+/// let alice = KeyPair::from_seed(1);
+/// dir.register(&alice);
+/// let sig = alice.sign(b"path: (B, A)");
+/// assert!(dir.verify(&alice.public(), b"path: (B, A)", &sig));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    secret: [u8; 32],
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a numeric seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let secret_digest = sha256_concat(&[b"cryptosim/sk", &seed.to_be_bytes()]);
+        Self::from_secret_bytes(*secret_digest.as_bytes())
+    }
+
+    /// Creates a key pair from explicit secret-key bytes.
+    pub fn from_secret_bytes(secret: [u8; 32]) -> Self {
+        let public = PublicKey(sha256_concat(&[b"cryptosim/pk", &secret]));
+        KeyPair { secret, public }
+    }
+
+    /// Returns the public half of the key pair.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message`, producing a [`Signature`] bound to this key pair.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature {
+            signer: self.public,
+            tag: sha256_concat(&[b"cryptosim/sig", &self.secret, message]),
+        }
+    }
+
+    fn expected_tag(&self, message: &[u8]) -> Digest {
+        sha256_concat(&[b"cryptosim/sig", &self.secret, message])
+    }
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret key.
+        write!(f, "KeyPair(pk={})", self.public.0.short_hex())
+    }
+}
+
+/// A signature over a message by a particular public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    signer: PublicKey,
+    tag: Digest,
+}
+
+impl Signature {
+    /// Returns the public key that produced this signature.
+    pub fn signer(&self) -> PublicKey {
+        self.signer
+    }
+
+    /// Returns the signature tag (for diagnostics only).
+    pub fn tag(&self) -> Digest {
+        self.tag
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Signature(signer={}, tag={})",
+            self.signer.0.short_hex(),
+            self.tag.short_hex()
+        )
+    }
+}
+
+/// Directory of registered key pairs used to verify simulated signatures.
+///
+/// The directory models the paper's PKI assumption: every party's public key
+/// is known to all, and signatures cannot be forged. Verification requires
+/// the directory because the simulated scheme uses keyed hashes; protocol
+/// code only ever calls [`KeyDirectory::verify`], never reads another
+/// party's secret key.
+#[derive(Clone, Default)]
+pub struct KeyDirectory {
+    keys: HashMap<PublicKey, KeyPair>,
+}
+
+impl KeyDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a key pair so that its signatures can later be verified.
+    ///
+    /// Registering the same key pair twice is a no-op.
+    pub fn register(&mut self, pair: &KeyPair) {
+        self.keys.insert(pair.public(), pair.clone());
+    }
+
+    /// Returns `true` if `public` has been registered.
+    pub fn contains(&self, public: &PublicKey) -> bool {
+        self.keys.contains_key(public)
+    }
+
+    /// Returns the number of registered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Verifies that `signature` is a valid signature by `public` over
+    /// `message`.
+    ///
+    /// Returns `false` if the key is unknown, the signature was produced by
+    /// a different key, or the message does not match.
+    pub fn verify(&self, public: &PublicKey, message: &[u8], signature: &Signature) -> bool {
+        if signature.signer != *public {
+            return false;
+        }
+        match self.keys.get(public) {
+            Some(pair) => pair.expected_tag(message) == signature.tag,
+            None => false,
+        }
+    }
+
+    /// Verifies a signature, returning a typed error on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnknownKey`] if the public key has not been
+    /// registered and [`CryptoError::BadSignature`] if verification fails.
+    pub fn verify_strict(
+        &self,
+        public: &PublicKey,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<(), CryptoError> {
+        if !self.keys.contains_key(public) {
+            return Err(CryptoError::UnknownKey { key: *public });
+        }
+        if self.verify(public, message, signature) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature { key: *public })
+        }
+    }
+}
+
+impl fmt::Debug for KeyDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyDirectory({} keys)", self.keys.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory_with(seeds: &[u64]) -> (KeyDirectory, Vec<KeyPair>) {
+        let mut dir = KeyDirectory::new();
+        let pairs: Vec<KeyPair> = seeds.iter().map(|s| KeyPair::from_seed(*s)).collect();
+        for pair in &pairs {
+            dir.register(pair);
+        }
+        (dir, pairs)
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let (dir, pairs) = directory_with(&[1]);
+        let sig = pairs[0].sign(b"msg");
+        assert!(dir.verify(&pairs[0].public(), b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let (dir, pairs) = directory_with(&[1]);
+        let sig = pairs[0].sign(b"msg");
+        assert!(!dir.verify(&pairs[0].public(), b"other", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_signer() {
+        let (dir, pairs) = directory_with(&[1, 2]);
+        let sig = pairs[0].sign(b"msg");
+        assert!(!dir.verify(&pairs[1].public(), b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_unregistered_key() {
+        let dir = KeyDirectory::new();
+        let pair = KeyPair::from_seed(3);
+        let sig = pair.sign(b"msg");
+        assert!(!dir.verify(&pair.public(), b"msg", &sig));
+        assert!(matches!(
+            dir.verify_strict(&pair.public(), b"msg", &sig),
+            Err(CryptoError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_strict_reports_bad_signature() {
+        let (dir, pairs) = directory_with(&[1]);
+        let sig = pairs[0].sign(b"msg");
+        assert!(matches!(
+            dir.verify_strict(&pairs[0].public(), b"tampered", &sig),
+            Err(CryptoError::BadSignature { .. })
+        ));
+        assert!(dir.verify_strict(&pairs[0].public(), b"msg", &sig).is_ok());
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_keys() {
+        assert_ne!(KeyPair::from_seed(1).public(), KeyPair::from_seed(2).public());
+        assert_eq!(KeyPair::from_seed(1).public(), KeyPair::from_seed(1).public());
+    }
+
+    #[test]
+    fn keypair_debug_hides_secret() {
+        let pair = KeyPair::from_seed(4);
+        assert!(format!("{pair:?}").starts_with("KeyPair(pk="));
+    }
+
+    #[test]
+    fn directory_len_and_contains() {
+        let (dir, pairs) = directory_with(&[1, 2, 3]);
+        assert_eq!(dir.len(), 3);
+        assert!(!dir.is_empty());
+        assert!(dir.contains(&pairs[2].public()));
+        assert!(!dir.contains(&KeyPair::from_seed(9).public()));
+    }
+
+    #[test]
+    fn signature_accessors() {
+        let pair = KeyPair::from_seed(11);
+        let sig = pair.sign(b"x");
+        assert_eq!(sig.signer(), pair.public());
+        assert_eq!(sig.tag(), pair.sign(b"x").tag());
+        assert_ne!(sig.tag(), pair.sign(b"y").tag());
+    }
+}

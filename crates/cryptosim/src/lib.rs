@@ -1,0 +1,52 @@
+//! Simulated cryptographic substrate for hedged cross-chain protocols.
+//!
+//! The protocols of Xue & Herlihy (PODC 2021) rely on three cryptographic
+//! ingredients:
+//!
+//! * **Hashlocks** — a party publishes `h = H(s)` and later reveals the
+//!   secret `s`; a contract releases an asset only when shown a preimage of
+//!   `h` ([`Hashlock`], [`Secret`], [`Digest`]).
+//! * **Unforgeable signatures** — hashkey paths in the multi-party protocols
+//!   are authenticated by a chain of signatures ([`KeyPair`], [`Signature`],
+//!   [`KeyDirectory`]).
+//! * **Nonces** — single-use labels that prevent replay ([`Nonce`]).
+//!
+//! Hashes are real SHA-256. Signatures are *simulated*: a signature is a
+//! keyed hash of the message under the signer's secret key, and verification
+//! is performed through a [`KeyDirectory`] that holds every registered
+//! secret key. The directory models the standard PKI assumption — protocol
+//! code (including adversarial strategies) can only ask the directory
+//! whether a signature verifies, never extract another party's key — so
+//! unforgeability holds within the simulation exactly as the paper assumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cryptosim::{Secret, KeyDirectory, KeyPair};
+//!
+//! // Hashlock: Alice generates a secret and publishes its hash.
+//! let secret = Secret::from_seed(42);
+//! let lock = secret.hashlock();
+//! assert!(lock.matches(&secret));
+//!
+//! // Signatures: Bob signs a message, anyone with the directory verifies it.
+//! let mut directory = KeyDirectory::new();
+//! let bob = KeyPair::from_seed(7);
+//! directory.register(&bob);
+//! let sig = bob.sign(b"escrow apricot tokens");
+//! assert!(directory.verify(&bob.public(), b"escrow apricot tokens", &sig));
+//! assert!(!directory.verify(&bob.public(), b"tampered", &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod digest;
+mod error;
+mod keys;
+mod secret;
+
+pub use digest::{sha256, sha256_concat, Digest, DIGEST_LEN};
+pub use error::CryptoError;
+pub use keys::{KeyDirectory, KeyPair, PublicKey, Signature};
+pub use secret::{Hashlock, Nonce, Secret};

@@ -1,0 +1,20 @@
+//! Prints the C7/C8 tables (used to cross-check EXPERIMENTS.md).
+use marketsim::adequacy::premium_grid;
+use marketsim::rational::{compare_protocols, RationalExperiment};
+
+fn main() {
+    let rows = premium_grid(&[12, 24, 48, 96], &[0.25, 0.5, 1.0], 24 * 365).unwrap();
+    let min = rows.iter().map(|r| r.premium).fold(f64::MAX, f64::min);
+    let max = rows.iter().map(|r| r.premium).fold(0.0f64, f64::max);
+    println!("premium range: {min:.2} .. {max:.2}");
+    for volatility in [0.2, 0.5, 1.0, 2.0] {
+        let c = compare_protocols(&RationalExperiment { volatility, ..RationalExperiment::default() });
+        println!(
+            "vol {volatility}: base {:.2} hedged {:.2} abort payoffs {:.2}/{:.2}",
+            c.base.success_rate,
+            c.hedged.success_rate,
+            c.base.mean_compliant_payoff_on_abort,
+            c.hedged.mean_compliant_payoff_on_abort
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Premium adequacy: what premium is economically justified for a lock-up.
+//!
+//! §4 of the paper suggests sizing premiums with the Cox-Ross-Rubinstein
+//! model: the counterparty of an escrow effectively holds an option on the
+//! escrowed asset for the lock-up duration, so fair compensation is that
+//! option's value. This module sweeps lock-up durations and volatilities and
+//! reports premium sizes as a fraction of the principal, confirming the
+//! "premium ≪ principal" regime the protocols rely on.
+
+use serde::{Deserialize, Serialize};
+use swapgraph::pricing::{lockup_premium, PricingError};
+
+/// One row of the adequacy sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdequacyRow {
+    /// Lock-up duration in blocks.
+    pub lockup_blocks: u64,
+    /// Annualised volatility.
+    pub volatility: f64,
+    /// Fair premium as an absolute value (for a 100-unit principal).
+    pub premium: f64,
+    /// Fair premium as a fraction of the principal.
+    pub premium_fraction: f64,
+}
+
+/// Computes the fair premium for a grid of lock-up durations and
+/// volatilities, for a principal worth 100 units.
+///
+/// # Errors
+///
+/// Propagates [`PricingError`] if a grid point has invalid parameters
+/// (which only happens for zero/negative inputs).
+pub fn premium_grid(
+    lockups: &[u64],
+    volatilities: &[f64],
+    blocks_per_year: u64,
+) -> Result<Vec<AdequacyRow>, PricingError> {
+    let principal = 100.0;
+    let mut rows = Vec::new();
+    for &lockup_blocks in lockups {
+        for &volatility in volatilities {
+            let premium = lockup_premium(principal, volatility, lockup_blocks, blocks_per_year)?;
+            rows.push(AdequacyRow {
+                lockup_blocks,
+                volatility,
+                premium,
+                premium_fraction: premium / principal,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn premiums_are_small_fractions_and_monotone() {
+        let rows = premium_grid(&[12, 24, 48, 96], &[0.25, 0.5, 1.0], 24 * 365).unwrap();
+        assert_eq!(rows.len(), 12);
+        for row in &rows {
+            assert!(row.premium_fraction > 0.0);
+            assert!(row.premium_fraction < 0.2, "premium stays well below the principal: {row:?}");
+        }
+        // Longer lock-ups and higher volatility both increase the premium.
+        let short = rows.iter().find(|r| r.lockup_blocks == 12 && r.volatility == 0.5).unwrap();
+        let long = rows.iter().find(|r| r.lockup_blocks == 96 && r.volatility == 0.5).unwrap();
+        assert!(long.premium > short.premium);
+        let calm = rows.iter().find(|r| r.lockup_blocks == 48 && r.volatility == 0.25).unwrap();
+        let wild = rows.iter().find(|r| r.lockup_blocks == 48 && r.volatility == 1.0).unwrap();
+        assert!(wild.premium > calm.premium);
+    }
+
+    #[test]
+    fn grid_propagates_invalid_parameters() {
+        assert!(premium_grid(&[12], &[0.5], 0).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Market simulation: price paths, rational sore losers and premium adequacy.
+//!
+//! The sore-loser attack is only interesting because asset prices move while
+//! a swap is in flight (§1 of the paper): a party walks away when the deal
+//! has become unfavourable. This crate provides the synthetic market the
+//! evaluation needs:
+//!
+//! * [`PricePath`] — geometric-Brownian-motion price paths;
+//! * [`rational`] — rational (price-driven) deviation experiments comparing
+//!   the unhedged base swap with the hedged swap: how often does a rational
+//!   counterparty walk away, and what does the compliant party lose?
+//! * [`adequacy`] — Cox-Ross-Rubinstein premium adequacy: how large a
+//!   premium is economically justified for a given lock-up and volatility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+pub mod adequacy;
+pub mod rational;
+
+/// A simulated price path for one asset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PricePath {
+    prices: Vec<f64>,
+}
+
+impl PricePath {
+    /// Simulates a geometric Brownian motion with `steps + 1` samples.
+    ///
+    /// `drift` and `volatility` are per-year; `step_years` is the duration
+    /// of one step in years. The path is deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial <= 0`, `volatility < 0` or `step_years <= 0`.
+    pub fn gbm(
+        initial: f64,
+        drift: f64,
+        volatility: f64,
+        step_years: f64,
+        steps: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(initial > 0.0, "initial price must be positive");
+        assert!(volatility >= 0.0, "volatility must be non-negative");
+        assert!(step_years > 0.0, "step duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prices = Vec::with_capacity(steps + 1);
+        let mut price = initial;
+        prices.push(price);
+        for _ in 0..steps {
+            // Box-Muller from two uniforms keeps the dependency surface small.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let exponent = (drift - 0.5 * volatility * volatility) * step_years
+                + volatility * step_years.sqrt() * z;
+            price *= exponent.exp();
+            prices.push(price);
+        }
+        PricePath { prices }
+    }
+
+    /// The price at step `index` (clamped to the final sample).
+    pub fn at(&self, index: usize) -> f64 {
+        let idx = index.min(self.prices.len() - 1);
+        self.prices[idx]
+    }
+
+    /// The number of samples in the path.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Returns `true` if the path has no samples (never true for [`PricePath::gbm`]).
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// The relative return between two steps: `price(to) / price(from) - 1`.
+    pub fn relative_return(&self, from: usize, to: usize) -> f64 {
+        self.at(to) / self.at(from) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbm_paths_are_deterministic_per_seed() {
+        let a = PricePath::gbm(100.0, 0.0, 0.5, 1.0 / 365.0, 10, 7);
+        let b = PricePath::gbm(100.0, 0.0, 0.5, 1.0 / 365.0, 10, 7);
+        let c = PricePath::gbm(100.0, 0.0, 0.5, 1.0 / 365.0, 10, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 11);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn gbm_prices_stay_positive() {
+        let path = PricePath::gbm(50.0, 0.0, 1.5, 1.0 / 52.0, 200, 3);
+        for i in 0..path.len() {
+            assert!(path.at(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_volatility_paths_follow_drift() {
+        let flat = PricePath::gbm(100.0, 0.0, 0.0, 1.0 / 365.0, 5, 1);
+        assert!((flat.at(5) - 100.0).abs() < 1e-9);
+        let up = PricePath::gbm(100.0, 1.0, 0.0, 1.0, 1, 1);
+        assert!(up.at(1) > 100.0);
+    }
+
+    #[test]
+    fn relative_return_and_clamping() {
+        let path = PricePath::gbm(100.0, 0.0, 0.3, 1.0 / 365.0, 4, 9);
+        assert_eq!(path.at(99), path.at(4));
+        let r = path.relative_return(0, 4);
+        assert!(r > -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial price must be positive")]
+    fn gbm_rejects_nonpositive_initial() {
+        let _ = PricePath::gbm(0.0, 0.0, 0.5, 1.0, 1, 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Exhaustive deviation-strategy model checking for the hedged protocols.
+//!
+//! §10 of the paper reports that the two-party and three-party hedged swaps
+//! were model checked (in TLA+). Because smart contracts constrain Byzantine
+//! behaviour to *stopping* at some protocol step (malformed or mistimed
+//! calls are rejected on chain), the strategy space is small enough to
+//! enumerate outright: this crate sweeps every combination of per-party
+//! stop-points, runs the full simulator for each, and checks the safety and
+//! hedged properties of every compliant party.
+//!
+//! # Examples
+//!
+//! ```
+//! let summary = modelcheck::check_hedged_two_party();
+//! assert!(summary.violations.is_empty());
+//! assert!(summary.runs > 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+
+use chainsim::PartyId;
+use protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
+use protocols::deal::{run_deal, DealConfig};
+use protocols::multi_party::figure3_config;
+use protocols::script::Strategy;
+use protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
+
+/// A property violation found during a sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which protocol and scenario the violation occurred in.
+    pub scenario: String,
+    /// The compliant party whose guarantee was broken.
+    pub party: PartyId,
+    /// Which property was violated.
+    pub property: &'static str,
+}
+
+/// The result of an exhaustive sweep.
+#[derive(Clone, Debug, Default)]
+pub struct CheckSummary {
+    /// Number of complete protocol executions explored.
+    pub runs: usize,
+    /// Total number of per-party strategy combinations considered.
+    pub strategies: usize,
+    /// All property violations found (empty for the hedged protocols).
+    pub violations: Vec<Violation>,
+}
+
+impl CheckSummary {
+    /// Returns `true` if no violations were found.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The number of scripted steps in each two-party role (premium, escrow,
+/// redeem, settle).
+const TWO_PARTY_STEPS: usize = 4;
+
+/// Model checks the hedged two-party swap over every joint strategy (both
+/// parties ranging over compliant and all stop-points).
+pub fn check_hedged_two_party() -> CheckSummary {
+    sweep_two_party(true)
+}
+
+/// Model checks the *base* (unhedged) two-party swap the same way. The base
+/// protocol is expected to produce violations of the hedged property — that
+/// is precisely the paper's motivation.
+pub fn check_base_two_party() -> CheckSummary {
+    sweep_two_party(false)
+}
+
+fn sweep_two_party(hedged: bool) -> CheckSummary {
+    let config = TwoPartyConfig::default();
+    let strategies = Strategy::all(TWO_PARTY_STEPS);
+    let mut summary = CheckSummary::default();
+    for &alice in &strategies {
+        for &bob in &strategies {
+            summary.runs += 1;
+            summary.strategies += 1;
+            let report = if hedged {
+                run_hedged_swap(&config, alice, bob)
+            } else {
+                run_base_swap(&config, alice, bob)
+            };
+            let scenario = format!(
+                "{} two-party swap, alice={alice}, bob={bob}",
+                if hedged { "hedged" } else { "base" }
+            );
+            if alice.is_compliant() && !report.hedged_for_alice {
+                summary.violations.push(Violation {
+                    scenario: scenario.clone(),
+                    party: protocols::two_party::ALICE,
+                    property: "hedged",
+                });
+            }
+            if bob.is_compliant() && !report.hedged_for_bob {
+                summary.violations.push(Violation {
+                    scenario: scenario.clone(),
+                    party: protocols::two_party::BOB,
+                    property: "hedged",
+                });
+            }
+            // Conservation of party balances is only meaningful when at
+            // least one compliant party remains to settle the contracts;
+            // with every party absent, value legitimately stays escrowed.
+            if (alice.is_compliant() || bob.is_compliant()) && !report.payoffs.conserved() {
+                summary.violations.push(Violation {
+                    scenario,
+                    party: PartyId(u32::MAX),
+                    property: "conservation",
+                });
+            }
+        }
+    }
+    summary
+}
+
+/// The number of scripted steps in each deal-engine role.
+const DEAL_STEPS: usize = 5;
+
+/// Model checks a [`DealConfig`] (multi-party swap or broker deal) over
+/// every strategy profile with at most `max_deviators` deviating parties.
+///
+/// With three parties and `max_deviators = 2` this covers the three-party
+/// scenarios the paper's TLA+ models explore.
+pub fn check_deal(config: &DealConfig, max_deviators: usize) -> CheckSummary {
+    let parties = config.parties();
+    let per_party: Vec<Strategy> = Strategy::all(DEAL_STEPS);
+    let mut summary = CheckSummary::default();
+    let mut profile: BTreeMap<PartyId, Strategy> = BTreeMap::new();
+    enumerate_profiles(&parties, &per_party, max_deviators, 0, &mut profile, &mut |profile| {
+        summary.runs += 1;
+        summary.strategies += 1;
+        let report = run_deal(config, profile);
+        let scenario = format!("deal with profile {profile:?}");
+        for (party, outcome) in &report.parties {
+            let compliant =
+                profile.get(party).copied().unwrap_or(Strategy::Compliant).is_compliant();
+            if compliant && !outcome.hedged {
+                summary.violations.push(Violation {
+                    scenario: scenario.clone(),
+                    party: *party,
+                    property: "hedged",
+                });
+            }
+            if compliant && !outcome.safety {
+                summary.violations.push(Violation {
+                    scenario: scenario.clone(),
+                    party: *party,
+                    property: "safety",
+                });
+            }
+        }
+        let any_compliant = profile.values().filter(|s| !s.is_compliant()).count() < parties.len();
+        if any_compliant && !report.payoffs.conserved() {
+            summary.violations.push(Violation {
+                scenario,
+                party: PartyId(u32::MAX),
+                property: "conservation",
+            });
+        }
+    });
+    summary
+}
+
+fn enumerate_profiles(
+    parties: &[PartyId],
+    strategies: &[Strategy],
+    max_deviators: usize,
+    index: usize,
+    profile: &mut BTreeMap<PartyId, Strategy>,
+    visit: &mut impl FnMut(&BTreeMap<PartyId, Strategy>),
+) {
+    if index == parties.len() {
+        visit(profile);
+        return;
+    }
+    let deviators = profile.values().filter(|s| !s.is_compliant()).count();
+    // Compliant branch.
+    enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
+    if deviators < max_deviators {
+        for &strategy in strategies.iter().filter(|s| !s.is_compliant()) {
+            profile.insert(parties[index], strategy);
+            enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
+            profile.remove(&parties[index]);
+        }
+    }
+}
+
+/// Model checks the three-party swap of Figure 3a with up to one deviator.
+pub fn check_figure3_swap() -> CheckSummary {
+    check_deal(&figure3_config(), 1)
+}
+
+/// Model checks the auction of §9: every auctioneer behaviour combined with
+/// every single-party stop-point.
+pub fn check_auction() -> CheckSummary {
+    let mut summary = CheckSummary::default();
+    let behaviours = [
+        AuctioneerBehaviour::DeclareHighBidder,
+        AuctioneerBehaviour::DeclareLowBidder,
+        AuctioneerBehaviour::Abandon,
+    ];
+    let parties = [PartyId(0), PartyId(1), PartyId(2)];
+    for behaviour in behaviours {
+        let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
+        for party in parties {
+            for stop_after in 0..4usize {
+                summary.runs += 1;
+                summary.strategies += 1;
+                let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
+                let report = run_auction(&config, &strategies);
+                let scenario =
+                    format!("auction {behaviour:?}, {party} stops after {stop_after}");
+                if !report.no_bid_stolen {
+                    summary.violations.push(Violation {
+                        scenario: scenario.clone(),
+                        party,
+                        property: "no-bid-stolen",
+                    });
+                }
+                if !report.payoffs.conserved() {
+                    summary.violations.push(Violation {
+                        scenario,
+                        party: PartyId(u32::MAX),
+                        property: "conservation",
+                    });
+                }
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocols::broker::broker_deal_config;
+    use protocols::broker::BrokerConfig;
+
+    #[test]
+    fn hedged_two_party_swap_has_no_violations() {
+        let summary = check_hedged_two_party();
+        assert_eq!(summary.runs, 25, "5 strategies per party, squared");
+        assert!(summary.holds(), "{:?}", summary.violations);
+    }
+
+    #[test]
+    fn base_two_party_swap_is_not_hedged() {
+        let summary = check_base_two_party();
+        assert!(!summary.holds(), "the base protocol must exhibit sore-loser losses");
+        assert!(summary.violations.iter().all(|v| v.property == "hedged"));
+    }
+
+    #[test]
+    fn figure3_swap_has_no_violations_with_one_deviator() {
+        let summary = check_figure3_swap();
+        assert!(summary.runs > 15);
+        assert!(summary.holds(), "{:?}", summary.violations);
+    }
+
+    #[test]
+    fn broker_deal_has_no_violations_with_one_deviator() {
+        let summary = check_deal(&broker_deal_config(&BrokerConfig::default()), 1);
+        assert!(summary.holds(), "{:?}", summary.violations);
+    }
+
+    #[test]
+    fn auction_has_no_violations() {
+        let summary = check_auction();
+        assert!(summary.holds(), "{:?}", summary.violations);
+    }
+
+    #[test]
+    fn profile_enumeration_counts() {
+        // 3 parties, 1 deviator, 5 deviating strategies each:
+        // 1 (all compliant) + 3 * 5 = 16 profiles.
+        let summary = check_deal(&figure3_config(), 1);
+        assert_eq!(summary.runs, 16);
+    }
+}

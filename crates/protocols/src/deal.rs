@@ -1,0 +1,639 @@
+//! A generic engine for hedged multi-arc deals.
+//!
+//! Both the multi-party swap of §7 and the brokered deal of §8 are
+//! instances of the same structure: a strongly-connected digraph of asset
+//! transfers, a leader set, per-arc escrow (or trading) premiums, per-arc
+//! redemption premiums derived from Equation (1), and the four-phase
+//! hedged execution (escrow premiums → redemption premiums → asset escrow →
+//! hashkey release). This module drives [`contracts::ArcEscrow`] contracts
+//! for an arbitrary such configuration; [`crate::multi_party`] and
+//! [`crate::broker`] are thin wrappers that build the configuration.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use chainsim::{Action, Amount, AssetId, ChainId, ContractAddr, PartyId, Time, World};
+use contracts::{ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, Hashkey, PartyKeys, PremiumSlotState, PrincipalState};
+use cryptosim::{KeyPair, Secret};
+use swapgraph::Digraph;
+
+use crate::outcome::{BalanceSnapshot, Payoffs};
+use crate::script::{run_parties, ScriptedParty, Step, StepOutcome, Strategy};
+
+/// One asset transfer of the deal.
+#[derive(Clone, Debug)]
+pub struct ArcSpec {
+    /// The sender.
+    pub from: PartyId,
+    /// The receiver.
+    pub to: PartyId,
+    /// The chain the asset (and its escrow contract) lives on, named by key
+    /// into [`DealConfig::chains`].
+    pub chain: String,
+    /// The asset transferred.
+    pub asset_name: String,
+    /// The amount transferred.
+    pub amount: Amount,
+    /// The escrow (or trading) premium the sender owes on this arc.
+    pub escrow_premium: Amount,
+}
+
+/// Configuration of a hedged deal.
+#[derive(Clone, Debug)]
+pub struct DealConfig {
+    /// The transfer digraph (party ids as vertices).
+    pub digraph: Digraph,
+    /// The leader set (must be a feedback vertex set).
+    pub leaders: BTreeSet<PartyId>,
+    /// The chains involved, by name.
+    pub chains: Vec<String>,
+    /// The arcs of the deal.
+    pub arcs: Vec<ArcSpec>,
+    /// Parties that must wait for all incoming assets before escrowing their
+    /// own outgoing assets (followers, and the broker in §8).
+    pub wait_for_incoming: BTreeSet<PartyId>,
+    /// The base premium `p`.
+    pub base_premium: Amount,
+    /// The synchrony bound Δ in blocks.
+    pub delta_blocks: u64,
+    /// Initial endowment of each party's traded assets, as
+    /// `(party, chain, asset, amount)`; parties are also endowed with ample
+    /// native currency for premiums.
+    pub endowments: Vec<(PartyId, String, String, Amount)>,
+}
+
+impl DealConfig {
+    /// All parties appearing in the digraph, in ascending order.
+    pub fn parties(&self) -> Vec<PartyId> {
+        self.digraph.vertices().map(PartyId).collect()
+    }
+
+    fn n(&self) -> u64 {
+        self.digraph.vertex_count() as u64
+    }
+
+    fn deadlines(&self) -> ArcDeadlines {
+        let d = self.delta_blocks;
+        let n = self.n();
+        let diam = self.digraph.diameter().unwrap_or(n);
+        ArcDeadlines {
+            escrow_premium_deadline: Time(n * d),
+            redemption_premium_deadline: Time(2 * n * d),
+            asset_escrow_deadline: Time(3 * n * d),
+            hashkey_timeout_base: Time(3 * n * d),
+            delta_blocks: d,
+            final_deadline: Time((4 * n + diam + 1) * d),
+        }
+    }
+
+    fn final_deadline(&self) -> Time {
+        self.deadlines().final_deadline
+    }
+}
+
+/// Outcome of a single party in a deal run.
+#[derive(Clone, Debug, Default)]
+pub struct DealPartyOutcome {
+    /// Net native-currency (premium) payoff across every chain.
+    pub premium_payoff: i128,
+    /// Number of outgoing arcs on which this party escrowed an asset that
+    /// was eventually refunded rather than redeemed.
+    pub escrowed_unredeemed: usize,
+    /// Number of outgoing arcs on which this party's asset was redeemed.
+    pub escrowed_redeemed: usize,
+    /// Number of incoming arcs on which this party received the asset.
+    pub received: usize,
+    /// Number of incoming arcs of this party.
+    pub incoming_arcs: usize,
+    /// Whether the hedged predicate holds for this party (always `true` for
+    /// deviating parties, for which the predicate is vacuous).
+    pub hedged: bool,
+    /// Whether the all-or-nothing safety condition holds for this party: if
+    /// any of its escrows was redeemed, it received every incoming asset.
+    pub safety: bool,
+}
+
+/// Outcome of a deal run.
+#[derive(Clone, Debug)]
+pub struct DealReport {
+    /// The strategies used.
+    pub strategies: BTreeMap<PartyId, Strategy>,
+    /// Whether every arc's asset was redeemed.
+    pub completed: bool,
+    /// Per-party outcomes.
+    pub parties: BTreeMap<PartyId, DealPartyOutcome>,
+    /// Raw payoffs.
+    pub payoffs: Payoffs,
+    /// Rejected actions during the run.
+    pub failed_actions: usize,
+    /// Synchronous rounds executed.
+    pub rounds: usize,
+}
+
+impl DealReport {
+    /// Returns `true` if every compliant party is hedged and safe.
+    pub fn all_compliant_hedged(&self) -> bool {
+        self.parties.values().all(|p| p.hedged && p.safety)
+    }
+}
+
+struct DealSetup {
+    world: World,
+    arc_addrs: BTreeMap<(PartyId, PartyId), ContractAddr>,
+    native_assets: Vec<AssetId>,
+    traded_assets: Vec<AssetId>,
+    secrets: BTreeMap<PartyId, Secret>,
+    keypairs: BTreeMap<PartyId, KeyPair>,
+}
+
+fn arc_label(from: PartyId, to: PartyId) -> String {
+    format!("deal/arc-{}-{}", from.0, to.0)
+}
+
+fn build(config: &DealConfig) -> DealSetup {
+    let mut world = World::new(1);
+    let mut chain_ids: BTreeMap<String, ChainId> = BTreeMap::new();
+    for name in &config.chains {
+        chain_ids.insert(name.clone(), world.add_chain(name.clone()));
+    }
+    let mut asset_ids: BTreeMap<String, AssetId> = BTreeMap::new();
+    for arc in &config.arcs {
+        if !asset_ids.contains_key(&arc.asset_name) {
+            let id = world.register_asset(arc.asset_name.clone());
+            asset_ids.insert(arc.asset_name.clone(), id);
+        }
+    }
+    let parties = config.parties();
+
+    // Keys.
+    let mut keys = PartyKeys::new();
+    let mut keypairs = BTreeMap::new();
+    for &party in &parties {
+        let pair = KeyPair::from_seed(1000 + u64::from(party.0));
+        world.directory_mut().register(&pair);
+        keys.insert(party, pair.public());
+        keypairs.insert(party, pair);
+    }
+
+    // Endowments: traded assets per the config, plus generous native
+    // balances on every chain for premiums.
+    for (party, chain, asset, amount) in &config.endowments {
+        let chain_id = chain_ids[chain];
+        let asset_id = asset_ids[asset];
+        world.chain_mut(chain_id).mint(*party, asset_id, *amount);
+    }
+    let premium_float = config.base_premium.scaled(1_000_000);
+    let native_assets: Vec<AssetId> =
+        config.chains.iter().map(|name| world.chain(chain_ids[name]).native_asset()).collect();
+    for &party in &parties {
+        for name in &config.chains {
+            let chain_id = chain_ids[name];
+            let native = world.chain(chain_id).native_asset();
+            world.chain_mut(chain_id).mint(party, native, premium_float);
+        }
+    }
+
+    // Leaders' secrets and the shared hashlock vector.
+    let mut secrets = BTreeMap::new();
+    let mut hashlocks = Vec::new();
+    for &leader in &config.leaders {
+        let secret = Secret::from_seed(7000 + u64::from(leader.0));
+        hashlocks.push((leader, secret.hashlock()));
+        secrets.insert(leader, secret);
+    }
+
+    // One ArcEscrow per arc.
+    let deadlines = config.deadlines();
+    let mut arc_addrs = BTreeMap::new();
+    for arc in &config.arcs {
+        let chain_id = chain_ids[&arc.chain];
+        let native = world.chain(chain_id).native_asset();
+        let params = ArcEscrowParams {
+            sender: arc.from,
+            receiver: arc.to,
+            asset: asset_ids[&arc.asset_name],
+            amount: arc.amount,
+            premium_asset: native,
+            base_premium: config.base_premium,
+            escrow_premium: arc.escrow_premium,
+            hashlocks: hashlocks.clone(),
+            digraph: config.digraph.clone(),
+            keys: keys.clone(),
+            deadlines: deadlines.clone(),
+        };
+        let addr = world.publish_labeled(
+            chain_id,
+            arc.from,
+            arc_label(arc.from, arc.to),
+            Box::new(ArcEscrow::new(params)),
+        );
+        arc_addrs.insert((arc.from, arc.to), addr);
+    }
+
+    let traded_assets: Vec<AssetId> = asset_ids.values().copied().collect();
+    DealSetup { world, arc_addrs, native_assets, traded_assets, secrets, keypairs }
+}
+
+fn arc_contract<'a>(world: &'a World, addr: ContractAddr) -> &'a ArcEscrow {
+    world.chain(addr.chain).contract_as::<ArcEscrow>(addr.contract).expect("arc escrow present")
+}
+
+fn arc_needs_settle(contract: &ArcEscrow, now: Time) -> bool {
+    let deadlines = &contract.params().deadlines;
+    let escrow_premium_stuck = contract.escrow_premium_state() == PremiumSlotState::Held
+        && contract.principal_state() == PrincipalState::NotEscrowed
+        && now.has_reached(deadlines.asset_escrow_deadline);
+    let late = now.has_reached(deadlines.final_deadline);
+    let principal_stuck = contract.principal_state() == PrincipalState::Held && late;
+    let redemption_stuck = late
+        && contract.params().hashlocks.iter().any(|(leader, _)| {
+            contract.redemption_premium_state(*leader) == PremiumSlotState::Held
+                && !contract.hashkey_presented(*leader)
+        });
+    escrow_premium_stuck || principal_stuck || redemption_stuck
+}
+
+/// Builds the protocol script for one party of the deal.
+fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step> {
+    let digraph = config.digraph.clone();
+    let leaders = config.leaders.clone();
+    let arc_addrs = setup.arc_addrs.clone();
+    let out_arcs: Vec<(PartyId, PartyId)> =
+        digraph.out_arcs(me.0).into_iter().map(|(u, v)| (PartyId(u), PartyId(v))).collect();
+    let in_arcs: Vec<(PartyId, PartyId)> =
+        digraph.in_arcs(me.0).into_iter().map(|(u, v)| (PartyId(u), PartyId(v))).collect();
+    let deadlines = config.deadlines();
+    let wait_for_incoming = config.wait_for_incoming.contains(&me);
+    let my_secret = setup.secrets.get(&me).cloned();
+    let my_keys = setup.keypairs[&me].clone();
+    let leader_list: Vec<PartyId> = leaders.iter().copied().collect();
+    let final_deadline = config.final_deadline();
+
+    let mut steps = Vec::new();
+
+    // Phase 1: escrow premiums on outgoing arcs.
+    {
+        let arc_addrs = arc_addrs.clone();
+        let out_arcs = out_arcs.clone();
+        let in_arcs = in_arcs.clone();
+        let give_up = deadlines.escrow_premium_deadline;
+        steps.push(Step::new("deposit escrow premiums", move |world: &World| {
+            if world.now().has_reached(give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            let ready = !wait_for_incoming
+                || in_arcs.iter().all(|arc| {
+                    arc_contract(world, arc_addrs[arc]).escrow_premium_state()
+                        != PremiumSlotState::NotDeposited
+                });
+            if !ready {
+                return StepOutcome::Wait;
+            }
+            let actions = out_arcs
+                .iter()
+                .map(|arc| {
+                    Action::call(
+                        arc_addrs[arc],
+                        ArcEscrowMsg::DepositEscrowPremium,
+                        format!("{} deposits escrow premium on ({}, {})", arc.0, arc.0, arc.1),
+                    )
+                })
+                .collect();
+            StepOutcome::Complete(actions)
+        }));
+    }
+
+    // Phase 2: redemption premiums, one obligation per leader.
+    {
+        let arc_addrs = arc_addrs.clone();
+        let out_arcs = out_arcs.clone();
+        let in_arcs = in_arcs.clone();
+        let leader_list = leader_list.clone();
+        let give_up = deadlines.redemption_premium_deadline;
+        let escrow_premium_deadline = deadlines.escrow_premium_deadline;
+        let mut done: BTreeSet<PartyId> = BTreeSet::new();
+        steps.push(Step::new("deposit redemption premiums", move |world: &World| {
+            let now = world.now();
+            let mut actions = Vec::new();
+            for &leader in &leader_list {
+                if done.contains(&leader) {
+                    continue;
+                }
+                if now.has_reached(give_up) {
+                    done.insert(leader);
+                    continue;
+                }
+                if leader == me {
+                    // Deposit only once every incoming escrow premium arrived
+                    // (Lemma 5 behaviour); give up silently otherwise.
+                    let all_in = in_arcs.iter().all(|arc| {
+                        arc_contract(world, arc_addrs[arc]).escrow_premium_state()
+                            != PremiumSlotState::NotDeposited
+                    });
+                    if all_in {
+                        for arc in &in_arcs {
+                            actions.push(Action::call(
+                                arc_addrs[arc],
+                                ArcEscrowMsg::DepositRedemptionPremium {
+                                    leader,
+                                    path: vec![me],
+                                },
+                                format!("{me} deposits own redemption premium on ({}, {})", arc.0, arc.1),
+                            ));
+                        }
+                        done.insert(leader);
+                    } else if now.has_reached(escrow_premium_deadline) {
+                        done.insert(leader);
+                    }
+                    continue;
+                }
+                // Follower rule: wait for a premium for this leader on some
+                // outgoing arc, then extend its path onto incoming arcs.
+                let observed = out_arcs.iter().find_map(|arc| {
+                    arc_contract(world, arc_addrs[arc])
+                        .redemption_premium_path(leader)
+                        .map(|path| path.to_vec())
+                });
+                if let Some(path) = observed {
+                    if path.contains(&me) {
+                        done.insert(leader);
+                        continue;
+                    }
+                    let mut extended = vec![me];
+                    extended.extend_from_slice(&path);
+                    for arc in &in_arcs {
+                        actions.push(Action::call(
+                            arc_addrs[arc],
+                            ArcEscrowMsg::DepositRedemptionPremium {
+                                leader,
+                                path: extended.clone(),
+                            },
+                            format!("{me} passes redemption premium for {leader} to ({}, {})", arc.0, arc.1),
+                        ));
+                    }
+                    done.insert(leader);
+                }
+            }
+            if done.len() == leader_list.len() {
+                StepOutcome::Complete(actions)
+            } else if actions.is_empty() {
+                StepOutcome::Wait
+            } else {
+                StepOutcome::Progress(actions)
+            }
+        }));
+    }
+
+    // Phase 3: escrow assets on outgoing arcs.
+    {
+        let arc_addrs = arc_addrs.clone();
+        let out_arcs = out_arcs.clone();
+        let in_arcs = in_arcs.clone();
+        let phase_start = deadlines.redemption_premium_deadline;
+        let give_up = deadlines.asset_escrow_deadline;
+        steps.push(Step::new("escrow assets", move |world: &World| {
+            let now = world.now();
+            if now.has_reached(give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            let ready = if wait_for_incoming {
+                in_arcs.iter().all(|arc| {
+                    matches!(
+                        arc_contract(world, arc_addrs[arc]).principal_state(),
+                        PrincipalState::Held | PrincipalState::Redeemed
+                    )
+                })
+            } else {
+                now.has_reached(phase_start)
+            };
+            if !ready {
+                return StepOutcome::Wait;
+            }
+            // Leaders (and everyone else) only escrow on arcs whose escrow
+            // premium is activated; an unactivated arc means the receiver
+            // skipped its redemption premiums, so escrowing there is unsafe.
+            let actions: Vec<Action> = out_arcs
+                .iter()
+                .filter(|arc| arc_contract(world, arc_addrs[arc]).escrow_premium_activated())
+                .map(|arc| {
+                    Action::call(
+                        arc_addrs[arc],
+                        ArcEscrowMsg::EscrowAsset,
+                        format!("{} escrows its asset on ({}, {})", arc.0, arc.0, arc.1),
+                    )
+                })
+                .collect();
+            StepOutcome::Complete(actions)
+        }));
+    }
+
+    // Phase 4: release and propagate hashkeys.
+    {
+        let arc_addrs = arc_addrs.clone();
+        let out_arcs = out_arcs.clone();
+        let in_arcs = in_arcs.clone();
+        let leader_list = leader_list.clone();
+        let give_up = final_deadline;
+        let mut done: BTreeSet<PartyId> = BTreeSet::new();
+        steps.push(Step::new("release and propagate hashkeys", move |world: &World| {
+            let now = world.now();
+            let mut actions = Vec::new();
+            for &leader in &leader_list {
+                if done.contains(&leader) {
+                    continue;
+                }
+                if now.has_reached(give_up) {
+                    done.insert(leader);
+                    continue;
+                }
+                let hashkey: Option<Hashkey> = if leader == me {
+                    // Release the own secret once every incoming arc is
+                    // funded (the normal case), or — per Lemma 4 — once it is
+                    // clear this party escrowed nothing itself, so releasing
+                    // is free and recovers its redemption premiums.
+                    let all_in = !in_arcs.is_empty()
+                        && in_arcs.iter().all(|arc| {
+                            matches!(
+                                arc_contract(world, arc_addrs[arc]).principal_state(),
+                                PrincipalState::Held | PrincipalState::Redeemed
+                            )
+                        });
+                    let escrowed_nothing = out_arcs.iter().all(|arc| {
+                        matches!(
+                            arc_contract(world, arc_addrs[arc]).principal_state(),
+                            PrincipalState::NotEscrowed
+                        )
+                    });
+                    let past_escrow_phase =
+                        now.has_reached(arc_contract(world, arc_addrs[&in_arcs[0]])
+                            .params()
+                            .deadlines
+                            .asset_escrow_deadline);
+                    if all_in || (escrowed_nothing && past_escrow_phase) {
+                        my_secret
+                            .clone()
+                            .map(|secret| Hashkey::from_leader(me, secret, &my_keys))
+                    } else {
+                        None
+                    }
+                } else {
+                    // Learn the hashkey from an outgoing arc and extend it.
+                    out_arcs.iter().find_map(|arc| {
+                        arc_contract(world, arc_addrs[arc])
+                            .presented_hashkey(leader)
+                            .map(|k| k.extend(me, &my_keys))
+                    })
+                };
+                if let Some(hashkey) = hashkey {
+                    for arc in &in_arcs {
+                        actions.push(Action::call(
+                            arc_addrs[arc],
+                            ArcEscrowMsg::PresentHashkey { hashkey: hashkey.clone() },
+                            format!("{me} presents hashkey of {leader} on ({}, {})", arc.0, arc.1),
+                        ));
+                    }
+                    done.insert(leader);
+                }
+            }
+            if done.len() == leader_list.len() {
+                StepOutcome::Complete(actions)
+            } else if actions.is_empty() {
+                StepOutcome::Wait
+            } else {
+                StepOutcome::Progress(actions)
+            }
+        }));
+    }
+
+    // Recovery: settle every incident arc after the final deadline.
+    {
+        let arc_addrs = arc_addrs.clone();
+        let incident: Vec<(PartyId, PartyId)> =
+            out_arcs.iter().chain(in_arcs.iter()).copied().collect();
+        steps.push(Step::new("settle incident arcs", move |world: &World| {
+            let now = world.now();
+            let unresolved: Vec<&(PartyId, PartyId)> = incident
+                .iter()
+                .filter(|arc| arc_needs_settle(arc_contract(world, arc_addrs[arc]), now))
+                .collect();
+            let anything_pending = incident.iter().any(|arc| {
+                let c = arc_contract(world, arc_addrs[arc]);
+                c.escrow_premium_state() == PremiumSlotState::Held
+                    || c.principal_state() == PrincipalState::Held
+                    || c.params().hashlocks.iter().any(|(l, _)| {
+                        c.redemption_premium_state(*l) == PremiumSlotState::Held
+                    })
+            });
+            if !anything_pending {
+                return StepOutcome::Complete(vec![]);
+            }
+            if !now.has_reached(final_deadline) {
+                return StepOutcome::Wait;
+            }
+            let actions: Vec<Action> = unresolved
+                .into_iter()
+                .map(|arc| {
+                    Action::call(
+                        arc_addrs[arc],
+                        ArcEscrowMsg::Settle,
+                        format!("{me} settles ({}, {})", arc.0, arc.1),
+                    )
+                })
+                .collect();
+            StepOutcome::Complete(actions)
+        }));
+    }
+
+    steps
+}
+
+/// Runs a hedged deal with the given per-party strategies.
+///
+/// Parties not present in `strategies` default to [`Strategy::Compliant`].
+pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -> DealReport {
+    let mut setup = build(config);
+    let parties = config.parties();
+    let mut all_assets = setup.traded_assets.clone();
+    all_assets.extend(setup.native_assets.iter().copied());
+    let before = BalanceSnapshot::capture(&setup.world, &parties, &all_assets);
+
+    let actors: Vec<ScriptedParty> = parties
+        .iter()
+        .map(|&party| {
+            let strategy = strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
+            ScriptedParty::new(party, party_steps(config, &setup, party), strategy)
+        })
+        .collect();
+    let max_rounds = config.final_deadline().height() + 3 * config.delta_blocks + 4;
+    let run_report = run_parties(&mut setup.world, actors, max_rounds);
+
+    let after = BalanceSnapshot::capture(&setup.world, &parties, &all_assets);
+    let payoffs = Payoffs::between(&before, &after);
+
+    let mut outcomes: BTreeMap<PartyId, DealPartyOutcome> = BTreeMap::new();
+    let mut completed = true;
+    for &party in &parties {
+        let strategy = strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
+        let mut outcome = DealPartyOutcome {
+            premium_payoff: payoffs.total_over(party, &setup.native_assets).value(),
+            ..DealPartyOutcome::default()
+        };
+        for (arc, addr) in &setup.arc_addrs {
+            let contract = arc_contract(&setup.world, *addr);
+            if contract.principal_state() != PrincipalState::Redeemed {
+                completed = false;
+            }
+            if arc.0 == party {
+                match contract.principal_state() {
+                    PrincipalState::Redeemed => outcome.escrowed_redeemed += 1,
+                    PrincipalState::Refunded => outcome.escrowed_unredeemed += 1,
+                    _ => {}
+                }
+            }
+            if arc.1 == party {
+                outcome.incoming_arcs += 1;
+                if contract.principal_state() == PrincipalState::Redeemed {
+                    outcome.received += 1;
+                }
+            }
+        }
+        let compensation_due =
+            config.base_premium.value() as i128 * outcome.escrowed_unredeemed as i128;
+        outcome.hedged =
+            !strategy.is_compliant() || outcome.premium_payoff >= compensation_due;
+        outcome.safety = !strategy.is_compliant()
+            || outcome.escrowed_redeemed == 0
+            || outcome.received == outcome.incoming_arcs;
+        outcomes.insert(party, outcome);
+    }
+
+    DealReport {
+        strategies: parties
+            .iter()
+            .map(|&p| (p, strategies.get(&p).copied().unwrap_or(Strategy::Compliant)))
+            .collect(),
+        completed,
+        parties: outcomes,
+        payoffs,
+        failed_actions: run_report.failures().len(),
+        rounds: run_report.rounds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_party::figure3_config;
+
+    #[test]
+    fn compliant_figure3_deal_completes() {
+        let config = figure3_config();
+        let report = run_deal(&config, &BTreeMap::new());
+        assert!(report.completed, "all arcs should be redeemed: {report:?}");
+        assert!(report.all_compliant_hedged());
+        assert_eq!(report.failed_actions, 0);
+        for outcome in report.parties.values() {
+            assert_eq!(outcome.premium_payoff, 0, "premiums refunded in a compliant run");
+        }
+        assert!(report.payoffs.conserved());
+    }
+}

@@ -1,0 +1,47 @@
+//! Hedged cross-chain transaction protocols (the paper's contribution).
+//!
+//! This crate implements the distributed protocols of Xue & Herlihy,
+//! *Hedging Against Sore Loser Attacks in Cross-Chain Transactions*
+//! (PODC 2021), on top of the [`chainsim`] simulator and the [`contracts`]
+//! crate:
+//!
+//! * [`two_party`] — the base (unhedged) HTLC swap of §5.1 and the hedged
+//!   two-party swap of §5.2;
+//! * [`bootstrap`] — premium bootstrapping (§6): extra rounds of hedged
+//!   premium deposits that shrink the initial unprotected risk;
+//! * [`multi_party`] — the hedged multi-party swap over an arbitrary
+//!   strongly-connected digraph (§7), with escrow and redemption premiums
+//!   computed from Equations (1) and (2);
+//! * [`broker`] — the hedged brokered-commerce deal of §8;
+//! * [`auction`] — the hedged auction of §9;
+//! * [`outcome`] — payoff accounting and the *hedged* predicate;
+//! * [`script`] — the scripted-party machinery and deviation strategies used
+//!   to model compliant parties and sore losers.
+//!
+//! Every protocol module exposes a `run_*` entry point that builds a fresh
+//! simulated world, executes the protocol with the requested strategies and
+//! returns a report with payoffs, lock-up durations and property checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use protocols::script::Strategy;
+//! use protocols::two_party::{run_hedged_swap, TwoPartyConfig};
+//!
+//! // Both parties comply: principals are swapped, premiums refunded.
+//! let report = run_hedged_swap(&TwoPartyConfig::default(), Strategy::Compliant, Strategy::Compliant);
+//! assert!(report.swap_completed);
+//! assert!(report.hedged_for_alice && report.hedged_for_bob);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod auction;
+pub mod bootstrap;
+pub mod broker;
+pub mod deal;
+pub mod multi_party;
+pub mod outcome;
+pub mod script;
+pub mod two_party;

@@ -1,0 +1,177 @@
+//! The hedged multi-party swap (§7), as a configuration of the generic
+//! [`crate::deal`] engine.
+//!
+//! A multi-party swap is a strongly-connected digraph whose vertices are
+//! parties and whose arcs are transfers of each sender's own token. Leaders
+//! form a feedback vertex set; escrow premiums follow Equation (2) and
+//! redemption premiums Equation (1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use chainsim::{Amount, PartyId};
+use swapgraph::{premiums, Digraph, Vertex};
+
+use crate::deal::{run_deal, ArcSpec, DealConfig, DealReport};
+use crate::script::Strategy;
+
+/// Builds a [`DealConfig`] for a multi-party swap over `digraph` with the
+/// given leaders, per-arc principal `amount` and base premium `p`.
+///
+/// Each party `v` trades its own token (`token-v`), minted in sufficient
+/// quantity for all of its outgoing arcs; each arc's contract lives on the
+/// sender's chain (`chain-v`).
+///
+/// # Panics
+///
+/// Panics if `leaders` is not a valid leader set for `digraph` (not a
+/// feedback vertex set of a strongly connected digraph).
+pub fn swap_config(
+    digraph: &Digraph,
+    leaders: &BTreeSet<Vertex>,
+    amount: Amount,
+    base_premium: Amount,
+    delta_blocks: u64,
+) -> DealConfig {
+    digraph.validate_leaders(leaders).expect("leaders must form a feedback vertex set");
+    let escrow_table = premiums::escrow_premium_table(digraph, leaders, 1)
+        .expect("validated leader set computes escrow premiums");
+
+    let chains: Vec<String> = digraph.vertices().map(|v| format!("chain-{v}")).collect();
+    let mut arcs = Vec::new();
+    for (u, v) in digraph.arcs() {
+        arcs.push(ArcSpec {
+            from: PartyId(u),
+            to: PartyId(v),
+            chain: format!("chain-{u}"),
+            asset_name: format!("token-{u}"),
+            amount,
+            escrow_premium: base_premium.scaled(escrow_table[&(u, v)]),
+        });
+    }
+    let endowments: Vec<(PartyId, String, String, Amount)> = digraph
+        .vertices()
+        .map(|v| {
+            let out_degree = digraph.out_neighbors(v).len() as u128;
+            (PartyId(v), format!("chain-{v}"), format!("token-{v}"), amount.scaled(out_degree.max(1)))
+        })
+        .collect();
+    let wait_for_incoming: BTreeSet<PartyId> =
+        digraph.vertices().filter(|v| !leaders.contains(v)).map(PartyId).collect();
+
+    DealConfig {
+        digraph: digraph.clone(),
+        leaders: leaders.iter().map(|&l| PartyId(l)).collect(),
+        chains,
+        arcs,
+        wait_for_incoming,
+        base_premium,
+        delta_blocks,
+        endowments,
+    }
+}
+
+/// The three-party swap of Figure 3a (A = 0 is the only leader), with unit
+/// base premium and 100-token principals.
+pub fn figure3_config() -> DealConfig {
+    swap_config(&Digraph::figure3(), &BTreeSet::from([0]), Amount::new(100), Amount::new(1), 2)
+}
+
+/// A directed-cycle swap on `n` parties with party 0 as the leader.
+pub fn cycle_config(n: u32) -> DealConfig {
+    swap_config(&Digraph::cycle(n), &BTreeSet::from([0]), Amount::new(100), Amount::new(1), 2)
+}
+
+/// Runs a hedged multi-party swap. Parties missing from `strategies` are
+/// compliant.
+pub fn run_multi_party_swap(
+    config: &DealConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+) -> DealReport {
+    run_deal(config, strategies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_compliant_run_swaps_every_arc() {
+        let report = run_multi_party_swap(&figure3_config(), &BTreeMap::new());
+        assert!(report.completed);
+        assert!(report.all_compliant_hedged());
+        assert_eq!(report.failed_actions, 0);
+        // Everyone receives everything and pays no premium.
+        for (party, outcome) in &report.parties {
+            assert_eq!(outcome.premium_payoff, 0, "{party} should break even on premiums");
+            assert_eq!(outcome.received, outcome.incoming_arcs);
+            assert_eq!(outcome.escrowed_unredeemed, 0);
+        }
+    }
+
+    #[test]
+    fn carol_defecting_in_escrow_phase_compensates_the_others() {
+        // Carol (2) deposits premiums but never escrows her asset: the
+        // classic Figure 3 dilemma. Compliant Alice and Bob must stay hedged.
+        let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(2))]);
+        let report = run_multi_party_swap(&figure3_config(), &strategies);
+        assert!(!report.completed);
+        assert!(report.parties[&PartyId(0)].hedged, "Alice hedged: {report:?}");
+        assert!(report.parties[&PartyId(0)].safety);
+        assert!(report.parties[&PartyId(1)].hedged, "Bob hedged: {report:?}");
+        assert!(report.parties[&PartyId(1)].safety);
+        assert!(report.payoffs.conserved());
+        // Carol, the deviator, pays out at least one base premium in total.
+        assert!(report.parties[&PartyId(2)].premium_payoff < 0);
+    }
+
+    #[test]
+    fn absent_leader_costs_compliant_followers_nothing_major() {
+        // Alice (leader, 0) never participates at all.
+        let strategies = BTreeMap::from([(PartyId(0), Strategy::StopAfter(0))]);
+        let report = run_multi_party_swap(&figure3_config(), &strategies);
+        assert!(!report.completed);
+        for party in [PartyId(1), PartyId(2)] {
+            assert!(report.parties[&party].hedged);
+            assert!(report.parties[&party].safety);
+            assert!(report.parties[&party].premium_payoff >= 0);
+        }
+    }
+
+    #[test]
+    fn every_unilateral_deviation_keeps_compliant_parties_hedged() {
+        let config = figure3_config();
+        for party in 0..3u32 {
+            for stop_after in 0..5usize {
+                let strategies =
+                    BTreeMap::from([(PartyId(party), Strategy::StopAfter(stop_after))]);
+                let report = run_multi_party_swap(&config, &strategies);
+                assert!(
+                    report.all_compliant_hedged(),
+                    "party {party} stopping after {stop_after} broke the hedge: {report:?}"
+                );
+                assert!(report.payoffs.conserved());
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_swap_completes_for_various_sizes() {
+        for n in [2u32, 3, 4] {
+            let report = run_multi_party_swap(&cycle_config(n), &BTreeMap::new());
+            assert!(report.completed, "cycle of {n} should complete");
+            assert!(report.all_compliant_hedged());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback vertex set")]
+    fn invalid_leader_set_is_rejected() {
+        let _ = swap_config(
+            &Digraph::figure3(),
+            &BTreeSet::from([2]),
+            Amount::new(1),
+            Amount::new(1),
+            1,
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Scripted parties and deviation strategies.
+//!
+//! A protocol role is expressed as an ordered list of [`Step`]s. In every
+//! synchronous round the party examines the world; the current step either
+//! waits (its trigger has not been observed yet), makes partial progress, or
+//! completes. A *sore loser* is modelled with [`Strategy::StopAfter`]: the
+//! party executes its first `k` steps faithfully and then stops
+//! participating entirely — exactly the deviation class the paper's threat
+//! model allows, since contracts reject malformed or mistimed calls anyway.
+
+use std::fmt;
+
+use chainsim::{Action, Actor, PartyId, World};
+
+/// How a party behaves during a protocol run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Follow the protocol to completion (including recovery steps).
+    Compliant,
+    /// Execute the first `n` steps, then walk away (a sore loser).
+    ///
+    /// `StopAfter(0)` never participates at all.
+    StopAfter(usize),
+}
+
+impl Strategy {
+    /// Returns `true` if this strategy is fully compliant.
+    pub fn is_compliant(&self) -> bool {
+        matches!(self, Strategy::Compliant)
+    }
+
+    /// The number of steps the party will execute, given a script with
+    /// `total` steps.
+    pub fn steps_executed(&self, total: usize) -> usize {
+        match self {
+            Strategy::Compliant => total,
+            Strategy::StopAfter(n) => (*n).min(total),
+        }
+    }
+
+    /// Enumerates every distinct strategy for a script with `total` steps:
+    /// compliant plus stopping after `0..total` steps.
+    pub fn all(total: usize) -> Vec<Strategy> {
+        let mut strategies = vec![Strategy::Compliant];
+        strategies.extend((0..total).map(Strategy::StopAfter));
+        strategies
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Compliant => write!(f, "compliant"),
+            Strategy::StopAfter(n) => write!(f, "stop-after-{n}"),
+        }
+    }
+}
+
+/// The result of evaluating a step against the current world.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The step's trigger has not been observed yet; try again next round.
+    Wait,
+    /// Emit these actions and stay on the same step (partial progress).
+    Progress(Vec<Action>),
+    /// Emit these actions and move on to the next step.
+    Complete(Vec<Action>),
+}
+
+/// One step of a party's protocol script.
+pub struct Step {
+    /// Human-readable name used in traces and reports.
+    pub name: &'static str,
+    /// Evaluates the step against the observed world.
+    pub run: Box<dyn FnMut(&World) -> StepOutcome + Send>,
+}
+
+impl Step {
+    /// Creates a step from a name and closure.
+    pub fn new(
+        name: &'static str,
+        run: impl FnMut(&World) -> StepOutcome + Send + 'static,
+    ) -> Self {
+        Step { name, run: Box::new(run) }
+    }
+}
+
+impl fmt::Debug for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Step({})", self.name)
+    }
+}
+
+/// An [`Actor`] that follows a script of [`Step`]s under a [`Strategy`].
+pub struct ScriptedParty {
+    party: PartyId,
+    steps: Vec<Step>,
+    cursor: usize,
+    completed: usize,
+    allowed: usize,
+}
+
+impl ScriptedParty {
+    /// Creates a scripted party executing `steps` under `strategy`.
+    pub fn new(party: PartyId, steps: Vec<Step>, strategy: Strategy) -> Self {
+        let allowed = strategy.steps_executed(steps.len());
+        ScriptedParty { party, steps, cursor: 0, completed: 0, allowed }
+    }
+
+    /// The number of steps completed so far.
+    pub fn completed_steps(&self) -> usize {
+        self.completed
+    }
+
+    /// The total number of steps in the script.
+    pub fn total_steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+impl fmt::Debug for ScriptedParty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedParty")
+            .field("party", &self.party)
+            .field("cursor", &self.cursor)
+            .field("steps", &self.steps.len())
+            .field("allowed", &self.allowed)
+            .finish()
+    }
+}
+
+impl Actor for ScriptedParty {
+    fn party(&self) -> PartyId {
+        self.party
+    }
+
+    fn step(&mut self, world: &World, actions: &mut Vec<Action>) {
+        if self.cursor >= self.steps.len() || self.completed >= self.allowed {
+            return;
+        }
+        let step = &mut self.steps[self.cursor];
+        match (step.run)(world) {
+            StepOutcome::Wait => {}
+            StepOutcome::Progress(mut emitted) => {
+                actions.append(&mut emitted);
+            }
+            StepOutcome::Complete(mut emitted) => {
+                actions.append(&mut emitted);
+                self.cursor += 1;
+                self.completed += 1;
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.cursor >= self.steps.len() || self.completed >= self.allowed
+    }
+}
+
+/// Runs a set of scripted parties to quiescence.
+///
+/// This is a thin wrapper over [`chainsim::Scheduler`] with a generous round
+/// budget: protocols define absolute deadlines, so `max_rounds` only needs
+/// to exceed the final deadline.
+pub fn run_parties(
+    world: &mut World,
+    parties: Vec<ScriptedParty>,
+    max_rounds: u64,
+) -> chainsim::RunReport {
+    let mut actors: Vec<Box<dyn Actor>> =
+        parties.into_iter().map(|p| Box::new(p) as Box<dyn Actor>).collect();
+    chainsim::Scheduler::new(max_rounds).run(world, &mut actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_step_budgets() {
+        assert_eq!(Strategy::Compliant.steps_executed(5), 5);
+        assert_eq!(Strategy::StopAfter(2).steps_executed(5), 2);
+        assert_eq!(Strategy::StopAfter(9).steps_executed(5), 5);
+        assert!(Strategy::Compliant.is_compliant());
+        assert!(!Strategy::StopAfter(0).is_compliant());
+        assert_eq!(Strategy::all(3).len(), 4);
+        assert_eq!(Strategy::Compliant.to_string(), "compliant");
+        assert_eq!(Strategy::StopAfter(1).to_string(), "stop-after-1");
+    }
+
+    #[test]
+    fn scripted_party_advances_and_respects_budget() {
+        let mut world = World::new(1);
+        world.add_chain("a");
+        let steps = vec![
+            Step::new("one", |_| StepOutcome::Complete(vec![])),
+            Step::new("two", |_| StepOutcome::Complete(vec![])),
+            Step::new("three", |_| StepOutcome::Complete(vec![])),
+        ];
+        let mut party = ScriptedParty::new(PartyId(0), steps, Strategy::StopAfter(2));
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 2);
+        assert!(party.done(), "stops after its deviation budget");
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 2);
+        assert_eq!(party.total_steps(), 3);
+        let _ = &mut world;
+    }
+
+    #[test]
+    fn waiting_steps_do_not_advance() {
+        let world = World::new(1);
+        let steps = vec![Step::new("never", |_| StepOutcome::Wait)];
+        let mut party = ScriptedParty::new(PartyId(1), steps, Strategy::Compliant);
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 0);
+        assert!(!party.done());
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn progress_steps_emit_without_advancing() {
+        let world = World::new(1);
+        let steps = vec![Step::new("chatty", |_| StepOutcome::Progress(vec![]))];
+        let mut party = ScriptedParty::new(PartyId(1), steps, Strategy::Compliant);
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 0);
+        assert!(!party.done());
+    }
+
+    #[test]
+    fn run_parties_terminates() {
+        let mut world = World::new(1);
+        world.add_chain("a");
+        let parties = vec![ScriptedParty::new(
+            PartyId(0),
+            vec![Step::new("noop", |_| StepOutcome::Complete(vec![]))],
+            Strategy::Compliant,
+        )];
+        let report = run_parties(&mut world, parties, 10);
+        assert!(report.rounds() <= 10);
+    }
+}

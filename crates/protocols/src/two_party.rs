@@ -1,0 +1,768 @@
+//! Two-party swaps: the unhedged base protocol (§5.1) and the hedged
+//! protocol (§5.2).
+//!
+//! Both protocols swap `A` apricot tokens owned by Alice for `B` banana
+//! tokens owned by Bob. The base protocol uses two [`HtlcEscrow`]s and is
+//! vulnerable to sore-loser attacks: whoever escrows first can be left
+//! locked up with no compensation. The hedged protocol prefixes a premium
+//! distribution phase using two [`HedgedEscrow`]s with the §5.2 timeout
+//! schedule, after which every unilateral walk-away costs the deviator a
+//! premium that compensates the victim.
+
+use chainsim::{Action, Amount, AssetId, ContractAddr, PartyId, Time, World};
+use contracts::{
+    HedgedEscrow, HedgedEscrowMsg, HedgedEscrowParams, HedgedPremiumState, HedgedPrincipalState,
+    HtlcEscrow, HtlcMsg, HtlcState,
+};
+use cryptosim::Secret;
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::{BalanceSnapshot, Lockup, Payoffs};
+use crate::script::{run_parties, ScriptedParty, Step, StepOutcome, Strategy};
+
+/// Alice's party id in two-party protocols.
+pub const ALICE: PartyId = PartyId(0);
+/// Bob's party id in two-party protocols.
+pub const BOB: PartyId = PartyId(1);
+
+/// Configuration of a two-party swap experiment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoPartyConfig {
+    /// Alice's principal: `A` apricot tokens.
+    pub alice_tokens: Amount,
+    /// Bob's principal: `B` banana tokens.
+    pub bob_tokens: Amount,
+    /// Alice's premium `p_a` (her compensation to Bob if she reneges).
+    pub premium_a: Amount,
+    /// Bob's premium `p_b` (his compensation to Alice if he reneges).
+    pub premium_b: Amount,
+    /// The synchrony bound Δ, in blocks.
+    pub delta_blocks: u64,
+}
+
+impl Default for TwoPartyConfig {
+    fn default() -> Self {
+        TwoPartyConfig {
+            alice_tokens: Amount::new(100),
+            bob_tokens: Amount::new(100),
+            premium_a: Amount::new(2),
+            premium_b: Amount::new(2),
+            delta_blocks: 2,
+        }
+    }
+}
+
+impl TwoPartyConfig {
+    fn delta(&self, steps: u64) -> Time {
+        Time(self.delta_blocks * steps)
+    }
+}
+
+/// Which protocol variant produced a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapProtocol {
+    /// The unhedged §5.1 HTLC swap.
+    Base,
+    /// The hedged §5.2 swap with premiums.
+    Hedged,
+}
+
+/// The outcome of a two-party swap run.
+#[derive(Clone, Debug)]
+pub struct TwoPartyReport {
+    /// Which protocol was run.
+    pub protocol: SwapProtocol,
+    /// The strategies the parties followed.
+    pub strategies: (Strategy, Strategy),
+    /// Whether both principals were redeemed (the swap completed).
+    pub swap_completed: bool,
+    /// Per-party, per-asset payoffs.
+    pub payoffs: Payoffs,
+    /// Alice's net payoff in apricot tokens.
+    pub alice_apricot_payoff: i128,
+    /// Alice's net payoff in banana tokens.
+    pub alice_banana_payoff: i128,
+    /// Bob's net payoff in apricot tokens.
+    pub bob_apricot_payoff: i128,
+    /// Bob's net payoff in banana tokens.
+    pub bob_banana_payoff: i128,
+    /// Alice's net premium (native-currency) payoff across both chains.
+    pub alice_premium_payoff: i128,
+    /// Bob's net premium (native-currency) payoff across both chains.
+    pub bob_premium_payoff: i128,
+    /// Alice's principal lock-up on the apricot chain.
+    pub alice_lockup: Lockup,
+    /// Bob's principal lock-up on the banana chain.
+    pub bob_lockup: Lockup,
+    /// Whether compliant Alice ended up hedged (vacuously true if she deviated).
+    pub hedged_for_alice: bool,
+    /// Whether compliant Bob ended up hedged (vacuously true if he deviated).
+    pub hedged_for_bob: bool,
+    /// Number of rejected actions during the run (protocol noise).
+    pub failed_actions: usize,
+    /// Number of synchronous rounds executed.
+    pub rounds: usize,
+}
+
+struct Setup {
+    world: World,
+    apricot_token: AssetId,
+    banana_token: AssetId,
+    apricot_native: AssetId,
+    banana_native: AssetId,
+    apricot_contract: ContractAddr,
+    banana_contract: ContractAddr,
+    secret: Secret,
+}
+
+/// Labels under which the two escrow contracts are registered.
+const APRICOT_LABEL: &str = "two-party/apricot-escrow";
+/// See [`APRICOT_LABEL`].
+const BANANA_LABEL: &str = "two-party/banana-escrow";
+
+fn build_world(config: &TwoPartyConfig) -> (World, AssetId, AssetId, AssetId, AssetId) {
+    let mut world = World::new(1);
+    let apricot = world.add_chain("apricot");
+    let banana = world.add_chain("banana");
+    let apricot_native = world.chain(apricot).native_asset();
+    let banana_native = world.chain(banana).native_asset();
+    let apricot_token = world.register_asset("apricot-token");
+    let banana_token = world.register_asset("banana-token");
+    // Endowments: principals plus enough native currency for premiums.
+    world.chain_mut(apricot).mint(ALICE, apricot_token, config.alice_tokens);
+    world.chain_mut(banana).mint(BOB, banana_token, config.bob_tokens);
+    world
+        .chain_mut(banana)
+        .mint(ALICE, banana_native, config.premium_a + config.premium_b);
+    world.chain_mut(apricot).mint(BOB, apricot_native, config.premium_b);
+    (world, apricot_token, banana_token, apricot_native, banana_native)
+}
+
+fn hedged_setup(config: &TwoPartyConfig) -> Setup {
+    let (mut world, apricot_token, banana_token, apricot_native, banana_native) =
+        build_world(config);
+    let apricot = world.chains().next().expect("apricot chain").id();
+    let banana = world.chains().nth(1).expect("banana chain").id();
+    let secret = Secret::from_seed(0xA11CE);
+    let hashlock = secret.hashlock();
+
+    // Banana-chain contract: Bob escrows B, Alice deposits p_a + p_b.
+    let banana_contract = world.publish_labeled(
+        banana,
+        BOB,
+        BANANA_LABEL,
+        Box::new(HedgedEscrow::new(HedgedEscrowParams {
+            escrower: BOB,
+            redeemer: ALICE,
+            principal_asset: banana_token,
+            principal_amount: config.bob_tokens,
+            premium_asset: banana_native,
+            premium_amount: config.premium_a + config.premium_b,
+            hashlock,
+            premium_deadline: config.delta(1),
+            escrow_deadline: config.delta(4),
+            redeem_deadline: config.delta(5),
+        })),
+    );
+    // Apricot-chain contract: Alice escrows A, Bob deposits p_b.
+    let apricot_contract = world.publish_labeled(
+        apricot,
+        ALICE,
+        APRICOT_LABEL,
+        Box::new(HedgedEscrow::new(HedgedEscrowParams {
+            escrower: ALICE,
+            redeemer: BOB,
+            principal_asset: apricot_token,
+            principal_amount: config.alice_tokens,
+            premium_asset: apricot_native,
+            premium_amount: config.premium_b,
+            hashlock,
+            premium_deadline: config.delta(2),
+            escrow_deadline: config.delta(3),
+            redeem_deadline: config.delta(6),
+        })),
+    );
+    Setup {
+        world,
+        apricot_token,
+        banana_token,
+        apricot_native,
+        banana_native,
+        apricot_contract,
+        banana_contract,
+        secret,
+    }
+}
+
+fn base_setup(config: &TwoPartyConfig) -> Setup {
+    let (mut world, apricot_token, banana_token, apricot_native, banana_native) =
+        build_world(config);
+    let apricot = world.chains().next().expect("apricot chain").id();
+    let banana = world.chains().nth(1).expect("banana chain").id();
+    let secret = Secret::from_seed(0xA11CE);
+    let hashlock = secret.hashlock();
+
+    // §5.1: Alice's apricot escrow with timelock 3Δ, Bob's banana escrow with 2Δ.
+    let apricot_contract = world.publish_labeled(
+        apricot,
+        ALICE,
+        APRICOT_LABEL,
+        Box::new(HtlcEscrow::new(
+            ALICE,
+            BOB,
+            apricot_token,
+            config.alice_tokens,
+            hashlock,
+            config.delta(3),
+        )),
+    );
+    let banana_contract = world.publish_labeled(
+        banana,
+        BOB,
+        BANANA_LABEL,
+        Box::new(HtlcEscrow::new(
+            BOB,
+            ALICE,
+            banana_token,
+            config.bob_tokens,
+            hashlock,
+            config.delta(2),
+        )),
+    );
+    Setup {
+        world,
+        apricot_token,
+        banana_token,
+        apricot_native,
+        banana_native,
+        apricot_contract,
+        banana_contract,
+        secret,
+    }
+}
+
+fn hedged_contract(world: &World, addr: ContractAddr) -> &HedgedEscrow {
+    world
+        .chain(addr.chain)
+        .contract_as::<HedgedEscrow>(addr.contract)
+        .expect("hedged escrow present")
+}
+
+fn htlc_contract(world: &World, addr: ContractAddr) -> &HtlcEscrow {
+    world.chain(addr.chain).contract_as::<HtlcEscrow>(addr.contract).expect("htlc present")
+}
+
+fn hedged_needs_settle(contract: &HedgedEscrow, now: Time) -> bool {
+    let p = contract.params();
+    let premium_stuck = contract.premium_state() == HedgedPremiumState::Held
+        && contract.principal_state() == HedgedPrincipalState::NotEscrowed
+        && now.has_reached(p.escrow_deadline);
+    let principal_stuck = contract.principal_state() == HedgedPrincipalState::Held
+        && now.has_reached(p.redeem_deadline);
+    premium_stuck || principal_stuck
+}
+
+fn hedged_resolved(contract: &HedgedEscrow) -> bool {
+    contract.premium_state() != HedgedPremiumState::Held
+        && contract.principal_state() != HedgedPrincipalState::Held
+}
+
+/// Alice's script for the hedged swap.
+fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
+    let banana = setup.banana_contract;
+    let apricot = setup.apricot_contract;
+    let secret = setup.secret.clone();
+    let escrow_give_up = config.delta(3);
+    let redeem_give_up = config.delta(5);
+    let final_deadline = config.delta(6);
+    vec![
+        Step::new("alice: deposit premium on banana", move |_world: &World| {
+            StepOutcome::Complete(vec![Action::call(
+                banana,
+                HedgedEscrowMsg::DepositPremium,
+                "Alice deposits p_a + p_b on the banana chain",
+            )])
+        }),
+        Step::new("alice: escrow principal on apricot", move |world: &World| {
+            if world.now().has_reached(escrow_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if hedged_contract(world, apricot).premium_state() == HedgedPremiumState::Held {
+                StepOutcome::Complete(vec![Action::call(
+                    apricot,
+                    HedgedEscrowMsg::EscrowPrincipal,
+                    "Alice escrows A apricot tokens",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        Step::new("alice: redeem banana principal", move |world: &World| {
+            if world.now().has_reached(redeem_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if hedged_contract(world, banana).principal_state() == HedgedPrincipalState::Held {
+                StepOutcome::Complete(vec![Action::call(
+                    banana,
+                    HedgedEscrowMsg::Redeem { secret: secret.clone() },
+                    "Alice redeems B banana tokens, revealing s",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        settle_step("alice: settle", vec![apricot, banana], final_deadline),
+    ]
+}
+
+/// Bob's script for the hedged swap.
+fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
+    let banana = setup.banana_contract;
+    let apricot = setup.apricot_contract;
+    let premium_give_up = config.delta(2);
+    let escrow_give_up = config.delta(4);
+    let redeem_give_up = config.delta(6);
+    let final_deadline = config.delta(6);
+    vec![
+        Step::new("bob: deposit premium on apricot", move |world: &World| {
+            if world.now().has_reached(premium_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if hedged_contract(world, banana).premium_state() == HedgedPremiumState::Held {
+                StepOutcome::Complete(vec![Action::call(
+                    apricot,
+                    HedgedEscrowMsg::DepositPremium,
+                    "Bob deposits p_b on the apricot chain",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        Step::new("bob: escrow principal on banana", move |world: &World| {
+            if world.now().has_reached(escrow_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if hedged_contract(world, apricot).principal_state() == HedgedPrincipalState::Held {
+                StepOutcome::Complete(vec![Action::call(
+                    banana,
+                    HedgedEscrowMsg::EscrowPrincipal,
+                    "Bob escrows B banana tokens",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        Step::new("bob: redeem apricot principal", move |world: &World| {
+            if world.now().has_reached(redeem_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if let Some(secret) = hedged_contract(world, banana).revealed_secret() {
+                StepOutcome::Complete(vec![Action::call(
+                    apricot,
+                    HedgedEscrowMsg::Redeem { secret: secret.clone() },
+                    "Bob redeems A apricot tokens with the learned secret",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        settle_step("bob: settle", vec![apricot, banana], final_deadline),
+    ]
+}
+
+/// A recovery step: once every contract is resolved the step completes; once
+/// the final deadline passes it settles whatever still needs it.
+fn settle_step(name: &'static str, contracts: Vec<ContractAddr>, final_deadline: Time) -> Step {
+    Step::new(name, move |world: &World| {
+        let all_resolved =
+            contracts.iter().all(|addr| hedged_resolved(hedged_contract(world, *addr)));
+        if all_resolved {
+            return StepOutcome::Complete(vec![]);
+        }
+        if !world.now().has_reached(final_deadline) {
+            return StepOutcome::Wait;
+        }
+        let calls: Vec<Action> = contracts
+            .iter()
+            .filter(|addr| hedged_needs_settle(hedged_contract(world, **addr), world.now()))
+            .map(|addr| Action::call(*addr, HedgedEscrowMsg::Settle, "settle hedged escrow"))
+            .collect();
+        StepOutcome::Complete(calls)
+    })
+}
+
+/// Alice's script for the base (unhedged) swap.
+fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
+    let apricot = setup.apricot_contract;
+    let banana = setup.banana_contract;
+    let secret = setup.secret.clone();
+    let redeem_give_up = config.delta(2);
+    let final_deadline = config.delta(3);
+    vec![
+        Step::new("alice: escrow principal on apricot", move |_world: &World| {
+            StepOutcome::Complete(vec![Action::call(
+                apricot,
+                HtlcMsg::Escrow,
+                "Alice escrows A apricot tokens",
+            )])
+        }),
+        Step::new("alice: redeem banana principal", move |world: &World| {
+            if world.now().has_reached(redeem_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if htlc_contract(world, banana).state() == HtlcState::Escrowed {
+                StepOutcome::Complete(vec![Action::call(
+                    banana,
+                    HtlcMsg::Redeem { secret: secret.clone() },
+                    "Alice redeems B banana tokens, revealing s",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        base_recovery_step("alice: refund timed-out escrows", vec![apricot, banana], final_deadline),
+    ]
+}
+
+/// Bob's script for the base (unhedged) swap.
+fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
+    let apricot = setup.apricot_contract;
+    let banana = setup.banana_contract;
+    let escrow_give_up = config.delta(2);
+    // The secret can only appear before the banana timelock (2Δ); give up then.
+    let redeem_give_up = config.delta(2);
+    let final_deadline = config.delta(3);
+    vec![
+        Step::new("bob: escrow principal on banana", move |world: &World| {
+            if world.now().has_reached(escrow_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if htlc_contract(world, apricot).state() == HtlcState::Escrowed {
+                StepOutcome::Complete(vec![Action::call(
+                    banana,
+                    HtlcMsg::Escrow,
+                    "Bob escrows B banana tokens",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        Step::new("bob: redeem apricot principal", move |world: &World| {
+            if world.now().has_reached(redeem_give_up) {
+                return StepOutcome::Complete(vec![]);
+            }
+            if let Some(secret) = htlc_contract(world, banana).revealed_secret() {
+                StepOutcome::Complete(vec![Action::call(
+                    apricot,
+                    HtlcMsg::Redeem { secret: secret.clone() },
+                    "Bob redeems A apricot tokens with the learned secret",
+                )])
+            } else {
+                StepOutcome::Wait
+            }
+        }),
+        base_recovery_step("bob: refund timed-out escrows", vec![apricot, banana], final_deadline),
+    ]
+}
+
+fn base_recovery_step(
+    name: &'static str,
+    contracts: Vec<ContractAddr>,
+    _final_deadline: Time,
+) -> Step {
+    Step::new(name, move |world: &World| {
+        let pending: Vec<ContractAddr> = contracts
+            .iter()
+            .copied()
+            .filter(|addr| htlc_contract(world, *addr).state() == HtlcState::Escrowed)
+            .collect();
+        if pending.is_empty() {
+            return StepOutcome::Complete(vec![]);
+        }
+        let refunds: Vec<Action> = pending
+            .iter()
+            .filter(|addr| world.now().has_reached(htlc_contract(world, **addr).timelock()))
+            .map(|addr| Action::call(*addr, HtlcMsg::Refund, "refund timed-out escrow"))
+            .collect();
+        if refunds.is_empty() {
+            StepOutcome::Wait
+        } else if refunds.len() == pending.len() {
+            StepOutcome::Complete(refunds)
+        } else {
+            StepOutcome::Progress(refunds)
+        }
+    })
+}
+
+fn run(
+    config: &TwoPartyConfig,
+    protocol: SwapProtocol,
+    alice: Strategy,
+    bob: Strategy,
+) -> TwoPartyReport {
+    let mut setup = match protocol {
+        SwapProtocol::Hedged => hedged_setup(config),
+        SwapProtocol::Base => base_setup(config),
+    };
+    let parties = [ALICE, BOB];
+    let assets = [
+        setup.apricot_token,
+        setup.banana_token,
+        setup.apricot_native,
+        setup.banana_native,
+    ];
+    let before = BalanceSnapshot::capture(&setup.world, &parties, &assets);
+
+    let (alice_steps, bob_steps) = match protocol {
+        SwapProtocol::Hedged => (hedged_alice_steps(&setup, config), hedged_bob_steps(&setup, config)),
+        SwapProtocol::Base => (base_alice_steps(&setup, config), base_bob_steps(&setup, config)),
+    };
+    let actors = vec![
+        ScriptedParty::new(ALICE, alice_steps, alice),
+        ScriptedParty::new(BOB, bob_steps, bob),
+    ];
+    let max_rounds = config.delta_blocks * 8 + 4;
+    let run_report = run_parties(&mut setup.world, actors, max_rounds);
+
+    let after = BalanceSnapshot::capture(&setup.world, &parties, &assets);
+    let payoffs = Payoffs::between(&before, &after);
+
+    let (alice_lockup, bob_lockup, alice_redeemed, bob_redeemed) = match protocol {
+        SwapProtocol::Hedged => {
+            let apricot = hedged_contract(&setup.world, setup.apricot_contract);
+            let banana = hedged_contract(&setup.world, setup.banana_contract);
+            (
+                lockup_from_times(apricot.escrowed_at(), apricot.principal_settled_at(),
+                    apricot.principal_state() == HedgedPrincipalState::Redeemed, setup.world.now()),
+                lockup_from_times(banana.escrowed_at(), banana.principal_settled_at(),
+                    banana.principal_state() == HedgedPrincipalState::Redeemed, setup.world.now()),
+                apricot.principal_state() == HedgedPrincipalState::Redeemed,
+                banana.principal_state() == HedgedPrincipalState::Redeemed,
+            )
+        }
+        SwapProtocol::Base => {
+            let apricot = htlc_contract(&setup.world, setup.apricot_contract);
+            let banana = htlc_contract(&setup.world, setup.banana_contract);
+            (
+                lockup_from_times(apricot.escrowed_at(), apricot.settled_at(),
+                    apricot.state() == HtlcState::Redeemed, setup.world.now()),
+                lockup_from_times(banana.escrowed_at(), banana.settled_at(),
+                    banana.state() == HtlcState::Redeemed, setup.world.now()),
+                apricot.state() == HtlcState::Redeemed,
+                banana.state() == HtlcState::Redeemed,
+            )
+        }
+    };
+
+    let alice_premium_payoff =
+        payoffs.total_over(ALICE, &[setup.apricot_native, setup.banana_native]).value();
+    let bob_premium_payoff =
+        payoffs.total_over(BOB, &[setup.apricot_native, setup.banana_native]).value();
+    let swap_completed = alice_redeemed && bob_redeemed;
+
+    let hedged_for_alice = if alice.is_compliant() {
+        hedged_check(
+            alice_lockup,
+            alice_redeemed,
+            payoffs.of(ALICE, setup.banana_token).value(),
+            config.bob_tokens,
+            alice_premium_payoff,
+            config.premium_b,
+        )
+    } else {
+        true
+    };
+    let hedged_for_bob = if bob.is_compliant() {
+        hedged_check(
+            bob_lockup,
+            bob_redeemed,
+            payoffs.of(BOB, setup.apricot_token).value(),
+            config.alice_tokens,
+            bob_premium_payoff,
+            config.premium_a,
+        )
+    } else {
+        true
+    };
+
+    TwoPartyReport {
+        protocol,
+        strategies: (alice, bob),
+        swap_completed,
+        alice_apricot_payoff: payoffs.of(ALICE, setup.apricot_token).value(),
+        alice_banana_payoff: payoffs.of(ALICE, setup.banana_token).value(),
+        bob_apricot_payoff: payoffs.of(BOB, setup.apricot_token).value(),
+        bob_banana_payoff: payoffs.of(BOB, setup.banana_token).value(),
+        alice_premium_payoff,
+        bob_premium_payoff,
+        alice_lockup,
+        bob_lockup,
+        hedged_for_alice,
+        hedged_for_bob,
+        failed_actions: run_report.failures().len(),
+        rounds: run_report.rounds(),
+        payoffs,
+    }
+}
+
+fn lockup_from_times(
+    escrowed_at: Option<Time>,
+    settled_at: Option<Time>,
+    redeemed: bool,
+    now: Time,
+) -> Lockup {
+    match escrowed_at {
+        None => Lockup { principal_blocks: 0, redeemed: false },
+        Some(start) => {
+            let end = settled_at.unwrap_or(now);
+            Lockup { principal_blocks: end - start, redeemed }
+        }
+    }
+}
+
+/// The hedged condition for one side of the swap: either their escrow was
+/// redeemed and they received the counterparty's principal (and lost no
+/// premium), or their escrow was returned / never made and their premium
+/// payoff covers the agreed compensation (zero when nothing was locked up).
+fn hedged_check(
+    lockup: Lockup,
+    own_principal_redeemed: bool,
+    counter_asset_gain: i128,
+    counter_asset_expected: Amount,
+    premium_payoff: i128,
+    compensation: Amount,
+) -> bool {
+    if own_principal_redeemed {
+        counter_asset_gain >= counter_asset_expected.value() as i128 && premium_payoff >= 0
+    } else if lockup.principal_blocks > 0 {
+        premium_payoff >= compensation.value() as i128
+    } else {
+        premium_payoff >= 0
+    }
+}
+
+/// Runs the hedged two-party swap (§5.2) with the given strategies.
+pub fn run_hedged_swap(config: &TwoPartyConfig, alice: Strategy, bob: Strategy) -> TwoPartyReport {
+    run(config, SwapProtocol::Hedged, alice, bob)
+}
+
+/// Runs the unhedged base swap (§5.1) with the given strategies.
+pub fn run_base_swap(config: &TwoPartyConfig, alice: Strategy, bob: Strategy) -> TwoPartyReport {
+    run(config, SwapProtocol::Base, alice, bob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TwoPartyConfig {
+        TwoPartyConfig::default()
+    }
+
+    #[test]
+    fn hedged_compliant_run_swaps_and_refunds_premiums() {
+        let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::Compliant);
+        assert!(report.swap_completed);
+        assert_eq!(report.alice_apricot_payoff, -100);
+        assert_eq!(report.alice_banana_payoff, 100);
+        assert_eq!(report.bob_apricot_payoff, 100);
+        assert_eq!(report.bob_banana_payoff, -100);
+        assert_eq!(report.alice_premium_payoff, 0);
+        assert_eq!(report.bob_premium_payoff, 0);
+        assert!(report.hedged_for_alice && report.hedged_for_bob);
+        assert_eq!(report.failed_actions, 0);
+        assert!(report.payoffs.conserved());
+        assert!(report.alice_lockup.redeemed && report.bob_lockup.redeemed);
+    }
+
+    #[test]
+    fn hedged_bob_reneging_after_premiums_pays_alice() {
+        // Bob deposits his premium but never escrows (stop after 1 step).
+        let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::StopAfter(1));
+        assert!(!report.swap_completed);
+        // Alice escrowed, was not redeemed, and collects p_b = 2.
+        assert_eq!(report.alice_apricot_payoff, 0, "principal refunded");
+        assert_eq!(report.alice_premium_payoff, 2);
+        assert_eq!(report.bob_premium_payoff, -2);
+        assert!(report.hedged_for_alice);
+        assert!(report.payoffs.conserved());
+    }
+
+    #[test]
+    fn hedged_alice_reneging_after_bob_escrows_pays_bob() {
+        // Alice stops after escrowing (never reveals the secret).
+        let report = run_hedged_swap(&config(), Strategy::StopAfter(2), Strategy::Compliant);
+        assert!(!report.swap_completed);
+        // Bob nets +p_a = +2, Alice nets -p_a = -2 (she pays p_a+p_b, receives p_b).
+        assert_eq!(report.bob_premium_payoff, 2);
+        assert_eq!(report.alice_premium_payoff, -2);
+        assert_eq!(report.bob_banana_payoff, 0, "Bob's principal refunded");
+        assert!(report.hedged_for_bob);
+        assert!(report.payoffs.conserved());
+    }
+
+    #[test]
+    fn hedged_bob_never_participating_costs_nobody_anything() {
+        let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::StopAfter(0));
+        assert!(!report.swap_completed);
+        assert_eq!(report.alice_premium_payoff, 0);
+        assert_eq!(report.bob_premium_payoff, 0);
+        assert_eq!(report.alice_apricot_payoff, 0);
+        assert!(report.hedged_for_alice);
+        assert_eq!(report.alice_lockup.principal_blocks, 0, "Alice never escrows her principal");
+    }
+
+    #[test]
+    fn base_protocol_leaves_alice_locked_and_uncompensated() {
+        // Bob walks away immediately after Alice escrows (claim C1).
+        let report = run_base_swap(&config(), Strategy::Compliant, Strategy::StopAfter(0));
+        assert!(!report.swap_completed);
+        assert_eq!(report.alice_apricot_payoff, 0, "refunded after the timelock");
+        assert_eq!(report.alice_premium_payoff, 0, "no compensation in the base protocol");
+        assert!(!report.hedged_for_alice, "base protocol is not hedged");
+        // Locked for the full 3Δ = 6 blocks.
+        assert_eq!(report.alice_lockup.principal_blocks, 3 * config().delta_blocks);
+    }
+
+    #[test]
+    fn base_protocol_leaves_bob_locked_when_alice_aborts() {
+        // Alice escrows but never redeems Bob's escrow (claim C1, second half).
+        let report = run_base_swap(&config(), Strategy::StopAfter(1), Strategy::Compliant);
+        assert!(!report.swap_completed);
+        assert_eq!(report.bob_banana_payoff, 0, "refunded after the timelock");
+        assert!(!report.hedged_for_bob);
+        assert!(report.bob_lockup.principal_blocks > 0);
+        assert!(report.bob_lockup.principal_blocks < 3 * config().delta_blocks);
+    }
+
+    #[test]
+    fn base_compliant_run_completes() {
+        let report = run_base_swap(&config(), Strategy::Compliant, Strategy::Compliant);
+        assert!(report.swap_completed);
+        assert_eq!(report.alice_banana_payoff, 100);
+        assert_eq!(report.bob_apricot_payoff, 100);
+        assert_eq!(report.failed_actions, 0);
+        assert!(report.hedged_for_alice && report.hedged_for_bob);
+    }
+
+    #[test]
+    fn all_unilateral_deviations_keep_compliant_parties_hedged() {
+        // Sweep every deviation point for each party in the hedged protocol.
+        for k in 0..4 {
+            let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::StopAfter(k));
+            assert!(report.hedged_for_alice, "Alice must be hedged when Bob stops after {k}");
+            assert!(report.payoffs.conserved());
+            let report = run_hedged_swap(&config(), Strategy::StopAfter(k), Strategy::Compliant);
+            assert!(report.hedged_for_bob, "Bob must be hedged when Alice stops after {k}");
+            assert!(report.payoffs.conserved());
+        }
+    }
+
+    #[test]
+    fn larger_delta_scales_lockup_durations() {
+        let mut cfg = config();
+        cfg.delta_blocks = 6;
+        let report = run_base_swap(&cfg, Strategy::Compliant, Strategy::StopAfter(0));
+        assert_eq!(report.alice_lockup.principal_blocks, 18);
+    }
+}

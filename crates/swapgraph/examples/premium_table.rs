@@ -1,0 +1,12 @@
+//! Prints the C3 premium-scaling table (used to cross-check EXPERIMENTS.md).
+use swapgraph::bootstrap::rounds_needed;
+use swapgraph::{premiums, Digraph};
+
+fn main() {
+    for n in 2..=6u32 {
+        let cycle = premiums::leader_redemption_premium(&Digraph::cycle(n), 0, 1);
+        let complete = premiums::leader_redemption_premium(&Digraph::complete(n), 0, 1);
+        let rounds = rounds_needed(complete, u128::from(n), 10);
+        println!("n={n} cycle={cycle} complete={complete} rounds={rounds}");
+    }
+}

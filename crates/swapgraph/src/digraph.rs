@@ -1,0 +1,480 @@
+//! The swap digraph and the graph algorithms the protocols rely on.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+/// A swap-graph vertex. Protocol crates map these small integers onto party
+/// identifiers.
+pub type Vertex = u32;
+
+/// Errors raised by digraph queries.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The digraph must be strongly connected for the requested operation.
+    #[error("digraph is not strongly connected")]
+    NotStronglyConnected,
+    /// The provided leader set is not a feedback vertex set.
+    #[error("leader set is not a feedback vertex set")]
+    NotFeedbackVertexSet,
+    /// The digraph has no vertices.
+    #[error("digraph is empty")]
+    Empty,
+}
+
+/// A directed graph of proposed asset transfers.
+///
+/// Each vertex is a party and each arc `(u, v)` is a transfer from `u` to
+/// `v` (§7 of the paper). The structure is deliberately small and dense in
+/// functionality rather than generic: swaps involve a handful of parties,
+/// so all algorithms favour clarity over asymptotic cleverness.
+///
+/// # Examples
+///
+/// ```
+/// use swapgraph::Digraph;
+///
+/// let g = Digraph::cycle(3);
+/// assert!(g.is_strongly_connected());
+/// assert_eq!(g.diameter().unwrap(), 2);
+/// assert_eq!(g.arc_count(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Digraph {
+    vertices: BTreeSet<Vertex>,
+    arcs: BTreeSet<(Vertex, Vertex)>,
+}
+
+impl Digraph {
+    /// Creates an empty digraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the directed cycle `0 → 1 → ⋯ → n-1 → 0`.
+    ///
+    /// Cycles are the paper's "unique path between any two parties" case,
+    /// where leader premiums are linear in `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn cycle(n: u32) -> Self {
+        assert!(n >= 2, "a cycle needs at least two vertices");
+        let mut g = Digraph::new();
+        for i in 0..n {
+            g.add_arc(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// Creates the complete digraph on `n` vertices (every ordered pair is
+    /// an arc). This is the paper's worst case, where leader premiums grow
+    /// exponentially in `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn complete(n: u32) -> Self {
+        assert!(n >= 2, "a complete digraph needs at least two vertices");
+        let mut g = Digraph::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.add_arc(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// The three-party digraph of Figure 3a: arcs (A,B), (B,A), (B,C), (C,A)
+    /// with A = 0, B = 1, C = 2.
+    pub fn figure3() -> Self {
+        let mut g = Digraph::new();
+        g.add_arc(0, 1);
+        g.add_arc(1, 0);
+        g.add_arc(1, 2);
+        g.add_arc(2, 0);
+        g
+    }
+
+    /// Adds a vertex without any arcs.
+    pub fn add_vertex(&mut self, v: Vertex) {
+        self.vertices.insert(v);
+    }
+
+    /// Adds the arc `(u, v)` (and both endpoints). Self-loops are ignored.
+    pub fn add_arc(&mut self, u: Vertex, v: Vertex) {
+        self.vertices.insert(u);
+        self.vertices.insert(v);
+        if u == v {
+            return;
+        }
+        self.arcs.insert((u, v));
+    }
+
+    /// Returns `true` if `(u, v)` is an arc.
+    pub fn contains_arc(&self, u: Vertex, v: Vertex) -> bool {
+        self.arcs.contains(&(u, v))
+    }
+
+    /// All vertices in ascending order.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// All arcs in ascending order.
+    pub fn arcs(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.arcs.iter().copied()
+    }
+
+    /// The number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Vertices `w` with an arc `v → w`.
+    pub fn out_neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        self.arcs.iter().filter(|(u, _)| *u == v).map(|(_, w)| *w).collect()
+    }
+
+    /// Vertices `u` with an arc `u → v`.
+    pub fn in_neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        self.arcs.iter().filter(|(_, w)| *w == v).map(|(u, _)| *u).collect()
+    }
+
+    /// Arcs leaving `v`.
+    pub fn out_arcs(&self, v: Vertex) -> Vec<(Vertex, Vertex)> {
+        self.arcs.iter().filter(|(u, _)| *u == v).copied().collect()
+    }
+
+    /// Arcs entering `v`.
+    pub fn in_arcs(&self, v: Vertex) -> Vec<(Vertex, Vertex)> {
+        self.arcs.iter().filter(|(_, w)| *w == v).copied().collect()
+    }
+
+    /// Returns `true` if every vertex can reach every other vertex.
+    ///
+    /// An empty or single-vertex digraph is vacuously strongly connected.
+    pub fn is_strongly_connected(&self) -> bool {
+        let Some(&start) = self.vertices.iter().next() else { return true };
+        let forward = self.reachable_from(start, false);
+        let backward = self.reachable_from(start, true);
+        forward.len() == self.vertices.len() && backward.len() == self.vertices.len()
+    }
+
+    fn reachable_from(&self, start: Vertex, reverse: bool) -> BTreeSet<Vertex> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            let next = if reverse { self.in_neighbors(v) } else { self.out_neighbors(v) };
+            for w in next {
+                if seen.insert(w) {
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest-path distances (in arcs) from `start` to every reachable vertex.
+    pub fn distances_from(&self, start: Vertex) -> BTreeMap<Vertex, u64> {
+        let mut dist = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(start, 0u64);
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            for w in self.out_neighbors(v) {
+                if !dist.contains_key(&w) {
+                    dist.insert(w, d + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The diameter of the digraph: the greatest shortest-path distance over
+    /// all ordered vertex pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for an empty digraph and
+    /// [`GraphError::NotStronglyConnected`] if some vertex cannot reach
+    /// another (the diameter is then undefined).
+    pub fn diameter(&self) -> Result<u64, GraphError> {
+        if self.vertices.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut diameter = 0;
+        for &v in &self.vertices {
+            let dist = self.distances_from(v);
+            if dist.len() != self.vertices.len() {
+                return Err(GraphError::NotStronglyConnected);
+            }
+            diameter = diameter.max(dist.values().copied().max().unwrap_or(0));
+        }
+        Ok(diameter)
+    }
+
+    /// Returns `true` if removing `set` leaves the digraph acyclic, i.e.
+    /// `set` is a feedback vertex set.
+    pub fn is_feedback_vertex_set(&self, set: &BTreeSet<Vertex>) -> bool {
+        // Kahn's algorithm on the digraph restricted to vertices outside `set`.
+        let remaining: Vec<Vertex> =
+            self.vertices.iter().copied().filter(|v| !set.contains(v)).collect();
+        let mut indegree: BTreeMap<Vertex, usize> =
+            remaining.iter().map(|&v| (v, 0)).collect();
+        for &(u, v) in &self.arcs {
+            if !set.contains(&u) && !set.contains(&v) {
+                *indegree.get_mut(&v).expect("vertex present") += 1;
+            }
+        }
+        let mut queue: VecDeque<Vertex> =
+            indegree.iter().filter(|(_, &d)| d == 0).map(|(&v, _)| v).collect();
+        let mut removed = 0usize;
+        while let Some(v) = queue.pop_front() {
+            removed += 1;
+            for w in self.out_neighbors(v) {
+                if set.contains(&w) || set.contains(&v) {
+                    continue;
+                }
+                let d = indegree.get_mut(&w).expect("vertex present");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        removed == remaining.len()
+    }
+
+    /// Computes a (not necessarily minimum) feedback vertex set greedily:
+    /// repeatedly add the vertex with the largest total degree among the
+    /// vertices still involved in a cycle.
+    ///
+    /// The result is suitable as the leader set of the multi-party swap
+    /// protocol (§7), which only requires *some* feedback vertex set.
+    pub fn greedy_feedback_vertex_set(&self) -> BTreeSet<Vertex> {
+        let mut set = BTreeSet::new();
+        while !self.is_feedback_vertex_set(&set) {
+            let candidate = self
+                .vertices
+                .iter()
+                .copied()
+                .filter(|v| !set.contains(v))
+                .max_by_key(|&v| self.out_neighbors(v).len() + self.in_neighbors(v).len())
+                .expect("non-empty digraph with a cycle has a candidate");
+            set.insert(candidate);
+        }
+        set
+    }
+
+    /// Enumerates every simple path from `from` to `to` that follows arc
+    /// directions, each returned as the vertex sequence `from, …, to`.
+    ///
+    /// Hashkey paths (§7) are exactly these: a hashkey presented on arc
+    /// `(u, v)` carries a simple path from `v` to the leader.
+    pub fn simple_paths(&self, from: Vertex, to: Vertex) -> Vec<Vec<Vertex>> {
+        let mut paths = Vec::new();
+        let mut current = vec![from];
+        let mut on_path: BTreeSet<Vertex> = BTreeSet::from([from]);
+        self.simple_paths_rec(from, to, &mut current, &mut on_path, &mut paths);
+        paths.sort();
+        paths
+    }
+
+    fn simple_paths_rec(
+        &self,
+        at: Vertex,
+        to: Vertex,
+        current: &mut Vec<Vertex>,
+        on_path: &mut BTreeSet<Vertex>,
+        paths: &mut Vec<Vec<Vertex>>,
+    ) {
+        if at == to {
+            paths.push(current.clone());
+            return;
+        }
+        for w in self.out_neighbors(at) {
+            if on_path.contains(&w) {
+                continue;
+            }
+            current.push(w);
+            on_path.insert(w);
+            self.simple_paths_rec(w, to, current, on_path, paths);
+            current.pop();
+            on_path.remove(&w);
+        }
+    }
+
+    /// Validates that `leaders` is a suitable leader set: non-empty and a
+    /// feedback vertex set of a strongly connected digraph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`GraphError`] describing which requirement
+    /// fails.
+    pub fn validate_leaders(&self, leaders: &BTreeSet<Vertex>) -> Result<(), GraphError> {
+        if self.vertices.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        if !self.is_strongly_connected() {
+            return Err(GraphError::NotStronglyConnected);
+        }
+        if leaders.is_empty() || !self.is_feedback_vertex_set(leaders) {
+            return Err(GraphError::NotFeedbackVertexSet);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape() {
+        let g = Digraph::figure3();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.arc_count(), 4);
+        assert!(g.contains_arc(1, 2));
+        assert!(!g.contains_arc(2, 1));
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.diameter().unwrap(), 2);
+        assert_eq!(g.out_neighbors(1), vec![0, 2]);
+        assert_eq!(g.in_neighbors(0), vec![1, 2]);
+        assert_eq!(g.in_arcs(0), vec![(1, 0), (2, 0)]);
+        assert_eq!(g.out_arcs(1), vec![(1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Digraph::new();
+        g.add_arc(1, 1);
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.vertex_count(), 1);
+    }
+
+    #[test]
+    fn cycle_and_complete_constructors() {
+        let c = Digraph::cycle(4);
+        assert_eq!(c.arc_count(), 4);
+        assert_eq!(c.diameter().unwrap(), 3);
+        let k = Digraph::complete(4);
+        assert_eq!(k.arc_count(), 12);
+        assert_eq!(k.diameter().unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn cycle_rejects_tiny_n() {
+        let _ = Digraph::cycle(1);
+    }
+
+    #[test]
+    fn strong_connectivity_detects_missing_return_path() {
+        let mut g = Digraph::new();
+        g.add_arc(0, 1);
+        g.add_arc(1, 2);
+        assert!(!g.is_strongly_connected());
+        assert_eq!(g.diameter(), Err(GraphError::NotStronglyConnected));
+        g.add_arc(2, 0);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Digraph::new();
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.diameter(), Err(GraphError::Empty));
+        assert_eq!(
+            g.validate_leaders(&BTreeSet::from([0])),
+            Err(GraphError::Empty)
+        );
+    }
+
+    #[test]
+    fn feedback_vertex_sets() {
+        let g = Digraph::figure3();
+        // Alice alone breaks every cycle: cycles are A-B and A-B-C... actually
+        // cycles are (A,B,A) and (B,C,A,B); both contain A and B.
+        assert!(g.is_feedback_vertex_set(&BTreeSet::from([0])));
+        assert!(g.is_feedback_vertex_set(&BTreeSet::from([1])));
+        assert!(!g.is_feedback_vertex_set(&BTreeSet::new()));
+        // Carol alone does not break the A-B cycle.
+        assert!(!g.is_feedback_vertex_set(&BTreeSet::from([2])));
+        let greedy = g.greedy_feedback_vertex_set();
+        assert!(g.is_feedback_vertex_set(&greedy));
+        assert!(!greedy.is_empty());
+    }
+
+    #[test]
+    fn complete_graph_needs_all_but_one_leader() {
+        let g = Digraph::complete(4);
+        let fvs = g.greedy_feedback_vertex_set();
+        assert!(g.is_feedback_vertex_set(&fvs));
+        assert_eq!(fvs.len(), 3, "complete digraph on n vertices needs n-1 leaders");
+    }
+
+    #[test]
+    fn simple_paths_match_figure3b() {
+        let g = Digraph::figure3();
+        // Paths used by hashkeys for k_A: from each arc's receiver to A.
+        assert_eq!(g.simple_paths(0, 0), vec![vec![0]]); // arcs entering A: path (A)
+        assert_eq!(g.simple_paths(2, 0), vec![vec![2, 0]]); // arc (B,C): path (C,A)
+        assert_eq!(
+            g.simple_paths(1, 0),
+            vec![vec![1, 0], vec![1, 2, 0]] // arc (A,B): paths (B,A) and (B,C,A)
+        );
+    }
+
+    #[test]
+    fn simple_paths_with_no_route() {
+        let mut g = Digraph::new();
+        g.add_arc(0, 1);
+        g.add_vertex(2);
+        assert!(g.simple_paths(1, 2).is_empty());
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn validate_leaders_checks_everything() {
+        let g = Digraph::figure3();
+        assert!(g.validate_leaders(&BTreeSet::from([0])).is_ok());
+        assert_eq!(
+            g.validate_leaders(&BTreeSet::from([2])),
+            Err(GraphError::NotFeedbackVertexSet)
+        );
+        assert_eq!(
+            g.validate_leaders(&BTreeSet::new()),
+            Err(GraphError::NotFeedbackVertexSet)
+        );
+        let mut disconnected = Digraph::new();
+        disconnected.add_arc(0, 1);
+        assert_eq!(
+            disconnected.validate_leaders(&BTreeSet::from([0])),
+            Err(GraphError::NotStronglyConnected)
+        );
+    }
+
+    #[test]
+    fn distances_from_are_shortest() {
+        let g = Digraph::figure3();
+        let d = g.distances_from(0);
+        assert_eq!(d[&0], 0);
+        assert_eq!(d[&1], 1);
+        assert_eq!(d[&2], 2);
+    }
+}

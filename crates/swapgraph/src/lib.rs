@@ -1,0 +1,46 @@
+//! Swap digraphs, premium formulas and premium-sizing mathematics.
+//!
+//! A multi-party swap (§7 of Xue & Herlihy, PODC 2021) is described by a
+//! strongly-connected directed graph whose vertices are parties and whose
+//! arcs are proposed asset transfers. This crate provides:
+//!
+//! * [`Digraph`] — the swap-graph data structure with the graph algorithms
+//!   the protocols need (strong connectivity, diameter, feedback vertex
+//!   sets, simple-path enumeration);
+//! * [`premiums`] — the redemption-premium formula (Eq. 1), the
+//!   escrow-premium formula (Eq. 2), leader premiums, and the broker
+//!   protocol's trading premiums;
+//! * [`bootstrap`] — the premium-bootstrapping arithmetic of §6 (how many
+//!   rounds of premium exchange are needed so that the initial lock-up risk
+//!   is acceptably small);
+//! * [`pricing`] — a Cox-Ross-Rubinstein binomial option pricer used to
+//!   estimate economically sensible premiums (§4).
+//!
+//! # Examples
+//!
+//! Reproducing Figure 3a of the paper and computing the leader's premium:
+//!
+//! ```
+//! use swapgraph::{premiums, Digraph};
+//!
+//! // Vertices: 0 = Alice (leader), 1 = Bob, 2 = Carol.
+//! let mut g = Digraph::new();
+//! g.add_arc(0, 1); // (A, B)
+//! g.add_arc(1, 0); // (B, A)
+//! g.add_arc(1, 2); // (B, C)
+//! g.add_arc(2, 0); // (C, A)
+//! assert!(g.is_strongly_connected());
+//!
+//! // With unit base premium p = 1 the leader deposits 5p (2p on (B,A), 3p on (C,A)).
+//! assert_eq!(premiums::leader_redemption_premium(&g, 0, 1), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod bootstrap;
+mod digraph;
+pub mod premiums;
+pub mod pricing;
+
+pub use digraph::{Digraph, GraphError, Vertex};

@@ -1,0 +1,296 @@
+//! Cox-Ross-Rubinstein premium estimation (§4 of the paper).
+//!
+//! The paper notes that premiums "can be estimated using formulas such as
+//! the Cox-Ross-Rubinstein option pricing model": by walking away from a
+//! swap a party is effectively exercising an option, so the fair
+//! compensation for the counterparty's lock-up is the value of that option
+//! over the lock-up period. This module provides a standard CRR binomial
+//! pricer plus a convenience wrapper that turns a lock-up duration and an
+//! asset volatility into a premium.
+
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+/// The kind of option being priced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptionKind {
+    /// The right to buy at the strike.
+    Call,
+    /// The right to sell at the strike.
+    Put,
+}
+
+/// The exercise style of the option.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExerciseStyle {
+    /// Exercisable only at expiry.
+    European,
+    /// Exercisable at any step, which is the style that models "walk away
+    /// whenever it becomes profitable" (the paper calls the counterparty's
+    /// position an American call option).
+    American,
+}
+
+/// Parameters of a Cox-Ross-Rubinstein binomial pricing run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrrParams {
+    /// Current price of the underlying asset.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Continuously compounded risk-free rate per year.
+    pub rate: f64,
+    /// Annualised volatility (standard deviation of log returns).
+    pub volatility: f64,
+    /// Time to expiry in years (the lock-up duration).
+    pub expiry: f64,
+    /// Number of binomial steps.
+    pub steps: u32,
+    /// Call or put.
+    pub kind: OptionKind,
+    /// European or American exercise.
+    pub style: ExerciseStyle,
+}
+
+/// Errors from the CRR pricer.
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum PricingError {
+    /// A parameter was non-finite, negative or otherwise out of range.
+    #[error("invalid pricing parameter: {reason}")]
+    InvalidParameter {
+        /// Which constraint was violated.
+        reason: String,
+    },
+}
+
+impl CrrParams {
+    fn validate(&self) -> Result<(), PricingError> {
+        let check = |ok: bool, reason: &str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(PricingError::InvalidParameter { reason: reason.to_owned() })
+            }
+        };
+        check(self.spot.is_finite() && self.spot > 0.0, "spot must be positive")?;
+        check(self.strike.is_finite() && self.strike > 0.0, "strike must be positive")?;
+        check(self.rate.is_finite(), "rate must be finite")?;
+        check(self.volatility.is_finite() && self.volatility > 0.0, "volatility must be positive")?;
+        check(self.expiry.is_finite() && self.expiry > 0.0, "expiry must be positive")?;
+        check(self.steps >= 1, "at least one binomial step is required")?;
+        Ok(())
+    }
+}
+
+/// Prices an option with the Cox-Ross-Rubinstein binomial lattice.
+///
+/// # Errors
+///
+/// Returns [`PricingError::InvalidParameter`] if any parameter is out of
+/// range (non-positive spot/strike/volatility/expiry, zero steps).
+///
+/// # Examples
+///
+/// ```
+/// use swapgraph::pricing::{crr_price, CrrParams, ExerciseStyle, OptionKind};
+///
+/// let price = crr_price(&CrrParams {
+///     spot: 100.0,
+///     strike: 100.0,
+///     rate: 0.01,
+///     volatility: 0.5,
+///     expiry: 48.0 / (24.0 * 365.0), // a 48-hour lock-up
+///     steps: 64,
+///     kind: OptionKind::Call,
+///     style: ExerciseStyle::American,
+/// })?;
+/// assert!(price > 0.0 && price < 10.0);
+/// # Ok::<(), swapgraph::pricing::PricingError>(())
+/// ```
+pub fn crr_price(params: &CrrParams) -> Result<f64, PricingError> {
+    params.validate()?;
+    let n = params.steps as usize;
+    let dt = params.expiry / params.steps as f64;
+    let up = (params.volatility * dt.sqrt()).exp();
+    let down = 1.0 / up;
+    let growth = (params.rate * dt).exp();
+    let q = (growth - down) / (up - down);
+    // With extreme parameters q can leave [0, 1]; clamp to keep the lattice
+    // a valid probability measure (standard practical fix).
+    let q = q.clamp(0.0, 1.0);
+    let discount = (-params.rate * dt).exp();
+
+    let intrinsic = |spot: f64| -> f64 {
+        match params.kind {
+            OptionKind::Call => (spot - params.strike).max(0.0),
+            OptionKind::Put => (params.strike - spot).max(0.0),
+        }
+    };
+
+    // Terminal payoffs.
+    let mut values: Vec<f64> = (0..=n)
+        .map(|j| {
+            let spot = params.spot * up.powi(j as i32) * down.powi((n - j) as i32);
+            intrinsic(spot)
+        })
+        .collect();
+
+    // Backward induction.
+    for step in (0..n).rev() {
+        for j in 0..=step {
+            let continuation = discount * (q * values[j + 1] + (1.0 - q) * values[j]);
+            let value = match params.style {
+                ExerciseStyle::European => continuation,
+                ExerciseStyle::American => {
+                    let spot =
+                        params.spot * up.powi(j as i32) * down.powi((step - j) as i32);
+                    continuation.max(intrinsic(spot))
+                }
+            };
+            values[j] = value;
+        }
+    }
+    Ok(values[0])
+}
+
+/// Estimates a fair premium for locking up an asset worth `asset_value` for
+/// `lockup_blocks` blocks, assuming `blocks_per_year` blocks per year and
+/// the given annualised `volatility`.
+///
+/// The premium is the value of an at-the-money American call over the
+/// lock-up window — the option the counterparty effectively holds while the
+/// asset is escrowed.
+///
+/// # Errors
+///
+/// Propagates [`PricingError`] for out-of-range parameters.
+pub fn lockup_premium(
+    asset_value: f64,
+    volatility: f64,
+    lockup_blocks: u64,
+    blocks_per_year: u64,
+) -> Result<f64, PricingError> {
+    if blocks_per_year == 0 {
+        return Err(PricingError::InvalidParameter {
+            reason: "blocks_per_year must be positive".to_owned(),
+        });
+    }
+    let expiry = lockup_blocks as f64 / blocks_per_year as f64;
+    crr_price(&CrrParams {
+        spot: asset_value,
+        strike: asset_value,
+        rate: 0.0,
+        volatility,
+        expiry: expiry.max(f64::EPSILON),
+        steps: 128,
+        kind: OptionKind::Call,
+        style: ExerciseStyle::American,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_params() -> CrrParams {
+        CrrParams {
+            spot: 100.0,
+            strike: 100.0,
+            rate: 0.02,
+            volatility: 0.4,
+            expiry: 0.25,
+            steps: 200,
+            kind: OptionKind::Call,
+            style: ExerciseStyle::European,
+        }
+    }
+
+    #[test]
+    fn european_call_matches_black_scholes_ballpark() {
+        // Black-Scholes value for these parameters is ≈ 8.21.
+        let price = crr_price(&base_params()).unwrap();
+        assert!((price - 8.21).abs() < 0.15, "got {price}");
+    }
+
+    #[test]
+    fn put_call_parity_holds_for_european_options() {
+        let call = crr_price(&base_params()).unwrap();
+        let put = crr_price(&CrrParams { kind: OptionKind::Put, ..base_params() }).unwrap();
+        let p = base_params();
+        let parity = call - put - (p.spot - p.strike * (-p.rate * p.expiry).exp());
+        assert!(parity.abs() < 1e-6, "put-call parity violated by {parity}");
+    }
+
+    #[test]
+    fn american_options_are_worth_at_least_european() {
+        for kind in [OptionKind::Call, OptionKind::Put] {
+            let eu = crr_price(&CrrParams { kind, ..base_params() }).unwrap();
+            let am = crr_price(&CrrParams {
+                kind,
+                style: ExerciseStyle::American,
+                ..base_params()
+            })
+            .unwrap();
+            assert!(am >= eu - 1e-9, "american {am} < european {eu}");
+        }
+    }
+
+    #[test]
+    fn american_put_carries_early_exercise_premium() {
+        let params = CrrParams {
+            kind: OptionKind::Put,
+            rate: 0.10,
+            expiry: 1.0,
+            ..base_params()
+        };
+        let eu = crr_price(&params).unwrap();
+        let am = crr_price(&CrrParams { style: ExerciseStyle::American, ..params }).unwrap();
+        assert!(am > eu + 1e-3, "deep discounting should make early exercise valuable");
+    }
+
+    #[test]
+    fn price_increases_with_volatility_and_expiry() {
+        let low = crr_price(&CrrParams { volatility: 0.2, ..base_params() }).unwrap();
+        let high = crr_price(&CrrParams { volatility: 0.8, ..base_params() }).unwrap();
+        assert!(high > low);
+        let short = crr_price(&CrrParams { expiry: 0.05, ..base_params() }).unwrap();
+        let long = crr_price(&CrrParams { expiry: 1.0, ..base_params() }).unwrap();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        for params in [
+            CrrParams { spot: -1.0, ..base_params() },
+            CrrParams { strike: 0.0, ..base_params() },
+            CrrParams { volatility: 0.0, ..base_params() },
+            CrrParams { expiry: 0.0, ..base_params() },
+            CrrParams { steps: 0, ..base_params() },
+            CrrParams { rate: f64::NAN, ..base_params() },
+        ] {
+            assert!(crr_price(&params).is_err(), "{params:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn lockup_premium_is_small_fraction_of_value() {
+        // A 48-hour lock-up (Δ = 12 hours, 4Δ) of a 100-unit asset at 50%
+        // annualised volatility costs on the order of 1 unit — the "premium
+        // ≪ principal" regime the paper relies on.
+        let premium = lockup_premium(100.0, 0.5, 48, 24 * 365).unwrap();
+        assert!(premium > 0.1 && premium < 5.0, "got {premium}");
+    }
+
+    #[test]
+    fn lockup_premium_scales_with_duration() {
+        let short = lockup_premium(100.0, 0.5, 12, 24 * 365).unwrap();
+        let long = lockup_premium(100.0, 0.5, 96, 24 * 365).unwrap();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn lockup_premium_rejects_zero_blocks_per_year() {
+        assert!(lockup_premium(100.0, 0.5, 48, 0).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! The hedged ticket auction of §9: honest, cheating and absent auctioneers.
+
+use std::collections::BTreeMap;
+
+use sore_loser_hedging::protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
+
+fn main() {
+    for behaviour in [
+        AuctioneerBehaviour::DeclareHighBidder,
+        AuctioneerBehaviour::DeclareLowBidder,
+        AuctioneerBehaviour::Abandon,
+    ] {
+        let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
+        let report = run_auction(&config, &BTreeMap::new());
+        println!("== auctioneer behaviour: {behaviour:?} ==");
+        println!("  outcome: {:?}", report.outcome);
+        println!("  ticket winner: {:?}", report.ticket_winner);
+        println!("  bidder coin payoffs: {:?}", report.bidder_coin_payoffs);
+        println!("  auctioneer coin payoff: {:+}", report.auctioneer_coin_payoff);
+        println!("  no bid stolen: {} | bidders compensated: {}",
+            report.no_bid_stolen, report.bidders_compensated);
+        println!();
+    }
+}

@@ -1,0 +1,29 @@
+//! The brokered ticket sale of §8 (Figure 4): Alice brokers Bob's ticket to
+//! Carol, keeping the 1-coin spread; deviations forfeit premiums.
+
+use std::collections::BTreeMap;
+
+use sore_loser_hedging::protocols::broker::{run_brokered_sale, BrokerConfig, BROKER, SELLER};
+use sore_loser_hedging::protocols::script::Strategy;
+
+fn main() {
+    let config = BrokerConfig::default();
+
+    println!("== Compliant brokered sale ==");
+    let report = run_brokered_sale(&config, &BTreeMap::new());
+    println!("completed: {} | everyone hedged: {}", report.completed, report.all_compliant_hedged());
+
+    println!("\n== The broker walks away before trading ==");
+    let strategies = BTreeMap::from([(BROKER, Strategy::StopAfter(2))]);
+    let report = run_brokered_sale(&config, &strategies);
+    for (party, outcome) in &report.parties {
+        println!("  {party}: premium payoff {:+}, hedged {}", outcome.premium_payoff, outcome.hedged);
+    }
+
+    println!("\n== The seller walks away after premiums ==");
+    let strategies = BTreeMap::from([(SELLER, Strategy::StopAfter(2))]);
+    let report = run_brokered_sale(&config, &strategies);
+    for (party, outcome) in &report.parties {
+        println!("  {party}: premium payoff {:+}, hedged {}", outcome.premium_payoff, outcome.hedged);
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: complete protocol executions on the
+//! simulator, exercised through the facade crate's public API.
+
+use std::collections::BTreeMap;
+
+use sore_loser_hedging::chainsim::{Amount, PartyId};
+use sore_loser_hedging::protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
+use sore_loser_hedging::protocols::bootstrap::{run_bootstrap, BootstrapDeviation};
+use sore_loser_hedging::protocols::broker::{run_brokered_sale, BrokerConfig};
+use sore_loser_hedging::protocols::multi_party::{cycle_config, figure3_config, run_multi_party_swap};
+use sore_loser_hedging::protocols::script::Strategy;
+use sore_loser_hedging::protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
+
+#[test]
+fn hedged_two_party_swap_full_matrix_is_hedged() {
+    let config = TwoPartyConfig::default();
+    for alice in Strategy::all(4) {
+        for bob in Strategy::all(4) {
+            let report = run_hedged_swap(&config, alice, bob);
+            if alice.is_compliant() {
+                assert!(report.hedged_for_alice, "alice={alice} bob={bob}");
+            }
+            if bob.is_compliant() {
+                assert!(report.hedged_for_bob, "alice={alice} bob={bob}");
+            }
+        }
+    }
+}
+
+#[test]
+fn base_swap_exhibits_the_sore_loser_attack() {
+    let config = TwoPartyConfig::default();
+    let report = run_base_swap(&config, Strategy::Compliant, Strategy::StopAfter(0));
+    assert!(!report.swap_completed);
+    assert!(!report.hedged_for_alice);
+    assert_eq!(report.alice_lockup.principal_blocks, 3 * config.delta_blocks);
+    assert_eq!(report.alice_premium_payoff, 0);
+}
+
+#[test]
+fn larger_premiums_change_compensation_proportionally() {
+    let config = TwoPartyConfig {
+        premium_a: Amount::new(7),
+        premium_b: Amount::new(5),
+        ..TwoPartyConfig::default()
+    };
+    // Bob reneges after premiums: Alice collects p_b = 5.
+    let report = run_hedged_swap(&config, Strategy::Compliant, Strategy::StopAfter(1));
+    assert_eq!(report.alice_premium_payoff, 5);
+    // Alice reneges after escrowing: Bob nets p_a = 7.
+    let report = run_hedged_swap(&config, Strategy::StopAfter(2), Strategy::Compliant);
+    assert_eq!(report.bob_premium_payoff, 7);
+}
+
+#[test]
+fn multi_party_swaps_complete_and_withstand_deviations() {
+    let report = run_multi_party_swap(&figure3_config(), &BTreeMap::new());
+    assert!(report.completed);
+    for n in [3u32, 5] {
+        let report = run_multi_party_swap(&cycle_config(n), &BTreeMap::new());
+        assert!(report.completed, "cycle of {n}");
+    }
+    let strategies = BTreeMap::from([(PartyId(1), Strategy::StopAfter(3))]);
+    let report = run_multi_party_swap(&figure3_config(), &strategies);
+    assert!(report.all_compliant_hedged());
+}
+
+#[test]
+fn brokered_sale_and_auction_end_to_end() {
+    let broker = run_brokered_sale(&BrokerConfig::default(), &BTreeMap::new());
+    assert!(broker.completed);
+    assert!(broker.all_compliant_hedged());
+
+    let auction = run_auction(&AuctionConfig::default(), &BTreeMap::new());
+    assert_eq!(auction.ticket_winner, Some(PartyId(1)));
+    let cheated = run_auction(
+        &AuctionConfig { auctioneer: AuctioneerBehaviour::DeclareLowBidder, ..AuctionConfig::default() },
+        &BTreeMap::new(),
+    );
+    assert!(cheated.no_bid_stolen);
+    assert!(cheated.bidders_compensated);
+}
+
+#[test]
+fn bootstrap_cascade_bounds_compliant_losses() {
+    for level in 0..=2 {
+        let report = run_bootstrap(
+            1_000_000,
+            1_000_000,
+            100,
+            2,
+            BootstrapDeviation::StopAtLevel { party: PartyId(1), level },
+        );
+        assert!(report.loss_bounded_by_initial_risk, "level {level}");
+        assert!(report.alice_payoff >= 0);
+    }
+}
+
+#[test]
+fn model_checking_reports_clean_sweeps() {
+    assert!(sore_loser_hedging::modelcheck::check_hedged_two_party().holds());
+    assert!(!sore_loser_hedging::modelcheck::check_base_two_party().holds());
+    assert!(sore_loser_hedging::modelcheck::check_auction().holds());
+}

@@ -1,0 +1,99 @@
+//! Property-based tests over the public API: conservation, hedging and
+//! premium-formula invariants under randomly drawn configurations.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sore_loser_hedging::chainsim::Amount;
+use sore_loser_hedging::protocols::script::Strategy;
+use sore_loser_hedging::protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
+use sore_loser_hedging::swapgraph::bootstrap::{bootstrap_plan, rounds_needed};
+use sore_loser_hedging::swapgraph::{premiums, Digraph};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The hedged property and conservation hold for arbitrary principal and
+    /// premium sizes and arbitrary unilateral deviation points.
+    #[test]
+    fn hedged_swap_is_hedged_for_random_configs(
+        alice_tokens in 1u128..5_000,
+        bob_tokens in 1u128..5_000,
+        premium_a in 1u128..50,
+        premium_b in 1u128..50,
+        alice_stop in 0usize..5,
+        bob_stop in 0usize..5,
+        alice_compliant: bool,
+        bob_compliant: bool,
+    ) {
+        let config = TwoPartyConfig {
+            alice_tokens: Amount::new(alice_tokens),
+            bob_tokens: Amount::new(bob_tokens),
+            premium_a: Amount::new(premium_a),
+            premium_b: Amount::new(premium_b),
+            delta_blocks: 2,
+        };
+        let alice = if alice_compliant { Strategy::Compliant } else { Strategy::StopAfter(alice_stop) };
+        let bob = if bob_compliant { Strategy::Compliant } else { Strategy::StopAfter(bob_stop) };
+        let report = run_hedged_swap(&config, alice, bob);
+        if alice_compliant {
+            prop_assert!(report.hedged_for_alice);
+        }
+        if bob_compliant {
+            prop_assert!(report.hedged_for_bob);
+        }
+        if alice_compliant || bob_compliant {
+            prop_assert!(report.payoffs.conserved());
+        }
+    }
+
+    /// In the base protocol a compliant escrower is never compensated.
+    #[test]
+    fn base_swap_never_compensates(bob_stop in 0usize..3) {
+        let report = run_base_swap(
+            &TwoPartyConfig::default(),
+            Strategy::Compliant,
+            Strategy::StopAfter(bob_stop),
+        );
+        prop_assert_eq!(report.alice_premium_payoff, 0);
+    }
+
+    /// Escrow premiums (Eq. 2) are positive multiples of the base premium and
+    /// scale linearly in p, on random strongly-connected digraphs built from
+    /// a cycle plus chords.
+    #[test]
+    fn escrow_premiums_scale_linearly(n in 3u32..7, chords in 0usize..6, seed in 0u64..1000) {
+        let mut g = Digraph::cycle(n);
+        let mut state = seed;
+        for _ in 0..chords {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (state >> 33) as u32 % n;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (state >> 33) as u32 % n;
+            g.add_arc(u, v);
+        }
+        let leaders = g.greedy_feedback_vertex_set();
+        let leaders: BTreeSet<u32> = leaders.into_iter().collect();
+        let table1 = premiums::escrow_premium_table(&g, &leaders, 1).unwrap();
+        let table5 = premiums::escrow_premium_table(&g, &leaders, 5).unwrap();
+        for (arc, units) in &table1 {
+            prop_assert!(*units >= 1);
+            prop_assert_eq!(table5[arc], units * 5);
+        }
+    }
+
+    /// The bootstrap plan's outermost deposit shrinks geometrically and the
+    /// round count from `rounds_needed` brings it below the acceptable risk
+    /// up to the (rA+B)/P^r correction.
+    #[test]
+    fn bootstrap_rounds_reduce_risk(a in 100u128..1_000_000, b in 100u128..1_000_000, ratio in 2u128..200) {
+        let risk = 10u128;
+        let rounds = rounds_needed(a + b, risk, ratio);
+        let plan = bootstrap_plan(a, b, ratio, rounds);
+        let formula = (u128::from(rounds) * a + b) / ratio.pow(rounds);
+        prop_assert!(plan.initial_risk() <= risk.max(formula));
+        if rounds > 0 {
+            prop_assert!(plan.initial_risk() < a + b);
+        }
+    }
+}
