@@ -2,8 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use chainsim::Amount;
+use criterion::{criterion_group, criterion_main, Criterion};
 use protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
 
 fn report() {
@@ -29,7 +29,8 @@ fn report() {
     }
     bench::header("C5: auctioneer premium endowment scales as n·p", &["bidders n", "endowment"]);
     for n in 2..=6u32 {
-        let bids: Vec<Option<Amount>> = (0..n).map(|i| Some(Amount::new(10 + u128::from(i)))).collect();
+        let bids: Vec<Option<Amount>> =
+            (0..n).map(|i| Some(Amount::new(10 + u128::from(i)))).collect();
         let config = AuctionConfig { bids, ..AuctionConfig::default() };
         bench::row(&[n.to_string(), config.premium.scaled(u128::from(n)).to_string()]);
     }

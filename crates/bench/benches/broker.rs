@@ -3,13 +3,18 @@
 use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use protocols::broker::{broker_deal_config, run_brokered_sale, BrokerConfig, BROKER, BUYER, SELLER};
+use protocols::broker::{
+    broker_deal_config, run_brokered_sale, BrokerConfig, BROKER, BUYER, SELLER,
+};
 use protocols::script::Strategy;
 
 fn report() {
     let config = BrokerConfig::default();
     let deal = broker_deal_config(&config);
-    bench::header("F4: broker deal arcs and premiums (p = 1)", &["arc", "asset", "amount", "escrow/trading premium"]);
+    bench::header(
+        "F4: broker deal arcs and premiums (p = 1)",
+        &["arc", "asset", "amount", "escrow/trading premium"],
+    );
     for arc in &deal.arcs {
         bench::row(&[
             format!("({}, {})", arc.from, arc.to),

@@ -1,8 +1,8 @@
 //! Experiment C9 — substrate throughput: the chain simulator itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use chainsim::{AccountRef, Amount, AssetId, PartyId, World};
 use contracts::{HtlcEscrow, HtlcMsg};
+use criterion::{criterion_group, criterion_main, Criterion};
 use cryptosim::Secret;
 
 fn escrow_redeem_round_trip() {
@@ -11,7 +11,14 @@ fn escrow_redeem_round_trip() {
     let token = world.register_asset("token");
     world.chain_mut(chain).mint(PartyId(0), token, Amount::new(1));
     let secret = Secret::from_seed(1);
-    let escrow = HtlcEscrow::new(PartyId(0), PartyId(1), token, Amount::new(1), secret.hashlock(), chainsim::Time(10));
+    let escrow = HtlcEscrow::new(
+        PartyId(0),
+        PartyId(1),
+        token,
+        Amount::new(1),
+        secret.hashlock(),
+        chainsim::Time(10),
+    );
     let id = world.chain_mut(chain).publish(PartyId(0), Box::new(escrow));
     let addr = chainsim::ContractAddr::new(chain, id);
     world.call(PartyId(0), addr, &HtlcMsg::Escrow, "escrow").unwrap();
@@ -28,7 +35,12 @@ fn ledger_transfers(n: u64) {
         world
             .chain_mut(chain)
             .ledger_mut()
-            .transfer(AccountRef::Party(PartyId(0)), AccountRef::Party(PartyId(1)), coin, Amount::new(1))
+            .transfer(
+                AccountRef::Party(PartyId(0)),
+                AccountRef::Party(PartyId(1)),
+                coin,
+                Amount::new(1),
+            )
             .unwrap();
     }
 }

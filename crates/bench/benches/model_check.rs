@@ -5,10 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use modelcheck::{check_auction, check_base_two_party, check_figure3_swap, check_hedged_two_party};
 
 fn report() {
-    bench::header(
-        "C4/C6: exhaustive deviation sweeps",
-        &["protocol", "runs", "violations"],
-    );
+    bench::header("C4/C6: exhaustive deviation sweeps", &["protocol", "runs", "violations"]);
     let rows = [
         ("hedged two-party swap", check_hedged_two_party()),
         ("base two-party swap", check_base_two_party()),

@@ -2,17 +2,24 @@
 
 use std::collections::BTreeMap;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use chainsim::PartyId;
+use criterion::{criterion_group, criterion_main, Criterion};
 use protocols::multi_party::{cycle_config, figure3_config, run_multi_party_swap};
 use protocols::script::Strategy;
 use swapgraph::{premiums, Digraph};
 
 fn report() {
     let g = Digraph::figure3();
-    bench::header("F3: Figure 3b hashkey paths and redemption premiums (p = 1)", &["arc", "path", "premium"]);
+    bench::header(
+        "F3: Figure 3b hashkey paths and redemption premiums (p = 1)",
+        &["arc", "path", "premium"],
+    );
     for entry in premiums::redemption_premium_table(&g, 0, 1) {
-        bench::row(&[format!("{:?}", entry.arc), format!("{:?}", entry.path), entry.amount.to_string()]);
+        bench::row(&[
+            format!("{:?}", entry.arc),
+            format!("{:?}", entry.path),
+            entry.amount.to_string(),
+        ]);
     }
     bench::header("F3: Figure 3a escrow premiums (Eq. 2, p = 1)", &["arc", "E(u,v)"]);
     let leaders = std::collections::BTreeSet::from([0]);
@@ -25,10 +32,18 @@ fn report() {
         &["scenario", "completed", "all compliant hedged"],
     );
     let compliant = run_multi_party_swap(&figure3_config(), &BTreeMap::new());
-    bench::row(&["compliant".into(), compliant.completed.to_string(), compliant.all_compliant_hedged().to_string()]);
+    bench::row(&[
+        "compliant".into(),
+        compliant.completed.to_string(),
+        compliant.all_compliant_hedged().to_string(),
+    ]);
     let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(2))]);
     let carol_defects = run_multi_party_swap(&figure3_config(), &strategies);
-    bench::row(&["carol defects".into(), carol_defects.completed.to_string(), carol_defects.all_compliant_hedged().to_string()]);
+    bench::row(&[
+        "carol defects".into(),
+        carol_defects.completed.to_string(),
+        carol_defects.all_compliant_hedged().to_string(),
+    ]);
 }
 
 fn bench_multi_party(c: &mut Criterion) {

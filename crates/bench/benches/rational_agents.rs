@@ -7,10 +7,17 @@ use marketsim::rational::{compare_protocols, RationalExperiment};
 fn report() {
     bench::header(
         "C8: swap success rate with a rational counterparty (200 trials each)",
-        &["volatility", "base success", "hedged success", "compliant payoff on abort (base)", "(hedged)"],
+        &[
+            "volatility",
+            "base success",
+            "hedged success",
+            "compliant payoff on abort (base)",
+            "(hedged)",
+        ],
     );
     for volatility in [0.2, 0.5, 1.0, 2.0] {
-        let comparison = compare_protocols(&RationalExperiment { volatility, ..RationalExperiment::default() });
+        let comparison =
+            compare_protocols(&RationalExperiment { volatility, ..RationalExperiment::default() });
         bench::row(&[
             format!("{volatility:.1}"),
             format!("{:.2}", comparison.base.success_rate),
@@ -24,7 +31,9 @@ fn report() {
 fn bench_rational(c: &mut Criterion) {
     report();
     let experiment = RationalExperiment { trials: 20, ..RationalExperiment::default() };
-    c.bench_function("rational_comparison_20_trials", |b| b.iter(|| compare_protocols(&experiment)));
+    c.bench_function("rational_comparison_20_trials", |b| {
+        b.iter(|| compare_protocols(&experiment))
+    });
 }
 
 criterion_group!(benches, bench_rational);

@@ -8,7 +8,14 @@ fn report() {
     let config = TwoPartyConfig::default();
     bench::header(
         "F1/C1: two-party swap deviation matrix (premiums p_a = p_b = 2)",
-        &["protocol", "scenario", "alice premium", "bob premium", "alice lockup (blocks)", "hedged"],
+        &[
+            "protocol",
+            "scenario",
+            "alice premium",
+            "bob premium",
+            "alice lockup (blocks)",
+            "hedged",
+        ],
     );
     let scenarios: [(&str, Strategy, Strategy); 4] = [
         ("compliant", Strategy::Compliant, Strategy::Compliant),

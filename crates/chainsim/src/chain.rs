@@ -277,7 +277,8 @@ mod tests {
     #[test]
     fn call_unknown_contract_fails() {
         let mut chain = chain_fixture();
-        let err = chain.call(PartyId(0), ContractId(9), &CounterMsg::Bump, "Bump", &dir()).unwrap_err();
+        let err =
+            chain.call(PartyId(0), ContractId(9), &CounterMsg::Bump, "Bump", &dir()).unwrap_err();
         assert!(matches!(err, ChainError::NoSuchContract { .. }));
     }
 
@@ -313,7 +314,9 @@ mod tests {
         let mut chain = chain_fixture();
         chain.mint(PartyId(0), AssetId(0), Amount::new(10));
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
-        chain.call(PartyId(0), id, &CounterMsg::Deposit(Amount::new(6)), "Deposit", &dir()).unwrap();
+        chain
+            .call(PartyId(0), id, &CounterMsg::Deposit(Amount::new(6)), "Deposit", &dir())
+            .unwrap();
         assert_eq!(chain.balance(AccountRef::Contract(id), AssetId(0)), Amount::new(6));
         assert_eq!(chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)), Amount::new(4));
         assert_eq!(chain.contract_as::<Counter>(id).unwrap().deposited, Amount::new(6));

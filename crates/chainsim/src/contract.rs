@@ -172,7 +172,12 @@ impl<'a> CallEnv<'a> {
     /// # Errors
     ///
     /// Propagates ledger errors (insufficient contract balance).
-    pub fn pay_out(&mut self, to: PartyId, asset: AssetId, amount: Amount) -> Result<(), ContractError> {
+    pub fn pay_out(
+        &mut self,
+        to: PartyId,
+        asset: AssetId,
+        amount: Amount,
+    ) -> Result<(), ContractError> {
         self.transfer_internal(
             AccountRef::Contract(self.contract),
             AccountRef::Party(to),
@@ -308,7 +313,6 @@ mod tests {
         ledger.mint(AccountRef::Contract(ContractId(7)), AssetId(0), Amount::new(3));
         let mut env = env_fixture(&mut ledger, &mut events, Time(0));
         env.pay_into_contract(ContractId(9), AssetId(0), Amount::new(3)).unwrap();
-        drop(env);
         assert_eq!(ledger.balance(AccountRef::Contract(ContractId(9)), AssetId(0)), Amount::new(3));
     }
 

@@ -154,10 +154,7 @@ mod tests {
 
     #[test]
     fn constructors() {
-        assert!(matches!(
-            ContractError::invalid_state("nope"),
-            ContractError::InvalidState { .. }
-        ));
+        assert!(matches!(ContractError::invalid_state("nope"), ContractError::InvalidState { .. }));
         assert!(matches!(
             ContractError::hashkey_rejected("bad path"),
             ContractError::HashkeyRejected { .. }

@@ -85,10 +85,7 @@ mod tests {
         assert_eq!(PartyId(0).to_string(), "P0");
         assert_eq!(ContractId(7).to_string(), "contract#7");
         assert_eq!(AssetId(2).to_string(), "asset#2");
-        assert_eq!(
-            ContractAddr::new(ChainId(1), ContractId(4)).to_string(),
-            "chain#1/contract#4"
-        );
+        assert_eq!(ContractAddr::new(ChainId(1), ContractId(4)).to_string(), "chain#1/contract#4");
     }
 
     #[test]

@@ -103,7 +103,7 @@ impl Ledger {
             return;
         }
         let entry = self.balances.entry((account, asset)).or_insert(Amount::ZERO);
-        *entry = *entry + amount;
+        *entry += amount;
     }
 
     /// Moves `amount` of `asset` from `from` to `to`.
@@ -124,7 +124,12 @@ impl Ledger {
         }
         let held = self.balance(from, asset);
         if held < amount {
-            return Err(LedgerError::InsufficientBalance { account: from, asset, held, needed: amount });
+            return Err(LedgerError::InsufficientBalance {
+                account: from,
+                asset,
+                held,
+                needed: amount,
+            });
         }
         self.balances.insert((from, asset), held - amount);
         let to_held = self.balance(to, asset);
@@ -134,11 +139,7 @@ impl Ledger {
 
     /// Returns the total supply of `asset` across all accounts.
     pub fn total_supply(&self, asset: AssetId) -> Amount {
-        self.balances
-            .iter()
-            .filter(|((_, a), _)| *a == asset)
-            .map(|(_, amount)| *amount)
-            .sum()
+        self.balances.iter().filter(|((_, a), _)| *a == asset).map(|(_, amount)| *amount).sum()
     }
 
     /// Iterates over all `(account, asset, balance)` entries with non-zero balances.

@@ -33,7 +33,11 @@ pub enum Action {
 
 impl Action {
     /// Convenience constructor for a call action.
-    pub fn call(addr: ContractAddr, msg: impl ContractMessage, description: impl Into<String>) -> Self {
+    pub fn call(
+        addr: ContractAddr,
+        msg: impl ContractMessage,
+        description: impl Into<String>,
+    ) -> Self {
         Action::Call { addr, msg: Box::new(msg), description: description.into() }
     }
 
@@ -296,7 +300,10 @@ mod tests {
             world.chain(chain).balance(AccountRef::Contract(addr.contract), AssetId(0)),
             Amount::new(5)
         );
-        assert_eq!(world.chain(chain).contract_as::<Pot>(addr.contract).unwrap().total, Amount::new(5));
+        assert_eq!(
+            world.chain(chain).contract_as::<Pot>(addr.contract).unwrap().total,
+            Amount::new(5)
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@ use cryptosim::KeyDirectory;
 use crate::amount::Amount;
 use crate::chain::Blockchain;
 use crate::error::ChainError;
-use crate::ids::{AssetId, ChainId, ContractAddr, PartyId};
 #[cfg(test)]
 use crate::ids::ContractId;
+use crate::ids::{AssetId, ChainId, ContractAddr, PartyId};
 use crate::time::{StepSchedule, Time};
 
 /// A collection of blockchains that advance in lock-step.

@@ -241,10 +241,7 @@ impl ArcEscrow {
     /// Returns `true` if the escrow premium has been *activated*: every
     /// leader's redemption premium has been deposited on this arc.
     pub fn escrow_premium_activated(&self) -> bool {
-        self.params
-            .hashlocks
-            .iter()
-            .all(|(leader, _)| self.redemption.contains_key(leader))
+        self.params.hashlocks.iter().all(|(leader, _)| self.redemption.contains_key(leader))
     }
 
     fn hashlock_for(&self, leader: PartyId) -> Option<Hashlock> {
@@ -288,11 +285,8 @@ impl ArcEscrow {
             ));
         }
         let vertices: Vec<u32> = path.iter().map(|p| p.0).collect();
-        let valid = self
-            .params
-            .digraph
-            .simple_paths(self.params.receiver.0, leader.0)
-            .contains(&vertices);
+        let valid =
+            self.params.digraph.simple_paths(self.params.receiver.0, leader.0).contains(&vertices);
         if !valid {
             return Err(ContractError::hashkey_rejected(
                 "redemption premium path is not a simple path of the swap digraph",

@@ -208,10 +208,10 @@ impl AuctionCoinContract {
         env.ensure_reached(self.params.challenge_deadline)?;
         let received = self.hashkeys_received();
         let high = self.high_bidder();
-        let honest_completion = match (high, received.as_slice()) {
-            (Some((winner, _)), [only]) if *only == winner => true,
-            _ => false,
-        };
+        let honest_completion = matches!(
+            (high, received.as_slice()),
+            (Some((winner, _)), [only]) if *only == winner
+        );
         if honest_completion {
             let (winner, winning_bid) = high.expect("checked above");
             // Winner's bid to the auctioneer, other bids refunded, premium back.
@@ -222,7 +222,11 @@ impl AuctionCoinContract {
                 }
             }
             if self.premium_held {
-                env.pay_out(self.params.auctioneer, self.params.coin_asset, self.params.total_premium())?;
+                env.pay_out(
+                    self.params.auctioneer,
+                    self.params.coin_asset,
+                    self.params.total_premium(),
+                )?;
                 self.premium_settled = true;
             }
             self.outcome = Some(AuctionOutcome::Completed { winner, winning_bid });
@@ -385,7 +389,11 @@ impl AuctionTicketContract {
             self.winner = Some(winner);
             env.emit_note(format!("tickets transferred to {winner}"));
         } else {
-            env.pay_out(self.params.auctioneer, self.params.ticket_asset, self.params.ticket_amount)?;
+            env.pay_out(
+                self.params.auctioneer,
+                self.params.ticket_asset,
+                self.params.ticket_amount,
+            )?;
             env.emit_note("tickets refunded to the auctioneer");
         }
         self.tickets_held = false;
@@ -400,7 +408,8 @@ impl Contract for AuctionTicketContract {
     }
 
     fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
-        let msg = msg.downcast_ref::<AuctionTicketMsg>().ok_or(ContractError::UnsupportedMessage)?;
+        let msg =
+            msg.downcast_ref::<AuctionTicketMsg>().ok_or(ContractError::UnsupportedMessage)?;
         match msg {
             AuctionTicketMsg::EscrowTickets => self.escrow_tickets(env),
             AuctionTicketMsg::SubmitHashkey { winner, secret } => {
@@ -608,9 +617,7 @@ mod tests {
         // are refunded to Alice (and the coin chain aborts).
         let mut f = setup();
         run_honest_setup(&mut f);
-        for (winner, secret) in
-            [(BOB, f.secret_bob.clone()), (CAROL, f.secret_carol.clone())]
-        {
+        for (winner, secret) in [(BOB, f.secret_bob.clone()), (CAROL, f.secret_carol.clone())] {
             f.world
                 .call(
                     ALICE,
@@ -731,7 +738,10 @@ mod tests {
     #[test]
     fn premium_and_tickets_require_auctioneer() {
         let mut f = setup();
-        assert!(f.world.call(BOB, f.coin_addr, &AuctionCoinMsg::DepositPremium, "premium").is_err());
+        assert!(f
+            .world
+            .call(BOB, f.coin_addr, &AuctionCoinMsg::DepositPremium, "premium")
+            .is_err());
         assert!(f
             .world
             .call(BOB, f.ticket_addr, &AuctionTicketMsg::EscrowTickets, "tickets")

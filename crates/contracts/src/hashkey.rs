@@ -313,7 +313,8 @@ mod tests {
         let f = fixture();
         let secret = Secret::from_seed(3);
         let hashlock = secret.hashlock();
-        let k = Hashkey::from_leader(PartyId(0), secret, &f.pairs[0]).extend(PartyId(2), &f.pairs[2]);
+        let k =
+            Hashkey::from_leader(PartyId(0), secret, &f.pairs[0]).extend(PartyId(2), &f.pairs[2]);
         let err = k.verify(&f.directory, &f.keys, &f.digraph, PartyId(1), &hashlock).unwrap_err();
         assert!(matches!(err, ContractError::HashkeyRejected { .. }));
     }
@@ -376,7 +377,10 @@ mod tests {
             .extend(PartyId(1), &f.pairs[1])
             .extend(PartyId(0), &f.pairs[0]);
         let err = k.verify(&f.directory, &f.keys, &f.digraph, PartyId(0), &hashlock).unwrap_err();
-        assert!(err.to_string().contains("path does not end at the leader") || err.to_string().contains("revisits"));
+        assert!(
+            err.to_string().contains("path does not end at the leader")
+                || err.to_string().contains("revisits")
+        );
     }
 
     #[test]

@@ -194,12 +194,20 @@ impl HedgedEscrow {
         if !self.params.hashlock.matches(secret) {
             return Err(ContractError::HashlockMismatch);
         }
-        env.pay_out(self.params.redeemer, self.params.principal_asset, self.params.principal_amount)?;
+        env.pay_out(
+            self.params.redeemer,
+            self.params.principal_asset,
+            self.params.principal_amount,
+        )?;
         self.principal = HedgedPrincipalState::Redeemed;
         self.principal_settled_at = Some(env.now());
         self.revealed_secret = Some(secret.clone());
         if self.premium == HedgedPremiumState::Held {
-            env.pay_out(self.params.redeemer, self.params.premium_asset, self.params.premium_amount)?;
+            env.pay_out(
+                self.params.redeemer,
+                self.params.premium_asset,
+                self.params.premium_amount,
+            )?;
             self.premium = HedgedPremiumState::Refunded;
         }
         env.emit_note("principal redeemed; premium refunded to redeemer");
@@ -214,7 +222,11 @@ impl HedgedEscrow {
             && self.principal == HedgedPrincipalState::NotEscrowed
             && env.now().has_reached(self.params.escrow_deadline)
         {
-            env.pay_out(self.params.redeemer, self.params.premium_asset, self.params.premium_amount)?;
+            env.pay_out(
+                self.params.redeemer,
+                self.params.premium_asset,
+                self.params.premium_amount,
+            )?;
             self.premium = HedgedPremiumState::Refunded;
             env.emit_note("premium refunded: principal was never escrowed");
             acted = true;
@@ -224,7 +236,11 @@ impl HedgedEscrow {
         if self.principal == HedgedPrincipalState::Held
             && env.now().has_reached(self.params.redeem_deadline)
         {
-            env.pay_out(self.params.escrower, self.params.principal_asset, self.params.principal_amount)?;
+            env.pay_out(
+                self.params.escrower,
+                self.params.principal_asset,
+                self.params.principal_amount,
+            )?;
             self.principal = HedgedPrincipalState::Refunded;
             self.principal_settled_at = Some(env.now());
             if self.premium == HedgedPremiumState::Held {
@@ -375,7 +391,10 @@ mod tests {
         f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "escrow").unwrap();
         f.world.advance_blocks(4);
         let secret = f.secret.clone();
-        assert!(f.world.call(ALICE, f.addr, &HedgedEscrowMsg::Redeem { secret }, "redeem").is_err());
+        assert!(f
+            .world
+            .call(ALICE, f.addr, &HedgedEscrowMsg::Redeem { secret }, "redeem")
+            .is_err());
         f.world.call(ALICE, f.addr, &HedgedEscrowMsg::Settle, "settle").unwrap();
         assert_eq!(contract(&f).premium_state(), HedgedPremiumState::PaidToEscrower);
     }
@@ -383,7 +402,8 @@ mod tests {
     #[test]
     fn principal_cannot_be_escrowed_without_premium() {
         let mut f = setup();
-        let err = f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "escrow").unwrap_err();
+        let err =
+            f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "escrow").unwrap_err();
         assert!(err.to_string().contains("premium must be deposited"));
     }
 

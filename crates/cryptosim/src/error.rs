@@ -39,10 +39,7 @@ mod tests {
         let bad = CryptoError::BadSignature { key };
         assert!(unknown.to_string().starts_with("unknown public key"));
         assert!(bad.to_string().starts_with("invalid signature"));
-        assert_eq!(
-            CryptoError::HashlockMismatch.to_string(),
-            "secret does not match hashlock"
-        );
+        assert_eq!(CryptoError::HashlockMismatch.to_string(), "secret does not match hashlock");
     }
 
     #[test]

@@ -113,12 +113,7 @@ impl Signature {
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Signature(signer={}, tag={})",
-            self.signer.0.short_hex(),
-            self.tag.short_hex()
-        )
+        write!(f, "Signature(signer={}, tag={})", self.signer.0.short_hex(), self.tag.short_hex())
     }
 }
 

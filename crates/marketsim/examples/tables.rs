@@ -8,7 +8,8 @@ fn main() {
     let max = rows.iter().map(|r| r.premium).fold(0.0f64, f64::max);
     println!("premium range: {min:.2} .. {max:.2}");
     for volatility in [0.2, 0.5, 1.0, 2.0] {
-        let c = compare_protocols(&RationalExperiment { volatility, ..RationalExperiment::default() });
+        let c =
+            compare_protocols(&RationalExperiment { volatility, ..RationalExperiment::default() });
         println!(
             "vol {volatility}: base {:.2} hedged {:.2} abort payoffs {:.2}/{:.2}",
             c.base.success_rate,

@@ -109,8 +109,7 @@ pub fn compare_protocols(experiment: &RationalExperiment) -> RationalComparison 
             base_successes += 1;
         } else {
             base.aborts += 1;
-            base_abort_payoff +=
-                (report.alice_premium_payoff + report.alice_banana_payoff) as f64;
+            base_abort_payoff += (report.alice_premium_payoff + report.alice_banana_payoff) as f64;
         }
 
         // Hedged protocol: walking away costs Bob p_b, so he only aborts when
@@ -145,10 +144,8 @@ mod tests {
 
     #[test]
     fn hedging_improves_success_rate_and_compensates_aborts() {
-        let comparison = compare_protocols(&RationalExperiment {
-            trials: 60,
-            ..RationalExperiment::default()
-        });
+        let comparison =
+            compare_protocols(&RationalExperiment { trials: 60, ..RationalExperiment::default() });
         assert!(
             comparison.hedged.success_rate >= comparison.base.success_rate,
             "hedging must not reduce the success rate: {comparison:?}"

@@ -215,8 +215,7 @@ pub fn check_auction() -> CheckSummary {
                 summary.strategies += 1;
                 let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
                 let report = run_auction(&config, &strategies);
-                let scenario =
-                    format!("auction {behaviour:?}, {party} stops after {stop_after}");
+                let scenario = format!("auction {behaviour:?}, {party} stops after {stop_after}");
                 if !report.no_bid_stolen {
                     summary.violations.push(Violation {
                         scenario: scenario.clone(),

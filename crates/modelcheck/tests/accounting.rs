@@ -1,0 +1,90 @@
+//! Tests for `CheckSummary` accounting: the `runs`/`strategies` counters
+//! must match the enumerated strategy space exactly, and the base (unhedged)
+//! protocol sweep must report the sore-loser violation the paper motivates.
+
+use chainsim::PartyId;
+use modelcheck::{
+    check_auction, check_base_two_party, check_deal, check_figure3_swap, check_hedged_two_party,
+    CheckSummary,
+};
+use protocols::broker::{broker_deal_config, BrokerConfig};
+use protocols::multi_party::cycle_config;
+use protocols::script::Strategy;
+
+/// Two-party sweeps range both parties over `Strategy::all(4)`:
+/// Compliant plus StopAfter(0..4) gives 5 strategies, 25 joint profiles.
+const TWO_PARTY_PROFILES: usize = 5 * 5;
+
+#[test]
+fn hedged_two_party_accounting_matches_the_strategy_space() {
+    assert_eq!(Strategy::all(4).len(), 5, "Compliant + 4 stop points");
+    let summary = check_hedged_two_party();
+    assert_eq!(summary.runs, TWO_PARTY_PROFILES);
+    assert_eq!(summary.strategies, TWO_PARTY_PROFILES);
+    assert!(summary.holds());
+    assert!(summary.violations.is_empty());
+}
+
+#[test]
+fn base_two_party_reports_the_sore_loser_violation() {
+    let summary = check_base_two_party();
+    // Same exhaustive sweep as the hedged check...
+    assert_eq!(summary.runs, TWO_PARTY_PROFILES);
+    assert_eq!(summary.strategies, TWO_PARTY_PROFILES);
+    // ...but the unhedged protocol must be caught violating the hedged
+    // property, and only that property: funds are still conserved.
+    assert!(!summary.holds());
+    assert!(!summary.violations.is_empty());
+    for violation in &summary.violations {
+        assert_eq!(violation.property, "hedged");
+        assert!(
+            violation.party == PartyId(0) || violation.party == PartyId(1),
+            "violations name the wronged party, got {:?}",
+            violation.party
+        );
+        assert!(violation.scenario.contains("base two-party swap"));
+    }
+}
+
+/// Deal sweeps enumerate, per party, the deviating strategies of
+/// `Strategy::all(5)` (5 of the 6 are non-compliant) up to `max_deviators`
+/// simultaneous deviators. For n parties and 1 deviator that is
+/// `1 + n * 5` profiles.
+fn single_deviator_profiles(parties: usize) -> usize {
+    let deviating = Strategy::all(5).iter().filter(|s| !s.is_compliant()).count();
+    1 + parties * deviating
+}
+
+#[test]
+fn deal_accounting_matches_the_enumerated_profiles() {
+    let figure3 = check_figure3_swap();
+    assert_eq!(figure3.runs, single_deviator_profiles(3), "figure 3a has three parties");
+    assert_eq!(figure3.strategies, figure3.runs);
+    assert!(figure3.holds(), "{:?}", figure3.violations);
+
+    let cycle4 = check_deal(&cycle_config(4), 1);
+    assert_eq!(cycle4.runs, single_deviator_profiles(4));
+    assert!(cycle4.holds(), "{:?}", cycle4.violations);
+
+    let broker = check_deal(&broker_deal_config(&BrokerConfig::default()), 1);
+    let broker_parties = broker_deal_config(&BrokerConfig::default()).parties().len();
+    assert_eq!(broker.runs, single_deviator_profiles(broker_parties));
+    assert!(broker.holds(), "{:?}", broker.violations);
+}
+
+#[test]
+fn auction_accounting_matches_the_enumerated_space() {
+    // 3 auctioneer behaviours x 3 parties x 4 stop points.
+    let summary = check_auction();
+    assert_eq!(summary.runs, 3 * 3 * 4);
+    assert_eq!(summary.strategies, summary.runs);
+    assert!(summary.holds(), "{:?}", summary.violations);
+}
+
+#[test]
+fn empty_summary_trivially_holds() {
+    let summary = CheckSummary::default();
+    assert_eq!(summary.runs, 0);
+    assert_eq!(summary.strategies, 0);
+    assert!(summary.holds());
+}

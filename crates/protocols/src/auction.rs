@@ -157,11 +157,14 @@ fn build(config: &AuctionConfig) -> AuctionSetup {
     AuctionSetup { world, coin_addr, ticket_addr, coin, ticket, secrets, params }
 }
 
-fn coin_contract<'a>(world: &'a World, addr: ContractAddr) -> &'a AuctionCoinContract {
-    world.chain(addr.chain).contract_as::<AuctionCoinContract>(addr.contract).expect("coin contract")
+fn coin_contract(world: &World, addr: ContractAddr) -> &AuctionCoinContract {
+    world
+        .chain(addr.chain)
+        .contract_as::<AuctionCoinContract>(addr.contract)
+        .expect("coin contract")
 }
 
-fn ticket_contract<'a>(world: &'a World, addr: ContractAddr) -> &'a AuctionTicketContract {
+fn ticket_contract(world: &World, addr: ContractAddr) -> &AuctionTicketContract {
     world
         .chain(addr.chain)
         .contract_as::<AuctionTicketContract>(addr.contract)
@@ -178,8 +181,16 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
     vec![
         Step::new("auctioneer: endow premium and escrow tickets", move |_world: &World| {
             StepOutcome::Complete(vec![
-                Action::call(coin_addr, AuctionCoinMsg::DepositPremium, "Alice endows n·p premiums"),
-                Action::call(ticket_addr, AuctionTicketMsg::EscrowTickets, "Alice escrows the tickets"),
+                Action::call(
+                    coin_addr,
+                    AuctionCoinMsg::DepositPremium,
+                    "Alice endows n·p premiums",
+                ),
+                Action::call(
+                    ticket_addr,
+                    AuctionTicketMsg::EscrowTickets,
+                    "Alice escrows the tickets",
+                ),
             ])
         }),
         Step::new("auctioneer: declare the winner", move |world: &World| {
@@ -229,7 +240,11 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
                 actions.push(Action::call(coin_addr, AuctionCoinMsg::Settle, "settle coin chain"));
             }
             if !ticket_contract(world, ticket_addr).settled() {
-                actions.push(Action::call(ticket_addr, AuctionTicketMsg::Settle, "settle ticket chain"));
+                actions.push(Action::call(
+                    ticket_addr,
+                    AuctionTicketMsg::Settle,
+                    "settle ticket chain",
+                ));
             }
             StepOutcome::Complete(actions)
         }),
@@ -301,7 +316,11 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
                 actions.push(Action::call(coin_addr, AuctionCoinMsg::Settle, "settle coin chain"));
             }
             if !ticket_contract(world, ticket_addr).settled() {
-                actions.push(Action::call(ticket_addr, AuctionTicketMsg::Settle, "settle ticket chain"));
+                actions.push(Action::call(
+                    ticket_addr,
+                    AuctionTicketMsg::Settle,
+                    "settle ticket chain",
+                ));
             }
             StepOutcome::Complete(actions)
         }),
@@ -352,7 +371,8 @@ pub fn run_auction(
         let ticket_payoff = payoffs.of(*bidder, setup.ticket).value();
         bidder_coin_payoffs.insert(*bidder, coin_payoff);
         bidder_ticket_payoffs.insert(*bidder, ticket_payoff);
-        let compliant = strategies.get(bidder).copied().unwrap_or(Strategy::Compliant).is_compliant();
+        let compliant =
+            strategies.get(bidder).copied().unwrap_or(Strategy::Compliant).is_compliant();
         let placed_bid = config.bids[(bidder.0 - 1) as usize].is_some();
         if compliant {
             let got_tickets = ticket_payoff > 0;
@@ -389,7 +409,9 @@ mod tests {
     #[test]
     fn honest_auction_awards_high_bidder() {
         let report = run_auction(&AuctionConfig::default(), &BTreeMap::new());
-        assert!(matches!(report.outcome, Some(AuctionOutcome::Completed { winner, .. }) if winner == PartyId(1)));
+        assert!(
+            matches!(report.outcome, Some(AuctionOutcome::Completed { winner, .. }) if winner == PartyId(1))
+        );
         assert_eq!(report.ticket_winner, Some(PartyId(1)));
         assert_eq!(report.bidder_coin_payoffs[&PartyId(1)], -60);
         assert_eq!(report.bidder_ticket_payoffs[&PartyId(1)], 1);
@@ -416,10 +438,8 @@ mod tests {
 
     #[test]
     fn absent_auctioneer_still_compensates_bidders() {
-        let config = AuctionConfig {
-            auctioneer: AuctioneerBehaviour::Abandon,
-            ..AuctionConfig::default()
-        };
+        let config =
+            AuctionConfig { auctioneer: AuctioneerBehaviour::Abandon, ..AuctionConfig::default() };
         let report = run_auction(&config, &BTreeMap::new());
         assert_eq!(report.outcome, Some(AuctionOutcome::Aborted));
         assert!(report.no_bid_stolen);
@@ -433,19 +453,21 @@ mod tests {
         // both chains without Carol's help.
         let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(1))]);
         let report = run_auction(&AuctionConfig::default(), &strategies);
-        assert!(matches!(report.outcome, Some(AuctionOutcome::Completed { winner, .. }) if winner == PartyId(1)));
+        assert!(
+            matches!(report.outcome, Some(AuctionOutcome::Completed { winner, .. }) if winner == PartyId(1))
+        );
         assert_eq!(report.ticket_winner, Some(PartyId(1)));
         assert!(report.no_bid_stolen);
     }
 
     #[test]
     fn abstaining_bidder_is_harmless() {
-        let config = AuctionConfig {
-            bids: vec![Some(Amount::new(60)), None],
-            ..AuctionConfig::default()
-        };
+        let config =
+            AuctionConfig { bids: vec![Some(Amount::new(60)), None], ..AuctionConfig::default() };
         let report = run_auction(&config, &BTreeMap::new());
-        assert!(matches!(report.outcome, Some(AuctionOutcome::Completed { winner, .. }) if winner == PartyId(1)));
+        assert!(
+            matches!(report.outcome, Some(AuctionOutcome::Completed { winner, .. }) if winner == PartyId(1))
+        );
         assert!(report.no_bid_stolen);
     }
 

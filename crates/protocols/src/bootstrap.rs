@@ -174,14 +174,26 @@ pub fn run_bootstrap(
 
         // Open the (zero-value) premium slots so the deposits can follow,
         // then make this level's deposits.
-        let _ = world.call(BOB, banana_escrow, &HedgedEscrowMsg::DepositPremium, "open premium slot");
-        let _ = world.call(ALICE, apricot_escrow, &HedgedEscrowMsg::DepositPremium, "open premium slot");
+        let _ =
+            world.call(BOB, banana_escrow, &HedgedEscrowMsg::DepositPremium, "open premium slot");
+        let _ = world.call(
+            ALICE,
+            apricot_escrow,
+            &HedgedEscrowMsg::DepositPremium,
+            "open premium slot",
+        );
         world.advance_delta();
         if !alice_stops {
-            let _ = world.call(ALICE, banana_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
+            let _ = world.call(
+                ALICE,
+                banana_escrow,
+                &HedgedEscrowMsg::EscrowPrincipal,
+                "level deposit",
+            );
         }
         if !bob_stops {
-            let _ = world.call(BOB, apricot_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
+            let _ =
+                world.call(BOB, apricot_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
         }
         world.advance_delta();
         if alice_stops || bob_stops {

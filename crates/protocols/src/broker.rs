@@ -74,10 +74,9 @@ pub fn broker_deal_config(config: &BrokerConfig) -> DealConfig {
         &[(BROKER.0, SELLER.0), (BROKER.0, BUYER.0)],
         p,
     );
-    let premium =
-        |table: &std::collections::BTreeMap<(u32, u32), u128>, arc: (u32, u32)| -> Amount {
-            Amount::new(*table.get(&arc).unwrap_or(&p))
-        };
+    let premium = |table: &std::collections::BTreeMap<(u32, u32), u128>,
+                   arc: (u32, u32)|
+     -> Amount { Amount::new(*table.get(&arc).unwrap_or(&p)) };
 
     let arcs = vec![
         // Escrow phase: Bob's ticket and Carol's coins, both destined for Alice.
@@ -160,11 +159,8 @@ mod tests {
             assert_eq!(outcome.premium_payoff, 0);
         }
         // Coin flows: Carol pays 101, Bob receives 100, Alice keeps 1.
-        let coin = report
-            .payoffs
-            .iter()
-            .filter(|(p, _, v)| *p == BUYER && v.value() == -101)
-            .count();
+        let coin =
+            report.payoffs.iter().filter(|(p, _, v)| *p == BUYER && v.value() == -101).count();
         assert!(coin > 0, "Carol paid 101 coins");
     }
 

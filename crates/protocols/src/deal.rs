@@ -12,7 +12,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use chainsim::{Action, Amount, AssetId, ChainId, ContractAddr, PartyId, Time, World};
-use contracts::{ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, Hashkey, PartyKeys, PremiumSlotState, PrincipalState};
+use contracts::{
+    ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, Hashkey, PartyKeys, PremiumSlotState,
+    PrincipalState,
+};
 use cryptosim::{KeyPair, Secret};
 use swapgraph::Digraph;
 
@@ -233,7 +236,7 @@ fn build(config: &DealConfig) -> DealSetup {
     DealSetup { world, arc_addrs, native_assets, traded_assets, secrets, keypairs }
 }
 
-fn arc_contract<'a>(world: &'a World, addr: ContractAddr) -> &'a ArcEscrow {
+fn arc_contract(world: &World, addr: ContractAddr) -> &ArcEscrow {
     world.chain(addr.chain).contract_as::<ArcEscrow>(addr.contract).expect("arc escrow present")
 }
 
@@ -333,11 +336,11 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                         for arc in &in_arcs {
                             actions.push(Action::call(
                                 arc_addrs[arc],
-                                ArcEscrowMsg::DepositRedemptionPremium {
-                                    leader,
-                                    path: vec![me],
-                                },
-                                format!("{me} deposits own redemption premium on ({}, {})", arc.0, arc.1),
+                                ArcEscrowMsg::DepositRedemptionPremium { leader, path: vec![me] },
+                                format!(
+                                    "{me} deposits own redemption premium on ({}, {})",
+                                    arc.0, arc.1
+                                ),
                             ));
                         }
                         done.insert(leader);
@@ -367,7 +370,10 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                                 leader,
                                 path: extended.clone(),
                             },
-                            format!("{me} passes redemption premium for {leader} to ({}, {})", arc.0, arc.1),
+                            format!(
+                                "{me} passes redemption premium for {leader} to ({}, {})",
+                                arc.0, arc.1
+                            ),
                         ));
                     }
                     done.insert(leader);
@@ -463,15 +469,14 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                             PrincipalState::NotEscrowed
                         )
                     });
-                    let past_escrow_phase =
-                        now.has_reached(arc_contract(world, arc_addrs[&in_arcs[0]])
+                    let past_escrow_phase = now.has_reached(
+                        arc_contract(world, arc_addrs[&in_arcs[0]])
                             .params()
                             .deadlines
-                            .asset_escrow_deadline);
+                            .asset_escrow_deadline,
+                    );
                     if all_in || (escrowed_nothing && past_escrow_phase) {
-                        my_secret
-                            .clone()
-                            .map(|secret| Hashkey::from_leader(me, secret, &my_keys))
+                        my_secret.clone().map(|secret| Hashkey::from_leader(me, secret, &my_keys))
                     } else {
                         None
                     }
@@ -519,9 +524,10 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                 let c = arc_contract(world, arc_addrs[arc]);
                 c.escrow_premium_state() == PremiumSlotState::Held
                     || c.principal_state() == PrincipalState::Held
-                    || c.params().hashlocks.iter().any(|(l, _)| {
-                        c.redemption_premium_state(*l) == PremiumSlotState::Held
-                    })
+                    || c.params()
+                        .hashlocks
+                        .iter()
+                        .any(|(l, _)| c.redemption_premium_state(*l) == PremiumSlotState::Held)
             });
             if !anything_pending {
                 return StepOutcome::Complete(vec![]);
@@ -598,8 +604,7 @@ pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -
         }
         let compensation_due =
             config.base_premium.value() as i128 * outcome.escrowed_unredeemed as i128;
-        outcome.hedged =
-            !strategy.is_compliant() || outcome.premium_payoff >= compensation_due;
+        outcome.hedged = !strategy.is_compliant() || outcome.premium_payoff >= compensation_due;
         outcome.safety = !strategy.is_compliant()
             || outcome.escrowed_redeemed == 0
             || outcome.received == outcome.incoming_arcs;

@@ -52,7 +52,12 @@ pub fn swap_config(
         .vertices()
         .map(|v| {
             let out_degree = digraph.out_neighbors(v).len() as u128;
-            (PartyId(v), format!("chain-{v}"), format!("token-{v}"), amount.scaled(out_degree.max(1)))
+            (
+                PartyId(v),
+                format!("chain-{v}"),
+                format!("token-{v}"),
+                amount.scaled(out_degree.max(1)),
+            )
         })
         .collect();
     let wait_for_incoming: BTreeSet<PartyId> =

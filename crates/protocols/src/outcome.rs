@@ -134,7 +134,12 @@ mod tests {
         world
             .chain_mut(a)
             .ledger_mut()
-            .transfer(AccountRef::Party(PartyId(0)), AccountRef::Party(PartyId(1)), coin, Amount::new(4))
+            .transfer(
+                AccountRef::Party(PartyId(0)),
+                AccountRef::Party(PartyId(1)),
+                coin,
+                Amount::new(4),
+            )
             .unwrap();
         let after = BalanceSnapshot::capture(&world, &parties, &[coin]);
         let payoffs = Payoffs::between(&before, &after);

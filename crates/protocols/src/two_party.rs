@@ -131,9 +131,7 @@ fn build_world(config: &TwoPartyConfig) -> (World, AssetId, AssetId, AssetId, As
     // Endowments: principals plus enough native currency for premiums.
     world.chain_mut(apricot).mint(ALICE, apricot_token, config.alice_tokens);
     world.chain_mut(banana).mint(BOB, banana_token, config.bob_tokens);
-    world
-        .chain_mut(banana)
-        .mint(ALICE, banana_native, config.premium_a + config.premium_b);
+    world.chain_mut(banana).mint(ALICE, banana_native, config.premium_a + config.premium_b);
     world.chain_mut(apricot).mint(BOB, apricot_native, config.premium_b);
     (world, apricot_token, banana_token, apricot_native, banana_native)
 }
@@ -420,7 +418,11 @@ fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                 StepOutcome::Wait
             }
         }),
-        base_recovery_step("alice: refund timed-out escrows", vec![apricot, banana], final_deadline),
+        base_recovery_step(
+            "alice: refund timed-out escrows",
+            vec![apricot, banana],
+            final_deadline,
+        ),
     ]
 }
 
@@ -505,16 +507,14 @@ fn run(
         SwapProtocol::Base => base_setup(config),
     };
     let parties = [ALICE, BOB];
-    let assets = [
-        setup.apricot_token,
-        setup.banana_token,
-        setup.apricot_native,
-        setup.banana_native,
-    ];
+    let assets =
+        [setup.apricot_token, setup.banana_token, setup.apricot_native, setup.banana_native];
     let before = BalanceSnapshot::capture(&setup.world, &parties, &assets);
 
     let (alice_steps, bob_steps) = match protocol {
-        SwapProtocol::Hedged => (hedged_alice_steps(&setup, config), hedged_bob_steps(&setup, config)),
+        SwapProtocol::Hedged => {
+            (hedged_alice_steps(&setup, config), hedged_bob_steps(&setup, config))
+        }
         SwapProtocol::Base => (base_alice_steps(&setup, config), base_bob_steps(&setup, config)),
     };
     let actors = vec![
@@ -532,10 +532,18 @@ fn run(
             let apricot = hedged_contract(&setup.world, setup.apricot_contract);
             let banana = hedged_contract(&setup.world, setup.banana_contract);
             (
-                lockup_from_times(apricot.escrowed_at(), apricot.principal_settled_at(),
-                    apricot.principal_state() == HedgedPrincipalState::Redeemed, setup.world.now()),
-                lockup_from_times(banana.escrowed_at(), banana.principal_settled_at(),
-                    banana.principal_state() == HedgedPrincipalState::Redeemed, setup.world.now()),
+                lockup_from_times(
+                    apricot.escrowed_at(),
+                    apricot.principal_settled_at(),
+                    apricot.principal_state() == HedgedPrincipalState::Redeemed,
+                    setup.world.now(),
+                ),
+                lockup_from_times(
+                    banana.escrowed_at(),
+                    banana.principal_settled_at(),
+                    banana.principal_state() == HedgedPrincipalState::Redeemed,
+                    setup.world.now(),
+                ),
                 apricot.principal_state() == HedgedPrincipalState::Redeemed,
                 banana.principal_state() == HedgedPrincipalState::Redeemed,
             )
@@ -544,10 +552,18 @@ fn run(
             let apricot = htlc_contract(&setup.world, setup.apricot_contract);
             let banana = htlc_contract(&setup.world, setup.banana_contract);
             (
-                lockup_from_times(apricot.escrowed_at(), apricot.settled_at(),
-                    apricot.state() == HtlcState::Redeemed, setup.world.now()),
-                lockup_from_times(banana.escrowed_at(), banana.settled_at(),
-                    banana.state() == HtlcState::Redeemed, setup.world.now()),
+                lockup_from_times(
+                    apricot.escrowed_at(),
+                    apricot.settled_at(),
+                    apricot.state() == HtlcState::Redeemed,
+                    setup.world.now(),
+                ),
+                lockup_from_times(
+                    banana.escrowed_at(),
+                    banana.settled_at(),
+                    banana.state() == HtlcState::Redeemed,
+                    setup.world.now(),
+                ),
                 apricot.state() == HtlcState::Redeemed,
                 banana.state() == HtlcState::Redeemed,
             )

@@ -119,8 +119,11 @@ pub fn bootstrap_plan(
     rounds: u32,
 ) -> BootstrapPlan {
     assert!(ratio >= 2, "premium ratio P must be at least 2");
-    let mut levels =
-        vec![BootstrapLevel { level: 0, alice_deposit: alice_principal, bob_deposit: bob_principal }];
+    let mut levels = vec![BootstrapLevel {
+        level: 0,
+        alice_deposit: alice_principal,
+        bob_deposit: bob_principal,
+    }];
     let mut divisor: u128 = 1;
     for k in 1..=rounds {
         divisor = divisor.saturating_mul(ratio);
@@ -245,9 +248,11 @@ mod tests {
         // Property-style spot check across a grid: building a plan with the
         // computed number of rounds indeed brings the initial risk within
         // the acceptable bound (up to integer rounding).
-        for &(a, b, p, risk) in
-            &[(1_000_000u128, 1_000_000u128, 100u128, 4u128), (10_000, 50_000, 10, 100), (777, 333, 2, 5)]
-        {
+        for &(a, b, p, risk) in &[
+            (1_000_000u128, 1_000_000u128, 100u128, 4u128),
+            (10_000, 50_000, 10, 100),
+            (777, 333, 2, 5),
+        ] {
             let rounds = rounds_needed(a + b, risk, p);
             let plan = bootstrap_plan(a, b, p, rounds);
             // The outermost deposit is (rA + B)/P^r, which the paper bounds

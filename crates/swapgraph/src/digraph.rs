@@ -1,5 +1,6 @@
 //! The swap digraph and the graph algorithms the protocols rely on.
 
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
@@ -196,8 +197,8 @@ impl Digraph {
         while let Some(v) = queue.pop_front() {
             let d = dist[&v];
             for w in self.out_neighbors(v) {
-                if !dist.contains_key(&w) {
-                    dist.insert(w, d + 1);
+                if let Entry::Vacant(entry) = dist.entry(w) {
+                    entry.insert(d + 1);
                     queue.push_back(w);
                 }
             }
@@ -234,8 +235,7 @@ impl Digraph {
         // Kahn's algorithm on the digraph restricted to vertices outside `set`.
         let remaining: Vec<Vertex> =
             self.vertices.iter().copied().filter(|v| !set.contains(v)).collect();
-        let mut indegree: BTreeMap<Vertex, usize> =
-            remaining.iter().map(|&v| (v, 0)).collect();
+        let mut indegree: BTreeMap<Vertex, usize> = remaining.iter().map(|&v| (v, 0)).collect();
         for &(u, v) in &self.arcs {
             if !set.contains(&u) && !set.contains(&v) {
                 *indegree.get_mut(&v).expect("vertex present") += 1;
@@ -399,10 +399,7 @@ mod tests {
         let g = Digraph::new();
         assert!(g.is_strongly_connected());
         assert_eq!(g.diameter(), Err(GraphError::Empty));
-        assert_eq!(
-            g.validate_leaders(&BTreeSet::from([0])),
-            Err(GraphError::Empty)
-        );
+        assert_eq!(g.validate_leaders(&BTreeSet::from([0])), Err(GraphError::Empty));
     }
 
     #[test]
@@ -453,14 +450,8 @@ mod tests {
     fn validate_leaders_checks_everything() {
         let g = Digraph::figure3();
         assert!(g.validate_leaders(&BTreeSet::from([0])).is_ok());
-        assert_eq!(
-            g.validate_leaders(&BTreeSet::from([2])),
-            Err(GraphError::NotFeedbackVertexSet)
-        );
-        assert_eq!(
-            g.validate_leaders(&BTreeSet::new()),
-            Err(GraphError::NotFeedbackVertexSet)
-        );
+        assert_eq!(g.validate_leaders(&BTreeSet::from([2])), Err(GraphError::NotFeedbackVertexSet));
+        assert_eq!(g.validate_leaders(&BTreeSet::new()), Err(GraphError::NotFeedbackVertexSet));
         let mut disconnected = Digraph::new();
         disconnected.add_arc(0, 1);
         assert_eq!(

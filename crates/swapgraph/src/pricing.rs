@@ -143,8 +143,7 @@ pub fn crr_price(params: &CrrParams) -> Result<f64, PricingError> {
             let value = match params.style {
                 ExerciseStyle::European => continuation,
                 ExerciseStyle::American => {
-                    let spot =
-                        params.spot * up.powi(j as i32) * down.powi((step - j) as i32);
+                    let spot = params.spot * up.powi(j as i32) * down.powi((step - j) as i32);
                     continuation.max(intrinsic(spot))
                 }
             };
@@ -226,24 +225,16 @@ mod tests {
     fn american_options_are_worth_at_least_european() {
         for kind in [OptionKind::Call, OptionKind::Put] {
             let eu = crr_price(&CrrParams { kind, ..base_params() }).unwrap();
-            let am = crr_price(&CrrParams {
-                kind,
-                style: ExerciseStyle::American,
-                ..base_params()
-            })
-            .unwrap();
+            let am =
+                crr_price(&CrrParams { kind, style: ExerciseStyle::American, ..base_params() })
+                    .unwrap();
             assert!(am >= eu - 1e-9, "american {am} < european {eu}");
         }
     }
 
     #[test]
     fn american_put_carries_early_exercise_premium() {
-        let params = CrrParams {
-            kind: OptionKind::Put,
-            rate: 0.10,
-            expiry: 1.0,
-            ..base_params()
-        };
+        let params = CrrParams { kind: OptionKind::Put, rate: 0.10, expiry: 1.0, ..base_params() };
         let eu = crr_price(&params).unwrap();
         let am = crr_price(&CrrParams { style: ExerciseStyle::American, ..params }).unwrap();
         assert!(am > eu + 1e-3, "deep discounting should make early exercise valuable");

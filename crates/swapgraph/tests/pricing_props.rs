@@ -1,0 +1,132 @@
+//! Property-based tests for the Cox-Ross-Rubinstein premium pricer (§4):
+//! no-arbitrage bounds and the monotonicities that make the premium formula
+//! economically sensible — a longer lock-up or a more volatile asset can
+//! only justify a larger premium.
+
+use proptest::prelude::*;
+use swapgraph::pricing::{crr_price, lockup_premium, CrrParams, ExerciseStyle, OptionKind};
+
+/// Draws a spot price in a numerically comfortable range.
+fn spot_from(raw: u64) -> f64 {
+    10.0 + (raw % 10_000) as f64 / 10.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Option prices stay within the no-arbitrage envelope:
+    /// `0 <= price` and an American call is worth at least its intrinsic
+    /// value but never more than the spot itself.
+    #[test]
+    fn american_call_respects_no_arbitrage_bounds(
+        raw_spot in 0u64..10_000,
+        raw_strike in 0u64..10_000,
+        vol_bps in 1u32..300,
+        expiry_days in 1u32..365,
+    ) {
+        let spot = spot_from(raw_spot);
+        let strike = spot_from(raw_strike);
+        let params = CrrParams {
+            spot,
+            strike,
+            rate: 0.0,
+            volatility: f64::from(vol_bps) / 100.0,
+            expiry: f64::from(expiry_days) / 365.0,
+            steps: 64,
+            kind: OptionKind::Call,
+            style: ExerciseStyle::American,
+        };
+        let price = crr_price(&params).unwrap();
+        prop_assert!(price >= 0.0, "negative premium {price}");
+        prop_assert!(price >= (spot - strike).max(0.0) - 1e-9, "below intrinsic: {price}");
+        prop_assert!(price <= spot + 1e-9, "call worth more than the asset: {price}");
+    }
+
+    /// An American option is worth at least the European option on the same
+    /// terms (extra exercise rights cannot have negative value).
+    #[test]
+    fn american_dominates_european(
+        raw_spot in 0u64..10_000,
+        vol_bps in 10u32..200,
+        expiry_days in 1u32..180,
+    ) {
+        let spot = spot_from(raw_spot);
+        let mut params = CrrParams {
+            spot,
+            strike: spot,
+            rate: 0.01,
+            volatility: f64::from(vol_bps) / 100.0,
+            expiry: f64::from(expiry_days) / 365.0,
+            steps: 64,
+            kind: OptionKind::Put,
+            style: ExerciseStyle::European,
+        };
+        let european = crr_price(&params).unwrap();
+        params.style = ExerciseStyle::American;
+        let american = crr_price(&params).unwrap();
+        prop_assert!(american >= european - 1e-9, "american {american} < european {european}");
+    }
+
+    /// The lock-up premium grows (weakly) with the lock-up duration: holding
+    /// someone's asset longer can only be worth more to walk away from.
+    #[test]
+    fn premium_is_monotone_in_lockup_duration(
+        raw_value in 0u64..10_000,
+        vol_bps in 10u32..250,
+        blocks_a in 1u64..5_000,
+        extra_blocks in 0u64..5_000,
+    ) {
+        let value = spot_from(raw_value);
+        let volatility = f64::from(vol_bps) / 100.0;
+        let blocks_per_year = 52_560; // ~10-minute blocks
+        let short = lockup_premium(value, volatility, blocks_a, blocks_per_year).unwrap();
+        let long =
+            lockup_premium(value, volatility, blocks_a + extra_blocks, blocks_per_year).unwrap();
+        prop_assert!(
+            long >= short - 1e-9,
+            "premium shrank with a longer lock-up: {short} -> {long}"
+        );
+    }
+
+    /// The lock-up premium grows (weakly) with volatility.
+    #[test]
+    fn premium_is_monotone_in_volatility(
+        raw_value in 0u64..10_000,
+        vol_lo_bps in 10u32..200,
+        vol_extra_bps in 0u32..200,
+        blocks in 1u64..10_000,
+    ) {
+        let value = spot_from(raw_value);
+        let blocks_per_year = 52_560;
+        let lo = f64::from(vol_lo_bps) / 100.0;
+        let hi = f64::from(vol_lo_bps + vol_extra_bps) / 100.0;
+        let calm = lockup_premium(value, lo, blocks, blocks_per_year).unwrap();
+        let wild = lockup_premium(value, hi, blocks, blocks_per_year).unwrap();
+        prop_assert!(
+            wild >= calm - 1e-9,
+            "premium shrank with higher volatility: {calm} -> {wild}"
+        );
+    }
+
+    /// The premium scales linearly in the asset value: pricing is
+    /// homogeneous of degree one (scale invariance of CRR).
+    #[test]
+    fn premium_scales_linearly_in_value(
+        raw_value in 10u64..10_000,
+        vol_bps in 10u32..200,
+        blocks in 1u64..10_000,
+        scale in 2u64..50,
+    ) {
+        let value = spot_from(raw_value);
+        let volatility = f64::from(vol_bps) / 100.0;
+        let blocks_per_year = 52_560;
+        let unit = lockup_premium(value, volatility, blocks, blocks_per_year).unwrap();
+        let scaled =
+            lockup_premium(value * scale as f64, volatility, blocks, blocks_per_year).unwrap();
+        let expected = unit * scale as f64;
+        prop_assert!(
+            (scaled - expected).abs() <= 1e-6 * expected.max(1.0),
+            "not homogeneous: {scaled} vs {expected}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset this workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a fixed-iteration
+//! timing loop instead of criterion's adaptive sampling. Good enough to
+//! keep benches compiling, running and printing comparable numbers offline;
+//! swap in real criterion for statistically serious measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after warm-up).
+const MEASURE_ITERS: u32 = 30;
+/// Number of warm-up iterations per benchmark.
+const WARMUP_ITERS: u32 = 5;
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` once with a [`Bencher`] and prints a one-line timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { total: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 { Duration::ZERO } else { bencher.total / bencher.iters };
+        println!("bench: {id:<48} {:>12.3?}/iter ({} iters)", mean, bencher.iters);
+        self
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording wall-clock time per iteration.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iters += MEASURE_ITERS;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; none apply here.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for the `hex` crate (encode/decode subset).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Encodes bytes as a lowercase hex string.
+pub fn encode(data: impl AsRef<[u8]>) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let data = data.as_ref();
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// An invalid hex input passed to [`decode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FromHexError;
+
+impl std::fmt::Display for FromHexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid hex input")
+    }
+}
+
+impl std::error::Error for FromHexError {}
+
+/// Decodes a hex string into bytes.
+pub fn decode(data: impl AsRef<[u8]>) -> Result<Vec<u8>, FromHexError> {
+    let data = data.as_ref();
+    if data.len() % 2 != 0 {
+        return Err(FromHexError);
+    }
+    fn nibble(b: u8) -> Result<u8, FromHexError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(FromHexError),
+        }
+    }
+    data.chunks_exact(2).map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{decode, encode, FromHexError};
+
+    #[test]
+    fn roundtrip() {
+        let bytes = [0x00, 0x01, 0xab, 0xff];
+        let text = encode(bytes);
+        assert_eq!(text, "0001abff");
+        assert_eq!(decode(text).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), Err(FromHexError));
+        assert_eq!(decode("zz"), Err(FromHexError));
+        assert_eq!(decode("ABCD").unwrap(), [0xab, 0xcd]);
+    }
+}

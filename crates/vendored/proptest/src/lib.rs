@@ -1,0 +1,324 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the `proptest!` surface this workspace uses:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] … }`;
+//! * test parameters in both forms — `x in strategy` (ranges, [`any`],
+//!   [`Just`]) and `x: Type` (via [`Arbitrary`]);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Sampling is purely random (no shrinking, no persisted failure seeds) but
+//! fully deterministic: the stream for each test is derived from the test's
+//! `module_path!()`-qualified name and the case index, so failures
+//! reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The per-case random source handed to strategies.
+#[derive(Debug)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates the runner for one `(test, case)` pair.
+    ///
+    /// The seed is a hash of the test's full name and the case index, so
+    /// every property sees a reproducible but distinct stream per case.
+    pub fn new(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        h = (h ^ u64::from(case)).wrapping_mul(0x100000001b3);
+        TestRunner { state: h | 1 }
+    }
+
+    /// Returns the next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((runner.next_u128() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                let span = (*self.end() as u128)
+                    .wrapping_sub(*self.start() as u128)
+                    .wrapping_add(1);
+                if span == 0 {
+                    // Full-domain u128 inclusive range.
+                    return runner.next_u128() as $t;
+                }
+                self.start().wrapping_add((runner.next_u128() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (runner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical full-domain strategy (the `x: Type` form).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A full-domain strategy for `T`, like proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Everything a property-test module needs, mirroring proptest's prelude.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Defines deterministic randomised tests; see the crate docs for the
+/// supported parameter forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; ) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __runner = $crate::TestRunner::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $crate::__proptest_bind!(__runner, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($runner:ident $(,)?) => {};
+    ($runner:ident, $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $runner);
+        $crate::__proptest_bind!($runner, $($rest)*);
+    };
+    ($runner:ident, $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $runner);
+    };
+    ($runner:ident, $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $runner);
+        $crate::__proptest_bind!($runner, $($rest)*);
+    };
+    ($runner:ident, $name:ident: $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $runner);
+    };
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_streams_are_deterministic_per_name_and_case() {
+        let mut a = TestRunner::new("crate::t", 0);
+        let mut b = TestRunner::new("crate::t", 0);
+        let mut c = TestRunner::new("crate::t", 1);
+        let mut d = TestRunner::new("crate::u", 0);
+        let x = a.next_u64();
+        assert_eq!(x, b.next_u64());
+        assert_ne!(x, c.next_u64());
+        assert_ne!(x, d.next_u64());
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut runner = TestRunner::new("bounds", 0);
+        for _ in 0..10_000 {
+            let x = (3u128..17).sample(&mut runner);
+            assert!((3..17).contains(&x));
+            let y = (-4i32..=4).sample(&mut runner);
+            assert!((-4..=4).contains(&y));
+            let z = (0.25f64..0.75).sample(&mut runner);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: mixed `in`/typed params, trailing comma.
+        #[test]
+        fn macro_binds_all_param_forms(
+            a in 1u64..100,
+            b in 0usize..5,
+            flag: bool,
+            c in any::<u8>(),
+            d in Just(7i32),
+        ) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!(b < 5);
+            let flag_as_int = u8::from(flag);
+            prop_assert!(flag_as_int <= 1);
+            prop_assert!(u64::from(c) <= 255);
+            prop_assert_eq!(d, 7);
+            prop_assert_ne!(a, 0);
+        }
+    }
+}

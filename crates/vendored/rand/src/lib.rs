@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate (0.8-era API subset).
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64),
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] over half-open
+//! float and integer ranges — the surface this workspace uses. Streams are
+//! deterministic in the seed but are *not* the same streams as the real
+//! `rand::rngs::StdRng` (which is ChaCha-based).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 random mantissa bits give a uniform draw in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Modulo bias is ≤ span/2^128 and irrelevant for a simulator.
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                self.start.wrapping_add((wide % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// Convenience methods every [`RngCore`] gets for free.
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Returns a uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG: xoshiro256++ seeded through SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng { state: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut c = StdRng::seed_from_u64(10);
+        let xs: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        let zs: Vec<f64> = (0..8).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x: usize = rng.gen_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let x: i32 = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Exposes the `Serialize`/`Deserialize` names in both the macro namespace
+//! (the no-op derives from [`serde_derive`]) and the trait namespace, so
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(Serialize)]`
+//! compiles exactly as it does against real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for serde's `de` module (owned-deserialisation marker only).
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,20 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! that a real serde can be dropped in later, but nothing serialises yet —
+//! these derives therefore emit nothing. `attributes(serde)` is declared so
+//! `#[serde(...)]` field/container attributes stay legal.
+
+use proc_macro::TokenStream;
+
+/// Derives (a no-op) `Serialize` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives (a no-op) `Deserialize` implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `sha2` crate: a real FIPS 180-4 SHA-256.
+//!
+//! Implements the `Digest`-trait calling convention this workspace uses
+//! (`Sha256::new()` / `update` / `finalize`). The compression function is
+//! the standard one, so digests match the real `sha2` crate bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Round constants (first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash values (fractional parts of the square roots of the first
+/// eight primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// The streaming-digest interface, mirroring `sha2::Digest`.
+pub trait Digest: Sized {
+    /// The fixed-size digest output.
+    type Output;
+
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+
+    /// Absorbs more input.
+    fn update(&mut self, data: impl AsRef<[u8]>);
+
+    /// Consumes the hasher and returns the digest.
+    fn finalize(self) -> Self::Output;
+
+    /// One-shot convenience: digest of a single input.
+    fn digest(data: impl AsRef<[u8]>) -> Self::Output {
+        let mut hasher = Self::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+}
+
+/// A SHA-256 hasher.
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Total input length in bytes.
+    length: u64,
+    buffer: [u8; 64],
+    buffered: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256 { state: H0, length: 0, buffer: [0u8; 64], buffered: 0 }
+    }
+}
+
+impl Sha256 {
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h.wrapping_add(big_s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        let round = [a, b, c, d, e, f, g, h];
+        for (s, r) in self.state.iter_mut().zip(round) {
+            *s = s.wrapping_add(r);
+        }
+    }
+}
+
+impl Digest for Sha256 {
+    type Output = [u8; 32];
+
+    fn new() -> Self {
+        Sha256::default()
+    }
+
+    fn update(&mut self, data: impl AsRef<[u8]>) {
+        let mut data = data.as_ref();
+        self.length += data.len() as u64;
+        if self.buffered > 0 {
+            let take = data.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+            if self.buffered > 0 {
+                // Input exhausted without completing a block.
+                return;
+            }
+        }
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            self.compress(block.try_into().unwrap());
+        }
+        let rest = blocks.remainder();
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    fn finalize(mut self) -> [u8; 32] {
+        let bit_length = self.length * 8;
+        self.update([0x80u8]);
+        while self.buffered != 56 {
+            self.update([0u8]);
+        }
+        // `update` counts padding into `length`, which is why the bit length
+        // was captured first.
+        let block_end = {
+            self.buffer[56..64].copy_from_slice(&bit_length.to_be_bytes());
+            self.buffer
+        };
+        self.compress(&block_end);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Digest, Sha256};
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // 56 bytes forces the length into a second padding block.
+        assert_eq!(
+            hex(&Sha256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut hasher = Sha256::new();
+        hasher.update(b"hello ");
+        hasher.update(b"world");
+        assert_eq!(hasher.finalize(), Sha256::digest(b"hello world"));
+    }
+
+    #[test]
+    fn long_input() {
+        let data = vec![0xabu8; 1000];
+        let mut hasher = Sha256::new();
+        for chunk in data.chunks(37) {
+            hasher.update(chunk);
+        }
+        assert_eq!(hasher.finalize(), Sha256::digest(&data));
+    }
+}

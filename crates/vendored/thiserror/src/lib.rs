@@ -1,0 +1,6 @@
+//! Offline stand-in for the `thiserror` facade crate.
+//!
+//! Re-exports the [`Error`] derive from the companion proc-macro crate; see
+//! `thiserror_impl` for the supported subset.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,304 @@
+//! Offline stand-in for `thiserror`'s `#[derive(Error)]`.
+//!
+//! Parses the token stream by hand (no `syn`/`quote` in this offline build)
+//! and supports the subset of thiserror this workspace uses:
+//!
+//! * enums with unit, named-struct and tuple variants (no generics);
+//! * `#[error("…")]` format strings with inline named captures
+//!   (`{field}`, `{field:?}`) on struct variants and positional
+//!   arguments (`{0}`) on tuple variants;
+//! * `#[from]` on a single field of a variant, generating a `From` impl
+//!   and wiring the field up as `Error::source`;
+//! * a field literally named `source` also becomes `Error::source`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of an enum variant.
+struct Field {
+    /// Named-field name, or `None` for tuple fields.
+    name: Option<String>,
+    /// The field's type, re-rendered as source text.
+    ty: String,
+    /// Whether the field carried `#[from]`.
+    from: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// The `#[error("…")]` literal, verbatim including quotes.
+    format: String,
+    /// `None` = unit, `Some((named, fields))`.
+    fields: Option<(bool, Vec<Field>)>,
+}
+
+/// Derives `Display`, `std::error::Error` and `From` impls.
+#[proc_macro_derive(Error, attributes(error, source, from, backtrace))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out.parse().expect("thiserror stub emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_item(&tokens)?;
+    let variants = parse_variants(body)?;
+
+    let mut display_arms = String::new();
+    let mut source_arms = String::new();
+    let mut from_impls = String::new();
+
+    for v in &variants {
+        let Variant { name: vname, format, fields } = v;
+        match fields {
+            None => {
+                display_arms.push_str(&format!(
+                    "{name}::{vname} => ::core::write!(__formatter, {format}),\n"
+                ));
+            }
+            Some((named, fields)) if *named => {
+                let binders: Vec<&str> =
+                    fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                let pat = binders.join(", ");
+                display_arms.push_str(&format!(
+                    "{name}::{vname} {{ {pat} }} => ::core::write!(__formatter, {format}),\n"
+                ));
+                if let Some(f) =
+                    fields.iter().find(|f| f.from || f.name.as_deref() == Some("source"))
+                {
+                    let field = f.name.as_deref().unwrap();
+                    source_arms.push_str(&format!(
+                        "{name}::{vname} {{ {field}, .. }} => ::core::option::Option::Some({field}),\n"
+                    ));
+                }
+            }
+            Some((_, fields)) => {
+                let binders: Vec<String> =
+                    (0..fields.len()).map(|i| format!("__field{i}")).collect();
+                let pat = binders.join(", ");
+                let args = binders.join(", ");
+                display_arms.push_str(&format!(
+                    "{name}::{vname}({pat}) => ::core::write!(__formatter, {format}, {args}),\n"
+                ));
+                if let Some(i) = fields.iter().position(|f| f.from) {
+                    let mut pat_src = vec!["_"; fields.len()];
+                    pat_src[i] = "__source";
+                    let pat_src = pat_src.join(", ");
+                    source_arms.push_str(&format!(
+                        "{name}::{vname}({pat_src}) => ::core::option::Option::Some(__source),\n"
+                    ));
+                }
+            }
+        }
+        if let Some((named, fields)) = fields {
+            if let Some(f) = fields.iter().find(|f| f.from) {
+                if fields.len() != 1 {
+                    return Err(format!(
+                        "thiserror stub: #[from] variant {vname} must have exactly one field"
+                    ));
+                }
+                let ty = &f.ty;
+                let construct = if *named {
+                    format!("{name}::{vname} {{ {}: __source }}", f.name.as_deref().unwrap())
+                } else {
+                    format!("{name}::{vname}(__source)")
+                };
+                from_impls.push_str(&format!(
+                    "#[automatically_derived]\n\
+                     impl ::core::convert::From<{ty}> for {name} {{\n\
+                         fn from(__source: {ty}) -> Self {{ {construct} }}\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::core::fmt::Display for {name} {{\n\
+             #[allow(unused_variables, clippy::used_underscore_binding)]\n\
+             fn fmt(&self, __formatter: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 match self {{\n{display_arms}\n}}\n\
+             }}\n\
+         }}\n\
+         #[automatically_derived]\n\
+         impl ::std::error::Error for {name} {{\n\
+             #[allow(unreachable_patterns, unused_variables)]\n\
+             fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+                 match self {{\n{source_arms}_ => ::core::option::Option::None,\n}}\n\
+             }}\n\
+         }}\n\
+         {from_impls}"
+    ))
+}
+
+/// Skips attributes/visibility, expects `enum <name> {{ … }}`, and returns
+/// the enum's name plus its brace-group body.
+fn parse_item(tokens: &[TokenTree]) -> Result<(String, TokenStream), String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a paren group.
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return Err("thiserror stub: expected enum name".into()),
+                };
+                return match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Ok((name, g.stream()))
+                    }
+                    _ => Err("thiserror stub: generics are not supported".into()),
+                };
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                return Err("thiserror stub: only enums are supported".into());
+            }
+            _ => i += 1,
+        }
+    }
+    Err("thiserror stub: no enum found in derive input".into())
+}
+
+/// Splits the enum body into variants and extracts `#[error]` strings.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut format = None;
+        // Leading attributes: keep the #[error("…")] literal, skip the rest.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                format = format.or_else(|| error_literal(g.stream()));
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("thiserror stub: unexpected token {other}")),
+            None => break,
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some((true, parse_fields(g.stream(), true)?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Some((false, parse_fields(g.stream(), false)?))
+            }
+            _ => None,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let format = format
+            .ok_or_else(|| format!("thiserror stub: variant {name} lacks #[error(\"…\")]"))?;
+        variants.push(Variant { name, format, fields });
+    }
+    Ok(variants)
+}
+
+/// Extracts the string literal from an `error("…")` attribute body.
+fn error_literal(attr: TokenStream) -> Option<String> {
+    let mut iter = attr.into_iter();
+    match iter.next()? {
+        TokenTree::Ident(id) if id.to_string() == "error" => {}
+        _ => return None,
+    }
+    match iter.next()? {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            match g.stream().into_iter().next()? {
+                TokenTree::Literal(lit) => Some(lit.to_string()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Parses a comma-separated field list, tracking `#[from]` markers.
+fn parse_fields(stream: TokenStream, named: bool) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut from = false;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                    from |= id.to_string() == "from";
+                }
+            }
+            i += 2;
+        }
+        // Optional visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = if named {
+            let n = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("thiserror stub: expected field name".into()),
+            };
+            i += 1; // name
+            i += 1; // `:`
+            Some(n)
+        } else {
+            None
+        };
+        // Type: everything up to a comma at angle-bracket depth 0.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        fields.push(Field { name, ty, from });
+    }
+    Ok(fields)
+}

@@ -17,8 +17,10 @@ fn main() {
         println!("  ticket winner: {:?}", report.ticket_winner);
         println!("  bidder coin payoffs: {:?}", report.bidder_coin_payoffs);
         println!("  auctioneer coin payoff: {:+}", report.auctioneer_coin_payoff);
-        println!("  no bid stolen: {} | bidders compensated: {}",
-            report.no_bid_stolen, report.bidders_compensated);
+        println!(
+            "  no bid stolen: {} | bidders compensated: {}",
+            report.no_bid_stolen, report.bidders_compensated
+        );
         println!();
     }
 }

@@ -11,19 +11,29 @@ fn main() {
 
     println!("== Compliant brokered sale ==");
     let report = run_brokered_sale(&config, &BTreeMap::new());
-    println!("completed: {} | everyone hedged: {}", report.completed, report.all_compliant_hedged());
+    println!(
+        "completed: {} | everyone hedged: {}",
+        report.completed,
+        report.all_compliant_hedged()
+    );
 
     println!("\n== The broker walks away before trading ==");
     let strategies = BTreeMap::from([(BROKER, Strategy::StopAfter(2))]);
     let report = run_brokered_sale(&config, &strategies);
     for (party, outcome) in &report.parties {
-        println!("  {party}: premium payoff {:+}, hedged {}", outcome.premium_payoff, outcome.hedged);
+        println!(
+            "  {party}: premium payoff {:+}, hedged {}",
+            outcome.premium_payoff, outcome.hedged
+        );
     }
 
     println!("\n== The seller walks away after premiums ==");
     let strategies = BTreeMap::from([(SELLER, Strategy::StopAfter(2))]);
     let report = run_brokered_sale(&config, &strategies);
     for (party, outcome) in &report.parties {
-        println!("  {party}: premium payoff {:+}, hedged {}", outcome.premium_payoff, outcome.hedged);
+        println!(
+            "  {party}: premium payoff {:+}, hedged {}",
+            outcome.premium_payoff, outcome.hedged
+        );
     }
 }

@@ -7,8 +7,11 @@ use sore_loser_hedging::swapgraph::bootstrap::{bootstrap_plan, rounds_needed};
 fn main() {
     let (a, b, ratio, risk) = (500_000u128, 500_000u128, 100u128, 4u128);
     let rounds = rounds_needed(a + b, risk, ratio);
-    println!("hedging a ${} swap with {}% premiums and ${risk} initial risk: {rounds} rounds",
-        a + b, 100 / ratio);
+    println!(
+        "hedging a ${} swap with {}% premiums and ${risk} initial risk: {rounds} rounds",
+        a + b,
+        100 / ratio
+    );
 
     let plan = bootstrap_plan(a, b, ratio, rounds);
     println!("{:<7} {:>15} {:>15}", "level", "Alice deposit", "Bob deposit");
@@ -18,7 +21,15 @@ fn main() {
     println!("initial (unprotected) risk: {}", plan.initial_risk());
 
     println!("\nOn-chain cascade, Alice defaults at level 1:");
-    let report = run_bootstrap(a, b, ratio, rounds, BootstrapDeviation::StopAtLevel { party: ALICE, level: 1 });
-    println!("  Alice payoff {:+}, Bob payoff {:+}, compliant loss bounded: {}",
-        report.alice_payoff, report.bob_payoff, report.loss_bounded_by_initial_risk);
+    let report = run_bootstrap(
+        a,
+        b,
+        ratio,
+        rounds,
+        BootstrapDeviation::StopAtLevel { party: ALICE, level: 1 },
+    );
+    println!(
+        "  Alice payoff {:+}, Bob payoff {:+}, compliant loss bounded: {}",
+        report.alice_payoff, report.bob_payoff, report.loss_bounded_by_initial_risk
+    );
 }

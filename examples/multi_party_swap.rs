@@ -17,7 +17,11 @@ fn main() {
 
     println!("\n== Compliant three-party swap ==");
     let report = run_multi_party_swap(&figure3_config(), &BTreeMap::new());
-    println!("completed: {} | everyone hedged: {}", report.completed, report.all_compliant_hedged());
+    println!(
+        "completed: {} | everyone hedged: {}",
+        report.completed,
+        report.all_compliant_hedged()
+    );
 
     println!("\n== Carol never escrows her asset ==");
     let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(2))]);

@@ -10,10 +10,14 @@ fn main() {
     println!("== Hedged two-party swap: both parties compliant ==");
     let report = run_hedged_swap(&config, Strategy::Compliant, Strategy::Compliant);
     println!("swap completed: {}", report.swap_completed);
-    println!("Alice: apricot {:+}, banana {:+}, premiums {:+}",
-        report.alice_apricot_payoff, report.alice_banana_payoff, report.alice_premium_payoff);
-    println!("Bob:   apricot {:+}, banana {:+}, premiums {:+}",
-        report.bob_apricot_payoff, report.bob_banana_payoff, report.bob_premium_payoff);
+    println!(
+        "Alice: apricot {:+}, banana {:+}, premiums {:+}",
+        report.alice_apricot_payoff, report.alice_banana_payoff, report.alice_premium_payoff
+    );
+    println!(
+        "Bob:   apricot {:+}, banana {:+}, premiums {:+}",
+        report.bob_apricot_payoff, report.bob_banana_payoff, report.bob_premium_payoff
+    );
 
     println!();
     println!("== Bob walks away after the premium phase ==");
@@ -21,6 +25,8 @@ fn main() {
     println!("swap completed: {}", report.swap_completed);
     println!("Alice premium payoff: {:+} (compensated with p_b)", report.alice_premium_payoff);
     println!("Bob premium payoff:   {:+} (forfeits p_b)", report.bob_premium_payoff);
-    println!("Alice locked up for {} blocks and is hedged: {}",
-        report.alice_lockup.principal_blocks, report.hedged_for_alice);
+    println!(
+        "Alice locked up for {} blocks and is hedged: {}",
+        report.alice_lockup.principal_blocks, report.hedged_for_alice
+    );
 }

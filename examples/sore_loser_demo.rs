@@ -7,7 +7,10 @@ use sore_loser_hedging::protocols::two_party::{run_base_swap, run_hedged_swap, T
 
 fn main() {
     let config = TwoPartyConfig::default();
-    println!("{:<34} {:>9} {:>9} {:>11} {:>8}", "scenario", "A premium", "B premium", "A lockup", "hedged");
+    println!(
+        "{:<34} {:>9} {:>9} {:>11} {:>8}",
+        "scenario", "A premium", "B premium", "A lockup", "hedged"
+    );
     for (label, alice, bob) in [
         ("compliant / compliant", Strategy::Compliant, Strategy::Compliant),
         ("compliant / Bob quits early", Strategy::Compliant, Strategy::StopAfter(0)),
@@ -16,11 +19,21 @@ fn main() {
     ] {
         let base = run_base_swap(&config, alice, bob);
         let hedged = run_hedged_swap(&config, alice, bob);
-        println!("base   {:<27} {:>9} {:>9} {:>11} {:>8}", label,
-            base.alice_premium_payoff, base.bob_premium_payoff,
-            base.alice_lockup.principal_blocks, base.hedged_for_alice && base.hedged_for_bob);
-        println!("hedged {:<27} {:>9} {:>9} {:>11} {:>8}", label,
-            hedged.alice_premium_payoff, hedged.bob_premium_payoff,
-            hedged.alice_lockup.principal_blocks, hedged.hedged_for_alice && hedged.hedged_for_bob);
+        println!(
+            "base   {:<27} {:>9} {:>9} {:>11} {:>8}",
+            label,
+            base.alice_premium_payoff,
+            base.bob_premium_payoff,
+            base.alice_lockup.principal_blocks,
+            base.hedged_for_alice && base.hedged_for_bob
+        );
+        println!(
+            "hedged {:<27} {:>9} {:>9} {:>11} {:>8}",
+            label,
+            hedged.alice_premium_payoff,
+            hedged.bob_premium_payoff,
+            hedged.alice_lockup.principal_blocks,
+            hedged.hedged_for_alice && hedged.hedged_for_bob
+        );
     }
 }

@@ -1,0 +1,345 @@
+//! Cross-protocol conformance harness.
+//!
+//! Executable form of the paper's central claims (Xue & Herlihy, PODC 2021):
+//! for every protocol and every per-party deviation strategy in the swept
+//! space, **every compliant party is hedged** — it either completes the
+//! exchange or collects the counterparty's premium — and the simulated
+//! ledgers conserve funds whenever at least one compliant party remains to
+//! settle the contracts. Lock-up durations are also checked against the
+//! protocols' timeout structure (a compliant party's principal is never
+//! stuck longer than the final contract deadline).
+//!
+//! These sweeps intentionally overlap with the `modelcheck` crate: the crate
+//! is the reusable sweep engine, while this suite pins the guarantees to the
+//! facade crate's public API so a regression in either layer fails tier-1.
+
+use std::collections::BTreeMap;
+
+use sore_loser_hedging::chainsim::{Amount, PartyId};
+use sore_loser_hedging::protocols::auction::{
+    run_auction, AuctionConfig, AuctioneerBehaviour, AUCTIONEER,
+};
+use sore_loser_hedging::protocols::bootstrap::{run_bootstrap, BootstrapDeviation};
+use sore_loser_hedging::protocols::broker::{broker_deal_config, run_brokered_sale, BrokerConfig};
+use sore_loser_hedging::protocols::deal::{DealConfig, DealReport};
+use sore_loser_hedging::protocols::multi_party::{
+    cycle_config, figure3_config, run_multi_party_swap,
+};
+use sore_loser_hedging::protocols::script::Strategy;
+use sore_loser_hedging::protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
+
+/// Steps per two-party role; matches the scripts in `protocols::two_party`.
+const TWO_PARTY_STEPS: usize = 4;
+/// Steps per deal-engine role; matches the scripts in `protocols::deal`.
+const DEAL_STEPS: usize = 5;
+
+/// Two-party configurations the matrix is swept under: the paper's running
+/// example plus asymmetric principals, asymmetric premiums and both a tight
+/// and a slack synchrony bound Δ.
+fn two_party_configs() -> Vec<TwoPartyConfig> {
+    vec![
+        TwoPartyConfig::default(),
+        TwoPartyConfig {
+            premium_a: Amount::new(7),
+            premium_b: Amount::new(3),
+            ..TwoPartyConfig::default()
+        },
+        TwoPartyConfig {
+            alice_tokens: Amount::new(1_000_000),
+            bob_tokens: Amount::new(1),
+            ..TwoPartyConfig::default()
+        },
+        TwoPartyConfig { delta_blocks: 1, ..TwoPartyConfig::default() },
+        TwoPartyConfig { delta_blocks: 7, ..TwoPartyConfig::default() },
+    ]
+}
+
+#[test]
+fn hedged_two_party_matrix_is_hedged_under_all_configs() {
+    for (i, config) in two_party_configs().iter().enumerate() {
+        for alice in Strategy::all(TWO_PARTY_STEPS) {
+            for bob in Strategy::all(TWO_PARTY_STEPS) {
+                let report = run_hedged_swap(config, alice, bob);
+                let ctx = format!("config #{i}, alice={alice}, bob={bob}");
+
+                // The core theorem: compliance implies the hedged outcome.
+                if alice.is_compliant() {
+                    assert!(report.hedged_for_alice, "alice unhedged: {ctx}");
+                }
+                if bob.is_compliant() {
+                    assert!(report.hedged_for_bob, "bob unhedged: {ctx}");
+                }
+
+                // Conservation of funds whenever anyone remains to settle.
+                if alice.is_compliant() || bob.is_compliant() {
+                    assert!(report.payoffs.conserved(), "funds not conserved: {ctx}");
+                }
+
+                // Timeout bound: the hedged contracts' last deadline is 6Δ,
+                // so no principal can be locked beyond that.
+                let bound = 6 * config.delta_blocks;
+                assert!(
+                    report.alice_lockup.principal_blocks <= bound,
+                    "alice locked {} > {bound} blocks: {ctx}",
+                    report.alice_lockup.principal_blocks
+                );
+                assert!(
+                    report.bob_lockup.principal_blocks <= bound,
+                    "bob locked {} > {bound} blocks: {ctx}",
+                    report.bob_lockup.principal_blocks
+                );
+
+                // A compliant party that did not complete the swap keeps its
+                // principal (compensation is paid in premium currency).
+                if alice.is_compliant() && !report.swap_completed {
+                    assert_eq!(report.alice_apricot_payoff, 0, "alice lost principal: {ctx}");
+                }
+                if bob.is_compliant() && !report.swap_completed {
+                    assert_eq!(report.bob_banana_payoff, 0, "bob lost principal: {ctx}");
+                }
+            }
+        }
+
+        // Fully compliant run: principals swap, premiums come back.
+        let report = run_hedged_swap(config, Strategy::Compliant, Strategy::Compliant);
+        assert!(report.swap_completed, "config #{i}");
+        assert_eq!(report.alice_banana_payoff, config.bob_tokens.value() as i128);
+        assert_eq!(report.bob_apricot_payoff, config.alice_tokens.value() as i128);
+        assert_eq!(report.alice_premium_payoff, 0, "config #{i}");
+        assert_eq!(report.bob_premium_payoff, 0, "config #{i}");
+        assert!(report.failed_actions == 0, "compliant run had failures: config #{i}");
+    }
+}
+
+#[test]
+fn base_two_party_matrix_shows_sore_loser_losses_but_conserves_funds() {
+    let mut unhedged_compliant = 0usize;
+    for config in two_party_configs() {
+        for alice in Strategy::all(TWO_PARTY_STEPS) {
+            for bob in Strategy::all(TWO_PARTY_STEPS) {
+                let report = run_base_swap(&config, alice, bob);
+                if (alice.is_compliant() && !report.hedged_for_alice)
+                    || (bob.is_compliant() && !report.hedged_for_bob)
+                {
+                    unhedged_compliant += 1;
+                    // The attack costs lock-up time, never minted value.
+                    assert!(
+                        report.payoffs.conserved(),
+                        "base swap minted/destroyed funds: alice={alice}, bob={bob}"
+                    );
+                }
+                // Base HTLC timelocks are 3Δ (Alice) and 2Δ (Bob).
+                assert!(report.alice_lockup.principal_blocks <= 3 * config.delta_blocks);
+                assert!(report.bob_lockup.principal_blocks <= 3 * config.delta_blocks);
+            }
+        }
+    }
+    assert!(
+        unhedged_compliant > 0,
+        "the unhedged base protocol must exhibit the sore-loser attack somewhere in the matrix"
+    );
+}
+
+/// Asserts the deal-engine guarantees for one strategy profile.
+fn assert_deal_conformance(
+    config: &DealConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+    report: &DealReport,
+    ctx: &str,
+) {
+    let parties = config.parties();
+    assert!(report.all_compliant_hedged(), "compliant party unhedged: {ctx}");
+    for party in &parties {
+        let compliant =
+            strategies.get(party).copied().unwrap_or(Strategy::Compliant).is_compliant();
+        let outcome = &report.parties[party];
+        if compliant {
+            assert!(outcome.hedged, "{party} unhedged: {ctx}");
+            assert!(outcome.safety, "{party} lost safety: {ctx}");
+        }
+    }
+    let deviators = strategies.values().filter(|s| !s.is_compliant()).count();
+    if deviators <= 1 {
+        // With at most one deviator every other party settles every contract
+        // it can reach, so party balances balance out exactly.
+        assert!(report.payoffs.conserved(), "funds not conserved: {ctx}");
+    } else {
+        // Multiple walk-aways can strand their own deposits inside escrows
+        // forever (nobody may call their refund paths), so party balances
+        // may sum below zero per asset — but value must never be minted.
+        let mut per_asset: BTreeMap<_, i128> = BTreeMap::new();
+        for (_, asset, payoff) in report.payoffs.iter() {
+            *per_asset.entry(asset).or_insert(0) += payoff.value();
+        }
+        assert!(per_asset.values().all(|&total| total <= 0), "value minted from nowhere: {ctx}");
+    }
+    if deviators == 0 {
+        assert!(report.completed, "all-compliant deal did not complete: {ctx}");
+        assert_eq!(report.failed_actions, 0, "all-compliant deal had failures: {ctx}");
+    }
+}
+
+#[test]
+fn multi_party_swaps_single_deviator_sweep_is_hedged() {
+    let configs: Vec<(&str, DealConfig)> = vec![
+        ("figure3", figure3_config()),
+        ("cycle3", cycle_config(3)),
+        ("cycle4", cycle_config(4)),
+        ("cycle5", cycle_config(5)),
+    ];
+    for (name, config) in &configs {
+        for party in config.parties() {
+            for strategy in Strategy::all(DEAL_STEPS) {
+                let strategies: BTreeMap<PartyId, Strategy> = if strategy.is_compliant() {
+                    BTreeMap::new()
+                } else {
+                    BTreeMap::from([(party, strategy)])
+                };
+                let report = run_multi_party_swap(config, &strategies);
+                let ctx = format!("{name}, {party} plays {strategy}");
+                assert_deal_conformance(config, &strategies, &report, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_party_figure3_two_deviators_is_hedged_for_the_rest() {
+    let config = figure3_config();
+    let parties = config.parties();
+    for (i, &a) in parties.iter().enumerate() {
+        for &b in &parties[i + 1..] {
+            for stop_a in 0..DEAL_STEPS {
+                for stop_b in 0..DEAL_STEPS {
+                    let strategies = BTreeMap::from([
+                        (a, Strategy::StopAfter(stop_a)),
+                        (b, Strategy::StopAfter(stop_b)),
+                    ]);
+                    let report = run_multi_party_swap(&config, &strategies);
+                    let ctx = format!("figure3, {a} stops@{stop_a}, {b} stops@{stop_b}");
+                    assert_deal_conformance(&config, &strategies, &report, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn brokered_sale_single_deviator_sweep_is_hedged() {
+    let configs = [
+        BrokerConfig::default(),
+        BrokerConfig {
+            buyer_price: Amount::new(150),
+            seller_price: Amount::new(100),
+            base_premium: Amount::new(5),
+            ..BrokerConfig::default()
+        },
+    ];
+    for (i, config) in configs.iter().enumerate() {
+        let deal = broker_deal_config(config);
+        for party in deal.parties() {
+            for strategy in Strategy::all(DEAL_STEPS) {
+                let strategies: BTreeMap<PartyId, Strategy> = if strategy.is_compliant() {
+                    BTreeMap::new()
+                } else {
+                    BTreeMap::from([(party, strategy)])
+                };
+                let report = run_brokered_sale(config, &strategies);
+                let ctx = format!("broker config #{i}, {party} plays {strategy}");
+                assert_deal_conformance(&deal, &strategies, &report, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn auction_sweep_never_steals_bids_and_conserves_funds() {
+    let behaviours = [
+        AuctioneerBehaviour::DeclareHighBidder,
+        AuctioneerBehaviour::DeclareLowBidder,
+        AuctioneerBehaviour::Abandon,
+    ];
+    let base = AuctionConfig::default();
+    let mut parties = vec![AUCTIONEER];
+    parties.extend(base.bidders());
+    for behaviour in behaviours {
+        let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
+        for &party in &parties {
+            for stop_after in 0..4usize {
+                let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
+                let report = run_auction(&config, &strategies);
+                let ctx = format!("{behaviour:?}, {party} stops after {stop_after}");
+                assert!(report.no_bid_stolen, "bid stolen: {ctx}");
+                assert!(report.payoffs.conserved(), "funds not conserved: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn auction_declares_the_true_high_bidder_and_compensates_when_cheated() {
+    // Honest auctioneer, compliant bidders: highest bid wins the ticket.
+    let honest = run_auction(&AuctionConfig::default(), &BTreeMap::new());
+    assert_eq!(honest.ticket_winner, Some(PartyId(1)), "default bids are [60, 40]");
+    assert!(honest.no_bid_stolen);
+    assert!(honest.payoffs.conserved());
+
+    let three_bidders = AuctionConfig {
+        bids: vec![Some(Amount::new(30)), Some(Amount::new(90)), Some(Amount::new(50))],
+        ..AuctionConfig::default()
+    };
+    let report = run_auction(&three_bidders, &BTreeMap::new());
+    assert_eq!(report.ticket_winner, Some(PartyId(2)), "90 is the highest bid");
+    assert!(report.payoffs.conserved());
+
+    // A cheating auctioneer cannot both keep the premium and steal a bid.
+    for behaviour in [AuctioneerBehaviour::DeclareLowBidder, AuctioneerBehaviour::Abandon] {
+        let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
+        let cheated = run_auction(&config, &BTreeMap::new());
+        assert!(cheated.no_bid_stolen, "{behaviour:?}");
+        assert!(cheated.payoffs.conserved(), "{behaviour:?}");
+        if behaviour == AuctioneerBehaviour::DeclareLowBidder {
+            assert!(cheated.bidders_compensated, "{behaviour:?}");
+        }
+    }
+}
+
+#[test]
+fn bootstrap_sweep_bounds_losses_by_the_initial_risk() {
+    let scenarios: [(u128, u128, u128, u32); 4] = [
+        (1_000_000, 1_000_000, 100, 2),
+        (5_000, 20_000, 10, 3),
+        (1_000, 1_000, 2, 4),
+        (900, 50, 7, 0),
+    ];
+    for (a, b, ratio, rounds) in scenarios {
+        // Both compliant: the cascade settles, premiums are refunded and
+        // only the level-0 principals change hands, so each side's payoff is
+        // exactly the value imbalance of the trade.
+        let clean = run_bootstrap(a, b, ratio, rounds, BootstrapDeviation::None);
+        let ctx = format!("a={a}, b={b}, ratio={ratio}, rounds={rounds}");
+        assert!(clean.loss_bounded_by_initial_risk, "{ctx}");
+        assert_eq!(clean.alice_payoff, b as i128 - a as i128, "{ctx}");
+        assert_eq!(clean.bob_payoff, a as i128 - b as i128, "{ctx}");
+        assert_eq!(clean.alice_payoff + clean.bob_payoff, 0, "{ctx}");
+
+        // One party walks away at each level: the compliant survivor never
+        // nets a loss — the defaulter's guard deposit compensates it.
+        for level in 0..=rounds {
+            for deviator in [PartyId(0), PartyId(1)] {
+                let report = run_bootstrap(
+                    a,
+                    b,
+                    ratio,
+                    rounds,
+                    BootstrapDeviation::StopAtLevel { party: deviator, level },
+                );
+                let ctx = format!("{ctx}, {deviator} stops at level {level}");
+                assert!(report.loss_bounded_by_initial_risk, "{ctx}");
+                let survivor_payoff =
+                    if deviator == PartyId(0) { report.bob_payoff } else { report.alice_payoff };
+                assert!(survivor_payoff >= 0, "compliant survivor lost {survivor_payoff}: {ctx}");
+            }
+        }
+    }
+}

@@ -7,7 +7,9 @@ use sore_loser_hedging::chainsim::{Amount, PartyId};
 use sore_loser_hedging::protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
 use sore_loser_hedging::protocols::bootstrap::{run_bootstrap, BootstrapDeviation};
 use sore_loser_hedging::protocols::broker::{run_brokered_sale, BrokerConfig};
-use sore_loser_hedging::protocols::multi_party::{cycle_config, figure3_config, run_multi_party_swap};
+use sore_loser_hedging::protocols::multi_party::{
+    cycle_config, figure3_config, run_multi_party_swap,
+};
 use sore_loser_hedging::protocols::script::Strategy;
 use sore_loser_hedging::protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
 
@@ -74,7 +76,10 @@ fn brokered_sale_and_auction_end_to_end() {
     let auction = run_auction(&AuctionConfig::default(), &BTreeMap::new());
     assert_eq!(auction.ticket_winner, Some(PartyId(1)));
     let cheated = run_auction(
-        &AuctionConfig { auctioneer: AuctioneerBehaviour::DeclareLowBidder, ..AuctionConfig::default() },
+        &AuctionConfig {
+            auctioneer: AuctioneerBehaviour::DeclareLowBidder,
+            ..AuctionConfig::default()
+        },
         &BTreeMap::new(),
     );
     assert!(cheated.no_bid_stolen);
