@@ -1,0 +1,66 @@
+//! Parallel model-checking throughput: the same deviation sweep on one
+//! worker thread versus all available workers, demonstrating that the
+//! engine's deterministic merge costs nothing while the wall-clock scales
+//! with cores (§10 sweeps over the §7 generated-digraph scenario families).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use modelcheck::engine::{ParallelSweep, ScenarioGen};
+use modelcheck::multi_party_families;
+
+fn family_refs(families: &[modelcheck::scenarios::DealSweep]) -> Vec<&dyn ScenarioGen> {
+    families.iter().map(|f| f as &dyn ScenarioGen).collect()
+}
+
+fn report() {
+    // Compare against a fixed 4-worker pool rather than
+    // `available_parallelism` so the bench exercises the multi-threaded
+    // path (and its determinism assertion) even on single-CPU CI boxes.
+    let threads = 4;
+    bench::header(
+        "parallel model checking: 1 thread vs N threads",
+        &["family set", "scenarios", "1-thread", &format!("{threads}-thread"), "speedup"],
+    );
+    for n in [3u32, 4, 5] {
+        let families = multi_party_families(n);
+        let refs = family_refs(&families);
+
+        let start = Instant::now();
+        let serial = ParallelSweep::new(1).run_all(&refs);
+        let serial_elapsed = start.elapsed();
+
+        let start = Instant::now();
+        let parallel = ParallelSweep::new(threads).run_all(&refs);
+        let parallel_elapsed = start.elapsed();
+
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{parallel:?}"),
+            "summaries must be identical for 1 vs N threads"
+        );
+        assert!(serial.holds(), "multi-party n={n}: {:?}", serial.violations);
+        let speedup = serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9);
+        bench::row(&[
+            format!("multi-party n={n}"),
+            serial.runs.to_string(),
+            format!("{serial_elapsed:.2?}"),
+            format!("{parallel_elapsed:.2?}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+}
+
+fn bench_modelcheck_parallel(c: &mut Criterion) {
+    report();
+    let families = multi_party_families(4);
+    c.bench_function("modelcheck_multi_party_n4_1_thread", |b| {
+        b.iter(|| black_box(ParallelSweep::new(1).run_all(&family_refs(&families))))
+    });
+    c.bench_function("modelcheck_multi_party_n4_4_threads", |b| {
+        b.iter(|| black_box(ParallelSweep::new(4).run_all(&family_refs(&families))))
+    });
+}
+
+criterion_group!(benches, bench_modelcheck_parallel);
+criterion_main!(benches);

@@ -62,3 +62,21 @@ pub use ledger::{AccountRef, Ledger};
 pub use sim::{Action, ActionOutcome, Actor, RunReport, Scheduler, StepTrace};
 pub use time::{StepSchedule, Time};
 pub use world::World;
+
+// Thread-safety contract: simulated worlds, actions and run reports cross
+// worker threads in the parallel model-checking engine, so these types must
+// stay `Send`. `Contract` and `ContractMessage` carry `Send` as supertraits
+// to make this hold for the boxed trait objects inside `World` and
+// `Action`; this block turns an accidental regression (say, an `Rc` in a
+// contract field) into a compile error here instead of a cryptic one in a
+// downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<World>();
+    assert_send::<Action>();
+    assert_send::<RunReport>();
+    assert_send::<ActionOutcome>();
+    assert_send::<ChainError>();
+    assert_send::<Box<dyn Contract>>();
+    assert_send::<Box<dyn ContractMessage>>();
+};

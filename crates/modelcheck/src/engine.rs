@@ -1,0 +1,252 @@
+//! The generic parallel sweep engine.
+//!
+//! A [`ScenarioGen`] describes a family of independently checkable
+//! scenarios — typically one joint strategy profile per scenario — through
+//! a random-access index space. The [`ParallelSweep`] fans those indices
+//! out over a pool of scoped worker threads that pull fixed-size chunks
+//! from a shared atomic cursor (idle workers steal the next unclaimed chunk
+//! the moment they finish one, so an expensive scenario never stalls the
+//! rest of the sweep), and merges the results back **in index order**, so
+//! the resulting [`CheckSummary`] is bit-for-bit identical no matter how
+//! many threads ran the sweep.
+//!
+//! Each scenario builds, runs and tears down its own simulated
+//! [`chainsim::World`]; the only shared state is the immutable generator
+//! and the cursor, which is why the engine needs no locks and no
+//! dependencies beyond `std::thread::scope`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::{CheckSummary, Violation};
+
+/// A family of model-checking scenarios with random-access indexing.
+///
+/// Implementations must be cheap to index: `check(i)` is called from worker
+/// threads in arbitrary order and must depend only on `i` and `&self`
+/// (never on mutable state), which is what makes sweeps deterministic.
+pub trait ScenarioGen: Sync {
+    /// Short human-readable name of the scenario family, used in reports.
+    fn family(&self) -> String;
+
+    /// The number of scenarios in this family.
+    ///
+    /// For full-product sweeps this is exactly the product of per-party
+    /// strategy-space sizes; bounded-deviator sweeps document their own
+    /// closed form. Either way, a sweep performs exactly `total()` runs.
+    fn total(&self) -> usize;
+
+    /// Runs scenario `index` (`0 <= index < total()`) and returns every
+    /// property violation it exhibits.
+    fn check(&self, index: usize) -> Vec<Violation>;
+}
+
+/// A deterministic parallel sweep runner.
+///
+/// # Examples
+///
+/// ```
+/// use modelcheck::engine::ParallelSweep;
+/// use modelcheck::scenarios::TwoPartySweep;
+///
+/// let gen = TwoPartySweep::hedged(Default::default());
+/// let serial = ParallelSweep::new(1).run(&gen);
+/// let parallel = ParallelSweep::new(4).run(&gen);
+/// assert_eq!(serial.runs, 25);
+/// assert!(serial.holds());
+/// // Determinism: thread count never changes the summary.
+/// assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelSweep {
+    threads: usize,
+    chunk: usize,
+}
+
+impl Default for ParallelSweep {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+impl ParallelSweep {
+    /// Creates a sweep runner with a fixed worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a sweep needs at least one worker");
+        ParallelSweep { threads, chunk: 4 }
+    }
+
+    /// Creates a sweep runner sized to the machine, capped at 8 workers
+    /// (scenario runs are CPU-bound; beyond that the fixed per-run setup
+    /// cost dominates on the sweep sizes this crate checks).
+    pub fn with_available_parallelism() -> Self {
+        let threads =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(8);
+        Self::new(threads)
+    }
+
+    /// Overrides the number of scenarios a worker claims per steal.
+    ///
+    /// Smaller chunks balance unequal scenario costs better; larger chunks
+    /// reduce cursor contention. The result of the sweep is identical for
+    /// every chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunks must hold at least one scenario");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The number of worker threads this runner spawns.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sweeps a single scenario family.
+    pub fn run(&self, gen: &dyn ScenarioGen) -> CheckSummary {
+        self.run_all(&[gen])
+    }
+
+    /// Sweeps several scenario families as one work pool.
+    ///
+    /// Families share the worker pool (a long tail in one family is
+    /// absorbed by workers finishing another), and the merged summary lists
+    /// violations grouped by family, in each family's index order —
+    /// independent of thread count and chunk size.
+    pub fn run_all(&self, gens: &[&dyn ScenarioGen]) -> CheckSummary {
+        // Concatenate the families into one global index space.
+        let mut offsets = Vec::with_capacity(gens.len());
+        let mut total = 0usize;
+        for gen in gens {
+            offsets.push(total);
+            total += gen.total();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let chunk = self.chunk;
+        let mut found: Vec<(usize, Vec<Violation>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let offsets = &offsets;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, Vec<Violation>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= total {
+                                break;
+                            }
+                            for index in start..(start + chunk).min(total) {
+                                let family = match offsets.binary_search(&index) {
+                                    Ok(exact) => exact,
+                                    Err(insert) => insert - 1,
+                                };
+                                let violations = gens[family].check(index - offsets[family]);
+                                if !violations.is_empty() {
+                                    local.push((index, violations));
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("sweep worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: global index order, regardless of which
+        // worker ran which chunk.
+        found.sort_by_key(|(index, _)| *index);
+        CheckSummary {
+            runs: total,
+            strategies: total,
+            violations: found.into_iter().flat_map(|(_, violations)| violations).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chainsim::PartyId;
+
+    /// A synthetic family: scenario `i` violates iff `i` is divisible by 7.
+    struct Synthetic {
+        total: usize,
+    }
+
+    impl ScenarioGen for Synthetic {
+        fn family(&self) -> String {
+            "synthetic".into()
+        }
+        fn total(&self) -> usize {
+            self.total
+        }
+        fn check(&self, index: usize) -> Vec<Violation> {
+            if index.is_multiple_of(7) {
+                vec![Violation {
+                    scenario: format!("synthetic #{index}"),
+                    party: PartyId(index as u32),
+                    property: "synthetic",
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_and_chunk_counts() {
+        let gen = Synthetic { total: 100 };
+        let baseline = ParallelSweep::new(1).run(&gen);
+        assert_eq!(baseline.runs, 100);
+        assert_eq!(baseline.strategies, 100);
+        assert_eq!(baseline.violations.len(), 15, "0, 7, …, 98");
+        for threads in [2, 3, 8] {
+            for chunk in [1, 4, 33, 1000] {
+                let summary = ParallelSweep::new(threads).chunk_size(chunk).run(&gen);
+                assert_eq!(format!("{summary:?}"), format!("{baseline:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn run_all_concatenates_families_in_order() {
+        let a = Synthetic { total: 10 };
+        let b = Synthetic { total: 8 };
+        let summary = ParallelSweep::new(4).run_all(&[&a, &b]);
+        assert_eq!(summary.runs, 18);
+        // Violations: family a at 0 and 7, then family b at 0 and 7.
+        let parties: Vec<u32> = summary.violations.iter().map(|v| v.party.0).collect();
+        assert_eq!(parties, vec![0, 7, 0, 7]);
+    }
+
+    #[test]
+    fn empty_family_list_yields_empty_summary() {
+        let summary = ParallelSweep::new(4).run_all(&[]);
+        assert_eq!(summary.runs, 0);
+        assert!(summary.holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let _ = ParallelSweep::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn zero_chunk_is_rejected() {
+        let _ = ParallelSweep::new(1).chunk_size(0);
+    }
+}

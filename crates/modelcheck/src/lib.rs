@@ -4,49 +4,92 @@
 //! were model checked (in TLA+). Because smart contracts constrain Byzantine
 //! behaviour to *stopping* at some protocol step (malformed or mistimed
 //! calls are rejected on chain), the strategy space is small enough to
-//! enumerate outright: this crate sweeps every combination of per-party
-//! stop-points, runs the full simulator for each, and checks the safety and
-//! hedged properties of every compliant party.
+//! enumerate outright. This crate generalises the paper's two hand-built
+//! models to a parallel sweep engine over **arbitrary** protocol entry
+//! points:
+//!
+//! * [`engine`] — a [`ScenarioGen`](engine::ScenarioGen) trait that exposes
+//!   a scenario family through a random-access index space, and a
+//!   [`ParallelSweep`](engine::ParallelSweep) runner that fans indices out
+//!   over scoped worker threads and merges results deterministically (the
+//!   summary is identical for 1 and N threads);
+//! * [`scenarios`] — families for two-party swaps, deal-engine protocols
+//!   (multi-party swaps over arbitrary digraphs and brokered sales),
+//!   premium bootstrapping and auctions;
+//! * top-level `check_*` helpers that bundle the common sweeps, including
+//!   [`check_hedged_multi_party`] over cycles and cliques of up to six
+//!   parties and [`check_random_digraphs`] over seeded random
+//!   strongly-connected digraphs.
 //!
 //! # Examples
+//!
+//! The one-line checks mirror the paper's models:
 //!
 //! ```
 //! let summary = modelcheck::check_hedged_two_party();
 //! assert!(summary.violations.is_empty());
 //! assert!(summary.runs > 20);
 //! ```
+//!
+//! Larger sweeps pick their thread count explicitly; the result never
+//! depends on it:
+//!
+//! ```
+//! use modelcheck::engine::ParallelSweep;
+//! use modelcheck::scenarios::DealSweep;
+//! use protocols::multi_party::cycle_config;
+//!
+//! let family = DealSweep::at_most("cycle-4", cycle_config(4), 1);
+//! let summary = ParallelSweep::new(4).run(&family);
+//! assert!(summary.holds());
+//! assert_eq!(summary.runs, 21, "all-compliant plus 4 parties × 5 stop-points");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-use std::collections::BTreeMap;
+pub mod engine;
+pub mod scenarios;
 
 use chainsim::PartyId;
-use protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
-use protocols::deal::{run_deal, DealConfig};
-use protocols::multi_party::figure3_config;
-use protocols::script::Strategy;
-use protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
+use engine::{ParallelSweep, ScenarioGen};
+use protocols::broker::{broker_deal_config, BrokerConfig};
+use protocols::deal::DealConfig;
+use protocols::multi_party::{clique_config, cycle_config, figure3_config, random_config};
+use protocols::two_party::TwoPartyConfig;
+use scenarios::{AuctionSweep, BootstrapSweep, DealSweep, DeviationBudget, TwoPartySweep};
 
 /// A property violation found during a sweep.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
     /// Which protocol and scenario the violation occurred in.
     pub scenario: String,
-    /// The compliant party whose guarantee was broken.
+    /// The compliant party whose guarantee was broken, or
+    /// [`scenarios::WHOLE_RUN`] for run-wide properties such as
+    /// conservation of funds.
     pub party: PartyId,
     /// Which property was violated.
     pub property: &'static str,
 }
 
 /// The result of an exhaustive sweep.
-#[derive(Clone, Debug, Default)]
+///
+/// `runs` and `strategies` are always equal: one run executes exactly one
+/// joint strategy profile, and every profile of the family's documented
+/// space is executed exactly once (full-product families sweep the product
+/// of per-party stop-points; bounded families sweep the deviator-bounded
+/// subset — see [`scenarios::DeviationBudget`]). Earlier revisions left the
+/// relationship between the two counters unspecified, which made
+/// cross-family accounting ambiguous; the engine now enforces it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CheckSummary {
     /// Number of complete protocol executions explored.
     pub runs: usize,
-    /// Total number of per-party strategy combinations considered.
+    /// Total number of joint strategy profiles considered. Invariant:
+    /// equals [`CheckSummary::runs`].
     pub strategies: usize,
-    /// All property violations found (empty for the hedged protocols).
+    /// All property violations found (empty for the hedged protocols), in
+    /// scenario-index order.
     pub violations: Vec<Violation>,
 }
 
@@ -57,71 +100,25 @@ impl CheckSummary {
     }
 }
 
-/// The number of scripted steps in each two-party role (premium, escrow,
-/// redeem, settle).
-const TWO_PARTY_STEPS: usize = 4;
+/// The default runner for the bundled `check_*` helpers: sized to the
+/// machine, deterministic regardless of the machine.
+fn default_sweep() -> ParallelSweep {
+    ParallelSweep::with_available_parallelism()
+}
 
 /// Model checks the hedged two-party swap over every joint strategy (both
 /// parties ranging over compliant and all stop-points).
 pub fn check_hedged_two_party() -> CheckSummary {
-    sweep_two_party(true)
+    default_sweep().run(&TwoPartySweep::hedged(TwoPartyConfig::default()))
 }
 
 /// Model checks the *base* (unhedged) two-party swap the same way. The base
 /// protocol is expected to produce violations of the hedged property — that
-/// is precisely the paper's motivation.
+/// is precisely the paper's motivation, and the engine must find them
+/// rather than mask them.
 pub fn check_base_two_party() -> CheckSummary {
-    sweep_two_party(false)
+    default_sweep().run(&TwoPartySweep::base(TwoPartyConfig::default()))
 }
-
-fn sweep_two_party(hedged: bool) -> CheckSummary {
-    let config = TwoPartyConfig::default();
-    let strategies = Strategy::all(TWO_PARTY_STEPS);
-    let mut summary = CheckSummary::default();
-    for &alice in &strategies {
-        for &bob in &strategies {
-            summary.runs += 1;
-            summary.strategies += 1;
-            let report = if hedged {
-                run_hedged_swap(&config, alice, bob)
-            } else {
-                run_base_swap(&config, alice, bob)
-            };
-            let scenario = format!(
-                "{} two-party swap, alice={alice}, bob={bob}",
-                if hedged { "hedged" } else { "base" }
-            );
-            if alice.is_compliant() && !report.hedged_for_alice {
-                summary.violations.push(Violation {
-                    scenario: scenario.clone(),
-                    party: protocols::two_party::ALICE,
-                    property: "hedged",
-                });
-            }
-            if bob.is_compliant() && !report.hedged_for_bob {
-                summary.violations.push(Violation {
-                    scenario: scenario.clone(),
-                    party: protocols::two_party::BOB,
-                    property: "hedged",
-                });
-            }
-            // Conservation of party balances is only meaningful when at
-            // least one compliant party remains to settle the contracts;
-            // with every party absent, value legitimately stays escrowed.
-            if (alice.is_compliant() || bob.is_compliant()) && !report.payoffs.conserved() {
-                summary.violations.push(Violation {
-                    scenario,
-                    party: PartyId(u32::MAX),
-                    property: "conservation",
-                });
-            }
-        }
-    }
-    summary
-}
-
-/// The number of scripted steps in each deal-engine role.
-const DEAL_STEPS: usize = 5;
 
 /// Model checks a [`DealConfig`] (multi-party swap or broker deal) over
 /// every strategy profile with at most `max_deviators` deviating parties.
@@ -129,118 +126,101 @@ const DEAL_STEPS: usize = 5;
 /// With three parties and `max_deviators = 2` this covers the three-party
 /// scenarios the paper's TLA+ models explore.
 pub fn check_deal(config: &DealConfig, max_deviators: usize) -> CheckSummary {
-    let parties = config.parties();
-    let per_party: Vec<Strategy> = Strategy::all(DEAL_STEPS);
-    let mut summary = CheckSummary::default();
-    let mut profile: BTreeMap<PartyId, Strategy> = BTreeMap::new();
-    enumerate_profiles(&parties, &per_party, max_deviators, 0, &mut profile, &mut |profile| {
-        summary.runs += 1;
-        summary.strategies += 1;
-        let report = run_deal(config, profile);
-        let scenario = format!("deal with profile {profile:?}");
-        for (party, outcome) in &report.parties {
-            let compliant =
-                profile.get(party).copied().unwrap_or(Strategy::Compliant).is_compliant();
-            if compliant && !outcome.hedged {
-                summary.violations.push(Violation {
-                    scenario: scenario.clone(),
-                    party: *party,
-                    property: "hedged",
-                });
-            }
-            if compliant && !outcome.safety {
-                summary.violations.push(Violation {
-                    scenario: scenario.clone(),
-                    party: *party,
-                    property: "safety",
-                });
-            }
-        }
-        let any_compliant = profile.values().filter(|s| !s.is_compliant()).count() < parties.len();
-        if any_compliant && !report.payoffs.conserved() {
-            summary.violations.push(Violation {
-                scenario,
-                party: PartyId(u32::MAX),
-                property: "conservation",
-            });
-        }
-    });
-    summary
-}
-
-fn enumerate_profiles(
-    parties: &[PartyId],
-    strategies: &[Strategy],
-    max_deviators: usize,
-    index: usize,
-    profile: &mut BTreeMap<PartyId, Strategy>,
-    visit: &mut impl FnMut(&BTreeMap<PartyId, Strategy>),
-) {
-    if index == parties.len() {
-        visit(profile);
-        return;
-    }
-    let deviators = profile.values().filter(|s| !s.is_compliant()).count();
-    // Compliant branch.
-    enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
-    if deviators < max_deviators {
-        for &strategy in strategies.iter().filter(|s| !s.is_compliant()) {
-            profile.insert(parties[index], strategy);
-            enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
-            profile.remove(&parties[index]);
-        }
-    }
+    default_sweep().run(&DealSweep::at_most("deal", config.clone(), max_deviators))
 }
 
 /// Model checks the three-party swap of Figure 3a with up to one deviator.
 pub fn check_figure3_swap() -> CheckSummary {
-    check_deal(&figure3_config(), 1)
+    default_sweep().run(&DealSweep::at_most("deal", figure3_config(), 1))
+}
+
+/// Model checks the brokered sale of §8 with up to two simultaneous
+/// deviators.
+pub fn check_brokered_sale() -> CheckSummary {
+    default_sweep().run(&DealSweep::at_most(
+        "brokered sale",
+        broker_deal_config(&BrokerConfig::default()),
+        2,
+    ))
 }
 
 /// Model checks the auction of §9: every auctioneer behaviour combined with
 /// every single-party stop-point.
 pub fn check_auction() -> CheckSummary {
-    let mut summary = CheckSummary::default();
-    let behaviours = [
-        AuctioneerBehaviour::DeclareHighBidder,
-        AuctioneerBehaviour::DeclareLowBidder,
-        AuctioneerBehaviour::Abandon,
-    ];
-    let parties = [PartyId(0), PartyId(1), PartyId(2)];
-    for behaviour in behaviours {
-        let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
-        for party in parties {
-            for stop_after in 0..4usize {
-                summary.runs += 1;
-                summary.strategies += 1;
-                let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
-                let report = run_auction(&config, &strategies);
-                let scenario = format!("auction {behaviour:?}, {party} stops after {stop_after}");
-                if !report.no_bid_stolen {
-                    summary.violations.push(Violation {
-                        scenario: scenario.clone(),
-                        party,
-                        property: "no-bid-stolen",
-                    });
-                }
-                if !report.payoffs.conserved() {
-                    summary.violations.push(Violation {
-                        scenario,
-                        party: PartyId(u32::MAX),
-                        property: "conservation",
-                    });
-                }
-            }
-        }
+    default_sweep().run(&AuctionSweep::default())
+}
+
+/// Model checks premium bootstrapping (§6) with 1 through `max_rounds`
+/// premium rounds: for each round count, the all-compliant cascade plus
+/// every party stopping at every level.
+pub fn check_bootstrap(max_rounds: u32) -> CheckSummary {
+    let families: Vec<BootstrapSweep> = (1..=max_rounds)
+        .flat_map(|rounds| {
+            [
+                BootstrapSweep { a: 1_000_000, b: 1_000_000, ratio: 100, rounds },
+                BootstrapSweep { a: 5_000, b: 20_000, ratio: 10, rounds },
+            ]
+        })
+        .collect();
+    let refs: Vec<&dyn ScenarioGen> = families.iter().map(|f| f as &dyn ScenarioGen).collect();
+    default_sweep().run_all(&refs)
+}
+
+/// The multi-party scenario families checked for `n` parties: the directed
+/// cycle on `n` and (for `n ≥ 3`) the complete digraph on `n`.
+///
+/// Deviation budgets scale with cost: small graphs get the full product
+/// space, larger ones two simultaneous deviators, and dense five/six-party
+/// cliques (whose premium structures grow exponentially, §7) one deviator —
+/// the regime the paper's per-compliant-party theorem speaks to.
+pub fn multi_party_families(n: u32) -> Vec<DealSweep> {
+    assert!(n >= 2, "a swap needs at least two parties");
+    let cycle_budget = if n <= 3 { DeviationBudget::Full } else { DeviationBudget::AtMost(2) };
+    let mut families = vec![DealSweep::new(format!("cycle-{n}"), cycle_config(n), cycle_budget)];
+    if n >= 3 {
+        let clique_budget = match n {
+            3 => DeviationBudget::Full,
+            4 => DeviationBudget::AtMost(2),
+            _ => DeviationBudget::AtMost(1),
+        };
+        families.push(DealSweep::new(format!("clique-{n}"), clique_config(n), clique_budget));
     }
-    summary
+    families
+}
+
+/// Model checks hedged multi-party swaps on `n` parties over generated
+/// digraphs: the directed cycle and the complete digraph (see
+/// [`multi_party_families`] for the exact scenario budgets).
+///
+/// The hedged theorem (§7) predicts zero violations for any strongly
+/// connected digraph; this holds for every `2 ≤ n ≤ 6` and is pinned by
+/// this crate's tests.
+pub fn check_hedged_multi_party(n: u32) -> CheckSummary {
+    let families = multi_party_families(n);
+    let refs: Vec<&dyn ScenarioGen> = families.iter().map(|f| f as &dyn ScenarioGen).collect();
+    default_sweep().run_all(&refs)
+}
+
+/// Model checks hedged swaps over `seeds` seeded random strongly-connected
+/// digraphs on `n` parties (each with `extra_arcs` arcs beyond the
+/// generated Hamiltonian cycle), one deviator at a time.
+pub fn check_random_digraphs(n: u32, extra_arcs: usize, seeds: u64) -> CheckSummary {
+    let families: Vec<DealSweep> = (0..seeds)
+        .map(|seed| {
+            DealSweep::at_most(
+                format!("random-{n}-{extra_arcs}-seed{seed}"),
+                random_config(n, extra_arcs, seed),
+                1,
+            )
+        })
+        .collect();
+    let refs: Vec<&dyn ScenarioGen> = families.iter().map(|f| f as &dyn ScenarioGen).collect();
+    default_sweep().run_all(&refs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use protocols::broker::broker_deal_config;
-    use protocols::broker::BrokerConfig;
 
     #[test]
     fn hedged_two_party_swap_has_no_violations() {
@@ -270,8 +250,24 @@ mod tests {
     }
 
     #[test]
+    fn brokered_sale_has_no_violations_with_two_deviators() {
+        let summary = check_brokered_sale();
+        assert_eq!(summary.runs, 1 + 3 * 5 + 3 * 25, "deviator-bounded closed form");
+        assert!(summary.holds(), "{:?}", summary.violations);
+    }
+
+    #[test]
     fn auction_has_no_violations() {
         let summary = check_auction();
+        assert!(summary.holds(), "{:?}", summary.violations);
+    }
+
+    #[test]
+    fn bootstrap_rounds_have_no_violations() {
+        let summary = check_bootstrap(3);
+        // Per round count r: two configs × (1 + 2(r+1)) scenarios.
+        let expected: usize = (1..=3).map(|r| 2 * (1 + 2 * (r as usize + 1))).sum();
+        assert_eq!(summary.runs, expected);
         assert!(summary.holds(), "{:?}", summary.violations);
     }
 
@@ -281,5 +277,14 @@ mod tests {
         // 1 (all compliant) + 3 * 5 = 16 profiles.
         let summary = check_deal(&figure3_config(), 1);
         assert_eq!(summary.runs, 16);
+    }
+
+    #[test]
+    fn small_multi_party_graphs_hold() {
+        for n in [2u32, 3] {
+            let summary = check_hedged_multi_party(n);
+            assert!(summary.holds(), "n={n}: {:?}", summary.violations);
+            assert_eq!(summary.runs, summary.strategies);
+        }
     }
 }

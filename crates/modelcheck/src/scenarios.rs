@@ -1,0 +1,497 @@
+//! Scenario families for the sweep engine.
+//!
+//! Each family maps a dense index range onto one protocol's joint-strategy
+//! space and knows how to run a single scenario and judge its report. The
+//! families deliberately share the [`Violation`] vocabulary (`"hedged"`,
+//! `"safety"`, `"conservation"`, …) so summaries from different protocols
+//! merge cleanly.
+
+use std::collections::BTreeMap;
+
+use chainsim::PartyId;
+use protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
+use protocols::bootstrap::{run_bootstrap, BootstrapDeviation};
+use protocols::deal::{self, run_deal, DealConfig};
+use protocols::script::Strategy;
+use protocols::two_party::{self, run_base_swap, run_hedged_swap, TwoPartyConfig};
+
+use crate::engine::ScenarioGen;
+use crate::Violation;
+
+/// The synthetic party id used for violations that concern the run as a
+/// whole (conservation of funds) rather than a specific party.
+pub const WHOLE_RUN: PartyId = PartyId(u32::MAX);
+
+// ---------------------------------------------------------------------------
+// Two-party swaps.
+// ---------------------------------------------------------------------------
+
+/// The full product sweep over both parties' strategy spaces for a
+/// two-party swap (hedged §5.2 or base §5.1).
+///
+/// With the four-step scripts this is `5 × 5 = 25` scenarios: exactly the
+/// product of per-party stop-points (compliant plus stopping after
+/// `0..SCRIPT_STEPS` steps, per party).
+#[derive(Clone, Debug)]
+pub struct TwoPartySweep {
+    config: TwoPartyConfig,
+    hedged: bool,
+    space: Vec<Strategy>,
+}
+
+impl TwoPartySweep {
+    /// Sweeps the hedged two-party swap (§5.2).
+    pub fn hedged(config: TwoPartyConfig) -> Self {
+        TwoPartySweep { config, hedged: true, space: two_party::strategy_space() }
+    }
+
+    /// Sweeps the base (unhedged) two-party swap (§5.1). The sweep is
+    /// expected to *find* hedged-property violations: that is the paper's
+    /// motivating attack.
+    pub fn base(config: TwoPartyConfig) -> Self {
+        TwoPartySweep { config, hedged: false, space: two_party::strategy_space() }
+    }
+}
+
+impl ScenarioGen for TwoPartySweep {
+    fn family(&self) -> String {
+        format!("{} two-party swap", if self.hedged { "hedged" } else { "base" })
+    }
+
+    fn total(&self) -> usize {
+        self.space.len() * self.space.len()
+    }
+
+    fn check(&self, index: usize) -> Vec<Violation> {
+        let alice = self.space[index / self.space.len()];
+        let bob = self.space[index % self.space.len()];
+        let report = if self.hedged {
+            run_hedged_swap(&self.config, alice, bob)
+        } else {
+            run_base_swap(&self.config, alice, bob)
+        };
+        let scenario = format!("{}, alice={alice}, bob={bob}", self.family());
+        let mut violations = Vec::new();
+        if alice.is_compliant() && !report.hedged_for_alice {
+            violations.push(Violation {
+                scenario: scenario.clone(),
+                party: two_party::ALICE,
+                property: "hedged",
+            });
+        }
+        if bob.is_compliant() && !report.hedged_for_bob {
+            violations.push(Violation {
+                scenario: scenario.clone(),
+                party: two_party::BOB,
+                property: "hedged",
+            });
+        }
+        // Conservation of party balances is only meaningful when at least
+        // one compliant party remains to settle the contracts; with every
+        // party absent, value legitimately stays escrowed.
+        if (alice.is_compliant() || bob.is_compliant()) && !report.payoffs.conserved() {
+            violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+        }
+        violations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deal-engine protocols (multi-party swaps and brokered sales).
+// ---------------------------------------------------------------------------
+
+/// How much of a deal's joint strategy space a [`DealSweep`] explores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviationBudget {
+    /// The full product space: every party independently ranges over the
+    /// whole strategy space, `(1 + SCRIPT_STEPS)^n` scenarios.
+    Full,
+    /// Profiles with at most this many simultaneously deviating parties:
+    /// `Σ_{j≤k} C(n,j)·SCRIPT_STEPS^j` scenarios. The paper's theorems are
+    /// per-compliant-party, so small budgets already cover the interesting
+    /// cases while keeping dense six-party graphs tractable.
+    AtMost(usize),
+}
+
+/// A sweep over the joint strategy profiles of one [`DealConfig`].
+#[derive(Clone, Debug)]
+pub struct DealSweep {
+    name: String,
+    config: DealConfig,
+    space: Vec<Strategy>,
+    budget: DeviationBudget,
+    /// Materialised profile list for [`DeviationBudget::AtMost`]; `None`
+    /// for full sweeps, which decode indices arithmetically instead.
+    profiles: Option<Vec<BTreeMap<PartyId, Strategy>>>,
+}
+
+impl DealSweep {
+    /// Creates a sweep over `config` with the given deviation budget.
+    pub fn new(name: impl Into<String>, config: DealConfig, budget: DeviationBudget) -> Self {
+        let space = deal::strategy_space();
+        let profiles = match budget {
+            DeviationBudget::Full => None,
+            DeviationBudget::AtMost(max_deviators) => {
+                let parties = config.parties();
+                let mut profiles = Vec::new();
+                let mut current = BTreeMap::new();
+                enumerate_profiles(
+                    &parties,
+                    &space,
+                    max_deviators,
+                    0,
+                    &mut current,
+                    &mut |profile| profiles.push(profile.clone()),
+                );
+                debug_assert_eq!(
+                    profiles.len(),
+                    bounded_profile_count(parties.len(), space.len() - 1, max_deviators),
+                    "profile enumeration must match its closed form"
+                );
+                Some(profiles)
+            }
+        };
+        DealSweep { name: name.into(), config, space, budget, profiles }
+    }
+
+    /// A sweep over the full product strategy space.
+    pub fn full(name: impl Into<String>, config: DealConfig) -> Self {
+        Self::new(name, config, DeviationBudget::Full)
+    }
+
+    /// A sweep over profiles with at most `max_deviators` deviators.
+    pub fn at_most(name: impl Into<String>, config: DealConfig, max_deviators: usize) -> Self {
+        Self::new(name, config, DeviationBudget::AtMost(max_deviators))
+    }
+
+    /// The deal configuration this family sweeps.
+    pub fn config(&self) -> &DealConfig {
+        &self.config
+    }
+
+    /// The deviation budget of this family.
+    pub fn budget(&self) -> DeviationBudget {
+        self.budget
+    }
+
+    /// Decodes scenario `index` into a (deviators-only) strategy profile.
+    pub fn profile(&self, index: usize) -> BTreeMap<PartyId, Strategy> {
+        match &self.profiles {
+            Some(profiles) => profiles[index].clone(),
+            None => {
+                // Mixed-radix decode: party k's strategy is digit k of
+                // `index` in base `space.len()`, most significant digit
+                // first so profiles enumerate in lexicographic order.
+                let parties = self.config.parties();
+                let mut remaining = index;
+                let mut profile = BTreeMap::new();
+                for &party in parties.iter().rev() {
+                    let strategy = self.space[remaining % self.space.len()];
+                    remaining /= self.space.len();
+                    if !strategy.is_compliant() {
+                        profile.insert(party, strategy);
+                    }
+                }
+                profile
+            }
+        }
+    }
+}
+
+impl ScenarioGen for DealSweep {
+    fn family(&self) -> String {
+        self.name.clone()
+    }
+
+    fn total(&self) -> usize {
+        match &self.profiles {
+            Some(profiles) => profiles.len(),
+            None => self.space.len().pow(self.config.parties().len() as u32),
+        }
+    }
+
+    fn check(&self, index: usize) -> Vec<Violation> {
+        let profile = self.profile(index);
+        let report = run_deal(&self.config, &profile);
+        let scenario = format!("{} with profile {profile:?}", self.name);
+        let mut violations = Vec::new();
+        for (party, outcome) in &report.parties {
+            let compliant =
+                profile.get(party).copied().unwrap_or(Strategy::Compliant).is_compliant();
+            if compliant && !outcome.hedged {
+                violations.push(Violation {
+                    scenario: scenario.clone(),
+                    party: *party,
+                    property: "hedged",
+                });
+            }
+            if compliant && !outcome.safety {
+                violations.push(Violation {
+                    scenario: scenario.clone(),
+                    party: *party,
+                    property: "safety",
+                });
+            }
+            // A compliant party's settle step frees every incident arc
+            // after the final deadline, so none of its principals may end
+            // the run stuck in escrow — under any number of deviators.
+            if compliant && outcome.escrowed_stuck > 0 {
+                violations.push(Violation {
+                    scenario: scenario.clone(),
+                    party: *party,
+                    property: "stranded-principal",
+                });
+            }
+        }
+        // Funds conservation (payoffs sum to zero) holds whenever at most
+        // one party deviates. Several simultaneous walk-aways can strand
+        // their own deposits inside escrows nobody settles — a loss to the
+        // deviators, not a soundness bug — so for those profiles the check
+        // weakens to "no value is ever minted" per asset (the stranded
+        // value is pinned to the deviators by the stranded-principal check
+        // above plus each compliant party's hedged premium bound).
+        let deviators = profile.len();
+        if deviators <= 1 {
+            if !report.payoffs.conserved() {
+                violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+            }
+        } else {
+            let mut per_asset: BTreeMap<chainsim::AssetId, i128> = BTreeMap::new();
+            for (_, asset, payoff) in report.payoffs.iter() {
+                *per_asset.entry(asset).or_insert(0) += payoff.value();
+            }
+            if per_asset.values().any(|&total| total > 0) {
+                violations.push(Violation { scenario, party: WHOLE_RUN, property: "minting" });
+            }
+        }
+        violations
+    }
+}
+
+/// The number of profiles with at most `max_deviators` deviators: each of
+/// `j ≤ max_deviators` deviating parties independently picks one of
+/// `deviating` non-compliant strategies.
+fn bounded_profile_count(parties: usize, deviating: usize, max_deviators: usize) -> usize {
+    (0..=max_deviators.min(parties)).map(|j| binomial(parties, j) * deviating.pow(j as u32)).sum()
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut result = 1usize;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+fn enumerate_profiles(
+    parties: &[PartyId],
+    strategies: &[Strategy],
+    max_deviators: usize,
+    index: usize,
+    profile: &mut BTreeMap<PartyId, Strategy>,
+    visit: &mut impl FnMut(&BTreeMap<PartyId, Strategy>),
+) {
+    if index == parties.len() {
+        visit(profile);
+        return;
+    }
+    let deviators = profile.len();
+    // Compliant branch (the party is simply absent from the profile).
+    enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
+    if deviators < max_deviators {
+        for &strategy in strategies.iter().filter(|s| !s.is_compliant()) {
+            profile.insert(parties[index], strategy);
+            enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
+            profile.remove(&parties[index]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Premium bootstrapping (§6).
+// ---------------------------------------------------------------------------
+
+/// A sweep over the deviation points of a bootstrapped premium cascade:
+/// the all-compliant run plus each party stopping at each level.
+///
+/// `1 + 2·(rounds + 1)` scenarios per configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BootstrapSweep {
+    /// Alice's principal.
+    pub a: u128,
+    /// Bob's principal.
+    pub b: u128,
+    /// The per-round premium ratio `P`.
+    pub ratio: u128,
+    /// Number of premium rounds (levels above the principal swap).
+    pub rounds: u32,
+}
+
+impl ScenarioGen for BootstrapSweep {
+    fn family(&self) -> String {
+        format!(
+            "bootstrap a={}, b={}, ratio={}, rounds={}",
+            self.a, self.b, self.ratio, self.rounds
+        )
+    }
+
+    fn total(&self) -> usize {
+        1 + 2 * (self.rounds as usize + 1)
+    }
+
+    fn check(&self, index: usize) -> Vec<Violation> {
+        let levels = self.rounds as usize + 1;
+        let (deviation, deviator) = if index == 0 {
+            (BootstrapDeviation::None, None)
+        } else {
+            let party = PartyId(((index - 1) / levels) as u32);
+            let level = ((index - 1) % levels) as u32;
+            (BootstrapDeviation::StopAtLevel { party, level }, Some(party))
+        };
+        let report = run_bootstrap(self.a, self.b, self.ratio, self.rounds, deviation);
+        let scenario = format!("{}, deviation {deviation:?}", self.family());
+        let mut violations = Vec::new();
+        if !report.loss_bounded_by_initial_risk {
+            // The wronged party is the compliant survivor (or the whole run
+            // when nobody deviated and settlement itself misbehaved).
+            let victim = match deviator {
+                Some(PartyId(0)) => PartyId(1),
+                Some(_) => PartyId(0),
+                None => WHOLE_RUN,
+            };
+            violations.push(Violation {
+                scenario: scenario.clone(),
+                party: victim,
+                property: "bounded-loss",
+            });
+        }
+        // Every cascade settles completely, so payoffs are a pure transfer.
+        if report.alice_payoff + report.bob_payoff != 0 {
+            violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+        }
+        violations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auctions (§9).
+// ---------------------------------------------------------------------------
+
+/// The auction sweep: every auctioneer behaviour combined with every
+/// single-party stop-point. `3 behaviours × 3 parties × 4 stop-points`.
+#[derive(Clone, Debug, Default)]
+pub struct AuctionSweep {
+    config: AuctionConfig,
+}
+
+/// Auctioneer behaviours the sweep ranges over.
+const BEHAVIOURS: [AuctioneerBehaviour; 3] = [
+    AuctioneerBehaviour::DeclareHighBidder,
+    AuctioneerBehaviour::DeclareLowBidder,
+    AuctioneerBehaviour::Abandon,
+];
+/// Parties that may deviate in an auction scenario.
+const AUCTION_PARTIES: [PartyId; 3] = [PartyId(0), PartyId(1), PartyId(2)];
+/// Stop-points swept per party.
+const AUCTION_STOPS: usize = 4;
+
+impl AuctionSweep {
+    /// Sweeps the given auction configuration (the `auctioneer` field is
+    /// overridden per scenario).
+    pub fn new(config: AuctionConfig) -> Self {
+        AuctionSweep { config }
+    }
+}
+
+impl ScenarioGen for AuctionSweep {
+    fn family(&self) -> String {
+        "auction".into()
+    }
+
+    fn total(&self) -> usize {
+        BEHAVIOURS.len() * AUCTION_PARTIES.len() * AUCTION_STOPS
+    }
+
+    fn check(&self, index: usize) -> Vec<Violation> {
+        let behaviour = BEHAVIOURS[index / (AUCTION_PARTIES.len() * AUCTION_STOPS)];
+        let party = AUCTION_PARTIES[(index / AUCTION_STOPS) % AUCTION_PARTIES.len()];
+        let stop_after = index % AUCTION_STOPS;
+        let config = AuctionConfig { auctioneer: behaviour, ..self.config.clone() };
+        let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
+        let report = run_auction(&config, &strategies);
+        let scenario = format!("auction {behaviour:?}, {party} stops after {stop_after}");
+        let mut violations = Vec::new();
+        if !report.no_bid_stolen {
+            violations.push(Violation {
+                scenario: scenario.clone(),
+                party,
+                property: "no-bid-stolen",
+            });
+        }
+        if !report.payoffs.conserved() {
+            violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocols::multi_party::figure3_config;
+
+    #[test]
+    fn two_party_total_is_the_per_party_product() {
+        let gen = TwoPartySweep::hedged(TwoPartyConfig::default());
+        let space = two_party::strategy_space().len();
+        assert_eq!(gen.total(), space * space);
+        assert_eq!(gen.family(), "hedged two-party swap");
+        assert_eq!(TwoPartySweep::base(TwoPartyConfig::default()).family(), "base two-party swap");
+    }
+
+    #[test]
+    fn full_deal_sweep_total_is_the_per_party_product() {
+        let gen = DealSweep::full("figure3", figure3_config());
+        let space = deal::strategy_space().len();
+        assert_eq!(gen.total(), space.pow(3));
+        // Index 0 is the all-compliant profile; the last index is everyone
+        // stopping at the last stop-point.
+        assert!(gen.profile(0).is_empty());
+        let last = gen.profile(gen.total() - 1);
+        assert_eq!(last.len(), 3);
+        assert!(last.values().all(|s| *s == Strategy::StopAfter(deal::SCRIPT_STEPS - 1)));
+    }
+
+    #[test]
+    fn bounded_deal_sweep_total_matches_the_closed_form() {
+        let deviating = deal::strategy_space().len() - 1;
+        for max_deviators in 0..=3usize {
+            let gen = DealSweep::at_most("figure3", figure3_config(), max_deviators);
+            let expected: usize =
+                (0..=max_deviators.min(3)).map(|j| binomial(3, j) * deviating.pow(j as u32)).sum();
+            assert_eq!(gen.total(), expected, "max_deviators={max_deviators}");
+            // Every profile respects the budget.
+            for index in 0..gen.total() {
+                assert!(gen.profile(index).len() <= max_deviators);
+            }
+        }
+    }
+
+    #[test]
+    fn bootstrap_and_auction_totals() {
+        let gen = BootstrapSweep { a: 1_000, b: 1_000, ratio: 10, rounds: 2 };
+        assert_eq!(gen.total(), 1 + 2 * 3);
+        assert_eq!(AuctionSweep::default().total(), 36);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(6, 0), 1);
+        assert_eq!(binomial(6, 2), 15);
+        assert_eq!(binomial(3, 3), 1);
+        assert_eq!(binomial(2, 5), 0);
+    }
+}

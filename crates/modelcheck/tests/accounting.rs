@@ -1,26 +1,41 @@
 //! Tests for `CheckSummary` accounting: the `runs`/`strategies` counters
-//! must match the enumerated strategy space exactly, and the base (unhedged)
-//! protocol sweep must report the sore-loser violation the paper motivates.
+//! must match the enumerated strategy space exactly — `runs == strategies`
+//! always, and both equal the family's documented closed form (the product
+//! of per-party stop-points for full sweeps, the deviator-bounded sum for
+//! budgeted sweeps). The base (unhedged) protocol sweep must also report
+//! the sore-loser violation the paper motivates.
 
 use chainsim::PartyId;
+use modelcheck::engine::ParallelSweep;
+use modelcheck::scenarios::{DealSweep, TwoPartySweep};
 use modelcheck::{
     check_auction, check_base_two_party, check_deal, check_figure3_swap, check_hedged_two_party,
     CheckSummary,
 };
 use protocols::broker::{broker_deal_config, BrokerConfig};
-use protocols::multi_party::cycle_config;
+use protocols::multi_party::{cycle_config, figure3_config};
 use protocols::script::Strategy;
+use protocols::two_party::TwoPartyConfig;
+use protocols::{deal, two_party};
 
-/// Two-party sweeps range both parties over `Strategy::all(4)`:
-/// Compliant plus StopAfter(0..4) gives 5 strategies, 25 joint profiles.
-const TWO_PARTY_PROFILES: usize = 5 * 5;
+/// The per-party strategy count of the two-party protocols: compliant plus
+/// one stop-point per script step.
+fn two_party_space() -> usize {
+    two_party::strategy_space().len()
+}
+
+/// Two-party sweeps range both parties over the whole space, so `runs` is
+/// exactly the product of per-party stop-points.
+fn two_party_profiles() -> usize {
+    two_party_space() * two_party_space()
+}
 
 #[test]
 fn hedged_two_party_accounting_matches_the_strategy_space() {
-    assert_eq!(Strategy::all(4).len(), 5, "Compliant + 4 stop points");
+    assert_eq!(two_party_space(), two_party::SCRIPT_STEPS + 1, "Compliant + one per stop-point");
     let summary = check_hedged_two_party();
-    assert_eq!(summary.runs, TWO_PARTY_PROFILES);
-    assert_eq!(summary.strategies, TWO_PARTY_PROFILES);
+    assert_eq!(summary.runs, two_party_profiles());
+    assert_eq!(summary.strategies, summary.runs, "one run per joint strategy profile");
     assert!(summary.holds());
     assert!(summary.violations.is_empty());
 }
@@ -29,8 +44,8 @@ fn hedged_two_party_accounting_matches_the_strategy_space() {
 fn base_two_party_reports_the_sore_loser_violation() {
     let summary = check_base_two_party();
     // Same exhaustive sweep as the hedged check...
-    assert_eq!(summary.runs, TWO_PARTY_PROFILES);
-    assert_eq!(summary.strategies, TWO_PARTY_PROFILES);
+    assert_eq!(summary.runs, two_party_profiles());
+    assert_eq!(summary.strategies, summary.runs);
     // ...but the unhedged protocol must be caught violating the hedged
     // property, and only that property: funds are still conserved.
     assert!(!summary.holds());
@@ -46,12 +61,12 @@ fn base_two_party_reports_the_sore_loser_violation() {
     }
 }
 
-/// Deal sweeps enumerate, per party, the deviating strategies of
-/// `Strategy::all(5)` (5 of the 6 are non-compliant) up to `max_deviators`
-/// simultaneous deviators. For n parties and 1 deviator that is
-/// `1 + n * 5` profiles.
+/// Deal sweeps with a deviator budget enumerate, per party, the deviating
+/// strategies of the deal strategy space. For n parties and 1 deviator that
+/// is `1 + n * SCRIPT_STEPS` profiles.
 fn single_deviator_profiles(parties: usize) -> usize {
-    let deviating = Strategy::all(5).iter().filter(|s| !s.is_compliant()).count();
+    let deviating = deal::strategy_space().iter().filter(|s| !s.is_compliant()).count();
+    assert_eq!(deviating, deal::SCRIPT_STEPS, "one deviation per stop-point");
     1 + parties * deviating
 }
 
@@ -73,12 +88,39 @@ fn deal_accounting_matches_the_enumerated_profiles() {
 }
 
 #[test]
+fn full_deal_sweep_runs_the_per_party_product() {
+    // A full-budget sweep is the exact product of per-party stop-points.
+    let sweep = DealSweep::full("figure3-full", figure3_config());
+    let summary = ParallelSweep::new(4).run(&sweep);
+    let space = deal::strategy_space().len();
+    assert_eq!(summary.runs, space.pow(3), "6^3 joint profiles");
+    assert_eq!(summary.strategies, summary.runs);
+    assert!(summary.holds(), "{:?}", summary.violations);
+}
+
+#[test]
+fn mixed_families_accumulate_runs_exactly() {
+    let two_party = TwoPartySweep::hedged(TwoPartyConfig::default());
+    let deal = DealSweep::at_most("figure3", figure3_config(), 1);
+    let summary = ParallelSweep::new(2).run_all(&[&two_party, &deal]);
+    assert_eq!(summary.runs, two_party_profiles() + single_deviator_profiles(3));
+    assert_eq!(summary.strategies, summary.runs);
+    assert!(summary.holds(), "{:?}", summary.violations);
+}
+
+#[test]
 fn auction_accounting_matches_the_enumerated_space() {
     // 3 auctioneer behaviours x 3 parties x 4 stop points.
     let summary = check_auction();
     assert_eq!(summary.runs, 3 * 3 * 4);
     assert_eq!(summary.strategies, summary.runs);
     assert!(summary.holds(), "{:?}", summary.violations);
+}
+
+#[test]
+fn strategy_spaces_match_the_script_constants() {
+    assert_eq!(two_party::strategy_space(), Strategy::all(two_party::SCRIPT_STEPS));
+    assert_eq!(deal::strategy_space(), Strategy::all(deal::SCRIPT_STEPS));
 }
 
 #[test]

@@ -1,0 +1,121 @@
+//! The acceptance suite for the parallel sweep engine:
+//!
+//! 1. **Determinism** — a sweep's `CheckSummary` is byte-identical (via
+//!    `Debug` formatting) for 1 and N worker threads, across chunk sizes.
+//! 2. **Coverage** — `check_hedged_multi_party(n)` reports zero violations
+//!    for cycles and cliques up to n = 6, and random strongly-connected
+//!    digraphs hold as well.
+//! 3. **Sensitivity** — the engine *finds* the sore-loser violations of the
+//!    base (unhedged) protocols; parallel execution must not mask them.
+
+use modelcheck::engine::{ParallelSweep, ScenarioGen};
+use modelcheck::scenarios::{AuctionSweep, BootstrapSweep, DealSweep, TwoPartySweep};
+use modelcheck::{check_hedged_multi_party, check_random_digraphs};
+use protocols::broker::{broker_deal_config, BrokerConfig};
+use protocols::multi_party::figure3_config;
+use protocols::two_party::TwoPartyConfig;
+
+/// Runs `gen` serially and with several worker/chunk configurations,
+/// asserting every summary is byte-identical to the serial one, and returns
+/// the serial summary.
+fn assert_thread_invariant(gen: &dyn ScenarioGen) -> modelcheck::CheckSummary {
+    let serial = ParallelSweep::new(1).run(gen);
+    let serial_bytes = format!("{serial:?}");
+    for threads in [2usize, 4, 8] {
+        for chunk in [1usize, 3, 16] {
+            let parallel = ParallelSweep::new(threads).chunk_size(chunk).run(gen);
+            assert_eq!(
+                format!("{parallel:?}"),
+                serial_bytes,
+                "family {:?} diverged at threads={threads}, chunk={chunk}",
+                gen.family()
+            );
+        }
+    }
+    serial
+}
+
+#[test]
+fn two_party_sweeps_are_thread_invariant() {
+    let hedged = assert_thread_invariant(&TwoPartySweep::hedged(TwoPartyConfig::default()));
+    assert!(hedged.holds(), "{:?}", hedged.violations);
+    assert_eq!(hedged.runs, 25);
+
+    // The *base* sweep must find violations — identically on every thread
+    // count. A parallel engine that loses or reorders them is broken.
+    let base = assert_thread_invariant(&TwoPartySweep::base(TwoPartyConfig::default()));
+    assert!(!base.holds(), "the engine must find the sore-loser attack");
+    assert!(base.violations.iter().all(|v| v.property == "hedged"));
+    assert!(base.violations.iter().all(|v| v.scenario.contains("base two-party swap")));
+}
+
+#[test]
+fn deal_and_auction_sweeps_are_thread_invariant() {
+    let figure3 = assert_thread_invariant(&DealSweep::at_most("figure3", figure3_config(), 2));
+    assert!(figure3.holds(), "{:?}", figure3.violations);
+    assert_eq!(figure3.runs, 1 + 3 * 5 + 3 * 25);
+
+    let broker = assert_thread_invariant(&DealSweep::at_most(
+        "broker",
+        broker_deal_config(&BrokerConfig::default()),
+        1,
+    ));
+    assert!(broker.holds(), "{:?}", broker.violations);
+
+    let auction = assert_thread_invariant(&AuctionSweep::default());
+    assert!(auction.holds(), "{:?}", auction.violations);
+
+    let bootstrap =
+        assert_thread_invariant(&BootstrapSweep { a: 100_000, b: 100_000, ratio: 10, rounds: 3 });
+    assert!(bootstrap.holds(), "{:?}", bootstrap.violations);
+    assert_eq!(bootstrap.runs, 1 + 2 * 4);
+}
+
+#[test]
+fn multi_party_cycles_and_cliques_hold_up_to_six_parties() {
+    for n in 2..=6u32 {
+        let summary = check_hedged_multi_party(n);
+        assert!(
+            summary.holds(),
+            "hedged theorem violated on generated digraphs at n={n}: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.runs, summary.strategies);
+        assert!(summary.runs > 0);
+    }
+}
+
+#[test]
+fn multi_party_sweep_is_thread_invariant_at_n4() {
+    let families = modelcheck::multi_party_families(4);
+    let refs: Vec<&dyn ScenarioGen> = families.iter().map(|f| f as &dyn ScenarioGen).collect();
+    let serial = ParallelSweep::new(1).run_all(&refs);
+    let parallel = ParallelSweep::new(8).chunk_size(2).run_all(&refs);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    assert!(serial.holds(), "{:?}", serial.violations);
+}
+
+#[test]
+fn random_strongly_connected_digraphs_hold() {
+    for n in [4u32, 5] {
+        let summary = check_random_digraphs(n, 3, 4);
+        assert!(summary.holds(), "n={n}: {:?}", summary.violations);
+        // 4 seeds, each: all-compliant + n parties × 5 stop-points.
+        assert_eq!(summary.runs, 4 * (1 + n as usize * 5));
+    }
+}
+
+#[test]
+fn base_two_party_violations_enumerate_in_scenario_order() {
+    // Pin the deterministic merge: the first violation in index order is
+    // compliant Alice against Bob's earliest harmful stop-point, and every
+    // repeated invocation yields the identical list.
+    let first = ParallelSweep::new(4).run(&TwoPartySweep::base(TwoPartyConfig::default()));
+    let second =
+        ParallelSweep::new(2).chunk_size(7).run(&TwoPartySweep::base(TwoPartyConfig::default()));
+    assert_eq!(first, second);
+    assert!(!first.violations.is_empty());
+    let head = &first.violations[0];
+    assert_eq!(head.property, "hedged");
+    assert!(head.scenario.contains("alice=compliant"), "unexpected head: {head:?}");
+}

@@ -123,15 +123,19 @@ pub fn broker_deal_config(config: &BrokerConfig) -> DealConfig {
         (BROKER, "ticket-chain".to_owned(), "ticket".to_owned(), config.tickets),
     ];
 
+    let leaders = BTreeSet::from([BROKER, SELLER, BUYER]);
+    let premium_float =
+        DealConfig::premium_float_for(&digraph, &leaders, &arcs, config.base_premium);
     DealConfig {
         digraph,
-        leaders: BTreeSet::from([BROKER, SELLER, BUYER]),
+        leaders,
         chains: vec!["ticket-chain".to_owned(), "coin-chain".to_owned()],
         arcs,
         wait_for_incoming: BTreeSet::from([BROKER]),
         base_premium: config.base_premium,
         delta_blocks: config.delta_blocks,
         endowments,
+        premium_float,
     }
 }
 

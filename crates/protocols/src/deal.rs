@@ -22,6 +22,19 @@ use swapgraph::Digraph;
 use crate::outcome::{BalanceSnapshot, Payoffs};
 use crate::script::{run_parties, ScriptedParty, Step, StepOutcome, Strategy};
 
+/// The number of scripted steps in each deal-engine role: escrow premiums,
+/// redemption premiums, asset escrow, hashkey release, settlement.
+/// [`Strategy::StopAfter`] points at or beyond this are equivalent to
+/// compliance.
+pub const SCRIPT_STEPS: usize = 5;
+
+/// Every distinct per-party strategy of the deal engine: compliant plus each
+/// stop-point of the five-step script. Model-checking sweeps range over
+/// exactly this space.
+pub fn strategy_space() -> Vec<Strategy> {
+    Strategy::all(SCRIPT_STEPS)
+}
+
 /// One asset transfer of the deal.
 #[derive(Clone, Debug)]
 pub struct ArcSpec {
@@ -59,12 +72,51 @@ pub struct DealConfig {
     /// The synchrony bound Δ in blocks.
     pub delta_blocks: u64,
     /// Initial endowment of each party's traded assets, as
-    /// `(party, chain, asset, amount)`; parties are also endowed with ample
-    /// native currency for premiums.
+    /// `(party, chain, asset, amount)`; parties are also endowed with
+    /// `premium_float` native currency on every chain for premiums.
     pub endowments: Vec<(PartyId, String, String, Amount)>,
+    /// Native-currency float minted per party per chain to fund premiums.
+    /// Size it with [`DealConfig::premium_float_for`]; it is computed once
+    /// at configuration time because sweeps re-run the same config
+    /// thousands of times.
+    pub premium_float: Amount,
 }
 
 impl DealConfig {
+    /// Sizes the per-party, per-chain native-currency float for a deal over
+    /// `digraph` with the given `leaders`, `arcs` and `base_premium`.
+    ///
+    /// The historical constant float of 10^6 base premiums covers the
+    /// paper's hand-built examples, but escrow and redemption premiums grow
+    /// exponentially with party count on dense generated digraphs (§7), so
+    /// the float is also bounded below by the deal's actual premium
+    /// structure: the materialised per-arc escrow premiums plus every
+    /// Equation (1) redemption obligation of every leader.
+    pub fn premium_float_for(
+        digraph: &Digraph,
+        leaders: &BTreeSet<PartyId>,
+        arcs: &[ArcSpec],
+        base_premium: Amount,
+    ) -> Amount {
+        let escrow_need: u128 = arcs.iter().map(|arc| arc.escrow_premium.value()).sum();
+        let redemption_need: u128 = leaders
+            .iter()
+            .flat_map(|leader| {
+                swapgraph::premiums::redemption_premium_table(
+                    digraph,
+                    leader.0,
+                    base_premium.value(),
+                )
+            })
+            .map(|entry| entry.amount)
+            .sum();
+        Amount::new(
+            base_premium
+                .scaled(1_000_000)
+                .value()
+                .max((escrow_need + redemption_need).saturating_mul(4)),
+        )
+    }
     /// All parties appearing in the digraph, in ascending order.
     pub fn parties(&self) -> Vec<PartyId> {
         self.digraph.vertices().map(PartyId).collect()
@@ -103,6 +155,11 @@ pub struct DealPartyOutcome {
     pub escrowed_unredeemed: usize,
     /// Number of outgoing arcs on which this party's asset was redeemed.
     pub escrowed_redeemed: usize,
+    /// Number of outgoing arcs still holding this party's asset when the
+    /// run ended: neither redeemed nor refunded. Always zero for a
+    /// compliant party (its settle step frees every incident arc after the
+    /// final deadline); nonzero means a principal was stranded.
+    pub escrowed_stuck: usize,
     /// Number of incoming arcs on which this party received the asset.
     pub received: usize,
     /// Number of incoming arcs of this party.
@@ -184,7 +241,7 @@ fn build(config: &DealConfig) -> DealSetup {
         let asset_id = asset_ids[asset];
         world.chain_mut(chain_id).mint(*party, asset_id, *amount);
     }
-    let premium_float = config.base_premium.scaled(1_000_000);
+    let premium_float = config.premium_float;
     let native_assets: Vec<AssetId> =
         config.chains.iter().map(|name| world.chain(chain_ids[name]).native_asset()).collect();
     for &party in &parties {
@@ -566,7 +623,13 @@ pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -
         .iter()
         .map(|&party| {
             let strategy = strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
-            ScriptedParty::new(party, party_steps(config, &setup, party), strategy)
+            let steps = party_steps(config, &setup, party);
+            debug_assert_eq!(
+                steps.len(),
+                SCRIPT_STEPS,
+                "SCRIPT_STEPS must match the deal script so sweeps cover all stop-points"
+            );
+            ScriptedParty::new(party, steps, strategy)
         })
         .collect();
     let max_rounds = config.final_deadline().height() + 3 * config.delta_blocks + 4;
@@ -592,7 +655,8 @@ pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -
                 match contract.principal_state() {
                     PrincipalState::Redeemed => outcome.escrowed_redeemed += 1,
                     PrincipalState::Refunded => outcome.escrowed_unredeemed += 1,
-                    _ => {}
+                    PrincipalState::Held => outcome.escrowed_stuck += 1,
+                    PrincipalState::NotEscrowed => {}
                 }
             }
             if arc.1 == party {

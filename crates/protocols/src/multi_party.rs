@@ -63,15 +63,19 @@ pub fn swap_config(
     let wait_for_incoming: BTreeSet<PartyId> =
         digraph.vertices().filter(|v| !leaders.contains(v)).map(PartyId).collect();
 
+    let leader_parties: BTreeSet<PartyId> = leaders.iter().map(|&l| PartyId(l)).collect();
+    let premium_float =
+        DealConfig::premium_float_for(digraph, &leader_parties, &arcs, base_premium);
     DealConfig {
         digraph: digraph.clone(),
-        leaders: leaders.iter().map(|&l| PartyId(l)).collect(),
+        leaders: leader_parties,
         chains,
         arcs,
         wait_for_incoming,
         base_premium,
         delta_blocks,
         endowments,
+        premium_float,
     }
 }
 
@@ -84,6 +88,32 @@ pub fn figure3_config() -> DealConfig {
 /// A directed-cycle swap on `n` parties with party 0 as the leader.
 pub fn cycle_config(n: u32) -> DealConfig {
     swap_config(&Digraph::cycle(n), &BTreeSet::from([0]), Amount::new(100), Amount::new(1), 2)
+}
+
+/// A complete-digraph (clique) swap on `n` parties: every ordered pair
+/// trades, the paper's worst case for premium growth. Leaders are the
+/// greedy feedback vertex set (`n - 1` parties on a clique).
+pub fn clique_config(n: u32) -> DealConfig {
+    digraph_config(&Digraph::complete(n))
+}
+
+/// A swap over a seeded random strongly-connected digraph on `n` parties
+/// with `extra_arcs` arcs beyond the generated Hamiltonian cycle.
+/// Deterministic in `(n, extra_arcs, seed)`.
+pub fn random_config(n: u32, extra_arcs: usize, seed: u64) -> DealConfig {
+    digraph_config(&Digraph::random_strongly_connected(n, extra_arcs, seed))
+}
+
+/// Builds a swap configuration for an arbitrary strongly-connected
+/// `digraph`, electing the greedy feedback vertex set as leaders and using
+/// the standard 100-token principals, unit base premium and Δ = 2.
+///
+/// # Panics
+///
+/// Panics if `digraph` is not strongly connected.
+pub fn digraph_config(digraph: &Digraph) -> DealConfig {
+    let leaders = digraph.greedy_feedback_vertex_set();
+    swap_config(digraph, &leaders, Amount::new(100), Amount::new(1), 2)
 }
 
 /// Runs a hedged multi-party swap. Parties missing from `strategies` are
@@ -165,6 +195,32 @@ mod tests {
             let report = run_multi_party_swap(&cycle_config(n), &BTreeMap::new());
             assert!(report.completed, "cycle of {n} should complete");
             assert!(report.all_compliant_hedged());
+        }
+    }
+
+    #[test]
+    fn clique_swap_completes_and_refunds_premiums() {
+        for n in [3u32, 4] {
+            let config = clique_config(n);
+            assert_eq!(config.leaders.len(), n as usize - 1, "clique FVS is n-1 leaders");
+            let report = run_multi_party_swap(&config, &BTreeMap::new());
+            assert!(report.completed, "clique of {n} should complete: {report:?}");
+            assert!(report.all_compliant_hedged());
+            assert_eq!(report.failed_actions, 0);
+            for (party, outcome) in &report.parties {
+                assert_eq!(outcome.premium_payoff, 0, "{party} should break even");
+            }
+        }
+    }
+
+    #[test]
+    fn random_digraph_swap_completes() {
+        for seed in 0..4u64 {
+            let config = random_config(4, 3, seed);
+            let report = run_multi_party_swap(&config, &BTreeMap::new());
+            assert!(report.completed, "seed {seed}: {report:?}");
+            assert!(report.all_compliant_hedged());
+            assert!(report.payoffs.conserved());
         }
     }
 

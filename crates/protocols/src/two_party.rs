@@ -25,6 +25,23 @@ pub const ALICE: PartyId = PartyId(0);
 /// Bob's party id in two-party protocols.
 pub const BOB: PartyId = PartyId(1);
 
+/// The number of scripted steps in each hedged two-party role (premium,
+/// escrow, redeem, settle). The base protocol's scripts are one step
+/// shorter (no premium phase), so this bound over-covers them:
+/// [`Strategy::StopAfter`] points at or beyond a script's end are
+/// equivalent to compliance.
+pub const SCRIPT_STEPS: usize = 4;
+
+/// Every distinct per-party strategy of the two-party protocols: compliant
+/// plus each stop-point of the four-step scripts.
+///
+/// This is the exact space the model checker and conformance sweeps range
+/// over; sweeping anything else either duplicates runs (two stop-points past
+/// the script's end behave identically) or misses deviations.
+pub fn strategy_space() -> Vec<Strategy> {
+    Strategy::all(SCRIPT_STEPS)
+}
+
 /// Configuration of a two-party swap experiment.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TwoPartyConfig {
@@ -517,6 +534,10 @@ fn run(
         }
         SwapProtocol::Base => (base_alice_steps(&setup, config), base_bob_steps(&setup, config)),
     };
+    debug_assert!(
+        alice_steps.len() <= SCRIPT_STEPS && bob_steps.len() <= SCRIPT_STEPS,
+        "SCRIPT_STEPS must bound every two-party script so sweeps cover all stop-points"
+    );
     let actors = vec![
         ScriptedParty::new(ALICE, alice_steps, alice),
         ScriptedParty::new(BOB, bob_steps, bob),

@@ -3,6 +3,8 @@
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use thiserror::Error;
 
@@ -86,6 +88,48 @@ impl Digraph {
                 if i != j {
                     g.add_arc(i, j);
                 }
+            }
+        }
+        g
+    }
+
+    /// Creates a random strongly-connected digraph on `n` vertices.
+    ///
+    /// The construction first lays a directed Hamiltonian cycle through a
+    /// seeded random permutation of the vertices (guaranteeing strong
+    /// connectivity), then sprinkles up to `extra_arcs` additional distinct
+    /// arcs. Identical `(n, extra_arcs, seed)` triples always produce the
+    /// identical digraph, so generated scenarios are reproducible across
+    /// runs and across machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn random_strongly_connected(n: u32, extra_arcs: usize, seed: u64) -> Self {
+        assert!(n >= 2, "a strongly connected digraph needs at least two vertices");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<Vertex> = (0..n).collect();
+        // Fisher-Yates over the vertex order.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        let mut g = Digraph::new();
+        for (k, &u) in order.iter().enumerate() {
+            g.add_arc(u, order[(k + 1) % order.len()]);
+        }
+        // Extra arcs; rejection-sampled with a bounded attempt budget so the
+        // call terminates even when `extra_arcs` exceeds the free slots.
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        let budget = extra_arcs.saturating_mul(20) + 64;
+        while added < extra_arcs && attempts < budget {
+            attempts += 1;
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && !g.contains_arc(u, v) {
+                g.add_arc(u, v);
+                added += 1;
             }
         }
         g
@@ -458,6 +502,33 @@ mod tests {
             disconnected.validate_leaders(&BTreeSet::from([0])),
             Err(GraphError::NotStronglyConnected)
         );
+    }
+
+    #[test]
+    fn random_digraphs_are_strongly_connected_and_deterministic() {
+        for n in 2..=7u32 {
+            for seed in 0..8u64 {
+                let extra = (seed as usize) % 5;
+                let g = Digraph::random_strongly_connected(n, extra, seed);
+                assert!(g.is_strongly_connected(), "n={n}, seed={seed}");
+                assert_eq!(g.vertex_count(), n as usize);
+                assert!(g.arc_count() >= n as usize, "the Hamiltonian cycle is present");
+                assert!(g.arc_count() <= n as usize + extra);
+                // Reproducible: the same parameters give the same digraph.
+                assert_eq!(g, Digraph::random_strongly_connected(n, extra, seed));
+                // The greedy feedback vertex set is always usable as leaders.
+                let leaders = g.greedy_feedback_vertex_set();
+                assert!(g.validate_leaders(&leaders).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn random_digraph_extra_arc_budget_saturates() {
+        // Asking for more extra arcs than free slots must still terminate.
+        let g = Digraph::random_strongly_connected(3, 100, 42);
+        assert!(g.arc_count() <= 6, "n(n-1) is the arc capacity");
+        assert!(g.is_strongly_connected());
     }
 
     #[test]

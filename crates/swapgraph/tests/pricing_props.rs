@@ -1,10 +1,16 @@
-//! Property-based tests for the Cox-Ross-Rubinstein premium pricer (§4):
-//! no-arbitrage bounds and the monotonicities that make the premium formula
-//! economically sensible — a longer lock-up or a more volatile asset can
-//! only justify a larger premium.
+//! Property-based tests for premium formulas: the Cox-Ross-Rubinstein
+//! pricer of §4 (no-arbitrage bounds and the monotonicities that make the
+//! premium formula economically sensible — a longer lock-up or a more
+//! volatile asset can only justify a larger premium) and the §7 protocol
+//! premiums of Equations (1)–(2) over generated digraphs.
 
 use proptest::prelude::*;
+use swapgraph::premiums::{
+    escrow_premium_table, leader_redemption_premium, premium_summary, redemption_premium,
+    redemption_premium_table,
+};
 use swapgraph::pricing::{crr_price, lockup_premium, CrrParams, ExerciseStyle, OptionKind};
+use swapgraph::Digraph;
 
 /// Draws a spot price in a numerically comfortable range.
 fn spot_from(raw: u64) -> f64 {
@@ -106,6 +112,100 @@ proptest! {
             wild >= calm - 1e-9,
             "premium shrank with higher volatility: {calm} -> {wild}"
         );
+    }
+
+    /// §7, Equations (1)–(2) on generated strongly-connected digraphs: the
+    /// escrow premium on an arc covers every single redemption-premium
+    /// obligation that can arise on that arc, for every leader and every
+    /// simple path — a sender's escrow deposit can therefore always
+    /// compensate a receiver abandoned mid-redemption.
+    #[test]
+    fn escrow_premium_dominates_every_redemption_path(
+        n in 3u32..7,
+        extra in 0usize..8,
+        seed in 0u64..10_000,
+        p in 1u128..1_000,
+    ) {
+        let g = Digraph::random_strongly_connected(n, extra, seed);
+        let leaders = g.greedy_feedback_vertex_set();
+        prop_assert!(g.validate_leaders(&leaders).is_ok());
+        let escrow = escrow_premium_table(&g, &leaders, p).unwrap();
+        for &leader in &leaders {
+            for entry in redemption_premium_table(&g, leader, p) {
+                prop_assert!(
+                    escrow[&entry.arc] >= entry.amount,
+                    "E{:?} = {} < R = {} (leader {leader}, path {:?}, seed {seed})",
+                    entry.arc,
+                    escrow[&entry.arc],
+                    entry.amount,
+                    entry.path
+                );
+            }
+        }
+    }
+
+    /// §7 premium positivity: on generated digraphs every escrow premium and
+    /// every redemption obligation is at least the base premium `p` — never
+    /// zero, never negative (trivially, `u128`), and never wrapped by the
+    /// recursion for the graph sizes the protocol targets.
+    #[test]
+    fn generated_digraph_premiums_are_positive_and_bounded(
+        n in 2u32..7,
+        extra in 0usize..6,
+        seed in 0u64..10_000,
+        p in 1u128..1_000,
+    ) {
+        let g = Digraph::random_strongly_connected(n, extra, seed);
+        let leaders = g.greedy_feedback_vertex_set();
+        let escrow = escrow_premium_table(&g, &leaders, p).unwrap();
+        for (&arc, &amount) in &escrow {
+            prop_assert!(amount >= p, "escrow premium on {arc:?} below p: {amount}");
+        }
+        for &leader in &leaders {
+            prop_assert!(leader_redemption_premium(&g, leader, p) >= p);
+            for entry in redemption_premium_table(&g, leader, p) {
+                // A sender already on the path closes a non-simple extension:
+                // Equation (1) assigns it exactly zero. Every other entry is
+                // a real obligation of at least the base premium.
+                if entry.path.contains(&entry.arc.0) && entry.arc.0 != leader {
+                    prop_assert_eq!(entry.amount, 0, "non-simple extension: {:?}", entry);
+                } else {
+                    prop_assert!(entry.amount >= p, "redemption entry below p: {entry:?}");
+                }
+                prop_assert!(entry.path.last() == Some(&leader));
+            }
+        }
+        // The aggregate summary is internally consistent and finite: maxima
+        // bound the per-arc entries, totals bound the maxima.
+        let summary = premium_summary(&g, &leaders, p).unwrap();
+        prop_assert!(summary.max_escrow >= p && summary.total_escrow >= summary.max_escrow);
+        prop_assert!(summary.max_redemption >= p);
+        prop_assert!(summary.total_redemption >= summary.max_redemption);
+    }
+
+    /// Equation (1) scales linearly in the base premium `p`, so computing
+    /// with `p = 1` and scaling (as the protocol layer does) is exact.
+    #[test]
+    fn redemption_premium_is_linear_in_p(
+        n in 2u32..6,
+        extra in 0usize..5,
+        seed in 0u64..10_000,
+        p in 2u128..500,
+    ) {
+        let g = Digraph::random_strongly_connected(n, extra, seed);
+        let leaders = g.greedy_feedback_vertex_set();
+        for &leader in &leaders {
+            for u in g.in_neighbors(leader) {
+                let unit = redemption_premium(&g, 1, &[leader], u);
+                let scaled = redemption_premium(&g, p, &[leader], u);
+                prop_assert_eq!(scaled, unit * p, "Eq. (1) not linear in p");
+            }
+        }
+        let unit = escrow_premium_table(&g, &leaders, 1).unwrap();
+        let scaled = escrow_premium_table(&g, &leaders, p).unwrap();
+        for (arc, amount) in unit {
+            prop_assert_eq!(scaled[&arc], amount * p, "Eq. (2) not linear in p");
+        }
     }
 
     /// The premium scales linearly in the asset value: pricing is

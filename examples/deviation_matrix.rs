@@ -1,0 +1,43 @@
+//! Prints the two-party deviation payoff matrix in the exact literal form
+//! used by the golden regression test in `tests/conformance.rs`.
+//!
+//! When an *intentional* protocol change shifts payoffs, regenerate the
+//! golden tables with:
+//!
+//! ```text
+//! cargo run --release --example deviation_matrix
+//! ```
+//!
+//! and paste the output over the `HEDGED_GOLDEN` / `BASE_GOLDEN` constants
+//! after reviewing every changed row against §5 of the paper.
+
+use sore_loser_hedging::protocols::two_party::{
+    run_base_swap, run_hedged_swap, strategy_space, TwoPartyConfig,
+};
+
+fn main() {
+    let config = TwoPartyConfig::default();
+    for (name, hedged) in [("HEDGED", true), ("BASE", false)] {
+        println!("const {name}_GOLDEN: &[(&str, &str, bool, [i128; 6])] = &[");
+        for alice in strategy_space() {
+            for bob in strategy_space() {
+                let r = if hedged {
+                    run_hedged_swap(&config, alice, bob)
+                } else {
+                    run_base_swap(&config, alice, bob)
+                };
+                println!(
+                    "    (\"{alice}\", \"{bob}\", {}, [{}, {}, {}, {}, {}, {}]),",
+                    r.swap_completed,
+                    r.alice_apricot_payoff,
+                    r.alice_banana_payoff,
+                    r.alice_premium_payoff,
+                    r.bob_apricot_payoff,
+                    r.bob_banana_payoff,
+                    r.bob_premium_payoff
+                );
+            }
+        }
+        println!("];");
+    }
+}

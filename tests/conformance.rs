@@ -28,10 +28,10 @@ use sore_loser_hedging::protocols::multi_party::{
 use sore_loser_hedging::protocols::script::Strategy;
 use sore_loser_hedging::protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
 
-/// Steps per two-party role; matches the scripts in `protocols::two_party`.
-const TWO_PARTY_STEPS: usize = 4;
-/// Steps per deal-engine role; matches the scripts in `protocols::deal`.
-const DEAL_STEPS: usize = 5;
+/// Steps per two-party role; pinned against `protocols::two_party`.
+const TWO_PARTY_STEPS: usize = sore_loser_hedging::protocols::two_party::SCRIPT_STEPS;
+/// Steps per deal-engine role; pinned against `protocols::deal`.
+const DEAL_STEPS: usize = sore_loser_hedging::protocols::deal::SCRIPT_STEPS;
 
 /// Two-party configurations the matrix is swept under: the paper's running
 /// example plus asymmetric principals, asymmetric premiums and both a tight
@@ -111,6 +111,118 @@ fn hedged_two_party_matrix_is_hedged_under_all_configs() {
     }
 }
 
+/// Golden deviation matrix for the hedged two-party swap under the default
+/// config: for every (alice, bob) strategy pair, whether the swap completed
+/// and the exact payoffs `[alice_apricot, alice_banana, alice_premium,
+/// bob_apricot, bob_banana, bob_premium]`.
+///
+/// Regenerate with `cargo run --release --example deviation_matrix` after
+/// an *intentional* protocol change, and review every shifted row against
+/// §5 of the paper; an unexplained diff here means a refactor of
+/// `two_party.rs` silently moved money.
+const HEDGED_GOLDEN: &[(&str, &str, bool, [i128; 6])] = &[
+    ("compliant", "compliant", true, [-100, 100, 0, 100, -100, 0]),
+    ("compliant", "stop-after-0", false, [0, 0, 0, 0, 0, 0]),
+    ("compliant", "stop-after-1", false, [0, 0, 2, 0, 0, -2]),
+    ("compliant", "stop-after-2", false, [0, 100, 2, 0, -100, -2]),
+    ("compliant", "stop-after-3", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-0", "compliant", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-0", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-1", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-2", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-3", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-1", "compliant", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-1", "stop-after-0", false, [0, 0, -4, 0, 0, 0]),
+    ("stop-after-1", "stop-after-1", false, [0, 0, -4, 0, 0, -2]),
+    ("stop-after-1", "stop-after-2", false, [0, 0, -4, 0, 0, -2]),
+    ("stop-after-1", "stop-after-3", false, [0, 0, -4, 0, 0, -2]),
+    ("stop-after-2", "compliant", false, [0, 0, -2, 0, 0, 2]),
+    ("stop-after-2", "stop-after-0", false, [0, 0, -4, 0, 0, 0]),
+    ("stop-after-2", "stop-after-1", false, [-100, 0, -4, 0, 0, -2]),
+    ("stop-after-2", "stop-after-2", false, [-100, 0, -4, 0, -100, -2]),
+    ("stop-after-2", "stop-after-3", false, [-100, 0, -4, 0, -100, -2]),
+    ("stop-after-3", "compliant", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-3", "stop-after-0", false, [0, 0, -4, 0, 0, 0]),
+    ("stop-after-3", "stop-after-1", false, [-100, 0, -4, 0, 0, -2]),
+    ("stop-after-3", "stop-after-2", false, [-100, 100, 0, 0, -100, -2]),
+    ("stop-after-3", "stop-after-3", true, [-100, 100, 0, 100, -100, 0]),
+];
+
+/// Golden deviation matrix for the base (unhedged) swap; see
+/// [`HEDGED_GOLDEN`]. Note the sore-loser signature: deviations strand
+/// principals (the `-100` rows) with premium columns pinned at zero —
+/// nobody is ever compensated.
+const BASE_GOLDEN: &[(&str, &str, bool, [i128; 6])] = &[
+    ("compliant", "compliant", true, [-100, 100, 0, 100, -100, 0]),
+    ("compliant", "stop-after-0", false, [0, 0, 0, 0, 0, 0]),
+    ("compliant", "stop-after-1", false, [0, 100, 0, 0, -100, 0]),
+    ("compliant", "stop-after-2", true, [-100, 100, 0, 100, -100, 0]),
+    ("compliant", "stop-after-3", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-0", "compliant", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-0", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-1", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-2", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-0", "stop-after-3", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-1", "compliant", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-1", "stop-after-0", false, [-100, 0, 0, 0, 0, 0]),
+    ("stop-after-1", "stop-after-1", false, [-100, 0, 0, 0, -100, 0]),
+    ("stop-after-1", "stop-after-2", false, [-100, 0, 0, 0, -100, 0]),
+    ("stop-after-1", "stop-after-3", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-2", "compliant", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-2", "stop-after-0", false, [-100, 0, 0, 0, 0, 0]),
+    ("stop-after-2", "stop-after-1", false, [-100, 100, 0, 0, -100, 0]),
+    ("stop-after-2", "stop-after-2", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-2", "stop-after-3", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-3", "compliant", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-3", "stop-after-0", false, [0, 0, 0, 0, 0, 0]),
+    ("stop-after-3", "stop-after-1", false, [0, 100, 0, 0, -100, 0]),
+    ("stop-after-3", "stop-after-2", true, [-100, 100, 0, 100, -100, 0]),
+    ("stop-after-3", "stop-after-3", true, [-100, 100, 0, 100, -100, 0]),
+];
+
+#[test]
+fn two_party_deviation_matrix_matches_the_golden_tables() {
+    let config = TwoPartyConfig::default();
+    for (golden, hedged) in [(HEDGED_GOLDEN, true), (BASE_GOLDEN, false)] {
+        let mut rows = golden.iter();
+        for alice in Strategy::all(TWO_PARTY_STEPS) {
+            for bob in Strategy::all(TWO_PARTY_STEPS) {
+                let (g_alice, g_bob, g_completed, g_payoffs) =
+                    rows.next().expect("golden table has 25 rows per protocol");
+                assert_eq!(
+                    (*g_alice, *g_bob),
+                    (alice.to_string().as_str(), bob.to_string().as_str())
+                );
+                let report = if hedged {
+                    run_hedged_swap(&config, alice, bob)
+                } else {
+                    run_base_swap(&config, alice, bob)
+                };
+                let observed = [
+                    report.alice_apricot_payoff,
+                    report.alice_banana_payoff,
+                    report.alice_premium_payoff,
+                    report.bob_apricot_payoff,
+                    report.bob_banana_payoff,
+                    report.bob_premium_payoff,
+                ];
+                let protocol = if hedged { "hedged" } else { "base" };
+                assert_eq!(
+                    report.swap_completed, *g_completed,
+                    "{protocol}: completion shifted for alice={alice}, bob={bob}"
+                );
+                assert_eq!(
+                    observed, *g_payoffs,
+                    "{protocol}: payoffs shifted for alice={alice}, bob={bob} \
+                     (regenerate with `cargo run --example deviation_matrix` \
+                     only if the change is intentional)"
+                );
+            }
+        }
+        assert!(rows.next().is_none(), "golden table has exactly 25 rows");
+    }
+}
+
 #[test]
 fn base_two_party_matrix_shows_sore_loser_losses_but_conserves_funds() {
     let mut unhedged_compliant = 0usize;
@@ -138,6 +250,27 @@ fn base_two_party_matrix_shows_sore_loser_losses_but_conserves_funds() {
         unhedged_compliant > 0,
         "the unhedged base protocol must exhibit the sore-loser attack somewhere in the matrix"
     );
+}
+
+#[test]
+fn parallel_engine_still_finds_the_base_protocol_attack() {
+    // Negative control for the model checker itself: the parallel engine
+    // must *find* the base protocol's sore-loser violations — identically
+    // at every thread count — while clearing the hedged protocol. An
+    // engine that parallelised away a violation would pass every positive
+    // test and be worthless.
+    use sore_loser_hedging::modelcheck::engine::ParallelSweep;
+    use sore_loser_hedging::modelcheck::scenarios::TwoPartySweep;
+
+    let base = TwoPartySweep::base(TwoPartyConfig::default());
+    let serial = ParallelSweep::new(1).run(&base);
+    let parallel = ParallelSweep::new(4).run(&base);
+    assert!(!serial.holds(), "the engine must expose the sore-loser attack");
+    assert_eq!(serial, parallel, "violations must not depend on the worker count");
+    assert!(serial.violations.iter().all(|v| v.property == "hedged"));
+
+    let hedged = TwoPartySweep::hedged(TwoPartyConfig::default());
+    assert!(ParallelSweep::new(4).run(&hedged).holds());
 }
 
 /// Asserts the deal-engine guarantees for one strategy profile.
