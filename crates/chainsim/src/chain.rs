@@ -1,7 +1,6 @@
 //! A single simulated blockchain.
 
 use std::any::Any;
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::amount::Amount;
@@ -9,7 +8,7 @@ use crate::contract::{CallEnv, Contract};
 use crate::error::ChainError;
 #[cfg(test)]
 use crate::error::ContractError;
-use crate::events::{ChainEvent, EventKind};
+use crate::events::{CallDesc, ChainEvent, EventKind, TraceMode};
 use crate::ids::{AssetId, ChainId, ContractId, PartyId};
 use crate::ledger::{AccountRef, Ledger};
 use crate::time::Time;
@@ -21,30 +20,63 @@ use crate::time::Time;
 /// any party may read the ledger, the event log and the state of any
 /// contract (via [`Blockchain::contract_as`]), mirroring the transparency
 /// assumption of the paper.
+///
+/// Contracts are stored in a dense `Vec` indexed by their sequentially
+/// assigned [`ContractId`]s, and the whole chain can be recycled between
+/// scenario runs (see [`crate::World::reset`]) without dropping the ledger,
+/// contract-store or event-log allocations.
 pub struct Blockchain {
     id: ChainId,
     name: String,
     native_asset: AssetId,
     height: Time,
     ledger: Ledger,
-    contracts: BTreeMap<ContractId, Box<dyn Contract>>,
-    next_contract: u64,
+    /// Slot `i` holds the contract with `ContractId(i)`; a slot is `None`
+    /// only transiently while its contract is executing a call.
+    contracts: Vec<Option<Box<dyn Contract>>>,
     events: Vec<ChainEvent>,
+    trace: TraceMode,
 }
 
 impl Blockchain {
     /// Creates a new chain. Called by [`crate::World::add_chain`].
-    pub(crate) fn new(id: ChainId, name: impl Into<String>, native_asset: AssetId) -> Self {
+    pub(crate) fn new(
+        id: ChainId,
+        name: impl Into<String>,
+        native_asset: AssetId,
+        trace: TraceMode,
+    ) -> Self {
         Blockchain {
             id,
             name: name.into(),
             native_asset,
             height: Time::ZERO,
             ledger: Ledger::new(),
-            contracts: BTreeMap::new(),
-            next_contract: 0,
+            contracts: Vec::new(),
             events: Vec::new(),
+            trace,
         }
+    }
+
+    /// Re-initialises a retired chain shell for a new run, retaining the
+    /// ledger, contract-store and event-log allocations. Called by
+    /// [`crate::World::add_chain`] when a spare shell is available.
+    pub(crate) fn recycle(
+        &mut self,
+        id: ChainId,
+        name: &str,
+        native_asset: AssetId,
+        trace: TraceMode,
+    ) {
+        self.id = id;
+        self.name.clear();
+        self.name.push_str(name);
+        self.native_asset = native_asset;
+        self.height = Time::ZERO;
+        self.ledger.clear();
+        self.contracts.clear();
+        self.events.clear();
+        self.trace = trace;
     }
 
     /// The chain's identifier.
@@ -85,25 +117,28 @@ impl Blockchain {
     /// Mints `amount` of `asset` to a party and records the event.
     pub fn mint(&mut self, party: PartyId, asset: AssetId, amount: Amount) {
         self.ledger.mint(AccountRef::Party(party), asset, amount);
-        self.events.push(ChainEvent {
-            height: self.height,
-            kind: EventKind::Mint { account: AccountRef::Party(party), asset, amount },
-        });
+        if self.trace.is_full() {
+            self.events.push(ChainEvent {
+                height: self.height,
+                kind: EventKind::Mint { account: AccountRef::Party(party), asset, amount },
+            });
+        }
     }
 
     /// Publishes a new contract and returns its id.
     pub fn publish(&mut self, publisher: PartyId, contract: Box<dyn Contract>) -> ContractId {
-        let id = ContractId(self.next_contract);
-        self.next_contract += 1;
-        self.events.push(ChainEvent {
-            height: self.height,
-            kind: EventKind::ContractPublished {
-                contract: id,
-                publisher,
-                type_name: contract.type_name().to_owned(),
-            },
-        });
-        self.contracts.insert(id, contract);
+        let id = ContractId(self.contracts.len() as u64);
+        if self.trace.is_full() {
+            self.events.push(ChainEvent {
+                height: self.height,
+                kind: EventKind::ContractPublished {
+                    contract: id,
+                    publisher,
+                    type_name: contract.type_name(),
+                },
+            });
+        }
+        self.contracts.push(Some(contract));
         id
     }
 
@@ -114,20 +149,22 @@ impl Blockchain {
     /// Returns [`ChainError::NoSuchContract`] if `id` is unknown, or
     /// [`ChainError::ContractFailed`] wrapping the [`ContractError`] if the
     /// contract rejects the call. Rejected calls are also recorded in the
-    /// event log.
+    /// event log (under [`TraceMode::Full`]).
     pub fn call(
         &mut self,
         caller: PartyId,
         id: ContractId,
         msg: &dyn Any,
-        call_description: &str,
+        call_description: impl Into<CallDesc>,
         directory: &cryptosim::KeyDirectory,
     ) -> Result<(), ChainError> {
-        // Temporarily remove the contract so that it and the ledger can be
-        // borrowed mutably at the same time.
+        // Temporarily take the contract out of its slot so that it and the
+        // ledger can be borrowed mutably at the same time.
+        let slot = id.0 as usize;
         let mut contract = self
             .contracts
-            .remove(&id)
+            .get_mut(slot)
+            .and_then(Option::take)
             .ok_or(ChainError::NoSuchContract { chain: self.id, contract: id })?;
         let result = {
             let mut env = CallEnv::new(
@@ -138,32 +175,37 @@ impl Blockchain {
                 &mut self.ledger,
                 &mut self.events,
                 directory,
+                self.trace,
             );
             contract.handle(&mut env, msg)
         };
-        self.contracts.insert(id, contract);
+        self.contracts[slot] = Some(contract);
         match result {
             Ok(()) => {
-                self.events.push(ChainEvent {
-                    height: self.height,
-                    kind: EventKind::CallSucceeded {
-                        contract: id,
-                        caller,
-                        call: call_description.to_owned(),
-                    },
-                });
+                if self.trace.is_full() {
+                    self.events.push(ChainEvent {
+                        height: self.height,
+                        kind: EventKind::CallSucceeded {
+                            contract: id,
+                            caller,
+                            call: call_description.into(),
+                        },
+                    });
+                }
                 Ok(())
             }
             Err(err) => {
-                self.events.push(ChainEvent {
-                    height: self.height,
-                    kind: EventKind::CallFailed {
-                        contract: id,
-                        caller,
-                        call: call_description.to_owned(),
-                        error: err.to_string(),
-                    },
-                });
+                if self.trace.is_full() {
+                    self.events.push(ChainEvent {
+                        height: self.height,
+                        kind: EventKind::CallFailed {
+                            contract: id,
+                            caller,
+                            call: call_description.into(),
+                            error: err.clone(),
+                        },
+                    });
+                }
                 Err(ChainError::ContractFailed { contract: id, source: err })
             }
         }
@@ -171,7 +213,7 @@ impl Blockchain {
 
     /// Returns a reference to the contract with id `id`, if any.
     pub fn contract(&self, id: ContractId) -> Option<&dyn Contract> {
-        self.contracts.get(&id).map(|c| c.as_ref())
+        self.contracts.get(id.0 as usize).and_then(|slot| slot.as_deref())
     }
 
     /// Returns the contract downcast to its concrete type `T`, if it exists
@@ -180,7 +222,7 @@ impl Blockchain {
     /// Contract state is public, so any party (and the test suite) may
     /// inspect it this way.
     pub fn contract_as<T: Contract + 'static>(&self, id: ContractId) -> Option<&T> {
-        self.contracts.get(&id).and_then(|c| c.as_any().downcast_ref::<T>())
+        self.contract(id).and_then(|c| c.as_any().downcast_ref::<T>())
     }
 
     /// The number of contracts published on this chain.
@@ -188,7 +230,7 @@ impl Blockchain {
         self.contracts.len()
     }
 
-    /// The chain's public event log.
+    /// The chain's public event log (empty under [`TraceMode::Off`]).
     pub fn events(&self) -> &[ChainEvent] {
         &self.events
     }
@@ -256,7 +298,7 @@ mod tests {
     }
 
     fn chain_fixture() -> Blockchain {
-        Blockchain::new(ChainId(0), "apricot", AssetId(100))
+        Blockchain::new(ChainId(0), "apricot", AssetId(100), TraceMode::Full)
     }
 
     fn dir() -> cryptosim::KeyDirectory {
@@ -288,10 +330,10 @@ mod tests {
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
         let err = chain.call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir()).unwrap_err();
         assert!(matches!(err, ChainError::ContractFailed { .. }));
-        assert!(chain
-            .events()
-            .iter()
-            .any(|e| matches!(&e.kind, EventKind::CallFailed { error, .. } if error.contains("always fails"))));
+        assert!(chain.events().iter().any(|e| matches!(
+            &e.kind,
+            EventKind::CallFailed { error, .. } if error.to_string().contains("always fails")
+        )));
         // The contract survives a failed call.
         assert!(chain.contract(id).is_some());
     }
@@ -339,6 +381,42 @@ mod tests {
         assert_eq!(chain.name(), "apricot");
         assert_eq!(chain.native_asset(), AssetId(100));
         assert!(format!("{chain:?}").contains("Blockchain"));
+    }
+
+    #[test]
+    fn trace_off_records_no_events() {
+        let mut chain = Blockchain::new(ChainId(0), "quiet", AssetId(0), TraceMode::Off);
+        chain.mint(PartyId(0), AssetId(0), Amount::new(10));
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain
+            .call(PartyId(0), id, &CounterMsg::Deposit(Amount::new(6)), "Deposit", &dir())
+            .unwrap();
+        let _ = chain.call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir()).unwrap_err();
+        assert!(chain.events().is_empty());
+        // State changes are identical to a traced run.
+        assert_eq!(chain.balance(AccountRef::Contract(id), AssetId(0)), Amount::new(6));
+        assert_eq!(chain.contract_as::<Counter>(id).unwrap().deposited, Amount::new(6));
+    }
+
+    #[test]
+    fn recycle_resets_state_and_keeps_nothing_visible() {
+        let mut chain = chain_fixture();
+        chain.mint(PartyId(0), AssetId(0), Amount::new(10));
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir()).unwrap();
+        chain.advance_blocks(7);
+
+        chain.recycle(ChainId(3), "banana", AssetId(9), TraceMode::Full);
+        assert_eq!(chain.id(), ChainId(3));
+        assert_eq!(chain.name(), "banana");
+        assert_eq!(chain.native_asset(), AssetId(9));
+        assert_eq!(chain.height(), Time::ZERO);
+        assert_eq!(chain.contract_count(), 0);
+        assert!(chain.events().is_empty());
+        assert_eq!(chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)), Amount::ZERO);
+        // Fresh publishes start over at contract id 0.
+        let id = chain.publish(PartyId(1), Box::new(Counter::default()));
+        assert_eq!(id, ContractId(0));
     }
 
     #[test]

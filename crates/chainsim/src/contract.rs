@@ -7,7 +7,7 @@ use cryptosim::KeyDirectory;
 
 use crate::amount::Amount;
 use crate::error::ContractError;
-use crate::events::{ChainEvent, EventKind};
+use crate::events::{ChainEvent, EventKind, NoteText, TraceMode};
 use crate::ids::{AssetId, ChainId, ContractId, PartyId};
 use crate::ledger::{AccountRef, Ledger};
 use crate::time::Time;
@@ -72,11 +72,13 @@ pub struct CallEnv<'a> {
     ledger: &'a mut Ledger,
     events: &'a mut Vec<ChainEvent>,
     directory: &'a KeyDirectory,
+    trace: TraceMode,
 }
 
 impl<'a> CallEnv<'a> {
     /// Creates a call environment. Used by [`crate::Blockchain`]; protocol
     /// code never constructs one directly.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         chain: ChainId,
         contract: ContractId,
@@ -85,8 +87,9 @@ impl<'a> CallEnv<'a> {
         ledger: &'a mut Ledger,
         events: &'a mut Vec<ChainEvent>,
         directory: &'a KeyDirectory,
+        trace: TraceMode,
     ) -> Self {
-        CallEnv { chain, contract, caller, now, ledger, events, directory }
+        CallEnv { chain, contract, caller, now, ledger, events, directory, trace }
     }
 
     /// The public-key directory used to verify signatures on hashkey paths.
@@ -209,12 +212,15 @@ impl<'a> CallEnv<'a> {
         )
     }
 
-    /// Emits a free-form note into the chain event log.
-    pub fn emit_note(&mut self, text: impl Into<String>) {
-        self.events.push(ChainEvent {
-            height: self.now,
-            kind: EventKind::Note { contract: self.contract, text: text.into() },
-        });
+    /// Emits a structured note into the chain event log (a no-op under
+    /// [`TraceMode::Off`]).
+    pub fn emit_note(&mut self, text: impl Into<NoteText>) {
+        if self.trace.is_full() {
+            self.events.push(ChainEvent {
+                height: self.now,
+                kind: EventKind::Note { contract: self.contract, text: text.into() },
+            });
+        }
     }
 
     fn transfer_internal(
@@ -229,10 +235,12 @@ impl<'a> CallEnv<'a> {
             return Ok(());
         }
         self.ledger.transfer(from, to, asset, amount)?;
-        self.events.push(ChainEvent {
-            height: self.now,
-            kind: EventKind::Transfer { from, to, asset, amount },
-        });
+        if self.trace.is_full() {
+            self.events.push(ChainEvent {
+                height: self.now,
+                kind: EventKind::Transfer { from, to, asset, amount },
+            });
+        }
         Ok(())
     }
 }
@@ -263,7 +271,39 @@ mod tests {
         events: &'a mut Vec<ChainEvent>,
         now: Time,
     ) -> CallEnv<'a> {
-        CallEnv::new(ChainId(0), ContractId(7), PartyId(1), now, ledger, events, empty_directory())
+        CallEnv::new(
+            ChainId(0),
+            ContractId(7),
+            PartyId(1),
+            now,
+            ledger,
+            events,
+            empty_directory(),
+            TraceMode::Full,
+        )
+    }
+
+    #[test]
+    fn trace_off_skips_events_but_moves_funds() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        ledger.mint(AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(10));
+        {
+            let mut env = CallEnv::new(
+                ChainId(0),
+                ContractId(7),
+                PartyId(1),
+                Time(2),
+                &mut ledger,
+                &mut events,
+                empty_directory(),
+                TraceMode::Off,
+            );
+            env.debit_caller(AssetId(0), Amount::new(4)).unwrap();
+            env.emit_note("invisible");
+        }
+        assert!(events.is_empty(), "TraceMode::Off must not record events");
+        assert_eq!(ledger.balance(AccountRef::Contract(ContractId(7)), AssetId(0)), Amount::new(4));
     }
 
     #[test]

@@ -1,20 +1,181 @@
 //! Chain event log.
+//!
+//! Events are stored as *structured data* — small `Copy`-friendly enums over
+//! ids and amounts — and rendered to text only when a [`ChainEvent`] is
+//! `Display`ed. The hot path (a model-checking sweep running thousands of
+//! scenarios) therefore never formats a string; and with
+//! [`TraceMode::Off`] a world skips recording events entirely while leaving
+//! every balance-visible outcome identical.
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::amount::Amount;
-use crate::ids::{AssetId, ContractId, PartyId};
-use crate::ledger::AccountRef;
+use crate::error::ContractError;
+use crate::ids::{AssetId, ContractId, Label, PartyId};
 use crate::time::Time;
+
+/// Whether a [`crate::World`] records event traces.
+///
+/// The mode changes *observability only*: ledger balances, contract state
+/// and action outcomes are bit-for-bit identical under both modes. Sweeps
+/// run with [`TraceMode::Off`]; interactive runs and conformance tests keep
+/// the default [`TraceMode::Full`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Skip event construction entirely (for bulk scenario sweeps).
+    Off,
+    /// Record every ledger mutation and contract interaction.
+    #[default]
+    Full,
+}
+
+impl TraceMode {
+    /// Returns `true` if events should be recorded.
+    pub fn is_full(self) -> bool {
+        matches!(self, TraceMode::Full)
+    }
+}
+
+/// A structured, allocation-free description of a contract call.
+///
+/// Protocol scripts used to build `format!`ed strings for every action they
+/// emitted — on every round of every scenario. A `CallDesc` instead captures
+/// the parts (all `Copy`) and renders the same text lazily on `Display`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallDesc {
+    /// A fixed description.
+    Static(&'static str),
+    /// `"{prefix}{party}{suffix}"`.
+    Party {
+        /// Text before the party.
+        prefix: &'static str,
+        /// The party named in the description.
+        party: PartyId,
+        /// Text after the party.
+        suffix: &'static str,
+    },
+    /// `"{party} {verb} ({from}, {to})"` — deal-engine arc operations.
+    Arc {
+        /// The acting party.
+        party: PartyId,
+        /// The verb phrase, e.g. `"deposits escrow premium on"`.
+        verb: &'static str,
+        /// The arc's sender.
+        from: PartyId,
+        /// The arc's receiver.
+        to: PartyId,
+    },
+    /// `"{party} {verb} {subject} {link} ({from}, {to})"` — arc operations
+    /// naming a second party (a leader whose premium or hashkey moves).
+    SubjectArc {
+        /// The acting party.
+        party: PartyId,
+        /// The verb phrase, e.g. `"passes redemption premium for"`.
+        verb: &'static str,
+        /// The party the operation concerns.
+        subject: PartyId,
+        /// The connective before the arc, e.g. `"to"` or `"on"`.
+        link: &'static str,
+        /// The arc's sender.
+        from: PartyId,
+        /// The arc's receiver.
+        to: PartyId,
+    },
+    /// `"{party} {verb} {amount}"`.
+    Amount {
+        /// The acting party.
+        party: PartyId,
+        /// The verb phrase, e.g. `"bids"`.
+        verb: &'static str,
+        /// The amount named in the description.
+        amount: Amount,
+    },
+    /// `"{party}{mid}{other}{suffix}"` — descriptions naming two parties.
+    Parties {
+        /// The acting party.
+        party: PartyId,
+        /// Text between the two parties.
+        mid: &'static str,
+        /// The second party.
+        other: PartyId,
+        /// Text after the second party.
+        suffix: &'static str,
+    },
+    /// `"publish {type_name} as \"{label}\""` — synthesized for publish
+    /// actions.
+    Publish {
+        /// The published contract's type name.
+        type_name: &'static str,
+        /// The discovery label it was registered under.
+        label: Label,
+    },
+}
+
+impl fmt::Display for CallDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallDesc::Static(text) => f.write_str(text),
+            CallDesc::Party { prefix, party, suffix } => write!(f, "{prefix}{party}{suffix}"),
+            CallDesc::Arc { party, verb, from, to } => {
+                write!(f, "{party} {verb} ({from}, {to})")
+            }
+            CallDesc::SubjectArc { party, verb, subject, link, from, to } => {
+                write!(f, "{party} {verb} {subject} {link} ({from}, {to})")
+            }
+            CallDesc::Amount { party, verb, amount } => write!(f, "{party} {verb} {amount}"),
+            CallDesc::Parties { party, mid, other, suffix } => {
+                write!(f, "{party}{mid}{other}{suffix}")
+            }
+            CallDesc::Publish { type_name, label } => {
+                write!(f, "publish {type_name} as \"{label}\"")
+            }
+        }
+    }
+}
+
+impl From<&'static str> for CallDesc {
+    fn from(text: &'static str) -> Self {
+        CallDesc::Static(text)
+    }
+}
+
+/// A structured note emitted by a contract (see [`crate::CallEnv::emit_note`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoteText {
+    /// A fixed note.
+    Static(&'static str),
+    /// `"{prefix}{party}{suffix}"`.
+    Party {
+        /// Text before the party.
+        prefix: &'static str,
+        /// The party the note concerns.
+        party: PartyId,
+        /// Text after the party.
+        suffix: &'static str,
+    },
+}
+
+impl fmt::Display for NoteText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoteText::Static(text) => f.write_str(text),
+            NoteText::Party { prefix, party, suffix } => write!(f, "{prefix}{party}{suffix}"),
+        }
+    }
+}
+
+impl From<&'static str> for NoteText {
+    fn from(text: &'static str) -> Self {
+        NoteText::Static(text)
+    }
+}
 
 /// A single entry in a chain's public event log.
 ///
-/// Every ledger mutation and contract interaction is recorded, which is what
-/// lets the protocol layer reconstruct lock-up intervals and payoff
-/// attributions after a run.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// Every ledger mutation and contract interaction is recorded (under
+/// [`TraceMode::Full`]), which is what lets the protocol layer reconstruct
+/// lock-up intervals and payoff attributions after a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChainEvent {
     /// The block height at which the event was recorded.
     pub height: Time,
@@ -23,7 +184,7 @@ pub struct ChainEvent {
 }
 
 /// The kinds of events recorded on a chain.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum EventKind {
     /// A new contract was published.
@@ -33,7 +194,7 @@ pub enum EventKind {
         /// The publishing party.
         publisher: PartyId,
         /// The contract's type name (for diagnostics).
-        type_name: String,
+        type_name: &'static str,
     },
     /// A contract call succeeded.
     CallSucceeded {
@@ -42,7 +203,7 @@ pub enum EventKind {
         /// The calling party.
         caller: PartyId,
         /// A short description of the call.
-        call: String,
+        call: CallDesc,
     },
     /// A contract call was rejected.
     CallFailed {
@@ -51,16 +212,16 @@ pub enum EventKind {
         /// The calling party.
         caller: PartyId,
         /// A short description of the call.
-        call: String,
-        /// The error message.
-        error: String,
+        call: CallDesc,
+        /// The rejection, kept structured and rendered only on display.
+        error: ContractError,
     },
     /// Value moved between two accounts.
     Transfer {
         /// The debited account.
-        from: AccountRef,
+        from: crate::ledger::AccountRef,
         /// The credited account.
-        to: AccountRef,
+        to: crate::ledger::AccountRef,
         /// The asset transferred.
         asset: AssetId,
         /// The amount transferred.
@@ -69,7 +230,7 @@ pub enum EventKind {
     /// Value was minted during setup.
     Mint {
         /// The credited account.
-        account: AccountRef,
+        account: crate::ledger::AccountRef,
         /// The asset minted.
         asset: AssetId,
         /// The amount minted.
@@ -80,7 +241,7 @@ pub enum EventKind {
         /// The contract that emitted the note.
         contract: ContractId,
         /// The note text.
-        text: String,
+        text: NoteText,
     },
 }
 
@@ -112,6 +273,7 @@ impl fmt::Display for ChainEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ledger::AccountRef;
 
     #[test]
     fn events_display() {
@@ -131,7 +293,7 @@ mod tests {
             kind: EventKind::ContractPublished {
                 contract: ContractId(0),
                 publisher: PartyId(1),
-                type_name: "Htlc".into(),
+                type_name: "Htlc",
             },
         };
         assert!(e.to_string().contains("published"));
@@ -141,10 +303,75 @@ mod tests {
             kind: EventKind::CallFailed {
                 contract: ContractId(0),
                 caller: PartyId(1),
-                call: "Redeem".into(),
-                error: "too late".into(),
+                call: CallDesc::Static("Redeem"),
+                error: ContractError::TooLate { deadline: Time(0), now: Time(1) },
             },
         };
         assert!(e.to_string().contains("FAILED"));
+        assert!(e.to_string().contains("deadline t=0 has passed"));
+    }
+
+    #[test]
+    fn call_desc_renders_every_shape() {
+        let cases: Vec<(CallDesc, &str)> = vec![
+            (CallDesc::Static("settle"), "settle"),
+            (
+                CallDesc::Party { prefix: "Alice declares ", party: PartyId(1), suffix: " here" },
+                "Alice declares P1 here",
+            ),
+            (
+                CallDesc::Arc {
+                    party: PartyId(0),
+                    verb: "deposits escrow premium on",
+                    from: PartyId(0),
+                    to: PartyId(1),
+                },
+                "P0 deposits escrow premium on (P0, P1)",
+            ),
+            (
+                CallDesc::SubjectArc {
+                    party: PartyId(2),
+                    verb: "passes redemption premium for",
+                    subject: PartyId(0),
+                    link: "to",
+                    from: PartyId(1),
+                    to: PartyId(2),
+                },
+                "P2 passes redemption premium for P0 to (P1, P2)",
+            ),
+            (
+                CallDesc::Amount { party: PartyId(1), verb: "bids", amount: Amount::new(60) },
+                "P1 bids 60",
+            ),
+            (
+                CallDesc::Parties {
+                    party: PartyId(1),
+                    mid: " forwards ",
+                    other: PartyId(2),
+                    suffix: "'s hashkey to the ticket chain",
+                },
+                "P1 forwards P2's hashkey to the ticket chain",
+            ),
+            (
+                CallDesc::Publish { type_name: "Pot", label: Label::Static("pot") },
+                "publish Pot as \"pot\"",
+            ),
+        ];
+        for (desc, expected) in cases {
+            assert_eq!(desc.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn note_text_renders() {
+        let n = NoteText::Party { prefix: "hashkey for ", party: PartyId(3), suffix: " presented" };
+        assert_eq!(n.to_string(), "hashkey for P3 presented");
+        assert_eq!(NoteText::from("done").to_string(), "done");
+    }
+
+    #[test]
+    fn trace_mode_default_is_full() {
+        assert!(TraceMode::default().is_full());
+        assert!(!TraceMode::Off.is_full());
     }
 }

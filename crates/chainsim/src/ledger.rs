@@ -1,6 +1,15 @@
 //! The per-chain asset ledger.
+//!
+//! The ledger is the single hottest data structure in the simulator: every
+//! contract call in every model-checking scenario reads and writes it. It is
+//! therefore stored *densely*: account and asset identifiers are assigned
+//! sequentially by [`crate::World`], so balances live in `Vec`s indexed
+//! directly by those small integers instead of in a `BTreeMap` keyed by
+//! `(AccountRef, AssetId)`. The historical map-backed implementation is kept
+//! as [`oracle::MapLedger`] (behind the default `map-ledger-oracle` feature)
+//! and differential tests assert that both agree on arbitrary operation
+//! sequences.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -64,6 +73,12 @@ impl From<ContractId> for AccountRef {
 /// calls used to set up initial endowments, transfers never create or
 /// destroy value.
 ///
+/// Balances are stored in dense per-account rows indexed by `AssetId`, with
+/// one row table for party accounts and one for contract accounts (see the
+/// module docs). Rows grow on first touch and [`Ledger::clear`] retains all
+/// allocated capacity, which is what lets a pooled [`crate::World`] run
+/// thousands of scenarios without re-allocating its ledgers.
+///
 /// # Examples
 ///
 /// ```
@@ -80,7 +95,13 @@ impl From<ContractId> for AccountRef {
 /// ```
 #[derive(Clone, Default, Debug, Serialize, Deserialize)]
 pub struct Ledger {
-    balances: BTreeMap<(AccountRef, AssetId), Amount>,
+    /// `parties[p][a]` is the balance of `Party(p)` in `AssetId(a)`.
+    parties: Vec<Vec<Amount>>,
+    /// `contracts[c][a]` is the balance of `Contract(c)` in `AssetId(a)`.
+    contracts: Vec<Vec<Amount>>,
+    /// `touched[a]` records that asset `a` has ever had an entry created
+    /// (mint or transfer), mirroring key presence in the old map layout.
+    touched: Vec<bool>,
 }
 
 impl Ledger {
@@ -89,9 +110,47 @@ impl Ledger {
         Self::default()
     }
 
+    fn row(&self, account: AccountRef) -> Option<&Vec<Amount>> {
+        match account {
+            AccountRef::Party(PartyId(p)) => self.parties.get(p as usize),
+            AccountRef::Contract(ContractId(c)) => self.contracts.get(c as usize),
+        }
+    }
+
+    /// Returns the balance slot for `(account, asset)`, growing the dense
+    /// tables as needed. Ids are assigned sequentially by the world, so the
+    /// tables stay as small as the live id ranges.
+    fn slot_mut(&mut self, account: AccountRef, asset: AssetId) -> &mut Amount {
+        let row = match account {
+            AccountRef::Party(PartyId(p)) => {
+                let idx = p as usize;
+                if idx >= self.parties.len() {
+                    self.parties.resize_with(idx + 1, Vec::new);
+                }
+                &mut self.parties[idx]
+            }
+            AccountRef::Contract(ContractId(c)) => {
+                let idx = c as usize;
+                if idx >= self.contracts.len() {
+                    self.contracts.resize_with(idx + 1, Vec::new);
+                }
+                &mut self.contracts[idx]
+            }
+        };
+        let a = asset.0 as usize;
+        if a >= row.len() {
+            row.resize(a + 1, Amount::ZERO);
+        }
+        if a >= self.touched.len() {
+            self.touched.resize(a + 1, false);
+        }
+        self.touched[a] = true;
+        &mut row[a]
+    }
+
     /// Returns the balance of `account` in `asset` (zero if absent).
     pub fn balance(&self, account: AccountRef, asset: AssetId) -> Amount {
-        self.balances.get(&(account, asset)).copied().unwrap_or(Amount::ZERO)
+        self.row(account).and_then(|row| row.get(asset.0 as usize)).copied().unwrap_or(Amount::ZERO)
     }
 
     /// Creates `amount` new units of `asset` in `account`.
@@ -102,8 +161,7 @@ impl Ledger {
         if amount.is_zero() {
             return;
         }
-        let entry = self.balances.entry((account, asset)).or_insert(Amount::ZERO);
-        *entry += amount;
+        *self.slot_mut(account, asset) += amount;
     }
 
     /// Moves `amount` of `asset` from `from` to `to`.
@@ -131,31 +189,148 @@ impl Ledger {
                 needed: amount,
             });
         }
-        self.balances.insert((from, asset), held - amount);
-        let to_held = self.balance(to, asset);
-        self.balances.insert((to, asset), to_held + amount);
+        *self.slot_mut(from, asset) = held - amount;
+        let to_slot = self.slot_mut(to, asset);
+        *to_slot += amount;
         Ok(())
     }
 
     /// Returns the total supply of `asset` across all accounts.
     pub fn total_supply(&self, asset: AssetId) -> Amount {
-        self.balances.iter().filter(|((_, a), _)| *a == asset).map(|(_, amount)| *amount).sum()
+        let a = asset.0 as usize;
+        self.parties.iter().chain(self.contracts.iter()).filter_map(|row| row.get(a)).copied().sum()
     }
 
-    /// Iterates over all `(account, asset, balance)` entries with non-zero balances.
+    /// Iterates over all `(account, asset, balance)` entries with non-zero
+    /// balances, in `(account, asset)` order (parties before contracts, as
+    /// in [`AccountRef`]'s derived ordering).
     pub fn iter(&self) -> impl Iterator<Item = (AccountRef, AssetId, Amount)> + '_ {
-        self.balances
-            .iter()
-            .filter(|(_, amount)| !amount.is_zero())
-            .map(|((account, asset), amount)| (*account, *asset, *amount))
+        let parties = self.parties.iter().enumerate().flat_map(|(p, row)| {
+            let account = AccountRef::Party(PartyId(p as u32));
+            row.iter().enumerate().map(move |(a, amount)| (account, AssetId(a as u32), *amount))
+        });
+        let contracts = self.contracts.iter().enumerate().flat_map(|(c, row)| {
+            let account = AccountRef::Contract(ContractId(c as u64));
+            row.iter().enumerate().map(move |(a, amount)| (account, AssetId(a as u32), *amount))
+        });
+        parties.chain(contracts).filter(|(_, _, amount)| !amount.is_zero())
     }
 
-    /// Returns all assets that appear in the ledger.
+    /// Returns all assets that have ever appeared in the ledger, ascending.
+    ///
+    /// Derived from the dense asset dimension in `O(assets)` rather than by
+    /// collecting, sorting and deduplicating every `(account, asset)` entry.
     pub fn assets(&self) -> Vec<AssetId> {
-        let mut assets: Vec<AssetId> = self.balances.keys().map(|(_, a)| *a).collect();
-        assets.sort_unstable();
-        assets.dedup();
-        assets
+        self.touched
+            .iter()
+            .enumerate()
+            .filter(|(_, touched)| **touched)
+            .map(|(a, _)| AssetId(a as u32))
+            .collect()
+    }
+
+    /// Forgets every balance while retaining allocated storage, so that a
+    /// pooled world can replay a fresh scenario without re-allocating.
+    pub fn clear(&mut self) {
+        for row in &mut self.parties {
+            row.clear();
+        }
+        for row in &mut self.contracts {
+            row.clear();
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(any(test, feature = "map-ledger-oracle"))]
+pub mod oracle {
+    //! The historical `BTreeMap`-backed ledger, retained verbatim as a
+    //! differential oracle for the dense [`Ledger`](super::Ledger).
+    //!
+    //! `MapLedger` is compiled under the default `map-ledger-oracle` feature
+    //! (and in tests); production consumers can disable the feature. It must
+    //! never be used on a hot path — its whole purpose is to be the slow,
+    //! obviously-correct reference that property tests compare against.
+
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Map-backed reference implementation of the ledger operations.
+    #[derive(Clone, Default, Debug)]
+    pub struct MapLedger {
+        balances: BTreeMap<(AccountRef, AssetId), Amount>,
+    }
+
+    impl MapLedger {
+        /// Creates an empty ledger.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// See [`Ledger::balance`].
+        pub fn balance(&self, account: AccountRef, asset: AssetId) -> Amount {
+            self.balances.get(&(account, asset)).copied().unwrap_or(Amount::ZERO)
+        }
+
+        /// See [`Ledger::mint`].
+        pub fn mint(&mut self, account: AccountRef, asset: AssetId, amount: Amount) {
+            if amount.is_zero() {
+                return;
+            }
+            let entry = self.balances.entry((account, asset)).or_insert(Amount::ZERO);
+            *entry += amount;
+        }
+
+        /// See [`Ledger::transfer`].
+        ///
+        /// # Errors
+        ///
+        /// Identical to [`Ledger::transfer`].
+        pub fn transfer(
+            &mut self,
+            from: AccountRef,
+            to: AccountRef,
+            asset: AssetId,
+            amount: Amount,
+        ) -> Result<(), LedgerError> {
+            if amount.is_zero() {
+                return Err(LedgerError::ZeroTransfer);
+            }
+            let held = self.balance(from, asset);
+            if held < amount {
+                return Err(LedgerError::InsufficientBalance {
+                    account: from,
+                    asset,
+                    held,
+                    needed: amount,
+                });
+            }
+            self.balances.insert((from, asset), held - amount);
+            let to_held = self.balance(to, asset);
+            self.balances.insert((to, asset), to_held + amount);
+            Ok(())
+        }
+
+        /// See [`Ledger::total_supply`].
+        pub fn total_supply(&self, asset: AssetId) -> Amount {
+            self.balances.iter().filter(|((_, a), _)| *a == asset).map(|(_, amount)| *amount).sum()
+        }
+
+        /// See [`Ledger::iter`].
+        pub fn iter(&self) -> impl Iterator<Item = (AccountRef, AssetId, Amount)> + '_ {
+            self.balances
+                .iter()
+                .filter(|(_, amount)| !amount.is_zero())
+                .map(|((account, asset), amount)| (*account, *asset, *amount))
+        }
+
+        /// See [`Ledger::assets`].
+        pub fn assets(&self) -> Vec<AssetId> {
+            let mut assets: Vec<AssetId> = self.balances.keys().map(|(_, a)| *a).collect();
+            assets.sort_unstable();
+            assets.dedup();
+            assets
+        }
     }
 }
 
@@ -233,6 +408,36 @@ mod tests {
         ledger.mint(alice, AssetId(1), Amount::new(1));
         assert_eq!(ledger.assets(), vec![AssetId(1), AssetId(2)]);
         assert_eq!(ledger.iter().count(), 2);
+    }
+
+    #[test]
+    fn iter_orders_parties_before_contracts() {
+        let mut ledger = Ledger::new();
+        ledger.mint(AccountRef::Contract(ContractId(0)), coin(), Amount::new(1));
+        ledger.mint(AccountRef::Party(PartyId(1)), coin(), Amount::new(2));
+        ledger.mint(AccountRef::Party(PartyId(0)), AssetId(1), Amount::new(3));
+        let entries: Vec<_> = ledger.iter().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (AccountRef::Party(PartyId(0)), AssetId(1), Amount::new(3)),
+                (AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(2)),
+                (AccountRef::Contract(ContractId(0)), AssetId(0), Amount::new(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_forgets_balances() {
+        let mut ledger = Ledger::new();
+        let alice = AccountRef::Party(PartyId(0));
+        ledger.mint(alice, coin(), Amount::new(5));
+        ledger.clear();
+        assert_eq!(ledger.balance(alice, coin()), Amount::ZERO);
+        assert_eq!(ledger.iter().count(), 0);
+        assert!(ledger.assets().is_empty());
+        ledger.mint(alice, coin(), Amount::new(2));
+        assert_eq!(ledger.balance(alice, coin()), Amount::new(2));
     }
 
     #[test]

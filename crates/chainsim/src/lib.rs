@@ -56,8 +56,10 @@ pub use amount::{Amount, Payoff};
 pub use chain::Blockchain;
 pub use contract::{CallEnv, Contract, ContractMessage};
 pub use error::{ChainError, ContractError, LedgerError};
-pub use events::{ChainEvent, EventKind};
-pub use ids::{AssetId, ChainId, ContractAddr, ContractId, PartyId};
+pub use events::{CallDesc, ChainEvent, EventKind, NoteText, TraceMode};
+pub use ids::{AssetId, ChainId, ContractAddr, ContractId, Label, PartyId};
+#[cfg(any(test, feature = "map-ledger-oracle"))]
+pub use ledger::oracle::MapLedger;
 pub use ledger::{AccountRef, Ledger};
 pub use sim::{Action, ActionOutcome, Actor, RunReport, Scheduler, StepTrace};
 pub use time::{StepSchedule, Time};

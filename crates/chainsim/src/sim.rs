@@ -4,11 +4,16 @@ use std::fmt;
 
 use crate::contract::{Contract, ContractMessage};
 use crate::error::ChainError;
-use crate::ids::{ChainId, ContractAddr, PartyId};
+use crate::events::CallDesc;
+use crate::ids::{ChainId, ContractAddr, Label, PartyId};
 use crate::time::Time;
 use crate::world::World;
 
 /// An action a party may take during one synchronous round.
+///
+/// Descriptions and labels are structured [`CallDesc`]/[`Label`] values
+/// (rendered only on display) so that emitting an action allocates nothing
+/// beyond the boxed message or contract itself.
 pub enum Action {
     /// Publish a contract on `chain`, registering it under `label` so that
     /// counterparties can discover it.
@@ -16,7 +21,7 @@ pub enum Action {
         /// The chain to publish on.
         chain: ChainId,
         /// The agreed discovery label.
-        label: String,
+        label: Label,
         /// The contract to publish.
         contract: Box<dyn Contract>,
     },
@@ -27,7 +32,7 @@ pub enum Action {
         /// The message to deliver.
         msg: Box<dyn ContractMessage>,
         /// Short human-readable description for traces.
-        description: String,
+        description: CallDesc,
     },
 }
 
@@ -36,13 +41,13 @@ impl Action {
     pub fn call(
         addr: ContractAddr,
         msg: impl ContractMessage,
-        description: impl Into<String>,
+        description: impl Into<CallDesc>,
     ) -> Self {
         Action::Call { addr, msg: Box::new(msg), description: description.into() }
     }
 
     /// Convenience constructor for a publish action.
-    pub fn publish(chain: ChainId, label: impl Into<String>, contract: Box<dyn Contract>) -> Self {
+    pub fn publish(chain: ChainId, label: impl Into<Label>, contract: Box<dyn Contract>) -> Self {
         Action::Publish { chain, label: label.into(), contract }
     }
 }
@@ -92,8 +97,8 @@ pub trait Actor {
 pub struct ActionOutcome {
     /// The party that issued the action.
     pub party: PartyId,
-    /// Short description of the action.
-    pub description: String,
+    /// Short description of the action (structured; renders on display).
+    pub description: CallDesc,
     /// The result of applying it.
     pub result: Result<(), ChainError>,
 }
@@ -163,19 +168,23 @@ impl Scheduler {
     /// the world advances by Δ.
     pub fn run(&self, world: &mut World, actors: &mut [Box<dyn Actor>]) -> RunReport {
         let mut report = RunReport::default();
+        // Staging buffers are reused across rounds; most rounds emit no
+        // actions, so neither buffer nor the per-round outcome vector
+        // allocates then.
+        let mut staged: Vec<Action> = Vec::new();
+        let mut batch: Vec<(PartyId, Action)> = Vec::new();
         for _ in 0..self.max_rounds {
             if actors.iter().all(|a| a.done()) {
                 break;
             }
-            let mut batch: Vec<(PartyId, Action)> = Vec::new();
             for actor in actors.iter_mut() {
-                let mut actions = Vec::new();
-                actor.step(world, &mut actions);
+                staged.clear();
+                actor.step(world, &mut staged);
                 let party = actor.party();
-                batch.extend(actions.into_iter().map(|a| (party, a)));
+                batch.extend(staged.drain(..).map(|a| (party, a)));
             }
-            let mut outcomes = Vec::new();
-            for (party, action) in batch {
+            let mut outcomes = Vec::with_capacity(batch.len());
+            for (party, action) in batch.drain(..) {
                 outcomes.push(apply_action(world, party, action));
             }
             report.steps.push(StepTrace { time: world.now(), outcomes });
@@ -188,12 +197,12 @@ impl Scheduler {
 fn apply_action(world: &mut World, party: PartyId, action: Action) -> ActionOutcome {
     match action {
         Action::Publish { chain, label, contract } => {
-            let description = format!("publish {} as {label:?}", contract.type_name());
+            let description = CallDesc::Publish { type_name: contract.type_name(), label };
             world.publish_labeled(chain, party, label, contract);
             ActionOutcome { party, description, result: Ok(()) }
         }
         Action::Call { addr, msg, description } => {
-            let result = world.call(party, addr, msg.as_ref().as_any(), &description);
+            let result = world.call(party, addr, msg.as_ref().as_any(), description);
             ActionOutcome { party, description, result }
         }
     }

@@ -8,9 +8,10 @@ use cryptosim::KeyDirectory;
 use crate::amount::Amount;
 use crate::chain::Blockchain;
 use crate::error::ChainError;
+use crate::events::{CallDesc, TraceMode};
 #[cfg(test)]
 use crate::ids::ContractId;
-use crate::ids::{AssetId, ChainId, ContractAddr, PartyId};
+use crate::ids::{AssetId, ChainId, ContractAddr, Label, PartyId};
 use crate::time::{StepSchedule, Time};
 
 /// A collection of blockchains that advance in lock-step.
@@ -21,10 +22,16 @@ use crate::time::{StepSchedule, Time};
 /// * the [`KeyDirectory`] (every party's public key is known to all);
 /// * an asset registry (named token classes);
 /// * a contract label registry. When a party publishes a contract as a
-///   protocol step, it registers the contract under an agreed label (for
+///   protocol step, it registers the contract under an agreed [`Label`] (for
 ///   example `"swap/apricot-escrow"`); counterparties discover the contract
 ///   by looking the label up, which models "within Δ, Bob sees Alice's
 ///   escrow contract on the apricot blockchain".
+///
+/// Chains are stored densely, indexed by their sequentially assigned
+/// [`ChainId`]s, and a world can be [`reset`](World::reset) between runs:
+/// retired chains are kept as spare shells whose ledgers, contract stores
+/// and event logs retain their allocations, which is what makes per-worker
+/// world pooling in sweep engines nearly allocation-free.
 ///
 /// # Examples
 ///
@@ -40,34 +47,73 @@ use crate::time::{StepSchedule, Time};
 /// assert_eq!(world.now().height(), 0);
 /// ```
 pub struct World {
-    chains: BTreeMap<ChainId, Blockchain>,
+    /// `chains[i]` is the chain with `ChainId(i)`.
+    chains: Vec<Blockchain>,
+    /// Retired chain shells kept for reuse across [`World::reset`] cycles.
+    spare: Vec<Blockchain>,
     directory: KeyDirectory,
-    labels: BTreeMap<String, ContractAddr>,
-    asset_names: BTreeMap<AssetId, String>,
-    next_chain: u32,
-    next_asset: u32,
+    labels: BTreeMap<Label, ContractAddr>,
+    /// `asset_names[i]` is the registered name of `AssetId(i)`.
+    asset_names: Vec<String>,
     delta_blocks: u64,
     started_at: Time,
+    trace: TraceMode,
 }
 
 impl World {
-    /// Creates an empty world whose synchrony bound Δ is `delta_blocks`.
+    /// Creates an empty world whose synchrony bound Δ is `delta_blocks`,
+    /// with full event tracing.
     ///
     /// # Panics
     ///
     /// Panics if `delta_blocks` is zero.
     pub fn new(delta_blocks: u64) -> Self {
+        Self::with_trace(delta_blocks, TraceMode::Full)
+    }
+
+    /// Creates an empty world with an explicit [`TraceMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_blocks` is zero.
+    pub fn with_trace(delta_blocks: u64, trace: TraceMode) -> Self {
         assert!(delta_blocks > 0, "Δ must be at least one block");
         World {
-            chains: BTreeMap::new(),
+            chains: Vec::new(),
+            spare: Vec::new(),
             directory: KeyDirectory::new(),
             labels: BTreeMap::new(),
-            asset_names: BTreeMap::new(),
-            next_chain: 0,
-            next_asset: 0,
+            asset_names: Vec::new(),
             delta_blocks,
             started_at: Time::ZERO,
+            trace,
         }
+    }
+
+    /// Clears every chain, label, asset and key registration while keeping
+    /// allocated storage, so the world can host a fresh run.
+    ///
+    /// Retired chains become spare shells that the next
+    /// [`add_chain`](World::add_chain) calls recycle — their ledgers,
+    /// contract stores and event logs keep their capacity. The trace mode is
+    /// preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_blocks` is zero.
+    pub fn reset(&mut self, delta_blocks: u64) {
+        assert!(delta_blocks > 0, "Δ must be at least one block");
+        self.spare.append(&mut self.chains);
+        self.directory.clear();
+        self.labels.clear();
+        self.asset_names.clear();
+        self.delta_blocks = delta_blocks;
+        self.started_at = Time::ZERO;
+    }
+
+    /// The trace mode of this world.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace
     }
 
     /// The synchrony bound Δ in blocks.
@@ -76,29 +122,38 @@ impl World {
     }
 
     /// Adds a new chain with the given name and a fresh native currency.
-    pub fn add_chain(&mut self, name: impl Into<String>) -> ChainId {
-        let name = name.into();
-        let id = ChainId(self.next_chain);
-        self.next_chain += 1;
-        let native = self.register_asset(format!("{name}-native"));
-        let mut chain = Blockchain::new(id, name, native);
+    pub fn add_chain(&mut self, name: impl AsRef<str>) -> ChainId {
+        let name = name.as_ref();
+        let id = ChainId(self.chains.len() as u32);
+        let native = {
+            let mut native_name = String::with_capacity(name.len() + 7);
+            native_name.push_str(name);
+            native_name.push_str("-native");
+            self.register_asset(native_name)
+        };
+        let mut chain = match self.spare.pop() {
+            Some(mut shell) => {
+                shell.recycle(id, name, native, self.trace);
+                shell
+            }
+            None => Blockchain::new(id, name, native, self.trace),
+        };
         // Keep new chains height-aligned with existing ones.
         chain.advance_blocks(self.now().height());
-        self.chains.insert(id, chain);
+        self.chains.push(chain);
         id
     }
 
     /// Registers a new named asset class and returns its id.
     pub fn register_asset(&mut self, name: impl Into<String>) -> AssetId {
-        let id = AssetId(self.next_asset);
-        self.next_asset += 1;
-        self.asset_names.insert(id, name.into());
+        let id = AssetId(self.asset_names.len() as u32);
+        self.asset_names.push(name.into());
         id
     }
 
     /// Returns the registered name of an asset, if any.
     pub fn asset_name(&self, asset: AssetId) -> Option<&str> {
-        self.asset_names.get(&asset).map(String::as_str)
+        self.asset_names.get(asset.0 as usize).map(String::as_str)
     }
 
     /// Returns the chain with id `id`.
@@ -108,7 +163,7 @@ impl World {
     /// Panics if the chain does not exist; chains are created by the test or
     /// protocol setup code that also holds their ids.
     pub fn chain(&self, id: ChainId) -> &Blockchain {
-        self.chains.get(&id).unwrap_or_else(|| panic!("no such chain {id}"))
+        self.chains.get(id.0 as usize).unwrap_or_else(|| panic!("no such chain {id}"))
     }
 
     /// Mutable access to the chain with id `id`.
@@ -117,7 +172,7 @@ impl World {
     ///
     /// Panics if the chain does not exist.
     pub fn chain_mut(&mut self, id: ChainId) -> &mut Blockchain {
-        self.chains.get_mut(&id).unwrap_or_else(|| panic!("no such chain {id}"))
+        self.chains.get_mut(id.0 as usize).unwrap_or_else(|| panic!("no such chain {id}"))
     }
 
     /// Fallible chain lookup.
@@ -126,12 +181,12 @@ impl World {
     ///
     /// Returns [`ChainError::NoSuchChain`] if the chain does not exist.
     pub fn try_chain(&self, id: ChainId) -> Result<&Blockchain, ChainError> {
-        self.chains.get(&id).ok_or(ChainError::NoSuchChain { chain: id })
+        self.chains.get(id.0 as usize).ok_or(ChainError::NoSuchChain { chain: id })
     }
 
     /// Iterates over all chains.
     pub fn chains(&self) -> impl Iterator<Item = &Blockchain> {
-        self.chains.values()
+        self.chains.iter()
     }
 
     /// The number of chains in the world.
@@ -151,7 +206,7 @@ impl World {
 
     /// The current global time (all chains share the same height).
     pub fn now(&self) -> Time {
-        self.chains.values().next().map(Blockchain::height).unwrap_or(Time::ZERO)
+        self.chains.first().map(Blockchain::height).unwrap_or(Time::ZERO)
     }
 
     /// A [`StepSchedule`] anchored at the protocol start time.
@@ -166,14 +221,14 @@ impl World {
 
     /// Advances every chain by Δ blocks.
     pub fn advance_delta(&mut self) {
-        for chain in self.chains.values_mut() {
+        for chain in &mut self.chains {
             chain.advance_blocks(self.delta_blocks);
         }
     }
 
     /// Advances every chain by an arbitrary number of blocks.
     pub fn advance_blocks(&mut self, blocks: u64) {
-        for chain in self.chains.values_mut() {
+        for chain in &mut self.chains {
             chain.advance_blocks(blocks);
         }
     }
@@ -188,11 +243,11 @@ impl World {
         &mut self,
         chain: ChainId,
         publisher: PartyId,
-        label: impl Into<String>,
+        label: impl Into<Label>,
         contract: Box<dyn crate::Contract>,
     ) -> ContractAddr {
         let label = label.into();
-        assert!(!self.labels.contains_key(&label), "contract label {label:?} already registered");
+        assert!(!self.labels.contains_key(&label), "contract label \"{label}\" already registered");
         let id = self.chain_mut(chain).publish(publisher, contract);
         let addr = ContractAddr::new(chain, id);
         self.labels.insert(label, addr);
@@ -200,8 +255,8 @@ impl World {
     }
 
     /// Looks up a contract address by its agreed label.
-    pub fn lookup(&self, label: &str) -> Option<ContractAddr> {
-        self.labels.get(label).copied()
+    pub fn lookup(&self, label: impl Into<Label>) -> Option<ContractAddr> {
+        self.labels.get(&label.into()).copied()
     }
 
     /// Calls the contract at `addr` with a typed message.
@@ -214,21 +269,18 @@ impl World {
         caller: PartyId,
         addr: ContractAddr,
         msg: &dyn std::any::Any,
-        call_description: &str,
+        call_description: impl Into<CallDesc>,
     ) -> Result<(), ChainError> {
         let chain = self
             .chains
-            .get_mut(&addr.chain)
+            .get_mut(addr.chain.0 as usize)
             .ok_or(ChainError::NoSuchChain { chain: addr.chain })?;
         chain.call(caller, addr.contract, msg, call_description, &self.directory)
     }
 
     /// Total balance of `party` in `asset` summed over every chain.
     pub fn party_balance(&self, party: PartyId, asset: AssetId) -> Amount {
-        self.chains
-            .values()
-            .map(|chain| chain.balance(crate::AccountRef::Party(party), asset))
-            .sum()
+        self.chains.iter().map(|chain| chain.balance(crate::AccountRef::Party(party), asset)).sum()
     }
 }
 
@@ -239,6 +291,7 @@ impl fmt::Debug for World {
             .field("now", &self.now())
             .field("delta_blocks", &self.delta_blocks)
             .field("labels", &self.labels.len())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -361,5 +414,46 @@ mod tests {
         assert_eq!(world.chains().count(), 1);
         assert!(format!("{world:?}").contains("World"));
         assert!(world.directory().is_empty());
+    }
+
+    #[test]
+    fn reset_recycles_chains_and_clears_registries() {
+        let mut world = World::new(2);
+        let a = world.add_chain("a");
+        let coin = world.register_asset("coin");
+        world.chain_mut(a).mint(PartyId(0), coin, Amount::new(5));
+        world.publish_labeled(a, PartyId(0), "escrow", Box::new(Noop));
+        world.advance_delta();
+        world.mark_protocol_start();
+
+        world.reset(3);
+        assert_eq!(world.chain_count(), 0);
+        assert_eq!(world.now(), Time::ZERO);
+        assert_eq!(world.delta_blocks(), 3);
+        assert_eq!(world.lookup("escrow"), None);
+        assert_eq!(world.schedule().start(), Time::ZERO);
+        assert!(world.directory().is_empty());
+
+        // Replaying the same setup yields the same ids and a clean slate.
+        let a2 = world.add_chain("a");
+        assert_eq!(a2, a);
+        let coin2 = world.register_asset("coin");
+        assert_eq!(coin2, coin);
+        assert_eq!(world.party_balance(PartyId(0), coin2), Amount::ZERO);
+        assert_eq!(world.asset_name(coin2), Some("coin"));
+        // The recycled chain starts its contract ids over.
+        let addr = world.publish_labeled(a2, PartyId(0), "escrow", Box::new(Noop));
+        assert_eq!(addr.contract, ContractId(0));
+    }
+
+    #[test]
+    fn reset_preserves_trace_mode() {
+        let mut world = World::with_trace(1, TraceMode::Off);
+        world.add_chain("a");
+        world.reset(1);
+        assert_eq!(world.trace_mode(), TraceMode::Off);
+        let a = world.add_chain("a");
+        world.chain_mut(a).mint(PartyId(0), AssetId(0), Amount::new(1));
+        assert!(world.chain(a).events().is_empty());
     }
 }

@@ -1,10 +1,11 @@
 //! The multi-party arc escrow contract (§7, also used by the broker of §8).
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, PartyId, Time};
-use cryptosim::{Hashlock, Secret};
+use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, NoteText, PartyId, Time};
+use cryptosim::{Digest, Hashlock, Secret};
 use serde::{Deserialize, Serialize};
 use swapgraph::{premiums, Digraph};
 
@@ -65,6 +66,38 @@ impl ArcDeadlines {
     }
 }
 
+/// A memo of hashkey presentations that have already been fully verified,
+/// shared by every [`ArcEscrow`] of one deal.
+///
+/// A party presents the same extended hashkey on each of its incoming arcs,
+/// and each arc contract must verify it independently — chain-signature
+/// verification is the hottest cryptographic work in a sweep. The memo key
+/// `(receiver, leader, chain tag)` is sound: the chain tag binds the whole
+/// signature chain, its path and its secret under collision resistance (see
+/// [`Hashkey::chain_tag`]), and all other verification inputs (key table,
+/// digraph, hashlocks) are shared constants of the deal that created the
+/// cache. On a memo hit the contract still re-binds the carried secret to
+/// its hashlock and applies its own deadline checks.
+#[derive(Clone, Debug, Default)]
+pub struct HashkeyVerifyCache {
+    verified: Arc<Mutex<BTreeSet<(PartyId, PartyId, Digest)>>>,
+}
+
+impl HashkeyVerifyCache {
+    /// Creates an empty cache, to be shared across one deal's arc escrows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn is_verified(&self, key: &(PartyId, PartyId, Digest)) -> bool {
+        self.verified.lock().expect("verify cache poisoned").contains(key)
+    }
+
+    fn record(&self, key: (PartyId, PartyId, Digest)) {
+        self.verified.lock().expect("verify cache poisoned").insert(key);
+    }
+}
+
 /// Construction parameters for an [`ArcEscrow`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ArcEscrowParams {
@@ -83,13 +116,27 @@ pub struct ArcEscrowParams {
     /// The escrow premium `E(u, v)` owed by the sender.
     pub escrow_premium: Amount,
     /// The hashlock vector: one `(leader, hashlock)` pair per leader.
-    pub hashlocks: Vec<(PartyId, Hashlock)>,
-    /// The swap digraph (public protocol agreement), with party ids as vertices.
-    pub digraph: Digraph,
-    /// The public keys of all participants.
-    pub keys: PartyKeys,
+    ///
+    /// Shared (`Arc`) with every other arc of the same deal: a deal
+    /// publishes one escrow per arc, and cloning the full hashlock vector,
+    /// digraph and key table per arc dominated setup cost in sweeps.
+    pub hashlocks: Arc<Vec<(PartyId, Hashlock)>>,
+    /// The swap digraph (public protocol agreement), with party ids as
+    /// vertices. Shared across the deal's arc escrows.
+    pub digraph: Arc<Digraph>,
+    /// The public keys of all participants. Shared across the deal's arc
+    /// escrows.
+    pub keys: Arc<PartyKeys>,
     /// Phase deadlines.
     pub deadlines: ArcDeadlines,
+    /// Deal-wide memo of verified hashkey presentations (default: a fresh,
+    /// unshared cache — sharing it across a deal's arcs is an optimisation,
+    /// never a semantic requirement).
+    pub verify_cache: HashkeyVerifyCache,
+    /// Lazily built Equation-(1) evaluator, shared across the deal's arcs
+    /// so its compact adjacency tables are derived from the digraph once
+    /// rather than on every premium deposit.
+    pub premium_evaluator: Arc<OnceLock<premiums::RedemptionPremiumEvaluator>>,
 }
 
 /// Messages accepted by an [`ArcEscrow`].
@@ -285,15 +332,17 @@ impl ArcEscrow {
             ));
         }
         let vertices: Vec<u32> = path.iter().map(|p| p.0).collect();
-        let valid =
-            self.params.digraph.simple_paths(self.params.receiver.0, leader.0).contains(&vertices);
+        let valid = self.params.digraph.is_simple_path(self.params.receiver.0, leader.0, &vertices);
         if !valid {
             return Err(ContractError::hashkey_rejected(
                 "redemption premium path is not a simple path of the swap digraph",
             ));
         }
-        let units =
-            premiums::redemption_premium(&self.params.digraph, 1, &vertices, self.params.sender.0);
+        let units = self
+            .params
+            .premium_evaluator
+            .get_or_init(|| premiums::RedemptionPremiumEvaluator::new(&self.params.digraph))
+            .premium(&self.params.digraph, 1, &vertices, self.params.sender.0);
         let amount = self.params.base_premium.scaled(units);
         env.debit_caller(self.params.premium_asset, amount)?;
         self.redemption.insert(
@@ -338,17 +387,32 @@ impl ArcEscrow {
         }
         let deadline = self.params.deadlines.hashkey_deadline(hashkey.path_len());
         env.ensure_before(deadline)?;
-        hashkey.verify(
-            env.directory(),
-            &self.params.keys,
-            &self.params.digraph,
-            self.params.receiver,
-            &hashlock,
-        )?;
+        let memo_key = (self.params.receiver, leader, hashkey.chain_tag());
+        if self.params.verify_cache.is_verified(&memo_key) {
+            // The same chain was fully verified on a sibling arc with the
+            // same receiver. The chain tag binds path, leader and chain;
+            // only the carried secret must be re-bound to the hashlock.
+            if !hashlock.matches(hashkey.secret()) {
+                return Err(ContractError::HashlockMismatch);
+            }
+        } else {
+            hashkey.verify(
+                env.directory(),
+                &self.params.keys,
+                &self.params.digraph,
+                self.params.receiver,
+                &hashlock,
+            )?;
+            self.params.verify_cache.record(memo_key);
+        }
         self.presented.insert(leader, env.now());
         self.presented_hashkeys.insert(leader, hashkey.clone());
         self.revealed_secrets.insert(leader, hashkey.secret().clone());
-        env.emit_note(format!("hashkey for {leader} presented"));
+        env.emit_note(NoteText::Party {
+            prefix: "hashkey for ",
+            party: leader,
+            suffix: " presented",
+        });
         // Lemma 1: the receiver's redemption premium for this hashkey is
         // refunded as soon as the hashkey is presented on the arc.
         if let Some(slot) = self.redemption.get_mut(&leader) {
@@ -402,9 +466,11 @@ impl ArcEscrow {
                 if slot.state == PremiumSlotState::Held && !self.presented.contains_key(leader) {
                     env.pay_out(self.params.sender, self.params.premium_asset, slot.amount)?;
                     slot.state = PremiumSlotState::PaidToCounterparty;
-                    env.emit_note(format!(
-                        "redemption premium for {leader} paid to sender: hashkey never presented"
-                    ));
+                    env.emit_note(NoteText::Party {
+                        prefix: "redemption premium for ",
+                        party: *leader,
+                        suffix: " paid to sender: hashkey never presented",
+                    });
                     acted = true;
                 }
             }
@@ -499,9 +565,9 @@ mod tests {
             premium_asset: native,
             base_premium: Amount::new(1),
             escrow_premium: Amount::new(5),
-            hashlocks: vec![(A, secret.hashlock())],
-            digraph: Digraph::figure3(),
-            keys,
+            hashlocks: Arc::new(vec![(A, secret.hashlock())]),
+            digraph: Arc::new(Digraph::figure3()),
+            keys: Arc::new(keys),
             deadlines: ArcDeadlines {
                 escrow_premium_deadline: Time(2),
                 redemption_premium_deadline: Time(4),
@@ -510,6 +576,8 @@ mod tests {
                 delta_blocks: 1,
                 final_deadline: Time(12),
             },
+            verify_cache: HashkeyVerifyCache::new(),
+            premium_evaluator: Arc::default(),
         });
         let addr = world.publish_labeled(chain, B, "arc-ba", Box::new(escrow));
         Fixture { world, addr, token, native, secret, pairs }

@@ -11,7 +11,7 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
-use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, PartyId, Time};
+use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, NoteText, PartyId, Time};
 use cryptosim::{Hashlock, Secret};
 use serde::{Deserialize, Serialize};
 
@@ -197,7 +197,11 @@ impl AuctionCoinContract {
         env.ensure_reached(self.params.bid_deadline)?;
         env.ensure_before(self.params.challenge_deadline)?;
         self.hashkeys.entry(winner).or_insert_with(|| env.now());
-        env.emit_note(format!("hashkey naming {winner} recorded on the coin chain"));
+        env.emit_note(NoteText::Party {
+            prefix: "hashkey naming ",
+            party: winner,
+            suffix: " recorded on the coin chain",
+        });
         Ok(())
     }
 
@@ -230,7 +234,11 @@ impl AuctionCoinContract {
                 self.premium_settled = true;
             }
             self.outcome = Some(AuctionOutcome::Completed { winner, winning_bid });
-            env.emit_note(format!("auction completed: {winner} wins"));
+            env.emit_note(NoteText::Party {
+                prefix: "auction completed: ",
+                party: winner,
+                suffix: " wins",
+            });
         } else {
             // Refund all bids; compensate each bidder with p from the premium.
             for (bidder, amount) in self.bids.iter() {
@@ -368,7 +376,11 @@ impl AuctionTicketContract {
         env.ensure_reached(self.params.bid_deadline)?;
         env.ensure_before(self.params.challenge_deadline)?;
         self.hashkeys.entry(winner).or_insert_with(|| env.now());
-        env.emit_note(format!("hashkey naming {winner} recorded on the ticket chain"));
+        env.emit_note(NoteText::Party {
+            prefix: "hashkey naming ",
+            party: winner,
+            suffix: " recorded on the ticket chain",
+        });
         Ok(())
     }
 
@@ -387,7 +399,11 @@ impl AuctionTicketContract {
             let winner = received[0];
             env.pay_out(winner, self.params.ticket_asset, self.params.ticket_amount)?;
             self.winner = Some(winner);
-            env.emit_note(format!("tickets transferred to {winner}"));
+            env.emit_note(NoteText::Party {
+                prefix: "tickets transferred to ",
+                party: winner,
+                suffix: "",
+            });
         } else {
             env.pay_out(
                 self.params.auctioneer,

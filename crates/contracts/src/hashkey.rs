@@ -148,6 +148,18 @@ impl Hashkey {
         self.hops.len()
     }
 
+    /// The tag of the final signature in the chain.
+    ///
+    /// Under collision resistance this single digest binds the entire
+    /// hashkey: each hop signs the previous hop's tag, the leader signs the
+    /// secret, and every signing message includes the signer's identity —
+    /// so two hashkeys with equal chain tags are (computationally) the same
+    /// chain over the same path and secret. Contracts use it to memoise
+    /// repeated verifications of the same presentation.
+    pub fn chain_tag(&self) -> cryptosim::Digest {
+        self.hops.last().expect("hashkey always has at least one hop").signature.tag()
+    }
+
     /// Verifies this hashkey for presentation on an arc whose receiver is
     /// `receiver`, against hashlock `hashlock` in digraph `digraph`.
     ///

@@ -32,7 +32,8 @@ mod hedged;
 mod htlc;
 
 pub use arc_escrow::{
-    ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, PremiumSlotState, PrincipalState,
+    ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, HashkeyVerifyCache, PremiumSlotState,
+    PrincipalState,
 };
 pub use auction::{
     AuctionCoinContract, AuctionCoinMsg, AuctionOutcome, AuctionParams, AuctionTicketContract,

@@ -147,6 +147,14 @@ impl KeyDirectory {
         self.keys.contains_key(public)
     }
 
+    /// Removes every registered key, retaining allocated capacity.
+    ///
+    /// Used by world pooling: a reused simulation world re-registers its
+    /// parties' keys for each run.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+    }
+
     /// Returns the number of registered keys.
     pub fn len(&self) -> usize {
         self.keys.len()

@@ -1,6 +1,7 @@
 //! Secrets, hashlocks and nonces.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -23,15 +24,21 @@ use crate::digest::{sha256_concat, Digest};
 /// assert!(h.matches(&s));
 /// assert!(!h.matches(&Secret::from_seed(2)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Secret {
-    bytes: Vec<u8>,
+    /// Shared bytes: secrets are cloned into every redeem message and
+    /// revealed-secret table of a run, so clones must be allocation-free.
+    bytes: Arc<[u8]>,
+    /// Lazily computed hashlock, shared across clones. Hashlock checks run
+    /// on every redeem and hashkey presentation of a simulation, so the
+    /// hash is computed once per secret instead of once per check.
+    hashlock: Arc<OnceLock<Hashlock>>,
 }
 
 impl Secret {
     /// Creates a secret from arbitrary bytes.
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Secret { bytes: bytes.into() }
+        Secret { bytes: bytes.into().into(), hashlock: Arc::new(OnceLock::new()) }
     }
 
     /// Derives a 32-byte secret deterministically from a numeric seed.
@@ -39,7 +46,7 @@ impl Secret {
     /// Distinct seeds yield distinct secrets with overwhelming probability.
     pub fn from_seed(seed: u64) -> Self {
         let digest = sha256_concat(&[b"cryptosim/secret", &seed.to_be_bytes()]);
-        Secret { bytes: digest.as_bytes().to_vec() }
+        Secret::from_bytes(digest.as_bytes().to_vec())
     }
 
     /// Returns the raw secret bytes.
@@ -47,9 +54,26 @@ impl Secret {
         &self.bytes
     }
 
-    /// Computes the hashlock `H(s)` for this secret.
+    /// Computes the hashlock `H(s)` for this secret (cached after the first
+    /// call; clones share the cache).
     pub fn hashlock(&self) -> Hashlock {
-        Hashlock(sha256_concat(&[b"cryptosim/hashlock", &self.bytes]))
+        *self
+            .hashlock
+            .get_or_init(|| Hashlock(sha256_concat(&[b"cryptosim/hashlock", &self.bytes])))
+    }
+}
+
+impl PartialEq for Secret {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Secret {}
+
+impl std::hash::Hash for Secret {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bytes.hash(state);
     }
 }
 

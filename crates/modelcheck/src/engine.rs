@@ -10,21 +10,30 @@
 //! the resulting [`CheckSummary`] is bit-for-bit identical no matter how
 //! many threads ran the sweep.
 //!
-//! Each scenario builds, runs and tears down its own simulated
-//! [`chainsim::World`]; the only shared state is the immutable generator
-//! and the cursor, which is why the engine needs no locks and no
-//! dependencies beyond `std::thread::scope`.
+//! Each worker owns a single *scratch* [`chainsim::World`] that it hands to
+//! every scenario it runs: the protocol entry points reset the world rather
+//! than rebuilding it, so the ledgers, contract stores and trace buffers a
+//! scenario needs are allocated once per worker instead of once per run.
+//! Scratch worlds default to [`TraceMode::Off`] — sweeps judge reports and
+//! payoffs, never rendered traces — which skips event construction
+//! entirely; [`ParallelSweep::trace_mode`] can opt back into full traces,
+//! and the summary is identical either way. The only shared state is the
+//! immutable generator and the chunk cursor, which is why the engine needs
+//! no locks and no dependencies beyond `std::thread::scope`.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use chainsim::{TraceMode, World};
 
 use crate::{CheckSummary, Violation};
 
 /// A family of model-checking scenarios with random-access indexing.
 ///
-/// Implementations must be cheap to index: `check(i)` is called from worker
-/// threads in arbitrary order and must depend only on `i` and `&self`
-/// (never on mutable state), which is what makes sweeps deterministic.
+/// Implementations must be cheap to index: `check(i, ..)` is called from
+/// worker threads in arbitrary order and must depend only on `i`, `&self`
+/// and the (reset) scratch world — never on mutable state — which is what
+/// makes sweeps deterministic.
 pub trait ScenarioGen: Sync {
     /// Short human-readable name of the scenario family, used in reports.
     fn family(&self) -> String;
@@ -36,9 +45,14 @@ pub trait ScenarioGen: Sync {
     /// closed form. Either way, a sweep performs exactly `total()` runs.
     fn total(&self) -> usize;
 
-    /// Runs scenario `index` (`0 <= index < total()`) and returns every
-    /// property violation it exhibits.
-    fn check(&self, index: usize) -> Vec<Violation>;
+    /// Runs scenario `index` (`0 <= index < total()`) inside the worker's
+    /// scratch world and returns every property violation it exhibits.
+    ///
+    /// The scratch world arrives in an arbitrary prior state; the scenario
+    /// must pass it to a `*_in` protocol entry point (which resets it) or
+    /// reset it itself. The result must be identical for any prior state
+    /// and any [`TraceMode`].
+    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation>;
 }
 
 /// A deterministic parallel sweep runner.
@@ -61,6 +75,7 @@ pub trait ScenarioGen: Sync {
 pub struct ParallelSweep {
     threads: usize,
     chunk: usize,
+    trace: TraceMode,
 }
 
 impl Default for ParallelSweep {
@@ -77,7 +92,7 @@ impl ParallelSweep {
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "a sweep needs at least one worker");
-        ParallelSweep { threads, chunk: 4 }
+        ParallelSweep { threads, chunk: 4, trace: TraceMode::Off }
     }
 
     /// Creates a sweep runner sized to the machine, capped at 8 workers
@@ -101,6 +116,16 @@ impl ParallelSweep {
     pub fn chunk_size(mut self, chunk: usize) -> Self {
         assert!(chunk > 0, "chunks must hold at least one scenario");
         self.chunk = chunk;
+        self
+    }
+
+    /// Overrides the [`TraceMode`] of the workers' scratch worlds.
+    ///
+    /// Sweeps default to [`TraceMode::Off`]; the summary is bit-for-bit
+    /// identical under both modes (pinned by tests), so [`TraceMode::Full`]
+    /// is only useful when debugging a scenario interactively.
+    pub fn trace_mode(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -131,12 +156,16 @@ impl ParallelSweep {
 
         let cursor = AtomicUsize::new(0);
         let chunk = self.chunk;
+        let trace = self.trace;
         let mut found: Vec<(usize, Vec<Violation>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|_| {
                     let cursor = &cursor;
                     let offsets = &offsets;
                     scope.spawn(move || {
+                        // One scratch world per worker: every scenario this
+                        // worker claims reuses its allocations.
+                        let mut scratch = World::with_trace(1, trace);
                         let mut local: Vec<(usize, Vec<Violation>)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -148,7 +177,8 @@ impl ParallelSweep {
                                     Ok(exact) => exact,
                                     Err(insert) => insert - 1,
                                 };
-                                let violations = gens[family].check(index - offsets[family]);
+                                let violations =
+                                    gens[family].check(index - offsets[family], &mut scratch);
                                 if !violations.is_empty() {
                                     local.push((index, violations));
                                 }
@@ -192,7 +222,7 @@ mod tests {
         fn total(&self) -> usize {
             self.total
         }
-        fn check(&self, index: usize) -> Vec<Violation> {
+        fn check(&self, index: usize, _scratch: &mut World) -> Vec<Violation> {
             if index.is_multiple_of(7) {
                 vec![Violation {
                     scenario: format!("synthetic #{index}"),
@@ -236,6 +266,14 @@ mod tests {
         let summary = ParallelSweep::new(4).run_all(&[]);
         assert_eq!(summary.runs, 0);
         assert!(summary.holds());
+    }
+
+    #[test]
+    fn trace_mode_does_not_change_the_summary() {
+        let gen = Synthetic { total: 50 };
+        let off = ParallelSweep::new(2).run(&gen);
+        let full = ParallelSweep::new(2).trace_mode(TraceMode::Full).run(&gen);
+        assert_eq!(off, full);
     }
 
     #[test]

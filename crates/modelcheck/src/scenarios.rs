@@ -8,12 +8,12 @@
 
 use std::collections::BTreeMap;
 
-use chainsim::PartyId;
-use protocols::auction::{run_auction, AuctionConfig, AuctioneerBehaviour};
-use protocols::bootstrap::{run_bootstrap, BootstrapDeviation};
-use protocols::deal::{self, run_deal, DealConfig};
+use chainsim::{PartyId, World};
+use protocols::auction::{run_auction_in, AuctionConfig, AuctioneerBehaviour};
+use protocols::bootstrap::{run_bootstrap_in, BootstrapDeviation};
+use protocols::deal::{self, run_deal_in, DealConfig};
 use protocols::script::Strategy;
-use protocols::two_party::{self, run_base_swap, run_hedged_swap, TwoPartyConfig};
+use protocols::two_party::{self, run_base_swap_in, run_hedged_swap_in, TwoPartyConfig};
 
 use crate::engine::ScenarioGen;
 use crate::Violation;
@@ -62,26 +62,28 @@ impl ScenarioGen for TwoPartySweep {
         self.space.len() * self.space.len()
     }
 
-    fn check(&self, index: usize) -> Vec<Violation> {
+    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
         let alice = self.space[index / self.space.len()];
         let bob = self.space[index % self.space.len()];
         let report = if self.hedged {
-            run_hedged_swap(&self.config, alice, bob)
+            run_hedged_swap_in(scratch, &self.config, alice, bob)
         } else {
-            run_base_swap(&self.config, alice, bob)
+            run_base_swap_in(scratch, &self.config, alice, bob)
         };
-        let scenario = format!("{}, alice={alice}, bob={bob}", self.family());
+        // Scenario labels are only rendered for violating runs, so the
+        // (overwhelmingly common) clean scenario allocates nothing here.
+        let scenario = || format!("{}, alice={alice}, bob={bob}", self.family());
         let mut violations = Vec::new();
         if alice.is_compliant() && !report.hedged_for_alice {
             violations.push(Violation {
-                scenario: scenario.clone(),
+                scenario: scenario(),
                 party: two_party::ALICE,
                 property: "hedged",
             });
         }
         if bob.is_compliant() && !report.hedged_for_bob {
             violations.push(Violation {
-                scenario: scenario.clone(),
+                scenario: scenario(),
                 party: two_party::BOB,
                 property: "hedged",
             });
@@ -90,7 +92,11 @@ impl ScenarioGen for TwoPartySweep {
         // one compliant party remains to settle the contracts; with every
         // party absent, value legitimately stays escrowed.
         if (alice.is_compliant() || bob.is_compliant()) && !report.payoffs.conserved() {
-            violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+            violations.push(Violation {
+                scenario: scenario(),
+                party: WHOLE_RUN,
+                property: "conservation",
+            });
         }
         violations
     }
@@ -210,24 +216,32 @@ impl ScenarioGen for DealSweep {
         }
     }
 
-    fn check(&self, index: usize) -> Vec<Violation> {
-        let profile = self.profile(index);
-        let report = run_deal(&self.config, &profile);
-        let scenario = format!("{} with profile {profile:?}", self.name);
+    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
+        let owned_profile;
+        let profile: &BTreeMap<PartyId, Strategy> = match &self.profiles {
+            Some(profiles) => &profiles[index],
+            None => {
+                owned_profile = self.profile(index);
+                &owned_profile
+            }
+        };
+        let report = run_deal_in(scratch, &self.config, profile);
+        // Rendered only for violating runs; clean scenarios allocate nothing.
+        let scenario = || format!("{} with profile {profile:?}", self.name);
         let mut violations = Vec::new();
         for (party, outcome) in &report.parties {
             let compliant =
                 profile.get(party).copied().unwrap_or(Strategy::Compliant).is_compliant();
             if compliant && !outcome.hedged {
                 violations.push(Violation {
-                    scenario: scenario.clone(),
+                    scenario: scenario(),
                     party: *party,
                     property: "hedged",
                 });
             }
             if compliant && !outcome.safety {
                 violations.push(Violation {
-                    scenario: scenario.clone(),
+                    scenario: scenario(),
                     party: *party,
                     property: "safety",
                 });
@@ -237,7 +251,7 @@ impl ScenarioGen for DealSweep {
             // the run stuck in escrow — under any number of deviators.
             if compliant && outcome.escrowed_stuck > 0 {
                 violations.push(Violation {
-                    scenario: scenario.clone(),
+                    scenario: scenario(),
                     party: *party,
                     property: "stranded-principal",
                 });
@@ -253,7 +267,11 @@ impl ScenarioGen for DealSweep {
         let deviators = profile.len();
         if deviators <= 1 {
             if !report.payoffs.conserved() {
-                violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+                violations.push(Violation {
+                    scenario: scenario(),
+                    party: WHOLE_RUN,
+                    property: "conservation",
+                });
             }
         } else {
             let mut per_asset: BTreeMap<chainsim::AssetId, i128> = BTreeMap::new();
@@ -261,7 +279,11 @@ impl ScenarioGen for DealSweep {
                 *per_asset.entry(asset).or_insert(0) += payoff.value();
             }
             if per_asset.values().any(|&total| total > 0) {
-                violations.push(Violation { scenario, party: WHOLE_RUN, property: "minting" });
+                violations.push(Violation {
+                    scenario: scenario(),
+                    party: WHOLE_RUN,
+                    property: "minting",
+                });
             }
         }
         violations
@@ -342,7 +364,7 @@ impl ScenarioGen for BootstrapSweep {
         1 + 2 * (self.rounds as usize + 1)
     }
 
-    fn check(&self, index: usize) -> Vec<Violation> {
+    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
         let levels = self.rounds as usize + 1;
         let (deviation, deviator) = if index == 0 {
             (BootstrapDeviation::None, None)
@@ -351,8 +373,8 @@ impl ScenarioGen for BootstrapSweep {
             let level = ((index - 1) % levels) as u32;
             (BootstrapDeviation::StopAtLevel { party, level }, Some(party))
         };
-        let report = run_bootstrap(self.a, self.b, self.ratio, self.rounds, deviation);
-        let scenario = format!("{}, deviation {deviation:?}", self.family());
+        let report = run_bootstrap_in(scratch, self.a, self.b, self.ratio, self.rounds, deviation);
+        let scenario = || format!("{}, deviation {deviation:?}", self.family());
         let mut violations = Vec::new();
         if !report.loss_bounded_by_initial_risk {
             // The wronged party is the compliant survivor (or the whole run
@@ -363,14 +385,18 @@ impl ScenarioGen for BootstrapSweep {
                 None => WHOLE_RUN,
             };
             violations.push(Violation {
-                scenario: scenario.clone(),
+                scenario: scenario(),
                 party: victim,
                 property: "bounded-loss",
             });
         }
         // Every cascade settles completely, so payoffs are a pure transfer.
         if report.alice_payoff + report.bob_payoff != 0 {
-            violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+            violations.push(Violation {
+                scenario: scenario(),
+                party: WHOLE_RUN,
+                property: "conservation",
+            });
         }
         violations
     }
@@ -415,24 +441,24 @@ impl ScenarioGen for AuctionSweep {
         BEHAVIOURS.len() * AUCTION_PARTIES.len() * AUCTION_STOPS
     }
 
-    fn check(&self, index: usize) -> Vec<Violation> {
+    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
         let behaviour = BEHAVIOURS[index / (AUCTION_PARTIES.len() * AUCTION_STOPS)];
         let party = AUCTION_PARTIES[(index / AUCTION_STOPS) % AUCTION_PARTIES.len()];
         let stop_after = index % AUCTION_STOPS;
         let config = AuctionConfig { auctioneer: behaviour, ..self.config.clone() };
         let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
-        let report = run_auction(&config, &strategies);
-        let scenario = format!("auction {behaviour:?}, {party} stops after {stop_after}");
+        let report = run_auction_in(scratch, &config, &strategies);
+        let scenario = || format!("auction {behaviour:?}, {party} stops after {stop_after}");
         let mut violations = Vec::new();
         if !report.no_bid_stolen {
-            violations.push(Violation {
-                scenario: scenario.clone(),
-                party,
-                property: "no-bid-stolen",
-            });
+            violations.push(Violation { scenario: scenario(), party, property: "no-bid-stolen" });
         }
         if !report.payoffs.conserved() {
-            violations.push(Violation { scenario, party: WHOLE_RUN, property: "conservation" });
+            violations.push(Violation {
+                scenario: scenario(),
+                party: WHOLE_RUN,
+                property: "conservation",
+            });
         }
         violations
     }

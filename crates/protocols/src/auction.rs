@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use chainsim::{Action, Amount, AssetId, ContractAddr, PartyId, Time, World};
+use chainsim::{Action, Amount, AssetId, CallDesc, ContractAddr, PartyId, Time, World};
 use contracts::{
     AuctionCoinContract, AuctionCoinMsg, AuctionOutcome, AuctionParams, AuctionTicketContract,
     AuctionTicketMsg,
@@ -96,7 +96,6 @@ pub struct AuctionReport {
 }
 
 struct AuctionSetup {
-    world: World,
     coin_addr: ContractAddr,
     ticket_addr: ContractAddr,
     coin: AssetId,
@@ -105,8 +104,8 @@ struct AuctionSetup {
     params: AuctionParams,
 }
 
-fn build(config: &AuctionConfig) -> AuctionSetup {
-    let mut world = World::new(1);
+fn build(world: &mut World, config: &AuctionConfig) -> AuctionSetup {
+    world.reset(1);
     let coin_chain = world.add_chain("coin-chain");
     let ticket_chain = world.add_chain("ticket-chain");
     let coin = world.register_asset("coin");
@@ -154,7 +153,7 @@ fn build(config: &AuctionConfig) -> AuctionSetup {
         "auction/ticket",
         Box::new(AuctionTicketContract::new(params.clone())),
     );
-    AuctionSetup { world, coin_addr, ticket_addr, coin, ticket, secrets, params }
+    AuctionSetup { coin_addr, ticket_addr, coin, ticket, secrets, params }
 }
 
 fn coin_contract(world: &World, addr: ContractAddr) -> &AuctionCoinContract {
@@ -222,12 +221,20 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
                 Action::call(
                     coin_addr,
                     AuctionCoinMsg::SubmitHashkey { winner: declared, secret: secret.clone() },
-                    format!("Alice declares {declared} on the coin chain"),
+                    CallDesc::Party {
+                        prefix: "Alice declares ",
+                        party: declared,
+                        suffix: " on the coin chain",
+                    },
                 ),
                 Action::call(
                     ticket_addr,
                     AuctionTicketMsg::SubmitHashkey { winner: declared, secret },
-                    format!("Alice declares {declared} on the ticket chain"),
+                    CallDesc::Party {
+                        prefix: "Alice declares ",
+                        party: declared,
+                        suffix: " on the ticket chain",
+                    },
                 ),
             ])
         }),
@@ -263,7 +270,7 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
             Some(amount) => StepOutcome::Complete(vec![Action::call(
                 coin_addr,
                 AuctionCoinMsg::PlaceBid { amount },
-                format!("{bidder} bids {amount}"),
+                CallDesc::Amount { party: bidder, verb: "bids", amount },
             )]),
             None => StepOutcome::Complete(vec![]),
         }),
@@ -285,7 +292,12 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
                             winner: *winner,
                             secret: secrets[winner].clone(),
                         },
-                        format!("{bidder} forwards {winner}'s hashkey to the ticket chain"),
+                        CallDesc::Parties {
+                            party: bidder,
+                            mid: " forwards ",
+                            other: *winner,
+                            suffix: "'s hashkey to the ticket chain",
+                        },
                     ));
                 }
             }
@@ -297,7 +309,12 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
                             winner: *winner,
                             secret: secrets[winner].clone(),
                         },
-                        format!("{bidder} forwards {winner}'s hashkey to the coin chain"),
+                        CallDesc::Parties {
+                            party: bidder,
+                            mid: " forwards ",
+                            other: *winner,
+                            suffix: "'s hashkey to the coin chain",
+                        },
                     ));
                 }
             }
@@ -334,12 +351,23 @@ pub fn run_auction(
     config: &AuctionConfig,
     strategies: &BTreeMap<PartyId, Strategy>,
 ) -> AuctionReport {
-    let mut setup = build(config);
+    run_auction_in(&mut World::new(1), config, strategies)
+}
+
+/// Runs the auction inside a caller-provided world (reset first; its
+/// [`chainsim::TraceMode`] is preserved). Hot-path variant of
+/// [`run_auction`] for sweep engines that pool worlds across scenarios.
+pub fn run_auction_in(
+    world: &mut World,
+    config: &AuctionConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+) -> AuctionReport {
+    let setup = build(world, config);
     let bidders = config.bidders();
     let mut parties = vec![AUCTIONEER];
     parties.extend(bidders.iter().copied());
     let assets = [setup.coin, setup.ticket];
-    let before = BalanceSnapshot::capture(&setup.world, &parties, &assets);
+    let before = BalanceSnapshot::capture(world, &parties, &assets);
 
     let mut actors = vec![ScriptedParty::new(
         AUCTIONEER,
@@ -354,13 +382,13 @@ pub fn run_auction(
         ));
     }
     let max_rounds = 8 * config.delta_blocks + 4;
-    let run_report = run_parties(&mut setup.world, actors, max_rounds);
+    let run_report = run_parties(world, actors, max_rounds);
 
-    let after = BalanceSnapshot::capture(&setup.world, &parties, &assets);
+    let after = BalanceSnapshot::capture(world, &parties, &assets);
     let payoffs = Payoffs::between(&before, &after);
 
-    let outcome = coin_contract(&setup.world, setup.coin_addr).outcome();
-    let ticket_winner = ticket_contract(&setup.world, setup.ticket_addr).winner();
+    let outcome = coin_contract(world, setup.coin_addr).outcome();
+    let ticket_winner = ticket_contract(world, setup.ticket_addr).winner();
 
     let mut bidder_coin_payoffs = BTreeMap::new();
     let mut bidder_ticket_payoffs = BTreeMap::new();

@@ -8,7 +8,7 @@
 //! deviation payoffs can be observed, and (b) summarises the exposure of a
 //! bootstrapped swap for reporting.
 
-use chainsim::{AccountRef, Amount, ContractAddr, PartyId, Time, World};
+use chainsim::{AccountRef, Amount, ContractAddr, Label, PartyId, Time, World};
 use contracts::{HedgedEscrow, HedgedEscrowMsg, HedgedEscrowParams};
 use cryptosim::Secret;
 use swapgraph::bootstrap::{bootstrap_plan, lockup_durations, BootstrapPlan};
@@ -92,9 +92,24 @@ pub fn run_bootstrap(
     rounds: u32,
     deviation: BootstrapDeviation,
 ) -> BootstrapRunReport {
+    run_bootstrap_in(&mut World::new(1), a, b, ratio, rounds, deviation)
+}
+
+/// Executes a bootstrapped premium cascade inside a caller-provided world
+/// (reset first; its [`chainsim::TraceMode`] is preserved). Hot-path
+/// variant of [`run_bootstrap`] for sweep engines that pool worlds across
+/// scenarios.
+pub fn run_bootstrap_in(
+    world: &mut World,
+    a: u128,
+    b: u128,
+    ratio: u128,
+    rounds: u32,
+    deviation: BootstrapDeviation,
+) -> BootstrapRunReport {
     let plan = bootstrap_plan(a, b, ratio, rounds);
     let delta = 2u64;
-    let mut world = World::new(1);
+    world.reset(1);
     let apricot = world.add_chain("apricot");
     let banana = world.add_chain("banana");
     let apricot_native = world.chain(apricot).native_asset();
@@ -132,7 +147,7 @@ pub fn run_bootstrap(
         let banana_escrow = world.publish_labeled(
             banana,
             ALICE,
-            format!("bootstrap/banana-{k}"),
+            Label::Indexed { ns: "bootstrap/banana", index: u64::from(k) },
             Box::new(HedgedEscrow::new(HedgedEscrowParams {
                 escrower: ALICE,
                 redeemer: BOB,
@@ -149,7 +164,7 @@ pub fn run_bootstrap(
         let apricot_escrow = world.publish_labeled(
             apricot,
             BOB,
-            format!("bootstrap/apricot-{k}"),
+            Label::Indexed { ns: "bootstrap/apricot", index: u64::from(k) },
             Box::new(HedgedEscrow::new(HedgedEscrowParams {
                 escrower: BOB,
                 redeemer: ALICE,

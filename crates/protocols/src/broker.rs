@@ -136,6 +136,7 @@ pub fn broker_deal_config(config: &BrokerConfig) -> DealConfig {
         delta_blocks: config.delta_blocks,
         endowments,
         premium_float,
+        caches: Default::default(),
     }
 }
 
@@ -145,6 +146,16 @@ pub fn run_brokered_sale(
     strategies: &BTreeMap<PartyId, Strategy>,
 ) -> DealReport {
     run_deal(&broker_deal_config(config), strategies)
+}
+
+/// Runs the hedged brokered sale inside a caller-provided world; see
+/// [`crate::deal::run_deal_in`].
+pub fn run_brokered_sale_in(
+    world: &mut chainsim::World,
+    config: &BrokerConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+) -> DealReport {
+    crate::deal::run_deal_in(world, &broker_deal_config(config), strategies)
 }
 
 #[cfg(test)]

@@ -10,13 +10,17 @@
 //! [`crate::broker`] are thin wrappers that build the configuration.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use chainsim::{Action, Amount, AssetId, ChainId, ContractAddr, PartyId, Time, World};
-use contracts::{
-    ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, Hashkey, PartyKeys, PremiumSlotState,
-    PrincipalState,
+use chainsim::{
+    Action, Amount, AssetId, CallDesc, ChainId, ContractAddr, Label, PartyId, Time, World,
 };
-use cryptosim::{KeyPair, Secret};
+use contracts::{
+    ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, Hashkey, HashkeyVerifyCache, PartyKeys,
+    PremiumSlotState, PrincipalState,
+};
+use cryptosim::{Digest, KeyPair, Secret};
+use swapgraph::premiums::RedemptionPremiumEvaluator;
 use swapgraph::Digraph;
 
 use crate::outcome::{BalanceSnapshot, Payoffs};
@@ -53,6 +57,65 @@ pub struct ArcSpec {
     pub escrow_premium: Amount,
 }
 
+/// Cross-run caches shared by every execution of one deal configuration.
+///
+/// Everything a deal's contracts verify and its compliant parties sign is a
+/// pure function of the configuration (seeded keys and secrets, a fixed
+/// digraph and key table), so sweeps that execute the same configuration
+/// thousands of times memoise two artefacts:
+///
+/// * the contract-side hashkey verification memo ([`HashkeyVerifyCache`]),
+///   shared across the configuration's arc escrows *and* across runs;
+/// * the party-side hashkey constructions (the leader's initial signature
+///   and each path extension), keyed by the signer and the
+///   collision-resistant chain tag of the base being extended.
+///
+/// The caches affect performance only: every cached value is bit-for-bit
+/// what recomputation would produce, so reports and sweep summaries are
+/// unchanged (pinned by the determinism tests).
+#[derive(Clone, Debug, Default)]
+pub struct DealCaches {
+    verify: HashkeyVerifyCache,
+    /// `(signer, Some(base chain tag))` for extensions, `(leader, None)`
+    /// for the leader's initial hashkey.
+    hashkeys: Arc<Mutex<HashkeyMemo>>,
+    /// The phase deadlines, which require the digraph diameter (an
+    /// all-pairs BFS) — computed once per configuration instead of several
+    /// times per run.
+    deadlines: Arc<OnceLock<ArcDeadlines>>,
+    /// Compact Equation-(1) adjacency tables, built once per configuration
+    /// and shared with every arc escrow the configuration publishes.
+    premium_evaluator: Arc<OnceLock<RedemptionPremiumEvaluator>>,
+}
+
+/// Memoised hashkey constructions, keyed by signer and base chain tag.
+type HashkeyMemo = BTreeMap<(PartyId, Option<Digest>), Hashkey>;
+
+impl DealCaches {
+    /// Creates empty caches for one deal configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The leader's initial hashkey, signed once per configuration.
+    fn leader_hashkey(&self, leader: PartyId, secret: &Secret, keys: &KeyPair) -> Hashkey {
+        let mut cache = self.hashkeys.lock().expect("hashkey cache poisoned");
+        cache
+            .entry((leader, None))
+            .or_insert_with(|| Hashkey::from_leader(leader, secret.clone(), keys))
+            .clone()
+    }
+
+    /// `base` extended by `party`, signed once per (base, party).
+    fn extend_hashkey(&self, base: &Hashkey, party: PartyId, keys: &KeyPair) -> Hashkey {
+        let mut cache = self.hashkeys.lock().expect("hashkey cache poisoned");
+        cache
+            .entry((party, Some(base.chain_tag())))
+            .or_insert_with(|| base.extend(party, keys))
+            .clone()
+    }
+}
+
 /// Configuration of a hedged deal.
 #[derive(Clone, Debug)]
 pub struct DealConfig {
@@ -80,6 +143,8 @@ pub struct DealConfig {
     /// at configuration time because sweeps re-run the same config
     /// thousands of times.
     pub premium_float: Amount,
+    /// Cross-run caches (see [`DealCaches`]); fresh per configuration.
+    pub caches: DealCaches,
 }
 
 impl DealConfig {
@@ -127,17 +192,22 @@ impl DealConfig {
     }
 
     fn deadlines(&self) -> ArcDeadlines {
-        let d = self.delta_blocks;
-        let n = self.n();
-        let diam = self.digraph.diameter().unwrap_or(n);
-        ArcDeadlines {
-            escrow_premium_deadline: Time(n * d),
-            redemption_premium_deadline: Time(2 * n * d),
-            asset_escrow_deadline: Time(3 * n * d),
-            hashkey_timeout_base: Time(3 * n * d),
-            delta_blocks: d,
-            final_deadline: Time((4 * n + diam + 1) * d),
-        }
+        self.caches
+            .deadlines
+            .get_or_init(|| {
+                let d = self.delta_blocks;
+                let n = self.n();
+                let diam = self.digraph.diameter().unwrap_or(n);
+                ArcDeadlines {
+                    escrow_premium_deadline: Time(n * d),
+                    redemption_premium_deadline: Time(2 * n * d),
+                    asset_escrow_deadline: Time(3 * n * d),
+                    hashkey_timeout_base: Time(3 * n * d),
+                    delta_blocks: d,
+                    final_deadline: Time((4 * n + diam + 1) * d),
+                }
+            })
+            .clone()
     }
 
     fn final_deadline(&self) -> Time {
@@ -197,29 +267,63 @@ impl DealReport {
 }
 
 struct DealSetup {
-    world: World,
-    arc_addrs: BTreeMap<(PartyId, PartyId), ContractAddr>,
+    arc_addrs: Arc<BTreeMap<(PartyId, PartyId), ContractAddr>>,
     native_assets: Vec<AssetId>,
     traded_assets: Vec<AssetId>,
     secrets: BTreeMap<PartyId, Secret>,
     keypairs: BTreeMap<PartyId, KeyPair>,
 }
 
-fn arc_label(from: PartyId, to: PartyId) -> String {
-    format!("deal/arc-{}-{}", from.0, to.0)
+fn arc_label(from: PartyId, to: PartyId) -> Label {
+    Label::Arc { ns: "deal/arc", from: from.0, to: to.0 }
 }
 
-fn build(config: &DealConfig) -> DealSetup {
-    let mut world = World::new(1);
-    let mut chain_ids: BTreeMap<String, ChainId> = BTreeMap::new();
-    for name in &config.chains {
-        chain_ids.insert(name.clone(), world.add_chain(name.clone()));
+/// Key pairs and leader secrets are derived from fixed per-party seeds, and
+/// sweeps replay the same setup thousands of times — so the small-id range
+/// is derived once and cached. Results are identical to computing them
+/// per run.
+const CACHED_IDS: u64 = 64;
+
+fn party_keypair(party: PartyId) -> KeyPair {
+    static CACHE: OnceLock<Vec<KeyPair>> = OnceLock::new();
+    let seed = 1000 + u64::from(party.0);
+    if u64::from(party.0) < CACHED_IDS {
+        CACHE.get_or_init(|| (0..CACHED_IDS).map(|i| KeyPair::from_seed(1000 + i)).collect())
+            [party.0 as usize]
+            .clone()
+    } else {
+        KeyPair::from_seed(seed)
     }
-    let mut asset_ids: BTreeMap<String, AssetId> = BTreeMap::new();
+}
+
+fn leader_secret(leader: PartyId) -> Secret {
+    static CACHE: OnceLock<Vec<Secret>> = OnceLock::new();
+    let seed = 7000 + u64::from(leader.0);
+    if u64::from(leader.0) < CACHED_IDS {
+        CACHE.get_or_init(|| (0..CACHED_IDS).map(|i| Secret::from_seed(7000 + i)).collect())
+            [leader.0 as usize]
+            .clone()
+    } else {
+        Secret::from_seed(seed)
+    }
+}
+
+/// Builds the deal's world state inside `world`, which is reset first (its
+/// trace mode is preserved, so pooled sweep worlds stay trace-free while
+/// the public one-shot entry points keep full traces).
+fn build(world: &mut World, config: &DealConfig) -> DealSetup {
+    world.reset(1);
+    // Setup tables borrow their keys from the config: a sweep re-runs the
+    // same config thousands of times and must not re-clone its strings.
+    let mut chain_ids: BTreeMap<&str, ChainId> = BTreeMap::new();
+    for name in &config.chains {
+        chain_ids.insert(name.as_str(), world.add_chain(name));
+    }
+    let mut asset_ids: BTreeMap<&str, AssetId> = BTreeMap::new();
     for arc in &config.arcs {
-        if !asset_ids.contains_key(&arc.asset_name) {
+        if !asset_ids.contains_key(arc.asset_name.as_str()) {
             let id = world.register_asset(arc.asset_name.clone());
-            asset_ids.insert(arc.asset_name.clone(), id);
+            asset_ids.insert(arc.asset_name.as_str(), id);
         }
     }
     let parties = config.parties();
@@ -228,25 +332,29 @@ fn build(config: &DealConfig) -> DealSetup {
     let mut keys = PartyKeys::new();
     let mut keypairs = BTreeMap::new();
     for &party in &parties {
-        let pair = KeyPair::from_seed(1000 + u64::from(party.0));
+        let pair = party_keypair(party);
         world.directory_mut().register(&pair);
         keys.insert(party, pair.public());
         keypairs.insert(party, pair);
     }
+    let keys = Arc::new(keys);
 
     // Endowments: traded assets per the config, plus generous native
     // balances on every chain for premiums.
     for (party, chain, asset, amount) in &config.endowments {
-        let chain_id = chain_ids[chain];
-        let asset_id = asset_ids[asset];
+        let chain_id = chain_ids[chain.as_str()];
+        let asset_id = asset_ids[asset.as_str()];
         world.chain_mut(chain_id).mint(*party, asset_id, *amount);
     }
     let premium_float = config.premium_float;
-    let native_assets: Vec<AssetId> =
-        config.chains.iter().map(|name| world.chain(chain_ids[name]).native_asset()).collect();
+    let native_assets: Vec<AssetId> = config
+        .chains
+        .iter()
+        .map(|name| world.chain(chain_ids[name.as_str()]).native_asset())
+        .collect();
     for &party in &parties {
         for name in &config.chains {
-            let chain_id = chain_ids[name];
+            let chain_id = chain_ids[name.as_str()];
             let native = world.chain(chain_id).native_asset();
             world.chain_mut(chain_id).mint(party, native, premium_float);
         }
@@ -256,29 +364,35 @@ fn build(config: &DealConfig) -> DealSetup {
     let mut secrets = BTreeMap::new();
     let mut hashlocks = Vec::new();
     for &leader in &config.leaders {
-        let secret = Secret::from_seed(7000 + u64::from(leader.0));
+        let secret = leader_secret(leader);
         hashlocks.push((leader, secret.hashlock()));
         secrets.insert(leader, secret);
     }
+    let hashlocks = Arc::new(hashlocks);
+    let digraph = Arc::new(config.digraph.clone());
 
-    // One ArcEscrow per arc.
+    // One ArcEscrow per arc. All arcs (and, through the config-level
+    // caches, all runs of this config) share the hashkey-verification memo.
+    let verify_cache = config.caches.verify.clone();
     let deadlines = config.deadlines();
     let mut arc_addrs = BTreeMap::new();
     for arc in &config.arcs {
-        let chain_id = chain_ids[&arc.chain];
+        let chain_id = chain_ids[arc.chain.as_str()];
         let native = world.chain(chain_id).native_asset();
         let params = ArcEscrowParams {
             sender: arc.from,
             receiver: arc.to,
-            asset: asset_ids[&arc.asset_name],
+            asset: asset_ids[arc.asset_name.as_str()],
             amount: arc.amount,
             premium_asset: native,
             base_premium: config.base_premium,
             escrow_premium: arc.escrow_premium,
-            hashlocks: hashlocks.clone(),
-            digraph: config.digraph.clone(),
-            keys: keys.clone(),
+            hashlocks: Arc::clone(&hashlocks),
+            digraph: Arc::clone(&digraph),
+            keys: Arc::clone(&keys),
             deadlines: deadlines.clone(),
+            verify_cache: verify_cache.clone(),
+            premium_evaluator: Arc::clone(&config.caches.premium_evaluator),
         };
         let addr = world.publish_labeled(
             chain_id,
@@ -290,7 +404,7 @@ fn build(config: &DealConfig) -> DealSetup {
     }
 
     let traded_assets: Vec<AssetId> = asset_ids.values().copied().collect();
-    DealSetup { world, arc_addrs, native_assets, traded_assets, secrets, keypairs }
+    DealSetup { arc_addrs: Arc::new(arc_addrs), native_assets, traded_assets, secrets, keypairs }
 }
 
 fn arc_contract(world: &World, addr: ContractAddr) -> &ArcEscrow {
@@ -312,49 +426,73 @@ fn arc_needs_settle(contract: &ArcEscrow, now: Time) -> bool {
     escrow_premium_stuck || principal_stuck || redemption_stuck
 }
 
+/// The immutable context one party's five step closures share.
+///
+/// Wrapped in a single `Arc` so building a party's script costs five `Arc`
+/// clones instead of re-cloning the arc tables and adjacency lists into
+/// every phase closure.
+struct PartyCtx {
+    arc_addrs: Arc<BTreeMap<(PartyId, PartyId), ContractAddr>>,
+    out_arcs: Vec<(PartyId, PartyId)>,
+    in_arcs: Vec<(PartyId, PartyId)>,
+    leader_list: Vec<PartyId>,
+}
+
 /// Builds the protocol script for one party of the deal.
 fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step> {
-    let digraph = config.digraph.clone();
-    let leaders = config.leaders.clone();
-    let arc_addrs = setup.arc_addrs.clone();
-    let out_arcs: Vec<(PartyId, PartyId)> =
-        digraph.out_arcs(me.0).into_iter().map(|(u, v)| (PartyId(u), PartyId(v))).collect();
-    let in_arcs: Vec<(PartyId, PartyId)> =
-        digraph.in_arcs(me.0).into_iter().map(|(u, v)| (PartyId(u), PartyId(v))).collect();
+    let ctx = Arc::new(PartyCtx {
+        arc_addrs: Arc::clone(&setup.arc_addrs),
+        out_arcs: config
+            .digraph
+            .out_arcs(me.0)
+            .into_iter()
+            .map(|(u, v)| (PartyId(u), PartyId(v)))
+            .collect(),
+        in_arcs: config
+            .digraph
+            .in_arcs(me.0)
+            .into_iter()
+            .map(|(u, v)| (PartyId(u), PartyId(v)))
+            .collect(),
+        leader_list: config.leaders.iter().copied().collect(),
+    });
     let deadlines = config.deadlines();
     let wait_for_incoming = config.wait_for_incoming.contains(&me);
     let my_secret = setup.secrets.get(&me).cloned();
     let my_keys = setup.keypairs[&me].clone();
-    let leader_list: Vec<PartyId> = leaders.iter().copied().collect();
     let final_deadline = config.final_deadline();
 
     let mut steps = Vec::new();
 
     // Phase 1: escrow premiums on outgoing arcs.
     {
-        let arc_addrs = arc_addrs.clone();
-        let out_arcs = out_arcs.clone();
-        let in_arcs = in_arcs.clone();
+        let ctx = Arc::clone(&ctx);
         let give_up = deadlines.escrow_premium_deadline;
         steps.push(Step::new("deposit escrow premiums", move |world: &World| {
             if world.now().has_reached(give_up) {
                 return StepOutcome::Complete(vec![]);
             }
             let ready = !wait_for_incoming
-                || in_arcs.iter().all(|arc| {
-                    arc_contract(world, arc_addrs[arc]).escrow_premium_state()
+                || ctx.in_arcs.iter().all(|arc| {
+                    arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_state()
                         != PremiumSlotState::NotDeposited
                 });
             if !ready {
                 return StepOutcome::Wait;
             }
-            let actions = out_arcs
+            let actions = ctx
+                .out_arcs
                 .iter()
                 .map(|arc| {
                     Action::call(
-                        arc_addrs[arc],
+                        ctx.arc_addrs[arc],
                         ArcEscrowMsg::DepositEscrowPremium,
-                        format!("{} deposits escrow premium on ({}, {})", arc.0, arc.0, arc.1),
+                        CallDesc::Arc {
+                            party: arc.0,
+                            verb: "deposits escrow premium on",
+                            from: arc.0,
+                            to: arc.1,
+                        },
                     )
                 })
                 .collect();
@@ -364,17 +502,14 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
 
     // Phase 2: redemption premiums, one obligation per leader.
     {
-        let arc_addrs = arc_addrs.clone();
-        let out_arcs = out_arcs.clone();
-        let in_arcs = in_arcs.clone();
-        let leader_list = leader_list.clone();
+        let ctx = Arc::clone(&ctx);
         let give_up = deadlines.redemption_premium_deadline;
         let escrow_premium_deadline = deadlines.escrow_premium_deadline;
         let mut done: BTreeSet<PartyId> = BTreeSet::new();
         steps.push(Step::new("deposit redemption premiums", move |world: &World| {
             let now = world.now();
             let mut actions = Vec::new();
-            for &leader in &leader_list {
+            for &leader in &ctx.leader_list {
                 if done.contains(&leader) {
                     continue;
                 }
@@ -385,19 +520,21 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                 if leader == me {
                     // Deposit only once every incoming escrow premium arrived
                     // (Lemma 5 behaviour); give up silently otherwise.
-                    let all_in = in_arcs.iter().all(|arc| {
-                        arc_contract(world, arc_addrs[arc]).escrow_premium_state()
+                    let all_in = ctx.in_arcs.iter().all(|arc| {
+                        arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_state()
                             != PremiumSlotState::NotDeposited
                     });
                     if all_in {
-                        for arc in &in_arcs {
+                        for arc in &ctx.in_arcs {
                             actions.push(Action::call(
-                                arc_addrs[arc],
+                                ctx.arc_addrs[arc],
                                 ArcEscrowMsg::DepositRedemptionPremium { leader, path: vec![me] },
-                                format!(
-                                    "{me} deposits own redemption premium on ({}, {})",
-                                    arc.0, arc.1
-                                ),
+                                CallDesc::Arc {
+                                    party: me,
+                                    verb: "deposits own redemption premium on",
+                                    from: arc.0,
+                                    to: arc.1,
+                                },
                             ));
                         }
                         done.insert(leader);
@@ -408,8 +545,8 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                 }
                 // Follower rule: wait for a premium for this leader on some
                 // outgoing arc, then extend its path onto incoming arcs.
-                let observed = out_arcs.iter().find_map(|arc| {
-                    arc_contract(world, arc_addrs[arc])
+                let observed = ctx.out_arcs.iter().find_map(|arc| {
+                    arc_contract(world, ctx.arc_addrs[arc])
                         .redemption_premium_path(leader)
                         .map(|path| path.to_vec())
                 });
@@ -420,23 +557,27 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                     }
                     let mut extended = vec![me];
                     extended.extend_from_slice(&path);
-                    for arc in &in_arcs {
+                    for arc in &ctx.in_arcs {
                         actions.push(Action::call(
-                            arc_addrs[arc],
+                            ctx.arc_addrs[arc],
                             ArcEscrowMsg::DepositRedemptionPremium {
                                 leader,
                                 path: extended.clone(),
                             },
-                            format!(
-                                "{me} passes redemption premium for {leader} to ({}, {})",
-                                arc.0, arc.1
-                            ),
+                            CallDesc::SubjectArc {
+                                party: me,
+                                verb: "passes redemption premium for",
+                                subject: leader,
+                                link: "to",
+                                from: arc.0,
+                                to: arc.1,
+                            },
                         ));
                     }
                     done.insert(leader);
                 }
             }
-            if done.len() == leader_list.len() {
+            if done.len() == ctx.leader_list.len() {
                 StepOutcome::Complete(actions)
             } else if actions.is_empty() {
                 StepOutcome::Wait
@@ -448,9 +589,7 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
 
     // Phase 3: escrow assets on outgoing arcs.
     {
-        let arc_addrs = arc_addrs.clone();
-        let out_arcs = out_arcs.clone();
-        let in_arcs = in_arcs.clone();
+        let ctx = Arc::clone(&ctx);
         let phase_start = deadlines.redemption_premium_deadline;
         let give_up = deadlines.asset_escrow_deadline;
         steps.push(Step::new("escrow assets", move |world: &World| {
@@ -459,9 +598,9 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                 return StepOutcome::Complete(vec![]);
             }
             let ready = if wait_for_incoming {
-                in_arcs.iter().all(|arc| {
+                ctx.in_arcs.iter().all(|arc| {
                     matches!(
-                        arc_contract(world, arc_addrs[arc]).principal_state(),
+                        arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
                         PrincipalState::Held | PrincipalState::Redeemed
                     )
                 })
@@ -474,14 +613,20 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
             // Leaders (and everyone else) only escrow on arcs whose escrow
             // premium is activated; an unactivated arc means the receiver
             // skipped its redemption premiums, so escrowing there is unsafe.
-            let actions: Vec<Action> = out_arcs
+            let actions: Vec<Action> = ctx
+                .out_arcs
                 .iter()
-                .filter(|arc| arc_contract(world, arc_addrs[arc]).escrow_premium_activated())
+                .filter(|arc| arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_activated())
                 .map(|arc| {
                     Action::call(
-                        arc_addrs[arc],
+                        ctx.arc_addrs[arc],
                         ArcEscrowMsg::EscrowAsset,
-                        format!("{} escrows its asset on ({}, {})", arc.0, arc.0, arc.1),
+                        CallDesc::Arc {
+                            party: arc.0,
+                            verb: "escrows its asset on",
+                            from: arc.0,
+                            to: arc.1,
+                        },
                     )
                 })
                 .collect();
@@ -491,16 +636,14 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
 
     // Phase 4: release and propagate hashkeys.
     {
-        let arc_addrs = arc_addrs.clone();
-        let out_arcs = out_arcs.clone();
-        let in_arcs = in_arcs.clone();
-        let leader_list = leader_list.clone();
+        let ctx = Arc::clone(&ctx);
+        let caches = config.caches.clone();
         let give_up = final_deadline;
         let mut done: BTreeSet<PartyId> = BTreeSet::new();
         steps.push(Step::new("release and propagate hashkeys", move |world: &World| {
             let now = world.now();
             let mut actions = Vec::new();
-            for &leader in &leader_list {
+            for &leader in &ctx.leader_list {
                 if done.contains(&leader) {
                     continue;
                 }
@@ -513,50 +656,57 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                     // funded (the normal case), or — per Lemma 4 — once it is
                     // clear this party escrowed nothing itself, so releasing
                     // is free and recovers its redemption premiums.
-                    let all_in = !in_arcs.is_empty()
-                        && in_arcs.iter().all(|arc| {
+                    let all_in = !ctx.in_arcs.is_empty()
+                        && ctx.in_arcs.iter().all(|arc| {
                             matches!(
-                                arc_contract(world, arc_addrs[arc]).principal_state(),
+                                arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
                                 PrincipalState::Held | PrincipalState::Redeemed
                             )
                         });
-                    let escrowed_nothing = out_arcs.iter().all(|arc| {
+                    let escrowed_nothing = ctx.out_arcs.iter().all(|arc| {
                         matches!(
-                            arc_contract(world, arc_addrs[arc]).principal_state(),
+                            arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
                             PrincipalState::NotEscrowed
                         )
                     });
                     let past_escrow_phase = now.has_reached(
-                        arc_contract(world, arc_addrs[&in_arcs[0]])
+                        arc_contract(world, ctx.arc_addrs[&ctx.in_arcs[0]])
                             .params()
                             .deadlines
                             .asset_escrow_deadline,
                     );
                     if all_in || (escrowed_nothing && past_escrow_phase) {
-                        my_secret.clone().map(|secret| Hashkey::from_leader(me, secret, &my_keys))
+                        my_secret.as_ref().map(|s| caches.leader_hashkey(me, s, &my_keys))
                     } else {
                         None
                     }
                 } else {
                     // Learn the hashkey from an outgoing arc and extend it.
-                    out_arcs.iter().find_map(|arc| {
-                        arc_contract(world, arc_addrs[arc])
+                    ctx.out_arcs.iter().find_map(|arc| {
+                        arc_contract(world, ctx.arc_addrs[arc])
                             .presented_hashkey(leader)
-                            .map(|k| k.extend(me, &my_keys))
+                            .map(|k| caches.extend_hashkey(k, me, &my_keys))
                     })
                 };
                 if let Some(hashkey) = hashkey {
-                    for arc in &in_arcs {
+                    for arc in &ctx.in_arcs {
                         actions.push(Action::call(
-                            arc_addrs[arc],
+                            ctx.arc_addrs[arc],
                             ArcEscrowMsg::PresentHashkey { hashkey: hashkey.clone() },
-                            format!("{me} presents hashkey of {leader} on ({}, {})", arc.0, arc.1),
+                            CallDesc::SubjectArc {
+                                party: me,
+                                verb: "presents hashkey of",
+                                subject: leader,
+                                link: "on",
+                                from: arc.0,
+                                to: arc.1,
+                            },
                         ));
                     }
                     done.insert(leader);
                 }
             }
-            if done.len() == leader_list.len() {
+            if done.len() == ctx.leader_list.len() {
                 StepOutcome::Complete(actions)
             } else if actions.is_empty() {
                 StepOutcome::Wait
@@ -568,17 +718,17 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
 
     // Recovery: settle every incident arc after the final deadline.
     {
-        let arc_addrs = arc_addrs.clone();
+        let ctx = Arc::clone(&ctx);
         let incident: Vec<(PartyId, PartyId)> =
-            out_arcs.iter().chain(in_arcs.iter()).copied().collect();
+            ctx.out_arcs.iter().chain(ctx.in_arcs.iter()).copied().collect();
         steps.push(Step::new("settle incident arcs", move |world: &World| {
             let now = world.now();
             let unresolved: Vec<&(PartyId, PartyId)> = incident
                 .iter()
-                .filter(|arc| arc_needs_settle(arc_contract(world, arc_addrs[arc]), now))
+                .filter(|arc| arc_needs_settle(arc_contract(world, ctx.arc_addrs[arc]), now))
                 .collect();
             let anything_pending = incident.iter().any(|arc| {
-                let c = arc_contract(world, arc_addrs[arc]);
+                let c = arc_contract(world, ctx.arc_addrs[arc]);
                 c.escrow_premium_state() == PremiumSlotState::Held
                     || c.principal_state() == PrincipalState::Held
                     || c.params()
@@ -596,9 +746,9 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                 .into_iter()
                 .map(|arc| {
                     Action::call(
-                        arc_addrs[arc],
+                        ctx.arc_addrs[arc],
                         ArcEscrowMsg::Settle,
-                        format!("{me} settles ({}, {})", arc.0, arc.1),
+                        CallDesc::Arc { party: me, verb: "settles", from: arc.0, to: arc.1 },
                     )
                 })
                 .collect();
@@ -613,11 +763,26 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
 ///
 /// Parties not present in `strategies` default to [`Strategy::Compliant`].
 pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -> DealReport {
-    let mut setup = build(config);
+    run_deal_in(&mut World::new(1), config, strategies)
+}
+
+/// Runs a hedged deal inside a caller-provided world, which is reset first.
+///
+/// This is the hot-path entry point for sweep engines: a pooled world keeps
+/// its ledgers, contract stores and trace buffers allocated across
+/// thousands of scenario runs, and its [`chainsim::TraceMode`] decides
+/// whether the run records event traces. The report is identical to
+/// [`run_deal`]'s for any world state and trace mode.
+pub fn run_deal_in(
+    world: &mut World,
+    config: &DealConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+) -> DealReport {
+    let setup = build(world, config);
     let parties = config.parties();
     let mut all_assets = setup.traded_assets.clone();
     all_assets.extend(setup.native_assets.iter().copied());
-    let before = BalanceSnapshot::capture(&setup.world, &parties, &all_assets);
+    let before = BalanceSnapshot::capture(world, &parties, &all_assets);
 
     let actors: Vec<ScriptedParty> = parties
         .iter()
@@ -633,9 +798,9 @@ pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -
         })
         .collect();
     let max_rounds = config.final_deadline().height() + 3 * config.delta_blocks + 4;
-    let run_report = run_parties(&mut setup.world, actors, max_rounds);
+    let run_report = run_parties(world, actors, max_rounds);
 
-    let after = BalanceSnapshot::capture(&setup.world, &parties, &all_assets);
+    let after = BalanceSnapshot::capture(world, &parties, &all_assets);
     let payoffs = Payoffs::between(&before, &after);
 
     let mut outcomes: BTreeMap<PartyId, DealPartyOutcome> = BTreeMap::new();
@@ -646,8 +811,8 @@ pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -
             premium_payoff: payoffs.total_over(party, &setup.native_assets).value(),
             ..DealPartyOutcome::default()
         };
-        for (arc, addr) in &setup.arc_addrs {
-            let contract = arc_contract(&setup.world, *addr);
+        for (arc, addr) in setup.arc_addrs.iter() {
+            let contract = arc_contract(world, *addr);
             if contract.principal_state() != PrincipalState::Redeemed {
                 completed = false;
             }

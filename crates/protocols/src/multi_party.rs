@@ -76,6 +76,7 @@ pub fn swap_config(
         delta_blocks,
         endowments,
         premium_float,
+        caches: Default::default(),
     }
 }
 
@@ -123,6 +124,16 @@ pub fn run_multi_party_swap(
     strategies: &BTreeMap<PartyId, Strategy>,
 ) -> DealReport {
     run_deal(config, strategies)
+}
+
+/// Runs a hedged multi-party swap inside a caller-provided world; see
+/// [`crate::deal::run_deal_in`].
+pub fn run_multi_party_swap_in(
+    world: &mut chainsim::World,
+    config: &DealConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+) -> DealReport {
+    crate::deal::run_deal_in(world, config, strategies)
 }
 
 #[cfg(test)]

@@ -122,7 +122,6 @@ pub struct TwoPartyReport {
 }
 
 struct Setup {
-    world: World,
     apricot_token: AssetId,
     banana_token: AssetId,
     apricot_native: AssetId,
@@ -137,8 +136,8 @@ const APRICOT_LABEL: &str = "two-party/apricot-escrow";
 /// See [`APRICOT_LABEL`].
 const BANANA_LABEL: &str = "two-party/banana-escrow";
 
-fn build_world(config: &TwoPartyConfig) -> (World, AssetId, AssetId, AssetId, AssetId) {
-    let mut world = World::new(1);
+fn build_world(world: &mut World, config: &TwoPartyConfig) -> (AssetId, AssetId, AssetId, AssetId) {
+    world.reset(1);
     let apricot = world.add_chain("apricot");
     let banana = world.add_chain("banana");
     let apricot_native = world.chain(apricot).native_asset();
@@ -150,12 +149,11 @@ fn build_world(config: &TwoPartyConfig) -> (World, AssetId, AssetId, AssetId, As
     world.chain_mut(banana).mint(BOB, banana_token, config.bob_tokens);
     world.chain_mut(banana).mint(ALICE, banana_native, config.premium_a + config.premium_b);
     world.chain_mut(apricot).mint(BOB, apricot_native, config.premium_b);
-    (world, apricot_token, banana_token, apricot_native, banana_native)
+    (apricot_token, banana_token, apricot_native, banana_native)
 }
 
-fn hedged_setup(config: &TwoPartyConfig) -> Setup {
-    let (mut world, apricot_token, banana_token, apricot_native, banana_native) =
-        build_world(config);
+fn hedged_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
+    let (apricot_token, banana_token, apricot_native, banana_native) = build_world(world, config);
     let apricot = world.chains().next().expect("apricot chain").id();
     let banana = world.chains().nth(1).expect("banana chain").id();
     let secret = Secret::from_seed(0xA11CE);
@@ -198,7 +196,6 @@ fn hedged_setup(config: &TwoPartyConfig) -> Setup {
         })),
     );
     Setup {
-        world,
         apricot_token,
         banana_token,
         apricot_native,
@@ -209,9 +206,8 @@ fn hedged_setup(config: &TwoPartyConfig) -> Setup {
     }
 }
 
-fn base_setup(config: &TwoPartyConfig) -> Setup {
-    let (mut world, apricot_token, banana_token, apricot_native, banana_native) =
-        build_world(config);
+fn base_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
+    let (apricot_token, banana_token, apricot_native, banana_native) = build_world(world, config);
     let apricot = world.chains().next().expect("apricot chain").id();
     let banana = world.chains().nth(1).expect("banana chain").id();
     let secret = Secret::from_seed(0xA11CE);
@@ -245,7 +241,6 @@ fn base_setup(config: &TwoPartyConfig) -> Setup {
         )),
     );
     Setup {
-        world,
         apricot_token,
         banana_token,
         apricot_native,
@@ -514,19 +509,20 @@ fn base_recovery_step(
 }
 
 fn run(
+    world: &mut World,
     config: &TwoPartyConfig,
     protocol: SwapProtocol,
     alice: Strategy,
     bob: Strategy,
 ) -> TwoPartyReport {
-    let mut setup = match protocol {
-        SwapProtocol::Hedged => hedged_setup(config),
-        SwapProtocol::Base => base_setup(config),
+    let setup = match protocol {
+        SwapProtocol::Hedged => hedged_setup(world, config),
+        SwapProtocol::Base => base_setup(world, config),
     };
     let parties = [ALICE, BOB];
     let assets =
         [setup.apricot_token, setup.banana_token, setup.apricot_native, setup.banana_native];
-    let before = BalanceSnapshot::capture(&setup.world, &parties, &assets);
+    let before = BalanceSnapshot::capture(world, &parties, &assets);
 
     let (alice_steps, bob_steps) = match protocol {
         SwapProtocol::Hedged => {
@@ -543,47 +539,47 @@ fn run(
         ScriptedParty::new(BOB, bob_steps, bob),
     ];
     let max_rounds = config.delta_blocks * 8 + 4;
-    let run_report = run_parties(&mut setup.world, actors, max_rounds);
+    let run_report = run_parties(world, actors, max_rounds);
 
-    let after = BalanceSnapshot::capture(&setup.world, &parties, &assets);
+    let after = BalanceSnapshot::capture(world, &parties, &assets);
     let payoffs = Payoffs::between(&before, &after);
 
     let (alice_lockup, bob_lockup, alice_redeemed, bob_redeemed) = match protocol {
         SwapProtocol::Hedged => {
-            let apricot = hedged_contract(&setup.world, setup.apricot_contract);
-            let banana = hedged_contract(&setup.world, setup.banana_contract);
+            let apricot = hedged_contract(world, setup.apricot_contract);
+            let banana = hedged_contract(world, setup.banana_contract);
             (
                 lockup_from_times(
                     apricot.escrowed_at(),
                     apricot.principal_settled_at(),
                     apricot.principal_state() == HedgedPrincipalState::Redeemed,
-                    setup.world.now(),
+                    world.now(),
                 ),
                 lockup_from_times(
                     banana.escrowed_at(),
                     banana.principal_settled_at(),
                     banana.principal_state() == HedgedPrincipalState::Redeemed,
-                    setup.world.now(),
+                    world.now(),
                 ),
                 apricot.principal_state() == HedgedPrincipalState::Redeemed,
                 banana.principal_state() == HedgedPrincipalState::Redeemed,
             )
         }
         SwapProtocol::Base => {
-            let apricot = htlc_contract(&setup.world, setup.apricot_contract);
-            let banana = htlc_contract(&setup.world, setup.banana_contract);
+            let apricot = htlc_contract(world, setup.apricot_contract);
+            let banana = htlc_contract(world, setup.banana_contract);
             (
                 lockup_from_times(
                     apricot.escrowed_at(),
                     apricot.settled_at(),
                     apricot.state() == HtlcState::Redeemed,
-                    setup.world.now(),
+                    world.now(),
                 ),
                 lockup_from_times(
                     banana.escrowed_at(),
                     banana.settled_at(),
                     banana.state() == HtlcState::Redeemed,
-                    setup.world.now(),
+                    world.now(),
                 ),
                 apricot.state() == HtlcState::Redeemed,
                 banana.state() == HtlcState::Redeemed,
@@ -680,12 +676,35 @@ fn hedged_check(
 
 /// Runs the hedged two-party swap (§5.2) with the given strategies.
 pub fn run_hedged_swap(config: &TwoPartyConfig, alice: Strategy, bob: Strategy) -> TwoPartyReport {
-    run(config, SwapProtocol::Hedged, alice, bob)
+    run(&mut World::new(1), config, SwapProtocol::Hedged, alice, bob)
 }
 
 /// Runs the unhedged base swap (§5.1) with the given strategies.
 pub fn run_base_swap(config: &TwoPartyConfig, alice: Strategy, bob: Strategy) -> TwoPartyReport {
-    run(config, SwapProtocol::Base, alice, bob)
+    run(&mut World::new(1), config, SwapProtocol::Base, alice, bob)
+}
+
+/// Runs the hedged two-party swap inside a caller-provided world (reset
+/// first; its [`chainsim::TraceMode`] is preserved). Hot-path variant of
+/// [`run_hedged_swap`] for sweep engines that pool worlds across scenarios.
+pub fn run_hedged_swap_in(
+    world: &mut World,
+    config: &TwoPartyConfig,
+    alice: Strategy,
+    bob: Strategy,
+) -> TwoPartyReport {
+    run(world, config, SwapProtocol::Hedged, alice, bob)
+}
+
+/// Runs the unhedged base swap inside a caller-provided world; see
+/// [`run_hedged_swap_in`].
+pub fn run_base_swap_in(
+    world: &mut World,
+    config: &TwoPartyConfig,
+    alice: Strategy,
+    bob: Strategy,
+) -> TwoPartyReport {
+    run(world, config, SwapProtocol::Base, alice, bob)
 }
 
 #[cfg(test)]

@@ -339,6 +339,25 @@ impl Digraph {
         paths
     }
 
+    /// Returns `true` iff `path` is a simple directed path of this digraph
+    /// from `from` to `to`.
+    ///
+    /// Equivalent to `self.simple_paths(from, to).contains(&path.to_vec())`
+    /// but `O(path)` instead of enumerating every simple path — contract
+    /// validation calls this on every premium deposit of a sweep.
+    pub fn is_simple_path(&self, from: Vertex, to: Vertex, path: &[Vertex]) -> bool {
+        if path.first() != Some(&from) || path.last() != Some(&to) {
+            return false;
+        }
+        let mut seen: BTreeSet<Vertex> = BTreeSet::new();
+        for &v in path {
+            if !self.vertices.contains(&v) || !seen.insert(v) {
+                return false;
+            }
+        }
+        path.windows(2).all(|pair| self.arcs.contains(&(pair[0], pair[1])))
+    }
+
     fn simple_paths_rec(
         &self,
         at: Vertex,
@@ -479,6 +498,24 @@ mod tests {
             g.simple_paths(1, 0),
             vec![vec![1, 0], vec![1, 2, 0]] // arc (A,B): paths (B,A) and (B,C,A)
         );
+    }
+
+    #[test]
+    fn is_simple_path_agrees_with_enumeration() {
+        for g in [Digraph::figure3(), Digraph::complete(4), Digraph::cycle(5)] {
+            for from in g.vertices() {
+                for to in g.vertices() {
+                    let enumerated = g.simple_paths(from, to);
+                    for path in &enumerated {
+                        assert!(g.is_simple_path(from, to, path), "{from}->{to} {path:?}");
+                    }
+                    // Non-paths are rejected.
+                    assert!(!g.is_simple_path(from, to, &[]));
+                    assert!(!g.is_simple_path(from, to, &[from, from, to]));
+                    assert!(!g.is_simple_path(from, to, &[from, 99, to]));
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Machine-readable model-checking throughput report.
+//!
+//! Runs the standard sweep families at 1, 2 and N worker threads, measures
+//! scenarios/second, and writes `BENCH_modelcheck.json` so future
+//! optimisation work has a recorded trajectory to compare against. The
+//! committed copy of that file holds the numbers measured for this
+//! revision; the `baseline` block preserves the pre-zero-allocation
+//! numbers (PR 2) on the same class of machine.
+//!
+//! ```text
+//! cargo run --release --example bench_report
+//! ```
+//!
+//! CI runs this as a release-mode smoke test: it must complete and produce
+//! valid JSON, but no timing assertions are made (CI boxes are noisy).
+
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use sore_loser_hedging::modelcheck::engine::{ParallelSweep, ScenarioGen};
+use sore_loser_hedging::modelcheck::multi_party_families;
+use sore_loser_hedging::modelcheck::scenarios::{AuctionSweep, BootstrapSweep, TwoPartySweep};
+use sore_loser_hedging::protocols::two_party::TwoPartyConfig;
+
+/// 1-thread scenarios/second measured at PR 2 (the `BTreeMap` ledger,
+/// eager `format!` traces and per-scenario world construction), kept for
+/// trajectory. Measured on the same single-core container class that
+/// produced the committed current numbers.
+const BASELINE_PR2: &[(&str, u64)] =
+    &[("multi-party n=3", 19_556), ("multi-party n=4", 8_275), ("multi-party n=5", 6_938)];
+
+struct FamilySet {
+    name: &'static str,
+    gens: Vec<Box<dyn ScenarioGen>>,
+}
+
+fn family_sets() -> Vec<FamilySet> {
+    let mut sets = Vec::new();
+    for n in [3u32, 4, 5] {
+        sets.push(FamilySet {
+            name: match n {
+                3 => "multi-party n=3",
+                4 => "multi-party n=4",
+                _ => "multi-party n=5",
+            },
+            gens: multi_party_families(n)
+                .into_iter()
+                .map(|f| Box::new(f) as Box<dyn ScenarioGen>)
+                .collect(),
+        });
+    }
+    sets.push(FamilySet {
+        name: "two-party hedged+base",
+        gens: vec![
+            Box::new(TwoPartySweep::hedged(TwoPartyConfig::default())),
+            Box::new(TwoPartySweep::base(TwoPartyConfig::default())),
+        ],
+    });
+    sets.push(FamilySet { name: "auction", gens: vec![Box::new(AuctionSweep::default())] });
+    sets.push(FamilySet {
+        name: "bootstrap rounds 1-3",
+        gens: (1..=3)
+            .map(|rounds| {
+                Box::new(BootstrapSweep { a: 5_000, b: 20_000, ratio: 10, rounds })
+                    as Box<dyn ScenarioGen>
+            })
+            .collect(),
+    });
+    sets
+}
+
+/// Scenarios/second for one family set at one thread count (one warm-up
+/// sweep, then the faster of two measured sweeps).
+fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, f64) {
+    let refs: Vec<&dyn ScenarioGen> = gens.iter().map(|g| g.as_ref() as &dyn ScenarioGen).collect();
+    let sweep = ParallelSweep::new(threads);
+    let warmup = sweep.run_all(&refs);
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let summary = sweep.run_all(&refs);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(summary.runs, warmup.runs, "sweeps must be deterministic");
+        best = best.min(elapsed);
+    }
+    (warmup.runs, warmup.runs as f64 / best.max(1e-9))
+}
+
+fn main() {
+    let max_threads =
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(8);
+    let mut thread_counts = vec![1usize, 2];
+    if !thread_counts.contains(&max_threads) {
+        thread_counts.push(max_threads);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"modelcheck_parallel\",\n");
+    json.push_str("  \"unit\": \"scenarios_per_sec\",\n");
+    let _ = writeln!(
+        json,
+        "  \"thread_counts\": [{}],",
+        thread_counts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    json.push_str("  \"baseline_pr2_1_thread\": {\n");
+    for (i, (name, rate)) in BASELINE_PR2.iter().enumerate() {
+        let comma = if i + 1 < BASELINE_PR2.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {rate}{comma}");
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"families\": [\n");
+
+    let sets = family_sets();
+    println!("\n=== model-checking throughput (scenarios/sec) ===");
+    println!("family set | scenarios | threads | scenarios/sec");
+    for (i, set) in sets.iter().enumerate() {
+        let mut runs = 0usize;
+        let mut rates = Vec::new();
+        for &threads in &thread_counts {
+            let (r, rate) = measure(&set.gens, threads);
+            runs = r;
+            println!("{} | {r} | {threads} | {rate:.0}", set.name);
+            rates.push((threads, rate));
+        }
+        let comma = if i + 1 < sets.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"family\": \"{}\",", set.name);
+        let _ = writeln!(json, "      \"scenarios\": {runs},");
+        let _ = writeln!(json, "      \"scenarios_per_sec\": {{");
+        for (j, (threads, rate)) in rates.iter().enumerate() {
+            let inner_comma = if j + 1 < rates.len() { "," } else { "" };
+            let _ = writeln!(json, "        \"{threads}\": {rate:.0}{inner_comma}");
+        }
+        let _ = writeln!(json, "      }}");
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_modelcheck.json", &json).expect("write BENCH_modelcheck.json");
+    println!("\nwrote BENCH_modelcheck.json ({} bytes)", json.len());
+}

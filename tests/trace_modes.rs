@@ -1,0 +1,180 @@
+//! Trace-mode determinism: `TraceMode::Off` must change observability only.
+//!
+//! The zero-allocation hot path lets sweeps run worlds with event tracing
+//! disabled and reuse pooled worlds across scenarios. Neither may change a
+//! single observable outcome: this suite drives all five protocol entry
+//! points through `TraceMode::Off` and `TraceMode::Full` worlds (both fresh
+//! and deliberately dirty, to exercise `World::reset`) and asserts payoffs
+//! and reports are identical, then pins that `CheckSummary` is bit-for-bit
+//! identical across thread counts *and* trace modes.
+
+use std::collections::BTreeMap;
+
+use sore_loser_hedging::chainsim::{Amount, PartyId, TraceMode, World};
+use sore_loser_hedging::modelcheck::engine::ParallelSweep;
+use sore_loser_hedging::modelcheck::scenarios::{DealSweep, TwoPartySweep};
+use sore_loser_hedging::modelcheck::{check_auction, check_bootstrap};
+use sore_loser_hedging::protocols::auction::{run_auction_in, AuctionConfig, AuctioneerBehaviour};
+use sore_loser_hedging::protocols::bootstrap::{run_bootstrap_in, BootstrapDeviation};
+use sore_loser_hedging::protocols::broker::{run_brokered_sale_in, BrokerConfig};
+use sore_loser_hedging::protocols::multi_party::{figure3_config, run_multi_party_swap_in};
+use sore_loser_hedging::protocols::script::Strategy;
+use sore_loser_hedging::protocols::two_party::{
+    run_base_swap_in, run_hedged_swap_in, TwoPartyConfig, SCRIPT_STEPS,
+};
+
+/// A world in the given trace mode that has already hosted an unrelated
+/// run, so entry points must prove `World::reset` leaves no residue.
+fn dirty_world(trace: TraceMode) -> World {
+    let mut world = World::with_trace(1, trace);
+    let chain = world.add_chain("leftover");
+    let coin = world.register_asset("leftover-coin");
+    world.chain_mut(chain).mint(PartyId(9), coin, Amount::new(123));
+    world.advance_blocks(17);
+    world
+}
+
+fn worlds() -> Vec<World> {
+    vec![
+        World::with_trace(1, TraceMode::Full),
+        World::with_trace(1, TraceMode::Off),
+        dirty_world(TraceMode::Full),
+        dirty_world(TraceMode::Off),
+    ]
+}
+
+#[test]
+fn two_party_swaps_are_identical_across_trace_modes_and_world_reuse() {
+    let config = TwoPartyConfig::default();
+    for alice in Strategy::all(SCRIPT_STEPS) {
+        for bob in Strategy::all(SCRIPT_STEPS) {
+            for hedged in [true, false] {
+                let mut reports = worlds().into_iter().map(|mut world| {
+                    if hedged {
+                        run_hedged_swap_in(&mut world, &config, alice, bob)
+                    } else {
+                        run_base_swap_in(&mut world, &config, alice, bob)
+                    }
+                });
+                let reference = reports.next().unwrap();
+                for report in reports {
+                    assert_eq!(report.payoffs, reference.payoffs, "alice={alice}, bob={bob}");
+                    assert_eq!(report.swap_completed, reference.swap_completed);
+                    assert_eq!(report.hedged_for_alice, reference.hedged_for_alice);
+                    assert_eq!(report.hedged_for_bob, reference.hedged_for_bob);
+                    assert_eq!(report.failed_actions, reference.failed_actions);
+                    assert_eq!(report.rounds, reference.rounds);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_party_swap_is_identical_across_trace_modes_and_world_reuse() {
+    let config = figure3_config();
+    for party in config.parties() {
+        for stop in 0..5usize {
+            let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop))]);
+            let mut reports = worlds()
+                .into_iter()
+                .map(|mut world| run_multi_party_swap_in(&mut world, &config, &strategies));
+            let reference = reports.next().unwrap();
+            for report in reports {
+                assert_eq!(report.payoffs, reference.payoffs, "{party} stops@{stop}");
+                assert_eq!(report.completed, reference.completed);
+                assert_eq!(report.failed_actions, reference.failed_actions);
+                assert_eq!(report.rounds, reference.rounds);
+            }
+        }
+    }
+}
+
+#[test]
+fn brokered_sale_is_identical_across_trace_modes_and_world_reuse() {
+    let config = BrokerConfig::default();
+    for party in [PartyId(0), PartyId(1), PartyId(2)] {
+        let strategies = BTreeMap::from([(party, Strategy::StopAfter(2))]);
+        let mut reports = worlds()
+            .into_iter()
+            .map(|mut world| run_brokered_sale_in(&mut world, &config, &strategies));
+        let reference = reports.next().unwrap();
+        for report in reports {
+            assert_eq!(report.payoffs, reference.payoffs, "{party}");
+            assert_eq!(report.completed, reference.completed);
+        }
+    }
+}
+
+#[test]
+fn auction_is_identical_across_trace_modes_and_world_reuse() {
+    for behaviour in [
+        AuctioneerBehaviour::DeclareHighBidder,
+        AuctioneerBehaviour::DeclareLowBidder,
+        AuctioneerBehaviour::Abandon,
+    ] {
+        let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
+        let strategies = BTreeMap::from([(PartyId(1), Strategy::StopAfter(1))]);
+        let mut reports =
+            worlds().into_iter().map(|mut world| run_auction_in(&mut world, &config, &strategies));
+        let reference = reports.next().unwrap();
+        for report in reports {
+            assert_eq!(report.payoffs, reference.payoffs, "{behaviour:?}");
+            assert_eq!(report.outcome, reference.outcome);
+            assert_eq!(report.ticket_winner, reference.ticket_winner);
+            assert_eq!(report.no_bid_stolen, reference.no_bid_stolen);
+        }
+    }
+}
+
+#[test]
+fn bootstrap_is_identical_across_trace_modes_and_world_reuse() {
+    for deviation in [
+        BootstrapDeviation::None,
+        BootstrapDeviation::StopAtLevel { party: PartyId(0), level: 1 },
+        BootstrapDeviation::StopAtLevel { party: PartyId(1), level: 0 },
+    ] {
+        let mut reports = worlds()
+            .into_iter()
+            .map(|mut world| run_bootstrap_in(&mut world, 5_000, 20_000, 10, 2, deviation));
+        let reference = reports.next().unwrap();
+        for report in reports {
+            assert_eq!(report.alice_payoff, reference.alice_payoff, "{deviation:?}");
+            assert_eq!(report.bob_payoff, reference.bob_payoff, "{deviation:?}");
+            assert_eq!(report.deepest_completed_level, reference.deepest_completed_level);
+            assert_eq!(report.loss_bounded_by_initial_risk, reference.loss_bounded_by_initial_risk);
+        }
+    }
+}
+
+#[test]
+fn check_summaries_are_identical_across_threads_and_trace_modes() {
+    // Hedged two-party (clean), base two-party (must keep finding the
+    // sore-loser violations) and a bounded deal sweep.
+    let hedged = TwoPartySweep::hedged(TwoPartyConfig::default());
+    let base = TwoPartySweep::base(TwoPartyConfig::default());
+    let deal = DealSweep::at_most("figure3", figure3_config(), 2);
+
+    let reference_hedged = ParallelSweep::new(1).run(&hedged);
+    let reference_base = ParallelSweep::new(1).run(&base);
+    let reference_deal = ParallelSweep::new(1).run(&deal);
+    assert!(reference_hedged.holds());
+    assert!(!reference_base.holds(), "negative control: the attack must still be found");
+    assert!(reference_deal.holds());
+
+    for threads in [1usize, 2, 4] {
+        for trace in [TraceMode::Off, TraceMode::Full] {
+            let sweep = ParallelSweep::new(threads).trace_mode(trace);
+            assert_eq!(sweep.run(&hedged), reference_hedged, "threads={threads}, {trace:?}");
+            assert_eq!(sweep.run(&base), reference_base, "threads={threads}, {trace:?}");
+            assert_eq!(sweep.run(&deal), reference_deal, "threads={threads}, {trace:?}");
+        }
+    }
+}
+
+#[test]
+fn bundled_checks_still_hold_end_to_end() {
+    // The facade-level helpers exercise pooled scratch worlds internally.
+    assert!(check_auction().holds());
+    assert!(check_bootstrap(2).holds());
+}
