@@ -4,6 +4,7 @@ use std::any::Any;
 use std::fmt;
 
 use crate::amount::Amount;
+use crate::caches::SimCaches;
 use crate::contract::{CallEnv, Contract};
 use crate::error::ChainError;
 #[cfg(test)]
@@ -157,6 +158,7 @@ impl Blockchain {
         msg: &dyn Any,
         call_description: impl Into<CallDesc>,
         directory: &cryptosim::KeyDirectory,
+        caches: &mut SimCaches,
     ) -> Result<(), ChainError> {
         // Temporarily take the contract out of its slot so that it and the
         // ledger can be borrowed mutably at the same time.
@@ -175,6 +177,7 @@ impl Blockchain {
                 &mut self.ledger,
                 &mut self.events,
                 directory,
+                caches,
                 self.trace,
             );
             contract.handle(&mut env, msg)
@@ -239,6 +242,53 @@ impl Blockchain {
     pub(crate) fn advance_blocks(&mut self, blocks: u64) {
         self.height = self.height.plus(blocks);
     }
+
+    /// Captures the chain's full state for [`crate::World::snapshot`].
+    ///
+    /// Contracts are deep-cloned via [`Contract::clone_box`]; the event log
+    /// is cloned as-is (empty under [`TraceMode::Off`], so snapshots of
+    /// trace-free sweep worlds never copy events).
+    pub(crate) fn capture(&self) -> ChainSnapshot {
+        ChainSnapshot {
+            id: self.id,
+            name: self.name.clone(),
+            native_asset: self.native_asset,
+            height: self.height,
+            ledger: self.ledger.clone(),
+            contracts: self
+                .contracts
+                .iter()
+                .map(|slot| slot.as_ref().expect("no call in flight during snapshot").clone_box())
+                .collect(),
+            events: self.events.clone(),
+        }
+    }
+
+    /// Restores the chain (possibly a recycled spare shell) to the captured
+    /// state, reusing the ledger, event-log and name allocations.
+    pub(crate) fn restore_from(&mut self, snap: &ChainSnapshot, trace: TraceMode) {
+        self.id = snap.id;
+        self.name.clone_from(&snap.name);
+        self.native_asset = snap.native_asset;
+        self.height = snap.height;
+        self.ledger.clone_from(&snap.ledger);
+        self.contracts.clear();
+        self.contracts.extend(snap.contracts.iter().map(|c| Some(c.clone_box())));
+        self.events.clone_from(&snap.events);
+        self.trace = trace;
+    }
+}
+
+/// The captured state of one chain inside a [`crate::WorldSnapshot`].
+#[derive(Debug)]
+pub(crate) struct ChainSnapshot {
+    pub(crate) id: ChainId,
+    name: String,
+    native_asset: AssetId,
+    height: Time,
+    ledger: Ledger,
+    contracts: Vec<Box<dyn Contract>>,
+    events: Vec<ChainEvent>,
 }
 
 impl fmt::Debug for Blockchain {
@@ -258,7 +308,7 @@ mod tests {
     use super::*;
 
     /// A minimal counter contract used to exercise the chain plumbing.
-    #[derive(Debug, Default)]
+    #[derive(Clone, Debug, Default)]
     struct Counter {
         count: u64,
         deposited: Amount,
@@ -274,6 +324,10 @@ mod tests {
     impl Contract for Counter {
         fn type_name(&self) -> &'static str {
             "Counter"
+        }
+
+        fn clone_box(&self) -> Box<dyn Contract> {
+            Box::new(self.clone())
         }
 
         fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
@@ -305,12 +359,16 @@ mod tests {
         cryptosim::KeyDirectory::new()
     }
 
+    fn caches() -> SimCaches {
+        SimCaches::new()
+    }
+
     #[test]
     fn publish_and_call_contract() {
         let mut chain = chain_fixture();
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
-        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir()).unwrap();
-        chain.call(PartyId(1), id, &CounterMsg::Bump, "Bump", &dir()).unwrap();
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
+        chain.call(PartyId(1), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
         let counter = chain.contract_as::<Counter>(id).unwrap();
         assert_eq!(counter.count, 2);
         assert_eq!(chain.contract_count(), 1);
@@ -319,8 +377,9 @@ mod tests {
     #[test]
     fn call_unknown_contract_fails() {
         let mut chain = chain_fixture();
-        let err =
-            chain.call(PartyId(0), ContractId(9), &CounterMsg::Bump, "Bump", &dir()).unwrap_err();
+        let err = chain
+            .call(PartyId(0), ContractId(9), &CounterMsg::Bump, "Bump", &dir(), &mut caches())
+            .unwrap_err();
         assert!(matches!(err, ChainError::NoSuchContract { .. }));
     }
 
@@ -328,7 +387,9 @@ mod tests {
     fn failed_calls_are_logged_and_propagated() {
         let mut chain = chain_fixture();
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
-        let err = chain.call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir()).unwrap_err();
+        let err = chain
+            .call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir(), &mut caches())
+            .unwrap_err();
         assert!(matches!(err, ChainError::ContractFailed { .. }));
         assert!(chain.events().iter().any(|e| matches!(
             &e.kind,
@@ -344,7 +405,7 @@ mod tests {
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
         #[derive(Debug)]
         struct Bogus;
-        let err = chain.call(PartyId(0), id, &Bogus, "Bogus", &dir()).unwrap_err();
+        let err = chain.call(PartyId(0), id, &Bogus, "Bogus", &dir(), &mut caches()).unwrap_err();
         assert!(matches!(
             err,
             ChainError::ContractFailed { source: ContractError::UnsupportedMessage, .. }
@@ -357,7 +418,14 @@ mod tests {
         chain.mint(PartyId(0), AssetId(0), Amount::new(10));
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
         chain
-            .call(PartyId(0), id, &CounterMsg::Deposit(Amount::new(6)), "Deposit", &dir())
+            .call(
+                PartyId(0),
+                id,
+                &CounterMsg::Deposit(Amount::new(6)),
+                "Deposit",
+                &dir(),
+                &mut caches(),
+            )
             .unwrap();
         assert_eq!(chain.balance(AccountRef::Contract(id), AssetId(0)), Amount::new(6));
         assert_eq!(chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)), Amount::new(4));
@@ -389,9 +457,18 @@ mod tests {
         chain.mint(PartyId(0), AssetId(0), Amount::new(10));
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
         chain
-            .call(PartyId(0), id, &CounterMsg::Deposit(Amount::new(6)), "Deposit", &dir())
+            .call(
+                PartyId(0),
+                id,
+                &CounterMsg::Deposit(Amount::new(6)),
+                "Deposit",
+                &dir(),
+                &mut caches(),
+            )
             .unwrap();
-        let _ = chain.call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir()).unwrap_err();
+        let _ = chain
+            .call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir(), &mut caches())
+            .unwrap_err();
         assert!(chain.events().is_empty());
         // State changes are identical to a traced run.
         assert_eq!(chain.balance(AccountRef::Contract(id), AssetId(0)), Amount::new(6));
@@ -403,7 +480,7 @@ mod tests {
         let mut chain = chain_fixture();
         chain.mint(PartyId(0), AssetId(0), Amount::new(10));
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
-        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir()).unwrap();
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
         chain.advance_blocks(7);
 
         chain.recycle(ChainId(3), "banana", AssetId(9), TraceMode::Full);
@@ -421,11 +498,14 @@ mod tests {
 
     #[test]
     fn contract_as_with_wrong_type_returns_none() {
-        #[derive(Debug)]
+        #[derive(Clone, Debug)]
         struct Other;
         impl Contract for Other {
             fn type_name(&self) -> &'static str {
                 "Other"
+            }
+            fn clone_box(&self) -> Box<dyn Contract> {
+                Box::new(self.clone())
             }
             fn handle(&mut self, _: &mut CallEnv<'_>, _: &dyn Any) -> Result<(), ContractError> {
                 Ok(())

@@ -6,6 +6,7 @@ use std::fmt;
 use cryptosim::KeyDirectory;
 
 use crate::amount::Amount;
+use crate::caches::SimCaches;
 use crate::error::ContractError;
 use crate::events::{ChainEvent, EventKind, NoteText, TraceMode};
 use crate::ids::{AssetId, ChainId, ContractId, PartyId};
@@ -40,6 +41,14 @@ pub trait Contract: fmt::Debug + Send {
     /// A short, stable name for the contract type (used in event logs).
     fn type_name(&self) -> &'static str;
 
+    /// Clones the contract into a fresh box, preserving its full state.
+    ///
+    /// Snapshots ([`crate::World::snapshot`]) capture contract state by
+    /// cloning every live contract, so every contract must be cloneable;
+    /// concrete contracts derive [`Clone`] and implement this as
+    /// `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn Contract>;
+
     /// Handles a call from `env.caller()` carrying the typed message `msg`.
     ///
     /// # Errors
@@ -72,6 +81,7 @@ pub struct CallEnv<'a> {
     ledger: &'a mut Ledger,
     events: &'a mut Vec<ChainEvent>,
     directory: &'a KeyDirectory,
+    caches: &'a mut SimCaches,
     trace: TraceMode,
 }
 
@@ -87,14 +97,26 @@ impl<'a> CallEnv<'a> {
         ledger: &'a mut Ledger,
         events: &'a mut Vec<ChainEvent>,
         directory: &'a KeyDirectory,
+        caches: &'a mut SimCaches,
         trace: TraceMode,
     ) -> Self {
-        CallEnv { chain, contract, caller, now, ledger, events, directory, trace }
+        CallEnv { chain, contract, caller, now, ledger, events, directory, caches, trace }
     }
 
     /// The public-key directory used to verify signatures on hashkey paths.
     pub fn directory(&self) -> &KeyDirectory {
         self.directory
+    }
+
+    /// The world's memoisation store (see [`SimCaches`]).
+    ///
+    /// Contracts may use it to skip recomputing work whose result is a pure
+    /// function of already-validated inputs (e.g. signature-chain
+    /// verification). Entries live for the lifetime of the [`crate::World`],
+    /// across [`crate::World::reset`] and snapshot restores, so anything
+    /// stored here must affect *performance only* — never outcomes.
+    pub fn caches(&mut self) -> &mut SimCaches {
+        self.caches
     }
 
     /// The chain this contract resides on.
@@ -269,6 +291,7 @@ mod tests {
     fn env_fixture<'a>(
         ledger: &'a mut Ledger,
         events: &'a mut Vec<ChainEvent>,
+        caches: &'a mut SimCaches,
         now: Time,
     ) -> CallEnv<'a> {
         CallEnv::new(
@@ -279,6 +302,7 @@ mod tests {
             ledger,
             events,
             empty_directory(),
+            caches,
             TraceMode::Full,
         )
     }
@@ -287,6 +311,7 @@ mod tests {
     fn trace_off_skips_events_but_moves_funds() {
         let mut ledger = Ledger::new();
         let mut events = Vec::new();
+        let mut caches = SimCaches::new();
         ledger.mint(AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(10));
         {
             let mut env = CallEnv::new(
@@ -297,6 +322,7 @@ mod tests {
                 &mut ledger,
                 &mut events,
                 empty_directory(),
+                &mut caches,
                 TraceMode::Off,
             );
             env.debit_caller(AssetId(0), Amount::new(4)).unwrap();
@@ -310,9 +336,10 @@ mod tests {
     fn debit_and_pay_out_move_funds_and_log_events() {
         let mut ledger = Ledger::new();
         let mut events = Vec::new();
+        let mut caches = SimCaches::new();
         ledger.mint(AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(10));
         {
-            let mut env = env_fixture(&mut ledger, &mut events, Time(2));
+            let mut env = env_fixture(&mut ledger, &mut events, &mut caches, Time(2));
             env.debit_caller(AssetId(0), Amount::new(4)).unwrap();
             assert_eq!(env.contract_balance(AssetId(0)), Amount::new(4));
             assert_eq!(env.caller_balance(AssetId(0)), Amount::new(6));
@@ -329,7 +356,8 @@ mod tests {
     fn zero_transfers_are_noops() {
         let mut ledger = Ledger::new();
         let mut events = Vec::new();
-        let mut env = env_fixture(&mut ledger, &mut events, Time(0));
+        let mut caches = SimCaches::new();
+        let mut env = env_fixture(&mut ledger, &mut events, &mut caches, Time(0));
         env.debit_caller(AssetId(0), Amount::ZERO).unwrap();
         env.pay_out(PartyId(2), AssetId(0), Amount::ZERO).unwrap();
         assert!(events.is_empty());
@@ -339,7 +367,8 @@ mod tests {
     fn deadline_helpers() {
         let mut ledger = Ledger::new();
         let mut events = Vec::new();
-        let env = env_fixture(&mut ledger, &mut events, Time(5));
+        let mut caches = SimCaches::new();
+        let env = env_fixture(&mut ledger, &mut events, &mut caches, Time(5));
         assert!(env.ensure_before(Time(6)).is_ok());
         assert!(matches!(env.ensure_before(Time(5)), Err(ContractError::TooLate { .. })));
         assert!(env.ensure_reached(Time(5)).is_ok());
@@ -350,8 +379,9 @@ mod tests {
     fn pay_into_contract_moves_between_contracts() {
         let mut ledger = Ledger::new();
         let mut events = Vec::new();
+        let mut caches = SimCaches::new();
         ledger.mint(AccountRef::Contract(ContractId(7)), AssetId(0), Amount::new(3));
-        let mut env = env_fixture(&mut ledger, &mut events, Time(0));
+        let mut env = env_fixture(&mut ledger, &mut events, &mut caches, Time(0));
         env.pay_into_contract(ContractId(9), AssetId(0), Amount::new(3)).unwrap();
         assert_eq!(ledger.balance(AccountRef::Contract(ContractId(9)), AssetId(0)), Amount::new(3));
     }
@@ -360,7 +390,8 @@ mod tests {
     fn debit_fails_on_insufficient_funds() {
         let mut ledger = Ledger::new();
         let mut events = Vec::new();
-        let mut env = env_fixture(&mut ledger, &mut events, Time(0));
+        let mut caches = SimCaches::new();
+        let mut env = env_fixture(&mut ledger, &mut events, &mut caches, Time(0));
         assert!(matches!(
             env.debit_caller(AssetId(0), Amount::new(1)),
             Err(ContractError::Ledger(_))
@@ -371,7 +402,8 @@ mod tests {
     fn env_accessors_and_debug() {
         let mut ledger = Ledger::new();
         let mut events = Vec::new();
-        let env = env_fixture(&mut ledger, &mut events, Time(3));
+        let mut caches = SimCaches::new();
+        let env = env_fixture(&mut ledger, &mut events, &mut caches, Time(3));
         assert_eq!(env.chain(), ChainId(0));
         assert_eq!(env.contract_id(), ContractId(7));
         assert_eq!(env.caller(), PartyId(1));

@@ -42,6 +42,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod amount;
+mod caches;
 mod chain;
 mod contract;
 mod error;
@@ -53,6 +54,7 @@ mod time;
 mod world;
 
 pub use amount::{Amount, Payoff};
+pub use caches::SimCaches;
 pub use chain::Blockchain;
 pub use contract::{CallEnv, Contract, ContractMessage};
 pub use error::{ChainError, ContractError, LedgerError};
@@ -61,9 +63,12 @@ pub use ids::{AssetId, ChainId, ContractAddr, ContractId, Label, PartyId};
 #[cfg(any(test, feature = "map-ledger-oracle"))]
 pub use ledger::oracle::MapLedger;
 pub use ledger::{AccountRef, Ledger};
-pub use sim::{Action, ActionOutcome, Actor, RunReport, Scheduler, StepTrace};
+pub use sim::{
+    run_round, run_round_with, Action, ActionOutcome, Actor, RoundBuffers, RunReport, Scheduler,
+    StepTrace,
+};
 pub use time::{StepSchedule, Time};
-pub use world::World;
+pub use world::{World, WorldSnapshot};
 
 // Thread-safety contract: simulated worlds, actions and run reports cross
 // worker threads in the parallel model-checking engine, so these types must

@@ -92,6 +92,18 @@ pub trait Actor {
     }
 }
 
+impl<A: Actor + ?Sized> Actor for Box<A> {
+    fn party(&self) -> PartyId {
+        (**self).party()
+    }
+    fn step(&mut self, world: &World, actions: &mut Vec<Action>) {
+        (**self).step(world, actions)
+    }
+    fn done(&self) -> bool {
+        (**self).done()
+    }
+}
+
 /// The result of applying a single action.
 #[derive(Debug)]
 pub struct ActionOutcome {
@@ -167,31 +179,65 @@ impl Scheduler {
     /// order supplied, which protocol setup keeps sorted by party id), and
     /// the world advances by Δ.
     pub fn run(&self, world: &mut World, actors: &mut [Box<dyn Actor>]) -> RunReport {
+        self.run_actors(world, actors)
+    }
+
+    /// [`Scheduler::run`] for any slice of concrete actors (avoiding the
+    /// per-actor box). Semantics are identical: both drive [`run_round`].
+    pub fn run_actors<A: Actor>(&self, world: &mut World, actors: &mut [A]) -> RunReport {
         let mut report = RunReport::default();
-        // Staging buffers are reused across rounds; most rounds emit no
-        // actions, so neither buffer nor the per-round outcome vector
-        // allocates then.
-        let mut staged: Vec<Action> = Vec::new();
-        let mut batch: Vec<(PartyId, Action)> = Vec::new();
+        let mut buffers = RoundBuffers::default();
         for _ in 0..self.max_rounds {
             if actors.iter().all(|a| a.done()) {
                 break;
             }
-            for actor in actors.iter_mut() {
-                staged.clear();
-                actor.step(world, &mut staged);
-                let party = actor.party();
-                batch.extend(staged.drain(..).map(|a| (party, a)));
-            }
-            let mut outcomes = Vec::with_capacity(batch.len());
-            for (party, action) in batch.drain(..) {
-                outcomes.push(apply_action(world, party, action));
-            }
-            report.steps.push(StepTrace { time: world.now(), outcomes });
-            world.advance_delta();
+            report.steps.push(run_round_with(world, actors, &mut buffers));
         }
         report
     }
+}
+
+/// Reusable staging buffers for [`run_round_with`]: most rounds emit no
+/// actions, and the ones that do reuse one allocation across a whole run
+/// instead of allocating per round.
+#[derive(Debug, Default)]
+pub struct RoundBuffers {
+    staged: Vec<Action>,
+    batch: Vec<(PartyId, Action)>,
+}
+
+/// Executes exactly one synchronous round: every actor observes the world
+/// as of the end of the previous round, all emitted actions are applied in
+/// emission order (actors visited in slice order), and the clock advances
+/// by Δ.
+///
+/// This is the single round primitive behind [`Scheduler::run`] *and* the
+/// protocol crates' checkpoint-and-resume runners; sharing it is what makes
+/// a resumed run bit-for-bit identical to a replayed one.
+pub fn run_round<A: Actor>(world: &mut World, actors: &mut [A]) -> StepTrace {
+    run_round_with(world, actors, &mut RoundBuffers::default())
+}
+
+/// [`run_round`] with caller-owned staging buffers (see [`RoundBuffers`]).
+pub fn run_round_with<A: Actor>(
+    world: &mut World,
+    actors: &mut [A],
+    buffers: &mut RoundBuffers,
+) -> StepTrace {
+    let RoundBuffers { staged, batch } = buffers;
+    for actor in actors.iter_mut() {
+        staged.clear();
+        actor.step(world, staged);
+        let party = actor.party();
+        batch.extend(staged.drain(..).map(|a| (party, a)));
+    }
+    let mut outcomes = Vec::with_capacity(batch.len());
+    for (party, action) in batch.drain(..) {
+        outcomes.push(apply_action(world, party, action));
+    }
+    let trace = StepTrace { time: world.now(), outcomes };
+    world.advance_delta();
+    trace
 }
 
 fn apply_action(world: &mut World, party: PartyId, action: Action) -> ActionOutcome {
@@ -219,7 +265,7 @@ mod tests {
     use std::any::Any;
 
     /// Contract that accepts deposits of the chain's asset 0.
-    #[derive(Debug, Default)]
+    #[derive(Clone, Debug, Default)]
     struct Pot {
         total: Amount,
     }
@@ -230,6 +276,9 @@ mod tests {
     impl Contract for Pot {
         fn type_name(&self) -> &'static str {
             "Pot"
+        }
+        fn clone_box(&self) -> Box<dyn Contract> {
+            Box::new(self.clone())
         }
         fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
             let msg = msg.downcast_ref::<DepositMsg>().ok_or(ContractError::UnsupportedMessage)?;

@@ -20,6 +20,11 @@ impl Time {
     /// The protocol start time (height zero).
     pub const ZERO: Time = Time(0);
 
+    /// The far future: later than every deadline a protocol can schedule.
+    /// Used as the wake hint of steps that can never again be triggered by
+    /// the clock alone.
+    pub const MAX: Time = Time(u64::MAX);
+
     /// Returns the raw block height.
     pub const fn height(self) -> u64 {
         self.0

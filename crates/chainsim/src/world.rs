@@ -2,11 +2,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cryptosim::KeyDirectory;
 
 use crate::amount::Amount;
-use crate::chain::Blockchain;
+use crate::caches::SimCaches;
+use crate::chain::{Blockchain, ChainSnapshot};
 use crate::error::ChainError;
 use crate::events::{CallDesc, TraceMode};
 #[cfg(test)]
@@ -58,6 +60,25 @@ pub struct World {
     delta_blocks: u64,
     started_at: Time,
     trace: TraceMode,
+    /// Per-world memo store (see [`SimCaches`]): survives [`World::reset`]
+    /// and [`World::restore`], and is deliberately excluded from snapshots.
+    caches: SimCaches,
+    /// Version of the three registries (labels, assets, key directory),
+    /// drawn from a process-global counter on every mutation. Two equal
+    /// versions imply identical registry contents, which lets
+    /// [`World::restore`] skip re-cloning registries when a world restores
+    /// a snapshot of its own current registry state — the common case in
+    /// deviation-tree sweeps, where every checkpoint of a run shares the
+    /// registries built at setup.
+    registry_version: u64,
+}
+
+/// Process-global source of registry versions; see
+/// [`World::registry_version`]. Starts at 1 so version 0 never aliases.
+static REGISTRY_VERSIONS: AtomicU64 = AtomicU64::new(1);
+
+fn next_registry_version() -> u64 {
+    REGISTRY_VERSIONS.fetch_add(1, Ordering::Relaxed)
 }
 
 impl World {
@@ -87,6 +108,8 @@ impl World {
             delta_blocks,
             started_at: Time::ZERO,
             trace,
+            caches: SimCaches::new(),
+            registry_version: next_registry_version(),
         }
     }
 
@@ -107,6 +130,7 @@ impl World {
         self.directory.clear();
         self.labels.clear();
         self.asset_names.clear();
+        self.registry_version = next_registry_version();
         self.delta_blocks = delta_blocks;
         self.started_at = Time::ZERO;
     }
@@ -148,6 +172,7 @@ impl World {
     pub fn register_asset(&mut self, name: impl Into<String>) -> AssetId {
         let id = AssetId(self.asset_names.len() as u32);
         self.asset_names.push(name.into());
+        self.registry_version = next_registry_version();
         id
     }
 
@@ -201,6 +226,7 @@ impl World {
 
     /// Mutable access to the public-key directory (used during setup).
     pub fn directory_mut(&mut self) -> &mut KeyDirectory {
+        self.registry_version = next_registry_version();
         &mut self.directory
     }
 
@@ -251,6 +277,7 @@ impl World {
         let id = self.chain_mut(chain).publish(publisher, contract);
         let addr = ContractAddr::new(chain, id);
         self.labels.insert(label, addr);
+        self.registry_version = next_registry_version();
         addr
     }
 
@@ -271,16 +298,126 @@ impl World {
         msg: &dyn std::any::Any,
         call_description: impl Into<CallDesc>,
     ) -> Result<(), ChainError> {
-        let chain = self
-            .chains
+        let World { chains, directory, caches, .. } = self;
+        let chain = chains
             .get_mut(addr.chain.0 as usize)
             .ok_or(ChainError::NoSuchChain { chain: addr.chain })?;
-        chain.call(caller, addr.contract, msg, call_description, &self.directory)
+        chain.call(caller, addr.contract, msg, call_description, directory, caches)
+    }
+
+    /// The world's memoisation store (see [`SimCaches`]).
+    pub fn caches(&mut self) -> &mut SimCaches {
+        &mut self.caches
+    }
+
+    /// Captures the complete observable state of the world — every live
+    /// chain's ledger, contract store, event log and clock, plus the label,
+    /// asset and key registries — as a [`WorldSnapshot`].
+    ///
+    /// Retired spare shells (chains recycled by [`World::reset`]) hold no
+    /// balances and are **not** captured: a snapshot's size is proportional
+    /// to the live state only, no matter how many runs the world has pooled.
+    /// The [`SimCaches`] memo store is also excluded — it memoises pure
+    /// computations and is shared across runs by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a contract call (a contract slot is
+    /// transiently empty while its contract executes).
+    pub fn snapshot(&self) -> WorldSnapshot {
+        WorldSnapshot {
+            chains: self.chains.iter().map(Blockchain::capture).collect(),
+            directory: self.directory.clone(),
+            labels: self.labels.clone(),
+            asset_names: self.asset_names.clone(),
+            delta_blocks: self.delta_blocks,
+            started_at: self.started_at,
+            trace: self.trace,
+            registry_version: self.registry_version,
+        }
+    }
+
+    /// Restores the world to a previously captured [`WorldSnapshot`].
+    ///
+    /// After the call the world's observable state (chains, ledgers,
+    /// contracts, events, registries, clock, trace mode) is identical to the
+    /// state at [`World::snapshot`] time; a run resumed from the restored
+    /// world is indistinguishable from one that replayed every step since.
+    /// Restoring reuses the world's existing chain shells and buffer
+    /// allocations where possible (surplus live chains are retired to the
+    /// spare pool, missing ones are recycled from it), so restoring in a
+    /// loop — the sweep engines' deviation-tree pattern — allocates little
+    /// beyond fresh contract boxes. The same snapshot can be restored any
+    /// number of times, into any world.
+    pub fn restore(&mut self, snap: &WorldSnapshot) {
+        // Shrink or grow the live chain vector to match, recycling shells.
+        while self.chains.len() > snap.chains.len() {
+            let retired = self.chains.pop().expect("len checked");
+            self.spare.push(retired);
+        }
+        while self.chains.len() < snap.chains.len() {
+            let shell = self
+                .spare
+                .pop()
+                .unwrap_or_else(|| Blockchain::new(ChainId(0), "", AssetId(0), snap.trace));
+            self.chains.push(shell);
+        }
+        for (chain, captured) in self.chains.iter_mut().zip(&snap.chains) {
+            chain.restore_from(captured, snap.trace);
+        }
+        // Registries only need re-cloning when the world's current ones
+        // differ from the snapshot's (equal versions imply equal contents;
+        // versions are process-globally unique per mutation).
+        if self.registry_version != snap.registry_version {
+            self.directory.clone_from(&snap.directory);
+            self.labels.clone_from(&snap.labels);
+            self.asset_names.clone_from(&snap.asset_names);
+            self.registry_version = snap.registry_version;
+        }
+        self.delta_blocks = snap.delta_blocks;
+        self.started_at = snap.started_at;
+        self.trace = snap.trace;
     }
 
     /// Total balance of `party` in `asset` summed over every chain.
     pub fn party_balance(&self, party: PartyId, asset: AssetId) -> Amount {
         self.chains.iter().map(|chain| chain.balance(crate::AccountRef::Party(party), asset)).sum()
+    }
+}
+
+/// A captured [`World`] state; see [`World::snapshot`].
+///
+/// Snapshots are plain values: they borrow nothing from the world they came
+/// from, can be kept in per-worker caches, and can be restored repeatedly
+/// (each [`World::restore`] produces the identical state). Sweep engines use
+/// them to execute a shared compliant prefix once and fan many deviation
+/// scenarios out from the same mid-run state.
+pub struct WorldSnapshot {
+    chains: Vec<ChainSnapshot>,
+    directory: KeyDirectory,
+    labels: BTreeMap<Label, ContractAddr>,
+    asset_names: Vec<String>,
+    delta_blocks: u64,
+    started_at: Time,
+    trace: TraceMode,
+    registry_version: u64,
+}
+
+impl WorldSnapshot {
+    /// The number of live chains captured in this snapshot.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+impl fmt::Debug for WorldSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorldSnapshot")
+            .field("chains", &self.chains.len())
+            .field("labels", &self.labels.len())
+            .field("delta_blocks", &self.delta_blocks)
+            .field("trace", &self.trace)
+            .finish()
     }
 }
 
@@ -303,12 +440,15 @@ mod tests {
     use crate::error::ContractError;
     use std::any::Any;
 
-    #[derive(Debug, Default)]
+    #[derive(Clone, Debug, Default)]
     struct Noop;
 
     impl Contract for Noop {
         fn type_name(&self) -> &'static str {
             "Noop"
+        }
+        fn clone_box(&self) -> Box<dyn Contract> {
+            Box::new(self.clone())
         }
         fn handle(&mut self, _: &mut CallEnv<'_>, _: &dyn Any) -> Result<(), ContractError> {
             Ok(())

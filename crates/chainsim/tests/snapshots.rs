@@ -1,0 +1,203 @@
+//! Edge-case coverage for `World::snapshot` / `World::restore`: the
+//! checkpoint primitive under the model checker's deviation-tree sweeps.
+//!
+//! The determinism contract: a restored world is indistinguishable from the
+//! world at snapshot time — across trace modes, after failed contract
+//! calls, and under repeated restores from the same snapshot.
+
+use std::any::Any;
+
+use chainsim::{
+    AccountRef, Amount, AssetId, CallEnv, ChainError, Contract, ContractError, PartyId, Time,
+    TraceMode, World,
+};
+
+/// A contract holding a deposit that can also be asked to fail.
+#[derive(Clone, Debug, Default)]
+struct Vault {
+    total: Amount,
+    calls: u64,
+}
+
+#[derive(Debug)]
+enum VaultMsg {
+    Deposit(Amount),
+    Fail,
+}
+
+impl Contract for Vault {
+    fn type_name(&self) -> &'static str {
+        "Vault"
+    }
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+    fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
+        let msg = msg.downcast_ref::<VaultMsg>().ok_or(ContractError::UnsupportedMessage)?;
+        match msg {
+            VaultMsg::Deposit(amount) => {
+                env.debit_caller(AssetId(0), *amount)?;
+                self.total += *amount;
+                self.calls += 1;
+                Ok(())
+            }
+            VaultMsg::Fail => {
+                self.calls += 1;
+                Err(ContractError::invalid_state("asked to fail"))
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn build_world(trace: TraceMode) -> (World, chainsim::ContractAddr) {
+    let mut world = World::with_trace(1, trace);
+    let chain = world.add_chain("apricot");
+    world.chain_mut(chain).mint(PartyId(0), AssetId(0), Amount::new(100));
+    let addr = world.publish_labeled(chain, PartyId(0), "vault", Box::new(Vault::default()));
+    world.call(PartyId(0), addr, &VaultMsg::Deposit(Amount::new(30)), "deposit").unwrap();
+    world.advance_delta();
+    (world, addr)
+}
+
+fn observable_state(
+    world: &World,
+    addr: chainsim::ContractAddr,
+) -> (Amount, Amount, u64, Time, usize) {
+    let chain = world.chain(addr.chain);
+    let vault = chain.contract_as::<Vault>(addr.contract).unwrap();
+    (
+        chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)),
+        chain.balance(AccountRef::Contract(addr.contract), AssetId(0)),
+        vault.calls,
+        world.now(),
+        chain.events().len(),
+    )
+}
+
+#[test]
+fn restore_is_identical_across_trace_modes() {
+    // The same protocol history replayed under Off and Full must restore to
+    // worlds whose balance-visible state agrees; each world's own restore
+    // must be exact, including the event log (empty under Off).
+    let mut states = Vec::new();
+    for trace in [TraceMode::Off, TraceMode::Full] {
+        let (mut world, addr) = build_world(trace);
+        let snap = world.snapshot();
+        // Diverge, then restore.
+        world.call(PartyId(0), addr, &VaultMsg::Deposit(Amount::new(10)), "later").unwrap();
+        world.advance_delta();
+        world.restore(&snap);
+        let state = observable_state(&world, addr);
+        assert_eq!(world.trace_mode(), trace, "restore preserves the snapshot's trace mode");
+        match trace {
+            TraceMode::Off => assert_eq!(state.4, 0, "Off worlds restore with no events"),
+            TraceMode::Full => assert!(state.4 > 0, "Full worlds restore their event log"),
+        }
+        states.push((state.0, state.1, state.2, state.3));
+    }
+    assert_eq!(states[0], states[1], "balance-visible state agrees across trace modes");
+}
+
+#[test]
+fn restore_after_a_failed_call_discards_its_side_effects() {
+    let (mut world, addr) = build_world(TraceMode::Full);
+    let snap = world.snapshot();
+
+    // A failing call still mutates contract-internal state (`calls`) and
+    // appends a CallFailed event before erroring.
+    let err = world.call(PartyId(0), addr, &VaultMsg::Fail, "fail").unwrap_err();
+    assert!(matches!(err, ChainError::ContractFailed { .. }));
+    assert_ne!(observable_state(&world, addr), observable_state_of_snapshot(&snap, addr));
+
+    world.restore(&snap);
+    assert_eq!(observable_state(&world, addr), observable_state_of_snapshot(&snap, addr));
+
+    // The restored world is fully functional: the same call fails the same
+    // way, and a valid call succeeds.
+    let err = world.call(PartyId(0), addr, &VaultMsg::Fail, "fail again").unwrap_err();
+    assert!(matches!(err, ChainError::ContractFailed { .. }));
+    world.restore(&snap);
+    world.call(PartyId(0), addr, &VaultMsg::Deposit(Amount::new(5)), "retry").unwrap();
+    let chain = world.chain(addr.chain);
+    assert_eq!(chain.balance(AccountRef::Contract(addr.contract), AssetId(0)), Amount::new(35));
+}
+
+/// Renders a snapshot's observable state by restoring it into a throwaway
+/// world (snapshots are opaque by design).
+fn observable_state_of_snapshot(
+    snap: &chainsim::WorldSnapshot,
+    addr: chainsim::ContractAddr,
+) -> (Amount, Amount, u64, Time, usize) {
+    let mut probe = World::new(1);
+    probe.restore(snap);
+    observable_state(&probe, addr)
+}
+
+#[test]
+fn double_restore_from_the_same_snapshot_is_idempotent() {
+    let (mut world, addr) = build_world(TraceMode::Full);
+    let snap = world.snapshot();
+
+    world.call(PartyId(0), addr, &VaultMsg::Deposit(Amount::new(7)), "a").unwrap();
+    world.restore(&snap);
+    let first = observable_state(&world, addr);
+
+    world.call(PartyId(0), addr, &VaultMsg::Deposit(Amount::new(22)), "b").unwrap();
+    world.advance_delta();
+    world.advance_delta();
+    world.restore(&snap);
+    let second = observable_state(&world, addr);
+
+    assert_eq!(first, second, "every restore reproduces the same state");
+    assert_eq!(first, observable_state_of_snapshot(&snap, addr));
+}
+
+#[test]
+fn snapshots_skip_retired_spare_shells() {
+    // Run a two-chain scenario, reset (retiring both chains), then build a
+    // one-chain scenario: the snapshot must capture the single live chain
+    // only, not the recycled shells from earlier runs.
+    let mut world = World::new(1);
+    let a = world.add_chain("a");
+    world.add_chain("b");
+    world.chain_mut(a).mint(PartyId(0), AssetId(0), Amount::new(50));
+
+    world.reset(1);
+    let c = world.add_chain("c");
+    world.chain_mut(c).mint(PartyId(1), AssetId(0), Amount::new(9));
+    let snap = world.snapshot();
+    assert_eq!(snap.chain_count(), 1, "spare shells hold no balances and are not captured");
+
+    // Restoring into a world with *more* live chains retires the surplus.
+    let mut other = World::new(1);
+    other.add_chain("x");
+    other.add_chain("y");
+    other.add_chain("z");
+    other.restore(&snap);
+    assert_eq!(other.chain_count(), 1);
+    assert_eq!(other.party_balance(PartyId(1), AssetId(0)), Amount::new(9));
+    // The retired shells are recycled by later add_chain calls.
+    let recycled = other.add_chain("w");
+    assert_eq!(recycled.0, 1);
+}
+
+#[test]
+fn restore_rebuilds_label_and_asset_registries() {
+    let (mut world, addr) = build_world(TraceMode::Off);
+    let snap = world.snapshot();
+
+    world.reset(3);
+    assert_eq!(world.lookup("vault"), None);
+
+    world.restore(&snap);
+    assert_eq!(world.lookup("vault"), Some(addr));
+    assert_eq!(world.delta_blocks(), 1);
+    assert_eq!(world.asset_name(AssetId(0)), Some("apricot-native"));
+    // Publishing after a restore continues from the snapshot's contract ids.
+    let chain = addr.chain;
+    let next = world.publish_labeled(chain, PartyId(0), "vault2", Box::new(Vault::default()));
+    assert_eq!(next.contract.0, addr.contract.0 + 1);
+}

@@ -2,7 +2,8 @@
 
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, NoteText, PartyId, Time};
 use cryptosim::{Digest, Hashlock, Secret};
@@ -72,29 +73,57 @@ impl ArcDeadlines {
 /// A party presents the same extended hashkey on each of its incoming arcs,
 /// and each arc contract must verify it independently — chain-signature
 /// verification is the hottest cryptographic work in a sweep. The memo key
-/// `(receiver, leader, chain tag)` is sound: the chain tag binds the whole
-/// signature chain, its path and its secret under collision resistance (see
-/// [`Hashkey::chain_tag`]), and all other verification inputs (key table,
-/// digraph, hashlocks) are shared constants of the deal that created the
-/// cache. On a memo hit the contract still re-binds the carried secret to
-/// its hashlock and applies its own deadline checks.
-#[derive(Clone, Debug, Default)]
+/// `(deal, receiver, leader, chain tag)` is sound: the chain tag binds the
+/// whole signature chain, its path and its secret under collision
+/// resistance (see [`Hashkey::chain_tag`]), and the deal tag pins the
+/// remaining verification inputs (key table, digraph, hashlocks), which are
+/// shared constants of the deal that created the cache. On a memo hit the
+/// contract still re-binds the carried secret to its hashlock and applies
+/// its own deadline checks.
+///
+/// The verified set itself lives in the **per-world** memo store
+/// ([`chainsim::SimCaches`]), not here: sweep engines give each worker
+/// thread its own pooled world, so every worker warms a private, lock-free
+/// table. Earlier revisions shared one `Arc<Mutex<BTreeSet<..>>>` across
+/// all workers, and that lock sat on the hottest verification path — flat
+/// 1→2-thread scaling was the measurable result. This handle now carries
+/// only the deal tag that namespaces the per-world entries; it stays `Sync`
+/// without any locking.
+#[derive(Clone, Debug)]
 pub struct HashkeyVerifyCache {
-    verified: Arc<Mutex<BTreeSet<(PartyId, PartyId, Digest)>>>,
+    /// Discriminates this deal's entries in the per-world verified set.
+    /// Unique per cache instance (clones share it, fresh caches never
+    /// collide), so two deals with colliding chain tags — e.g. the same
+    /// leaders over different digraphs, where a path may be valid in one
+    /// digraph only — can never satisfy each other's verifications.
+    deal_tag: u64,
 }
 
+impl Default for HashkeyVerifyCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The per-world verified set: `(deal tag, receiver, leader, chain tag)`.
+#[derive(Debug, Default)]
+struct VerifiedHashkeys(BTreeSet<(u64, PartyId, PartyId, Digest)>);
+
 impl HashkeyVerifyCache {
-    /// Creates an empty cache, to be shared across one deal's arc escrows.
+    /// Creates a cache handle with a fresh deal tag, to be shared (cloned)
+    /// across one deal's arc escrows.
     pub fn new() -> Self {
-        Self::default()
+        static NEXT_DEAL_TAG: AtomicU64 = AtomicU64::new(0);
+        HashkeyVerifyCache { deal_tag: NEXT_DEAL_TAG.fetch_add(1, Ordering::Relaxed) }
     }
 
-    fn is_verified(&self, key: &(PartyId, PartyId, Digest)) -> bool {
-        self.verified.lock().expect("verify cache poisoned").contains(key)
-    }
-
-    fn record(&self, key: (PartyId, PartyId, Digest)) {
-        self.verified.lock().expect("verify cache poisoned").insert(key);
+    fn key(
+        &self,
+        receiver: PartyId,
+        leader: PartyId,
+        chain_tag: Digest,
+    ) -> (u64, PartyId, PartyId, Digest) {
+        (self.deal_tag, receiver, leader, chain_tag)
     }
 }
 
@@ -387,11 +416,15 @@ impl ArcEscrow {
         }
         let deadline = self.params.deadlines.hashkey_deadline(hashkey.path_len());
         env.ensure_before(deadline)?;
-        let memo_key = (self.params.receiver, leader, hashkey.chain_tag());
-        if self.params.verify_cache.is_verified(&memo_key) {
+        let memo_key =
+            self.params.verify_cache.key(self.params.receiver, leader, hashkey.chain_tag());
+        let already_verified =
+            env.caches().get_or_default::<VerifiedHashkeys>().0.contains(&memo_key);
+        if already_verified {
             // The same chain was fully verified on a sibling arc with the
-            // same receiver. The chain tag binds path, leader and chain;
-            // only the carried secret must be re-bound to the hashlock.
+            // same receiver (possibly in an earlier run of this world). The
+            // chain tag binds path, leader and chain; only the carried
+            // secret must be re-bound to the hashlock.
             if !hashlock.matches(hashkey.secret()) {
                 return Err(ContractError::HashlockMismatch);
             }
@@ -403,7 +436,7 @@ impl ArcEscrow {
                 self.params.receiver,
                 &hashlock,
             )?;
-            self.params.verify_cache.record(memo_key);
+            env.caches().get_or_default::<VerifiedHashkeys>().0.insert(memo_key);
         }
         self.presented.insert(leader, env.now());
         self.presented_hashkeys.insert(leader, hashkey.clone());
@@ -495,6 +528,10 @@ impl ArcEscrow {
 impl Contract for ArcEscrow {
     fn type_name(&self) -> &'static str {
         "ArcEscrow"
+    }
+
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
     }
 
     fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {

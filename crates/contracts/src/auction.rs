@@ -263,6 +263,10 @@ impl Contract for AuctionCoinContract {
         "AuctionCoinContract"
     }
 
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+
     fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
         let msg = msg.downcast_ref::<AuctionCoinMsg>().ok_or(ContractError::UnsupportedMessage)?;
         match msg {
@@ -421,6 +425,10 @@ impl AuctionTicketContract {
 impl Contract for AuctionTicketContract {
     fn type_name(&self) -> &'static str {
         "AuctionTicketContract"
+    }
+
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
     }
 
     fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {

@@ -268,6 +268,10 @@ impl Contract for HedgedEscrow {
         "HedgedEscrow"
     }
 
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+
     fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
         let msg = msg.downcast_ref::<HedgedEscrowMsg>().ok_or(ContractError::UnsupportedMessage)?;
         match msg {

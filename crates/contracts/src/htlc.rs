@@ -166,6 +166,10 @@ impl Contract for HtlcEscrow {
         "HtlcEscrow"
     }
 
+    fn clone_box(&self) -> Box<dyn Contract> {
+        Box::new(self.clone())
+    }
+
     fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError> {
         let msg = msg.downcast_ref::<HtlcMsg>().ok_or(ContractError::UnsupportedMessage)?;
         match msg {

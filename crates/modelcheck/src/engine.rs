@@ -3,17 +3,37 @@
 //! A [`ScenarioGen`] describes a family of independently checkable
 //! scenarios — typically one joint strategy profile per scenario — through
 //! a random-access index space. The [`ParallelSweep`] fans those indices
-//! out over a pool of scoped worker threads that pull fixed-size chunks
-//! from a shared atomic cursor (idle workers steal the next unclaimed chunk
-//! the moment they finish one, so an expensive scenario never stalls the
-//! rest of the sweep), and merges the results back **in index order**, so
-//! the resulting [`CheckSummary`] is bit-for-bit identical no matter how
-//! many threads ran the sweep.
+//! out over a pool of scoped worker threads that pull chunks from a shared
+//! atomic cursor (idle workers steal the next unclaimed chunk the moment
+//! they finish one, so an expensive scenario never stalls the rest of the
+//! sweep), and merges the results back **in index order**, so the resulting
+//! [`CheckSummary`] is bit-for-bit identical no matter how many threads ran
+//! the sweep.
 //!
-//! Each worker owns a single *scratch* [`chainsim::World`] that it hands to
-//! every scenario it runs: the protocol entry points reset the world rather
-//! than rebuilding it, so the ledgers, contract stores and trace buffers a
-//! scenario needs are allocated once per worker instead of once per run.
+//! # Worker-local state: worlds and family caches
+//!
+//! Each worker owns a single *scratch* [`chainsim::World`] plus one
+//! [`FamilyScratch`] cache slot per family, and hands both to every
+//! scenario it runs. The world is reset (or snapshot-restored) rather than
+//! rebuilt, so ledgers, contract stores and trace buffers are allocated
+//! once per worker; the family slot is where prefix-sharing families keep
+//! their per-worker deviation tree — the recorded compliant prefix whose
+//! checkpoints ([`chainsim::World::snapshot`]) every deviation scenario
+//! resumes from instead of replaying the shared prefix (see
+//! [`crate::scenarios`]).
+//!
+//! # Determinism contract
+//!
+//! `check(i, ..)` must depend only on `i`, `&self` and — for performance,
+//! never for results — the worker-local scratch state. Snapshots restore
+//! bit-identical world state, checkpointed scripts fork from recorded
+//! positions, and every cache entry memoises a pure function, so a
+//! scenario's violations are identical whether its prefix was shared or
+//! replayed, whatever worker ran it, in whatever order. This is pinned by
+//! the `replay-oracle` differential tests, which diff whole summaries (and
+//! reports) between the deviation-tree and brute-force paths across thread
+//! counts.
+//!
 //! Scratch worlds default to [`TraceMode::Off`] — sweeps judge reports and
 //! payoffs, never rendered traces — which skips event construction
 //! entirely; [`ParallelSweep::trace_mode`] can opt back into full traces,
@@ -21,19 +41,49 @@
 //! immutable generator and the chunk cursor, which is why the engine needs
 //! no locks and no dependencies beyond `std::thread::scope`.
 
+use std::any::Any;
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use chainsim::{TraceMode, World};
+use chainsim::{SimCaches, TraceMode, World};
 
 use crate::{CheckSummary, Violation};
+
+/// A worker-local, type-erased cache slot owned by one (worker, family)
+/// pair.
+///
+/// Families use it to keep state that is expensive to build and reusable
+/// across the scenarios one worker runs — prefix-sharing families store
+/// their recorded compliant prefix here. The slot must only ever hold
+/// *performance* state: anything in it is rebuilt from scratch by a fresh
+/// worker, and results must be identical either way.
+#[derive(Default)]
+pub struct FamilyScratch(SimCaches);
+
+impl FamilyScratch {
+    /// Returns the slot's cache of type `T`, creating it on first use.
+    ///
+    /// Backed by the same `TypeId`-keyed store as [`chainsim::SimCaches`],
+    /// so a family may keep several independently typed caches in its slot
+    /// without them evicting each other.
+    pub fn get_or_default<T: Any + Default + Send>(&mut self) -> &mut T {
+        self.0.get_or_default::<T>()
+    }
+}
+
+impl fmt::Debug for FamilyScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FamilyScratch").field("caches", &self.0).finish()
+    }
+}
 
 /// A family of model-checking scenarios with random-access indexing.
 ///
 /// Implementations must be cheap to index: `check(i, ..)` is called from
 /// worker threads in arbitrary order and must depend only on `i`, `&self`
-/// and the (reset) scratch world — never on mutable state — which is what
-/// makes sweeps deterministic.
+/// and the (reset) scratch state — never on mutable state that could alter
+/// results — which is what makes sweeps deterministic.
 pub trait ScenarioGen: Sync {
     /// Short human-readable name of the scenario family, used in reports.
     fn family(&self) -> String;
@@ -49,10 +99,12 @@ pub trait ScenarioGen: Sync {
     /// scratch world and returns every property violation it exhibits.
     ///
     /// The scratch world arrives in an arbitrary prior state; the scenario
-    /// must pass it to a `*_in` protocol entry point (which resets it) or
-    /// reset it itself. The result must be identical for any prior state
-    /// and any [`TraceMode`].
-    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation>;
+    /// must pass it to a `*_in`/`*_shared` protocol entry point (which
+    /// resets or restores it) or reset it itself. `cache` is this worker's
+    /// [`FamilyScratch`] for this family. The result must be identical for
+    /// any prior state, any cache contents and any [`TraceMode`].
+    fn check(&self, index: usize, scratch: &mut World, cache: &mut FamilyScratch)
+        -> Vec<Violation>;
 }
 
 /// A deterministic parallel sweep runner.
@@ -74,7 +126,9 @@ pub trait ScenarioGen: Sync {
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelSweep {
     threads: usize,
-    chunk: usize,
+    /// Scenarios per steal; `None` auto-tunes per sweep (see
+    /// [`ParallelSweep::chunk_size`] for the policy).
+    chunk: Option<usize>,
     trace: TraceMode,
 }
 
@@ -84,6 +138,16 @@ impl Default for ParallelSweep {
     }
 }
 
+/// With auto-tuned chunks, each worker steals about this many chunks over a
+/// sweep: enough steals that an unlucky worker can shed load to idle ones,
+/// few enough that cursor traffic stays negligible and consecutive indices
+/// (which share a family's deviation-tree prefix) stay on one worker.
+const TARGET_STEALS_PER_WORKER: usize = 8;
+
+/// Auto-tuned chunks never exceed this, so even enormous families keep
+/// stealing often enough to balance unequal scenario costs.
+const MAX_AUTO_CHUNK: usize = 64;
+
 impl ParallelSweep {
     /// Creates a sweep runner with a fixed worker count.
     ///
@@ -92,30 +156,37 @@ impl ParallelSweep {
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "a sweep needs at least one worker");
-        ParallelSweep { threads, chunk: 4, trace: TraceMode::Off }
+        ParallelSweep { threads, chunk: None, trace: TraceMode::Off }
     }
 
-    /// Creates a sweep runner sized to the machine, capped at 8 workers
-    /// (scenario runs are CPU-bound; beyond that the fixed per-run setup
-    /// cost dominates on the sweep sizes this crate checks).
+    /// Creates a sweep runner sized to the machine.
+    ///
+    /// Uses every available hardware thread. Earlier revisions capped the
+    /// pool at 8 workers because fixed per-run setup costs dominated small
+    /// sweeps; with per-worker snapshot-sharing caches and auto-tuned chunk
+    /// sizes the engine scales with the machine, so the cap is gone —
+    /// scenario runs are CPU-bound, and `available_parallelism` is exactly
+    /// the number of them that can make progress at once.
     pub fn with_available_parallelism() -> Self {
-        let threads =
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(8);
+        let threads = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
         Self::new(threads)
     }
 
     /// Overrides the number of scenarios a worker claims per steal.
     ///
     /// Smaller chunks balance unequal scenario costs better; larger chunks
-    /// reduce cursor contention. The result of the sweep is identical for
-    /// every chunk size.
+    /// reduce cursor contention and keep index-adjacent scenarios (which
+    /// share a deviation-tree prefix) on one worker. By default the chunk
+    /// is auto-tuned per sweep to `total / (threads × 8)`, clamped to
+    /// `1..=64` — about eight steals per worker. The result of the sweep is
+    /// identical for every chunk size.
     ///
     /// # Panics
     ///
     /// Panics if `chunk` is zero.
     pub fn chunk_size(mut self, chunk: usize) -> Self {
         assert!(chunk > 0, "chunks must hold at least one scenario");
-        self.chunk = chunk;
+        self.chunk = Some(chunk);
         self
     }
 
@@ -132,6 +203,15 @@ impl ParallelSweep {
     /// The number of worker threads this runner spawns.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The chunk size this runner would use for a sweep of `total`
+    /// scenarios (auto-tuned unless overridden via
+    /// [`ParallelSweep::chunk_size`]).
+    pub fn effective_chunk(&self, total: usize) -> usize {
+        self.chunk.unwrap_or_else(|| {
+            (total / (self.threads * TARGET_STEALS_PER_WORKER)).clamp(1, MAX_AUTO_CHUNK)
+        })
     }
 
     /// Sweeps a single scenario family.
@@ -155,17 +235,24 @@ impl ParallelSweep {
         }
 
         let cursor = AtomicUsize::new(0);
-        let chunk = self.chunk;
+        let chunk = self.effective_chunk(total);
+        // Never spawn more workers than there are chunks of work: surplus
+        // workers would only pay the scratch-world and prefix-recording
+        // setup to then go idle. Results are identical for any pool size.
+        let workers = self.threads.min(total.div_ceil(chunk)).max(1);
         let trace = self.trace;
         let mut found: Vec<(usize, Vec<Violation>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.threads)
+            let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
                     let offsets = &offsets;
                     scope.spawn(move || {
-                        // One scratch world per worker: every scenario this
-                        // worker claims reuses its allocations.
+                        // One scratch world and one cache slot per family,
+                        // per worker: every scenario this worker claims
+                        // reuses their allocations and prefix caches.
                         let mut scratch = World::with_trace(1, trace);
+                        let mut slots: Vec<FamilyScratch> =
+                            gens.iter().map(|_| FamilyScratch::default()).collect();
                         let mut local: Vec<(usize, Vec<Violation>)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -177,8 +264,11 @@ impl ParallelSweep {
                                     Ok(exact) => exact,
                                     Err(insert) => insert - 1,
                                 };
-                                let violations =
-                                    gens[family].check(index - offsets[family], &mut scratch);
+                                let violations = gens[family].check(
+                                    index - offsets[family],
+                                    &mut scratch,
+                                    &mut slots[family],
+                                );
                                 if !violations.is_empty() {
                                     local.push((index, violations));
                                 }
@@ -222,7 +312,15 @@ mod tests {
         fn total(&self) -> usize {
             self.total
         }
-        fn check(&self, index: usize, _scratch: &mut World) -> Vec<Violation> {
+        fn check(
+            &self,
+            index: usize,
+            _scratch: &mut World,
+            cache: &mut FamilyScratch,
+        ) -> Vec<Violation> {
+            // Exercise the worker-local cache slot: a counter of how many
+            // scenarios this worker ran must never influence results.
+            *cache.get_or_default::<usize>() += 1;
             if index.is_multiple_of(7) {
                 vec![Violation {
                     scenario: format!("synthetic #{index}"),
@@ -248,6 +346,28 @@ mod tests {
                 assert_eq!(format!("{summary:?}"), format!("{baseline:?}"));
             }
         }
+    }
+
+    #[test]
+    fn auto_chunk_targets_a_handful_of_steals_per_worker() {
+        let sweep = ParallelSweep::new(2);
+        assert_eq!(sweep.effective_chunk(0), 1);
+        assert_eq!(sweep.effective_chunk(16), 1);
+        assert_eq!(sweep.effective_chunk(432), 27);
+        assert_eq!(sweep.effective_chunk(1_000_000), 64, "clamped");
+        assert_eq!(sweep.chunk_size(4).effective_chunk(1_000_000), 4, "override wins");
+    }
+
+    #[test]
+    fn family_scratch_is_typed_and_reusable() {
+        let mut slot = FamilyScratch::default();
+        *slot.get_or_default::<usize>() += 2;
+        assert_eq!(*slot.get_or_default::<usize>(), 2);
+        // Distinct types coexist in one slot without evicting each other.
+        *slot.get_or_default::<u32>() += 9;
+        assert_eq!(*slot.get_or_default::<usize>(), 2);
+        assert_eq!(*slot.get_or_default::<u32>(), 9);
+        assert!(format!("{slot:?}").contains("FamilyScratch"));
     }
 
     #[test]

@@ -157,8 +157,8 @@ pub fn check_bootstrap(max_rounds: u32) -> CheckSummary {
     let families: Vec<BootstrapSweep> = (1..=max_rounds)
         .flat_map(|rounds| {
             [
-                BootstrapSweep { a: 1_000_000, b: 1_000_000, ratio: 100, rounds },
-                BootstrapSweep { a: 5_000, b: 20_000, ratio: 10, rounds },
+                BootstrapSweep::new(1_000_000, 1_000_000, 100, rounds),
+                BootstrapSweep::new(5_000, 20_000, 10, rounds),
             ]
         })
         .collect();

@@ -9,14 +9,48 @@
 use std::collections::BTreeMap;
 
 use chainsim::{PartyId, World};
-use protocols::auction::{run_auction_in, AuctionConfig, AuctioneerBehaviour};
-use protocols::bootstrap::{run_bootstrap_in, BootstrapDeviation};
-use protocols::deal::{self, run_deal_in, DealConfig};
+use protocols::auction::{run_auction_shared, AuctionConfig, AuctionPrefix, AuctioneerBehaviour};
+use protocols::bootstrap::{run_bootstrap_shared, BootstrapDeviation};
+use protocols::deal::{self, run_deal_shared, DealConfig};
 use protocols::script::Strategy;
-use protocols::two_party::{self, run_base_swap_in, run_hedged_swap_in, TwoPartyConfig};
+use protocols::two_party::{self, run_swap_shared, SwapProtocol, TwoPartyConfig, TwoPartyPrefix};
 
-use crate::engine::ScenarioGen;
+use crate::engine::{FamilyScratch, ScenarioGen};
 use crate::Violation;
+
+use protocols::auction::run_auction_in;
+use protocols::bootstrap::run_bootstrap_in;
+use protocols::deal::run_deal_in;
+use protocols::two_party::{run_base_swap_in, run_hedged_swap_in};
+
+/// Dispatches between the brute-force replay path and the deviation-tree
+/// path, moving the worker context (`&mut` world and cache) into whichever
+/// closure runs. Without the `replay-oracle` feature the oracle closure is
+/// dead (families cannot be switched to replay mode) and the shared path
+/// always runs; the `cfg` lives here once instead of in every family.
+#[cfg(feature = "replay-oracle")]
+fn oracle_or<C, R>(
+    replay: bool,
+    context: C,
+    oracle: impl FnOnce(C) -> R,
+    shared: impl FnOnce(C) -> R,
+) -> R {
+    if replay {
+        oracle(context)
+    } else {
+        shared(context)
+    }
+}
+
+#[cfg(not(feature = "replay-oracle"))]
+fn oracle_or<C, R>(
+    _replay: bool,
+    context: C,
+    _oracle: impl FnOnce(C) -> R,
+    shared: impl FnOnce(C) -> R,
+) -> R {
+    shared(context)
+}
 
 /// The synthetic party id used for violations that concern the run as a
 /// whole (conservation of funds) rather than a specific party.
@@ -37,19 +71,29 @@ pub struct TwoPartySweep {
     config: TwoPartyConfig,
     hedged: bool,
     space: Vec<Strategy>,
+    replay: bool,
 }
 
 impl TwoPartySweep {
     /// Sweeps the hedged two-party swap (§5.2).
     pub fn hedged(config: TwoPartyConfig) -> Self {
-        TwoPartySweep { config, hedged: true, space: two_party::strategy_space() }
+        TwoPartySweep { config, hedged: true, space: two_party::strategy_space(), replay: false }
     }
 
     /// Sweeps the base (unhedged) two-party swap (§5.1). The sweep is
     /// expected to *find* hedged-property violations: that is the paper's
     /// motivating attack.
     pub fn base(config: TwoPartyConfig) -> Self {
-        TwoPartySweep { config, hedged: false, space: two_party::strategy_space() }
+        TwoPartySweep { config, hedged: false, space: two_party::strategy_space(), replay: false }
+    }
+
+    /// Switches this family to the brute-force path: every scenario
+    /// replays its full run instead of resuming from the shared compliant
+    /// prefix. Differential tests diff the two paths' summaries.
+    #[cfg(feature = "replay-oracle")]
+    pub fn replay_oracle(mut self) -> Self {
+        self.replay = true;
+        self
     }
 }
 
@@ -62,14 +106,30 @@ impl ScenarioGen for TwoPartySweep {
         self.space.len() * self.space.len()
     }
 
-    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
+    fn check(
+        &self,
+        index: usize,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
         let alice = self.space[index / self.space.len()];
         let bob = self.space[index % self.space.len()];
-        let report = if self.hedged {
-            run_hedged_swap_in(scratch, &self.config, alice, bob)
-        } else {
-            run_base_swap_in(scratch, &self.config, alice, bob)
-        };
+        let protocol = if self.hedged { SwapProtocol::Hedged } else { SwapProtocol::Base };
+        let report = oracle_or(
+            self.replay,
+            (scratch, cache),
+            |(scratch, _)| {
+                if self.hedged {
+                    run_hedged_swap_in(scratch, &self.config, alice, bob)
+                } else {
+                    run_base_swap_in(scratch, &self.config, alice, bob)
+                }
+            },
+            |(scratch, cache)| {
+                let slot = cache.get_or_default::<Option<TwoPartyPrefix>>();
+                run_swap_shared(scratch, &self.config, protocol, alice, bob, slot)
+            },
+        );
         // Scenario labels are only rendered for violating runs, so the
         // (overwhelmingly common) clean scenario allocates nothing here.
         let scenario = || format!("{}, alice={alice}, bob={bob}", self.family());
@@ -129,6 +189,7 @@ pub struct DealSweep {
     /// Materialised profile list for [`DeviationBudget::AtMost`]; `None`
     /// for full sweeps, which decode indices arithmetically instead.
     profiles: Option<Vec<BTreeMap<PartyId, Strategy>>>,
+    replay: bool,
 }
 
 impl DealSweep {
@@ -157,7 +218,7 @@ impl DealSweep {
                 Some(profiles)
             }
         };
-        DealSweep { name: name.into(), config, space, budget, profiles }
+        DealSweep { name: name.into(), config, space, budget, profiles, replay: false }
     }
 
     /// A sweep over the full product strategy space.
@@ -178,6 +239,14 @@ impl DealSweep {
     /// The deviation budget of this family.
     pub fn budget(&self) -> DeviationBudget {
         self.budget
+    }
+
+    /// Switches this family to the brute-force path; see
+    /// [`TwoPartySweep::replay_oracle`].
+    #[cfg(feature = "replay-oracle")]
+    pub fn replay_oracle(mut self) -> Self {
+        self.replay = true;
+        self
     }
 
     /// Decodes scenario `index` into a (deviators-only) strategy profile.
@@ -216,7 +285,12 @@ impl ScenarioGen for DealSweep {
         }
     }
 
-    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
+    fn check(
+        &self,
+        index: usize,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
         let owned_profile;
         let profile: &BTreeMap<PartyId, Strategy> = match &self.profiles {
             Some(profiles) => &profiles[index],
@@ -225,7 +299,14 @@ impl ScenarioGen for DealSweep {
                 &owned_profile
             }
         };
-        let report = run_deal_in(scratch, &self.config, profile);
+        let report = oracle_or(
+            self.replay,
+            (scratch, cache),
+            |(scratch, _)| run_deal_in(scratch, &self.config, profile),
+            |(scratch, cache)| {
+                run_deal_shared(scratch, &self.config, profile, cache.get_or_default())
+            },
+        );
         // Rendered only for violating runs; clean scenarios allocate nothing.
         let scenario = || format!("{} with profile {profile:?}", self.name);
         let mut violations = Vec::new();
@@ -343,13 +424,30 @@ fn enumerate_profiles(
 #[derive(Clone, Copy, Debug)]
 pub struct BootstrapSweep {
     /// Alice's principal.
-    pub a: u128,
+    a: u128,
     /// Bob's principal.
-    pub b: u128,
+    b: u128,
     /// The per-round premium ratio `P`.
-    pub ratio: u128,
+    ratio: u128,
     /// Number of premium rounds (levels above the principal swap).
-    pub rounds: u32,
+    rounds: u32,
+    replay: bool,
+}
+
+impl BootstrapSweep {
+    /// Sweeps the cascade of `a` against `b` with premium ratio `ratio`
+    /// and `rounds` premium rounds.
+    pub fn new(a: u128, b: u128, ratio: u128, rounds: u32) -> Self {
+        BootstrapSweep { a, b, ratio, rounds, replay: false }
+    }
+
+    /// Switches this family to the brute-force path; see
+    /// [`TwoPartySweep::replay_oracle`].
+    #[cfg(feature = "replay-oracle")]
+    pub fn replay_oracle(mut self) -> Self {
+        self.replay = true;
+        self
+    }
 }
 
 impl ScenarioGen for BootstrapSweep {
@@ -364,7 +462,12 @@ impl ScenarioGen for BootstrapSweep {
         1 + 2 * (self.rounds as usize + 1)
     }
 
-    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
+    fn check(
+        &self,
+        index: usize,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
         let levels = self.rounds as usize + 1;
         let (deviation, deviator) = if index == 0 {
             (BootstrapDeviation::None, None)
@@ -373,7 +476,24 @@ impl ScenarioGen for BootstrapSweep {
             let level = ((index - 1) % levels) as u32;
             (BootstrapDeviation::StopAtLevel { party, level }, Some(party))
         };
-        let report = run_bootstrap_in(scratch, self.a, self.b, self.ratio, self.rounds, deviation);
+        let report = oracle_or(
+            self.replay,
+            (scratch, cache),
+            |(scratch, _)| {
+                run_bootstrap_in(scratch, self.a, self.b, self.ratio, self.rounds, deviation)
+            },
+            |(scratch, cache)| {
+                run_bootstrap_shared(
+                    scratch,
+                    self.a,
+                    self.b,
+                    self.ratio,
+                    self.rounds,
+                    deviation,
+                    cache.get_or_default(),
+                )
+            },
+        );
         let scenario = || format!("{}, deviation {deviation:?}", self.family());
         let mut violations = Vec::new();
         if !report.loss_bounded_by_initial_risk {
@@ -411,7 +531,12 @@ impl ScenarioGen for BootstrapSweep {
 #[derive(Clone, Debug, Default)]
 pub struct AuctionSweep {
     config: AuctionConfig,
+    replay: bool,
 }
+
+/// Per-worker auction prefixes, one per auctioneer behaviour (the
+/// behaviour changes the recorded compliant trajectory).
+type AuctionPrefixSlots = BTreeMap<usize, Option<AuctionPrefix>>;
 
 /// Auctioneer behaviours the sweep ranges over.
 const BEHAVIOURS: [AuctioneerBehaviour; 3] = [
@@ -428,7 +553,15 @@ impl AuctionSweep {
     /// Sweeps the given auction configuration (the `auctioneer` field is
     /// overridden per scenario).
     pub fn new(config: AuctionConfig) -> Self {
-        AuctionSweep { config }
+        AuctionSweep { config, replay: false }
+    }
+
+    /// Switches this family to the brute-force path; see
+    /// [`TwoPartySweep::replay_oracle`].
+    #[cfg(feature = "replay-oracle")]
+    pub fn replay_oracle(mut self) -> Self {
+        self.replay = true;
+        self
     }
 }
 
@@ -441,13 +574,32 @@ impl ScenarioGen for AuctionSweep {
         BEHAVIOURS.len() * AUCTION_PARTIES.len() * AUCTION_STOPS
     }
 
-    fn check(&self, index: usize, scratch: &mut World) -> Vec<Violation> {
-        let behaviour = BEHAVIOURS[index / (AUCTION_PARTIES.len() * AUCTION_STOPS)];
+    fn check(
+        &self,
+        index: usize,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
+        let behaviour_index = index / (AUCTION_PARTIES.len() * AUCTION_STOPS);
+        let behaviour = BEHAVIOURS[behaviour_index];
         let party = AUCTION_PARTIES[(index / AUCTION_STOPS) % AUCTION_PARTIES.len()];
         let stop_after = index % AUCTION_STOPS;
         let config = AuctionConfig { auctioneer: behaviour, ..self.config.clone() };
         let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
-        let report = run_auction_in(scratch, &config, &strategies);
+        let report = oracle_or(
+            self.replay,
+            (scratch, cache),
+            |(scratch, _)| run_auction_in(scratch, &config, &strategies),
+            |(scratch, cache)| {
+                let slots = cache.get_or_default::<AuctionPrefixSlots>();
+                run_auction_shared(
+                    scratch,
+                    &config,
+                    &strategies,
+                    slots.entry(behaviour_index).or_default(),
+                )
+            },
+        );
         let scenario = || format!("auction {behaviour:?}, {party} stops after {stop_after}");
         let mut violations = Vec::new();
         if !report.no_bid_stolen {
@@ -508,7 +660,7 @@ mod tests {
 
     #[test]
     fn bootstrap_and_auction_totals() {
-        let gen = BootstrapSweep { a: 1_000, b: 1_000, ratio: 10, rounds: 2 };
+        let gen = BootstrapSweep::new(1_000, 1_000, 10, 2);
         assert_eq!(gen.total(), 1 + 2 * 3);
         assert_eq!(AuctionSweep::default().total(), 36);
     }

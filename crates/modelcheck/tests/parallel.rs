@@ -65,8 +65,7 @@ fn deal_and_auction_sweeps_are_thread_invariant() {
     let auction = assert_thread_invariant(&AuctionSweep::default());
     assert!(auction.holds(), "{:?}", auction.violations);
 
-    let bootstrap =
-        assert_thread_invariant(&BootstrapSweep { a: 100_000, b: 100_000, ratio: 10, rounds: 3 });
+    let bootstrap = assert_thread_invariant(&BootstrapSweep::new(100_000, 100_000, 10, 3));
     assert!(bootstrap.holds(), "{:?}", bootstrap.violations);
     assert_eq!(bootstrap.runs, 1 + 2 * 4);
 }

@@ -1,0 +1,209 @@
+//! Differential tests: the prefix-sharing deviation-tree sweeps must be
+//! **byte-identical** to the brute-force replay sweeps (the `replay-oracle`
+//! feature keeps the old path selectable), across 1, 2 and 4 worker
+//! threads — and the underlying protocol reports must match field-for-field
+//! for every profile, not just the violation summaries.
+
+#![cfg(feature = "replay-oracle")]
+
+use std::collections::BTreeMap;
+
+use chainsim::{PartyId, TraceMode, World};
+use modelcheck::engine::{ParallelSweep, ScenarioGen};
+use modelcheck::scenarios::{AuctionSweep, BootstrapSweep, DealSweep, TwoPartySweep};
+use protocols::auction::{run_auction_in, run_auction_shared, AuctionConfig, AuctioneerBehaviour};
+use protocols::bootstrap::{run_bootstrap_in, run_bootstrap_shared, BootstrapDeviation};
+use protocols::broker::{broker_deal_config, BrokerConfig};
+use protocols::deal::{self, run_deal_in, run_deal_shared, DealConfig};
+use protocols::multi_party::{cycle_config, figure3_config, random_config};
+use protocols::script::Strategy;
+use protocols::two_party::{self, run_swap_shared, SwapProtocol, TwoPartyConfig};
+
+/// Sweeps `tree` (prefix-sharing) and `oracle` (brute force) at 1, 2 and 4
+/// threads and asserts all six summaries are byte-identical.
+fn assert_tree_matches_oracle(tree: &dyn ScenarioGen, oracle: &dyn ScenarioGen) {
+    let baseline = format!("{:?}", ParallelSweep::new(1).run(oracle));
+    for threads in [1usize, 2, 4] {
+        let tree_summary = format!("{:?}", ParallelSweep::new(threads).run(tree));
+        assert_eq!(
+            tree_summary,
+            baseline,
+            "deviation tree diverged from the replay oracle for {:?} at {threads} threads",
+            tree.family()
+        );
+        let oracle_summary = format!("{:?}", ParallelSweep::new(threads).run(oracle));
+        assert_eq!(oracle_summary, baseline, "oracle must itself be thread-invariant");
+    }
+}
+
+#[test]
+fn two_party_sweeps_match_the_replay_oracle() {
+    let config = TwoPartyConfig::default();
+    assert_tree_matches_oracle(
+        &TwoPartySweep::hedged(config.clone()),
+        &TwoPartySweep::hedged(config.clone()).replay_oracle(),
+    );
+    // The base protocol *has* violations; both paths must find the same ones.
+    assert_tree_matches_oracle(
+        &TwoPartySweep::base(config.clone()),
+        &TwoPartySweep::base(config).replay_oracle(),
+    );
+}
+
+#[test]
+fn deal_sweeps_match_the_replay_oracle() {
+    for (name, config, deviators) in [
+        ("figure3", figure3_config(), 2),
+        ("broker", broker_deal_config(&BrokerConfig::default()), 2),
+        ("cycle-4", cycle_config(4), 2),
+        ("random-4", random_config(4, 3, 7), 1),
+    ] {
+        assert_tree_matches_oracle(
+            &DealSweep::at_most(name, config.clone(), deviators),
+            &DealSweep::at_most(name, config, deviators).replay_oracle(),
+        );
+    }
+}
+
+#[test]
+fn full_product_deal_sweep_matches_the_replay_oracle() {
+    assert_tree_matches_oracle(
+        &DealSweep::full("figure3-full", figure3_config()),
+        &DealSweep::full("figure3-full", figure3_config()).replay_oracle(),
+    );
+}
+
+#[test]
+fn auction_and_bootstrap_sweeps_match_the_replay_oracle() {
+    assert_tree_matches_oracle(&AuctionSweep::default(), &AuctionSweep::default().replay_oracle());
+    assert_tree_matches_oracle(
+        &BootstrapSweep::new(5_000, 20_000, 10, 3),
+        &BootstrapSweep::new(5_000, 20_000, 10, 3).replay_oracle(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Report-level differentials: whole Debug-rendered reports, every profile.
+// ---------------------------------------------------------------------------
+
+/// Every at-most-two-deviators profile of `config`, reports compared
+/// field-for-field between the deviation tree and from-scratch execution,
+/// in both trace modes.
+fn assert_deal_reports_identical(config: &DealConfig) {
+    for trace in [TraceMode::Off, TraceMode::Full] {
+        let mut tree_world = World::with_trace(1, trace);
+        let mut oracle_world = World::with_trace(1, trace);
+        let mut cache = None;
+        let sweep = DealSweep::at_most("diff", config.clone(), 2);
+        for index in 0..sweep.total() {
+            let profile = sweep.profile(index);
+            let tree = run_deal_shared(&mut tree_world, config, &profile, &mut cache);
+            let oracle = run_deal_in(&mut oracle_world, config, &profile);
+            assert_eq!(
+                format!("{tree:?}"),
+                format!("{oracle:?}"),
+                "profile {profile:?} under {trace:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deal_reports_are_byte_identical_per_profile() {
+    assert_deal_reports_identical(&figure3_config());
+    assert_deal_reports_identical(&broker_deal_config(&BrokerConfig::default()));
+}
+
+#[test]
+fn two_party_reports_are_byte_identical_per_profile() {
+    let config = TwoPartyConfig::default();
+    let space = two_party::strategy_space();
+    for protocol in [SwapProtocol::Hedged, SwapProtocol::Base] {
+        let mut tree_world = World::with_trace(1, TraceMode::Off);
+        let mut oracle_world = World::with_trace(1, TraceMode::Off);
+        let mut cache = None;
+        for &alice in &space {
+            for &bob in &space {
+                let tree =
+                    run_swap_shared(&mut tree_world, &config, protocol, alice, bob, &mut cache);
+                let oracle = match protocol {
+                    SwapProtocol::Hedged => {
+                        two_party::run_hedged_swap_in(&mut oracle_world, &config, alice, bob)
+                    }
+                    SwapProtocol::Base => {
+                        two_party::run_base_swap_in(&mut oracle_world, &config, alice, bob)
+                    }
+                };
+                assert_eq!(
+                    format!("{tree:?}"),
+                    format!("{oracle:?}"),
+                    "{protocol:?} alice={alice} bob={bob}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn auction_reports_are_byte_identical_per_profile() {
+    for behaviour in [
+        AuctioneerBehaviour::DeclareHighBidder,
+        AuctioneerBehaviour::DeclareLowBidder,
+        AuctioneerBehaviour::Abandon,
+    ] {
+        let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
+        let mut tree_world = World::with_trace(1, TraceMode::Off);
+        let mut oracle_world = World::with_trace(1, TraceMode::Off);
+        let mut cache = None;
+        for party in 0..3u32 {
+            for stop in 0..4usize {
+                let strategies = BTreeMap::from([(PartyId(party), Strategy::StopAfter(stop))]);
+                let tree = run_auction_shared(&mut tree_world, &config, &strategies, &mut cache);
+                let oracle = run_auction_in(&mut oracle_world, &config, &strategies);
+                assert_eq!(
+                    format!("{tree:?}"),
+                    format!("{oracle:?}"),
+                    "{behaviour:?}, {party} stops after {stop}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bootstrap_reports_are_byte_identical_per_deviation() {
+    let (a, b, ratio, rounds) = (100_000u128, 100_000u128, 10u128, 3u32);
+    let mut tree_world = World::with_trace(1, TraceMode::Off);
+    let mut oracle_world = World::with_trace(1, TraceMode::Off);
+    let mut cache = None;
+    let mut deviations = vec![BootstrapDeviation::None];
+    for level in 0..=rounds {
+        for party in [PartyId(0), PartyId(1)] {
+            deviations.push(BootstrapDeviation::StopAtLevel { party, level });
+        }
+    }
+    for deviation in deviations {
+        let tree =
+            run_bootstrap_shared(&mut tree_world, a, b, ratio, rounds, deviation, &mut cache);
+        let oracle = run_bootstrap_in(&mut oracle_world, a, b, ratio, rounds, deviation);
+        assert_eq!(format!("{tree:?}"), format!("{oracle:?}"), "{deviation:?}");
+    }
+}
+
+/// The deviation tree must not mask the violations the engine exists to
+/// find: the base two-party sweep's sore-loser hits survive prefix sharing.
+#[test]
+fn deviation_tree_still_finds_base_protocol_violations() {
+    let summary = ParallelSweep::new(2).run(&TwoPartySweep::base(TwoPartyConfig::default()));
+    assert!(!summary.holds());
+    assert!(summary.violations.iter().all(|v| v.property == "hedged"));
+}
+
+/// Deal profile decoding must agree between the materialised and the
+/// arithmetic paths (guards the deviation tree's profile → divergence map).
+#[test]
+fn deal_profile_spaces_agree_between_budgets() {
+    let full = DealSweep::full("f", figure3_config());
+    let space = deal::strategy_space();
+    assert_eq!(full.total(), space.len().pow(3));
+}

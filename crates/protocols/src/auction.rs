@@ -17,7 +17,7 @@ use contracts::{
 use cryptosim::Secret;
 
 use crate::outcome::{BalanceSnapshot, Payoffs};
-use crate::script::{run_parties, ScriptedParty, Step, StepOutcome, Strategy};
+use crate::script::{run_parties, DeviationTree, ScriptedParty, Step, StepOutcome, Strategy};
 
 /// The auctioneer's party id.
 pub const AUCTIONEER: PartyId = PartyId(0);
@@ -95,6 +95,7 @@ pub struct AuctionReport {
     pub rounds: usize,
 }
 
+#[derive(Clone)]
 struct AuctionSetup {
     coin_addr: ContractAddr,
     ticket_addr: ContractAddr,
@@ -197,7 +198,7 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
                 return StepOutcome::Complete(vec![]);
             }
             if !world.now().has_reached(bid_deadline) {
-                return StepOutcome::Wait;
+                return StepOutcome::WaitUntil(bid_deadline);
             }
             let contract = coin_contract(world, coin_addr);
             let Some((high, _)) = contract.high_bidder() else {
@@ -240,7 +241,7 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
         }),
         Step::new("auctioneer: settle", move |world: &World| {
             if !world.now().has_reached(challenge_deadline) {
-                return StepOutcome::Wait;
+                return StepOutcome::WaitUntil(challenge_deadline);
             }
             let mut actions = Vec::new();
             if coin_contract(world, coin_addr).outcome().is_none() {
@@ -279,7 +280,7 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
                 return StepOutcome::Complete(vec![]);
             }
             if !world.now().has_reached(bid_deadline) {
-                return StepOutcome::Wait;
+                return StepOutcome::WaitUntil(bid_deadline);
             }
             let on_coin = coin_contract(world, coin_addr).hashkeys_received();
             let on_ticket = ticket_contract(world, ticket_addr).hashkeys_received();
@@ -319,14 +320,17 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
                 }
             }
             if actions.is_empty() {
-                StepOutcome::Wait
+                // Forwarding opportunities only appear when other parties
+                // act; the clock alone matters again at the challenge
+                // deadline.
+                StepOutcome::WaitUntil(challenge_deadline)
             } else {
                 StepOutcome::Progress(actions)
             }
         }),
         Step::new("bidder: settle", move |world: &World| {
             if !world.now().has_reached(challenge_deadline) {
-                return StepOutcome::Wait;
+                return StepOutcome::WaitUntil(challenge_deadline);
             }
             let mut actions = Vec::new();
             if coin_contract(world, coin_addr).outcome().is_none() {
@@ -363,29 +367,69 @@ pub fn run_auction_in(
     strategies: &BTreeMap<PartyId, Strategy>,
 ) -> AuctionReport {
     let setup = build(world, config);
-    let bidders = config.bidders();
-    let mut parties = vec![AUCTIONEER];
-    parties.extend(bidders.iter().copied());
-    let assets = [setup.coin, setup.ticket];
-    let before = BalanceSnapshot::capture(world, &parties, &assets);
+    let parties = auction_parties(config);
+    let before = BalanceSnapshot::capture(world, &parties, &[setup.coin, setup.ticket]);
+    let actors = auction_actors(config, &setup, &|party| {
+        strategies.get(&party).copied().unwrap_or(Strategy::Compliant)
+    });
+    let run_report = run_parties(world, actors, auction_max_rounds(config));
+    finish_auction_report(
+        world,
+        config,
+        strategies,
+        &setup,
+        &before,
+        run_report.failures().len(),
+        run_report.rounds(),
+    )
+}
 
+fn auction_parties(config: &AuctionConfig) -> Vec<PartyId> {
+    let mut parties = vec![AUCTIONEER];
+    parties.extend(config.bidders());
+    parties
+}
+
+fn auction_max_rounds(config: &AuctionConfig) -> u64 {
+    8 * config.delta_blocks + 4
+}
+
+fn auction_actors(
+    config: &AuctionConfig,
+    setup: &AuctionSetup,
+    strategy_of: &dyn Fn(PartyId) -> Strategy,
+) -> Vec<ScriptedParty> {
     let mut actors = vec![ScriptedParty::new(
         AUCTIONEER,
-        auctioneer_steps(config, &setup),
-        strategies.get(&AUCTIONEER).copied().unwrap_or(Strategy::Compliant),
+        auctioneer_steps(config, setup),
+        strategy_of(AUCTIONEER),
     )];
-    for bidder in &bidders {
+    for bidder in config.bidders() {
         actors.push(ScriptedParty::new(
-            *bidder,
-            bidder_steps(config, &setup, *bidder),
-            strategies.get(bidder).copied().unwrap_or(Strategy::Compliant),
+            bidder,
+            bidder_steps(config, setup, bidder),
+            strategy_of(bidder),
         ));
     }
-    let max_rounds = 8 * config.delta_blocks + 4;
-    let run_report = run_parties(world, actors, max_rounds);
+    actors
+}
 
-    let after = BalanceSnapshot::capture(world, &parties, &assets);
-    let payoffs = Payoffs::between(&before, &after);
+/// Derives the [`AuctionReport`] from the final world state. Shared by the
+/// from-scratch and deviation-tree paths, which keeps their reports
+/// byte-identical.
+fn finish_auction_report(
+    world: &World,
+    config: &AuctionConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+    setup: &AuctionSetup,
+    before: &BalanceSnapshot,
+    failed_actions: usize,
+    rounds: usize,
+) -> AuctionReport {
+    let bidders = config.bidders();
+    let parties = auction_parties(config);
+    let after = BalanceSnapshot::capture(world, &parties, &[setup.coin, setup.ticket]);
+    let payoffs = Payoffs::between(before, &after);
 
     let outcome = coin_contract(world, setup.coin_addr).outcome();
     let ticket_winner = ticket_contract(world, setup.ticket_addr).winner();
@@ -425,9 +469,59 @@ pub fn run_auction_in(
         no_bid_stolen,
         bidders_compensated,
         payoffs,
-        failed_actions: run_report.failures().len(),
-        rounds: run_report.rounds(),
+        failed_actions,
+        rounds,
     }
+}
+
+/// The per-worker deviation-tree cache for one auction configuration (one
+/// per auctioneer behaviour): the recorded compliant-strategy prefix plus
+/// the setup report derivation needs.
+///
+/// "Compliant" here means every party follows its script to the end; the
+/// auctioneer's *declaration content* (honest, low-bidder, abandon) is part
+/// of the configuration, so each behaviour records its own prefix.
+pub struct AuctionPrefix {
+    prefix: DeviationTree,
+    setup: AuctionSetup,
+    before: BalanceSnapshot,
+}
+
+impl std::fmt::Debug for AuctionPrefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuctionPrefix").field("prefix", &self.prefix).finish()
+    }
+}
+
+/// Runs the auction through the deviation tree; reports are byte-identical
+/// to [`run_auction_in`] for every strategy profile.
+pub fn run_auction_shared(
+    world: &mut World,
+    config: &AuctionConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+    cache: &mut Option<AuctionPrefix>,
+) -> AuctionReport {
+    if cache.is_none() {
+        let setup = build(world, config);
+        let parties = auction_parties(config);
+        let before = BalanceSnapshot::capture(world, &parties, &[setup.coin, setup.ticket]);
+        let actors = auction_actors(config, &setup, &|_| Strategy::Compliant);
+        let prefix = DeviationTree::record(world, actors, auction_max_rounds(config));
+        *cache = Some(AuctionPrefix { prefix, setup, before });
+    }
+    let cached = cache.as_mut().expect("cache populated above");
+    let resumed = cached
+        .prefix
+        .resume(world, &|party| strategies.get(&party).copied().unwrap_or(Strategy::Compliant));
+    finish_auction_report(
+        world,
+        config,
+        strategies,
+        &cached.setup,
+        &cached.before,
+        resumed.failed_actions,
+        resumed.rounds,
+    )
 }
 
 #[cfg(test)]

@@ -8,9 +8,11 @@
 //! deviation payoffs can be observed, and (b) summarises the exposure of a
 //! bootstrapped swap for reporting.
 
-use chainsim::{AccountRef, Amount, ContractAddr, Label, PartyId, Time, World};
+use chainsim::{
+    AccountRef, Amount, AssetId, ChainId, ContractAddr, Label, PartyId, Time, World, WorldSnapshot,
+};
 use contracts::{HedgedEscrow, HedgedEscrowMsg, HedgedEscrowParams};
-use cryptosim::Secret;
+use cryptosim::{Hashlock, Secret};
 use swapgraph::bootstrap::{bootstrap_plan, lockup_durations, BootstrapPlan};
 
 /// Alice's party id.
@@ -107,6 +109,45 @@ pub fn run_bootstrap_in(
     rounds: u32,
     deviation: BootstrapDeviation,
 ) -> BootstrapRunReport {
+    let ctx = bootstrap_setup(world, a, b, ratio, rounds);
+    let mut state = CascadeState::new(rounds);
+    for k in (0..=rounds).rev() {
+        run_level(world, &ctx, &mut state, k, deviation);
+    }
+    settle_and_report(world, &ctx, &state, a, b, deviation)
+}
+
+/// The fixed context of one bootstrap configuration's cascade.
+struct BootstrapCtx {
+    plan: BootstrapPlan,
+    delta: u64,
+    horizon: Time,
+    banana: ChainId,
+    apricot: ChainId,
+    banana_native: AssetId,
+    apricot_native: AssetId,
+    before_alice: i128,
+    before_bob: i128,
+    secret: Secret,
+    hashlock: Hashlock,
+}
+
+/// The mutable cascade state the level iterations thread through.
+#[derive(Clone, Debug)]
+struct CascadeState {
+    contracts: Vec<(u32, ContractAddr, ContractAddr)>,
+    deepest_completed_level: u32,
+    halted: bool,
+}
+
+impl CascadeState {
+    fn new(rounds: u32) -> Self {
+        CascadeState { contracts: Vec::new(), deepest_completed_level: rounds, halted: false }
+    }
+}
+
+/// Resets the world and builds the cascade's chains and endowments.
+fn bootstrap_setup(world: &mut World, a: u128, b: u128, ratio: u128, rounds: u32) -> BootstrapCtx {
     let plan = bootstrap_plan(a, b, ratio, rounds);
     let delta = 2u64;
     world.reset(1);
@@ -128,153 +169,171 @@ pub fn run_bootstrap_in(
 
     let secret = Secret::from_seed(0xB00757);
     let hashlock = secret.hashlock();
-
-    // Walk levels from the outermost premiums down to the principals. The
-    // level-k deposits are the premiums protecting the level-(k-1) deposits:
-    // if a party fails to make its level-(k-1) deposit, the counterparty
-    // redeems that party's level-k deposit as compensation; otherwise every
-    // premium level is refunded at the end and only the level-0 principals
-    // change hands.
     let horizon = Time(u64::from(rounds + 2) * 6 * delta);
-    let mut contracts: Vec<(u32, ContractAddr, ContractAddr)> = Vec::new();
-    let mut deepest_completed_level = rounds;
-    let mut halted = false;
-    for k in (0..=rounds).rev() {
-        let level = &plan.levels[k as usize];
-        let start = world.now();
-        // Alice's deposit of this level lives on the banana chain (if she
-        // later defaults, Bob redeems it there as compensation) and vice versa.
-        let banana_escrow = world.publish_labeled(
-            banana,
-            ALICE,
-            Label::Indexed { ns: "bootstrap/banana", index: u64::from(k) },
-            Box::new(HedgedEscrow::new(HedgedEscrowParams {
-                escrower: ALICE,
-                redeemer: BOB,
-                principal_asset: banana_native,
-                principal_amount: Amount::new(level.alice_deposit),
-                premium_asset: banana_native,
-                premium_amount: Amount::ZERO,
-                hashlock,
-                premium_deadline: start.plus(delta),
-                escrow_deadline: start.plus(2 * delta),
-                redeem_deadline: horizon,
-            })),
-        );
-        let apricot_escrow = world.publish_labeled(
-            apricot,
-            BOB,
-            Label::Indexed { ns: "bootstrap/apricot", index: u64::from(k) },
-            Box::new(HedgedEscrow::new(HedgedEscrowParams {
-                escrower: BOB,
-                redeemer: ALICE,
-                principal_asset: apricot_native,
-                principal_amount: Amount::new(level.bob_deposit),
-                premium_asset: apricot_native,
-                premium_amount: Amount::ZERO,
-                hashlock,
-                premium_deadline: start.plus(delta),
-                escrow_deadline: start.plus(2 * delta),
-                redeem_deadline: horizon,
-            })),
-        );
-        contracts.push((k, banana_escrow, apricot_escrow));
+    BootstrapCtx {
+        plan,
+        delta,
+        horizon,
+        banana,
+        apricot,
+        banana_native,
+        apricot_native,
+        before_alice,
+        before_bob,
+        secret,
+        hashlock,
+    }
+}
 
-        let alice_stops = matches!(deviation, BootstrapDeviation::StopAtLevel { party, level } if party == ALICE && level == k);
-        let bob_stops = matches!(deviation, BootstrapDeviation::StopAtLevel { party, level } if party == BOB && level == k);
+/// Walks one level of the cascade, from the outermost premiums down to the
+/// principals. The level-`k` deposits are the premiums protecting the
+/// level-`k-1` deposits: if a party fails to make its level-`k-1` deposit,
+/// the counterparty redeems that party's level-`k` deposit as compensation;
+/// otherwise every premium level is refunded at the end and only the
+/// level-0 principals change hands.
+fn run_level(
+    world: &mut World,
+    ctx: &BootstrapCtx,
+    state: &mut CascadeState,
+    k: u32,
+    deviation: BootstrapDeviation,
+) {
+    let level = &ctx.plan.levels[k as usize];
+    let start = world.now();
+    // Alice's deposit of this level lives on the banana chain (if she
+    // later defaults, Bob redeems it there as compensation) and vice versa.
+    let banana_escrow = world.publish_labeled(
+        ctx.banana,
+        ALICE,
+        Label::Indexed { ns: "bootstrap/banana", index: u64::from(k) },
+        Box::new(HedgedEscrow::new(HedgedEscrowParams {
+            escrower: ALICE,
+            redeemer: BOB,
+            principal_asset: ctx.banana_native,
+            principal_amount: Amount::new(level.alice_deposit),
+            premium_asset: ctx.banana_native,
+            premium_amount: Amount::ZERO,
+            hashlock: ctx.hashlock,
+            premium_deadline: start.plus(ctx.delta),
+            escrow_deadline: start.plus(2 * ctx.delta),
+            redeem_deadline: ctx.horizon,
+        })),
+    );
+    let apricot_escrow = world.publish_labeled(
+        ctx.apricot,
+        BOB,
+        Label::Indexed { ns: "bootstrap/apricot", index: u64::from(k) },
+        Box::new(HedgedEscrow::new(HedgedEscrowParams {
+            escrower: BOB,
+            redeemer: ALICE,
+            principal_asset: ctx.apricot_native,
+            principal_amount: Amount::new(level.bob_deposit),
+            premium_asset: ctx.apricot_native,
+            premium_amount: Amount::ZERO,
+            hashlock: ctx.hashlock,
+            premium_deadline: start.plus(ctx.delta),
+            escrow_deadline: start.plus(2 * ctx.delta),
+            redeem_deadline: ctx.horizon,
+        })),
+    );
+    state.contracts.push((k, banana_escrow, apricot_escrow));
 
-        if halted {
-            continue;
-        }
+    let alice_stops = matches!(deviation, BootstrapDeviation::StopAtLevel { party, level } if party == ALICE && level == k);
+    let bob_stops = matches!(deviation, BootstrapDeviation::StopAtLevel { party, level } if party == BOB && level == k);
 
-        // Open the (zero-value) premium slots so the deposits can follow,
-        // then make this level's deposits.
+    if state.halted {
+        return;
+    }
+
+    // Open the (zero-value) premium slots so the deposits can follow,
+    // then make this level's deposits.
+    let _ = world.call(BOB, banana_escrow, &HedgedEscrowMsg::DepositPremium, "open premium slot");
+    let _ =
+        world.call(ALICE, apricot_escrow, &HedgedEscrowMsg::DepositPremium, "open premium slot");
+    world.advance_delta();
+    if !alice_stops {
         let _ =
-            world.call(BOB, banana_escrow, &HedgedEscrowMsg::DepositPremium, "open premium slot");
+            world.call(ALICE, banana_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
+    }
+    if !bob_stops {
+        let _ = world.call(BOB, apricot_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
+    }
+    world.advance_delta();
+    if alice_stops || bob_stops {
+        // The defaulter's guard deposit (made at level k+1, if any) is
+        // redeemed by the compliant counterparty as compensation.
+        state.halted = true;
+        state.deepest_completed_level = k + 1;
+        if let Some((_, prev_banana, prev_apricot)) =
+            state.contracts.iter().find(|(lvl, _, _)| *lvl == k + 1)
+        {
+            if alice_stops {
+                let _ = world.call(
+                    BOB,
+                    *prev_banana,
+                    &HedgedEscrowMsg::Redeem { secret: ctx.secret.clone() },
+                    "redeem the defaulter's guard deposit",
+                );
+            } else {
+                let _ = world.call(
+                    ALICE,
+                    *prev_apricot,
+                    &HedgedEscrowMsg::Redeem { secret: ctx.secret.clone() },
+                    "redeem the defaulter's guard deposit",
+                );
+            }
+        }
+        world.advance_delta();
+        return;
+    }
+    if k == 0 {
+        // The innermost level is the swap itself: both sides redeem.
+        let _ = world.call(
+            BOB,
+            banana_escrow,
+            &HedgedEscrowMsg::Redeem { secret: ctx.secret.clone() },
+            "redeem principal",
+        );
         let _ = world.call(
             ALICE,
             apricot_escrow,
-            &HedgedEscrowMsg::DepositPremium,
-            "open premium slot",
+            &HedgedEscrowMsg::Redeem { secret: ctx.secret.clone() },
+            "redeem principal",
         );
-        world.advance_delta();
-        if !alice_stops {
-            let _ = world.call(
-                ALICE,
-                banana_escrow,
-                &HedgedEscrowMsg::EscrowPrincipal,
-                "level deposit",
-            );
-        }
-        if !bob_stops {
-            let _ =
-                world.call(BOB, apricot_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
-        }
-        world.advance_delta();
-        if alice_stops || bob_stops {
-            // The defaulter's guard deposit (made at level k+1, if any) is
-            // redeemed by the compliant counterparty as compensation.
-            halted = true;
-            deepest_completed_level = k + 1;
-            if let Some((_, prev_banana, prev_apricot)) =
-                contracts.iter().find(|(lvl, _, _)| *lvl == k + 1)
-            {
-                if alice_stops {
-                    let _ = world.call(
-                        BOB,
-                        *prev_banana,
-                        &HedgedEscrowMsg::Redeem { secret: secret.clone() },
-                        "redeem the defaulter's guard deposit",
-                    );
-                } else {
-                    let _ = world.call(
-                        ALICE,
-                        *prev_apricot,
-                        &HedgedEscrowMsg::Redeem { secret: secret.clone() },
-                        "redeem the defaulter's guard deposit",
-                    );
-                }
-            }
-            world.advance_delta();
-            continue;
-        }
-        if k == 0 {
-            // The innermost level is the swap itself: both sides redeem.
-            let _ = world.call(
-                BOB,
-                banana_escrow,
-                &HedgedEscrowMsg::Redeem { secret: secret.clone() },
-                "redeem principal",
-            );
-            let _ = world.call(
-                ALICE,
-                apricot_escrow,
-                &HedgedEscrowMsg::Redeem { secret: secret.clone() },
-                "redeem principal",
-            );
-        }
-        world.advance_delta();
-        deepest_completed_level = k;
     }
+    world.advance_delta();
+    state.deepest_completed_level = k;
+}
 
-    // Let every outstanding deadline expire, then settle all contracts:
-    // undisturbed premium levels are refunded to their depositors.
-    let remaining = horizon - world.now();
-    world.advance_blocks(remaining + delta);
-    for (_, banana_escrow, apricot_escrow) in &contracts {
+/// Lets every outstanding deadline expire, settles all contracts
+/// (undisturbed premium levels are refunded to their depositors) and
+/// derives the report. Shared by the from-scratch and snapshot-tree paths,
+/// which keeps their reports byte-identical.
+fn settle_and_report(
+    world: &mut World,
+    ctx: &BootstrapCtx,
+    state: &CascadeState,
+    a: u128,
+    b: u128,
+    deviation: BootstrapDeviation,
+) -> BootstrapRunReport {
+    let remaining = ctx.horizon - world.now();
+    world.advance_blocks(remaining + ctx.delta);
+    for (_, banana_escrow, apricot_escrow) in &state.contracts {
         let _ = world.call(ALICE, *banana_escrow, &HedgedEscrowMsg::Settle, "settle");
         let _ = world.call(BOB, *apricot_escrow, &HedgedEscrowMsg::Settle, "settle");
     }
 
-    let after_alice = world.party_balance(ALICE, banana_native).value() as i128
-        + world.party_balance(ALICE, apricot_native).value() as i128;
-    let after_bob = world.party_balance(BOB, banana_native).value() as i128
-        + world.party_balance(BOB, apricot_native).value() as i128;
-    let alice_payoff = after_alice - before_alice;
-    let bob_payoff = after_bob - before_bob;
+    let after_alice = world.party_balance(ALICE, ctx.banana_native).value() as i128
+        + world.party_balance(ALICE, ctx.apricot_native).value() as i128;
+    let after_bob = world.party_balance(BOB, ctx.banana_native).value() as i128
+        + world.party_balance(BOB, ctx.apricot_native).value() as i128;
+    let alice_payoff = after_alice - ctx.before_alice;
+    let bob_payoff = after_bob - ctx.before_bob;
 
     // Sanity: nothing should remain locked in contracts.
-    let locked: u128 = contracts
+    let locked: u128 = state
+        .contracts
         .iter()
         .flat_map(|(_, b, a)| [*b, *a])
         .map(|addr| {
@@ -300,11 +359,83 @@ pub fn run_bootstrap_in(
     };
 
     BootstrapRunReport {
-        plan,
+        plan: ctx.plan.clone(),
         alice_payoff,
         bob_payoff,
-        deepest_completed_level,
+        deepest_completed_level: state.deepest_completed_level,
         loss_bounded_by_initial_risk: compliant_losses_bounded,
+    }
+}
+
+/// The per-worker snapshot tree for one bootstrap configuration: the world
+/// as of the start of each level of the compliant cascade, plus the
+/// completed compliant cascade itself.
+///
+/// A `StopAtLevel { level, .. }` deviation replays only levels `level..0`
+/// from the level's snapshot; the all-compliant scenario restores the final
+/// snapshot and runs settlement alone.
+pub struct BootstrapPrefix {
+    ctx: BootstrapCtx,
+    rounds: u32,
+    /// `levels[i]` is the state just before processing level `rounds - i`.
+    levels: Vec<(WorldSnapshot, CascadeState)>,
+    final_world: WorldSnapshot,
+    final_state: CascadeState,
+}
+
+impl std::fmt::Debug for BootstrapPrefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootstrapPrefix")
+            .field("rounds", &self.rounds)
+            .field("levels", &self.levels.len())
+            .finish()
+    }
+}
+
+/// Runs a bootstrapped cascade through the per-level snapshot tree;
+/// reports are byte-identical to [`run_bootstrap_in`] for every deviation.
+pub fn run_bootstrap_shared(
+    world: &mut World,
+    a: u128,
+    b: u128,
+    ratio: u128,
+    rounds: u32,
+    deviation: BootstrapDeviation,
+    cache: &mut Option<BootstrapPrefix>,
+) -> BootstrapRunReport {
+    if cache.is_none() {
+        let ctx = bootstrap_setup(world, a, b, ratio, rounds);
+        let mut state = CascadeState::new(rounds);
+        let mut levels = Vec::new();
+        for k in (0..=rounds).rev() {
+            levels.push((world.snapshot(), state.clone()));
+            run_level(world, &ctx, &mut state, k, BootstrapDeviation::None);
+        }
+        *cache = Some(BootstrapPrefix {
+            ctx,
+            rounds,
+            levels,
+            final_world: world.snapshot(),
+            final_state: state,
+        });
+    }
+    let cached = cache.as_ref().expect("cache populated above");
+    match deviation {
+        BootstrapDeviation::None => {
+            world.restore(&cached.final_world);
+            settle_and_report(world, &cached.ctx, &cached.final_state, a, b, deviation)
+        }
+        BootstrapDeviation::StopAtLevel { level, .. } => {
+            let level = level.min(cached.rounds);
+            let index = (cached.rounds - level) as usize;
+            let (snapshot, state) = &cached.levels[index];
+            world.restore(snapshot);
+            let mut state = state.clone();
+            for k in (0..=level).rev() {
+                run_level(world, &cached.ctx, &mut state, k, deviation);
+            }
+            settle_and_report(world, &cached.ctx, &state, a, b, deviation)
+        }
     }
 }
 

@@ -10,7 +10,8 @@
 //! [`crate::broker`] are thin wrappers that build the configuration.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use chainsim::{
     Action, Amount, AssetId, CallDesc, ChainId, ContractAddr, Label, PartyId, Time, World,
@@ -19,12 +20,14 @@ use contracts::{
     ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, Hashkey, HashkeyVerifyCache, PartyKeys,
     PremiumSlotState, PrincipalState,
 };
-use cryptosim::{Digest, KeyPair, Secret};
+use cryptosim::{KeyPair, Secret};
 use swapgraph::premiums::RedemptionPremiumEvaluator;
 use swapgraph::Digraph;
 
 use crate::outcome::{BalanceSnapshot, Payoffs};
-use crate::script::{run_parties, ScriptedParty, Step, StepOutcome, Strategy};
+use crate::script::{
+    run_parties, DeviationTree, HashkeyMemo, ScriptedParty, Step, StepMemo, StepOutcome, Strategy,
+};
 
 /// The number of scripted steps in each deal-engine role: escrow premiums,
 /// redemption premiums, asset escrow, hashkey release, settlement.
@@ -62,13 +65,16 @@ pub struct ArcSpec {
 /// Everything a deal's contracts verify and its compliant parties sign is a
 /// pure function of the configuration (seeded keys and secrets, a fixed
 /// digraph and key table), so sweeps that execute the same configuration
-/// thousands of times memoise two artefacts:
-///
-/// * the contract-side hashkey verification memo ([`HashkeyVerifyCache`]),
-///   shared across the configuration's arc escrows *and* across runs;
-/// * the party-side hashkey constructions (the leader's initial signature
-///   and each path extension), keyed by the signer and the
-///   collision-resistant chain tag of the base being extended.
+/// thousands of times memoise these artefacts. Every table here is either
+/// **pre-warmed once and then read-only** (leader hashkeys, deadlines, the
+/// Equation-(1) evaluator — `OnceLock`s initialised on the first run and
+/// read lock-free ever after) or **per-worker** (the hashkey-verification
+/// memo lives in each world's [`chainsim::SimCaches`]; party-side hashkey
+/// *extensions*, which depend on run dynamics and cannot be pre-warmed, live
+/// in per-step [`StepMemo`]s that deviation-tree forks carry and merge).
+/// Earlier revisions shared an `Arc<Mutex<BTreeMap<..>>>` hashkey memo
+/// across every worker thread; that lock was the single contended object in
+/// an otherwise share-nothing sweep and flattened 1→2-thread scaling.
 ///
 /// The caches affect performance only: every cached value is bit-for-bit
 /// what recomputation would produce, so reports and sweep summaries are
@@ -76,9 +82,9 @@ pub struct ArcSpec {
 #[derive(Clone, Debug, Default)]
 pub struct DealCaches {
     verify: HashkeyVerifyCache,
-    /// `(signer, Some(base chain tag))` for extensions, `(leader, None)`
-    /// for the leader's initial hashkey.
-    hashkeys: Arc<Mutex<HashkeyMemo>>,
+    /// The leaders' initial hashkeys, signed once per configuration when
+    /// the first run's setup pre-warms the table; read-only afterwards.
+    leader_hashkeys: Arc<OnceLock<BTreeMap<PartyId, Hashkey>>>,
     /// The phase deadlines, which require the digraph diameter (an
     /// all-pairs BFS) — computed once per configuration instead of several
     /// times per run.
@@ -88,29 +94,58 @@ pub struct DealCaches {
     premium_evaluator: Arc<OnceLock<RedemptionPremiumEvaluator>>,
 }
 
-/// Memoised hashkey constructions, keyed by signer and base chain tag.
-type HashkeyMemo = BTreeMap<(PartyId, Option<Digest>), Hashkey>;
-
 impl DealCaches {
     /// Creates empty caches for one deal configuration.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The leader's initial hashkey, signed once per configuration.
-    fn leader_hashkey(&self, leader: PartyId, secret: &Secret, keys: &KeyPair) -> Hashkey {
-        let mut cache = self.hashkeys.lock().expect("hashkey cache poisoned");
-        cache
-            .entry((leader, None))
-            .or_insert_with(|| Hashkey::from_leader(leader, secret.clone(), keys))
+    /// Pre-warms the read-only leader-hashkey table. Called by the deal
+    /// setup; the first caller signs, everyone after reads lock-free.
+    fn ensure_leader_hashkeys(&self, leaders: &BTreeSet<PartyId>) {
+        self.leader_hashkeys.get_or_init(|| {
+            leaders
+                .iter()
+                .map(|&leader| {
+                    let hashkey =
+                        Hashkey::from_leader(leader, leader_secret(leader), &party_keypair(leader));
+                    (leader, hashkey)
+                })
+                .collect()
+        });
+    }
+
+    /// The leader's initial hashkey: from the pre-warmed table when
+    /// available, else computed into the caller's per-worker memo.
+    /// Always signed from the canonical seeded material
+    /// ([`leader_secret`]/[`party_keypair`]) — the same derivation the deal
+    /// setup uses — so the pre-warmed table and the fallback can never
+    /// disagree.
+    fn leader_hashkey(&self, leader: PartyId, memo: &mut HashkeyMemo) -> Hashkey {
+        if let Some(table) = self.leader_hashkeys.get() {
+            if let Some(hashkey) = table.get(&leader) {
+                return hashkey.clone();
+            }
+        }
+        memo.entry((leader, None))
+            .or_insert_with(|| {
+                Hashkey::from_leader(leader, leader_secret(leader), &party_keypair(leader))
+            })
             .clone()
     }
 
-    /// `base` extended by `party`, signed once per (base, party).
-    fn extend_hashkey(&self, base: &Hashkey, party: PartyId, keys: &KeyPair) -> Hashkey {
-        let mut cache = self.hashkeys.lock().expect("hashkey cache poisoned");
-        cache
-            .entry((party, Some(base.chain_tag())))
+    /// `base` extended by `party`, signed once per (base, party) *per
+    /// worker*: extensions depend on which hashkey a party observed first,
+    /// so they cannot be pre-warmed; the memo is per-step state, carried
+    /// across scenario forks by the deviation tree.
+    fn extend_hashkey(
+        &self,
+        base: &Hashkey,
+        party: PartyId,
+        keys: &KeyPair,
+        memo: &mut HashkeyMemo,
+    ) -> Hashkey {
+        memo.entry((party, Some(base.chain_tag())))
             .or_insert_with(|| base.extend(party, keys))
             .clone()
     }
@@ -313,6 +348,9 @@ fn leader_secret(leader: PartyId) -> Secret {
 /// the public one-shot entry points keep full traces).
 fn build(world: &mut World, config: &DealConfig) -> DealSetup {
     world.reset(1);
+    // Pre-warm the configuration's read-only tables (leader hashkeys) so
+    // every later access — from any worker — is a lock-free read.
+    config.caches.ensure_leader_hashkeys(&config.leaders);
     // Setup tables borrow their keys from the config: a sweep re-runs the
     // same config thousands of times and must not re-clone its strings.
     let mut chain_ids: BTreeMap<&str, ChainId> = BTreeMap::new();
@@ -407,6 +445,13 @@ fn build(world: &mut World, config: &DealConfig) -> DealSetup {
     DealSetup { arc_addrs: Arc::new(arc_addrs), native_assets, traded_assets, secrets, keypairs }
 }
 
+/// The earliest of `deadlines` still in the future — the next time a
+/// frozen-world step's behaviour can change — or [`Time::MAX`] when every
+/// deadline has passed (the step is then inert until other parties act).
+fn wake_after(now: Time, deadlines: &[Time]) -> Time {
+    deadlines.iter().copied().filter(|t| *t > now).min().unwrap_or(Time::MAX)
+}
+
 fn arc_contract(world: &World, addr: ContractAddr) -> &ArcEscrow {
     world.chain(addr.chain).contract_as::<ArcEscrow>(addr.contract).expect("arc escrow present")
 }
@@ -478,7 +523,9 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                         != PremiumSlotState::NotDeposited
                 });
             if !ready {
-                return StepOutcome::Wait;
+                // On a frozen world readiness cannot change; the clock only
+                // matters again at the give-up deadline.
+                return StepOutcome::WaitUntil(give_up);
             }
             let actions = ctx
                 .out_arcs
@@ -505,8 +552,8 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
         let ctx = Arc::clone(&ctx);
         let give_up = deadlines.redemption_premium_deadline;
         let escrow_premium_deadline = deadlines.escrow_premium_deadline;
-        let mut done: BTreeSet<PartyId> = BTreeSet::new();
-        steps.push(Step::new("deposit redemption premiums", move |world: &World| {
+        steps.push(Step::stateful("deposit redemption premiums", move |memo, world: &World| {
+            let done = &mut memo.done;
             let now = world.now();
             let mut actions = Vec::new();
             for &leader in &ctx.leader_list {
@@ -580,7 +627,9 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
             if done.len() == ctx.leader_list.len() {
                 StepOutcome::Complete(actions)
             } else if actions.is_empty() {
-                StepOutcome::Wait
+                // Frozen-world behaviour only changes at the deadlines the
+                // branches above test (both with idempotent memo effects).
+                StepOutcome::WaitUntil(wake_after(now, &[give_up, escrow_premium_deadline]))
             } else {
                 StepOutcome::Progress(actions)
             }
@@ -608,7 +657,11 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                 now.has_reached(phase_start)
             };
             if !ready {
-                return StepOutcome::Wait;
+                return StepOutcome::WaitUntil(if wait_for_incoming {
+                    give_up
+                } else {
+                    wake_after(now, &[phase_start, give_up])
+                });
             }
             // Leaders (and everyone else) only escrow on arcs whose escrow
             // premium is activated; an unactivated arc means the receiver
@@ -639,8 +692,9 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
         let ctx = Arc::clone(&ctx);
         let caches = config.caches.clone();
         let give_up = final_deadline;
-        let mut done: BTreeSet<PartyId> = BTreeSet::new();
-        steps.push(Step::new("release and propagate hashkeys", move |world: &World| {
+        let asset_escrow_deadline = deadlines.asset_escrow_deadline;
+        steps.push(Step::stateful("release and propagate hashkeys", move |memo, world: &World| {
+            let StepMemo { done, hashkeys } = memo;
             let now = world.now();
             let mut actions = Vec::new();
             for &leader in &ctx.leader_list {
@@ -676,7 +730,7 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                             .asset_escrow_deadline,
                     );
                     if all_in || (escrowed_nothing && past_escrow_phase) {
-                        my_secret.as_ref().map(|s| caches.leader_hashkey(me, s, &my_keys))
+                        my_secret.as_ref().map(|_| caches.leader_hashkey(me, hashkeys))
                     } else {
                         None
                     }
@@ -685,7 +739,7 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                     ctx.out_arcs.iter().find_map(|arc| {
                         arc_contract(world, ctx.arc_addrs[arc])
                             .presented_hashkey(leader)
-                            .map(|k| caches.extend_hashkey(k, me, &my_keys))
+                            .map(|k| caches.extend_hashkey(k, me, &my_keys, hashkeys))
                     })
                 };
                 if let Some(hashkey) = hashkey {
@@ -709,7 +763,9 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
             if done.len() == ctx.leader_list.len() {
                 StepOutcome::Complete(actions)
             } else if actions.is_empty() {
-                StepOutcome::Wait
+                // Frozen-world behaviour only changes when the escrow phase
+                // ends (Lemma-4 release) or at the final deadline.
+                StepOutcome::WaitUntil(wake_after(now, &[asset_escrow_deadline, give_up]))
             } else {
                 StepOutcome::Progress(actions)
             }
@@ -740,7 +796,7 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                 return StepOutcome::Complete(vec![]);
             }
             if !now.has_reached(final_deadline) {
-                return StepOutcome::Wait;
+                return StepOutcome::WaitUntil(final_deadline);
             }
             let actions: Vec<Action> = unresolved
                 .into_iter()
@@ -779,45 +835,192 @@ pub fn run_deal_in(
     strategies: &BTreeMap<PartyId, Strategy>,
 ) -> DealReport {
     let setup = build(world, config);
-    let parties = config.parties();
-    let mut all_assets = setup.traded_assets.clone();
-    all_assets.extend(setup.native_assets.iter().copied());
-    let before = BalanceSnapshot::capture(world, &parties, &all_assets);
+    let tables = DealTables::from_setup(config, &setup);
+    let before = BalanceSnapshot::capture(world, &tables.parties, &tables.all_assets);
+    let actors = deal_actors(config, &setup, &|party| {
+        strategies.get(&party).copied().unwrap_or(Strategy::Compliant)
+    });
+    let run_report = run_parties(world, actors, deal_max_rounds(config));
+    let resumed = crate::script::ResumedRun {
+        rounds: run_report.rounds(),
+        failed_actions: run_report.failures().len(),
+        state_key: 0,
+        zero_tail: false,
+    };
+    let state = FinalState::capture(world, &tables, &before, &resumed);
+    finish_report(config, strategies, &tables, &state)
+}
 
-    let actors: Vec<ScriptedParty> = parties
+/// The per-worker deviation-tree cache for one deal configuration: the
+/// recorded compliant prefix plus the setup tables report derivation needs.
+///
+/// Built lazily by the first [`run_deal_shared`] call on a worker and
+/// reused for every scenario of the same configuration that worker runs.
+pub struct DealPrefix {
+    prefix: DeviationTree,
+    tables: DealTables,
+    before: BalanceSnapshot,
+    /// Final-state data of zero-tail resumes, keyed by the resume's
+    /// divergence-round state key: a profile whose fork runs zero tail
+    /// rounds ends in a state that is a pure function of that key, so the
+    /// (relatively expensive) balance capture, payoff diff and
+    /// contract-state scan are done once per checkpoint instead of once
+    /// per profile.
+    zero_tail: BTreeMap<u64, FinalState>,
+}
+
+impl fmt::Debug for DealPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DealPrefix").field("prefix", &self.prefix).finish()
+    }
+}
+
+/// Runs a hedged deal through the deviation tree: the compliant prefix is
+/// executed (and checkpointed) once per worker, and each profile resumes
+/// from the snapshot at its divergence round instead of replaying the
+/// shared prefix.
+///
+/// The report is byte-identical to [`run_deal_in`]'s for every profile —
+/// pinned by the `replay-oracle` differential tests in `modelcheck`.
+pub fn run_deal_shared(
+    world: &mut World,
+    config: &DealConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+    cache: &mut Option<DealPrefix>,
+) -> DealReport {
+    if cache.is_none() {
+        let setup = build(world, config);
+        let tables = DealTables::from_setup(config, &setup);
+        let before = BalanceSnapshot::capture(world, &tables.parties, &tables.all_assets);
+        let actors = deal_actors(config, &setup, &|_| Strategy::Compliant);
+        let prefix = DeviationTree::record(world, actors, deal_max_rounds(config));
+        *cache = Some(DealPrefix { prefix, tables, before, zero_tail: BTreeMap::new() });
+    }
+    let DealPrefix { prefix, tables, before, zero_tail } =
+        cache.as_mut().expect("cache populated above");
+    let strategy_of =
+        |party: PartyId| strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
+    let resumed = prefix.resume(world, &strategy_of);
+    if resumed.zero_tail {
+        // The profile's final state is exactly its divergence checkpoint:
+        // capture it once, then derive every such profile's report from the
+        // cached capture.
+        let state = zero_tail
+            .entry(resumed.state_key)
+            .or_insert_with(|| FinalState::capture(world, tables, before, &resumed));
+        return finish_report(config, strategies, tables, state);
+    }
+    let state = FinalState::capture(world, tables, before, &resumed);
+    finish_report(config, strategies, tables, &state)
+}
+
+/// The round budget of a deal run: past the final deadline plus slack for
+/// the settlement steps.
+fn deal_max_rounds(config: &DealConfig) -> u64 {
+    config.final_deadline().height() + 3 * config.delta_blocks + 4
+}
+
+/// The scripted parties of a deal run, in party-id order.
+fn deal_actors(
+    config: &DealConfig,
+    setup: &DealSetup,
+    strategy_of: &dyn Fn(PartyId) -> Strategy,
+) -> Vec<ScriptedParty> {
+    config
+        .parties()
         .iter()
         .map(|&party| {
-            let strategy = strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
-            let steps = party_steps(config, &setup, party);
+            let steps = party_steps(config, setup, party);
             debug_assert_eq!(
                 steps.len(),
                 SCRIPT_STEPS,
                 "SCRIPT_STEPS must match the deal script so sweeps cover all stop-points"
             );
-            ScriptedParty::new(party, steps, strategy)
+            ScriptedParty::new(party, steps, strategy_of(party))
         })
-        .collect();
-    let max_rounds = config.final_deadline().height() + 3 * config.delta_blocks + 4;
-    let run_report = run_parties(world, actors, max_rounds);
+        .collect()
+}
 
-    let after = BalanceSnapshot::capture(world, &parties, &all_assets);
-    let payoffs = Payoffs::between(&before, &after);
+/// The slices of a [`DealSetup`] that report derivation needs (the rest —
+/// secrets, key pairs — is baked into the step closures).
+struct DealTables {
+    arc_addrs: Arc<BTreeMap<(PartyId, PartyId), ContractAddr>>,
+    parties: Vec<PartyId>,
+    native_assets: Vec<AssetId>,
+    all_assets: Vec<AssetId>,
+}
+
+impl DealTables {
+    fn from_setup(config: &DealConfig, setup: &DealSetup) -> Self {
+        let mut all_assets = setup.traded_assets.clone();
+        all_assets.extend(setup.native_assets.iter().copied());
+        DealTables {
+            arc_addrs: Arc::clone(&setup.arc_addrs),
+            parties: config.parties(),
+            native_assets: setup.native_assets.clone(),
+            all_assets,
+        }
+    }
+}
+
+/// Everything a [`DealReport`] derivation reads from the final world
+/// state: the post-run balances/payoffs and each arc's principal state.
+/// Capturing it is the per-scenario cost floor, so zero-tail resumes cache
+/// one per divergence checkpoint.
+struct FinalState {
+    payoffs: Payoffs,
+    arc_states: Vec<((PartyId, PartyId), PrincipalState)>,
+    failed_actions: usize,
+    rounds: usize,
+}
+
+impl FinalState {
+    fn capture(
+        world: &World,
+        tables: &DealTables,
+        before: &BalanceSnapshot,
+        resumed: &crate::script::ResumedRun,
+    ) -> Self {
+        let after = BalanceSnapshot::capture(world, &tables.parties, &tables.all_assets);
+        FinalState {
+            payoffs: Payoffs::between(before, &after),
+            arc_states: tables
+                .arc_addrs
+                .iter()
+                .map(|(arc, addr)| (*arc, arc_contract(world, *addr).principal_state()))
+                .collect(),
+            failed_actions: resumed.failed_actions,
+            rounds: resumed.rounds,
+        }
+    }
+}
+
+/// Derives the [`DealReport`] from the captured final state. Shared by the
+/// from-scratch and deviation-tree paths, which is what keeps their reports
+/// byte-identical.
+fn finish_report(
+    config: &DealConfig,
+    strategies: &BTreeMap<PartyId, Strategy>,
+    tables: &DealTables,
+    state: &FinalState,
+) -> DealReport {
+    let parties = &tables.parties;
+    let payoffs = &state.payoffs;
 
     let mut outcomes: BTreeMap<PartyId, DealPartyOutcome> = BTreeMap::new();
     let mut completed = true;
-    for &party in &parties {
+    for &party in parties {
         let strategy = strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
         let mut outcome = DealPartyOutcome {
-            premium_payoff: payoffs.total_over(party, &setup.native_assets).value(),
+            premium_payoff: payoffs.total_over(party, &tables.native_assets).value(),
             ..DealPartyOutcome::default()
         };
-        for (arc, addr) in setup.arc_addrs.iter() {
-            let contract = arc_contract(world, *addr);
-            if contract.principal_state() != PrincipalState::Redeemed {
+        for (arc, principal_state) in &state.arc_states {
+            if *principal_state != PrincipalState::Redeemed {
                 completed = false;
             }
             if arc.0 == party {
-                match contract.principal_state() {
+                match principal_state {
                     PrincipalState::Redeemed => outcome.escrowed_redeemed += 1,
                     PrincipalState::Refunded => outcome.escrowed_unredeemed += 1,
                     PrincipalState::Held => outcome.escrowed_stuck += 1,
@@ -826,7 +1029,7 @@ pub fn run_deal_in(
             }
             if arc.1 == party {
                 outcome.incoming_arcs += 1;
-                if contract.principal_state() == PrincipalState::Redeemed {
+                if *principal_state == PrincipalState::Redeemed {
                     outcome.received += 1;
                 }
             }
@@ -847,9 +1050,9 @@ pub fn run_deal_in(
             .collect(),
         completed,
         parties: outcomes,
-        payoffs,
-        failed_actions: run_report.failures().len(),
-        rounds: run_report.rounds(),
+        payoffs: payoffs.clone(),
+        failed_actions: state.failed_actions,
+        rounds: state.rounds,
     }
 }
 

@@ -1,4 +1,5 @@
-//! Scripted parties and deviation strategies.
+//! Scripted parties, deviation strategies, and the checkpoint/resume
+//! machinery behind prefix-sharing sweeps.
 //!
 //! A protocol role is expressed as an ordered list of [`Step`]s. In every
 //! synchronous round the party examines the world; the current step either
@@ -7,10 +8,31 @@
 //! party executes its first `k` steps faithfully and then stops
 //! participating entirely — exactly the deviation class the paper's threat
 //! model allows, since contracts reject malformed or mistimed calls anyway.
+//!
+//! # Deviation trees
+//!
+//! `StopAfter` deviations share long identical prefixes: a party that
+//! stops after `k` steps behaves *identically* to a compliant party until
+//! the first round it would have emitted an action past its budget. A
+//! [`DeviationTree`] exploits this: it executes the all-compliant run
+//! once, snapshots the world and every party's script state at each
+//! executed round (compressing provably pure-wait stretches into clock
+//! offsets), and then [`DeviationTree::resume`]s any deviation profile
+//! from the snapshot at its divergence round instead of replaying the
+//! shared prefix from scratch. Because the resumed tail is driven by the
+//! exact same round primitive ([`chainsim::run_round`]) over forked
+//! copies of the exact same party state, the resumed run is bit-for-bit
+//! identical to a from-scratch execution of the profile — pinned by
+//! differential tests against the `replay-oracle` brute-force sweeps in
+//! `modelcheck`.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
-use chainsim::{Action, Actor, PartyId, World};
+use chainsim::{run_round_with, Action, Actor, PartyId, RoundBuffers, Time, World, WorldSnapshot};
+use contracts::Hashkey;
+use cryptosim::Digest;
 
 /// How a party behaves during a protocol run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,27 +83,78 @@ impl fmt::Display for Strategy {
 pub enum StepOutcome {
     /// The step's trigger has not been observed yet; try again next round.
     Wait,
+    /// Like [`StepOutcome::Wait`], with a *pure-wait guarantee*: on any
+    /// world identical except for a clock strictly before the given time,
+    /// re-evaluating this step yields the same outcome and the same (or
+    /// idempotent) memo effects. Resume tails use the hint to fast-forward
+    /// the clock over rounds in which **every** actor pure-waits and
+    /// nothing was emitted — rounds whose only observable effect is the
+    /// clock tick. Steps unsure of the guarantee must return plain `Wait`,
+    /// which disables fast-forwarding for that round.
+    WaitUntil(Time),
     /// Emit these actions and stay on the same step (partial progress).
     Progress(Vec<Action>),
     /// Emit these actions and move on to the next step.
     Complete(Vec<Action>),
 }
 
+/// Memoised hashkey constructions, keyed by the signer and the
+/// collision-resistant chain tag of the base being extended (`None` for a
+/// leader's initial hashkey).
+///
+/// Values are pure functions of their key within one deal configuration
+/// (fixed seeds, keys and secrets), so carrying a memo across forks and
+/// scenarios changes performance only, never outcomes.
+pub type HashkeyMemo = BTreeMap<(PartyId, Option<Digest>), Hashkey>;
+
+/// The explicit mutable state of a [`Step`].
+///
+/// Earlier revisions let step closures capture `mut` state (`FnMut`), which
+/// made a mid-run script impossible to snapshot. All per-step state now
+/// lives here, where [`ScriptedParty::fork`] can clone it: `done` tracks
+/// per-leader sub-tasks a multi-leader phase has finished; `hashkeys`
+/// memoises signature constructions (a cache, not semantic state — entries
+/// may be shared across runs of the same configuration).
+#[derive(Clone, Debug, Default)]
+pub struct StepMemo {
+    /// Parties (typically leaders) whose sub-task this step has completed.
+    pub done: BTreeSet<PartyId>,
+    /// Memoised hashkey constructions (see [`HashkeyMemo`]).
+    pub hashkeys: HashkeyMemo,
+}
+
+/// The shared decision logic of a [`Step`].
+type StepLogic = Arc<dyn Fn(&mut StepMemo, &World) -> StepOutcome + Send + Sync>;
+
 /// One step of a party's protocol script.
+///
+/// The step's decision logic is immutable and shared (`Arc`) between the
+/// clones a deviation tree forks; its mutable state is an explicit
+/// [`StepMemo`] that clones with the step.
+#[derive(Clone)]
 pub struct Step {
     /// Human-readable name used in traces and reports.
     pub name: &'static str,
-    /// Evaluates the step against the observed world.
-    pub run: Box<dyn FnMut(&World) -> StepOutcome + Send>,
+    memo: StepMemo,
+    logic: StepLogic,
 }
 
 impl Step {
-    /// Creates a step from a name and closure.
+    /// Creates a stateless step from a name and closure.
     pub fn new(
         name: &'static str,
-        run: impl FnMut(&World) -> StepOutcome + Send + 'static,
+        run: impl Fn(&World) -> StepOutcome + Send + Sync + 'static,
     ) -> Self {
-        Step { name, run: Box::new(run) }
+        Step { name, memo: StepMemo::default(), logic: Arc::new(move |_, world| run(world)) }
+    }
+
+    /// Creates a step whose closure reads and writes an explicit
+    /// [`StepMemo`].
+    pub fn stateful(
+        name: &'static str,
+        run: impl Fn(&mut StepMemo, &World) -> StepOutcome + Send + Sync + 'static,
+    ) -> Self {
+        Step { name, memo: StepMemo::default(), logic: Arc::new(run) }
     }
 }
 
@@ -92,19 +165,24 @@ impl fmt::Debug for Step {
 }
 
 /// An [`Actor`] that follows a script of [`Step`]s under a [`Strategy`].
+#[derive(Clone)]
 pub struct ScriptedParty {
     party: PartyId,
     steps: Vec<Step>,
     cursor: usize,
     completed: usize,
     allowed: usize,
+    /// The wake hint of the most recent evaluation: `Some(t)` after a
+    /// [`StepOutcome::WaitUntil(t)`], `Some(Time::MAX)` while the party is
+    /// done (it will never act again), `None` otherwise.
+    wake: Option<Time>,
 }
 
 impl ScriptedParty {
     /// Creates a scripted party executing `steps` under `strategy`.
     pub fn new(party: PartyId, steps: Vec<Step>, strategy: Strategy) -> Self {
         let allowed = strategy.steps_executed(steps.len());
-        ScriptedParty { party, steps, cursor: 0, completed: 0, allowed }
+        ScriptedParty { party, steps, cursor: 0, completed: 0, allowed, wake: None }
     }
 
     /// The number of steps completed so far.
@@ -115,6 +193,49 @@ impl ScriptedParty {
     /// The total number of steps in the script.
     pub fn total_steps(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Clones this party's mid-run state under a (possibly different)
+    /// strategy budget.
+    ///
+    /// Step logic is shared; step memos and the script cursor are cloned, so
+    /// the fork continues from exactly this party's current position. Used
+    /// by [`DeviationTree::resume`] to turn a recorded compliant party
+    /// into the deviating (or still-compliant) party of a tail run.
+    pub fn fork(&self, strategy: Strategy) -> ScriptedParty {
+        let allowed = strategy.steps_executed(self.steps.len());
+        ScriptedParty {
+            party: self.party,
+            steps: self.steps.clone(),
+            cursor: self.cursor,
+            completed: self.completed,
+            allowed,
+            wake: None,
+        }
+    }
+
+    /// The wake hint of this party's most recent evaluation (see
+    /// [`ScriptedParty::wake`]); the clock cannot change its behaviour
+    /// strictly before the returned time.
+    fn wake_hint(&self) -> Option<Time> {
+        if self.done() {
+            Some(Time::MAX)
+        } else {
+            self.wake
+        }
+    }
+
+    /// Merges the hashkey memos another fork of this party accumulated.
+    ///
+    /// Memo values are pure functions of their keys, so absorbing a sibling
+    /// fork's entries only saves future recomputation; `done` state is *not*
+    /// merged (it is semantic, per-run state).
+    fn absorb_hashkey_memos(&mut self, other: &ScriptedParty) {
+        for (mine, theirs) in self.steps.iter_mut().zip(&other.steps) {
+            for (key, value) in &theirs.memo.hashkeys {
+                mine.memo.hashkeys.entry(*key).or_insert_with(|| value.clone());
+            }
+        }
     }
 }
 
@@ -138,13 +259,20 @@ impl Actor for ScriptedParty {
         if self.cursor >= self.steps.len() || self.completed >= self.allowed {
             return;
         }
-        let step = &mut self.steps[self.cursor];
-        match (step.run)(world) {
-            StepOutcome::Wait => {}
+        let Step { memo, logic, .. } = &mut self.steps[self.cursor];
+        match logic(memo, world) {
+            StepOutcome::Wait => {
+                self.wake = None;
+            }
+            StepOutcome::WaitUntil(time) => {
+                self.wake = Some(time);
+            }
             StepOutcome::Progress(mut emitted) => {
+                self.wake = None;
                 actions.append(&mut emitted);
             }
             StepOutcome::Complete(mut emitted) => {
+                self.wake = None;
                 actions.append(&mut emitted);
                 self.cursor += 1;
                 self.completed += 1;
@@ -164,12 +292,311 @@ impl Actor for ScriptedParty {
 /// to exceed the final deadline.
 pub fn run_parties(
     world: &mut World,
-    parties: Vec<ScriptedParty>,
+    mut parties: Vec<ScriptedParty>,
     max_rounds: u64,
 ) -> chainsim::RunReport {
-    let mut actors: Vec<Box<dyn Actor>> =
-        parties.into_iter().map(|p| Box::new(p) as Box<dyn Actor>).collect();
-    chainsim::Scheduler::new(max_rounds).run(world, &mut actors)
+    chainsim::Scheduler::new(max_rounds).run_actors(world, &mut parties)
+}
+
+// ---------------------------------------------------------------------------
+// Deviation-tree recording and resumption.
+// ---------------------------------------------------------------------------
+
+/// A recorded checkpoint of the compliant run at the start of one round.
+struct PrefixCheckpoint {
+    /// The world state at the start of that round.
+    world: WorldSnapshot,
+    /// Every party's script state at the start of that round.
+    parties: Vec<ScriptedParty>,
+    /// Failed actions accumulated over the rounds before this checkpoint.
+    failures: usize,
+}
+
+/// What the compliant run observed about one party, for divergence
+/// computation.
+#[derive(Clone, Debug, Default)]
+struct PartyRecord {
+    /// Round of each step completion (`completions[c]` = round of the
+    /// `c+1`-th completion).
+    completions: Vec<u64>,
+    /// `(round, completed-count at round start)` for every round in which
+    /// the party emitted at least one action.
+    emissions: Vec<(u64, usize)>,
+    /// First round at whose start the party reported `done()`, if any.
+    done_round: Option<u64>,
+}
+
+/// Totals of a run resumed from a [`DeviationTree`]: prefix rounds and
+/// failures plus the live tail's. Identical to what a from-scratch
+/// [`run_parties`] of the same profile reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumedRun {
+    /// Synchronous rounds executed (prefix + tail).
+    pub rounds: usize,
+    /// Rejected actions (prefix + tail).
+    pub failed_actions: usize,
+    /// The divergence round this resume forked from. Two zero-tail resumes
+    /// with the same key end in bit-identical final states, which protocol
+    /// layers exploit to cache derived outcomes per checkpoint.
+    pub state_key: u64,
+    /// `true` when the resume executed zero tail rounds: the final state
+    /// is exactly the forked checkpoint, a pure function of `state_key`.
+    pub zero_tail: bool,
+}
+
+/// Advances the clock over the pure-wait rounds ahead: if every live actor
+/// guarantees pure waiting until some wake time, skips (and returns the
+/// count of) the rounds that start strictly before the earliest wake,
+/// bounded by `budget`. Returns `None` (and leaves the world untouched)
+/// when any actor withholds the guarantee or no round is skippable.
+fn pure_wait_rounds(actors: &[ScriptedParty], world: &mut World, budget: u64) -> Option<u64> {
+    let earliest_wake = actors
+        .iter()
+        .try_fold(Time::MAX, |wake, actor| actor.wake_hint().map(|hint| wake.min(hint)))?;
+    let delta = world.delta_blocks().max(1);
+    let now = world.now();
+    if earliest_wake <= now {
+        return None;
+    }
+    // Rounds starting strictly before the wake time are pure waits.
+    let skippable = (earliest_wake - now).saturating_sub(1) / delta;
+    let skip = skippable.min(budget);
+    if skip == 0 {
+        return None;
+    }
+    world.advance_blocks(skip * delta);
+    Some(skip)
+}
+
+/// The recorded all-compliant execution of one protocol configuration,
+/// checkpointed at the start of every *executed* round (compressed
+/// pure-wait stretches borrow the checkpoint that precedes them).
+///
+/// A `StopAfter(k)` deviator behaves identically to its compliant self
+/// until it has completed `k` steps; after that it emits nothing and
+/// reports `done()`. The **world** trajectory of a deviation profile
+/// therefore diverges from the compliant one only at the earliest of:
+///
+/// * the first round in which some deviator, already past its budget,
+///   would have emitted an action (the action is withheld), or
+/// * the first round at which *every* party of the profile is done —
+///   deviators are done earlier than their compliant selves, so the
+///   scheduler may stop the run while the compliant one kept idling.
+///
+/// [`DeviationTree::resume`] restores the snapshot at that round, forks
+/// every recorded party under its profile strategy, and drives the tail
+/// with the shared round primitive ([`chainsim::run_round`]) — making the
+/// resumed run bit-for-bit identical to a from-scratch execution (pinned by
+/// the `replay-oracle` differential tests in `modelcheck`). Profiles whose
+/// stop-points are never observably hit resume at the terminal checkpoint
+/// and execute zero tail rounds; protocol layers cache their derived
+/// outcomes per checkpoint via [`ResumedRun::state_key`].
+pub struct DeviationTree {
+    /// Checkpoints keyed by the round whose start they capture; the first
+    /// is round 0, the last the terminal state. Rounds inside a compressed
+    /// pure-wait stretch have no entry of their own: their state is the
+    /// preceding checkpoint plus clock ticks (see
+    /// [`DeviationTree::record`]).
+    checkpoints: BTreeMap<u64, PrefixCheckpoint>,
+    records: BTreeMap<PartyId, PartyRecord>,
+    /// Rounds the compliant run executed.
+    rounds: u64,
+    /// The compliant run's round budget; resumed tails inherit the rest.
+    max_rounds: u64,
+}
+
+impl fmt::Debug for DeviationTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviationTree")
+            .field("checkpoints", &self.checkpoints.len())
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+impl DeviationTree {
+    /// Executes and records the all-compliant run of `parties` (which must
+    /// have been built with [`Strategy::Compliant`] budgets) inside
+    /// `world`, checkpointing the start of every round.
+    ///
+    /// On return, `world` holds the compliant run's final state.
+    pub fn record(world: &mut World, parties: Vec<ScriptedParty>, max_rounds: u64) -> Self {
+        let mut parties = parties;
+        let mut records: BTreeMap<PartyId, PartyRecord> =
+            parties.iter().map(|p| (p.party, PartyRecord::default())).collect();
+        let mut checkpoints: BTreeMap<u64, PrefixCheckpoint> = BTreeMap::new();
+        let mut buffers = RoundBuffers::default();
+        let mut failures = 0usize;
+        let mut round = 0u64;
+        loop {
+            for party in &parties {
+                let record = records.get_mut(&party.party).expect("records has every party");
+                if party.done() && record.done_round.is_none() {
+                    record.done_round = Some(round);
+                }
+            }
+            checkpoints.entry(round).or_insert_with(|| PrefixCheckpoint {
+                world: world.snapshot(),
+                parties: parties.clone(),
+                failures,
+            });
+            if round >= max_rounds || parties.iter().all(|p| p.done()) {
+                break;
+            }
+            let before: Vec<usize> = parties.iter().map(|p| p.completed).collect();
+            let trace = run_round_with(world, &mut parties, &mut buffers);
+            failures += trace.outcomes.iter().filter(|o| !o.is_ok()).count();
+            let mut any_completion = false;
+            for (party, was_completed) in parties.iter().zip(before) {
+                let record = records.get_mut(&party.party).expect("records has every party");
+                if party.completed > was_completed {
+                    record.completions.push(round);
+                    any_completion = true;
+                }
+                if trace.outcomes.iter().any(|o| o.party == party.party) {
+                    record.emissions.push((round, was_completed));
+                }
+            }
+            round += 1;
+            // Compress pure-wait stretches: when the round changed nothing
+            // but the clock (no actions, no step completions) and every
+            // live actor guarantees pure waiting, the coming rounds are all
+            // `this checkpoint + k clock ticks` — skip executing (and
+            // snapshotting) them. `restore_at` reconstructs any of them
+            // exactly by advancing the clock from the last checkpoint.
+            if trace.outcomes.is_empty() && !any_completion && !parties.iter().all(|p| p.done()) {
+                if let Some(skip) = pure_wait_rounds(&parties, world, max_rounds - round) {
+                    round += skip;
+                }
+            }
+        }
+        DeviationTree { checkpoints, records, rounds: round, max_rounds }
+    }
+
+    /// Rounds the compliant run executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The number of recorded checkpoints: one per *executed* round of the
+    /// compliant run (compressed pure-wait stretches share the checkpoint
+    /// that precedes them).
+    pub fn checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// The first round at which the profile's trajectory can differ from
+    /// the compliant one, clamped to the terminal round, plus whether the
+    /// resumed run would execute zero tail rounds there (see
+    /// [`ResumedRun::zero_tail`]).
+    fn divergence_of(&self, strategy_of: &dyn Fn(PartyId) -> Strategy) -> (u64, bool) {
+        let mut divergence = self.rounds;
+        // The deviating run ends once every party is done; deviators are
+        // done earlier than their compliant selves, so the run may stop at
+        // a round the compliant run idled through.
+        let mut all_done_from = 0u64;
+        let mut every_party_finishes = true;
+        for (party, record) in &self.records {
+            let done_from = match strategy_of(*party) {
+                Strategy::Compliant => record.done_round,
+                Strategy::StopAfter(k) => {
+                    // First withheld emission: the earliest round where the
+                    // compliant party, with `k` or more steps already
+                    // completed, emitted an action the deviator would not.
+                    if let Some(&(round, _)) =
+                        record.emissions.iter().find(|(_, completed)| *completed >= k)
+                    {
+                        divergence = divergence.min(round);
+                    }
+                    if k == 0 {
+                        Some(0)
+                    } else if k <= record.completions.len() {
+                        Some(record.completions[k - 1] + 1)
+                    } else {
+                        // Budget above everything the compliant run ever
+                        // completed: the deviator never hits it.
+                        record.done_round
+                    }
+                }
+            };
+            match done_from {
+                Some(round) => all_done_from = all_done_from.max(round),
+                None => every_party_finishes = false,
+            }
+        }
+        if every_party_finishes {
+            divergence = divergence.min(all_done_from);
+        }
+        let zero_tail =
+            (every_party_finishes && divergence == all_done_from) || divergence >= self.max_rounds;
+        (divergence, zero_tail)
+    }
+
+    /// Resumes the profile described by `strategy_of` from its divergence
+    /// checkpoint: restores the world, forks every recorded party under its
+    /// profile strategy, and drives the tail with the shared round
+    /// primitive.
+    ///
+    /// The resulting world state, rounds and failure counts are identical
+    /// to a from-scratch run of the same profile. Hashkey memos computed by
+    /// the tail are absorbed back into the checkpoint (a pure cache), so
+    /// later scenarios resuming from the same checkpoint skip re-signing.
+    pub fn resume(
+        &mut self,
+        world: &mut World,
+        strategy_of: &dyn Fn(PartyId) -> Strategy,
+    ) -> ResumedRun {
+        let (divergence, zero_tail) = self.divergence_of(strategy_of);
+        let (&checkpoint_round, checkpoint) = self
+            .checkpoints
+            .range(..=divergence)
+            .next_back()
+            .expect("round 0 is always checkpointed");
+        world.restore(&checkpoint.world);
+        if divergence > checkpoint_round {
+            // The divergence round lies inside a compressed pure-wait
+            // stretch: its state is the checkpoint plus clock ticks.
+            world.advance_blocks((divergence - checkpoint_round) * world.delta_blocks());
+        }
+        let mut actors: Vec<ScriptedParty> =
+            checkpoint.parties.iter().map(|p| p.fork(strategy_of(p.party))).collect();
+        let mut failures = checkpoint.failures;
+        let mut buffers = RoundBuffers::default();
+        let mut rounds = divergence;
+        while rounds < self.max_rounds {
+            if actors.iter().all(|a| a.done()) {
+                break;
+            }
+            let trace = run_round_with(world, &mut actors, &mut buffers);
+            failures += trace.outcomes.iter().filter(|o| !o.is_ok()).count();
+            rounds += 1;
+            // Fast-forward: when the round emitted nothing and every live
+            // actor gave a pure-wait hint, the coming rounds change only
+            // the clock — jump it to the earliest wake time. The skipped
+            // rounds still count (a from-scratch run executes them as
+            // empty rounds), so reports stay byte-identical.
+            if trace.outcomes.is_empty() && !actors.iter().all(|a| a.done()) {
+                if let Some(skip) =
+                    pure_wait_rounds(&actors, world, self.max_rounds.saturating_sub(rounds))
+                {
+                    rounds += skip;
+                }
+            }
+        }
+        let checkpoint = self
+            .checkpoints
+            .get_mut(&checkpoint_round)
+            .expect("checkpoint existence checked above");
+        for (stored, ran) in checkpoint.parties.iter_mut().zip(&actors) {
+            stored.absorb_hashkey_memos(ran);
+        }
+        ResumedRun {
+            rounds: rounds as usize,
+            failed_actions: failures,
+            state_key: divergence,
+            zero_tail,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -244,5 +671,96 @@ mod tests {
         )];
         let report = run_parties(&mut world, parties, 10);
         assert!(report.rounds() <= 10);
+    }
+
+    #[test]
+    fn stateful_steps_carry_their_memo_across_forks() {
+        let world = World::new(1);
+        let steps = vec![Step::stateful("memo", |memo, _| {
+            memo.done.insert(PartyId(9));
+            StepOutcome::Progress(vec![])
+        })];
+        let mut party = ScriptedParty::new(PartyId(0), steps, Strategy::Compliant);
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        let fork = party.fork(Strategy::StopAfter(0));
+        assert!(fork.done(), "fork adopts the new budget");
+        assert!(fork.steps[0].memo.done.contains(&PartyId(9)), "fork carries the memo");
+        assert!(format!("{:?}", fork.steps[0]).contains("memo"));
+    }
+
+    /// A three-step script against a counter world: the prefix recorder's
+    /// checkpoints land on round 0, each post-completion round, and the
+    /// terminal round; resumption reproduces from-scratch runs exactly.
+    #[test]
+    fn compliant_prefix_resumes_identically_to_scratch_runs() {
+        fn build_parties() -> Vec<ScriptedParty> {
+            // Party 0 completes a step every round; party 1 waits one round
+            // between completions (so completions land on distinct rounds).
+            let fast = vec![
+                Step::new("f0", |_| StepOutcome::Complete(vec![])),
+                Step::new("f1", |_| StepOutcome::Complete(vec![])),
+            ];
+            let slow = vec![
+                Step::new("s0", |w| {
+                    if w.now().height() >= 1 {
+                        StepOutcome::Complete(vec![])
+                    } else {
+                        StepOutcome::Wait
+                    }
+                }),
+                Step::new("s1", |w| {
+                    if w.now().height() >= 3 {
+                        StepOutcome::Complete(vec![])
+                    } else {
+                        StepOutcome::Wait
+                    }
+                }),
+            ];
+            vec![
+                ScriptedParty::new(PartyId(0), fast, Strategy::Compliant),
+                ScriptedParty::new(PartyId(1), slow, Strategy::Compliant),
+            ]
+        }
+        fn fresh_world() -> World {
+            let mut world = World::new(1);
+            world.add_chain("a");
+            world
+        }
+
+        let mut world = fresh_world();
+        let mut prefix = DeviationTree::record(&mut world, build_parties(), 10);
+        assert!(prefix.checkpoints() >= 3, "round 0, post-completion rounds, terminal");
+
+        for stop in 0..=2usize {
+            for deviator in [PartyId(0), PartyId(1)] {
+                let strategy_of = move |p: PartyId| {
+                    if p == deviator {
+                        Strategy::StopAfter(stop)
+                    } else {
+                        Strategy::Compliant
+                    }
+                };
+                let resumed = prefix.resume(&mut world, &strategy_of);
+
+                // From-scratch oracle with the same strategies.
+                let mut scratch = fresh_world();
+                let parties: Vec<ScriptedParty> = build_parties()
+                    .into_iter()
+                    .map(|p| {
+                        let s = strategy_of(p.party);
+                        p.fork(s)
+                    })
+                    .collect();
+                let oracle = run_parties(&mut scratch, parties, 10);
+                assert_eq!(
+                    resumed.rounds,
+                    oracle.rounds(),
+                    "deviator {deviator} stop {stop}: rounds diverged"
+                );
+                assert_eq!(resumed.failed_actions, oracle.failures().len());
+                assert_eq!(world.now(), scratch.now(), "clock must match after resume");
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@ use cryptosim::Secret;
 use serde::{Deserialize, Serialize};
 
 use crate::outcome::{BalanceSnapshot, Lockup, Payoffs};
-use crate::script::{run_parties, ScriptedParty, Step, StepOutcome, Strategy};
+use crate::script::{run_parties, DeviationTree, ScriptedParty, Step, StepOutcome, Strategy};
 
 /// Alice's party id in two-party protocols.
 pub const ALICE: PartyId = PartyId(0);
@@ -121,6 +121,7 @@ pub struct TwoPartyReport {
     pub rounds: usize,
 }
 
+#[derive(Clone)]
 struct Setup {
     apricot_token: AssetId,
     banana_token: AssetId,
@@ -304,7 +305,7 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Alice escrows A apricot tokens",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(escrow_give_up)
             }
         }),
         Step::new("alice: redeem banana principal", move |world: &World| {
@@ -318,7 +319,7 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Alice redeems B banana tokens, revealing s",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(redeem_give_up)
             }
         }),
         settle_step("alice: settle", vec![apricot, banana], final_deadline),
@@ -345,7 +346,7 @@ fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Bob deposits p_b on the apricot chain",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(premium_give_up)
             }
         }),
         Step::new("bob: escrow principal on banana", move |world: &World| {
@@ -359,7 +360,7 @@ fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Bob escrows B banana tokens",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(escrow_give_up)
             }
         }),
         Step::new("bob: redeem apricot principal", move |world: &World| {
@@ -373,7 +374,7 @@ fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Bob redeems A apricot tokens with the learned secret",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(redeem_give_up)
             }
         }),
         settle_step("bob: settle", vec![apricot, banana], final_deadline),
@@ -390,7 +391,7 @@ fn settle_step(name: &'static str, contracts: Vec<ContractAddr>, final_deadline:
             return StepOutcome::Complete(vec![]);
         }
         if !world.now().has_reached(final_deadline) {
-            return StepOutcome::Wait;
+            return StepOutcome::WaitUntil(final_deadline);
         }
         let calls: Vec<Action> = contracts
             .iter()
@@ -427,7 +428,7 @@ fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Alice redeems B banana tokens, revealing s",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(redeem_give_up)
             }
         }),
         base_recovery_step(
@@ -458,7 +459,7 @@ fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Bob escrows B banana tokens",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(escrow_give_up)
             }
         }),
         Step::new("bob: redeem apricot principal", move |world: &World| {
@@ -472,7 +473,7 @@ fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                     "Bob redeems A apricot tokens with the learned secret",
                 )])
             } else {
-                StepOutcome::Wait
+                StepOutcome::WaitUntil(redeem_give_up)
             }
         }),
         base_recovery_step("bob: refund timed-out escrows", vec![apricot, banana], final_deadline),
@@ -499,13 +500,55 @@ fn base_recovery_step(
             .map(|addr| Action::call(*addr, HtlcMsg::Refund, "refund timed-out escrow"))
             .collect();
         if refunds.is_empty() {
-            StepOutcome::Wait
+            // Refunds unlock at the earliest pending timelock.
+            let wake = pending
+                .iter()
+                .map(|addr| htlc_contract(world, *addr).timelock())
+                .filter(|t| *t > world.now())
+                .min()
+                .unwrap_or(chainsim::Time::MAX);
+            StepOutcome::WaitUntil(wake)
         } else if refunds.len() == pending.len() {
             StepOutcome::Complete(refunds)
         } else {
             StepOutcome::Progress(refunds)
         }
     })
+}
+
+fn swap_setup(world: &mut World, config: &TwoPartyConfig, protocol: SwapProtocol) -> Setup {
+    match protocol {
+        SwapProtocol::Hedged => hedged_setup(world, config),
+        SwapProtocol::Base => base_setup(world, config),
+    }
+}
+
+fn swap_actors(
+    setup: &Setup,
+    config: &TwoPartyConfig,
+    protocol: SwapProtocol,
+    alice: Strategy,
+    bob: Strategy,
+) -> Vec<ScriptedParty> {
+    let (alice_steps, bob_steps) = match protocol {
+        SwapProtocol::Hedged => {
+            (hedged_alice_steps(setup, config), hedged_bob_steps(setup, config))
+        }
+        SwapProtocol::Base => (base_alice_steps(setup, config), base_bob_steps(setup, config)),
+    };
+    debug_assert!(
+        alice_steps.len() <= SCRIPT_STEPS && bob_steps.len() <= SCRIPT_STEPS,
+        "SCRIPT_STEPS must bound every two-party script so sweeps cover all stop-points"
+    );
+    vec![ScriptedParty::new(ALICE, alice_steps, alice), ScriptedParty::new(BOB, bob_steps, bob)]
+}
+
+fn swap_max_rounds(config: &TwoPartyConfig) -> u64 {
+    config.delta_blocks * 8 + 4
+}
+
+fn swap_assets(setup: &Setup) -> [AssetId; 4] {
+    [setup.apricot_token, setup.banana_token, setup.apricot_native, setup.banana_native]
 }
 
 fn run(
@@ -515,34 +558,40 @@ fn run(
     alice: Strategy,
     bob: Strategy,
 ) -> TwoPartyReport {
-    let setup = match protocol {
-        SwapProtocol::Hedged => hedged_setup(world, config),
-        SwapProtocol::Base => base_setup(world, config),
-    };
-    let parties = [ALICE, BOB];
-    let assets =
-        [setup.apricot_token, setup.banana_token, setup.apricot_native, setup.banana_native];
-    let before = BalanceSnapshot::capture(world, &parties, &assets);
+    let setup = swap_setup(world, config, protocol);
+    let before = BalanceSnapshot::capture(world, &[ALICE, BOB], &swap_assets(&setup));
+    let actors = swap_actors(&setup, config, protocol, alice, bob);
+    let run_report = run_parties(world, actors, swap_max_rounds(config));
+    finish_swap_report(
+        world,
+        config,
+        protocol,
+        alice,
+        bob,
+        &setup,
+        &before,
+        run_report.failures().len(),
+        run_report.rounds(),
+    )
+}
 
-    let (alice_steps, bob_steps) = match protocol {
-        SwapProtocol::Hedged => {
-            (hedged_alice_steps(&setup, config), hedged_bob_steps(&setup, config))
-        }
-        SwapProtocol::Base => (base_alice_steps(&setup, config), base_bob_steps(&setup, config)),
-    };
-    debug_assert!(
-        alice_steps.len() <= SCRIPT_STEPS && bob_steps.len() <= SCRIPT_STEPS,
-        "SCRIPT_STEPS must bound every two-party script so sweeps cover all stop-points"
-    );
-    let actors = vec![
-        ScriptedParty::new(ALICE, alice_steps, alice),
-        ScriptedParty::new(BOB, bob_steps, bob),
-    ];
-    let max_rounds = config.delta_blocks * 8 + 4;
-    let run_report = run_parties(world, actors, max_rounds);
-
-    let after = BalanceSnapshot::capture(world, &parties, &assets);
-    let payoffs = Payoffs::between(&before, &after);
+/// Derives the [`TwoPartyReport`] from the final world state. Shared by the
+/// from-scratch and deviation-tree paths, which keeps their reports
+/// byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn finish_swap_report(
+    world: &World,
+    config: &TwoPartyConfig,
+    protocol: SwapProtocol,
+    alice: Strategy,
+    bob: Strategy,
+    setup: &Setup,
+    before: &BalanceSnapshot,
+    failed_actions: usize,
+    rounds: usize,
+) -> TwoPartyReport {
+    let after = BalanceSnapshot::capture(world, &[ALICE, BOB], &swap_assets(setup));
+    let payoffs = Payoffs::between(before, &after);
 
     let (alice_lockup, bob_lockup, alice_redeemed, bob_redeemed) = match protocol {
         SwapProtocol::Hedged => {
@@ -632,8 +681,8 @@ fn run(
         bob_lockup,
         hedged_for_alice,
         hedged_for_bob,
-        failed_actions: run_report.failures().len(),
-        rounds: run_report.rounds(),
+        failed_actions,
+        rounds,
         payoffs,
     }
 }
@@ -705,6 +754,60 @@ pub fn run_base_swap_in(
     bob: Strategy,
 ) -> TwoPartyReport {
     run(world, config, SwapProtocol::Base, alice, bob)
+}
+
+/// The per-worker deviation-tree cache for one two-party configuration
+/// (one per protocol variant): the recorded compliant prefix plus the
+/// setup report derivation needs.
+pub struct TwoPartyPrefix {
+    protocol: SwapProtocol,
+    prefix: DeviationTree,
+    setup: Setup,
+    before: BalanceSnapshot,
+}
+
+impl std::fmt::Debug for TwoPartyPrefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoPartyPrefix")
+            .field("protocol", &self.protocol)
+            .field("prefix", &self.prefix)
+            .finish()
+    }
+}
+
+/// Runs a two-party swap through the deviation tree: the compliant prefix
+/// is executed (and checkpointed) once per worker and every `(alice, bob)`
+/// profile resumes from the snapshot at its divergence round. Reports are
+/// byte-identical to [`run_hedged_swap_in`]/[`run_base_swap_in`].
+pub fn run_swap_shared(
+    world: &mut World,
+    config: &TwoPartyConfig,
+    protocol: SwapProtocol,
+    alice: Strategy,
+    bob: Strategy,
+    cache: &mut Option<TwoPartyPrefix>,
+) -> TwoPartyReport {
+    if cache.as_ref().is_none_or(|c| c.protocol != protocol) {
+        let setup = swap_setup(world, config, protocol);
+        let before = BalanceSnapshot::capture(world, &[ALICE, BOB], &swap_assets(&setup));
+        let actors =
+            swap_actors(&setup, config, protocol, Strategy::Compliant, Strategy::Compliant);
+        let prefix = DeviationTree::record(world, actors, swap_max_rounds(config));
+        *cache = Some(TwoPartyPrefix { protocol, prefix, setup, before });
+    }
+    let cached = cache.as_mut().expect("cache populated above");
+    let resumed = cached.prefix.resume(world, &|party| if party == ALICE { alice } else { bob });
+    finish_swap_report(
+        world,
+        config,
+        protocol,
+        alice,
+        bob,
+        &cached.setup,
+        &cached.before,
+        resumed.failed_actions,
+        resumed.rounds,
+    )
 }
 
 #[cfg(test)]

@@ -1,18 +1,23 @@
 //! Machine-readable model-checking throughput report.
 //!
-//! Runs the standard sweep families at 1, 2 and N worker threads, measures
-//! scenarios/second, and writes `BENCH_modelcheck.json` so future
-//! optimisation work has a recorded trajectory to compare against. The
-//! committed copy of that file holds the numbers measured for this
-//! revision; the `baseline` block preserves the pre-zero-allocation
-//! numbers (PR 2) on the same class of machine.
+//! Runs the standard sweep families at 1, 2, 4 and 8 worker threads,
+//! measures scenarios/second and per-family scaling efficiency, and writes
+//! `BENCH_modelcheck.json` so future optimisation work has a recorded
+//! trajectory to compare against. The committed copy of that file holds the
+//! numbers measured for this revision; the `baseline` blocks preserve the
+//! PR 2 (pre-zero-allocation) and PR 3 (pre-deviation-tree) numbers on the
+//! same class of machine.
 //!
 //! ```text
 //! cargo run --release --example bench_report
 //! ```
 //!
-//! CI runs this as a release-mode smoke test: it must complete and produce
-//! valid JSON, but no timing assertions are made (CI boxes are noisy).
+//! CI runs this as a release smoke test: it must complete and produce valid
+//! JSON. With `BENCH_ENFORCE_SCALING=1` the run additionally fails if
+//! 2-thread scaling efficiency drops below 0.8 on any large family
+//! (≥ [`LARGE_FAMILY_MIN`] scenarios) — the regression PR 3 shipped with —
+//! provided the machine actually has a second hardware thread to scale
+//! onto; single-core boxes skip the gate rather than flake.
 
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
@@ -20,7 +25,10 @@ use std::time::Instant;
 
 use sore_loser_hedging::modelcheck::engine::{ParallelSweep, ScenarioGen};
 use sore_loser_hedging::modelcheck::multi_party_families;
-use sore_loser_hedging::modelcheck::scenarios::{AuctionSweep, BootstrapSweep, TwoPartySweep};
+use sore_loser_hedging::modelcheck::scenarios::{
+    AuctionSweep, BootstrapSweep, DealSweep, TwoPartySweep,
+};
+use sore_loser_hedging::protocols::multi_party::random_config;
 use sore_loser_hedging::protocols::two_party::TwoPartyConfig;
 
 /// 1-thread scenarios/second measured at PR 2 (the `BTreeMap` ledger,
@@ -30,6 +38,28 @@ use sore_loser_hedging::protocols::two_party::TwoPartyConfig;
 const BASELINE_PR2: &[(&str, u64)] =
     &[("multi-party n=3", 19_556), ("multi-party n=4", 8_275), ("multi-party n=5", 6_938)];
 
+/// 1-thread scenarios/second measured at PR 3 (zero-allocation hot path,
+/// but brute-force replay of every scenario and `Arc<Mutex<..>>` memo
+/// tables shared across workers), kept for trajectory.
+const BASELINE_PR3: &[(&str, u64)] = &[
+    ("multi-party n=3", 89_199),
+    ("multi-party n=4", 31_873),
+    ("multi-party n=5", 29_047),
+    ("two-party hedged+base", 181_035),
+    ("auction", 139_507),
+    ("bootstrap rounds 1-3", 317_235),
+];
+
+/// Families at or above this many scenarios are "large": big enough that
+/// per-worker setup (prefix recording, world allocation) amortises away and
+/// thread-scaling numbers are signal rather than noise. The scaling gate
+/// only applies to them.
+const LARGE_FAMILY_MIN: usize = 200;
+
+/// Minimum acceptable 2-thread scaling efficiency on large families when
+/// `BENCH_ENFORCE_SCALING=1` and the machine has ≥ 2 hardware threads.
+const MIN_TWO_THREAD_EFFICIENCY: f64 = 0.8;
+
 struct FamilySet {
     name: &'static str,
     gens: Vec<Box<dyn ScenarioGen>>,
@@ -37,12 +67,13 @@ struct FamilySet {
 
 fn family_sets() -> Vec<FamilySet> {
     let mut sets = Vec::new();
-    for n in [3u32, 4, 5] {
+    for n in [3u32, 4, 5, 6] {
         sets.push(FamilySet {
             name: match n {
                 3 => "multi-party n=3",
                 4 => "multi-party n=4",
-                _ => "multi-party n=5",
+                5 => "multi-party n=5",
+                _ => "multi-party n=6",
             },
             gens: multi_party_families(n)
                 .into_iter()
@@ -50,6 +81,20 @@ fn family_sets() -> Vec<FamilySet> {
                 .collect(),
         });
     }
+    // A seeded random-digraph batch: eight structurally distinct
+    // strongly-connected five-party graphs, one deviator at a time.
+    sets.push(FamilySet {
+        name: "random digraphs n=5",
+        gens: (0..8u64)
+            .map(|seed| {
+                Box::new(DealSweep::at_most(
+                    format!("random-5-4-seed{seed}"),
+                    random_config(5, 4, seed),
+                    1,
+                )) as Box<dyn ScenarioGen>
+            })
+            .collect(),
+    });
     sets.push(FamilySet {
         name: "two-party hedged+base",
         gens: vec![
@@ -62,43 +107,52 @@ fn family_sets() -> Vec<FamilySet> {
         name: "bootstrap rounds 1-3",
         gens: (1..=3)
             .map(|rounds| {
-                Box::new(BootstrapSweep { a: 5_000, b: 20_000, ratio: 10, rounds })
-                    as Box<dyn ScenarioGen>
+                Box::new(BootstrapSweep::new(5_000, 20_000, 10, rounds)) as Box<dyn ScenarioGen>
             })
             .collect(),
     });
     sets
 }
 
+/// A single sweep of the fast families lasts only a few milliseconds —
+/// far too short to gate on — so each measurement repeats sweeps until at
+/// least this much wall time has accumulated (and at least twice), taking
+/// the fastest sweep. This keeps the efficiency ratios stable enough for
+/// the CI scaling gate on shared runners.
+const MIN_MEASURE_SECONDS: f64 = 0.25;
+
 /// Scenarios/second for one family set at one thread count (one warm-up
-/// sweep, then the faster of two measured sweeps).
+/// sweep, then the fastest of repeated measured sweeps; see
+/// [`MIN_MEASURE_SECONDS`]).
 fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, f64) {
     let refs: Vec<&dyn ScenarioGen> = gens.iter().map(|g| g.as_ref() as &dyn ScenarioGen).collect();
     let sweep = ParallelSweep::new(threads);
     let warmup = sweep.run_all(&refs);
     let mut best = f64::INFINITY;
-    for _ in 0..2 {
+    let mut spent = 0.0;
+    let mut repetitions = 0u32;
+    while repetitions < 2 || spent < MIN_MEASURE_SECONDS {
         let start = Instant::now();
         let summary = sweep.run_all(&refs);
         let elapsed = start.elapsed().as_secs_f64();
         assert_eq!(summary.runs, warmup.runs, "sweeps must be deterministic");
         best = best.min(elapsed);
+        spent += elapsed;
+        repetitions += 1;
     }
     (warmup.runs, warmup.runs as f64 / best.max(1e-9))
 }
 
 fn main() {
-    let max_threads =
-        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(8);
-    let mut thread_counts = vec![1usize, 2];
-    if !thread_counts.contains(&max_threads) {
-        thread_counts.push(max_threads);
-    }
+    let available = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let thread_counts = [1usize, 2, 4, 8];
+    let enforce_scaling = std::env::var("BENCH_ENFORCE_SCALING").as_deref() == Ok("1");
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"modelcheck_parallel\",\n");
     json.push_str("  \"unit\": \"scenarios_per_sec\",\n");
+    let _ = writeln!(json, "  \"available_parallelism\": {available},");
     let _ = writeln!(
         json,
         "  \"thread_counts\": [{}],",
@@ -110,19 +164,61 @@ fn main() {
         let _ = writeln!(json, "    \"{name}\": {rate}{comma}");
     }
     json.push_str("  },\n");
+    json.push_str("  \"baseline_pr3_1_thread\": {\n");
+    for (i, (name, rate)) in BASELINE_PR3.iter().enumerate() {
+        let comma = if i + 1 < BASELINE_PR3.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {rate}{comma}");
+    }
+    json.push_str("  },\n");
     json.push_str("  \"families\": [\n");
 
     let sets = family_sets();
+    let mut violations: Vec<String> = Vec::new();
     println!("\n=== model-checking throughput (scenarios/sec) ===");
-    println!("family set | scenarios | threads | scenarios/sec");
+    println!("family set | scenarios | threads | scenarios/sec | efficiency");
     for (i, set) in sets.iter().enumerate() {
         let mut runs = 0usize;
         let mut rates = Vec::new();
         for &threads in &thread_counts {
             let (r, rate) = measure(&set.gens, threads);
             runs = r;
-            println!("{} | {r} | {threads} | {rate:.0}", set.name);
             rates.push((threads, rate));
+        }
+        let single = rates[0].1;
+        // Scaling efficiency: throughput per thread relative to 1-thread
+        // throughput. 1.0 is perfect scaling; 0.5 means half of every
+        // added thread is wasted. Only meaningful up to the machine's
+        // hardware parallelism.
+        let efficiencies: Vec<(usize, f64)> = rates
+            .iter()
+            .map(|&(threads, rate)| (threads, rate / (single * threads as f64)))
+            .collect();
+        for (&(threads, rate), &(_, eff)) in rates.iter().zip(&efficiencies) {
+            println!("{} | {runs} | {threads} | {rate:.0} | {eff:.2}", set.name);
+        }
+        if runs >= LARGE_FAMILY_MIN && available >= 2 {
+            let two_thread_eff = efficiencies.iter().find(|(t, _)| *t == 2).map(|(_, e)| *e);
+            if let Some(mut eff) = two_thread_eff {
+                // A genuine contention regression keeps *every* sample low;
+                // scheduler noise only dents some. Before declaring a
+                // violation, re-measure the 1/2-thread pair a couple more
+                // times and judge the best efficiency observed, so a single
+                // noisy-neighbour hiccup cannot fail CI.
+                let mut retries = 0;
+                while eff < MIN_TWO_THREAD_EFFICIENCY && retries < 2 {
+                    let (_, single_rate) = measure(&set.gens, 1);
+                    let (_, pair_rate) = measure(&set.gens, 2);
+                    eff = eff.max(pair_rate / (single_rate * 2.0));
+                    retries += 1;
+                }
+                if eff < MIN_TWO_THREAD_EFFICIENCY {
+                    violations.push(format!(
+                        "{}: 2-thread efficiency {eff:.2} < {MIN_TWO_THREAD_EFFICIENCY}                          (best of {} measurements)",
+                        set.name,
+                        retries + 1
+                    ));
+                }
+            }
         }
         let comma = if i + 1 < sets.len() { "," } else { "" };
         let _ = writeln!(json, "    {{");
@@ -133,6 +229,12 @@ fn main() {
             let inner_comma = if j + 1 < rates.len() { "," } else { "" };
             let _ = writeln!(json, "        \"{threads}\": {rate:.0}{inner_comma}");
         }
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"scaling_efficiency\": {{");
+        for (j, (threads, eff)) in efficiencies.iter().enumerate() {
+            let inner_comma = if j + 1 < efficiencies.len() { "," } else { "" };
+            let _ = writeln!(json, "        \"{threads}\": {eff:.2}{inner_comma}");
+        }
         let _ = writeln!(json, "      }}");
         let _ = writeln!(json, "    }}{comma}");
     }
@@ -140,4 +242,22 @@ fn main() {
 
     std::fs::write("BENCH_modelcheck.json", &json).expect("write BENCH_modelcheck.json");
     println!("\nwrote BENCH_modelcheck.json ({} bytes)", json.len());
+
+    if enforce_scaling {
+        if available < 2 {
+            println!(
+                "BENCH_ENFORCE_SCALING set but only {available} hardware thread(s) available; \
+                 skipping the scaling gate (2-thread wall-clock gains are impossible here)."
+            );
+        } else {
+            assert!(
+                violations.is_empty(),
+                "2-thread scaling efficiency regressed on large families:\n  {}",
+                violations.join("\n  ")
+            );
+            println!(
+                "scaling gate passed: every large family ≥ {MIN_TWO_THREAD_EFFICIENCY} at 2 threads"
+            );
+        }
+    }
 }
