@@ -26,9 +26,9 @@ fn report() {
     bench::header("F4: broker deal outcomes", &["scenario", "completed", "all compliant hedged"]);
     for (name, strategies) in [
         ("compliant", BTreeMap::new()),
-        ("seller defects", BTreeMap::from([(SELLER, Strategy::StopAfter(2))])),
-        ("buyer defects", BTreeMap::from([(BUYER, Strategy::StopAfter(2))])),
-        ("broker defects", BTreeMap::from([(BROKER, Strategy::StopAfter(2))])),
+        ("seller defects", BTreeMap::from([(SELLER, Strategy::stop_after(2))])),
+        ("buyer defects", BTreeMap::from([(BUYER, Strategy::stop_after(2))])),
+        ("broker defects", BTreeMap::from([(BROKER, Strategy::stop_after(2))])),
     ] {
         let r = run_brokered_sale(&config, &strategies);
         bench::row(&[name.into(), r.completed.to_string(), r.all_compliant_hedged().to_string()]);

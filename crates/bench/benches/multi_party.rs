@@ -37,7 +37,7 @@ fn report() {
         compliant.completed.to_string(),
         compliant.all_compliant_hedged().to_string(),
     ]);
-    let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(2))]);
+    let strategies = BTreeMap::from([(PartyId(2), Strategy::stop_after(2))]);
     let carol_defects = run_multi_party_swap(&figure3_config(), &strategies);
     bench::row(&[
         "carol defects".into(),

@@ -18,10 +18,10 @@ fn report() {
         ],
     );
     let scenarios: [(&str, Strategy, Strategy); 4] = [
-        ("compliant", Strategy::Compliant, Strategy::Compliant),
-        ("bob aborts before escrow", Strategy::Compliant, Strategy::StopAfter(1)),
-        ("bob absent", Strategy::Compliant, Strategy::StopAfter(0)),
-        ("alice aborts after escrow", Strategy::StopAfter(2), Strategy::Compliant),
+        ("compliant", Strategy::compliant(), Strategy::compliant()),
+        ("bob aborts before escrow", Strategy::compliant(), Strategy::stop_after(1)),
+        ("bob absent", Strategy::compliant(), Strategy::stop_after(0)),
+        ("alice aborts after escrow", Strategy::stop_after(2), Strategy::compliant()),
     ];
     for (name, alice, bob) in scenarios {
         for (proto, r) in [
@@ -44,13 +44,13 @@ fn bench_two_party(c: &mut Criterion) {
     report();
     let config = TwoPartyConfig::default();
     c.bench_function("hedged_two_party_compliant", |b| {
-        b.iter(|| run_hedged_swap(&config, Strategy::Compliant, Strategy::Compliant))
+        b.iter(|| run_hedged_swap(&config, Strategy::compliant(), Strategy::compliant()))
     });
     c.bench_function("base_two_party_compliant", |b| {
-        b.iter(|| run_base_swap(&config, Strategy::Compliant, Strategy::Compliant))
+        b.iter(|| run_base_swap(&config, Strategy::compliant(), Strategy::compliant()))
     });
     c.bench_function("hedged_two_party_bob_reneges", |b| {
-        b.iter(|| run_hedged_swap(&config, Strategy::Compliant, Strategy::StopAfter(1)))
+        b.iter(|| run_hedged_swap(&config, Strategy::compliant(), Strategy::stop_after(1)))
     });
 }
 

@@ -65,6 +65,28 @@ impl ArcDeadlines {
     pub fn hashkey_deadline(&self, path_len: usize) -> Time {
         self.hashkey_timeout_base.plus(path_len as u64 * self.delta_blocks)
     }
+
+    /// The latest height (exclusive) at which a redemption premium whose
+    /// path has the given length is still accepted: one Δ per hop past the
+    /// escrow-premium deadline, capped by the phase-wide
+    /// [`ArcDeadlines::redemption_premium_deadline`].
+    ///
+    /// Premiums propagate outward from each leader exactly like hashkeys
+    /// propagate in phase 4, so their deadlines carry the same per-hop
+    /// structure. An earlier revision accepted every path until the shared
+    /// phase deadline, which had a deadline-edge hole: a leader depositing
+    /// its own (path-length-1) premium at the last legal instant left
+    /// followers zero rounds to extend the path, their extensions bounced,
+    /// the half-activated premium web then forfeited a *compliant* sender's
+    /// escrow premium to the deviator. Giving the length-`ℓ` path the
+    /// deadline `escrow_premium_deadline + ℓ·Δ` restores the paper's
+    /// schedule: every hop — including a last-instant one — leaves the next
+    /// hop a full Δ, and the longest simple path (`ℓ = n`) still lands by
+    /// the phase deadline `2nΔ`.
+    pub fn redemption_path_deadline(&self, path_len: usize) -> Time {
+        self.redemption_premium_deadline
+            .min(self.escrow_premium_deadline.plus(path_len as u64 * self.delta_blocks))
+    }
 }
 
 /// A memo of hashkey presentations that have already been fully verified,
@@ -352,7 +374,7 @@ impl ArcEscrow {
         if self.redemption.contains_key(&leader) {
             return Err(ContractError::invalid_state("redemption premium already deposited"));
         }
-        env.ensure_before(self.params.deadlines.redemption_premium_deadline)?;
+        env.ensure_before(self.params.deadlines.redemption_path_deadline(path.len()))?;
         // Validate the path: starts at the receiver, ends at the leader, and
         // is a simple path of the swap digraph.
         if path.first() != Some(&self.params.receiver) || path.last() != Some(&leader) {

@@ -175,6 +175,18 @@ impl AuctionCoinContract {
         if amount.is_zero() {
             return Err(ContractError::invalid_state("bid must be positive"));
         }
+        // Lemma 7/8 presuppose the auctioneer's n·p endowment: without it a
+        // declared winner's bid would be paid out with no compensation pool
+        // behind it. An earlier revision accepted naked bids, and a
+        // crash-then-recover auctioneer — endowment call bounced after the
+        // deadline, declaration still in time — collected a winning bid with
+        // no tickets escrowed on the other chain. The contract itself now
+        // refuses bids until the endowment is in place.
+        if !self.premium_held {
+            return Err(ContractError::invalid_state(
+                "bids are not accepted before the auctioneer's premium endowment",
+            ));
+        }
         env.ensure_before(self.params.bid_deadline)?;
         env.debit_caller(self.params.coin_asset, amount)?;
         self.bids.insert(bidder, amount);
@@ -670,6 +682,12 @@ mod tests {
     #[test]
     fn bids_respect_deadline_role_and_uniqueness() {
         let mut f = setup();
+        // No bids before the endowment is in place.
+        assert!(f
+            .world
+            .call(BOB, f.coin_addr, &AuctionCoinMsg::PlaceBid { amount: Amount::new(10) }, "bid")
+            .is_err());
+        f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "premium").unwrap();
         // Alice cannot bid.
         assert!(f
             .world
@@ -782,6 +800,7 @@ mod tests {
     #[test]
     fn high_bidder_tie_breaks_deterministically() {
         let mut f = setup();
+        f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "premium").unwrap();
         f.world
             .call(BOB, f.coin_addr, &AuctionCoinMsg::PlaceBid { amount: Amount::new(50) }, "bid")
             .unwrap();

@@ -1,0 +1,523 @@
+//! Deadline-boundary pinning for every contract: the exact semantics of
+//! acting at `deadline − 1` (the last legal instant), at exactly the
+//! deadline, at `not_before − 1` (one tick early) and at exactly
+//! `not_before`.
+//!
+//! The convention across the crate is uniform and these tests keep it that
+//! way: **"before `d`" deadlines are exclusive** (`now < d` accepts,
+//! `now == d` rejects) and **"from `t`" triggers are inclusive**
+//! (`now == t` accepts, `now == t − 1` rejects). The `Procrastinate`
+//! strategies in `protocols::script` drive every emission to these exact
+//! edges, so an off-by-one here surfaces as a hedged-theorem violation in
+//! the model-checking sweeps; this suite pins the boundaries contract by
+//! contract so such a regression fails with a named edge instead.
+
+use std::sync::Arc;
+
+use chainsim::{Amount, ContractAddr, PartyId, Time, World};
+use contracts::{
+    ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, AuctionCoinContract, AuctionCoinMsg,
+    AuctionParams, AuctionTicketContract, AuctionTicketMsg, Hashkey, HashkeyVerifyCache,
+    HedgedEscrow, HedgedEscrowMsg, HedgedEscrowParams, HedgedPremiumState, HedgedPrincipalState,
+    HtlcEscrow, HtlcMsg, HtlcState, PartyKeys, PremiumSlotState, PrincipalState,
+};
+use cryptosim::{KeyPair, Secret};
+use swapgraph::Digraph;
+
+const ALICE: PartyId = PartyId(0);
+const BOB: PartyId = PartyId(1);
+
+// ---------------------------------------------------------------------------
+// HTLC (§5.1): a single timelock guards escrow and redemption exclusively
+// and unlocks the refund inclusively.
+// ---------------------------------------------------------------------------
+
+const HTLC_TIMELOCK: Time = Time(10);
+
+struct HtlcFixture {
+    world: World,
+    addr: ContractAddr,
+    secret: Secret,
+}
+
+fn htlc_fixture() -> HtlcFixture {
+    let mut world = World::new(1);
+    let chain = world.add_chain("apricot");
+    let token = world.register_asset("token");
+    world.chain_mut(chain).mint(ALICE, token, Amount::new(100));
+    let secret = Secret::from_seed(42);
+    let escrow =
+        HtlcEscrow::new(ALICE, BOB, token, Amount::new(100), secret.hashlock(), HTLC_TIMELOCK);
+    let addr = world.publish_labeled(chain, ALICE, "htlc", Box::new(escrow));
+    HtlcFixture { world, addr, secret }
+}
+
+fn htlc_state(f: &HtlcFixture) -> HtlcState {
+    f.world.chain(f.addr.chain).contract_as::<HtlcEscrow>(f.addr.contract).unwrap().state()
+}
+
+#[test]
+fn htlc_escrow_accepts_the_last_tick_and_rejects_the_timelock_tick() {
+    let mut f = htlc_fixture();
+    f.world.advance_blocks(HTLC_TIMELOCK.height() - 1);
+    f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "edge escrow").unwrap();
+    assert_eq!(htlc_state(&f), HtlcState::Escrowed);
+
+    let mut f = htlc_fixture();
+    f.world.advance_blocks(HTLC_TIMELOCK.height());
+    assert!(f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "late escrow").is_err());
+    assert_eq!(htlc_state(&f), HtlcState::Created);
+}
+
+#[test]
+fn htlc_redeem_accepts_the_last_tick_and_rejects_the_timelock_tick() {
+    let mut f = htlc_fixture();
+    f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "escrow").unwrap();
+    f.world.advance_blocks(HTLC_TIMELOCK.height() - 1);
+    let secret = f.secret.clone();
+    f.world.call(BOB, f.addr, &HtlcMsg::Redeem { secret }, "edge redeem").unwrap();
+    assert_eq!(htlc_state(&f), HtlcState::Redeemed);
+
+    let mut f = htlc_fixture();
+    f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "escrow").unwrap();
+    f.world.advance_blocks(HTLC_TIMELOCK.height());
+    let secret = f.secret.clone();
+    assert!(f.world.call(BOB, f.addr, &HtlcMsg::Redeem { secret }, "late redeem").is_err());
+    assert_eq!(htlc_state(&f), HtlcState::Escrowed);
+}
+
+#[test]
+fn htlc_refund_rejects_one_tick_early_and_accepts_the_timelock_tick() {
+    let mut f = htlc_fixture();
+    f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "escrow").unwrap();
+    f.world.advance_blocks(HTLC_TIMELOCK.height() - 1);
+    assert!(f.world.call(BOB, f.addr, &HtlcMsg::Refund, "early refund").is_err());
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.addr, &HtlcMsg::Refund, "edge refund").unwrap();
+    assert_eq!(htlc_state(&f), HtlcState::Refunded);
+}
+
+// ---------------------------------------------------------------------------
+// Hedged escrow (§5.2): premium/escrow/redeem deadlines are exclusive, the
+// two settle rules unlock inclusively at the escrow and redeem deadlines.
+// ---------------------------------------------------------------------------
+
+const HEDGED_PREMIUM: Time = Time(2);
+const HEDGED_ESCROW: Time = Time(6);
+const HEDGED_REDEEM: Time = Time(9);
+
+struct HedgedFixture {
+    world: World,
+    addr: ContractAddr,
+    secret: Secret,
+}
+
+fn hedged_fixture() -> HedgedFixture {
+    let mut world = World::new(1);
+    let chain = world.add_chain("banana");
+    let native = world.chain(chain).native_asset();
+    let token = world.register_asset("token");
+    world.chain_mut(chain).mint(BOB, token, Amount::new(100));
+    world.chain_mut(chain).mint(ALICE, native, Amount::new(10));
+    let secret = Secret::from_seed(7);
+    let escrow = HedgedEscrow::new(HedgedEscrowParams {
+        escrower: BOB,
+        redeemer: ALICE,
+        principal_asset: token,
+        principal_amount: Amount::new(100),
+        premium_asset: native,
+        premium_amount: Amount::new(3),
+        hashlock: secret.hashlock(),
+        premium_deadline: HEDGED_PREMIUM,
+        escrow_deadline: HEDGED_ESCROW,
+        redeem_deadline: HEDGED_REDEEM,
+    });
+    let addr = world.publish_labeled(chain, BOB, "hedged", Box::new(escrow));
+    HedgedFixture { world, addr, secret }
+}
+
+fn hedged(f: &HedgedFixture) -> &HedgedEscrow {
+    f.world.chain(f.addr.chain).contract_as::<HedgedEscrow>(f.addr.contract).unwrap()
+}
+
+#[test]
+fn hedged_premium_deposit_edges() {
+    let mut f = hedged_fixture();
+    f.world.advance_blocks(HEDGED_PREMIUM.height() - 1);
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "edge premium").unwrap();
+    assert_eq!(hedged(&f).premium_state(), HedgedPremiumState::Held);
+
+    let mut f = hedged_fixture();
+    f.world.advance_blocks(HEDGED_PREMIUM.height());
+    assert!(f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "late").is_err());
+}
+
+#[test]
+fn hedged_escrow_edges() {
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(HEDGED_ESCROW.height() - 1);
+    f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "edge escrow").unwrap();
+    assert_eq!(hedged(&f).principal_state(), HedgedPrincipalState::Held);
+
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(HEDGED_ESCROW.height());
+    assert!(f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "late").is_err());
+}
+
+#[test]
+fn hedged_redeem_edges() {
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "escrow").unwrap();
+    f.world.advance_blocks(HEDGED_REDEEM.height() - 2);
+    let secret = f.secret.clone();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::Redeem { secret }, "edge redeem").unwrap();
+    assert_eq!(hedged(&f).principal_state(), HedgedPrincipalState::Redeemed);
+    assert_eq!(hedged(&f).premium_state(), HedgedPremiumState::Refunded);
+
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "escrow").unwrap();
+    f.world.advance_blocks(HEDGED_REDEEM.height() - 1);
+    let secret = f.secret.clone();
+    assert!(f.world.call(ALICE, f.addr, &HedgedEscrowMsg::Redeem { secret }, "late").is_err());
+}
+
+#[test]
+fn hedged_settle_unlocks_inclusively_at_each_deadline() {
+    // Premium refund (principal never escrowed): locked at E − 1, open at E.
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(HEDGED_ESCROW.height() - 1);
+    assert!(f.world.call(ALICE, f.addr, &HedgedEscrowMsg::Settle, "early settle").is_err());
+    f.world.advance_blocks(1);
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::Settle, "edge settle").unwrap();
+    assert_eq!(hedged(&f).premium_state(), HedgedPremiumState::Refunded);
+
+    // Redemption timeout: locked at R − 1, open at R.
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "escrow").unwrap();
+    f.world.advance_blocks(HEDGED_REDEEM.height() - 2);
+    assert!(f.world.call(BOB, f.addr, &HedgedEscrowMsg::Settle, "early settle").is_err());
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.addr, &HedgedEscrowMsg::Settle, "edge settle").unwrap();
+    assert_eq!(hedged(&f).principal_state(), HedgedPrincipalState::Refunded);
+    assert_eq!(hedged(&f).premium_state(), HedgedPremiumState::PaidToEscrower);
+}
+
+// ---------------------------------------------------------------------------
+// Arc escrow (§7/§8): phase deadlines are exclusive; redemption premiums
+// and hashkeys carry per-path-length deadlines; settlement rules unlock
+// inclusively.
+// ---------------------------------------------------------------------------
+
+const ARC_DELTA: u64 = 2;
+const ARC_EPD: Time = Time(4); // escrow premium deadline (nΔ with n=2)
+const ARC_RPD: Time = Time(8); // redemption premium phase deadline (2nΔ)
+const ARC_AED: Time = Time(12); // asset escrow deadline (3nΔ)
+const ARC_FINAL: Time = Time(20);
+
+struct ArcFixture {
+    world: World,
+    addr: ContractAddr,
+    secret: Secret,
+    pairs: Vec<KeyPair>,
+}
+
+/// Arc (B, A) of a two-party cycle with leader A: path lengths 1 (A's own
+/// premium) and 2 are both live, so the per-path deadlines differ.
+fn arc_fixture() -> ArcFixture {
+    let mut world = World::new(1);
+    let chain = world.add_chain("banana");
+    let native = world.chain(chain).native_asset();
+    let token = world.register_asset("token");
+    world.chain_mut(chain).mint(BOB, token, Amount::new(50));
+    world.chain_mut(chain).mint(BOB, native, Amount::new(50));
+    world.chain_mut(chain).mint(ALICE, native, Amount::new(50));
+
+    let mut keys = PartyKeys::new();
+    let mut pairs = Vec::new();
+    for i in 0..2u32 {
+        let pair = KeyPair::from_seed(u64::from(i));
+        world.directory_mut().register(&pair);
+        keys.insert(PartyId(i), pair.public());
+        pairs.push(pair);
+    }
+    let mut digraph = Digraph::new();
+    digraph.add_arc(0, 1);
+    digraph.add_arc(1, 0);
+
+    let secret = Secret::from_seed(11);
+    let escrow = ArcEscrow::new(ArcEscrowParams {
+        sender: BOB,
+        receiver: ALICE,
+        asset: token,
+        amount: Amount::new(50),
+        premium_asset: native,
+        base_premium: Amount::new(1),
+        escrow_premium: Amount::new(5),
+        hashlocks: Arc::new(vec![(ALICE, secret.hashlock())]),
+        digraph: Arc::new(digraph),
+        keys: Arc::new(keys),
+        deadlines: ArcDeadlines {
+            escrow_premium_deadline: ARC_EPD,
+            redemption_premium_deadline: ARC_RPD,
+            asset_escrow_deadline: ARC_AED,
+            hashkey_timeout_base: ARC_AED,
+            delta_blocks: ARC_DELTA,
+            final_deadline: ARC_FINAL,
+        },
+        verify_cache: HashkeyVerifyCache::new(),
+        premium_evaluator: Arc::default(),
+    });
+    let addr = world.publish_labeled(chain, BOB, "arc", Box::new(escrow));
+    ArcFixture { world, addr, secret, pairs }
+}
+
+fn arc(f: &ArcFixture) -> &ArcEscrow {
+    f.world.chain(f.addr.chain).contract_as::<ArcEscrow>(f.addr.contract).unwrap()
+}
+
+fn deposit_own_premium(f: &mut ArcFixture) {
+    f.world
+        .call(
+            ALICE,
+            f.addr,
+            &ArcEscrowMsg::DepositRedemptionPremium { leader: ALICE, path: vec![ALICE] },
+            "R",
+        )
+        .unwrap();
+}
+
+#[test]
+fn arc_escrow_premium_edges() {
+    let mut f = arc_fixture();
+    f.world.advance_blocks(ARC_EPD.height() - 1);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "edge E").unwrap();
+    assert_eq!(arc(&f).escrow_premium_state(), PremiumSlotState::Held);
+
+    let mut f = arc_fixture();
+    f.world.advance_blocks(ARC_EPD.height());
+    assert!(f.world.call(BOB, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "late E").is_err());
+}
+
+#[test]
+fn arc_redemption_premium_deadline_scales_with_path_length() {
+    // A path of length ℓ is accepted strictly before
+    // `escrow_premium_deadline + ℓ·Δ`: the leader's own (length-1) premium
+    // closes at 4 + 2 = 6, well before the phase deadline 8, so a
+    // last-instant leader can never strand its followers (the foregrounded
+    // deadline-edge fix of this revision).
+    let edge = ARC_EPD.plus(ARC_DELTA);
+    let mut f = arc_fixture();
+    f.world.advance_blocks(edge.height() - 1);
+    deposit_own_premium(&mut f);
+    assert_eq!(arc(&f).redemption_premium_state(ALICE), PremiumSlotState::Held);
+
+    let mut f = arc_fixture();
+    f.world.advance_blocks(edge.height());
+    assert!(f
+        .world
+        .call(
+            ALICE,
+            f.addr,
+            &ArcEscrowMsg::DepositRedemptionPremium { leader: ALICE, path: vec![ALICE] },
+            "late R",
+        )
+        .is_err());
+
+    // The per-path deadline never exceeds the phase-wide one.
+    let deadlines = arc(&f).params().deadlines.clone();
+    assert_eq!(deadlines.redemption_path_deadline(1), Time(6));
+    assert_eq!(deadlines.redemption_path_deadline(2), ARC_RPD);
+    assert_eq!(deadlines.redemption_path_deadline(7), ARC_RPD, "capped at the phase deadline");
+}
+
+#[test]
+fn arc_asset_escrow_edges() {
+    let mut f = arc_fixture();
+    deposit_own_premium(&mut f);
+    f.world.advance_blocks(ARC_AED.height() - 1);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "edge escrow").unwrap();
+    assert_eq!(arc(&f).principal_state(), PrincipalState::Held);
+
+    let mut f = arc_fixture();
+    deposit_own_premium(&mut f);
+    f.world.advance_blocks(ARC_AED.height());
+    assert!(f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "late escrow").is_err());
+}
+
+#[test]
+fn arc_hashkey_edges_scale_with_path_length() {
+    // Path length 1: accepted strictly before base + 1·Δ = 14.
+    let edge = ARC_AED.plus(ARC_DELTA);
+    let mut f = arc_fixture();
+    deposit_own_premium(&mut f);
+    f.world.advance_blocks(2);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+    f.world.advance_blocks(edge.height() - 3);
+    let hashkey = Hashkey::from_leader(ALICE, f.secret.clone(), &f.pairs[0]);
+    f.world.call(ALICE, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey }, "edge k").unwrap();
+    assert_eq!(arc(&f).principal_state(), PrincipalState::Redeemed);
+
+    let mut f = arc_fixture();
+    deposit_own_premium(&mut f);
+    f.world.advance_blocks(2);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+    f.world.advance_blocks(edge.height() - 2);
+    let hashkey = Hashkey::from_leader(ALICE, f.secret.clone(), &f.pairs[0]);
+    assert!(f
+        .world
+        .call(ALICE, f.addr, &ArcEscrowMsg::PresentHashkey { hashkey }, "late k")
+        .is_err());
+    assert_eq!(arc(&f).principal_state(), PrincipalState::Held);
+}
+
+#[test]
+fn arc_settle_unlocks_inclusively() {
+    // Escrow-premium disposition unlocks at the asset-escrow deadline.
+    let mut f = arc_fixture();
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+    f.world.advance_blocks(ARC_AED.height() - 1);
+    assert!(f.world.call(BOB, f.addr, &ArcEscrowMsg::Settle, "early settle").is_err());
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::Settle, "edge settle").unwrap();
+    assert_eq!(arc(&f).escrow_premium_state(), PremiumSlotState::Refunded);
+
+    // Principal refund and premium forfeiture unlock at the final deadline.
+    let mut f = arc_fixture();
+    deposit_own_premium(&mut f);
+    f.world.advance_blocks(2);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "escrow").unwrap();
+    f.world.advance_blocks(ARC_FINAL.height() - 3);
+    assert!(f.world.call(BOB, f.addr, &ArcEscrowMsg::Settle, "early settle").is_err());
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::Settle, "edge settle").unwrap();
+    assert_eq!(arc(&f).principal_state(), PrincipalState::Refunded);
+    assert_eq!(arc(&f).redemption_premium_state(ALICE), PremiumSlotState::PaidToCounterparty);
+}
+
+// ---------------------------------------------------------------------------
+// Auction (§9): bids close exclusively at the bid deadline; hashkeys are a
+// half-open window [bid_deadline, challenge_deadline); settlement unlocks
+// inclusively at the challenge deadline.
+// ---------------------------------------------------------------------------
+
+const BID_DEADLINE: Time = Time(4);
+const CHALLENGE_DEADLINE: Time = Time(12);
+
+struct AuctionFixture {
+    world: World,
+    coin_addr: ContractAddr,
+    ticket_addr: ContractAddr,
+    secret_bob: Secret,
+}
+
+fn auction_fixture() -> AuctionFixture {
+    let mut world = World::new(1);
+    let coin_chain = world.add_chain("coin");
+    let ticket_chain = world.add_chain("ticket");
+    let coin = world.register_asset("coin");
+    let ticket = world.register_asset("ticket");
+    world.chain_mut(coin_chain).mint(ALICE, coin, Amount::new(10));
+    world.chain_mut(coin_chain).mint(BOB, coin, Amount::new(100));
+    world.chain_mut(ticket_chain).mint(ALICE, ticket, Amount::new(1));
+    let secret_bob = Secret::from_seed(101);
+    let params = AuctionParams {
+        auctioneer: ALICE,
+        bidders: vec![BOB],
+        coin_asset: coin,
+        ticket_asset: ticket,
+        ticket_amount: Amount::new(1),
+        premium_per_bidder: Amount::new(2),
+        hashlocks: vec![(BOB, secret_bob.hashlock())],
+        bid_deadline: BID_DEADLINE,
+        challenge_deadline: CHALLENGE_DEADLINE,
+    };
+    let coin_addr = world.publish_labeled(
+        coin_chain,
+        ALICE,
+        "auction-coin",
+        Box::new(AuctionCoinContract::new(params.clone())),
+    );
+    let ticket_addr = world.publish_labeled(
+        ticket_chain,
+        ALICE,
+        "auction-ticket",
+        Box::new(AuctionTicketContract::new(params)),
+    );
+    AuctionFixture { world, coin_addr, ticket_addr, secret_bob }
+}
+
+#[test]
+fn auction_bid_and_endowment_edges() {
+    // Bids are refused before the endowment, whatever the clock says.
+    let mut f = auction_fixture();
+    assert!(f
+        .world
+        .call(BOB, f.coin_addr, &AuctionCoinMsg::PlaceBid { amount: Amount::new(6) }, "naked bid")
+        .is_err());
+
+    // Endowment and bid at the last tick before the bid deadline.
+    let mut f = auction_fixture();
+    f.world.advance_blocks(BID_DEADLINE.height() - 1);
+    f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "edge endow").unwrap();
+    f.world.call(ALICE, f.ticket_addr, &AuctionTicketMsg::EscrowTickets, "edge escrow").unwrap();
+    f.world
+        .call(BOB, f.coin_addr, &AuctionCoinMsg::PlaceBid { amount: Amount::new(6) }, "edge bid")
+        .unwrap();
+
+    // All three rejected at exactly the bid deadline.
+    let mut f = auction_fixture();
+    f.world.advance_blocks(BID_DEADLINE.height());
+    assert!(f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "late").is_err());
+    assert!(f.world.call(ALICE, f.ticket_addr, &AuctionTicketMsg::EscrowTickets, "late").is_err());
+}
+
+#[test]
+fn auction_hashkey_window_is_half_open() {
+    let mut f = auction_fixture();
+    f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "endow").unwrap();
+
+    // One tick before the bid deadline: too early on both chains.
+    f.world.advance_blocks(BID_DEADLINE.height() - 1);
+    let msg = AuctionCoinMsg::SubmitHashkey { winner: BOB, secret: f.secret_bob.clone() };
+    assert!(f.world.call(ALICE, f.coin_addr, &msg, "early k").is_err());
+    let tmsg = AuctionTicketMsg::SubmitHashkey { winner: BOB, secret: f.secret_bob.clone() };
+    assert!(f.world.call(ALICE, f.ticket_addr, &tmsg, "early k").is_err());
+
+    // Exactly at the bid deadline: accepted (inclusive opening edge).
+    f.world.advance_blocks(1);
+    f.world.call(ALICE, f.coin_addr, &msg, "edge k").unwrap();
+    f.world.call(ALICE, f.ticket_addr, &tmsg, "edge k").unwrap();
+
+    // Exactly at the challenge deadline: rejected (exclusive closing edge);
+    // one tick earlier is the last legal instant.
+    let mut f = auction_fixture();
+    f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "endow").unwrap();
+    f.world.advance_blocks(CHALLENGE_DEADLINE.height() - 1);
+    let msg = AuctionCoinMsg::SubmitHashkey { winner: BOB, secret: f.secret_bob.clone() };
+    f.world.call(ALICE, f.coin_addr, &msg, "last-tick k").unwrap();
+    f.world.advance_blocks(1);
+    let tmsg = AuctionTicketMsg::SubmitHashkey { winner: BOB, secret: f.secret_bob.clone() };
+    assert!(f.world.call(ALICE, f.ticket_addr, &tmsg, "late k").is_err());
+}
+
+#[test]
+fn auction_settle_unlocks_inclusively_at_the_challenge_deadline() {
+    let mut f = auction_fixture();
+    f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "endow").unwrap();
+    f.world.call(ALICE, f.ticket_addr, &AuctionTicketMsg::EscrowTickets, "tickets").unwrap();
+    f.world.advance_blocks(CHALLENGE_DEADLINE.height() - 1);
+    assert!(f.world.call(BOB, f.coin_addr, &AuctionCoinMsg::Settle, "early settle").is_err());
+    assert!(f.world.call(BOB, f.ticket_addr, &AuctionTicketMsg::Settle, "early settle").is_err());
+    f.world.advance_blocks(1);
+    f.world.call(BOB, f.coin_addr, &AuctionCoinMsg::Settle, "edge settle").unwrap();
+    f.world.call(BOB, f.ticket_addr, &AuctionTicketMsg::Settle, "edge settle").unwrap();
+}

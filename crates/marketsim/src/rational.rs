@@ -101,9 +101,9 @@ pub fn compare_protocols(experiment: &RationalExperiment) -> RationalComparison 
         // Base protocol: Bob aborts on any adverse move (he loses nothing).
         let bob_aborts_base = drop > 0.0;
         let report = if bob_aborts_base {
-            run_base_swap(&config, Strategy::Compliant, Strategy::StopAfter(0))
+            run_base_swap(&config, Strategy::compliant(), Strategy::stop_after(0))
         } else {
-            run_base_swap(&config, Strategy::Compliant, Strategy::Compliant)
+            run_base_swap(&config, Strategy::compliant(), Strategy::compliant())
         };
         if report.swap_completed {
             base_successes += 1;
@@ -116,9 +116,9 @@ pub fn compare_protocols(experiment: &RationalExperiment) -> RationalComparison 
         // the adverse move exceeds the premium fraction.
         let bob_aborts_hedged = drop > experiment.premium_fraction;
         let report = if bob_aborts_hedged {
-            run_hedged_swap(&config, Strategy::Compliant, Strategy::StopAfter(1))
+            run_hedged_swap(&config, Strategy::compliant(), Strategy::stop_after(1))
         } else {
-            run_hedged_swap(&config, Strategy::Compliant, Strategy::Compliant)
+            run_hedged_swap(&config, Strategy::compliant(), Strategy::compliant())
         };
         if report.swap_completed {
             hedged_successes += 1;

@@ -118,7 +118,7 @@ pub trait ScenarioGen: Sync {
 /// let gen = TwoPartySweep::hedged(Default::default());
 /// let serial = ParallelSweep::new(1).run(&gen);
 /// let parallel = ParallelSweep::new(4).run(&gen);
-/// assert_eq!(serial.runs, 25);
+/// assert_eq!(serial.runs, 49 * 49, "the full per-party strategy product, squared");
 /// assert!(serial.holds());
 /// // Determinism: thread count never changes the summary.
 /// assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));

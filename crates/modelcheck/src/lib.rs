@@ -1,12 +1,15 @@
 //! Exhaustive deviation-strategy model checking for the hedged protocols.
 //!
 //! §10 of the paper reports that the two-party and three-party hedged swaps
-//! were model checked (in TLA+). Because smart contracts constrain Byzantine
-//! behaviour to *stopping* at some protocol step (malformed or mistimed
-//! calls are rejected on chain), the strategy space is small enough to
-//! enumerate outright. This crate generalises the paper's two hand-built
-//! models to a parallel sweep engine over **arbitrary** protocol entry
-//! points:
+//! were model checked (in TLA+). Smart contracts constrain Byzantine
+//! behaviour on chain — malformed and mistimed calls are rejected — so the
+//! *observable* deviation space of a party decomposes into three finite
+//! axes: when it stops participating (`stop_after`), when within its legal
+//! windows it acts (`timing`: eager or last-instant), and what garbage it
+//! injects (`faults`: wrong-preimage emissions and crash-then-recover
+//! outages). The product space is small enough to enumerate outright. This
+//! crate generalises the paper's two hand-built models to a parallel sweep
+//! engine over **arbitrary** protocol entry points:
 //!
 //! * [`engine`] — a [`ScenarioGen`](engine::ScenarioGen) trait that exposes
 //!   a scenario family through a random-access index space, and a
@@ -42,7 +45,7 @@
 //! let family = DealSweep::at_most("cycle-4", cycle_config(4), 1);
 //! let summary = ParallelSweep::new(4).run(&family);
 //! assert!(summary.holds());
-//! assert_eq!(summary.runs, 21, "all-compliant plus 4 parties × 5 stop-points");
+//! assert_eq!(summary.runs, 281, "all-compliant plus 4 parties × 70 deviations");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,11 +56,13 @@ pub mod scenarios;
 
 use chainsim::PartyId;
 use engine::{ParallelSweep, ScenarioGen};
-use protocols::broker::{broker_deal_config, BrokerConfig};
+use protocols::broker::BrokerConfig;
 use protocols::deal::DealConfig;
 use protocols::multi_party::{clique_config, cycle_config, figure3_config, random_config};
 use protocols::two_party::TwoPartyConfig;
-use scenarios::{AuctionSweep, BootstrapSweep, DealSweep, DeviationBudget, TwoPartySweep};
+use scenarios::{
+    AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, DeviationBudget, TwoPartySweep,
+};
 
 /// A property violation found during a sweep.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,7 +112,7 @@ fn default_sweep() -> ParallelSweep {
 }
 
 /// Model checks the hedged two-party swap over every joint strategy (both
-/// parties ranging over compliant and all stop-points).
+/// parties ranging over the full `stop_after × timing × faults` space).
 pub fn check_hedged_two_party() -> CheckSummary {
     default_sweep().run(&TwoPartySweep::hedged(TwoPartyConfig::default()))
 }
@@ -135,24 +140,22 @@ pub fn check_figure3_swap() -> CheckSummary {
 }
 
 /// Model checks the brokered sale of §8 with up to two simultaneous
-/// deviators.
+/// deviators, through the engine-native [`BrokerSweep`] family.
 pub fn check_brokered_sale() -> CheckSummary {
-    default_sweep().run(&DealSweep::at_most(
-        "brokered sale",
-        broker_deal_config(&BrokerConfig::default()),
-        2,
-    ))
+    default_sweep().run(&BrokerSweep::at_most(&BrokerConfig::default(), 2))
 }
 
 /// Model checks the auction of §9: every auctioneer behaviour combined with
-/// every single-party stop-point.
+/// every single-party strategy of the full `stop_after × timing × faults`
+/// space.
 pub fn check_auction() -> CheckSummary {
     default_sweep().run(&AuctionSweep::default())
 }
 
 /// Model checks premium bootstrapping (§6) with 1 through `max_rounds`
 /// premium rounds: for each round count, the all-compliant cascade plus
-/// every party stopping at every level.
+/// every party walking away, depositing at the deadline edge and attempting
+/// a wrong-preimage grab at every level.
 pub fn check_bootstrap(max_rounds: u32) -> CheckSummary {
     let families: Vec<BootstrapSweep> = (1..=max_rounds)
         .flat_map(|rounds| {
@@ -169,20 +172,25 @@ pub fn check_bootstrap(max_rounds: u32) -> CheckSummary {
 /// The multi-party scenario families checked for `n` parties: the directed
 /// cycle on `n` and (for `n ≥ 3`) the complete digraph on `n`.
 ///
-/// Deviation budgets scale with cost: small graphs get the full product
-/// space, larger ones two simultaneous deviators, and dense five/six-party
-/// cliques (whose premium structures grow exponentially, §7) one deviator —
-/// the regime the paper's per-compliant-party theorem speaks to.
+/// Deviation budgets scale with cost. The per-party strategy space now
+/// carries the timing and fault axes (71 strategies for the five-step deal
+/// script instead of the historical 6), so the budgets were re-tiered when
+/// the space was enlarged: the two-party cycle still sweeps the full joint
+/// product, mid-size graphs sweep every pair of simultaneous deviators, and
+/// five/six-party graphs (whose premium structures grow exponentially, §7)
+/// sweep one deviator — the regime the paper's per-compliant-party theorem
+/// speaks to.
 pub fn multi_party_families(n: u32) -> Vec<DealSweep> {
     assert!(n >= 2, "a swap needs at least two parties");
-    let cycle_budget = if n <= 3 { DeviationBudget::Full } else { DeviationBudget::AtMost(2) };
+    let cycle_budget = match n {
+        2 => DeviationBudget::Full,
+        3 | 4 => DeviationBudget::AtMost(2),
+        _ => DeviationBudget::AtMost(1),
+    };
     let mut families = vec![DealSweep::new(format!("cycle-{n}"), cycle_config(n), cycle_budget)];
     if n >= 3 {
-        let clique_budget = match n {
-            3 => DeviationBudget::Full,
-            4 => DeviationBudget::AtMost(2),
-            _ => DeviationBudget::AtMost(1),
-        };
+        let clique_budget =
+            if n == 3 { DeviationBudget::AtMost(2) } else { DeviationBudget::AtMost(1) };
         families.push(DealSweep::new(format!("clique-{n}"), clique_config(n), clique_budget));
     }
     families
@@ -221,11 +229,13 @@ pub fn check_random_digraphs(n: u32, extra_arcs: usize, seeds: u64) -> CheckSumm
 #[cfg(test)]
 mod tests {
     use super::*;
+    use protocols::broker::broker_deal_config;
 
     #[test]
     fn hedged_two_party_swap_has_no_violations() {
         let summary = check_hedged_two_party();
-        assert_eq!(summary.runs, 25, "5 strategies per party, squared");
+        let space = protocols::script::Strategy::space_size(protocols::two_party::SCRIPT_STEPS);
+        assert_eq!(summary.runs, space * space, "full per-party product, squared");
         assert!(summary.holds(), "{:?}", summary.violations);
     }
 
@@ -252,7 +262,12 @@ mod tests {
     #[test]
     fn brokered_sale_has_no_violations_with_two_deviators() {
         let summary = check_brokered_sale();
-        assert_eq!(summary.runs, 1 + 3 * 5 + 3 * 25, "deviator-bounded closed form");
+        let deviating = protocols::deal::strategy_space().len() - 1;
+        assert_eq!(
+            summary.runs,
+            1 + 3 * deviating + 3 * deviating * deviating,
+            "deviator-bounded closed form"
+        );
         assert!(summary.holds(), "{:?}", summary.violations);
     }
 
@@ -265,18 +280,20 @@ mod tests {
     #[test]
     fn bootstrap_rounds_have_no_violations() {
         let summary = check_bootstrap(3);
-        // Per round count r: two configs × (1 + 2(r+1)) scenarios.
-        let expected: usize = (1..=3).map(|r| 2 * (1 + 2 * (r as usize + 1))).sum();
+        // Per round count r: two configs × (1 + 6(r+1)) scenarios (stop,
+        // deadline-edge and wrong-preimage deviations per party per level).
+        let expected: usize = (1..=3).map(|r| 2 * (1 + 6 * (r as usize + 1))).sum();
         assert_eq!(summary.runs, expected);
         assert!(summary.holds(), "{:?}", summary.violations);
     }
 
     #[test]
     fn profile_enumeration_counts() {
-        // 3 parties, 1 deviator, 5 deviating strategies each:
-        // 1 (all compliant) + 3 * 5 = 16 profiles.
+        // 3 parties, 1 deviator, `|space| - 1` non-default strategies each:
+        // 1 (all compliant) + 3 · 70 = 211 profiles.
+        let deviating = protocols::deal::strategy_space().len() - 1;
         let summary = check_deal(&figure3_config(), 1);
-        assert_eq!(summary.runs, 16);
+        assert_eq!(summary.runs, 1 + 3 * deviating);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use chainsim::{PartyId, World};
 use protocols::auction::{run_auction_shared, AuctionConfig, AuctionPrefix, AuctioneerBehaviour};
 use protocols::bootstrap::{run_bootstrap_shared, BootstrapDeviation};
+use protocols::broker::{broker_deal_config, BrokerConfig};
 use protocols::deal::{self, run_deal_shared, DealConfig};
 use protocols::script::Strategy;
 use protocols::two_party::{self, run_swap_shared, SwapProtocol, TwoPartyConfig, TwoPartyPrefix};
@@ -63,9 +64,12 @@ pub const WHOLE_RUN: PartyId = PartyId(u32::MAX);
 /// The full product sweep over both parties' strategy spaces for a
 /// two-party swap (hedged §5.2 or base §5.1).
 ///
-/// With the four-step scripts this is `5 × 5 = 25` scenarios: exactly the
-/// product of per-party stop-points (compliant plus stopping after
-/// `0..SCRIPT_STEPS` steps, per party).
+/// Each party independently ranges over the whole
+/// `stop_after × timing × faults` space of its script — the hedged
+/// four-step scripts give `49 × 49` scenarios, the base three-step scripts
+/// `31 × 31`. The spaces are exact-length per protocol: enumerating the
+/// base swap over the hedged bound would re-run behaviourally compliant
+/// stop-points and double-count the compliant outcome in summaries.
 #[derive(Clone, Debug)]
 pub struct TwoPartySweep {
     config: TwoPartyConfig,
@@ -80,11 +84,16 @@ impl TwoPartySweep {
         TwoPartySweep { config, hedged: true, space: two_party::strategy_space(), replay: false }
     }
 
-    /// Sweeps the base (unhedged) two-party swap (§5.1). The sweep is
-    /// expected to *find* hedged-property violations: that is the paper's
-    /// motivating attack.
+    /// Sweeps the base (unhedged) two-party swap (§5.1) over its own
+    /// (three-step) strategy space. The sweep is expected to *find*
+    /// hedged-property violations: that is the paper's motivating attack.
     pub fn base(config: TwoPartyConfig) -> Self {
-        TwoPartySweep { config, hedged: false, space: two_party::strategy_space(), replay: false }
+        TwoPartySweep {
+            config,
+            hedged: false,
+            space: two_party::base_strategy_space(),
+            replay: false,
+        }
     }
 
     /// Switches this family to the brute-force path: every scenario
@@ -172,8 +181,9 @@ pub enum DeviationBudget {
     /// The full product space: every party independently ranges over the
     /// whole strategy space, `(1 + SCRIPT_STEPS)^n` scenarios.
     Full,
-    /// Profiles with at most this many simultaneously deviating parties:
-    /// `Σ_{j≤k} C(n,j)·SCRIPT_STEPS^j` scenarios. The paper's theorems are
+    /// Profiles with at most this many parties playing something other
+    /// than the canonical eager compliant strategy:
+    /// `Σ_{j≤k} C(n,j)·(|space|−1)^j` scenarios. The paper's theorems are
     /// per-compliant-party, so small budgets already cover the interesting
     /// cases while keeping dense six-party graphs tractable.
     AtMost(usize),
@@ -263,7 +273,11 @@ impl DealSweep {
                 for &party in parties.iter().rev() {
                     let strategy = self.space[remaining % self.space.len()];
                     remaining /= self.space.len();
-                    if !strategy.is_compliant() {
+                    // Key on exact equality with the canonical compliant
+                    // strategy: a conforming-but-lazy (`+late`) party is
+                    // still a distinct *behaviour* that must run, even
+                    // though `is_compliant` is true for it.
+                    if strategy != Strategy::compliant() {
                         profile.insert(party, strategy);
                     }
                 }
@@ -312,7 +326,7 @@ impl ScenarioGen for DealSweep {
         let mut violations = Vec::new();
         for (party, outcome) in &report.parties {
             let compliant =
-                profile.get(party).copied().unwrap_or(Strategy::Compliant).is_compliant();
+                profile.get(party).copied().unwrap_or(Strategy::compliant()).is_compliant();
             if compliant && !outcome.hedged {
                 violations.push(Violation {
                     scenario: scenario(),
@@ -345,7 +359,9 @@ impl ScenarioGen for DealSweep {
         // weakens to "no value is ever minted" per asset (the stranded
         // value is pinned to the deviators by the stranded-principal check
         // above plus each compliant party's hedged premium bound).
-        let deviators = profile.len();
+        // Conforming-but-lazy parties settle everything they can reach, so
+        // they do not count against the strict-conservation budget.
+        let deviators = profile.values().filter(|s| !s.is_compliant()).count();
         if deviators <= 1 {
             if !report.payoffs.conserved() {
                 violations.push(Violation {
@@ -402,10 +418,12 @@ fn enumerate_profiles(
         return;
     }
     let deviators = profile.len();
-    // Compliant branch (the party is simply absent from the profile).
+    // Canonical-compliant branch (the party is simply absent from the
+    // profile). Conforming-but-lazy strategies count against the budget:
+    // they are distinct behaviours the sweep must run.
     enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
     if deviators < max_deviators {
-        for &strategy in strategies.iter().filter(|s| !s.is_compliant()) {
+        for &strategy in strategies.iter().filter(|s| **s != Strategy::compliant()) {
             profile.insert(parties[index], strategy);
             enumerate_profiles(parties, strategies, max_deviators, index + 1, profile, visit);
             profile.remove(&parties[index]);
@@ -414,13 +432,78 @@ fn enumerate_profiles(
 }
 
 // ---------------------------------------------------------------------------
+// Brokered sales (§8).
+// ---------------------------------------------------------------------------
+
+/// The brokered-sale family: a [`BrokerConfig`] swept on the
+/// [`ParallelSweep`](crate::engine::ParallelSweep) engine through the
+/// generic deal machinery, with pooled worlds and per-worker deviation-tree
+/// prefixes — the same hot path as every other deal family. (Before this
+/// family existed, brokered sales were only reachable through ad-hoc
+/// `DealSweep` constructions and the non-pooled `run_brokered_sale` entry
+/// point.)
+#[derive(Clone, Debug)]
+pub struct BrokerSweep {
+    inner: DealSweep,
+}
+
+impl BrokerSweep {
+    /// Sweeps the brokered sale built from `config` under the given
+    /// deviation budget.
+    pub fn new(config: &BrokerConfig, budget: DeviationBudget) -> Self {
+        BrokerSweep { inner: DealSweep::new("brokered sale", broker_deal_config(config), budget) }
+    }
+
+    /// The default brokered sale with up to `max_deviators` simultaneous
+    /// deviators.
+    pub fn at_most(config: &BrokerConfig, max_deviators: usize) -> Self {
+        Self::new(config, DeviationBudget::AtMost(max_deviators))
+    }
+
+    /// Switches this family to the brute-force path; see
+    /// [`TwoPartySweep::replay_oracle`].
+    #[cfg(feature = "replay-oracle")]
+    pub fn replay_oracle(mut self) -> Self {
+        self.inner = self.inner.replay_oracle();
+        self
+    }
+
+    /// Decodes scenario `index` into a (deviators-only) strategy profile.
+    pub fn profile(&self, index: usize) -> BTreeMap<PartyId, Strategy> {
+        self.inner.profile(index)
+    }
+}
+
+impl ScenarioGen for BrokerSweep {
+    fn family(&self) -> String {
+        self.inner.family()
+    }
+
+    fn total(&self) -> usize {
+        self.inner.total()
+    }
+
+    fn check(
+        &self,
+        index: usize,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
+        self.inner.check(index, scratch, cache)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Premium bootstrapping (§6).
 // ---------------------------------------------------------------------------
 
-/// A sweep over the deviation points of a bootstrapped premium cascade:
-/// the all-compliant run plus each party stopping at each level.
+/// A sweep over the deviation space of a bootstrapped premium cascade: the
+/// all-compliant run plus, per party and per level, a walk-away, a
+/// deadline-edge (procrastinated) deposit and a wrong-preimage redemption
+/// attempt — the cascade's projection of the `stop_after × timing × faults`
+/// axes (see [`BootstrapDeviation::all`]).
 ///
-/// `1 + 2·(rounds + 1)` scenarios per configuration.
+/// `1 + 6·(rounds + 1)` scenarios per configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BootstrapSweep {
     /// Alice's principal.
@@ -448,6 +531,24 @@ impl BootstrapSweep {
         self.replay = true;
         self
     }
+
+    /// Arithmetic decode of scenario `index` into its deviation — the same
+    /// enumeration order as [`BootstrapDeviation::all`] (pinned by a unit
+    /// test) with no per-scenario allocation on the engine's hot path.
+    fn deviation_at(&self, index: usize) -> BootstrapDeviation {
+        if index == 0 {
+            return BootstrapDeviation::None;
+        }
+        let levels = self.rounds as usize + 1;
+        let offset = index - 1;
+        let party = PartyId((offset / (3 * levels)) as u32);
+        let level = ((offset % (3 * levels)) / 3) as u32;
+        match offset % 3 {
+            0 => BootstrapDeviation::StopAtLevel { party, level },
+            1 => BootstrapDeviation::LateAtLevel { party, level },
+            _ => BootstrapDeviation::WrongSecretAtLevel { party, level },
+        }
+    }
 }
 
 impl ScenarioGen for BootstrapSweep {
@@ -459,7 +560,7 @@ impl ScenarioGen for BootstrapSweep {
     }
 
     fn total(&self) -> usize {
-        1 + 2 * (self.rounds as usize + 1)
+        1 + 6 * (self.rounds as usize + 1)
     }
 
     fn check(
@@ -468,14 +569,8 @@ impl ScenarioGen for BootstrapSweep {
         scratch: &mut World,
         cache: &mut FamilyScratch,
     ) -> Vec<Violation> {
-        let levels = self.rounds as usize + 1;
-        let (deviation, deviator) = if index == 0 {
-            (BootstrapDeviation::None, None)
-        } else {
-            let party = PartyId(((index - 1) / levels) as u32);
-            let level = ((index - 1) % levels) as u32;
-            (BootstrapDeviation::StopAtLevel { party, level }, Some(party))
-        };
+        let deviation = self.deviation_at(index);
+        let deviator = deviation.party();
         let report = oracle_or(
             self.replay,
             (scratch, cache),
@@ -527,11 +622,28 @@ impl ScenarioGen for BootstrapSweep {
 // ---------------------------------------------------------------------------
 
 /// The auction sweep: every auctioneer behaviour combined with every
-/// single-party stop-point. `3 behaviours × 3 parties × 4 stop-points`.
-#[derive(Clone, Debug, Default)]
+/// single-party deviation from the full `stop_after × timing × faults`
+/// space of the three-step auction scripts.
+///
+/// Per behaviour: the all-compliant profile plus each party playing each
+/// non-compliant strategy — `3 × (1 + parties × (|space| − 1))` scenarios.
+#[derive(Clone, Debug)]
 pub struct AuctionSweep {
     config: AuctionConfig,
+    /// All parties (auctioneer + bidders), precomputed: `check` decodes an
+    /// index on the engine's per-scenario hot path and must not allocate.
+    parties: Vec<PartyId>,
+    /// The non-default strategies a deviating party ranges over
+    /// (everything but the canonical eager compliant strategy —
+    /// conforming-but-lazy behaviour included), precomputed.
+    deviating: Vec<Strategy>,
     replay: bool,
+}
+
+impl Default for AuctionSweep {
+    fn default() -> Self {
+        Self::new(AuctionConfig::default())
+    }
 }
 
 /// Per-worker auction prefixes, one per auctioneer behaviour (the
@@ -544,16 +656,18 @@ const BEHAVIOURS: [AuctioneerBehaviour; 3] = [
     AuctioneerBehaviour::DeclareLowBidder,
     AuctioneerBehaviour::Abandon,
 ];
-/// Parties that may deviate in an auction scenario.
-const AUCTION_PARTIES: [PartyId; 3] = [PartyId(0), PartyId(1), PartyId(2)];
-/// Stop-points swept per party.
-const AUCTION_STOPS: usize = 4;
 
 impl AuctionSweep {
     /// Sweeps the given auction configuration (the `auctioneer` field is
     /// overridden per scenario).
     pub fn new(config: AuctionConfig) -> Self {
-        AuctionSweep { config, replay: false }
+        let mut parties = vec![protocols::auction::AUCTIONEER];
+        parties.extend(config.bidders());
+        let deviating = protocols::auction::strategy_space()
+            .into_iter()
+            .filter(|s| *s != Strategy::compliant())
+            .collect();
+        AuctionSweep { config, parties, deviating, replay: false }
     }
 
     /// Switches this family to the brute-force path; see
@@ -563,6 +677,12 @@ impl AuctionSweep {
         self.replay = true;
         self
     }
+
+    /// Scenarios per auctioneer behaviour: all-compliant plus one per
+    /// (party, deviating strategy).
+    fn per_behaviour(&self) -> usize {
+        1 + self.parties.len() * self.deviating.len()
+    }
 }
 
 impl ScenarioGen for AuctionSweep {
@@ -571,7 +691,7 @@ impl ScenarioGen for AuctionSweep {
     }
 
     fn total(&self) -> usize {
-        BEHAVIOURS.len() * AUCTION_PARTIES.len() * AUCTION_STOPS
+        BEHAVIOURS.len() * self.per_behaviour()
     }
 
     fn check(
@@ -580,12 +700,19 @@ impl ScenarioGen for AuctionSweep {
         scratch: &mut World,
         cache: &mut FamilyScratch,
     ) -> Vec<Violation> {
-        let behaviour_index = index / (AUCTION_PARTIES.len() * AUCTION_STOPS);
+        let per_behaviour = self.per_behaviour();
+        let behaviour_index = index / per_behaviour;
         let behaviour = BEHAVIOURS[behaviour_index];
-        let party = AUCTION_PARTIES[(index / AUCTION_STOPS) % AUCTION_PARTIES.len()];
-        let stop_after = index % AUCTION_STOPS;
+        let offset = index % per_behaviour;
+        let (party, strategy) = if offset == 0 {
+            (None, Strategy::compliant())
+        } else {
+            let party = self.parties[(offset - 1) / self.deviating.len()];
+            (Some(party), self.deviating[(offset - 1) % self.deviating.len()])
+        };
         let config = AuctionConfig { auctioneer: behaviour, ..self.config.clone() };
-        let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
+        let strategies: BTreeMap<PartyId, Strategy> =
+            party.map(|p| (p, strategy)).into_iter().collect();
         let report = oracle_or(
             self.replay,
             (scratch, cache),
@@ -600,10 +727,17 @@ impl ScenarioGen for AuctionSweep {
                 )
             },
         );
-        let scenario = || format!("auction {behaviour:?}, {party} stops after {stop_after}");
+        let scenario = || match party {
+            Some(party) => format!("auction {behaviour:?}, {party} plays {strategy}"),
+            None => format!("auction {behaviour:?}, all compliant"),
+        };
         let mut violations = Vec::new();
         if !report.no_bid_stolen {
-            violations.push(Violation { scenario: scenario(), party, property: "no-bid-stolen" });
+            violations.push(Violation {
+                scenario: scenario(),
+                party: party.unwrap_or(WHOLE_RUN),
+                property: "no-bid-stolen",
+            });
         }
         if !report.payoffs.conserved() {
             violations.push(Violation {
@@ -627,7 +761,13 @@ mod tests {
         let space = two_party::strategy_space().len();
         assert_eq!(gen.total(), space * space);
         assert_eq!(gen.family(), "hedged two-party swap");
-        assert_eq!(TwoPartySweep::base(TwoPartyConfig::default()).family(), "base two-party swap");
+        // The base swap sweeps its own (three-step) exact-length space so
+        // behaviourally compliant stop-points are not double-counted.
+        let base = TwoPartySweep::base(TwoPartyConfig::default());
+        let base_space = two_party::base_strategy_space().len();
+        assert!(base_space < space);
+        assert_eq!(base.total(), base_space * base_space);
+        assert_eq!(base.family(), "base two-party swap");
     }
 
     #[test]
@@ -636,11 +776,12 @@ mod tests {
         let space = deal::strategy_space().len();
         assert_eq!(gen.total(), space.pow(3));
         // Index 0 is the all-compliant profile; the last index is everyone
-        // stopping at the last stop-point.
+        // playing the last strategy of the enumerated space.
         assert!(gen.profile(0).is_empty());
         let last = gen.profile(gen.total() - 1);
         assert_eq!(last.len(), 3);
-        assert!(last.values().all(|s| *s == Strategy::StopAfter(deal::SCRIPT_STEPS - 1)));
+        let last_strategy = *deal::strategy_space().last().expect("space is non-empty");
+        assert!(last.values().all(|s| *s == last_strategy));
     }
 
     #[test]
@@ -661,8 +802,25 @@ mod tests {
     #[test]
     fn bootstrap_and_auction_totals() {
         let gen = BootstrapSweep::new(1_000, 1_000, 10, 2);
-        assert_eq!(gen.total(), 1 + 2 * 3);
-        assert_eq!(AuctionSweep::default().total(), 36);
+        assert_eq!(gen.total(), 1 + 6 * 3, "stop/late/wrong-secret per party per level");
+        // The hot-path arithmetic decode matches the canonical enumeration.
+        let canonical = BootstrapDeviation::all(2);
+        assert_eq!(gen.total(), canonical.len());
+        for (index, &expected) in canonical.iter().enumerate() {
+            assert_eq!(gen.deviation_at(index), expected, "index {index}");
+        }
+        // 3 behaviours × (all-compliant + 3 parties × 30 deviations).
+        let deviating = protocols::auction::strategy_space().len() - 1;
+        assert_eq!(AuctionSweep::default().total(), 3 * (1 + 3 * deviating));
+    }
+
+    #[test]
+    fn broker_sweep_matches_the_deal_closed_form() {
+        let deviating = deal::strategy_space().len() - 1;
+        let broker = BrokerSweep::at_most(&protocols::broker::BrokerConfig::default(), 2);
+        assert_eq!(broker.family(), "brokered sale");
+        assert_eq!(broker.total(), 1 + 3 * deviating + 3 * deviating * deviating);
+        assert!(broker.profile(0).is_empty());
     }
 
     #[test]

@@ -18,21 +18,26 @@ use protocols::script::Strategy;
 use protocols::two_party::TwoPartyConfig;
 use protocols::{deal, two_party};
 
-/// The per-party strategy count of the two-party protocols: compliant plus
-/// one stop-point per script step.
+/// The per-party strategy count of the hedged two-party swap: the full
+/// `stop_after × timing × faults` product over the four-step scripts.
 fn two_party_space() -> usize {
     two_party::strategy_space().len()
 }
 
 /// Two-party sweeps range both parties over the whole space, so `runs` is
-/// exactly the product of per-party stop-points.
+/// exactly the squared per-party space (hedged here; the base swap sweeps
+/// its own exact-length space).
 fn two_party_profiles() -> usize {
     two_party_space() * two_party_space()
 }
 
 #[test]
 fn hedged_two_party_accounting_matches_the_strategy_space() {
-    assert_eq!(two_party_space(), two_party::SCRIPT_STEPS + 1, "Compliant + one per stop-point");
+    assert_eq!(
+        two_party_space(),
+        Strategy::space_size(two_party::SCRIPT_STEPS),
+        "full stop × timing × fault product"
+    );
     let summary = check_hedged_two_party();
     assert_eq!(summary.runs, two_party_profiles());
     assert_eq!(summary.strategies, summary.runs, "one run per joint strategy profile");
@@ -43,8 +48,12 @@ fn hedged_two_party_accounting_matches_the_strategy_space() {
 #[test]
 fn base_two_party_reports_the_sore_loser_violation() {
     let summary = check_base_two_party();
-    // Same exhaustive sweep as the hedged check...
-    assert_eq!(summary.runs, two_party_profiles());
+    // An exhaustive sweep over the base swap's own exact-length space (a
+    // stop-point at the hedged bound would be behaviourally compliant and
+    // double-count the compliant outcome)...
+    let base_space = two_party::base_strategy_space().len();
+    assert_eq!(base_space, Strategy::space_size(two_party::BASE_SCRIPT_STEPS));
+    assert_eq!(summary.runs, base_space * base_space);
     assert_eq!(summary.strategies, summary.runs);
     // ...but the unhedged protocol must be caught violating the hedged
     // property, and only that property: funds are still conserved.
@@ -61,12 +70,13 @@ fn base_two_party_reports_the_sore_loser_violation() {
     }
 }
 
-/// Deal sweeps with a deviator budget enumerate, per party, the deviating
-/// strategies of the deal strategy space. For n parties and 1 deviator that
-/// is `1 + n * SCRIPT_STEPS` profiles.
+/// Deal sweeps with a deviator budget enumerate, per party, every
+/// non-default strategy of the deal space (everything but the canonical
+/// eager compliant strategy — conforming-but-lazy behaviour included). For
+/// n parties and 1 deviator that is `1 + n · (|space| − 1)` profiles.
 fn single_deviator_profiles(parties: usize) -> usize {
-    let deviating = deal::strategy_space().iter().filter(|s| !s.is_compliant()).count();
-    assert_eq!(deviating, deal::SCRIPT_STEPS, "one deviation per stop-point");
+    let deviating = deal::strategy_space().len() - 1;
+    assert_eq!(deviating, Strategy::space_size(deal::SCRIPT_STEPS) - 1);
     1 + parties * deviating
 }
 
@@ -110,9 +120,11 @@ fn mixed_families_accumulate_runs_exactly() {
 
 #[test]
 fn auction_accounting_matches_the_enumerated_space() {
-    // 3 auctioneer behaviours x 3 parties x 4 stop points.
+    // 3 auctioneer behaviours × (all-compliant + 3 parties × every
+    // non-default strategy of the three-step auction scripts).
     let summary = check_auction();
-    assert_eq!(summary.runs, 3 * 3 * 4);
+    let deviating = protocols::auction::strategy_space().len() - 1;
+    assert_eq!(summary.runs, 3 * (1 + 3 * deviating));
     assert_eq!(summary.strategies, summary.runs);
     assert!(summary.holds(), "{:?}", summary.violations);
 }
@@ -120,7 +132,13 @@ fn auction_accounting_matches_the_enumerated_space() {
 #[test]
 fn strategy_spaces_match_the_script_constants() {
     assert_eq!(two_party::strategy_space(), Strategy::all(two_party::SCRIPT_STEPS));
+    assert_eq!(two_party::base_strategy_space(), Strategy::all(two_party::BASE_SCRIPT_STEPS));
     assert_eq!(deal::strategy_space(), Strategy::all(deal::SCRIPT_STEPS));
+    assert_eq!(
+        protocols::auction::strategy_space(),
+        Strategy::all(protocols::auction::SCRIPT_STEPS)
+    );
+    assert_eq!(protocols::broker::strategy_space(), protocols::deal::strategy_space());
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //!    base (unhedged) protocols; parallel execution must not mask them.
 
 use modelcheck::engine::{ParallelSweep, ScenarioGen};
-use modelcheck::scenarios::{AuctionSweep, BootstrapSweep, DealSweep, TwoPartySweep};
+use modelcheck::scenarios::{AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep};
 use modelcheck::{check_hedged_multi_party, check_random_digraphs};
 use protocols::broker::{broker_deal_config, BrokerConfig};
 use protocols::multi_party::figure3_config;
@@ -39,7 +39,8 @@ fn assert_thread_invariant(gen: &dyn ScenarioGen) -> modelcheck::CheckSummary {
 fn two_party_sweeps_are_thread_invariant() {
     let hedged = assert_thread_invariant(&TwoPartySweep::hedged(TwoPartyConfig::default()));
     assert!(hedged.holds(), "{:?}", hedged.violations);
-    assert_eq!(hedged.runs, 25);
+    let space = protocols::two_party::strategy_space().len();
+    assert_eq!(hedged.runs, space * space);
 
     // The *base* sweep must find violations — identically on every thread
     // count. A parallel engine that loses or reorders them is broken.
@@ -51,9 +52,10 @@ fn two_party_sweeps_are_thread_invariant() {
 
 #[test]
 fn deal_and_auction_sweeps_are_thread_invariant() {
-    let figure3 = assert_thread_invariant(&DealSweep::at_most("figure3", figure3_config(), 2));
+    let figure3 = assert_thread_invariant(&DealSweep::at_most("figure3", figure3_config(), 1));
     assert!(figure3.holds(), "{:?}", figure3.violations);
-    assert_eq!(figure3.runs, 1 + 3 * 5 + 3 * 25);
+    let deviating = protocols::deal::strategy_space().len() - 1;
+    assert_eq!(figure3.runs, 1 + 3 * deviating);
 
     let broker = assert_thread_invariant(&DealSweep::at_most(
         "broker",
@@ -67,7 +69,11 @@ fn deal_and_auction_sweeps_are_thread_invariant() {
 
     let bootstrap = assert_thread_invariant(&BootstrapSweep::new(100_000, 100_000, 10, 3));
     assert!(bootstrap.holds(), "{:?}", bootstrap.violations);
-    assert_eq!(bootstrap.runs, 1 + 2 * 4);
+    assert_eq!(bootstrap.runs, 1 + 6 * 4);
+
+    let broker = assert_thread_invariant(&BrokerSweep::at_most(&BrokerConfig::default(), 1));
+    assert!(broker.holds(), "{:?}", broker.violations);
+    assert_eq!(broker.runs, 1 + 3 * (protocols::deal::strategy_space().len() - 1));
 }
 
 #[test]
@@ -96,11 +102,13 @@ fn multi_party_sweep_is_thread_invariant_at_n4() {
 
 #[test]
 fn random_strongly_connected_digraphs_hold() {
+    let deviating = protocols::deal::strategy_space().len() - 1;
     for n in [4u32, 5] {
         let summary = check_random_digraphs(n, 3, 4);
         assert!(summary.holds(), "n={n}: {:?}", summary.violations);
-        // 4 seeds, each: all-compliant + n parties × 5 stop-points.
-        assert_eq!(summary.runs, 4 * (1 + n as usize * 5));
+        // 4 seeds, each: all-compliant + n parties × every non-default
+        // strategy of the deal space.
+        assert_eq!(summary.runs, 4 * (1 + n as usize * deviating));
     }
 }
 

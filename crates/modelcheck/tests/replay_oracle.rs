@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use chainsim::{PartyId, TraceMode, World};
 use modelcheck::engine::{ParallelSweep, ScenarioGen};
-use modelcheck::scenarios::{AuctionSweep, BootstrapSweep, DealSweep, TwoPartySweep};
+use modelcheck::scenarios::{AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep};
 use protocols::auction::{run_auction_in, run_auction_shared, AuctionConfig, AuctioneerBehaviour};
 use protocols::bootstrap::{run_bootstrap_in, run_bootstrap_shared, BootstrapDeviation};
 use protocols::broker::{broker_deal_config, BrokerConfig};
@@ -52,24 +52,39 @@ fn two_party_sweeps_match_the_replay_oracle() {
 
 #[test]
 fn deal_sweeps_match_the_replay_oracle() {
-    for (name, config, deviators) in [
-        ("figure3", figure3_config(), 2),
-        ("broker", broker_deal_config(&BrokerConfig::default()), 2),
-        ("cycle-4", cycle_config(4), 2),
-        ("random-4", random_config(4, 3, 7), 1),
+    // Single-deviator budgets sweep the full per-party
+    // `stop_after × timing × faults` space — 70 non-default strategies per
+    // party — so every timing and fault profile is diffed against the
+    // brute-force oracle here.
+    for (name, config) in [
+        ("figure3", figure3_config()),
+        ("broker", broker_deal_config(&BrokerConfig::default())),
+        ("cycle-4", cycle_config(4)),
+        ("random-4", random_config(4, 3, 7)),
     ] {
         assert_tree_matches_oracle(
-            &DealSweep::at_most(name, config.clone(), deviators),
-            &DealSweep::at_most(name, config, deviators).replay_oracle(),
+            &DealSweep::at_most(name, config.clone(), 1),
+            &DealSweep::at_most(name, config, 1).replay_oracle(),
         );
     }
 }
 
 #[test]
 fn full_product_deal_sweep_matches_the_replay_oracle() {
+    // The full joint product (71² profiles, timing and fault pairs
+    // included) on the two-party cycle.
     assert_tree_matches_oracle(
-        &DealSweep::full("figure3-full", figure3_config()),
-        &DealSweep::full("figure3-full", figure3_config()).replay_oracle(),
+        &DealSweep::full("cycle-2-full", cycle_config(2)),
+        &DealSweep::full("cycle-2-full", cycle_config(2)).replay_oracle(),
+    );
+}
+
+#[test]
+fn broker_sweep_matches_the_replay_oracle() {
+    let config = BrokerConfig::default();
+    assert_tree_matches_oracle(
+        &BrokerSweep::at_most(&config, 1),
+        &BrokerSweep::at_most(&config, 1).replay_oracle(),
     );
 }
 
@@ -86,17 +101,37 @@ fn auction_and_bootstrap_sweeps_match_the_replay_oracle() {
 // Report-level differentials: whole Debug-rendered reports, every profile.
 // ---------------------------------------------------------------------------
 
-/// Every at-most-two-deviators profile of `config`, reports compared
-/// field-for-field between the deviation tree and from-scratch execution,
-/// in both trace modes.
+/// Every single-deviator profile of `config` (the full per-party
+/// `stop_after × timing × faults` space), plus a batch of handcrafted
+/// two-deviator profiles mixing the axes, reports compared field-for-field
+/// between the deviation tree and from-scratch execution, in both trace
+/// modes.
 fn assert_deal_reports_identical(config: &DealConfig) {
+    use protocols::script::Fault;
+    let parties = config.parties();
+    let mixed_pairs: Vec<BTreeMap<PartyId, Strategy>> = {
+        let a = parties[0];
+        let b = *parties.last().expect("deal has parties");
+        vec![
+            BTreeMap::from([(a, Strategy::compliant().late()), (b, Strategy::stop_after(2))]),
+            BTreeMap::from([
+                (a, Strategy::stop_after(3).late()),
+                (b, Strategy::compliant().with_fault(Fault::Crash { step: 1 })),
+            ]),
+            BTreeMap::from([
+                (a, Strategy::compliant().with_fault(Fault::Garbage { step: 0 }).late()),
+                (b, Strategy::stop_after(1).with_fault(Fault::Crash { step: 0 })),
+            ]),
+            BTreeMap::from([(a, Strategy::compliant().late()), (b, Strategy::compliant().late())]),
+        ]
+    };
     for trace in [TraceMode::Off, TraceMode::Full] {
         let mut tree_world = World::with_trace(1, trace);
         let mut oracle_world = World::with_trace(1, trace);
         let mut cache = None;
-        let sweep = DealSweep::at_most("diff", config.clone(), 2);
-        for index in 0..sweep.total() {
-            let profile = sweep.profile(index);
+        let sweep = DealSweep::at_most("diff", config.clone(), 1);
+        let profiles = (0..sweep.total()).map(|i| sweep.profile(i)).chain(mixed_pairs.clone());
+        for profile in profiles {
             let tree = run_deal_shared(&mut tree_world, config, &profile, &mut cache);
             let oracle = run_deal_in(&mut oracle_world, config, &profile);
             assert_eq!(
@@ -117,8 +152,8 @@ fn deal_reports_are_byte_identical_per_profile() {
 #[test]
 fn two_party_reports_are_byte_identical_per_profile() {
     let config = TwoPartyConfig::default();
-    let space = two_party::strategy_space();
     for protocol in [SwapProtocol::Hedged, SwapProtocol::Base] {
+        let space = two_party::strategy_space_for(protocol);
         let mut tree_world = World::with_trace(1, TraceMode::Off);
         let mut oracle_world = World::with_trace(1, TraceMode::Off);
         let mut cache = None;
@@ -156,14 +191,14 @@ fn auction_reports_are_byte_identical_per_profile() {
         let mut oracle_world = World::with_trace(1, TraceMode::Off);
         let mut cache = None;
         for party in 0..3u32 {
-            for stop in 0..4usize {
-                let strategies = BTreeMap::from([(PartyId(party), Strategy::StopAfter(stop))]);
+            for strategy in protocols::auction::strategy_space() {
+                let strategies = BTreeMap::from([(PartyId(party), strategy)]);
                 let tree = run_auction_shared(&mut tree_world, &config, &strategies, &mut cache);
                 let oracle = run_auction_in(&mut oracle_world, &config, &strategies);
                 assert_eq!(
                     format!("{tree:?}"),
                     format!("{oracle:?}"),
-                    "{behaviour:?}, {party} stops after {stop}"
+                    "{behaviour:?}, {party} plays {strategy}"
                 );
             }
         }
@@ -176,13 +211,7 @@ fn bootstrap_reports_are_byte_identical_per_deviation() {
     let mut tree_world = World::with_trace(1, TraceMode::Off);
     let mut oracle_world = World::with_trace(1, TraceMode::Off);
     let mut cache = None;
-    let mut deviations = vec![BootstrapDeviation::None];
-    for level in 0..=rounds {
-        for party in [PartyId(0), PartyId(1)] {
-            deviations.push(BootstrapDeviation::StopAtLevel { party, level });
-        }
-    }
-    for deviation in deviations {
+    for deviation in BootstrapDeviation::all(rounds) {
         let tree =
             run_bootstrap_shared(&mut tree_world, a, b, ratio, rounds, deviation, &mut cache);
         let oracle = run_bootstrap_in(&mut oracle_world, a, b, ratio, rounds, deviation);
@@ -205,5 +234,6 @@ fn deviation_tree_still_finds_base_protocol_violations() {
 fn deal_profile_spaces_agree_between_budgets() {
     let full = DealSweep::full("f", figure3_config());
     let space = deal::strategy_space();
+    assert_eq!(space.len(), Strategy::space_size(deal::SCRIPT_STEPS));
     assert_eq!(full.total(), space.len().pow(3));
 }

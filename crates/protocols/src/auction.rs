@@ -22,6 +22,17 @@ use crate::script::{run_parties, DeviationTree, ScriptedParty, Step, StepOutcome
 /// The auctioneer's party id.
 pub const AUCTIONEER: PartyId = PartyId(0);
 
+/// The number of scripted steps in every auction role (auctioneer:
+/// endow/declare/settle; bidder: bid/challenge/settle).
+pub const SCRIPT_STEPS: usize = 3;
+
+/// Every distinct per-party strategy of the auction: the full
+/// `stop_after × timing × faults` product over the three-step scripts (see
+/// [`Strategy::all`] for the dedup rules).
+pub fn strategy_space() -> Vec<Strategy> {
+    Strategy::all(SCRIPT_STEPS)
+}
+
 /// How the auctioneer behaves in the declaration phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AuctioneerBehaviour {
@@ -175,6 +186,7 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
     let coin_addr = setup.coin_addr;
     let ticket_addr = setup.ticket_addr;
     let behaviour = config.auctioneer;
+    let delta = config.delta_blocks;
     let secrets = setup.secrets.clone();
     let bid_deadline = setup.params.bid_deadline;
     let challenge_deadline = setup.params.challenge_deadline;
@@ -192,7 +204,11 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
                     "Alice escrows the tickets",
                 ),
             ])
-        }),
+        })
+        // The endowment must leave bidders a full Δ to observe it and still
+        // bid strictly before the deadline, so its own legal window ends one
+        // Δ earlier.
+        .with_deadline(Time(bid_deadline.height().saturating_sub(delta))),
         Step::new("auctioneer: declare the winner", move |world: &World| {
             if world.now().has_reached(challenge_deadline) {
                 return StepOutcome::Complete(vec![]);
@@ -238,7 +254,8 @@ fn auctioneer_steps(config: &AuctionConfig, setup: &AuctionSetup) -> Vec<Step> {
                     },
                 ),
             ])
-        }),
+        })
+        .with_deadline(challenge_deadline),
         Step::new("auctioneer: settle", move |world: &World| {
             if !world.now().has_reached(challenge_deadline) {
                 return StepOutcome::WaitUntil(challenge_deadline);
@@ -267,14 +284,32 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
     let challenge_deadline = setup.params.challenge_deadline;
     let secrets = setup.secrets.clone();
     vec![
-        Step::new("bidder: place bid", move |_world: &World| match bid {
-            Some(amount) => StepOutcome::Complete(vec![Action::call(
-                coin_addr,
-                AuctionCoinMsg::PlaceBid { amount },
-                CallDesc::Amount { party: bidder, verb: "bids", amount },
-            )]),
-            None => StepOutcome::Complete(vec![]),
-        }),
+        Step::new("bidder: place bid", move |world: &World| {
+            let Some(amount) = bid else {
+                return StepOutcome::Complete(vec![]);
+            };
+            if world.now().has_reached(bid_deadline) {
+                // The auctioneer never funded the auction in time.
+                return StepOutcome::Complete(vec![]);
+            }
+            // A prudent bidder commits coins only after observing both the
+            // n·p endowment on this chain and the ticket escrow on the
+            // other: Lemmas 7–8 protect bidders of *funded* auctions, and an
+            // unfunded one (e.g. a crashed auctioneer whose endowment call
+            // bounced) must attract no bids at all.
+            let funded = coin_contract(world, coin_addr).premium_held()
+                && ticket_contract(world, ticket_addr).tickets_held();
+            if funded {
+                StepOutcome::Complete(vec![Action::call(
+                    coin_addr,
+                    AuctionCoinMsg::PlaceBid { amount },
+                    CallDesc::Amount { party: bidder, verb: "bids", amount },
+                )])
+            } else {
+                StepOutcome::WaitUntil(bid_deadline)
+            }
+        })
+        .with_deadline(bid_deadline),
         Step::new("bidder: challenge (cross-forward hashkeys)", move |world: &World| {
             if world.now().has_reached(challenge_deadline) {
                 return StepOutcome::Complete(vec![]);
@@ -327,7 +362,8 @@ fn bidder_steps(config: &AuctionConfig, setup: &AuctionSetup, bidder: PartyId) -
             } else {
                 StepOutcome::Progress(actions)
             }
-        }),
+        })
+        .with_deadline(challenge_deadline),
         Step::new("bidder: settle", move |world: &World| {
             if !world.now().has_reached(challenge_deadline) {
                 return StepOutcome::WaitUntil(challenge_deadline);
@@ -370,7 +406,7 @@ pub fn run_auction_in(
     let parties = auction_parties(config);
     let before = BalanceSnapshot::capture(world, &parties, &[setup.coin, setup.ticket]);
     let actors = auction_actors(config, &setup, &|party| {
-        strategies.get(&party).copied().unwrap_or(Strategy::Compliant)
+        strategies.get(&party).copied().unwrap_or(Strategy::compliant())
     });
     let run_report = run_parties(world, actors, auction_max_rounds(config));
     finish_auction_report(
@@ -403,14 +439,18 @@ fn auction_actors(
         AUCTIONEER,
         auctioneer_steps(config, setup),
         strategy_of(AUCTIONEER),
-    )];
+    )
+    .with_delta(config.delta_blocks)];
     for bidder in config.bidders() {
-        actors.push(ScriptedParty::new(
-            bidder,
-            bidder_steps(config, setup, bidder),
-            strategy_of(bidder),
-        ));
+        actors.push(
+            ScriptedParty::new(bidder, bidder_steps(config, setup, bidder), strategy_of(bidder))
+                .with_delta(config.delta_blocks),
+        );
     }
+    debug_assert!(
+        actors.iter().all(|a| a.total_steps() == SCRIPT_STEPS),
+        "SCRIPT_STEPS must match every auction script so sweeps cover exactly the stop-points"
+    );
     actors
 }
 
@@ -444,7 +484,7 @@ fn finish_auction_report(
         bidder_coin_payoffs.insert(*bidder, coin_payoff);
         bidder_ticket_payoffs.insert(*bidder, ticket_payoff);
         let compliant =
-            strategies.get(bidder).copied().unwrap_or(Strategy::Compliant).is_compliant();
+            strategies.get(bidder).copied().unwrap_or(Strategy::compliant()).is_compliant();
         let placed_bid = config.bids[(bidder.0 - 1) as usize].is_some();
         if compliant {
             let got_tickets = ticket_payoff > 0;
@@ -505,14 +545,14 @@ pub fn run_auction_shared(
         let setup = build(world, config);
         let parties = auction_parties(config);
         let before = BalanceSnapshot::capture(world, &parties, &[setup.coin, setup.ticket]);
-        let actors = auction_actors(config, &setup, &|_| Strategy::Compliant);
+        let actors = auction_actors(config, &setup, &|_| Strategy::compliant());
         let prefix = DeviationTree::record(world, actors, auction_max_rounds(config));
         *cache = Some(AuctionPrefix { prefix, setup, before });
     }
     let cached = cache.as_mut().expect("cache populated above");
     let resumed = cached
         .prefix
-        .resume(world, &|party| strategies.get(&party).copied().unwrap_or(Strategy::Compliant));
+        .resume(world, &|party| strategies.get(&party).copied().unwrap_or(Strategy::compliant()));
     finish_auction_report(
         world,
         config,
@@ -573,7 +613,7 @@ mod tests {
         // Carol (the low bidder) refuses to do anything after bidding: the
         // auction still completes for Bob because Alice's hashkey appears on
         // both chains without Carol's help.
-        let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(1))]);
+        let strategies = BTreeMap::from([(PartyId(2), Strategy::stop_after(1))]);
         let report = run_auction(&AuctionConfig::default(), &strategies);
         assert!(
             matches!(report.outcome, Some(AuctionOutcome::Completed { winner, .. }) if winner == PartyId(1))
@@ -595,7 +635,7 @@ mod tests {
 
     #[test]
     fn auctioneer_walking_away_before_endowment_steals_nothing() {
-        let strategies = BTreeMap::from([(AUCTIONEER, Strategy::StopAfter(0))]);
+        let strategies = BTreeMap::from([(AUCTIONEER, Strategy::stop_after(0))]);
         let report = run_auction(&AuctionConfig::default(), &strategies);
         assert!(report.no_bid_stolen);
         // Without the premium endowment the bids are still refunded.

@@ -48,6 +48,11 @@ pub fn exposure(a: u128, b: u128, ratio: u128, rounds: u32) -> BootstrapExposure
 }
 
 /// A deviation point in the on-chain bootstrap simulation.
+///
+/// The cascade driver is synchronous (it is not scripted through
+/// [`crate::script::ScriptedParty`]), so the three deviation axes of
+/// [`crate::script::Strategy`] — walking away, last-instant timing and
+/// garbage emissions — appear here in the cascade's own vocabulary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BootstrapDeviation {
     /// Both parties comply at every level.
@@ -60,6 +65,64 @@ pub enum BootstrapDeviation {
         /// The level at which it stops.
         level: u32,
     },
+    /// The named party procrastinates its deposit at the given level to the
+    /// last block before the level's escrow deadline (the timing axis). A
+    /// late depositor is still conforming, so the cascade must complete
+    /// with exactly the compliant payoffs.
+    LateAtLevel {
+        /// The deviating party.
+        party: PartyId,
+        /// The level whose deposit lands at the deadline edge.
+        level: u32,
+    },
+    /// The named party attempts to redeem the counterparty's deposit at the
+    /// given level with a wrong preimage (the garbage axis). The contract
+    /// rejects the call, so the cascade must complete with exactly the
+    /// compliant payoffs.
+    WrongSecretAtLevel {
+        /// The deviating party.
+        party: PartyId,
+        /// The level at which the garbage redemption is attempted.
+        level: u32,
+    },
+}
+
+impl BootstrapDeviation {
+    /// The level at which this deviation first acts, if it is a deviation.
+    pub fn level(&self) -> Option<u32> {
+        match self {
+            BootstrapDeviation::None => None,
+            BootstrapDeviation::StopAtLevel { level, .. }
+            | BootstrapDeviation::LateAtLevel { level, .. }
+            | BootstrapDeviation::WrongSecretAtLevel { level, .. } => Some(*level),
+        }
+    }
+
+    /// The deviating party, if any.
+    pub fn party(&self) -> Option<PartyId> {
+        match self {
+            BootstrapDeviation::None => None,
+            BootstrapDeviation::StopAtLevel { party, .. }
+            | BootstrapDeviation::LateAtLevel { party, .. }
+            | BootstrapDeviation::WrongSecretAtLevel { party, .. } => Some(*party),
+        }
+    }
+
+    /// Enumerates the full deviation space of a cascade with `rounds`
+    /// premium rounds: the compliant run plus, per party and per level, one
+    /// deviation of each kind. `1 + 6·(rounds + 1)` entries, the exact
+    /// space the bootstrap sweeps range over.
+    pub fn all(rounds: u32) -> Vec<BootstrapDeviation> {
+        let mut deviations = vec![BootstrapDeviation::None];
+        for party in [ALICE, BOB] {
+            for level in 0..=rounds {
+                deviations.push(BootstrapDeviation::StopAtLevel { party, level });
+                deviations.push(BootstrapDeviation::LateAtLevel { party, level });
+                deviations.push(BootstrapDeviation::WrongSecretAtLevel { party, level });
+            }
+        }
+        deviations
+    }
 }
 
 /// The outcome of the on-chain bootstrapped premium simulation.
@@ -238,8 +301,14 @@ fn run_level(
     );
     state.contracts.push((k, banana_escrow, apricot_escrow));
 
-    let alice_stops = matches!(deviation, BootstrapDeviation::StopAtLevel { party, level } if party == ALICE && level == k);
-    let bob_stops = matches!(deviation, BootstrapDeviation::StopAtLevel { party, level } if party == BOB && level == k);
+    let hits = |party: PartyId| deviation.party() == Some(party) && deviation.level() == Some(k);
+    let is_stop = matches!(deviation, BootstrapDeviation::StopAtLevel { .. });
+    let is_late = matches!(deviation, BootstrapDeviation::LateAtLevel { .. });
+    let is_wrong = matches!(deviation, BootstrapDeviation::WrongSecretAtLevel { .. });
+    let alice_stops = is_stop && hits(ALICE);
+    let bob_stops = is_stop && hits(BOB);
+    let alice_late = is_late && hits(ALICE);
+    let bob_late = is_late && hits(BOB);
 
     if state.halted {
         return;
@@ -251,12 +320,53 @@ fn run_level(
     let _ =
         world.call(ALICE, apricot_escrow, &HedgedEscrowMsg::DepositPremium, "open premium slot");
     world.advance_delta();
-    if !alice_stops {
+    if !alice_stops && !alice_late {
         let _ =
             world.call(ALICE, banana_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
     }
-    if !bob_stops {
+    if !bob_stops && !bob_late {
         let _ = world.call(BOB, apricot_escrow, &HedgedEscrowMsg::EscrowPrincipal, "level deposit");
+    }
+    if alice_late || bob_late {
+        // A procrastinator deposits at the last block strictly before the
+        // level's escrow deadline (`start + 2Δ`): the deadline edge the
+        // contracts must accept.
+        let edge = start.plus(2 * ctx.delta - 1);
+        world.advance_blocks(edge - world.now());
+        if alice_late {
+            let _ = world.call(
+                ALICE,
+                banana_escrow,
+                &HedgedEscrowMsg::EscrowPrincipal,
+                "deadline-edge deposit",
+            );
+        }
+        if bob_late {
+            let _ = world.call(
+                BOB,
+                apricot_escrow,
+                &HedgedEscrowMsg::EscrowPrincipal,
+                "deadline-edge deposit",
+            );
+        }
+    }
+    if is_wrong && hits(ALICE) {
+        // Garbage axis: Alice tries to grab Bob's deposit with a wrong
+        // preimage; the contract must reject it without state damage.
+        let _ = world.call(
+            ALICE,
+            apricot_escrow,
+            &HedgedEscrowMsg::Redeem { secret: Secret::from_seed(0xBAD5EC) },
+            "wrong-preimage redemption attempt",
+        );
+    }
+    if is_wrong && hits(BOB) {
+        let _ = world.call(
+            BOB,
+            banana_escrow,
+            &HedgedEscrowMsg::Redeem { secret: Secret::from_seed(0xBAD5EC) },
+            "wrong-preimage redemption attempt",
+        );
     }
     world.advance_delta();
     if alice_stops || bob_stops {
@@ -349,7 +459,12 @@ fn settle_and_report(
     debug_assert_eq!(locked, 0, "all escrows settle by the end of the run");
 
     let compliant_losses_bounded = match deviation {
-        BootstrapDeviation::None => {
+        // Deadline-edge deposits and rejected wrong-preimage grabs must be
+        // outcome-neutral: the cascade completes with exactly the compliant
+        // payoffs.
+        BootstrapDeviation::None
+        | BootstrapDeviation::LateAtLevel { .. }
+        | BootstrapDeviation::WrongSecretAtLevel { .. } => {
             alice_payoff + bob_payoff == 0 && alice_payoff == b as i128 - a as i128
         }
         BootstrapDeviation::StopAtLevel { party, .. } => {
@@ -420,12 +535,15 @@ pub fn run_bootstrap_shared(
         });
     }
     let cached = cache.as_ref().expect("cache populated above");
-    match deviation {
-        BootstrapDeviation::None => {
+    match deviation.level() {
+        None => {
             world.restore(&cached.final_world);
             settle_and_report(world, &cached.ctx, &cached.final_state, a, b, deviation)
         }
-        BootstrapDeviation::StopAtLevel { level, .. } => {
+        Some(level) => {
+            // Any deviation kind first acts at its level, so the compliant
+            // snapshot taken just before that level is a shared prefix for
+            // stop, late and wrong-secret runs alike.
             let level = level.min(cached.rounds);
             let index = (cached.rounds - level) as usize;
             let (snapshot, state) = &cached.levels[index];

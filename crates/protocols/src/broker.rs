@@ -20,6 +20,12 @@ use swapgraph::{premiums, Digraph};
 use crate::deal::{run_deal, ArcSpec, DealConfig, DealReport};
 use crate::script::Strategy;
 
+/// Every distinct per-party strategy of the brokered sale. The broker runs
+/// on the generic deal engine, so its space is exactly
+/// [`crate::deal::strategy_space`] — re-exported here so each protocol
+/// module names its own swept space.
+pub use crate::deal::strategy_space;
+
 /// Alice, the broker.
 pub const BROKER: PartyId = PartyId(0);
 /// Bob, the ticket seller.
@@ -182,7 +188,7 @@ mod tests {
     #[test]
     fn seller_walking_away_compensates_broker_and_buyer() {
         // Bob deposits premiums but never escrows his ticket.
-        let strategies = BTreeMap::from([(SELLER, Strategy::StopAfter(2))]);
+        let strategies = BTreeMap::from([(SELLER, Strategy::stop_after(2))]);
         let report = run_brokered_sale(&BrokerConfig::default(), &strategies);
         assert!(!report.completed);
         assert!(report.parties[&BROKER].hedged);
@@ -194,7 +200,7 @@ mod tests {
     #[test]
     fn broker_walking_away_compensates_seller_and_buyer() {
         // Alice stops before her trading-phase transfers.
-        let strategies = BTreeMap::from([(BROKER, Strategy::StopAfter(2))]);
+        let strategies = BTreeMap::from([(BROKER, Strategy::stop_after(2))]);
         let report = run_brokered_sale(&BrokerConfig::default(), &strategies);
         assert!(!report.completed);
         assert!(report.parties[&SELLER].hedged, "{report:?}");
@@ -207,7 +213,7 @@ mod tests {
         let config = BrokerConfig::default();
         for party in [BROKER, SELLER, BUYER] {
             for stop_after in 0..5usize {
-                let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
+                let strategies = BTreeMap::from([(party, Strategy::stop_after(stop_after))]);
                 let report = run_brokered_sale(&config, &strategies);
                 assert!(
                     report.all_compliant_hedged(),

@@ -31,12 +31,13 @@ use crate::script::{
 
 /// The number of scripted steps in each deal-engine role: escrow premiums,
 /// redemption premiums, asset escrow, hashkey release, settlement.
-/// [`Strategy::StopAfter`] points at or beyond this are equivalent to
+/// [`Strategy::stop_after`] points at or beyond this are equivalent to
 /// compliance.
 pub const SCRIPT_STEPS: usize = 5;
 
-/// Every distinct per-party strategy of the deal engine: compliant plus each
-/// stop-point of the five-step script. Model-checking sweeps range over
+/// Every distinct per-party strategy of the deal engine: the full
+/// `stop_after × timing × faults` product over the five-step script (see
+/// [`Strategy::all`] for the dedup rules). Model-checking sweeps range over
 /// exactly this space.
 pub fn strategy_space() -> Vec<Strategy> {
     Strategy::all(SCRIPT_STEPS)
@@ -89,6 +90,11 @@ pub struct DealCaches {
     /// all-pairs BFS) — computed once per configuration instead of several
     /// times per run.
     deadlines: Arc<OnceLock<ArcDeadlines>>,
+    /// Each party's depth in the wait-for-incoming dependency DAG (leaders
+    /// and other non-waiting parties are depth 0), computed once per
+    /// configuration; drives the staggered per-sender asset-escrow
+    /// deadlines.
+    escrow_depths: Arc<OnceLock<BTreeMap<PartyId, u64>>>,
     /// Compact Equation-(1) adjacency tables, built once per configuration
     /// and shared with every arc escrow the configuration publishes.
     premium_evaluator: Arc<OnceLock<RedemptionPremiumEvaluator>>,
@@ -247,6 +253,66 @@ impl DealConfig {
 
     fn final_deadline(&self) -> Time {
         self.deadlines().final_deadline
+    }
+
+    /// Each party's depth in the wait-for-incoming dependency DAG: parties
+    /// that escrow unconditionally (leaders) are depth 0; a waiting party
+    /// sits one level below the deepest sender it waits on. The leader set
+    /// is a feedback vertex set, so the waiting sub-digraph is acyclic and
+    /// the fixed point below converges within `n` sweeps; anything left
+    /// unassigned (an invalid configuration) is capped at `n`.
+    fn escrow_depths(&self) -> &BTreeMap<PartyId, u64> {
+        self.caches.escrow_depths.get_or_init(|| {
+            let parties = self.parties();
+            let mut depths: BTreeMap<PartyId, u64> = parties
+                .iter()
+                .filter(|p| !self.wait_for_incoming.contains(p))
+                .map(|&p| (p, 0))
+                .collect();
+            for _ in 0..parties.len() {
+                let mut changed = false;
+                for &v in parties.iter().filter(|p| self.wait_for_incoming.contains(p)) {
+                    if depths.contains_key(&v) {
+                        continue;
+                    }
+                    let senders: Vec<PartyId> =
+                        self.digraph.in_arcs(v.0).into_iter().map(|(u, _)| PartyId(u)).collect();
+                    if let Some(depth) =
+                        senders.iter().map(|u| depths.get(u).copied()).collect::<Option<Vec<_>>>()
+                    {
+                        depths.insert(v, 1 + depth.into_iter().max().unwrap_or(0));
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for &p in &parties {
+                depths.entry(p).or_insert(parties.len() as u64);
+            }
+            depths
+        })
+    }
+
+    /// The staggered asset-escrow deadline of `sender`'s outgoing arcs:
+    /// `redemption_premium_deadline + (depth + 1)·Δ`.
+    ///
+    /// The escrow phase chains through waiting parties — a follower escrows
+    /// only after observing every incoming asset — so a single shared
+    /// deadline had a deadline-edge hole: a sender escrowing at the last
+    /// legal instant (a crash-recovered leader, say) left its dependents
+    /// zero rounds to follow, and the dependents' forfeited escrow premiums
+    /// flowed to the deviator. Staggering by dependency depth restores the
+    /// §7 schedule: every hop — including a last-instant one — leaves the
+    /// next a full Δ, and the deepest party's deadline is still at most the
+    /// phase end `3nΔ`.
+    fn asset_escrow_deadline_of(&self, sender: PartyId) -> Time {
+        let deadlines = self.deadlines();
+        let depth = self.escrow_depths().get(&sender).copied().unwrap_or(0);
+        deadlines
+            .asset_escrow_deadline
+            .min(deadlines.redemption_premium_deadline.plus((depth + 1) * self.delta_blocks))
     }
 }
 
@@ -417,6 +483,12 @@ fn build(world: &mut World, config: &DealConfig) -> DealSetup {
     for arc in &config.arcs {
         let chain_id = chain_ids[arc.chain.as_str()];
         let native = world.chain(chain_id).native_asset();
+        // Per-arc deadlines: the asset-escrow deadline is staggered by the
+        // sender's dependency depth (see `asset_escrow_deadline_of`).
+        let arc_deadlines = ArcDeadlines {
+            asset_escrow_deadline: config.asset_escrow_deadline_of(arc.from),
+            ..deadlines.clone()
+        };
         let params = ArcEscrowParams {
             sender: arc.from,
             receiver: arc.to,
@@ -428,7 +500,7 @@ fn build(world: &mut World, config: &DealConfig) -> DealSetup {
             hashlocks: Arc::clone(&hashlocks),
             digraph: Arc::clone(&digraph),
             keys: Arc::clone(&keys),
-            deadlines: deadlines.clone(),
+            deadlines: arc_deadlines,
             verify_cache: verify_cache.clone(),
             premium_evaluator: Arc::clone(&config.caches.premium_evaluator),
         };
@@ -513,38 +585,41 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
     {
         let ctx = Arc::clone(&ctx);
         let give_up = deadlines.escrow_premium_deadline;
-        steps.push(Step::new("deposit escrow premiums", move |world: &World| {
-            if world.now().has_reached(give_up) {
-                return StepOutcome::Complete(vec![]);
-            }
-            let ready = !wait_for_incoming
-                || ctx.in_arcs.iter().all(|arc| {
-                    arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_state()
-                        != PremiumSlotState::NotDeposited
-                });
-            if !ready {
-                // On a frozen world readiness cannot change; the clock only
-                // matters again at the give-up deadline.
-                return StepOutcome::WaitUntil(give_up);
-            }
-            let actions = ctx
-                .out_arcs
-                .iter()
-                .map(|arc| {
-                    Action::call(
-                        ctx.arc_addrs[arc],
-                        ArcEscrowMsg::DepositEscrowPremium,
-                        CallDesc::Arc {
-                            party: arc.0,
-                            verb: "deposits escrow premium on",
-                            from: arc.0,
-                            to: arc.1,
-                        },
-                    )
-                })
-                .collect();
-            StepOutcome::Complete(actions)
-        }));
+        steps.push(
+            Step::new("deposit escrow premiums", move |world: &World| {
+                if world.now().has_reached(give_up) {
+                    return StepOutcome::Complete(vec![]);
+                }
+                let ready = !wait_for_incoming
+                    || ctx.in_arcs.iter().all(|arc| {
+                        arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_state()
+                            != PremiumSlotState::NotDeposited
+                    });
+                if !ready {
+                    // On a frozen world readiness cannot change; the clock only
+                    // matters again at the give-up deadline.
+                    return StepOutcome::WaitUntil(give_up);
+                }
+                let actions = ctx
+                    .out_arcs
+                    .iter()
+                    .map(|arc| {
+                        Action::call(
+                            ctx.arc_addrs[arc],
+                            ArcEscrowMsg::DepositEscrowPremium,
+                            CallDesc::Arc {
+                                party: arc.0,
+                                verb: "deposits escrow premium on",
+                                from: arc.0,
+                                to: arc.1,
+                            },
+                        )
+                    })
+                    .collect();
+                StepOutcome::Complete(actions)
+            })
+            .with_deadline(give_up),
+        );
     }
 
     // Phase 2: redemption premiums, one obligation per leader.
@@ -552,65 +627,98 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
         let ctx = Arc::clone(&ctx);
         let give_up = deadlines.redemption_premium_deadline;
         let escrow_premium_deadline = deadlines.escrow_premium_deadline;
-        steps.push(Step::stateful("deposit redemption premiums", move |memo, world: &World| {
-            let done = &mut memo.done;
-            let now = world.now();
-            let mut actions = Vec::new();
-            for &leader in &ctx.leader_list {
-                if done.contains(&leader) {
-                    continue;
-                }
-                if now.has_reached(give_up) {
-                    done.insert(leader);
-                    continue;
-                }
-                if leader == me {
-                    // Deposit only once every incoming escrow premium arrived
-                    // (Lemma 5 behaviour); give up silently otherwise.
-                    let all_in = ctx.in_arcs.iter().all(|arc| {
-                        arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_state()
-                            != PremiumSlotState::NotDeposited
-                    });
-                    if all_in {
-                        for arc in &ctx.in_arcs {
-                            actions.push(Action::call(
-                                ctx.arc_addrs[arc],
-                                ArcEscrowMsg::DepositRedemptionPremium { leader, path: vec![me] },
-                                CallDesc::Arc {
-                                    party: me,
-                                    verb: "deposits own redemption premium on",
-                                    from: arc.0,
-                                    to: arc.1,
-                                },
-                            ));
-                        }
-                        done.insert(leader);
-                    } else if now.has_reached(escrow_premium_deadline) {
-                        done.insert(leader);
+        steps.push(
+            Step::stateful("deposit redemption premiums", move |memo, world: &World| {
+                let done = &mut memo.done;
+                let now = world.now();
+                let mut actions = Vec::new();
+                for &leader in &ctx.leader_list {
+                    if done.contains(&leader) {
+                        continue;
                     }
-                    continue;
-                }
-                // Follower rule: wait for a premium for this leader on some
-                // outgoing arc, then extend its path onto incoming arcs.
-                let observed = ctx.out_arcs.iter().find_map(|arc| {
-                    arc_contract(world, ctx.arc_addrs[arc])
-                        .redemption_premium_path(leader)
-                        .map(|path| path.to_vec())
-                });
-                if let Some(path) = observed {
-                    if path.contains(&me) {
+                    if now.has_reached(give_up) {
                         done.insert(leader);
                         continue;
                     }
-                    let mut extended = vec![me];
-                    extended.extend_from_slice(&path);
+                    if leader == me {
+                        // Deposit only once every incoming escrow premium arrived
+                        // (Lemma 5 behaviour); give up silently otherwise.
+                        let all_in = ctx.in_arcs.iter().all(|arc| {
+                            arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_state()
+                                != PremiumSlotState::NotDeposited
+                        });
+                        if all_in {
+                            for arc in &ctx.in_arcs {
+                                actions.push(Action::call(
+                                    ctx.arc_addrs[arc],
+                                    ArcEscrowMsg::DepositRedemptionPremium {
+                                        leader,
+                                        path: vec![me],
+                                    },
+                                    CallDesc::Arc {
+                                        party: me,
+                                        verb: "deposits own redemption premium on",
+                                        from: arc.0,
+                                        to: arc.1,
+                                    },
+                                ));
+                            }
+                            done.insert(leader);
+                        } else if now.has_reached(escrow_premium_deadline) {
+                            done.insert(leader);
+                        }
+                        continue;
+                    }
+                    // Follower rule: wait for a premium for this leader on some
+                    // outgoing arc, then extend its path onto incoming arcs.
+                    //
+                    // Candidate paths are gathered from *every* outgoing arc: a
+                    // path through this party cannot be extended, and a path
+                    // through an in-arc's sender prices to zero on that arc
+                    // (Equation (1) treats on-path senders as already
+                    // protected), so each in-arc prefers the shortest
+                    // sender-avoiding candidate. An earlier revision extended
+                    // whichever path it happened to observe first, and a
+                    // timing deviator could reorder observations so that a
+                    // through-the-sender path arrived first — silently zeroing
+                    // a compliant sender's compensation.
+                    let mut candidates: Vec<Vec<PartyId>> = ctx
+                        .out_arcs
+                        .iter()
+                        .filter_map(|arc| {
+                            arc_contract(world, ctx.arc_addrs[arc])
+                                .redemption_premium_path(leader)
+                                .filter(|path| !path.contains(&me))
+                                .map(|path| path.to_vec())
+                        })
+                        .collect();
+                    candidates.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+                    candidates.dedup();
+                    if candidates.is_empty() {
+                        // Nothing extensible yet. If every outgoing arc already
+                        // carries an (inextensible) path through this party, no
+                        // better observation can come: give up on this leader.
+                        let all_inextensible = !ctx.out_arcs.is_empty()
+                            && ctx.out_arcs.iter().all(|arc| {
+                                arc_contract(world, ctx.arc_addrs[arc])
+                                    .redemption_premium_path(leader)
+                                    .is_some_and(|path| path.contains(&me))
+                            });
+                        if all_inextensible {
+                            done.insert(leader);
+                        }
+                        continue;
+                    }
                     for arc in &ctx.in_arcs {
+                        let best = candidates
+                            .iter()
+                            .find(|path| !path.contains(&arc.0))
+                            .unwrap_or(&candidates[0]);
+                        let mut extended = vec![me];
+                        extended.extend_from_slice(best);
                         actions.push(Action::call(
                             ctx.arc_addrs[arc],
-                            ArcEscrowMsg::DepositRedemptionPremium {
-                                leader,
-                                path: extended.clone(),
-                            },
+                            ArcEscrowMsg::DepositRedemptionPremium { leader, path: extended },
                             CallDesc::SubjectArc {
                                 party: me,
                                 verb: "passes redemption premium for",
@@ -623,68 +731,75 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
                     }
                     done.insert(leader);
                 }
-            }
-            if done.len() == ctx.leader_list.len() {
-                StepOutcome::Complete(actions)
-            } else if actions.is_empty() {
-                // Frozen-world behaviour only changes at the deadlines the
-                // branches above test (both with idempotent memo effects).
-                StepOutcome::WaitUntil(wake_after(now, &[give_up, escrow_premium_deadline]))
-            } else {
-                StepOutcome::Progress(actions)
-            }
-        }));
+                if done.len() == ctx.leader_list.len() {
+                    StepOutcome::Complete(actions)
+                } else if actions.is_empty() {
+                    // Frozen-world behaviour only changes at the deadlines the
+                    // branches above test (both with idempotent memo effects).
+                    StepOutcome::WaitUntil(wake_after(now, &[give_up, escrow_premium_deadline]))
+                } else {
+                    StepOutcome::Progress(actions)
+                }
+            })
+            .with_deadline(give_up),
+        );
     }
 
-    // Phase 3: escrow assets on outgoing arcs.
+    // Phase 3: escrow assets on outgoing arcs. The give-up (and the
+    // contracts' acceptance window) is this sender's staggered deadline.
     {
         let ctx = Arc::clone(&ctx);
         let phase_start = deadlines.redemption_premium_deadline;
-        let give_up = deadlines.asset_escrow_deadline;
-        steps.push(Step::new("escrow assets", move |world: &World| {
-            let now = world.now();
-            if now.has_reached(give_up) {
-                return StepOutcome::Complete(vec![]);
-            }
-            let ready = if wait_for_incoming {
-                ctx.in_arcs.iter().all(|arc| {
-                    matches!(
-                        arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
-                        PrincipalState::Held | PrincipalState::Redeemed
-                    )
-                })
-            } else {
-                now.has_reached(phase_start)
-            };
-            if !ready {
-                return StepOutcome::WaitUntil(if wait_for_incoming {
-                    give_up
+        let give_up = config.asset_escrow_deadline_of(me);
+        steps.push(
+            Step::new("escrow assets", move |world: &World| {
+                let now = world.now();
+                if now.has_reached(give_up) {
+                    return StepOutcome::Complete(vec![]);
+                }
+                let ready = if wait_for_incoming {
+                    ctx.in_arcs.iter().all(|arc| {
+                        matches!(
+                            arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
+                            PrincipalState::Held | PrincipalState::Redeemed
+                        )
+                    })
                 } else {
-                    wake_after(now, &[phase_start, give_up])
-                });
-            }
-            // Leaders (and everyone else) only escrow on arcs whose escrow
-            // premium is activated; an unactivated arc means the receiver
-            // skipped its redemption premiums, so escrowing there is unsafe.
-            let actions: Vec<Action> = ctx
-                .out_arcs
-                .iter()
-                .filter(|arc| arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_activated())
-                .map(|arc| {
-                    Action::call(
-                        ctx.arc_addrs[arc],
-                        ArcEscrowMsg::EscrowAsset,
-                        CallDesc::Arc {
-                            party: arc.0,
-                            verb: "escrows its asset on",
-                            from: arc.0,
-                            to: arc.1,
-                        },
-                    )
-                })
-                .collect();
-            StepOutcome::Complete(actions)
-        }));
+                    now.has_reached(phase_start)
+                };
+                if !ready {
+                    return StepOutcome::WaitUntil(if wait_for_incoming {
+                        give_up
+                    } else {
+                        wake_after(now, &[phase_start, give_up])
+                    });
+                }
+                // Leaders (and everyone else) only escrow on arcs whose escrow
+                // premium is activated; an unactivated arc means the receiver
+                // skipped its redemption premiums, so escrowing there is unsafe.
+                let actions: Vec<Action> = ctx
+                    .out_arcs
+                    .iter()
+                    .filter(|arc| {
+                        arc_contract(world, ctx.arc_addrs[arc]).escrow_premium_activated()
+                    })
+                    .map(|arc| {
+                        Action::call(
+                            ctx.arc_addrs[arc],
+                            ArcEscrowMsg::EscrowAsset,
+                            CallDesc::Arc {
+                                party: arc.0,
+                                verb: "escrows its asset on",
+                                from: arc.0,
+                                to: arc.1,
+                            },
+                        )
+                    })
+                    .collect();
+                StepOutcome::Complete(actions)
+            })
+            .with_deadline(give_up),
+        );
     }
 
     // Phase 4: release and propagate hashkeys.
@@ -693,83 +808,81 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
         let caches = config.caches.clone();
         let give_up = final_deadline;
         let asset_escrow_deadline = deadlines.asset_escrow_deadline;
-        steps.push(Step::stateful("release and propagate hashkeys", move |memo, world: &World| {
-            let StepMemo { done, hashkeys } = memo;
-            let now = world.now();
-            let mut actions = Vec::new();
-            for &leader in &ctx.leader_list {
-                if done.contains(&leader) {
-                    continue;
-                }
-                if now.has_reached(give_up) {
-                    done.insert(leader);
-                    continue;
-                }
-                let hashkey: Option<Hashkey> = if leader == me {
-                    // Release the own secret once every incoming arc is
-                    // funded (the normal case), or — per Lemma 4 — once it is
-                    // clear this party escrowed nothing itself, so releasing
-                    // is free and recovers its redemption premiums.
-                    let all_in = !ctx.in_arcs.is_empty()
-                        && ctx.in_arcs.iter().all(|arc| {
+        steps.push(
+            Step::stateful("release and propagate hashkeys", move |memo, world: &World| {
+                let StepMemo { done, hashkeys } = memo;
+                let now = world.now();
+                let mut actions = Vec::new();
+                for &leader in &ctx.leader_list {
+                    if done.contains(&leader) {
+                        continue;
+                    }
+                    if now.has_reached(give_up) {
+                        done.insert(leader);
+                        continue;
+                    }
+                    let hashkey: Option<Hashkey> = if leader == me {
+                        // Release the own secret once every incoming arc is
+                        // funded (the normal case), or — per Lemma 4 — once it is
+                        // clear this party escrowed nothing itself, so releasing
+                        // is free and recovers its redemption premiums.
+                        let all_in = !ctx.in_arcs.is_empty()
+                            && ctx.in_arcs.iter().all(|arc| {
+                                matches!(
+                                    arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
+                                    PrincipalState::Held | PrincipalState::Redeemed
+                                )
+                            });
+                        let escrowed_nothing = ctx.out_arcs.iter().all(|arc| {
                             matches!(
                                 arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
-                                PrincipalState::Held | PrincipalState::Redeemed
+                                PrincipalState::NotEscrowed
                             )
                         });
-                    let escrowed_nothing = ctx.out_arcs.iter().all(|arc| {
-                        matches!(
-                            arc_contract(world, ctx.arc_addrs[arc]).principal_state(),
-                            PrincipalState::NotEscrowed
-                        )
-                    });
-                    let past_escrow_phase = now.has_reached(
-                        arc_contract(world, ctx.arc_addrs[&ctx.in_arcs[0]])
-                            .params()
-                            .deadlines
-                            .asset_escrow_deadline,
-                    );
-                    if all_in || (escrowed_nothing && past_escrow_phase) {
-                        my_secret.as_ref().map(|_| caches.leader_hashkey(me, hashkeys))
+                        let past_escrow_phase = now.has_reached(asset_escrow_deadline);
+                        if all_in || (escrowed_nothing && past_escrow_phase) {
+                            my_secret.as_ref().map(|_| caches.leader_hashkey(me, hashkeys))
+                        } else {
+                            None
+                        }
                     } else {
-                        None
+                        // Learn the hashkey from an outgoing arc and extend it.
+                        ctx.out_arcs.iter().find_map(|arc| {
+                            arc_contract(world, ctx.arc_addrs[arc])
+                                .presented_hashkey(leader)
+                                .map(|k| caches.extend_hashkey(k, me, &my_keys, hashkeys))
+                        })
+                    };
+                    if let Some(hashkey) = hashkey {
+                        for arc in &ctx.in_arcs {
+                            actions.push(Action::call(
+                                ctx.arc_addrs[arc],
+                                ArcEscrowMsg::PresentHashkey { hashkey: hashkey.clone() },
+                                CallDesc::SubjectArc {
+                                    party: me,
+                                    verb: "presents hashkey of",
+                                    subject: leader,
+                                    link: "on",
+                                    from: arc.0,
+                                    to: arc.1,
+                                },
+                            ));
+                        }
+                        done.insert(leader);
                     }
-                } else {
-                    // Learn the hashkey from an outgoing arc and extend it.
-                    ctx.out_arcs.iter().find_map(|arc| {
-                        arc_contract(world, ctx.arc_addrs[arc])
-                            .presented_hashkey(leader)
-                            .map(|k| caches.extend_hashkey(k, me, &my_keys, hashkeys))
-                    })
-                };
-                if let Some(hashkey) = hashkey {
-                    for arc in &ctx.in_arcs {
-                        actions.push(Action::call(
-                            ctx.arc_addrs[arc],
-                            ArcEscrowMsg::PresentHashkey { hashkey: hashkey.clone() },
-                            CallDesc::SubjectArc {
-                                party: me,
-                                verb: "presents hashkey of",
-                                subject: leader,
-                                link: "on",
-                                from: arc.0,
-                                to: arc.1,
-                            },
-                        ));
-                    }
-                    done.insert(leader);
                 }
-            }
-            if done.len() == ctx.leader_list.len() {
-                StepOutcome::Complete(actions)
-            } else if actions.is_empty() {
-                // Frozen-world behaviour only changes when the escrow phase
-                // ends (Lemma-4 release) or at the final deadline.
-                StepOutcome::WaitUntil(wake_after(now, &[asset_escrow_deadline, give_up]))
-            } else {
-                StepOutcome::Progress(actions)
-            }
-        }));
+                if done.len() == ctx.leader_list.len() {
+                    StepOutcome::Complete(actions)
+                } else if actions.is_empty() {
+                    // Frozen-world behaviour only changes when the escrow phase
+                    // ends (Lemma-4 release) or at the final deadline.
+                    StepOutcome::WaitUntil(wake_after(now, &[asset_escrow_deadline, give_up]))
+                } else {
+                    StepOutcome::Progress(actions)
+                }
+            })
+            .with_deadline(give_up),
+        );
     }
 
     // Recovery: settle every incident arc after the final deadline.
@@ -817,7 +930,7 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
 
 /// Runs a hedged deal with the given per-party strategies.
 ///
-/// Parties not present in `strategies` default to [`Strategy::Compliant`].
+/// Parties not present in `strategies` default to [`Strategy::compliant()`].
 pub fn run_deal(config: &DealConfig, strategies: &BTreeMap<PartyId, Strategy>) -> DealReport {
     run_deal_in(&mut World::new(1), config, strategies)
 }
@@ -838,7 +951,7 @@ pub fn run_deal_in(
     let tables = DealTables::from_setup(config, &setup);
     let before = BalanceSnapshot::capture(world, &tables.parties, &tables.all_assets);
     let actors = deal_actors(config, &setup, &|party| {
-        strategies.get(&party).copied().unwrap_or(Strategy::Compliant)
+        strategies.get(&party).copied().unwrap_or(Strategy::compliant())
     });
     let run_report = run_parties(world, actors, deal_max_rounds(config));
     let resumed = crate::script::ResumedRun {
@@ -892,14 +1005,14 @@ pub fn run_deal_shared(
         let setup = build(world, config);
         let tables = DealTables::from_setup(config, &setup);
         let before = BalanceSnapshot::capture(world, &tables.parties, &tables.all_assets);
-        let actors = deal_actors(config, &setup, &|_| Strategy::Compliant);
+        let actors = deal_actors(config, &setup, &|_| Strategy::compliant());
         let prefix = DeviationTree::record(world, actors, deal_max_rounds(config));
         *cache = Some(DealPrefix { prefix, tables, before, zero_tail: BTreeMap::new() });
     }
     let DealPrefix { prefix, tables, before, zero_tail } =
         cache.as_mut().expect("cache populated above");
     let strategy_of =
-        |party: PartyId| strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
+        |party: PartyId| strategies.get(&party).copied().unwrap_or(Strategy::compliant());
     let resumed = prefix.resume(world, &strategy_of);
     if resumed.zero_tail {
         // The profile's final state is exactly its divergence checkpoint:
@@ -936,7 +1049,7 @@ fn deal_actors(
                 SCRIPT_STEPS,
                 "SCRIPT_STEPS must match the deal script so sweeps cover all stop-points"
             );
-            ScriptedParty::new(party, steps, strategy_of(party))
+            ScriptedParty::new(party, steps, strategy_of(party)).with_delta(config.delta_blocks)
         })
         .collect()
 }
@@ -1010,7 +1123,7 @@ fn finish_report(
     let mut outcomes: BTreeMap<PartyId, DealPartyOutcome> = BTreeMap::new();
     let mut completed = true;
     for &party in parties {
-        let strategy = strategies.get(&party).copied().unwrap_or(Strategy::Compliant);
+        let strategy = strategies.get(&party).copied().unwrap_or(Strategy::compliant());
         let mut outcome = DealPartyOutcome {
             premium_payoff: payoffs.total_over(party, &tables.native_assets).value(),
             ..DealPartyOutcome::default()
@@ -1046,7 +1159,7 @@ fn finish_report(
     DealReport {
         strategies: parties
             .iter()
-            .map(|&p| (p, strategies.get(&p).copied().unwrap_or(Strategy::Compliant)))
+            .map(|&p| (p, strategies.get(&p).copied().unwrap_or(Strategy::compliant())))
             .collect(),
         completed,
         parties: outcomes,

@@ -29,7 +29,7 @@
 //! use protocols::two_party::{run_hedged_swap, TwoPartyConfig};
 //!
 //! // Both parties comply: principals are swapped, premiums refunded.
-//! let report = run_hedged_swap(&TwoPartyConfig::default(), Strategy::Compliant, Strategy::Compliant);
+//! let report = run_hedged_swap(&TwoPartyConfig::default(), Strategy::compliant(), Strategy::compliant());
 //! assert!(report.swap_completed);
 //! assert!(report.hedged_for_alice && report.hedged_for_bob);
 //! ```

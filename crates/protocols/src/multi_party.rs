@@ -158,7 +158,7 @@ mod tests {
     fn carol_defecting_in_escrow_phase_compensates_the_others() {
         // Carol (2) deposits premiums but never escrows her asset: the
         // classic Figure 3 dilemma. Compliant Alice and Bob must stay hedged.
-        let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(2))]);
+        let strategies = BTreeMap::from([(PartyId(2), Strategy::stop_after(2))]);
         let report = run_multi_party_swap(&figure3_config(), &strategies);
         assert!(!report.completed);
         assert!(report.parties[&PartyId(0)].hedged, "Alice hedged: {report:?}");
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn absent_leader_costs_compliant_followers_nothing_major() {
         // Alice (leader, 0) never participates at all.
-        let strategies = BTreeMap::from([(PartyId(0), Strategy::StopAfter(0))]);
+        let strategies = BTreeMap::from([(PartyId(0), Strategy::stop_after(0))]);
         let report = run_multi_party_swap(&figure3_config(), &strategies);
         assert!(!report.completed);
         for party in [PartyId(1), PartyId(2)] {
@@ -189,7 +189,7 @@ mod tests {
         for party in 0..3u32 {
             for stop_after in 0..5usize {
                 let strategies =
-                    BTreeMap::from([(PartyId(party), Strategy::StopAfter(stop_after))]);
+                    BTreeMap::from([(PartyId(party), Strategy::stop_after(stop_after))]);
                 let report = run_multi_party_swap(&config, &strategies);
                 assert!(
                     report.all_compliant_hedged(),

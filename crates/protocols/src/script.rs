@@ -4,7 +4,7 @@
 //! A protocol role is expressed as an ordered list of [`Step`]s. In every
 //! synchronous round the party examines the world; the current step either
 //! waits (its trigger has not been observed yet), makes partial progress, or
-//! completes. A *sore loser* is modelled with [`Strategy::StopAfter`]: the
+//! completes. A *sore loser* is modelled with [`Strategy::stop_after`]: the
 //! party executes its first `k` steps faithfully and then stops
 //! participating entirely — exactly the deviation class the paper's threat
 //! model allows, since contracts reject malformed or mistimed calls anyway.
@@ -34,47 +34,175 @@ use chainsim::{run_round_with, Action, Actor, PartyId, RoundBuffers, Time, World
 use contracts::Hashkey;
 use cryptosim::Digest;
 
-/// How a party behaves during a protocol run.
+/// When within its legal window a party performs each protocol action.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Strategy {
-    /// Follow the protocol to completion (including recovery steps).
-    Compliant,
-    /// Execute the first `n` steps, then walk away (a sore loser).
-    ///
-    /// `StopAfter(0)` never participates at all.
-    StopAfter(usize),
+pub enum Timing {
+    /// Act as soon as the triggering condition is observed (the default).
+    Eager,
+    /// Delay every emission to the last clock tick that is still within one
+    /// Δ of its trigger *and* strictly before the step's annotated deadline
+    /// (see [`Step::with_deadline`]). A procrastinator is still conforming —
+    /// every action lands inside its legal window — which makes this axis a
+    /// searchlight for off-by-one timeout semantics: the paper's schedules
+    /// are exactly tight enough to accommodate last-instant actors.
+    Procrastinate,
+}
+
+/// Byzantine noise a party injects on top of its schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fault {
+    /// No fault.
+    None,
+    /// Alongside the first real emission of script step `step`, emit one
+    /// [`GarbageCall`] per emitted contract call (a wrong-preimage/garbage
+    /// message every contract must reject without state damage).
+    Garbage {
+        /// The script step whose first emission carries the garbage volley.
+        step: usize,
+    },
+    /// On first reaching script step `step`, go dark for a fixed outage of
+    /// [`CRASH_OUTAGE_DELTAS`]·Δ blocks, then resume the script where it
+    /// left off — possibly past deadlines, exercising every give-up and
+    /// recovery branch.
+    Crash {
+        /// The script step at which the party crashes.
+        step: usize,
+    },
+}
+
+/// Blocks of outage (in units of the protocol's Δ) a [`Fault::Crash`] party
+/// stays dark before recovering. Two Δ is long enough to cross a phase
+/// boundary in every bundled protocol, short enough that the party recovers
+/// within the run's round budget.
+pub const CRASH_OUTAGE_DELTAS: u64 = 2;
+
+/// The message a [`Fault::Garbage`] deviator emits: no contract downcasts
+/// it, so the call is rejected with `UnsupportedMessage` — modelling the
+/// wrong-preimage/garbage emissions well-formed contracts must shrug off.
+#[derive(Debug)]
+pub struct GarbageCall;
+
+/// How a party behaves during a protocol run: a walk-away budget, a timing
+/// profile and a fault profile, independently composable.
+///
+/// The historical sore-loser model was the `stop_after` axis alone; the
+/// timing and fault axes enlarge the checked deviation space to deadline-edge
+/// behaviour (acting at the last legal instant), garbage emissions and
+/// crash-then-recover outages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Strategy {
+    /// Execute at most this many steps, then walk away (a sore loser);
+    /// `Some(0)` never participates, `None` follows the script to the end.
+    pub stop_after: Option<usize>,
+    /// The timing profile.
+    pub timing: Timing,
+    /// The fault profile.
+    pub fault: Fault,
 }
 
 impl Strategy {
-    /// Returns `true` if this strategy is fully compliant.
+    /// The fully compliant strategy: run every step, eagerly, faultlessly.
+    pub const fn compliant() -> Strategy {
+        Strategy { stop_after: None, timing: Timing::Eager, fault: Fault::None }
+    }
+
+    /// A sore loser that executes the first `n` steps and then walks away.
+    pub const fn stop_after(n: usize) -> Strategy {
+        Strategy { stop_after: Some(n), timing: Timing::Eager, fault: Fault::None }
+    }
+
+    /// This strategy with [`Timing::Procrastinate`].
+    pub const fn late(mut self) -> Strategy {
+        self.timing = Timing::Procrastinate;
+        self
+    }
+
+    /// This strategy with the given fault profile.
+    pub const fn with_fault(mut self, fault: Fault) -> Strategy {
+        self.fault = fault;
+        self
+    }
+
+    /// Returns `true` if this strategy *conforms* to the protocol: it never
+    /// walks away and injects no faults. Timing is deliberately not part of
+    /// conformance — the paper's guarantees are claimed for every party that
+    /// acts within its legal windows, however lazily, so the hedged theorem
+    /// is asserted for procrastinators too.
     pub fn is_compliant(&self) -> bool {
-        matches!(self, Strategy::Compliant)
+        self.stop_after.is_none() && self.fault == Fault::None
     }
 
     /// The number of steps the party will execute, given a script with
     /// `total` steps.
     pub fn steps_executed(&self, total: usize) -> usize {
-        match self {
-            Strategy::Compliant => total,
-            Strategy::StopAfter(n) => (*n).min(total),
-        }
+        self.stop_after.map_or(total, |n| n.min(total))
     }
 
-    /// Enumerates every distinct strategy for a script with `total` steps:
-    /// compliant plus stopping after `0..total` steps.
-    pub fn all(total: usize) -> Vec<Strategy> {
-        let mut strategies = vec![Strategy::Compliant];
-        strategies.extend((0..total).map(Strategy::StopAfter));
+    /// The legacy stop-only space: compliant plus stopping after `0..total`
+    /// steps. This is the sub-space the golden payoff matrices pin.
+    pub fn stop_only(total: usize) -> Vec<Strategy> {
+        let mut strategies = vec![Strategy::compliant()];
+        strategies.extend((0..total).map(Strategy::stop_after));
         strategies
+    }
+
+    /// Enumerates every distinct strategy of the full
+    /// `stop_after × timing × faults` product for a script with `total`
+    /// steps, statically deduplicated:
+    ///
+    /// * stop points at or past `total` are behaviourally compliant and are
+    ///   canonicalised to `stop_after: None` (never enumerated twice);
+    /// * `Procrastinate` is dropped for `stop_after: Some(0)` (a party that
+    ///   never acts has nothing to delay);
+    /// * faults at steps the party never reaches (`step ≥` its stop budget)
+    ///   can never fire and are not enumerated.
+    ///
+    /// The first entry is always [`Strategy::compliant`]. The size follows
+    /// the closed form [`Strategy::space_size`]; sweep accounting
+    /// (`runs == strategies`) is pinned against it.
+    pub fn all(total: usize) -> Vec<Strategy> {
+        let mut strategies = Vec::with_capacity(Self::space_size(total));
+        for stop in std::iter::once(None).chain((0..total).map(Some)) {
+            let reachable = stop.unwrap_or(total);
+            let timings: &[Timing] = if reachable == 0 {
+                &[Timing::Eager]
+            } else {
+                &[Timing::Eager, Timing::Procrastinate]
+            };
+            for &timing in timings {
+                let base = Strategy { stop_after: stop, timing, fault: Fault::None };
+                strategies.push(base);
+                for step in 0..reachable {
+                    strategies.push(base.with_fault(Fault::Garbage { step }));
+                    strategies.push(base.with_fault(Fault::Crash { step }));
+                }
+            }
+        }
+        debug_assert_eq!(strategies.len(), Self::space_size(total));
+        strategies
+    }
+
+    /// Closed form of [`Strategy::all`]'s length: `2·total² + 4·total + 1`.
+    pub const fn space_size(total: usize) -> usize {
+        2 * total * total + 4 * total + 1
     }
 }
 
 impl fmt::Display for Strategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Strategy::Compliant => write!(f, "compliant"),
-            Strategy::StopAfter(n) => write!(f, "stop-after-{n}"),
+        match self.stop_after {
+            None => write!(f, "compliant")?,
+            Some(n) => write!(f, "stop-after-{n}")?,
         }
+        if self.timing == Timing::Procrastinate {
+            write!(f, "+late")?;
+        }
+        match self.fault {
+            Fault::None => {}
+            Fault::Garbage { step } => write!(f, "+garbage@{step}")?,
+            Fault::Crash { step } => write!(f, "+crash@{step}")?,
+        }
+        Ok(())
     }
 }
 
@@ -137,6 +265,17 @@ pub struct Step {
     pub name: &'static str,
     memo: StepMemo,
     logic: StepLogic,
+    /// The last-legal-emission deadline of this step, if it has one: the
+    /// contracts this step calls reject its emissions from this height on.
+    ///
+    /// [`Timing::Procrastinate`] parties delay each emission to the last
+    /// tick strictly before `min(trigger + Δ, deadline)`. Steps without a
+    /// deadline (settlement/recovery steps, whose actions have no late
+    /// bound) are never delayed. Like the [`StepOutcome::WaitUntil`]
+    /// contract, the annotation carries a stability obligation: on a frozen
+    /// world, an emission this step is ready to make must stay available
+    /// until the deadline.
+    deadline: Option<Time>,
 }
 
 impl Step {
@@ -145,7 +284,12 @@ impl Step {
         name: &'static str,
         run: impl Fn(&World) -> StepOutcome + Send + Sync + 'static,
     ) -> Self {
-        Step { name, memo: StepMemo::default(), logic: Arc::new(move |_, world| run(world)) }
+        Step {
+            name,
+            memo: StepMemo::default(),
+            logic: Arc::new(move |_, world| run(world)),
+            deadline: None,
+        }
     }
 
     /// Creates a step whose closure reads and writes an explicit
@@ -154,7 +298,15 @@ impl Step {
         name: &'static str,
         run: impl Fn(&mut StepMemo, &World) -> StepOutcome + Send + Sync + 'static,
     ) -> Self {
-        Step { name, memo: StepMemo::default(), logic: Arc::new(run) }
+        Step { name, memo: StepMemo::default(), logic: Arc::new(run), deadline: None }
+    }
+
+    /// Annotates the step with its last-legal-emission deadline (see
+    /// [`Step::deadline`] on the field for the exact contract).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -172,6 +324,20 @@ pub struct ScriptedParty {
     cursor: usize,
     completed: usize,
     allowed: usize,
+    timing: Timing,
+    fault: Fault,
+    /// The protocol's synchrony bound Δ in blocks (see
+    /// [`ScriptedParty::with_delta`]); bounds procrastination holds and
+    /// sizes crash outages.
+    delta: u64,
+    /// An armed procrastination hold: the step cursor it belongs to and the
+    /// tick at which the delayed emission fires.
+    hold: Option<(usize, Time)>,
+    /// Set once a [`Fault::Crash`] outage has started; the party is silent
+    /// strictly before this height and recovered from it on.
+    crash_until: Option<Time>,
+    /// Whether the one-shot [`Fault::Garbage`] volley has fired.
+    garbage_done: bool,
     /// The wake hint of the most recent evaluation: `Some(t)` after a
     /// [`StepOutcome::WaitUntil(t)`], `Some(Time::MAX)` while the party is
     /// done (it will never act again), `None` otherwise.
@@ -179,10 +345,35 @@ pub struct ScriptedParty {
 }
 
 impl ScriptedParty {
-    /// Creates a scripted party executing `steps` under `strategy`.
+    /// Creates a scripted party executing `steps` under `strategy`, with a
+    /// default Δ of one block (see [`ScriptedParty::with_delta`]).
     pub fn new(party: PartyId, steps: Vec<Step>, strategy: Strategy) -> Self {
         let allowed = strategy.steps_executed(steps.len());
-        ScriptedParty { party, steps, cursor: 0, completed: 0, allowed, wake: None }
+        ScriptedParty {
+            party,
+            steps,
+            cursor: 0,
+            completed: 0,
+            allowed,
+            timing: strategy.timing,
+            fault: strategy.fault,
+            delta: 1,
+            hold: None,
+            crash_until: None,
+            garbage_done: false,
+            wake: None,
+        }
+    }
+
+    /// Sets the protocol's synchrony bound Δ in blocks. Procrastination
+    /// delays emissions to the last tick within Δ of their trigger, and
+    /// crash outages last [`CRASH_OUTAGE_DELTAS`]·Δ — both are no-ops for
+    /// strategies without those axes, so eager faultless parties behave
+    /// identically for every Δ.
+    #[must_use]
+    pub fn with_delta(mut self, delta_blocks: u64) -> Self {
+        self.delta = delta_blocks.max(1);
+        self
     }
 
     /// The number of steps completed so far.
@@ -210,6 +401,12 @@ impl ScriptedParty {
             cursor: self.cursor,
             completed: self.completed,
             allowed,
+            timing: strategy.timing,
+            fault: strategy.fault,
+            delta: self.delta,
+            hold: None,
+            crash_until: None,
+            garbage_done: false,
             wake: None,
         }
     }
@@ -250,6 +447,45 @@ impl fmt::Debug for ScriptedParty {
     }
 }
 
+/// The last clock tick strictly before `min(now + Δ, deadline)`, if any tick
+/// strictly after `now` qualifies. Ticks are spaced by the world's block
+/// step, anchored at `now` (the scheduler advances the clock uniformly, so
+/// every observable instant is reachable this way).
+fn procrastinate_hold(now: Time, delta: u64, deadline: Time, block_step: u64) -> Option<Time> {
+    let target = deadline.min(now.plus(delta.max(1)));
+    if target <= now {
+        return None;
+    }
+    let block_step = block_step.max(1);
+    let span = (target.height() - 1).saturating_sub(now.height());
+    let hold = Time(now.height() + (span / block_step) * block_step);
+    (hold > now).then_some(hold)
+}
+
+impl ScriptedParty {
+    /// Stages `emitted` into `actions`, firing the one-shot garbage volley
+    /// first when this is the [`Fault::Garbage`] step's first emission.
+    fn emit(&mut self, emitted: &mut Vec<Action>, actions: &mut Vec<Action>) {
+        if emitted.is_empty() {
+            return;
+        }
+        // An expired hold is consumed by the emission it delayed; the next
+        // volley of a multi-emission step arms its own hold.
+        self.hold = None;
+        if let Fault::Garbage { step } = self.fault {
+            if !self.garbage_done && self.cursor == step {
+                self.garbage_done = true;
+                for action in emitted.iter() {
+                    if let Action::Call { addr, .. } = action {
+                        actions.push(Action::call(*addr, GarbageCall, "garbage emission"));
+                    }
+                }
+            }
+        }
+        actions.append(emitted);
+    }
+}
+
 impl Actor for ScriptedParty {
     fn party(&self) -> PartyId {
         self.party
@@ -259,21 +495,73 @@ impl Actor for ScriptedParty {
         if self.cursor >= self.steps.len() || self.completed >= self.allowed {
             return;
         }
+        let now = world.now();
+        // Crash-recover: on first reaching the crash step, go dark for a
+        // fixed outage, then resume the script where it left off.
+        if let Fault::Crash { step } = self.fault {
+            if self.crash_until.is_none() && self.cursor == step {
+                self.crash_until = Some(now.plus(CRASH_OUTAGE_DELTAS * self.delta));
+            }
+        }
+        if let Some(until) = self.crash_until {
+            if now.is_before(until) {
+                // Deterministically silent whatever the world does: a sound
+                // pure-wait hint.
+                self.wake = Some(until);
+                return;
+            }
+        }
+        // An armed procrastination hold keeps the party silent (without
+        // re-evaluating the step) until the hold tick.
+        if let Some((held_cursor, hold)) = self.hold {
+            if held_cursor == self.cursor && now.is_before(hold) {
+                self.wake = Some(hold);
+                return;
+            }
+        }
+        let deadline = self.steps[self.cursor].deadline;
+        // A procrastinator peeks at the step to learn whether it is ready to
+        // emit; a suppressed peek must leave no trace, so the memo is saved
+        // and restored around it.
+        let may_delay = self.timing == Timing::Procrastinate
+            && deadline.is_some()
+            && self.hold.is_none_or(|(held_cursor, _)| held_cursor != self.cursor);
+        let saved_memo = may_delay.then(|| self.steps[self.cursor].memo.clone());
         let Step { memo, logic, .. } = &mut self.steps[self.cursor];
-        match logic(memo, world) {
+        let outcome = logic(memo, world);
+        if let Some(saved) = saved_memo {
+            let emits = matches!(
+                &outcome,
+                StepOutcome::Progress(a) | StepOutcome::Complete(a) if !a.is_empty()
+            );
+            if emits {
+                let deadline = deadline.expect("may_delay requires a deadline");
+                if let Some(hold) =
+                    procrastinate_hold(now, self.delta, deadline, world.delta_blocks())
+                {
+                    self.steps[self.cursor].memo = saved;
+                    self.hold = Some((self.cursor, hold));
+                    self.wake = Some(hold);
+                    return;
+                }
+            }
+        }
+        match outcome {
             StepOutcome::Wait => {
+                self.hold = None;
                 self.wake = None;
             }
             StepOutcome::WaitUntil(time) => {
+                self.hold = None;
                 self.wake = Some(time);
             }
             StepOutcome::Progress(mut emitted) => {
                 self.wake = None;
-                actions.append(&mut emitted);
+                self.emit(&mut emitted, actions);
             }
             StepOutcome::Complete(mut emitted) => {
                 self.wake = None;
-                actions.append(&mut emitted);
+                self.emit(&mut emitted, actions);
                 self.cursor += 1;
                 self.completed += 1;
             }
@@ -416,7 +704,7 @@ impl fmt::Debug for DeviationTree {
 
 impl DeviationTree {
     /// Executes and records the all-compliant run of `parties` (which must
-    /// have been built with [`Strategy::Compliant`] budgets) inside
+    /// have been built with [`Strategy::compliant()`] budgets) inside
     /// `world`, checkpointing the start of every round.
     ///
     /// On return, `world` holds the compliant run's final state.
@@ -486,9 +774,28 @@ impl DeviationTree {
     }
 
     /// The first round at which the profile's trajectory can differ from
-    /// the compliant one, clamped to the terminal round, plus whether the
-    /// resumed run would execute zero tail rounds there (see
-    /// [`ResumedRun::zero_tail`]).
+    /// the compliant one — the profile's earliest *non-compliant action*,
+    /// not merely its first withheld emission — clamped to the terminal
+    /// round, plus whether the resumed run would execute zero tail rounds
+    /// there (see [`ResumedRun::zero_tail`]).
+    ///
+    /// Per party, the earliest possible effect of each deviation axis:
+    ///
+    /// * `stop_after(k)` — the first recorded emission at or past the
+    ///   budget (the withheld action), plus an earlier all-done round;
+    /// * `Procrastinate` — the party's first recorded emission (the
+    ///   procrastinator may delay exactly that action; before it, lazy and
+    ///   eager parties are both silent);
+    /// * `Garbage { step }` — the step's first recorded emission (the
+    ///   garbage volley rides on it; the party's own progress is
+    ///   unchanged);
+    /// * `Crash { step }` — the round the party first reaches the crash
+    ///   step (the outage starts there).
+    ///
+    /// Procrastination and crashes alter the party's *later* behaviour in
+    /// ways the compliant record cannot predict, so they also disable the
+    /// all-done shortcut for the profile (conservative: the tail is simply
+    /// executed).
     fn divergence_of(&self, strategy_of: &dyn Fn(PartyId) -> Strategy) -> (u64, bool) {
         let mut divergence = self.rounds;
         // The deviating run ends once every party is done; deviators are
@@ -497,9 +804,45 @@ impl DeviationTree {
         let mut all_done_from = 0u64;
         let mut every_party_finishes = true;
         for (party, record) in &self.records {
-            let done_from = match strategy_of(*party) {
-                Strategy::Compliant => record.done_round,
-                Strategy::StopAfter(k) => {
+            let strategy = strategy_of(*party);
+            // Axes whose downstream effect the compliant record cannot
+            // predict: resume from their first possible effect and skip the
+            // all-done shortcut.
+            let mut unpredictable = false;
+            if strategy.timing == Timing::Procrastinate {
+                if let Some(&(round, _)) = record.emissions.first() {
+                    divergence = divergence.min(round);
+                    unpredictable = true;
+                }
+            }
+            match strategy.fault {
+                Fault::None => {}
+                Fault::Garbage { step } => {
+                    if let Some(&(round, _)) =
+                        record.emissions.iter().find(|(_, completed)| *completed == step)
+                    {
+                        divergence = divergence.min(round);
+                    }
+                }
+                Fault::Crash { step } => {
+                    let reached = if step == 0 {
+                        Some(0)
+                    } else if step <= record.completions.len() {
+                        Some(record.completions[step - 1] + 1)
+                    } else {
+                        // The compliant run never completed the step before
+                        // the crash point: the outage never starts.
+                        None
+                    };
+                    if let Some(round) = reached {
+                        divergence = divergence.min(round);
+                        unpredictable = true;
+                    }
+                }
+            }
+            let done_from = match strategy.stop_after {
+                None => record.done_round,
+                Some(k) => {
                     // First withheld emission: the earliest round where the
                     // compliant party, with `k` or more steps already
                     // completed, emitted an action the deviator would not.
@@ -519,9 +862,13 @@ impl DeviationTree {
                     }
                 }
             };
-            match done_from {
-                Some(round) => all_done_from = all_done_from.max(round),
-                None => every_party_finishes = false,
+            if unpredictable {
+                every_party_finishes = false;
+            } else {
+                match done_from {
+                    Some(round) => all_done_from = all_done_from.max(round),
+                    None => every_party_finishes = false,
+                }
             }
         }
         if every_party_finishes {
@@ -605,14 +952,174 @@ mod tests {
 
     #[test]
     fn strategy_step_budgets() {
-        assert_eq!(Strategy::Compliant.steps_executed(5), 5);
-        assert_eq!(Strategy::StopAfter(2).steps_executed(5), 2);
-        assert_eq!(Strategy::StopAfter(9).steps_executed(5), 5);
-        assert!(Strategy::Compliant.is_compliant());
-        assert!(!Strategy::StopAfter(0).is_compliant());
-        assert_eq!(Strategy::all(3).len(), 4);
-        assert_eq!(Strategy::Compliant.to_string(), "compliant");
-        assert_eq!(Strategy::StopAfter(1).to_string(), "stop-after-1");
+        assert_eq!(Strategy::compliant().steps_executed(5), 5);
+        assert_eq!(Strategy::stop_after(2).steps_executed(5), 2);
+        assert_eq!(Strategy::stop_after(9).steps_executed(5), 5);
+        assert!(Strategy::compliant().is_compliant());
+        assert!(!Strategy::stop_after(0).is_compliant());
+        assert_eq!(Strategy::stop_only(3).len(), 4);
+        assert_eq!(Strategy::compliant().to_string(), "compliant");
+        assert_eq!(Strategy::stop_after(1).to_string(), "stop-after-1");
+    }
+
+    #[test]
+    fn full_strategy_space_matches_its_closed_form_and_dedupes() {
+        for total in 0..=6usize {
+            let space = Strategy::all(total);
+            assert_eq!(space.len(), Strategy::space_size(total), "total={total}");
+            assert_eq!(space[0], Strategy::compliant());
+            // Statically distinct: the product space never enumerates the
+            // same strategy twice (no double-counted compliant outcomes).
+            let unique: BTreeSet<Strategy> = space.iter().copied().collect();
+            assert_eq!(unique.len(), space.len(), "duplicates at total={total}");
+            for strategy in &space {
+                // Dedup rules: no stop point ≥ total, no unreachable fault,
+                // no procrastination for a party that never acts.
+                if let Some(k) = strategy.stop_after {
+                    assert!(k < total);
+                }
+                let reachable = strategy.stop_after.unwrap_or(total);
+                match strategy.fault {
+                    Fault::None => {}
+                    Fault::Garbage { step } | Fault::Crash { step } => assert!(step < reachable),
+                }
+                if reachable == 0 {
+                    assert_eq!(strategy.timing, Timing::Eager);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_display_names_every_axis() {
+        assert_eq!(Strategy::compliant().late().to_string(), "compliant+late");
+        assert_eq!(
+            Strategy::stop_after(2).late().with_fault(Fault::Garbage { step: 1 }).to_string(),
+            "stop-after-2+late+garbage@1"
+        );
+        assert_eq!(
+            Strategy::compliant().with_fault(Fault::Crash { step: 0 }).to_string(),
+            "compliant+crash@0"
+        );
+        assert!(Strategy::compliant().late().is_compliant(), "lazy but conforming");
+        assert!(!Strategy::compliant().with_fault(Fault::Garbage { step: 0 }).is_compliant());
+    }
+
+    #[test]
+    fn procrastinate_hold_lands_on_the_last_legal_tick() {
+        use super::procrastinate_hold;
+        // Within Δ of the trigger, bounded by the deadline.
+        assert_eq!(procrastinate_hold(Time(0), 2, Time(2), 1), Some(Time(1)));
+        assert_eq!(procrastinate_hold(Time(0), 2, Time(10), 1), Some(Time(1)));
+        assert_eq!(procrastinate_hold(Time(8), 2, Time(10), 1), Some(Time(9)));
+        // Already at the last tick: emit now.
+        assert_eq!(procrastinate_hold(Time(1), 1, Time(2), 1), None);
+        // Deadline already reached: emit now (the step's give-up handles it).
+        assert_eq!(procrastinate_hold(Time(5), 2, Time(5), 1), None);
+        // Coarser world ticks stay on the tick grid.
+        assert_eq!(procrastinate_hold(Time(0), 6, Time(6), 2), Some(Time(4)));
+    }
+
+    #[test]
+    fn procrastinating_party_delays_to_the_last_tick_before_its_deadline() {
+        let mut world = World::new(1);
+        world.add_chain("a");
+        let steps = vec![Step::new("emit", |_| {
+            StepOutcome::Complete(vec![Action::publish(
+                chainsim::ChainId(0),
+                "x",
+                Box::new(NoopContract),
+            )])
+        })
+        .with_deadline(Time(4))];
+        let mut party =
+            ScriptedParty::new(PartyId(0), steps, Strategy::compliant().late()).with_delta(4);
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        assert!(actions.is_empty(), "emission suppressed at t=0");
+        assert_eq!(party.wake, Some(Time(3)), "held to the last tick before the deadline");
+        world.advance_blocks(3);
+        party.step(&world, &mut actions);
+        assert_eq!(actions.len(), 1, "delayed emission fires at t=3");
+        assert!(party.done());
+    }
+
+    #[test]
+    fn crashed_party_goes_dark_then_recovers() {
+        let mut world = World::new(1);
+        world.add_chain("a");
+        let steps = vec![
+            Step::new("one", |_| StepOutcome::Complete(vec![])),
+            Step::new("two", |_| StepOutcome::Complete(vec![])),
+        ];
+        let strategy = Strategy::compliant().with_fault(Fault::Crash { step: 1 });
+        let mut party = ScriptedParty::new(PartyId(0), steps, strategy).with_delta(2);
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 1, "pre-crash step executes normally");
+        // Reaching step 1 starts a 2Δ = 4 block outage.
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 1, "dark during the outage");
+        assert_eq!(party.wake, Some(Time(4)));
+        world.advance_blocks(4);
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 2, "recovered and resumed");
+    }
+
+    #[test]
+    fn garbage_fault_rides_on_the_faulted_steps_first_emission() {
+        let world = {
+            let mut world = World::new(1);
+            world.add_chain("a");
+            world
+        };
+        let addr = chainsim::ContractAddr::new(chainsim::ChainId(0), chainsim::ContractId(7));
+        let steps = vec![Step::new("call", move |_| {
+            StepOutcome::Complete(vec![Action::call(addr, Ping, "real call")])
+        })];
+        let strategy = Strategy::compliant().with_fault(Fault::Garbage { step: 0 });
+        let mut party = ScriptedParty::new(PartyId(0), steps, strategy);
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        assert_eq!(actions.len(), 2, "garbage volley precedes the real call");
+        match &actions[0] {
+            Action::Call { msg, .. } => {
+                assert!(msg.as_ref().as_any().downcast_ref::<GarbageCall>().is_some());
+            }
+            other => panic!("expected a garbage call, got {other:?}"),
+        }
+        match &actions[1] {
+            Action::Call { msg, .. } => {
+                assert!(msg.as_ref().as_any().downcast_ref::<Ping>().is_some());
+            }
+            other => panic!("expected the real call, got {other:?}"),
+        }
+    }
+
+    /// Minimal contract/message fixtures for the fault tests.
+    #[derive(Debug)]
+    struct Ping;
+
+    #[derive(Clone, Debug)]
+    struct NoopContract;
+
+    impl chainsim::Contract for NoopContract {
+        fn type_name(&self) -> &'static str {
+            "Noop"
+        }
+        fn clone_box(&self) -> Box<dyn chainsim::Contract> {
+            Box::new(self.clone())
+        }
+        fn handle(
+            &mut self,
+            _env: &mut chainsim::CallEnv<'_>,
+            _msg: &dyn std::any::Any,
+        ) -> Result<(), chainsim::ContractError> {
+            Ok(())
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
     }
 
     #[test]
@@ -624,7 +1131,7 @@ mod tests {
             Step::new("two", |_| StepOutcome::Complete(vec![])),
             Step::new("three", |_| StepOutcome::Complete(vec![])),
         ];
-        let mut party = ScriptedParty::new(PartyId(0), steps, Strategy::StopAfter(2));
+        let mut party = ScriptedParty::new(PartyId(0), steps, Strategy::stop_after(2));
         let mut actions = Vec::new();
         party.step(&world, &mut actions);
         party.step(&world, &mut actions);
@@ -640,7 +1147,7 @@ mod tests {
     fn waiting_steps_do_not_advance() {
         let world = World::new(1);
         let steps = vec![Step::new("never", |_| StepOutcome::Wait)];
-        let mut party = ScriptedParty::new(PartyId(1), steps, Strategy::Compliant);
+        let mut party = ScriptedParty::new(PartyId(1), steps, Strategy::compliant());
         let mut actions = Vec::new();
         party.step(&world, &mut actions);
         assert_eq!(party.completed_steps(), 0);
@@ -652,7 +1159,7 @@ mod tests {
     fn progress_steps_emit_without_advancing() {
         let world = World::new(1);
         let steps = vec![Step::new("chatty", |_| StepOutcome::Progress(vec![]))];
-        let mut party = ScriptedParty::new(PartyId(1), steps, Strategy::Compliant);
+        let mut party = ScriptedParty::new(PartyId(1), steps, Strategy::compliant());
         let mut actions = Vec::new();
         party.step(&world, &mut actions);
         party.step(&world, &mut actions);
@@ -667,7 +1174,7 @@ mod tests {
         let parties = vec![ScriptedParty::new(
             PartyId(0),
             vec![Step::new("noop", |_| StepOutcome::Complete(vec![]))],
-            Strategy::Compliant,
+            Strategy::compliant(),
         )];
         let report = run_parties(&mut world, parties, 10);
         assert!(report.rounds() <= 10);
@@ -680,10 +1187,10 @@ mod tests {
             memo.done.insert(PartyId(9));
             StepOutcome::Progress(vec![])
         })];
-        let mut party = ScriptedParty::new(PartyId(0), steps, Strategy::Compliant);
+        let mut party = ScriptedParty::new(PartyId(0), steps, Strategy::compliant());
         let mut actions = Vec::new();
         party.step(&world, &mut actions);
-        let fork = party.fork(Strategy::StopAfter(0));
+        let fork = party.fork(Strategy::stop_after(0));
         assert!(fork.done(), "fork adopts the new budget");
         assert!(fork.steps[0].memo.done.contains(&PartyId(9)), "fork carries the memo");
         assert!(format!("{:?}", fork.steps[0]).contains("memo"));
@@ -718,8 +1225,8 @@ mod tests {
                 }),
             ];
             vec![
-                ScriptedParty::new(PartyId(0), fast, Strategy::Compliant),
-                ScriptedParty::new(PartyId(1), slow, Strategy::Compliant),
+                ScriptedParty::new(PartyId(0), fast, Strategy::compliant()),
+                ScriptedParty::new(PartyId(1), slow, Strategy::compliant()),
             ]
         }
         fn fresh_world() -> World {
@@ -736,9 +1243,9 @@ mod tests {
             for deviator in [PartyId(0), PartyId(1)] {
                 let strategy_of = move |p: PartyId| {
                     if p == deviator {
-                        Strategy::StopAfter(stop)
+                        Strategy::stop_after(stop)
                     } else {
-                        Strategy::Compliant
+                        Strategy::compliant()
                     }
                 };
                 let resumed = prefix.resume(&mut world, &strategy_of);

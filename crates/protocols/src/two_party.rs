@@ -26,20 +26,42 @@ pub const ALICE: PartyId = PartyId(0);
 pub const BOB: PartyId = PartyId(1);
 
 /// The number of scripted steps in each hedged two-party role (premium,
-/// escrow, redeem, settle). The base protocol's scripts are one step
-/// shorter (no premium phase), so this bound over-covers them:
-/// [`Strategy::StopAfter`] points at or beyond a script's end are
-/// equivalent to compliance.
+/// escrow, redeem, settle).
 pub const SCRIPT_STEPS: usize = 4;
 
-/// Every distinct per-party strategy of the two-party protocols: compliant
-/// plus each stop-point of the four-step scripts.
+/// The number of scripted steps in each *base* two-party role (escrow,
+/// redeem, refund) — one shorter than the hedged scripts (no premium
+/// phase). The base space is enumerated over this exact length: a stop
+/// point at the hedged length would be behaviourally identical to
+/// compliance and would double-count the compliant outcome in sweep
+/// summaries.
+pub const BASE_SCRIPT_STEPS: usize = 3;
+
+/// Every distinct per-party strategy of the *hedged* two-party swap: the
+/// full `stop_after × timing × faults` product over the four-step scripts
+/// (see [`Strategy::all`] for the dedup rules).
 ///
 /// This is the exact space the model checker and conformance sweeps range
 /// over; sweeping anything else either duplicates runs (two stop-points past
 /// the script's end behave identically) or misses deviations.
 pub fn strategy_space() -> Vec<Strategy> {
     Strategy::all(SCRIPT_STEPS)
+}
+
+/// Every distinct per-party strategy of the *base* (unhedged) swap: the
+/// same product space over its three-step scripts. See
+/// [`BASE_SCRIPT_STEPS`] for why the base space is one step shorter.
+pub fn base_strategy_space() -> Vec<Strategy> {
+    Strategy::all(BASE_SCRIPT_STEPS)
+}
+
+/// The strategy space of the given protocol variant (see
+/// [`strategy_space`]/[`base_strategy_space`]).
+pub fn strategy_space_for(protocol: SwapProtocol) -> Vec<Strategy> {
+    match protocol {
+        SwapProtocol::Hedged => strategy_space(),
+        SwapProtocol::Base => base_strategy_space(),
+    }
 }
 
 /// Configuration of a two-party swap experiment.
@@ -283,6 +305,7 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     let banana = setup.banana_contract;
     let apricot = setup.apricot_contract;
     let secret = setup.secret.clone();
+    let premium_give_up = config.delta(1);
     let escrow_give_up = config.delta(3);
     let redeem_give_up = config.delta(5);
     let final_deadline = config.delta(6);
@@ -293,7 +316,8 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                 HedgedEscrowMsg::DepositPremium,
                 "Alice deposits p_a + p_b on the banana chain",
             )])
-        }),
+        })
+        .with_deadline(premium_give_up),
         Step::new("alice: escrow principal on apricot", move |world: &World| {
             if world.now().has_reached(escrow_give_up) {
                 return StepOutcome::Complete(vec![]);
@@ -307,7 +331,8 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(escrow_give_up)
             }
-        }),
+        })
+        .with_deadline(escrow_give_up),
         Step::new("alice: redeem banana principal", move |world: &World| {
             if world.now().has_reached(redeem_give_up) {
                 return StepOutcome::Complete(vec![]);
@@ -321,7 +346,8 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(redeem_give_up)
             }
-        }),
+        })
+        .with_deadline(redeem_give_up),
         settle_step("alice: settle", vec![apricot, banana], final_deadline),
     ]
 }
@@ -348,7 +374,8 @@ fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(premium_give_up)
             }
-        }),
+        })
+        .with_deadline(premium_give_up),
         Step::new("bob: escrow principal on banana", move |world: &World| {
             if world.now().has_reached(escrow_give_up) {
                 return StepOutcome::Complete(vec![]);
@@ -362,7 +389,8 @@ fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(escrow_give_up)
             }
-        }),
+        })
+        .with_deadline(escrow_give_up),
         Step::new("bob: redeem apricot principal", move |world: &World| {
             if world.now().has_reached(redeem_give_up) {
                 return StepOutcome::Complete(vec![]);
@@ -376,7 +404,8 @@ fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(redeem_give_up)
             }
-        }),
+        })
+        .with_deadline(redeem_give_up),
         settle_step("bob: settle", vec![apricot, banana], final_deadline),
     ]
 }
@@ -407,6 +436,9 @@ fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     let apricot = setup.apricot_contract;
     let banana = setup.banana_contract;
     let secret = setup.secret.clone();
+    // Alice's escrow is legal until the apricot timelock (3Δ); her
+    // redemption must land strictly before the banana timelock (2Δ).
+    let escrow_deadline = config.delta(3);
     let redeem_give_up = config.delta(2);
     let final_deadline = config.delta(3);
     vec![
@@ -416,7 +448,8 @@ fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
                 HtlcMsg::Escrow,
                 "Alice escrows A apricot tokens",
             )])
-        }),
+        })
+        .with_deadline(escrow_deadline),
         Step::new("alice: redeem banana principal", move |world: &World| {
             if world.now().has_reached(redeem_give_up) {
                 return StepOutcome::Complete(vec![]);
@@ -430,7 +463,8 @@ fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(redeem_give_up)
             }
-        }),
+        })
+        .with_deadline(redeem_give_up),
         base_recovery_step(
             "alice: refund timed-out escrows",
             vec![apricot, banana],
@@ -444,8 +478,14 @@ fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     let apricot = setup.apricot_contract;
     let banana = setup.banana_contract;
     let escrow_give_up = config.delta(2);
-    // The secret can only appear before the banana timelock (2Δ); give up then.
-    let redeem_give_up = config.delta(2);
+    // The secret can only *appear* strictly before the banana timelock
+    // (2Δ), but Bob observes the chain with a one-round lag and can legally
+    // redeem until the apricot timelock (3Δ). Giving up already at 2Δ — as
+    // an earlier revision did — silently forfeited swaps against a
+    // last-instant (procrastinating) Alice whose reveal lands exactly at
+    // 2Δ − 1: the boundary round in which the secret is on chain but Bob
+    // has not seen it yet. He gives up one observation round later instead.
+    let redeem_give_up = config.delta(2).plus(1);
     let final_deadline = config.delta(3);
     vec![
         Step::new("bob: escrow principal on banana", move |world: &World| {
@@ -461,7 +501,8 @@ fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(escrow_give_up)
             }
-        }),
+        })
+        .with_deadline(escrow_give_up),
         Step::new("bob: redeem apricot principal", move |world: &World| {
             if world.now().has_reached(redeem_give_up) {
                 return StepOutcome::Complete(vec![]);
@@ -475,7 +516,12 @@ fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
             } else {
                 StepOutcome::WaitUntil(redeem_give_up)
             }
-        }),
+        })
+        // The deadline annotation must match the give-up, not the apricot
+        // timelock (3Δ): an annotation past the give-up would let a
+        // procrastinator's hold land on the give-up tick and silently drop
+        // a legal redemption (the with_deadline stability contract).
+        .with_deadline(redeem_give_up),
         base_recovery_step("bob: refund timed-out escrows", vec![apricot, banana], final_deadline),
     ]
 }
@@ -536,11 +582,18 @@ fn swap_actors(
         }
         SwapProtocol::Base => (base_alice_steps(setup, config), base_bob_steps(setup, config)),
     };
+    let expected = match protocol {
+        SwapProtocol::Hedged => SCRIPT_STEPS,
+        SwapProtocol::Base => BASE_SCRIPT_STEPS,
+    };
     debug_assert!(
-        alice_steps.len() <= SCRIPT_STEPS && bob_steps.len() <= SCRIPT_STEPS,
-        "SCRIPT_STEPS must bound every two-party script so sweeps cover all stop-points"
+        alice_steps.len() == expected && bob_steps.len() == expected,
+        "script constants must match the scripts so sweeps cover exactly the stop-points"
     );
-    vec![ScriptedParty::new(ALICE, alice_steps, alice), ScriptedParty::new(BOB, bob_steps, bob)]
+    vec![
+        ScriptedParty::new(ALICE, alice_steps, alice).with_delta(config.delta_blocks),
+        ScriptedParty::new(BOB, bob_steps, bob).with_delta(config.delta_blocks),
+    ]
 }
 
 fn swap_max_rounds(config: &TwoPartyConfig) -> u64 {
@@ -791,7 +844,7 @@ pub fn run_swap_shared(
         let setup = swap_setup(world, config, protocol);
         let before = BalanceSnapshot::capture(world, &[ALICE, BOB], &swap_assets(&setup));
         let actors =
-            swap_actors(&setup, config, protocol, Strategy::Compliant, Strategy::Compliant);
+            swap_actors(&setup, config, protocol, Strategy::compliant(), Strategy::compliant());
         let prefix = DeviationTree::record(world, actors, swap_max_rounds(config));
         *cache = Some(TwoPartyPrefix { protocol, prefix, setup, before });
     }
@@ -820,7 +873,7 @@ mod tests {
 
     #[test]
     fn hedged_compliant_run_swaps_and_refunds_premiums() {
-        let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::Compliant);
+        let report = run_hedged_swap(&config(), Strategy::compliant(), Strategy::compliant());
         assert!(report.swap_completed);
         assert_eq!(report.alice_apricot_payoff, -100);
         assert_eq!(report.alice_banana_payoff, 100);
@@ -837,7 +890,7 @@ mod tests {
     #[test]
     fn hedged_bob_reneging_after_premiums_pays_alice() {
         // Bob deposits his premium but never escrows (stop after 1 step).
-        let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::StopAfter(1));
+        let report = run_hedged_swap(&config(), Strategy::compliant(), Strategy::stop_after(1));
         assert!(!report.swap_completed);
         // Alice escrowed, was not redeemed, and collects p_b = 2.
         assert_eq!(report.alice_apricot_payoff, 0, "principal refunded");
@@ -850,7 +903,7 @@ mod tests {
     #[test]
     fn hedged_alice_reneging_after_bob_escrows_pays_bob() {
         // Alice stops after escrowing (never reveals the secret).
-        let report = run_hedged_swap(&config(), Strategy::StopAfter(2), Strategy::Compliant);
+        let report = run_hedged_swap(&config(), Strategy::stop_after(2), Strategy::compliant());
         assert!(!report.swap_completed);
         // Bob nets +p_a = +2, Alice nets -p_a = -2 (she pays p_a+p_b, receives p_b).
         assert_eq!(report.bob_premium_payoff, 2);
@@ -862,7 +915,7 @@ mod tests {
 
     #[test]
     fn hedged_bob_never_participating_costs_nobody_anything() {
-        let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::StopAfter(0));
+        let report = run_hedged_swap(&config(), Strategy::compliant(), Strategy::stop_after(0));
         assert!(!report.swap_completed);
         assert_eq!(report.alice_premium_payoff, 0);
         assert_eq!(report.bob_premium_payoff, 0);
@@ -874,7 +927,7 @@ mod tests {
     #[test]
     fn base_protocol_leaves_alice_locked_and_uncompensated() {
         // Bob walks away immediately after Alice escrows (claim C1).
-        let report = run_base_swap(&config(), Strategy::Compliant, Strategy::StopAfter(0));
+        let report = run_base_swap(&config(), Strategy::compliant(), Strategy::stop_after(0));
         assert!(!report.swap_completed);
         assert_eq!(report.alice_apricot_payoff, 0, "refunded after the timelock");
         assert_eq!(report.alice_premium_payoff, 0, "no compensation in the base protocol");
@@ -886,7 +939,7 @@ mod tests {
     #[test]
     fn base_protocol_leaves_bob_locked_when_alice_aborts() {
         // Alice escrows but never redeems Bob's escrow (claim C1, second half).
-        let report = run_base_swap(&config(), Strategy::StopAfter(1), Strategy::Compliant);
+        let report = run_base_swap(&config(), Strategy::stop_after(1), Strategy::compliant());
         assert!(!report.swap_completed);
         assert_eq!(report.bob_banana_payoff, 0, "refunded after the timelock");
         assert!(!report.hedged_for_bob);
@@ -896,7 +949,7 @@ mod tests {
 
     #[test]
     fn base_compliant_run_completes() {
-        let report = run_base_swap(&config(), Strategy::Compliant, Strategy::Compliant);
+        let report = run_base_swap(&config(), Strategy::compliant(), Strategy::compliant());
         assert!(report.swap_completed);
         assert_eq!(report.alice_banana_payoff, 100);
         assert_eq!(report.bob_apricot_payoff, 100);
@@ -908,10 +961,10 @@ mod tests {
     fn all_unilateral_deviations_keep_compliant_parties_hedged() {
         // Sweep every deviation point for each party in the hedged protocol.
         for k in 0..4 {
-            let report = run_hedged_swap(&config(), Strategy::Compliant, Strategy::StopAfter(k));
+            let report = run_hedged_swap(&config(), Strategy::compliant(), Strategy::stop_after(k));
             assert!(report.hedged_for_alice, "Alice must be hedged when Bob stops after {k}");
             assert!(report.payoffs.conserved());
-            let report = run_hedged_swap(&config(), Strategy::StopAfter(k), Strategy::Compliant);
+            let report = run_hedged_swap(&config(), Strategy::stop_after(k), Strategy::compliant());
             assert!(report.hedged_for_bob, "Bob must be hedged when Alice stops after {k}");
             assert!(report.payoffs.conserved());
         }
@@ -921,7 +974,7 @@ mod tests {
     fn larger_delta_scales_lockup_durations() {
         let mut cfg = config();
         cfg.delta_blocks = 6;
-        let report = run_base_swap(&cfg, Strategy::Compliant, Strategy::StopAfter(0));
+        let report = run_base_swap(&cfg, Strategy::compliant(), Strategy::stop_after(0));
         assert_eq!(report.alice_lockup.principal_blocks, 18);
     }
 }

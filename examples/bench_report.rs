@@ -26,8 +26,9 @@ use std::time::Instant;
 use sore_loser_hedging::modelcheck::engine::{ParallelSweep, ScenarioGen};
 use sore_loser_hedging::modelcheck::multi_party_families;
 use sore_loser_hedging::modelcheck::scenarios::{
-    AuctionSweep, BootstrapSweep, DealSweep, TwoPartySweep,
+    AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep,
 };
+use sore_loser_hedging::protocols::broker::BrokerConfig;
 use sore_loser_hedging::protocols::multi_party::random_config;
 use sore_loser_hedging::protocols::two_party::TwoPartyConfig;
 
@@ -104,6 +105,10 @@ fn family_sets() -> Vec<FamilySet> {
     });
     sets.push(FamilySet { name: "auction", gens: vec![Box::new(AuctionSweep::default())] });
     sets.push(FamilySet {
+        name: "brokered sale",
+        gens: vec![Box::new(BrokerSweep::at_most(&BrokerConfig::default(), 2))],
+    });
+    sets.push(FamilySet {
         name: "bootstrap rounds 1-3",
         gens: (1..=3)
             .map(|rounds| {
@@ -140,7 +145,21 @@ fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, f64) {
         spent += elapsed;
         repetitions += 1;
     }
-    (warmup.runs, warmup.runs as f64 / best.max(1e-9))
+    // A coarse clock (or an empty family) can measure ~zero elapsed time;
+    // `finite_or_zero` downstream relies on the rate at least being a
+    // number, so keep the division away from 0/0 and ∞.
+    (warmup.runs, finite_or_zero(warmup.runs as f64 / best.max(1e-9)))
+}
+
+/// Clamps NaN/∞ — which `{:.N}`-format as literal `NaN`/`inf` and would
+/// corrupt `BENCH_modelcheck.json` — to `0.0`. Tiny families measured on a
+/// coarse clock are the practical trigger (`0 runs / ~0 seconds`).
+fn finite_or_zero(value: f64) -> f64 {
+    if value.is_finite() {
+        value
+    } else {
+        0.0
+    }
 }
 
 fn main() {
@@ -188,10 +207,11 @@ fn main() {
         // Scaling efficiency: throughput per thread relative to 1-thread
         // throughput. 1.0 is perfect scaling; 0.5 means half of every
         // added thread is wasted. Only meaningful up to the machine's
-        // hardware parallelism.
+        // hardware parallelism. Guarded against a zero/degenerate 1-thread
+        // measurement: NaN or ∞ must never reach the JSON report.
         let efficiencies: Vec<(usize, f64)> = rates
             .iter()
-            .map(|&(threads, rate)| (threads, rate / (single * threads as f64)))
+            .map(|&(threads, rate)| (threads, finite_or_zero(rate / (single * threads as f64))))
             .collect();
         for (&(threads, rate), &(_, eff)) in rates.iter().zip(&efficiencies) {
             println!("{} | {runs} | {threads} | {rate:.0} | {eff:.2}", set.name);
@@ -208,7 +228,7 @@ fn main() {
                 while eff < MIN_TWO_THREAD_EFFICIENCY && retries < 2 {
                     let (_, single_rate) = measure(&set.gens, 1);
                     let (_, pair_rate) = measure(&set.gens, 2);
-                    eff = eff.max(pair_rate / (single_rate * 2.0));
+                    eff = eff.max(finite_or_zero(pair_rate / (single_rate * 2.0)));
                     retries += 1;
                 }
                 if eff < MIN_TWO_THREAD_EFFICIENCY {

@@ -18,7 +18,7 @@ fn main() {
     );
 
     println!("\n== The broker walks away before trading ==");
-    let strategies = BTreeMap::from([(BROKER, Strategy::StopAfter(2))]);
+    let strategies = BTreeMap::from([(BROKER, Strategy::stop_after(2))]);
     let report = run_brokered_sale(&config, &strategies);
     for (party, outcome) in &report.parties {
         println!(
@@ -28,7 +28,7 @@ fn main() {
     }
 
     println!("\n== The seller walks away after premiums ==");
-    let strategies = BTreeMap::from([(SELLER, Strategy::StopAfter(2))]);
+    let strategies = BTreeMap::from([(SELLER, Strategy::stop_after(2))]);
     let report = run_brokered_sale(&config, &strategies);
     for (party, outcome) in &report.parties {
         println!(

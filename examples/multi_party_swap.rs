@@ -24,7 +24,7 @@ fn main() {
     );
 
     println!("\n== Carol never escrows her asset ==");
-    let strategies = BTreeMap::from([(PartyId(2), Strategy::StopAfter(2))]);
+    let strategies = BTreeMap::from([(PartyId(2), Strategy::stop_after(2))]);
     let report = run_multi_party_swap(&figure3_config(), &strategies);
     println!("completed: {}", report.completed);
     for (party, outcome) in &report.parties {

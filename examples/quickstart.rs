@@ -8,7 +8,7 @@ fn main() {
     let config = TwoPartyConfig::default();
 
     println!("== Hedged two-party swap: both parties compliant ==");
-    let report = run_hedged_swap(&config, Strategy::Compliant, Strategy::Compliant);
+    let report = run_hedged_swap(&config, Strategy::compliant(), Strategy::compliant());
     println!("swap completed: {}", report.swap_completed);
     println!(
         "Alice: apricot {:+}, banana {:+}, premiums {:+}",
@@ -21,7 +21,7 @@ fn main() {
 
     println!();
     println!("== Bob walks away after the premium phase ==");
-    let report = run_hedged_swap(&config, Strategy::Compliant, Strategy::StopAfter(1));
+    let report = run_hedged_swap(&config, Strategy::compliant(), Strategy::stop_after(1));
     println!("swap completed: {}", report.swap_completed);
     println!("Alice premium payoff: {:+} (compensated with p_b)", report.alice_premium_payoff);
     println!("Bob premium payoff:   {:+} (forfeits p_b)", report.bob_premium_payoff);

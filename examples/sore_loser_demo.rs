@@ -12,10 +12,10 @@ fn main() {
         "scenario", "A premium", "B premium", "A lockup", "hedged"
     );
     for (label, alice, bob) in [
-        ("compliant / compliant", Strategy::Compliant, Strategy::Compliant),
-        ("compliant / Bob quits early", Strategy::Compliant, Strategy::StopAfter(0)),
-        ("compliant / Bob quits mid-swap", Strategy::Compliant, Strategy::StopAfter(1)),
-        ("Alice quits mid-swap / compliant", Strategy::StopAfter(2), Strategy::Compliant),
+        ("compliant / compliant", Strategy::compliant(), Strategy::compliant()),
+        ("compliant / Bob quits early", Strategy::compliant(), Strategy::stop_after(0)),
+        ("compliant / Bob quits mid-swap", Strategy::compliant(), Strategy::stop_after(1)),
+        ("Alice quits mid-swap / compliant", Strategy::stop_after(2), Strategy::compliant()),
     ] {
         let base = run_base_swap(&config, alice, bob);
         let hedged = run_hedged_swap(&config, alice, bob);

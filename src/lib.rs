@@ -24,8 +24,8 @@
 //! // Bob deposits his premium and then walks away; Alice is compensated.
 //! let report = run_hedged_swap(
 //!     &TwoPartyConfig::default(),
-//!     Strategy::Compliant,
-//!     Strategy::StopAfter(1),
+//!     Strategy::compliant(),
+//!     Strategy::stop_after(1),
 //! );
 //! assert!(!report.swap_completed);
 //! assert!(report.hedged_for_alice);

@@ -25,8 +25,10 @@ use sore_loser_hedging::protocols::deal::{DealConfig, DealReport};
 use sore_loser_hedging::protocols::multi_party::{
     cycle_config, figure3_config, run_multi_party_swap,
 };
-use sore_loser_hedging::protocols::script::Strategy;
-use sore_loser_hedging::protocols::two_party::{run_base_swap, run_hedged_swap, TwoPartyConfig};
+use sore_loser_hedging::protocols::script::{Fault, Strategy, CRASH_OUTAGE_DELTAS};
+use sore_loser_hedging::protocols::two_party::{
+    run_base_swap, run_hedged_swap, TwoPartyConfig, BASE_SCRIPT_STEPS,
+};
 
 /// Steps per two-party role; pinned against `protocols::two_party`.
 const TWO_PARTY_STEPS: usize = sore_loser_hedging::protocols::two_party::SCRIPT_STEPS;
@@ -62,7 +64,8 @@ fn hedged_two_party_matrix_is_hedged_under_all_configs() {
                 let report = run_hedged_swap(config, alice, bob);
                 let ctx = format!("config #{i}, alice={alice}, bob={bob}");
 
-                // The core theorem: compliance implies the hedged outcome.
+                // The core theorem: conformance implies the hedged outcome —
+                // for eager parties AND for last-instant procrastinators.
                 if alice.is_compliant() {
                     assert!(report.hedged_for_alice, "alice unhedged: {ctx}");
                 }
@@ -76,8 +79,17 @@ fn hedged_two_party_matrix_is_hedged_under_all_configs() {
                 }
 
                 // Timeout bound: the hedged contracts' last deadline is 6Δ,
-                // so no principal can be locked beyond that.
-                let bound = 6 * config.delta_blocks;
+                // so no principal can be locked beyond that — except that a
+                // crashed party may sleep through its own settle step for
+                // one outage before recovering and freeing its escrow.
+                let outage = if matches!(alice.fault, Fault::Crash { .. })
+                    || matches!(bob.fault, Fault::Crash { .. })
+                {
+                    CRASH_OUTAGE_DELTAS * config.delta_blocks
+                } else {
+                    0
+                };
+                let bound = 6 * config.delta_blocks + outage;
                 assert!(
                     report.alice_lockup.principal_blocks <= bound,
                     "alice locked {} > {bound} blocks: {ctx}",
@@ -101,7 +113,7 @@ fn hedged_two_party_matrix_is_hedged_under_all_configs() {
         }
 
         // Fully compliant run: principals swap, premiums come back.
-        let report = run_hedged_swap(config, Strategy::Compliant, Strategy::Compliant);
+        let report = run_hedged_swap(config, Strategy::compliant(), Strategy::compliant());
         assert!(report.swap_completed, "config #{i}");
         assert_eq!(report.alice_banana_payoff, config.bob_tokens.value() as i128);
         assert_eq!(report.bob_apricot_payoff, config.alice_tokens.value() as i128);
@@ -185,8 +197,8 @@ fn two_party_deviation_matrix_matches_the_golden_tables() {
     let config = TwoPartyConfig::default();
     for (golden, hedged) in [(HEDGED_GOLDEN, true), (BASE_GOLDEN, false)] {
         let mut rows = golden.iter();
-        for alice in Strategy::all(TWO_PARTY_STEPS) {
-            for bob in Strategy::all(TWO_PARTY_STEPS) {
+        for alice in Strategy::stop_only(TWO_PARTY_STEPS) {
+            for bob in Strategy::stop_only(TWO_PARTY_STEPS) {
                 let (g_alice, g_bob, g_completed, g_payoffs) =
                     rows.next().expect("golden table has 25 rows per protocol");
                 assert_eq!(
@@ -227,8 +239,8 @@ fn two_party_deviation_matrix_matches_the_golden_tables() {
 fn base_two_party_matrix_shows_sore_loser_losses_but_conserves_funds() {
     let mut unhedged_compliant = 0usize;
     for config in two_party_configs() {
-        for alice in Strategy::all(TWO_PARTY_STEPS) {
-            for bob in Strategy::all(TWO_PARTY_STEPS) {
+        for alice in Strategy::all(BASE_SCRIPT_STEPS) {
+            for bob in Strategy::all(BASE_SCRIPT_STEPS) {
                 let report = run_base_swap(&config, alice, bob);
                 if (alice.is_compliant() && !report.hedged_for_alice)
                     || (bob.is_compliant() && !report.hedged_for_bob)
@@ -240,9 +252,32 @@ fn base_two_party_matrix_shows_sore_loser_losses_but_conserves_funds() {
                         "base swap minted/destroyed funds: alice={alice}, bob={bob}"
                     );
                 }
-                // Base HTLC timelocks are 3Δ (Alice) and 2Δ (Bob).
-                assert!(report.alice_lockup.principal_blocks <= 3 * config.delta_blocks);
-                assert!(report.bob_lockup.principal_blocks <= 3 * config.delta_blocks);
+                // Base HTLC timelocks are 3Δ (Alice) and 2Δ (Bob), plus
+                // one observation round: Bob abandons the redeem watch one
+                // round after the last instant the secret can appear (a
+                // last-instant reveal is visible only a round later), so a
+                // deserted escrow is refunded at the timelock plus that
+                // round. A crashed party may additionally sleep through its
+                // own refund step for one outage.
+                let outage = if matches!(alice.fault, Fault::Crash { .. })
+                    || matches!(bob.fault, Fault::Crash { .. })
+                {
+                    CRASH_OUTAGE_DELTAS * config.delta_blocks
+                } else {
+                    0
+                };
+                assert!(
+                    report.alice_lockup.principal_blocks <= 3 * config.delta_blocks + 1 + outage,
+                    "alice locked {}: alice={alice}, bob={bob}, delta={}",
+                    report.alice_lockup.principal_blocks,
+                    config.delta_blocks
+                );
+                assert!(
+                    report.bob_lockup.principal_blocks <= 3 * config.delta_blocks + 1 + outage,
+                    "bob locked {}: alice={alice}, bob={bob}, delta={}",
+                    report.bob_lockup.principal_blocks,
+                    config.delta_blocks
+                );
             }
         }
     }
@@ -284,7 +319,7 @@ fn assert_deal_conformance(
     assert!(report.all_compliant_hedged(), "compliant party unhedged: {ctx}");
     for party in &parties {
         let compliant =
-            strategies.get(party).copied().unwrap_or(Strategy::Compliant).is_compliant();
+            strategies.get(party).copied().unwrap_or(Strategy::compliant()).is_compliant();
         let outcome = &report.parties[party];
         if compliant {
             assert!(outcome.hedged, "{party} unhedged: {ctx}");
@@ -345,8 +380,8 @@ fn multi_party_figure3_two_deviators_is_hedged_for_the_rest() {
             for stop_a in 0..DEAL_STEPS {
                 for stop_b in 0..DEAL_STEPS {
                     let strategies = BTreeMap::from([
-                        (a, Strategy::StopAfter(stop_a)),
-                        (b, Strategy::StopAfter(stop_b)),
+                        (a, Strategy::stop_after(stop_a)),
+                        (b, Strategy::stop_after(stop_b)),
                     ]);
                     let report = run_multi_party_swap(&config, &strategies);
                     let ctx = format!("figure3, {a} stops@{stop_a}, {b} stops@{stop_b}");
@@ -399,7 +434,7 @@ fn auction_sweep_never_steals_bids_and_conserves_funds() {
         let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
         for &party in &parties {
             for stop_after in 0..4usize {
-                let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop_after))]);
+                let strategies = BTreeMap::from([(party, Strategy::stop_after(stop_after))]);
                 let report = run_auction(&config, &strategies);
                 let ctx = format!("{behaviour:?}, {party} stops after {stop_after}");
                 assert!(report.no_bid_stolen, "bid stolen: {ctx}");

@@ -32,7 +32,7 @@ fn hedged_two_party_swap_full_matrix_is_hedged() {
 #[test]
 fn base_swap_exhibits_the_sore_loser_attack() {
     let config = TwoPartyConfig::default();
-    let report = run_base_swap(&config, Strategy::Compliant, Strategy::StopAfter(0));
+    let report = run_base_swap(&config, Strategy::compliant(), Strategy::stop_after(0));
     assert!(!report.swap_completed);
     assert!(!report.hedged_for_alice);
     assert_eq!(report.alice_lockup.principal_blocks, 3 * config.delta_blocks);
@@ -47,10 +47,10 @@ fn larger_premiums_change_compensation_proportionally() {
         ..TwoPartyConfig::default()
     };
     // Bob reneges after premiums: Alice collects p_b = 5.
-    let report = run_hedged_swap(&config, Strategy::Compliant, Strategy::StopAfter(1));
+    let report = run_hedged_swap(&config, Strategy::compliant(), Strategy::stop_after(1));
     assert_eq!(report.alice_premium_payoff, 5);
     // Alice reneges after escrowing: Bob nets p_a = 7.
-    let report = run_hedged_swap(&config, Strategy::StopAfter(2), Strategy::Compliant);
+    let report = run_hedged_swap(&config, Strategy::stop_after(2), Strategy::compliant());
     assert_eq!(report.bob_premium_payoff, 7);
 }
 
@@ -62,7 +62,7 @@ fn multi_party_swaps_complete_and_withstand_deviations() {
         let report = run_multi_party_swap(&cycle_config(n), &BTreeMap::new());
         assert!(report.completed, "cycle of {n}");
     }
-    let strategies = BTreeMap::from([(PartyId(1), Strategy::StopAfter(3))]);
+    let strategies = BTreeMap::from([(PartyId(1), Strategy::stop_after(3))]);
     let report = run_multi_party_swap(&figure3_config(), &strategies);
     assert!(report.all_compliant_hedged());
 }

@@ -33,8 +33,8 @@ proptest! {
             premium_b: Amount::new(premium_b),
             delta_blocks: 2,
         };
-        let alice = if alice_compliant { Strategy::Compliant } else { Strategy::StopAfter(alice_stop) };
-        let bob = if bob_compliant { Strategy::Compliant } else { Strategy::StopAfter(bob_stop) };
+        let alice = if alice_compliant { Strategy::compliant() } else { Strategy::stop_after(alice_stop) };
+        let bob = if bob_compliant { Strategy::compliant() } else { Strategy::stop_after(bob_stop) };
         let report = run_hedged_swap(&config, alice, bob);
         if alice_compliant {
             prop_assert!(report.hedged_for_alice);
@@ -52,8 +52,8 @@ proptest! {
     fn base_swap_never_compensates(bob_stop in 0usize..3) {
         let report = run_base_swap(
             &TwoPartyConfig::default(),
-            Strategy::Compliant,
-            Strategy::StopAfter(bob_stop),
+            Strategy::compliant(),
+            Strategy::stop_after(bob_stop),
         );
         prop_assert_eq!(report.alice_premium_payoff, 0);
     }

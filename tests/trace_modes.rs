@@ -75,7 +75,7 @@ fn multi_party_swap_is_identical_across_trace_modes_and_world_reuse() {
     let config = figure3_config();
     for party in config.parties() {
         for stop in 0..5usize {
-            let strategies = BTreeMap::from([(party, Strategy::StopAfter(stop))]);
+            let strategies = BTreeMap::from([(party, Strategy::stop_after(stop))]);
             let mut reports = worlds()
                 .into_iter()
                 .map(|mut world| run_multi_party_swap_in(&mut world, &config, &strategies));
@@ -94,7 +94,7 @@ fn multi_party_swap_is_identical_across_trace_modes_and_world_reuse() {
 fn brokered_sale_is_identical_across_trace_modes_and_world_reuse() {
     let config = BrokerConfig::default();
     for party in [PartyId(0), PartyId(1), PartyId(2)] {
-        let strategies = BTreeMap::from([(party, Strategy::StopAfter(2))]);
+        let strategies = BTreeMap::from([(party, Strategy::stop_after(2))]);
         let mut reports = worlds()
             .into_iter()
             .map(|mut world| run_brokered_sale_in(&mut world, &config, &strategies));
@@ -114,7 +114,7 @@ fn auction_is_identical_across_trace_modes_and_world_reuse() {
         AuctioneerBehaviour::Abandon,
     ] {
         let config = AuctionConfig { auctioneer: behaviour, ..AuctionConfig::default() };
-        let strategies = BTreeMap::from([(PartyId(1), Strategy::StopAfter(1))]);
+        let strategies = BTreeMap::from([(PartyId(1), Strategy::stop_after(1))]);
         let mut reports =
             worlds().into_iter().map(|mut world| run_auction_in(&mut world, &config, &strategies));
         let reference = reports.next().unwrap();
