@@ -95,6 +95,19 @@ pub trait ScenarioGen: Sync {
     /// closed form. Either way, a sweep performs exactly `total()` runs.
     fn total(&self) -> usize;
 
+    /// The number of joint strategy profiles this family *documents*.
+    ///
+    /// Defaults to [`total`](ScenarioGen::total): for unreduced families
+    /// every documented profile is executed. Symmetry- and
+    /// partial-order-reduced families return the full closed-form space
+    /// size instead — each executed representative carries its orbit
+    /// weight, and commuting-deviation profiles pruned without execution
+    /// still count — so `strategies() >= total()` always, and summaries
+    /// report coverage of the *unreduced* space.
+    fn strategies(&self) -> usize {
+        self.total()
+    }
+
     /// Runs scenario `index` (`0 <= index < total()`) inside the worker's
     /// scratch world and returns every property violation it exhibits.
     ///
@@ -229,9 +242,11 @@ impl ParallelSweep {
         // Concatenate the families into one global index space.
         let mut offsets = Vec::with_capacity(gens.len());
         let mut total = 0usize;
+        let mut strategies = 0usize;
         for gen in gens {
             offsets.push(total);
             total += gen.total();
+            strategies += gen.strategies();
         }
 
         let cursor = AtomicUsize::new(0);
@@ -289,7 +304,7 @@ impl ParallelSweep {
         found.sort_by_key(|(index, _)| *index);
         CheckSummary {
             runs: total,
-            strategies: total,
+            strategies,
             violations: found.into_iter().flat_map(|(_, violations)| violations).collect(),
         }
     }

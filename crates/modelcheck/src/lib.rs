@@ -60,9 +60,7 @@ use protocols::broker::BrokerConfig;
 use protocols::deal::DealConfig;
 use protocols::multi_party::{clique_config, cycle_config, figure3_config, random_config};
 use protocols::two_party::TwoPartyConfig;
-use scenarios::{
-    AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, DeviationBudget, TwoPartySweep,
-};
+use scenarios::{AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep};
 
 /// A property violation found during a sweep.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,19 +77,27 @@ pub struct Violation {
 
 /// The result of an exhaustive sweep.
 ///
-/// `runs` and `strategies` are always equal: one run executes exactly one
-/// joint strategy profile, and every profile of the family's documented
-/// space is executed exactly once (full-product families sweep the product
-/// of per-party stop-points; bounded families sweep the deviator-bounded
-/// subset — see [`scenarios::DeviationBudget`]). Earlier revisions left the
-/// relationship between the two counters unspecified, which made
-/// cross-family accounting ambiguous; the engine now enforces it.
+/// `runs` counts protocol executions; `strategies` counts the joint
+/// strategy profiles those executions *document*. For unreduced families
+/// the two are equal: one run executes exactly one profile, and every
+/// profile of the family's documented space is executed exactly once
+/// (full-product families sweep the product of per-party stop-points;
+/// bounded families sweep the deviator-bounded subset — see
+/// [`scenarios::DeviationBudget`]). Symmetry- and partial-order-reduced
+/// families ([`scenarios::DealSweep::reduced`]) execute one canonical
+/// representative per automorphism orbit and skip commuting-deviation
+/// profiles outright, so `runs < strategies` there — each run carries its
+/// orbit weight, and the weights plus the pruned tally are asserted at
+/// construction to sum exactly to the unreduced closed form. Either way,
+/// `strategies` is the size of the unreduced space the sweep's verdict
+/// speaks for.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CheckSummary {
     /// Number of complete protocol executions explored.
     pub runs: usize,
-    /// Total number of joint strategy profiles considered. Invariant:
-    /// equals [`CheckSummary::runs`].
+    /// Total number of joint strategy profiles documented. Invariant:
+    /// equals [`CheckSummary::runs`] for unreduced families; at least
+    /// `runs` (orbit-weighted) for reduced families.
     pub strategies: usize,
     /// All property violations found (empty for the hedged protocols), in
     /// scenario-index order.
@@ -172,26 +178,33 @@ pub fn check_bootstrap(max_rounds: u32) -> CheckSummary {
 /// The multi-party scenario families checked for `n` parties: the directed
 /// cycle on `n` and (for `n ≥ 3`) the complete digraph on `n`.
 ///
-/// Deviation budgets scale with cost. The per-party strategy space now
-/// carries the timing and fault axes (71 strategies for the five-step deal
-/// script instead of the historical 6), so the budgets were re-tiered when
-/// the space was enlarged: the two-party cycle still sweeps the full joint
-/// product, mid-size graphs sweep every pair of simultaneous deviators, and
-/// five/six-party graphs (whose premium structures grow exponentially, §7)
-/// sweep one deviator — the regime the paper's per-compliant-party theorem
-/// speaks to.
+/// Deviation budgets scale with cost, and large graphs lean on reduction.
+/// The two-party cycle sweeps the full joint product; three- and four-party
+/// graphs sweep every pair of simultaneous deviators outright (their
+/// summaries predate the reduction layer and stay byte-identical); from
+/// five parties up, the pair sweeps run through [`DealSweep::reduced`] —
+/// symmetry-quotiented by the leader-stabilizing automorphism group and
+/// partial-order-reduced over commuting deviations — which is what restores
+/// two-deviator coverage on graphs the unreduced pair sweep priced out
+/// (earlier revisions dropped `n ≥ 5` to one deviator). Clique
+/// representative counts are independent of `n`, so every clique tier now
+/// affords pairs; `n = 4` cliques also route through the reduced
+/// constructor since their sixfold leader symmetry is free coverage.
 pub fn multi_party_families(n: u32) -> Vec<DealSweep> {
     assert!(n >= 2, "a swap needs at least two parties");
-    let cycle_budget = match n {
-        2 => DeviationBudget::Full,
-        3 | 4 => DeviationBudget::AtMost(2),
-        _ => DeviationBudget::AtMost(1),
+    let cycle = match n {
+        2 => DealSweep::full(format!("cycle-{n}"), cycle_config(n)),
+        3 | 4 => DealSweep::at_most(format!("cycle-{n}"), cycle_config(n), 2),
+        _ => DealSweep::reduced(format!("cycle-{n}"), cycle_config(n), 2),
     };
-    let mut families = vec![DealSweep::new(format!("cycle-{n}"), cycle_config(n), cycle_budget)];
+    let mut families = vec![cycle];
     if n >= 3 {
-        let clique_budget =
-            if n == 3 { DeviationBudget::AtMost(2) } else { DeviationBudget::AtMost(1) };
-        families.push(DealSweep::new(format!("clique-{n}"), clique_config(n), clique_budget));
+        let clique = if n == 3 {
+            DealSweep::at_most(format!("clique-{n}"), clique_config(n), 2)
+        } else {
+            DealSweep::reduced(format!("clique-{n}"), clique_config(n), 2)
+        };
+        families.push(clique);
     }
     families
 }

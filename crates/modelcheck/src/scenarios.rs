@@ -6,7 +6,7 @@
 //! `"safety"`, `"conservation"`, …) so summaries from different protocols
 //! merge cleanly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use chainsim::{PartyId, World};
 use protocols::auction::{run_auction_shared, AuctionConfig, AuctionPrefix, AuctioneerBehaviour};
@@ -15,6 +15,7 @@ use protocols::broker::{broker_deal_config, BrokerConfig};
 use protocols::deal::{self, run_deal_shared, DealConfig};
 use protocols::script::Strategy;
 use protocols::two_party::{self, run_swap_shared, SwapProtocol, TwoPartyConfig, TwoPartyPrefix};
+use swapgraph::{Automorphism, Digraph};
 
 use crate::engine::{FamilyScratch, ScenarioGen};
 use crate::Violation;
@@ -189,6 +190,45 @@ pub enum DeviationBudget {
     AtMost(usize),
 }
 
+/// A profile rendered as a sorted association list, the key the reduction
+/// machinery uses to index canonical representatives.
+type ProfileKey = Vec<(PartyId, Strategy)>;
+
+fn profile_key(profile: &BTreeMap<PartyId, Strategy>) -> ProfileKey {
+    profile.iter().map(|(&party, &strategy)| (party, strategy)).collect()
+}
+
+/// Relabels a profile's deviators through a digraph automorphism. Strategies
+/// ride along untouched: an automorphism only renames parties, and the deal
+/// dynamics on an automorphic relabeling are the original dynamics under
+/// the same renaming (premium tables and endowments are arc-local, so a
+/// leader-stabilizing relabeling maps them onto themselves).
+fn apply_automorphism(
+    perm: &Automorphism,
+    profile: &BTreeMap<PartyId, Strategy>,
+) -> BTreeMap<PartyId, Strategy> {
+    profile.iter().map(|(&party, &strategy)| (PartyId(perm[&party.0]), strategy)).collect()
+}
+
+/// `true` iff `profile` has at least two deviating-or-lazy parties and
+/// their deviations pairwise commute: no two of them share an arc in either
+/// direction, so no escrow's fate depends on more than one of them. Such a
+/// profile's outcome per compliant party is already witnessed by the
+/// single-deviator sub-profiles (each arc sees exactly the same deviation
+/// schedule), so partial-order reduction skips it. The `reduction-oracle`
+/// tests replay pruned profiles brute-force to validate the criterion.
+fn commuting_deviations(digraph: &Digraph, profile: &BTreeMap<PartyId, Strategy>) -> bool {
+    if profile.len() < 2 {
+        return false;
+    }
+    let deviators: Vec<PartyId> = profile.keys().copied().collect();
+    deviators.iter().enumerate().all(|(i, &a)| {
+        deviators[i + 1..]
+            .iter()
+            .all(|&b| !digraph.contains_arc(a.0, b.0) && !digraph.contains_arc(b.0, a.0))
+    })
+}
+
 /// A sweep over the joint strategy profiles of one [`DealConfig`].
 #[derive(Clone, Debug)]
 pub struct DealSweep {
@@ -199,6 +239,21 @@ pub struct DealSweep {
     /// Materialised profile list for [`DeviationBudget::AtMost`]; `None`
     /// for full sweeps, which decode indices arithmetically instead.
     profiles: Option<Vec<BTreeMap<PartyId, Strategy>>>,
+    /// Orbit weight per materialised profile for reduced sweeps; `None`
+    /// means every profile weighs 1 (unreduced sweeps).
+    weights: Option<Vec<usize>>,
+    /// The documented size of the family's *unreduced* profile space — the
+    /// closed form the orbit weights and pruned count must sum to.
+    space_size: usize,
+    /// Documented profiles covered without execution by partial-order
+    /// reduction (orbit-weighted).
+    pruned: usize,
+    /// The leader-stabilizing automorphism group a reduced sweep quotients
+    /// by; empty for unreduced sweeps.
+    group: Vec<Automorphism>,
+    /// Canonical representative profile → scenario index, for mapping
+    /// arbitrary profiles onto their executed representative.
+    rep_index: Option<BTreeMap<ProfileKey, usize>>,
     replay: bool,
 }
 
@@ -206,10 +261,10 @@ impl DealSweep {
     /// Creates a sweep over `config` with the given deviation budget.
     pub fn new(name: impl Into<String>, config: DealConfig, budget: DeviationBudget) -> Self {
         let space = deal::strategy_space();
-        let profiles = match budget {
-            DeviationBudget::Full => None,
+        let parties = config.parties();
+        let (profiles, space_size) = match budget {
+            DeviationBudget::Full => (None, space.len().pow(parties.len() as u32)),
             DeviationBudget::AtMost(max_deviators) => {
-                let parties = config.parties();
                 let mut profiles = Vec::new();
                 let mut current = BTreeMap::new();
                 enumerate_profiles(
@@ -225,10 +280,197 @@ impl DealSweep {
                     bounded_profile_count(parties.len(), space.len() - 1, max_deviators),
                     "profile enumeration must match its closed form"
                 );
-                Some(profiles)
+                let space_size = profiles.len();
+                (Some(profiles), space_size)
             }
         };
-        DealSweep { name: name.into(), config, space, budget, profiles, replay: false }
+        DealSweep {
+            name: name.into(),
+            config,
+            space,
+            budget,
+            profiles,
+            weights: None,
+            space_size,
+            pruned: 0,
+            group: Vec::new(),
+            rep_index: None,
+            replay: false,
+        }
+    }
+
+    /// Creates a symmetry- and partial-order-reduced sweep over the
+    /// profiles of `config` with at most `max_deviators` deviators.
+    ///
+    /// Two reductions compose, and both are exact for the per-compliant-
+    /// party properties the sweep checks:
+    ///
+    /// - **Symmetry.** Profiles in the same orbit of the leader-stabilizing
+    ///   automorphism group of the deal digraph are relabelings of each
+    ///   other, so only one canonical representative per orbit is executed.
+    ///   The representative carries its orbit size as a weight, so
+    ///   [`strategies`](ScenarioGen::strategies) still reports the full
+    ///   unreduced space.
+    /// - **Partial-order reduction.** Profiles whose deviators pairwise
+    ///   share no arc decompose into independent single-deviator
+    ///   sub-profiles that the budget already sweeps, so they are counted
+    ///   (into the pruned tally) but never executed.
+    ///
+    /// The orbit weights plus the pruned tally are asserted to sum exactly
+    /// to the unreduced closed form `Σ_{j≤k} C(n,j)·(|space|−1)^j`, and the
+    /// default-on `reduction-oracle` test suite replays folded orbits and
+    /// pruned profiles brute-force on small graphs to pin byte-level parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_deviators > 2` on a digraph with a non-trivial
+    /// leader-stabilizing symmetry group (the orbit enumeration is
+    /// closed-form up to pairs; larger budgets fall back to
+    /// [`DealSweep::at_most`] or a symmetry-free graph).
+    pub fn reduced(name: impl Into<String>, config: DealConfig, max_deviators: usize) -> Self {
+        let space = deal::strategy_space();
+        let deviating: Vec<Strategy> =
+            space.iter().copied().filter(|s| *s != Strategy::compliant()).collect();
+        let parties = config.parties();
+        let leader_vertices: BTreeSet<swapgraph::Vertex> =
+            config.leaders.iter().map(|party| party.0).collect();
+        let group = config.digraph.automorphisms_stabilizing(&leader_vertices);
+        let space_size = bounded_profile_count(parties.len(), deviating.len(), max_deviators);
+
+        let mut profiles: Vec<BTreeMap<PartyId, Strategy>> = Vec::new();
+        let mut weights: Vec<usize> = Vec::new();
+        let mut pruned = 0usize;
+
+        if group.len() <= 1 {
+            // No usable symmetry (e.g. a cycle whose pinned leader kills
+            // every rotation): each profile is its own orbit and only
+            // partial-order reduction prunes.
+            let mut current = BTreeMap::new();
+            enumerate_profiles(&parties, &space, max_deviators, 0, &mut current, &mut |profile| {
+                if commuting_deviations(&config.digraph, profile) {
+                    pruned += 1;
+                } else {
+                    profiles.push(profile.clone());
+                    weights.push(1);
+                }
+            });
+        } else {
+            assert!(
+                max_deviators <= 2,
+                "symmetry-reduced sweeps support at most two simultaneous deviators"
+            );
+            // The all-compliant profile is a fixed point of every
+            // relabeling: a one-element orbit.
+            profiles.push(BTreeMap::new());
+            weights.push(1);
+            if max_deviators >= 1 {
+                // Single deviators: one representative per party orbit,
+                // weighted by the orbit size. A lone deviation never
+                // commutes with anything, so POR does not apply.
+                for &party in &parties {
+                    let orbit: BTreeSet<PartyId> =
+                        group.iter().map(|perm| PartyId(perm[&party.0])).collect();
+                    if *orbit.first().expect("orbits are non-empty") != party {
+                        continue;
+                    }
+                    for &strategy in &deviating {
+                        profiles.push(BTreeMap::from([(party, strategy)]));
+                        weights.push(orbit.len());
+                    }
+                }
+            }
+            if max_deviators >= 2 {
+                // Deviator pairs: one representative pair per orbit of the
+                // group's action on unordered pairs, with weights from
+                // orbit–stabilizer. `fixes` counts elements fixing the pair
+                // pointwise, `swaps` those exchanging its endpoints; a
+                // profile `{a: s1, b: s2}` is additionally fixed by a swap
+                // exactly when `s1 == s2`, so its orbit has size
+                // `|G|/fixes` for distinct strategies and `|G|/(fixes +
+                // swaps)` for equal ones. When swaps exist, the two
+                // orderings of a distinct-strategy pair fold into one
+                // representative.
+                for (i, &a) in parties.iter().enumerate() {
+                    for &b in &parties[i + 1..] {
+                        let pair_orbit: BTreeSet<(PartyId, PartyId)> = group
+                            .iter()
+                            .map(|perm| {
+                                let (x, y) = (perm[&a.0], perm[&b.0]);
+                                (PartyId(x.min(y)), PartyId(x.max(y)))
+                            })
+                            .collect();
+                        if *pair_orbit.first().expect("orbits are non-empty") != (a, b) {
+                            continue;
+                        }
+                        let fixes =
+                            group.iter().filter(|p| p[&a.0] == a.0 && p[&b.0] == b.0).count();
+                        let swaps =
+                            group.iter().filter(|p| p[&a.0] == b.0 && p[&b.0] == a.0).count();
+                        // Orbit–stabilizer sanity: stabilizer orders divide
+                        // the group order.
+                        assert!(group.len().is_multiple_of(fixes + swaps));
+                        assert!(group.len().is_multiple_of(fixes));
+                        let distinct_weight = group.len() / fixes;
+                        let equal_weight = group.len() / (fixes + swaps);
+                        let adjacent = config.digraph.contains_arc(a.0, b.0)
+                            || config.digraph.contains_arc(b.0, a.0);
+                        if !adjacent {
+                            // POR prunes the whole block: adjacency is
+                            // automorphism-invariant, so the entire orbit of
+                            // every assignment on this pair commutes too.
+                            pruned += if swaps > 0 {
+                                deviating.len() * (deviating.len() - 1) / 2 * distinct_weight
+                                    + deviating.len() * equal_weight
+                            } else {
+                                deviating.len() * deviating.len() * distinct_weight
+                            };
+                            continue;
+                        }
+                        for (si, &s1) in deviating.iter().enumerate() {
+                            for (sj, &s2) in deviating.iter().enumerate() {
+                                if swaps > 0 && sj < si {
+                                    continue; // folded into the (s2, s1) rep
+                                }
+                                let weight = if swaps > 0 && si == sj {
+                                    equal_weight
+                                } else {
+                                    distinct_weight
+                                };
+                                profiles.push(BTreeMap::from([(a, s1), (b, s2)]));
+                                weights.push(weight);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let weighted: usize = weights.iter().sum();
+        assert_eq!(
+            weighted + pruned,
+            space_size,
+            "orbit weights plus the pruned tally must sum to the closed form"
+        );
+        let rep_index: BTreeMap<ProfileKey, usize> = profiles
+            .iter()
+            .enumerate()
+            .map(|(index, profile)| (profile_key(profile), index))
+            .collect();
+        assert_eq!(rep_index.len(), profiles.len(), "representatives must be distinct");
+
+        DealSweep {
+            name: name.into(),
+            config,
+            space,
+            budget: DeviationBudget::AtMost(max_deviators),
+            profiles: Some(profiles),
+            weights: Some(weights),
+            space_size,
+            pruned,
+            group,
+            rep_index: Some(rep_index),
+            replay: false,
+        }
     }
 
     /// A sweep over the full product strategy space.
@@ -257,6 +499,52 @@ impl DealSweep {
     pub fn replay_oracle(mut self) -> Self {
         self.replay = true;
         self
+    }
+
+    /// Whether this sweep was built by [`DealSweep::reduced`].
+    pub fn is_reduced(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The orbit weight of scenario `index`: how many profiles of the
+    /// unreduced space the executed representative stands for. Always 1 for
+    /// unreduced sweeps.
+    pub fn weight(&self, index: usize) -> usize {
+        self.weights.as_ref().map_or(1, |weights| weights[index])
+    }
+
+    /// Documented profiles skipped by partial-order reduction
+    /// (orbit-weighted); 0 for unreduced sweeps.
+    pub fn pruned_strategies(&self) -> usize {
+        self.pruned
+    }
+
+    /// The leader-stabilizing automorphism group a reduced sweep quotients
+    /// by (empty for unreduced sweeps).
+    pub fn symmetry_group(&self) -> &[Automorphism] {
+        &self.group
+    }
+
+    /// Whether partial-order reduction would skip `profile`: at least two
+    /// deviating-or-lazy parties, pairwise sharing no arc.
+    pub fn por_pruned(&self, profile: &BTreeMap<PartyId, Strategy>) -> bool {
+        self.is_reduced() && commuting_deviations(&self.config.digraph, profile)
+    }
+
+    /// Maps an arbitrary profile onto its executed canonical representative:
+    /// the scenario index plus a witnessing automorphism `π` with
+    /// `π(profile) == self.profile(index)`. Returns `None` when the profile
+    /// has no representative — it was pruned by partial-order reduction, or
+    /// the sweep is unreduced.
+    pub fn canonicalize(
+        &self,
+        profile: &BTreeMap<PartyId, Strategy>,
+    ) -> Option<(usize, &Automorphism)> {
+        let rep_index = self.rep_index.as_ref()?;
+        self.group.iter().find_map(|perm| {
+            let image = apply_automorphism(perm, profile);
+            rep_index.get(&profile_key(&image)).map(|&index| (index, perm))
+        })
     }
 
     /// Decodes scenario `index` into a (deviators-only) strategy profile.
@@ -297,6 +585,10 @@ impl ScenarioGen for DealSweep {
             Some(profiles) => profiles.len(),
             None => self.space.len().pow(self.config.parties().len() as u32),
         }
+    }
+
+    fn strategies(&self) -> usize {
+        self.space_size
     }
 
     fn check(
@@ -389,8 +681,10 @@ impl ScenarioGen for DealSweep {
 
 /// The number of profiles with at most `max_deviators` deviators: each of
 /// `j ≤ max_deviators` deviating parties independently picks one of
-/// `deviating` non-compliant strategies.
-fn bounded_profile_count(parties: usize, deviating: usize, max_deviators: usize) -> usize {
+/// `deviating` non-compliant strategies. This is the closed form that
+/// [`DealSweep::at_most`] executes in full and [`DealSweep::reduced`]
+/// documents through orbit weights plus its pruned tally.
+pub fn bounded_profile_count(parties: usize, deviating: usize, max_deviators: usize) -> usize {
     (0..=max_deviators.min(parties)).map(|j| binomial(parties, j) * deviating.pow(j as u32)).sum()
 }
 
@@ -481,6 +775,10 @@ impl ScenarioGen for BrokerSweep {
 
     fn total(&self) -> usize {
         self.inner.total()
+    }
+
+    fn strategies(&self) -> usize {
+        self.inner.strategies()
     }
 
     fn check(
@@ -821,6 +1119,81 @@ mod tests {
         assert_eq!(broker.family(), "brokered sale");
         assert_eq!(broker.total(), 1 + 3 * deviating + 3 * deviating * deviating);
         assert!(broker.profile(0).is_empty());
+    }
+
+    #[test]
+    fn reduced_family_sizes_match_their_closed_forms() {
+        use protocols::multi_party::{clique_config, cycle_config};
+        let deviating = deal::strategy_space().len() - 1;
+        // A cycle's pinned leader kills every rotation, so only POR
+        // reduces: the 4-cycle has exactly two non-adjacent party pairs
+        // ((0,2) and (1,3)) and each contributes a full strategy block.
+        let cycle4 = DealSweep::reduced("cycle-4", cycle_config(4), 2);
+        assert!(cycle4.is_reduced());
+        assert_eq!(cycle4.symmetry_group().len(), 1, "leader pin leaves only the identity");
+        assert_eq!(cycle4.pruned_strategies(), 2 * deviating * deviating);
+        assert_eq!(cycle4.total(), 1 + 4 * deviating + 4 * deviating * deviating);
+        assert_eq!(cycle4.strategies(), bounded_profile_count(4, deviating, 2));
+        // A clique's greedy leader set is all parties but one; its setwise
+        // stabilizer is the full symmetric group on the leaders. Party
+        // orbits: leaders and the non-leader. Pair orbits: leader–leader
+        // (swappable, so unordered strategy pairs) and leader–non-leader.
+        // This count is independent of n ≥ 3.
+        let clique4 = DealSweep::reduced("clique-4", clique_config(4), 2);
+        assert_eq!(clique4.symmetry_group().len(), 6);
+        assert_eq!(clique4.pruned_strategies(), 0, "cliques have no non-adjacent pairs");
+        assert_eq!(
+            clique4.total(),
+            1 + 2 * deviating + deviating * (deviating + 1) / 2 + deviating * deviating
+        );
+        assert_eq!(clique4.strategies(), bounded_profile_count(4, deviating, 2));
+        let clique6 = DealSweep::reduced("clique-6", clique_config(6), 2);
+        assert_eq!(clique6.total(), clique4.total(), "clique representative count is n-free");
+        assert_eq!(clique6.strategies(), bounded_profile_count(6, deviating, 2));
+    }
+
+    #[test]
+    fn reduced_orbit_weights_match_brute_force_on_small_graphs() {
+        use protocols::multi_party::{clique_config, cycle_config, random_config};
+        for (name, config) in [
+            ("cycle-3", cycle_config(3)),
+            ("cycle-4", cycle_config(4)),
+            ("clique-3", clique_config(3)),
+            ("clique-4", clique_config(4)),
+            ("random-4-3-7", random_config(4, 3, 7)),
+        ] {
+            let reduced = DealSweep::reduced(name, config.clone(), 2);
+            let unreduced = DealSweep::at_most(name, config, 2);
+            assert_eq!(reduced.strategies(), unreduced.total(), "{name}");
+            let weighted: usize = (0..reduced.total()).map(|i| reduced.weight(i)).sum();
+            assert_eq!(weighted + reduced.pruned_strategies(), reduced.strategies(), "{name}");
+            // Walk the whole unreduced space: every profile is either
+            // POR-pruned or lands on exactly one representative through a
+            // witnessing automorphism, and the per-representative tallies
+            // recover the orbit weights.
+            let mut tally = vec![0usize; reduced.total()];
+            let mut pruned = 0usize;
+            for index in 0..unreduced.total() {
+                let profile = unreduced.profile(index);
+                if reduced.por_pruned(&profile) {
+                    pruned += 1;
+                    assert!(
+                        reduced.canonicalize(&profile).is_none(),
+                        "{name}: pruned orbits must have no representative"
+                    );
+                    continue;
+                }
+                let (rep, perm) = reduced
+                    .canonicalize(&profile)
+                    .unwrap_or_else(|| panic!("{name}: no representative for {profile:?}"));
+                assert_eq!(apply_automorphism(perm, &profile), reduced.profile(rep), "{name}");
+                tally[rep] += 1;
+            }
+            assert_eq!(pruned, reduced.pruned_strategies(), "{name}");
+            for (index, &count) in tally.iter().enumerate() {
+                assert_eq!(count, reduced.weight(index), "{name} index {index}");
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!    base (unhedged) protocols; parallel execution must not mask them.
 
 use modelcheck::engine::{ParallelSweep, ScenarioGen};
-use modelcheck::scenarios::{AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep};
+use modelcheck::scenarios::{
+    bounded_profile_count, AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep,
+};
 use modelcheck::{check_hedged_multi_party, check_random_digraphs};
 use protocols::broker::{broker_deal_config, BrokerConfig};
 use protocols::multi_party::figure3_config;
@@ -78,6 +80,7 @@ fn deal_and_auction_sweeps_are_thread_invariant() {
 
 #[test]
 fn multi_party_cycles_and_cliques_hold_up_to_six_parties() {
+    let space = protocols::deal::strategy_space().len();
     for n in 2..=6u32 {
         let summary = check_hedged_multi_party(n);
         assert!(
@@ -85,7 +88,22 @@ fn multi_party_cycles_and_cliques_hold_up_to_six_parties() {
             "hedged theorem violated on generated digraphs at n={n}: {:?}",
             summary.violations
         );
-        assert_eq!(summary.runs, summary.strategies);
+        // The documented space is the *unreduced* closed form for every
+        // tier: the full product at n = 2, and the two-deviator bound for
+        // both the cycle and the clique from n = 3 up — reduction changes
+        // how many representatives run, never what the sweep speaks for.
+        let expected_strategies = match n {
+            2 => space * space,
+            _ => 2 * bounded_profile_count(n as usize, space - 1, 2),
+        };
+        assert_eq!(summary.strategies, expected_strategies, "n={n}");
+        // From n = 4 the clique (and from n = 5 the cycle) runs reduced:
+        // strictly fewer executions than documented profiles.
+        if n <= 3 {
+            assert_eq!(summary.runs, summary.strategies, "n={n}");
+        } else {
+            assert!(summary.runs < summary.strategies, "n={n}");
+        }
         assert!(summary.runs > 0);
     }
 }
@@ -110,6 +128,14 @@ fn random_strongly_connected_digraphs_hold() {
         // strategy of the deal space.
         assert_eq!(summary.runs, 4 * (1 + n as usize * deviating));
     }
+    // Dense five-party digraphs (4 arcs beyond the Hamiltonian cycle).
+    // Seeds 2 and 4 are the premium-sizing boundary cases: overlapping
+    // redemption paths leave a compliant party exactly +p in total — the
+    // §7 guarantee — which the old per-arc hedged predicate misread as a
+    // violation (see `tests/premium_sizing.rs` for the pinned runs).
+    let dense = check_random_digraphs(5, 4, 5);
+    assert!(dense.holds(), "dense five-party digraphs: {:?}", dense.violations);
+    assert_eq!(dense.runs, 5 * (1 + 5 * deviating));
 }
 
 #[test]

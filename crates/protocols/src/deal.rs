@@ -336,7 +336,12 @@ pub struct DealPartyOutcome {
     /// Number of incoming arcs of this party.
     pub incoming_arcs: usize,
     /// Whether the hedged predicate holds for this party (always `true` for
-    /// deviating parties, for which the predicate is vacuous).
+    /// deviating parties, for which the predicate is vacuous): a compliant
+    /// party whose swap fails — any escrow refunded unredeemed — nets at
+    /// least one base premium `p` in total compensation, and never ends
+    /// with a negative premium payoff otherwise (§7's theorem; see the
+    /// README theorem notes for why the guarantee is total rather than
+    /// per-arc).
     pub hedged: bool,
     /// Whether the all-or-nothing safety condition holds for this party: if
     /// any of its escrows was redeemed, it received every incoming asset.
@@ -1147,8 +1152,17 @@ fn finish_report(
                 }
             }
         }
+        // §7's guarantee is *total*: a failed swap leaves a compliant party
+        // with at least one base premium p in net compensation, not p per
+        // unredeemed arc. The Equation (1) recursion is pass-the-parcel
+        // sized — the premium deposited on an arc covers the receiver's own
+        // p plus everything the receiver forfeits upstream — so on digraphs
+        // with heavily overlapping redemption paths a compliant party with
+        // several unredeemed escrows legitimately nets exactly +p (see the
+        // README theorem notes; `random_config(5, 4, seeds 2 and 4)` pin
+        // the boundary case).
         let compensation_due =
-            config.base_premium.value() as i128 * outcome.escrowed_unredeemed as i128;
+            if outcome.escrowed_unredeemed > 0 { config.base_premium.value() as i128 } else { 0 };
         outcome.hedged = !strategy.is_compliant() || outcome.premium_payoff >= compensation_due;
         outcome.safety = !strategy.is_compliant()
             || outcome.escrowed_redeemed == 0

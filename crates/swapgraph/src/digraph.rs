@@ -12,6 +12,11 @@ use thiserror::Error;
 /// identifiers.
 pub type Vertex = u32;
 
+/// A vertex relabeling: an arc-preserving permutation of a digraph's
+/// vertices, stored as the map from each vertex to its image. Returned by
+/// [`Digraph::automorphisms`]; vertices absent from the map are fixed.
+pub type Automorphism = BTreeMap<Vertex, Vertex>;
+
 /// Errors raised by digraph queries.
 #[derive(Debug, Clone, PartialEq, Eq, Error)]
 #[non_exhaustive]
@@ -382,6 +387,163 @@ impl Digraph {
         }
     }
 
+    /// The automorphism group of the digraph: every vertex permutation `π`
+    /// with `(u, v)` an arc iff `(π(u), π(v))` is an arc.
+    ///
+    /// Directed cycles and complete digraphs take closed-form paths (the
+    /// `n` rotations along the cycle and all `n!` permutations
+    /// respectively); other digraphs run a degree-signature-refined
+    /// backtracking search. Swap digraphs have a handful of vertices, so
+    /// the search is never asked to scale.
+    ///
+    /// The group is returned in a deterministic order (sorted by the
+    /// permutation's image sequence), always contains the identity, and is
+    /// closed under composition and inverse (pinned by property tests).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use swapgraph::Digraph;
+    ///
+    /// assert_eq!(Digraph::cycle(5).automorphisms().len(), 5);
+    /// assert_eq!(Digraph::complete(4).automorphisms().len(), 24);
+    /// assert_eq!(Digraph::figure3().automorphisms().len(), 1);
+    /// ```
+    pub fn automorphisms(&self) -> Vec<Automorphism> {
+        self.automorphisms_stabilizing(&BTreeSet::new())
+    }
+
+    /// The subgroup of [`Digraph::automorphisms`] whose elements map
+    /// `stabilize` onto itself (the setwise stabilizer).
+    ///
+    /// This is the symmetry group of a *swap configuration*: relabeling
+    /// parties by an arc-preserving permutation that also preserves the
+    /// leader set leaves every premium table, endowment and deadline
+    /// schedule invariant, so protocol runs commute with the relabeling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::collections::BTreeSet;
+    /// use swapgraph::Digraph;
+    ///
+    /// // Pinning one cycle vertex kills every nontrivial rotation...
+    /// let rotations = Digraph::cycle(5).automorphisms_stabilizing(&BTreeSet::from([0]));
+    /// assert_eq!(rotations.len(), 1);
+    /// // ...while a clique keeps the permutations of each side of the split.
+    /// let split = Digraph::complete(4).automorphisms_stabilizing(&BTreeSet::from([0, 1, 2]));
+    /// assert_eq!(split.len(), 6, "3! relabelings of the stabilized set, vertex 3 pinned");
+    /// ```
+    pub fn automorphisms_stabilizing(&self, stabilize: &BTreeSet<Vertex>) -> Vec<Automorphism> {
+        let verts: Vec<Vertex> = self.vertices.iter().copied().collect();
+        let n = verts.len();
+        if n == 0 {
+            return vec![Automorphism::default()];
+        }
+        let mut group = if self.is_directed_cycle() {
+            self.cycle_rotations()
+        } else if self.arc_count() == n * (n - 1) {
+            // Complete digraph: every permutation preserves arcs.
+            let mut perms = Vec::new();
+            let mut image = verts.clone();
+            permutations(&mut image, 0, &mut |image| {
+                perms.push(verts.iter().copied().zip(image.iter().copied()).collect());
+            });
+            perms
+        } else {
+            self.automorphism_search()
+        };
+        group.retain(|perm: &Automorphism| {
+            stabilize.iter().all(|v| match perm.get(v) {
+                Some(image) => stabilize.contains(image),
+                // Vertices outside the digraph are fixed by convention.
+                None => stabilize.contains(v),
+            })
+        });
+        group.sort_by(|a, b| a.values().cmp(b.values()));
+        group
+    }
+
+    /// `true` iff the digraph is a single directed cycle: strongly
+    /// connected with every vertex of in- and out-degree one.
+    fn is_directed_cycle(&self) -> bool {
+        self.vertex_count() >= 2
+            && self.arc_count() == self.vertex_count()
+            && self.vertices().all(|v| self.out_neighbors(v).len() == 1)
+            && self.is_strongly_connected()
+    }
+
+    /// The `n` rotations of a directed cycle, in closed form: walk the
+    /// cycle once and map it onto itself shifted by every offset.
+    fn cycle_rotations(&self) -> Vec<Automorphism> {
+        let start = *self.vertices.iter().next().expect("cycle is non-empty");
+        let mut order = vec![start];
+        let mut at = start;
+        loop {
+            let next = self.out_neighbors(at)[0];
+            if next == start {
+                break;
+            }
+            order.push(next);
+            at = next;
+        }
+        (0..order.len())
+            .map(|shift| {
+                (0..order.len()).map(|k| (order[k], order[(k + shift) % order.len()])).collect()
+            })
+            .collect()
+    }
+
+    /// Backtracking automorphism search, refined by degree signatures: a
+    /// vertex may only map to a vertex with the same in- and out-degree,
+    /// and every assignment is checked for arc consistency against the
+    /// vertices already assigned.
+    fn automorphism_search(&self) -> Vec<Automorphism> {
+        let verts: Vec<Vertex> = self.vertices.iter().copied().collect();
+        let signature = |v: Vertex| (self.in_neighbors(v).len(), self.out_neighbors(v).len());
+        let signatures: BTreeMap<Vertex, (usize, usize)> =
+            verts.iter().map(|&v| (v, signature(v))).collect();
+        let mut found = Vec::new();
+        let mut assignment: BTreeMap<Vertex, Vertex> = BTreeMap::new();
+        let mut used: BTreeSet<Vertex> = BTreeSet::new();
+        self.search_rec(&verts, &signatures, 0, &mut assignment, &mut used, &mut found);
+        found
+    }
+
+    fn search_rec(
+        &self,
+        verts: &[Vertex],
+        signatures: &BTreeMap<Vertex, (usize, usize)>,
+        depth: usize,
+        assignment: &mut BTreeMap<Vertex, Vertex>,
+        used: &mut BTreeSet<Vertex>,
+        found: &mut Vec<Automorphism>,
+    ) {
+        if depth == verts.len() {
+            found.push(assignment.clone());
+            return;
+        }
+        let v = verts[depth];
+        for &candidate in verts {
+            if used.contains(&candidate) || signatures[&v] != signatures[&candidate] {
+                continue;
+            }
+            // Arc consistency against everything assigned so far.
+            let consistent = assignment.iter().all(|(&u, &iu)| {
+                self.contains_arc(u, v) == self.contains_arc(iu, candidate)
+                    && self.contains_arc(v, u) == self.contains_arc(candidate, iu)
+            });
+            if !consistent {
+                continue;
+            }
+            assignment.insert(v, candidate);
+            used.insert(candidate);
+            self.search_rec(verts, signatures, depth + 1, assignment, used, found);
+            assignment.remove(&v);
+            used.remove(&candidate);
+        }
+    }
+
     /// Validates that `leaders` is a suitable leader set: non-empty and a
     /// feedback vertex set of a strongly connected digraph.
     ///
@@ -403,9 +565,100 @@ impl Digraph {
     }
 }
 
+/// Visits every permutation of `items[at..]` in place (Heap-style swap
+/// recursion); `visit` sees the full `items` slice for each arrangement.
+fn permutations(items: &mut Vec<Vertex>, at: usize, visit: &mut impl FnMut(&[Vertex])) {
+    if at == items.len() {
+        visit(items);
+        return;
+    }
+    for k in at..items.len() {
+        items.swap(at, k);
+        permutations(items, at + 1, visit);
+        items.swap(at, k);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Brute-force reference: every permutation of the vertex set checked
+    /// for arc preservation directly.
+    fn brute_force_automorphisms(g: &Digraph) -> Vec<Automorphism> {
+        let verts: Vec<Vertex> = g.vertices().collect();
+        let mut found = Vec::new();
+        let mut image = verts.clone();
+        permutations(&mut image, 0, &mut |image| {
+            let perm: Automorphism = verts.iter().copied().zip(image.iter().copied()).collect();
+            let preserves = verts.iter().all(|&u| {
+                verts.iter().all(|&v| g.contains_arc(u, v) == g.contains_arc(perm[&u], perm[&v]))
+            });
+            if preserves {
+                found.push(perm);
+            }
+        });
+        found.sort_by(|a, b| a.values().cmp(b.values()));
+        found
+    }
+
+    #[test]
+    fn automorphisms_match_brute_force_on_small_graphs() {
+        let graphs = [
+            Digraph::figure3(),
+            Digraph::cycle(3),
+            Digraph::cycle(5),
+            Digraph::complete(3),
+            Digraph::complete(4),
+            Digraph::random_strongly_connected(4, 3, 7),
+            Digraph::random_strongly_connected(5, 4, 2),
+            Digraph::random_strongly_connected(5, 4, 4),
+        ];
+        for g in graphs {
+            assert_eq!(g.automorphisms(), brute_force_automorphisms(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn automorphism_group_orders_match_the_closed_forms() {
+        for n in 2..=7u32 {
+            assert_eq!(Digraph::cycle(n).automorphisms().len(), n as usize, "cycle rotations");
+        }
+        let mut factorial = 1usize;
+        for n in 2..=5u32 {
+            factorial *= n as usize;
+            assert_eq!(Digraph::complete(n).automorphisms().len(), factorial, "clique S_n");
+        }
+    }
+
+    #[test]
+    fn stabilizer_subgroups() {
+        // Any single pinned vertex reduces a cycle to the identity.
+        let pinned = Digraph::cycle(6).automorphisms_stabilizing(&BTreeSet::from([0]));
+        assert_eq!(pinned.len(), 1);
+        assert!(pinned[0].iter().all(|(v, image)| v == image), "identity");
+        // A clique's leader set (all but one vertex) keeps (n-1)!.
+        let split = Digraph::complete(5).automorphisms_stabilizing(&BTreeSet::from([0, 1, 2, 3]));
+        assert_eq!(split.len(), 24);
+        assert!(split.iter().all(|p| p[&4] == 4), "the non-leader is pinned");
+        // Stabilizing the whole vertex set is no constraint at all.
+        let all: BTreeSet<Vertex> = Digraph::cycle(4).vertices().collect();
+        assert_eq!(Digraph::cycle(4).automorphisms_stabilizing(&all).len(), 4);
+    }
+
+    #[test]
+    fn chorded_cycle_breaks_rotational_symmetry() {
+        // A chord turns the cycle's fast path off and exercises the
+        // backtracking search: only rotations mapping the chord onto
+        // itself survive.
+        let mut g = Digraph::cycle(6);
+        g.add_arc(0, 3);
+        let group = g.automorphisms();
+        assert_eq!(group, brute_force_automorphisms(&g));
+        for perm in &group {
+            assert!(g.contains_arc(perm[&0], perm[&3]), "chord must map onto a chord");
+        }
+    }
 
     #[test]
     fn figure3_shape() {

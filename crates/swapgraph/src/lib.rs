@@ -43,4 +43,4 @@ mod digraph;
 pub mod premiums;
 pub mod pricing;
 
-pub use digraph::{Digraph, GraphError, Vertex};
+pub use digraph::{Automorphism, Digraph, GraphError, Vertex};

@@ -1,0 +1,98 @@
+//! Property-based tests for the digraph automorphism groups backing the
+//! model checker's symmetry reduction: generated groups must actually be
+//! groups (closed under composition and inverse, containing the identity),
+//! match the cycle/clique closed forms, and respect arc preservation on
+//! arbitrary generated digraphs.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use swapgraph::{Automorphism, Digraph, Vertex};
+
+/// Composes two automorphisms: `(a ∘ b)(v) = a(b(v))`.
+fn compose(a: &Automorphism, b: &Automorphism) -> Automorphism {
+    b.iter().map(|(&v, &bv)| (v, *a.get(&bv).unwrap_or(&bv))).collect()
+}
+
+/// Inverts an automorphism.
+fn invert(a: &Automorphism) -> Automorphism {
+    a.iter().map(|(&v, &av)| (av, v)).collect()
+}
+
+fn identity_of(g: &Digraph) -> Automorphism {
+    g.vertices().map(|v| (v, v)).collect()
+}
+
+/// Asserts the group axioms and arc preservation for `group` on `g`.
+fn assert_is_group(g: &Digraph, group: &[Automorphism]) {
+    let members: BTreeSet<&Automorphism> = group.iter().collect();
+    assert!(members.contains(&identity_of(g)), "identity missing");
+    assert_eq!(members.len(), group.len(), "duplicate group elements");
+    for a in group {
+        assert!(members.contains(&invert(a)), "inverse of {a:?} missing");
+        for b in group {
+            assert!(members.contains(&compose(a, b)), "composition {a:?} ∘ {b:?} missing");
+        }
+        // Arc preservation, both directions.
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(g.contains_arc(u, v), g.contains_arc(a[&u], a[&v]), "{a:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full automorphism group of a random strongly-connected digraph
+    /// is a group under composition and inverse, and every member
+    /// preserves arcs.
+    #[test]
+    fn random_digraph_automorphisms_form_a_group(
+        n in 2u32..7,
+        extra in 0usize..5,
+        seed in 0u64..64,
+    ) {
+        let g = Digraph::random_strongly_connected(n, extra, seed);
+        let group = g.automorphisms();
+        prop_assert!(!group.is_empty());
+        assert_is_group(&g, &group);
+    }
+
+    /// The setwise stabilizer of the greedy leader set — the subgroup the
+    /// model checker quotients by — is itself a group.
+    #[test]
+    fn leader_stabilizers_form_a_group(
+        n in 3u32..7,
+        extra in 0usize..4,
+        seed in 0u64..32,
+    ) {
+        let g = Digraph::random_strongly_connected(n, extra, seed);
+        let leaders = g.greedy_feedback_vertex_set();
+        let stabilizer = g.automorphisms_stabilizing(&leaders);
+        prop_assert!(!stabilizer.is_empty());
+        assert_is_group(&g, &stabilizer);
+        // Every member maps the leader set onto itself.
+        for perm in &stabilizer {
+            let image: BTreeSet<Vertex> = leaders.iter().map(|v| perm[v]).collect();
+            prop_assert_eq!(&image, &leaders);
+        }
+    }
+
+    /// Closed forms: a directed cycle has exactly the `n` rotations, and
+    /// the complete digraph all `n!` permutations; stabilizing a clique's
+    /// `n-1`-vertex leader set keeps `(n-1)!`.
+    #[test]
+    fn cycle_and_clique_closed_forms(n in 2u32..7) {
+        prop_assert_eq!(Digraph::cycle(n).automorphisms().len(), n as usize);
+        let factorial = |k: u32| (1..=k as usize).product::<usize>();
+        let clique = Digraph::complete(n);
+        prop_assert_eq!(clique.automorphisms().len(), factorial(n));
+        let leaders: BTreeSet<Vertex> = (0..n - 1).collect();
+        prop_assert_eq!(
+            clique.automorphisms_stabilizing(&leaders).len(),
+            factorial(n - 1)
+        );
+    }
+}

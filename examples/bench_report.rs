@@ -3,7 +3,10 @@
 //! Runs the standard sweep families at 1, 2, 4 and 8 worker threads,
 //! measures scenarios/second and per-family scaling efficiency, and writes
 //! `BENCH_modelcheck.json` so future optimisation work has a recorded
-//! trajectory to compare against. The committed copy of that file holds the
+//! trajectory to compare against. Multi-party sets reach n = 8 at a
+//! two-deviator budget thanks to the symmetry + partial-order reduction
+//! layer; each family records its `strategies` (documented profiles) next
+//! to `scenarios` (executed runs) and the resulting `reduction_ratio`. The committed copy of that file holds the
 //! numbers measured for this revision; the `baseline` blocks preserve the
 //! PR 2 (pre-zero-allocation) and PR 3 (pre-deviation-tree) numbers on the
 //! same class of machine.
@@ -68,13 +71,21 @@ struct FamilySet {
 
 fn family_sets() -> Vec<FamilySet> {
     let mut sets = Vec::new();
-    for n in [3u32, 4, 5, 6] {
+    // From n = 5 the cycle (and from n = 4 the clique) runs through the
+    // symmetry + partial-order reduction layer at a two-deviator budget;
+    // n = 7 and 8 exist *because* of it — the unreduced pair spaces
+    // (~135k scenarios at n = 8) priced those sizes out entirely. The
+    // per-family `reduction_ratio` field records executed runs over
+    // documented profiles.
+    for n in [3u32, 4, 5, 6, 7, 8] {
         sets.push(FamilySet {
             name: match n {
                 3 => "multi-party n=3",
                 4 => "multi-party n=4",
                 5 => "multi-party n=5",
-                _ => "multi-party n=6",
+                6 => "multi-party n=6",
+                7 => "multi-party n=7",
+                _ => "multi-party n=8",
             },
             gens: multi_party_families(n)
                 .into_iter()
@@ -128,8 +139,10 @@ const MIN_MEASURE_SECONDS: f64 = 0.25;
 
 /// Scenarios/second for one family set at one thread count (one warm-up
 /// sweep, then the fastest of repeated measured sweeps; see
-/// [`MIN_MEASURE_SECONDS`]).
-fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, f64) {
+/// [`MIN_MEASURE_SECONDS`]). Returns `(runs, strategies, rate)` — for
+/// reduced families `runs < strategies` and the rate counts *executed*
+/// scenarios per second.
+fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, usize, f64) {
     let refs: Vec<&dyn ScenarioGen> = gens.iter().map(|g| g.as_ref() as &dyn ScenarioGen).collect();
     let sweep = ParallelSweep::new(threads);
     let warmup = sweep.run_all(&refs);
@@ -148,7 +161,7 @@ fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, f64) {
     // A coarse clock (or an empty family) can measure ~zero elapsed time;
     // `finite_or_zero` downstream relies on the rate at least being a
     // number, so keep the division away from 0/0 and ∞.
-    (warmup.runs, finite_or_zero(warmup.runs as f64 / best.max(1e-9)))
+    (warmup.runs, warmup.strategies, finite_or_zero(warmup.runs as f64 / best.max(1e-9)))
 }
 
 /// Clamps NaN/∞ — which `{:.N}`-format as literal `NaN`/`inf` and would
@@ -197,10 +210,12 @@ fn main() {
     println!("family set | scenarios | threads | scenarios/sec | efficiency");
     for (i, set) in sets.iter().enumerate() {
         let mut runs = 0usize;
+        let mut strategies = 0usize;
         let mut rates = Vec::new();
         for &threads in &thread_counts {
-            let (r, rate) = measure(&set.gens, threads);
+            let (r, s, rate) = measure(&set.gens, threads);
             runs = r;
+            strategies = s;
             rates.push((threads, rate));
         }
         let single = rates[0].1;
@@ -226,8 +241,8 @@ fn main() {
                 // noisy-neighbour hiccup cannot fail CI.
                 let mut retries = 0;
                 while eff < MIN_TWO_THREAD_EFFICIENCY && retries < 2 {
-                    let (_, single_rate) = measure(&set.gens, 1);
-                    let (_, pair_rate) = measure(&set.gens, 2);
+                    let (_, _, single_rate) = measure(&set.gens, 1);
+                    let (_, _, pair_rate) = measure(&set.gens, 2);
                     eff = eff.max(finite_or_zero(pair_rate / (single_rate * 2.0)));
                     retries += 1;
                 }
@@ -244,6 +259,14 @@ fn main() {
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"family\": \"{}\",", set.name);
         let _ = writeln!(json, "      \"scenarios\": {runs},");
+        let _ = writeln!(json, "      \"strategies\": {strategies},");
+        // Executed runs per documented profile: 1.0 for unreduced sets,
+        // below 1.0 where symmetry/POR folds or prunes the space.
+        let _ = writeln!(
+            json,
+            "      \"reduction_ratio\": {:.4},",
+            finite_or_zero(runs as f64 / strategies.max(1) as f64)
+        );
         let _ = writeln!(json, "      \"scenarios_per_sec\": {{");
         for (j, (threads, rate)) in rates.iter().enumerate() {
             let inner_comma = if j + 1 < rates.len() { "," } else { "" };
