@@ -521,3 +521,115 @@ fn auction_settle_unlocks_inclusively_at_the_challenge_deadline() {
     f.world.call(BOB, f.coin_addr, &AuctionCoinMsg::Settle, "edge settle").unwrap();
     f.world.call(BOB, f.ticket_addr, &AuctionTicketMsg::Settle, "edge settle").unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Sub-Δ crash outages on the deadline tick. The sampled model-checking tier
+// draws variable-length outages (`Fault::Outage`, ¼Δ…4Δ in quarter-Δ
+// steps); these fixtures pin the contract-level semantics those runs rest
+// on. A party that goes dark for ½Δ while intending to act recovers in
+// time iff its outage ends strictly before the deadline — the contract
+// does not care that the originally intended tick was missed. An outage
+// that swallows the last legal tick loses the *action* but never the
+// *funds*: the inclusive settle/refund path recovers them on the deadline
+// tick itself. With the protocol default Δ = 2, ½Δ is 1 block
+// (`outage_blocks(2, 2)`) and a deadline-crossing full Δ is 2.
+// ---------------------------------------------------------------------------
+
+const HALF_DELTA: u64 = 1;
+const FULL_DELTA: u64 = 2;
+
+#[test]
+fn htlc_redeem_survives_a_half_delta_outage_but_refund_recovers_a_crossing_one() {
+    // Bob means to redeem at T − 2 but goes dark for ½Δ: his recovery tick
+    // T − 1 is still strictly before the timelock, so the redeem lands.
+    let mut f = htlc_fixture();
+    f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "escrow").unwrap();
+    f.world.advance_blocks(HTLC_TIMELOCK.height() - 1 - HALF_DELTA);
+    f.world.advance_blocks(HALF_DELTA); // the outage: no action emitted
+    let secret = f.secret.clone();
+    f.world.call(BOB, f.addr, &HtlcMsg::Redeem { secret }, "post-outage redeem").unwrap();
+    assert_eq!(htlc_state(&f), HtlcState::Redeemed);
+
+    // A full-Δ outage from the same intent tick swallows the last legal
+    // instant: the redeem is rejected at T, and the refund recovers the
+    // principal on that very tick (inclusive opening edge).
+    let mut f = htlc_fixture();
+    f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "escrow").unwrap();
+    f.world.advance_blocks(HTLC_TIMELOCK.height() - FULL_DELTA);
+    f.world.advance_blocks(FULL_DELTA);
+    let secret = f.secret.clone();
+    assert!(f.world.call(BOB, f.addr, &HtlcMsg::Redeem { secret }, "late redeem").is_err());
+    f.world.call(ALICE, f.addr, &HtlcMsg::Refund, "recovery refund").unwrap();
+    assert_eq!(htlc_state(&f), HtlcState::Refunded);
+}
+
+#[test]
+fn hedged_escrow_survives_a_half_delta_outage_but_settle_recovers_a_crossing_one() {
+    // Bob means to escrow the principal at E − 2; a ½Δ outage still leaves
+    // him the last legal tick E − 1.
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(HEDGED_ESCROW.height() - 1 - HALF_DELTA);
+    f.world.advance_blocks(HALF_DELTA);
+    f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "post-outage escrow").unwrap();
+    assert_eq!(hedged(&f).principal_state(), HedgedPrincipalState::Held);
+
+    // A Δ-long outage crosses E: the escrow is rejected, and Alice's
+    // settle unlocks on the same tick to recover her premium.
+    let mut f = hedged_fixture();
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "premium").unwrap();
+    f.world.advance_blocks(HEDGED_ESCROW.height() - FULL_DELTA);
+    f.world.advance_blocks(FULL_DELTA);
+    assert!(f.world.call(BOB, f.addr, &HedgedEscrowMsg::EscrowPrincipal, "late").is_err());
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::Settle, "recovery settle").unwrap();
+    assert_eq!(hedged(&f).premium_state(), HedgedPremiumState::Refunded);
+}
+
+#[test]
+fn arc_asset_escrow_survives_a_half_delta_outage_but_settle_recovers_a_crossing_one() {
+    let mut f = arc_fixture();
+    deposit_own_premium(&mut f);
+    f.world.advance_blocks(ARC_AED.height() - 1 - HALF_DELTA);
+    f.world.advance_blocks(HALF_DELTA);
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "post-outage escrow").unwrap();
+    assert_eq!(arc(&f).principal_state(), PrincipalState::Held);
+
+    // A Δ-long outage crosses the asset-escrow deadline: the escrow is
+    // rejected, and Bob's own escrow premium is recoverable by settle on
+    // that same tick.
+    let mut f = arc_fixture();
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::DepositEscrowPremium, "E").unwrap();
+    f.world.advance_blocks(ARC_AED.height() - FULL_DELTA);
+    f.world.advance_blocks(FULL_DELTA);
+    assert!(f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "late escrow").is_err());
+    f.world.call(BOB, f.addr, &ArcEscrowMsg::Settle, "recovery settle").unwrap();
+    assert_eq!(arc(&f).escrow_premium_state(), PremiumSlotState::Refunded);
+}
+
+#[test]
+fn auction_bid_survives_a_half_delta_outage_but_settle_recovers_a_crossing_one() {
+    let mut f = auction_fixture();
+    f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "endow").unwrap();
+    f.world.call(ALICE, f.ticket_addr, &AuctionTicketMsg::EscrowTickets, "tickets").unwrap();
+    f.world.advance_blocks(BID_DEADLINE.height() - 1 - HALF_DELTA);
+    f.world.advance_blocks(HALF_DELTA);
+    f.world
+        .call(BOB, f.coin_addr, &AuctionCoinMsg::PlaceBid { amount: Amount::new(6) }, "bid")
+        .unwrap();
+
+    // A Δ-long outage crosses the bid deadline: the bid is rejected, no
+    // bidder wins, and both chains' settles recover the endowment and
+    // tickets at the challenge deadline.
+    let mut f = auction_fixture();
+    f.world.call(ALICE, f.coin_addr, &AuctionCoinMsg::DepositPremium, "endow").unwrap();
+    f.world.call(ALICE, f.ticket_addr, &AuctionTicketMsg::EscrowTickets, "tickets").unwrap();
+    f.world.advance_blocks(BID_DEADLINE.height() - FULL_DELTA);
+    f.world.advance_blocks(FULL_DELTA);
+    assert!(f
+        .world
+        .call(BOB, f.coin_addr, &AuctionCoinMsg::PlaceBid { amount: Amount::new(6) }, "late bid")
+        .is_err());
+    f.world.advance_blocks(CHALLENGE_DEADLINE.height() - BID_DEADLINE.height());
+    f.world.call(BOB, f.coin_addr, &AuctionCoinMsg::Settle, "recovery settle").unwrap();
+    f.world.call(BOB, f.ticket_addr, &AuctionTicketMsg::Settle, "recovery settle").unwrap();
+}

@@ -1,0 +1,1358 @@
+//! The sampled tier: randomized deviation profiles with seed-pinned
+//! reproduction, greedy shrinking and rational hill-climbing.
+//!
+//! The enumerated sweeps ([`crate::scenarios`]) cover the closed
+//! `stop_after × {Eager, Procrastinate} × faults` space exhaustively, but
+//! two deviation axes are products too large to enumerate: per-step legal
+//! delay vectors ([`Timing::Delay`] — any tick within Δ of the trigger and
+//! strictly before the step deadline, independently per step) and
+//! variable-length crash outages ([`Fault::Outage`] — ¼Δ through 4Δ in
+//! quarter-Δ increments). This module *samples* those axes instead:
+//!
+//! * [`SampledSweep`] is a [`ScenarioGen`] whose scenario `i` is drawn from
+//!   a deterministic RNG keyed only on `(family_seed, i)` — never on thread
+//!   count, chunk size or trace mode — so a sampled sweep keeps the
+//!   engine's bit-for-bit determinism contract, and any violating sample is
+//!   reproducible forever from the `(seed, index)` pair printed in its
+//!   scenario label. Samples execute through the same shared-prefix
+//!   deviation-tree entry points as the enumerated families, so each costs
+//!   a divergence tail, not a full run.
+//! * [`SampledSweep::shrink`] greedily minimizes a violating sample —
+//!   dropping deviators, clearing faults, halving outages, zeroing delay
+//!   entries — while preserving at least one of the original
+//!   `(party, property)` verdicts, and renders the minimal profile as a
+//!   copy-pasteable regression test ([`ShrunkViolation::regression_test`]).
+//! * [`SampledSweep::climb`] hill-climbs one deviator's strategy toward
+//!   payoff-maximizing deviations with [`marketsim::rational::best_response`],
+//!   reporting the worst compliant-party hedge margin the rational search
+//!   could reach. For the hedged protocols that margin stays ≥ 0 (the
+//!   theorem has teeth against rational adversaries, not just the sampled
+//!   ones); for the unhedged base swap it goes negative.
+//!
+//! Sampling gives statistical coverage, not proof: a clean sampled summary
+//! says no violation was found in `samples` independent draws from the
+//! documented space ([`SampledSweep::sampled_space`]), while the enumerated
+//! tier's clean summary remains exhaustive over its smaller space.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use chainsim::{PartyId, World};
+use marketsim::rational::best_response;
+use protocols::auction::{self, run_auction_in, run_auction_shared, AuctionConfig, AUCTIONEER};
+use protocols::bootstrap::{run_bootstrap_in, run_bootstrap_shared, BootstrapDeviation};
+use protocols::deal::{self, run_deal_in, run_deal_shared, DealConfig};
+use protocols::outcome::Payoffs;
+use protocols::script::{DelayVector, Fault, Strategy, Timing, MAX_DELAY_STEPS};
+use protocols::two_party::{
+    self, run_base_swap_in, run_hedged_swap_in, run_swap_shared, SwapProtocol, TwoPartyConfig,
+    TwoPartyReport, ALICE, BOB,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{FamilyScratch, ScenarioGen};
+use crate::scenarios::{
+    judge_auction, judge_bootstrap, judge_deal, judge_two_party, oracle_or, AuctionPrefixSlots,
+    BEHAVIOURS,
+};
+use crate::Violation;
+
+/// Derives the per-sample RNG seed from the family seed and sample index:
+/// a SplitMix64 finalizer over their golden-ratio mix. Depends on nothing
+/// else, so sample `i` of a family is the same profile on every machine,
+/// thread count and trace mode — the reproduction key a violation report
+/// prints is just this pair.
+fn sample_seed(family_seed: u64, index: usize) -> u64 {
+    let mut z = family_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one family samples over: its parties (with per-party script
+/// lengths), the synchrony bound the delay/outage axes are scaled by, how
+/// many parties may deviate at once, and whether sampling is restricted to
+/// conforming (timing-only) strategies.
+struct SampleSpec {
+    parties: Vec<(PartyId, usize)>,
+    delta_blocks: u64,
+    max_deviators: usize,
+    conforming_only: bool,
+}
+
+/// Draws a timing profile: eager and last-instant endpoints each with
+/// probability ⅛, otherwise a fresh per-step delay vector with entries
+/// uniform over `0..=Δ` (the whole legal window — larger delays are
+/// clamped to the Procrastinate tick anyway). A drawn zero vector is
+/// canonicalized to [`Timing::Eager`] so profile keys stay unique.
+fn sample_timing(rng: &mut StdRng, steps: usize, delta_blocks: u64) -> Timing {
+    match rng.gen_range(0..8u32) {
+        0 => Timing::Eager,
+        1 => Timing::Procrastinate,
+        _ => {
+            let mut vector = DelayVector::ZERO;
+            for step in 0..steps.min(MAX_DELAY_STEPS) {
+                vector.set(step, rng.gen_range(0..delta_blocks + 1) as u8);
+            }
+            if vector.is_zero() {
+                Timing::Eager
+            } else {
+                Timing::Delay(vector)
+            }
+        }
+    }
+}
+
+/// Draws one party's strategy. Conforming-only sampling draws the timing
+/// axis alone; otherwise stop budgets and faults (including variable
+/// outages) ride along, with fault steps confined to steps the party
+/// actually reaches.
+fn sample_strategy(
+    rng: &mut StdRng,
+    steps: usize,
+    delta_blocks: u64,
+    conforming_only: bool,
+) -> Strategy {
+    let timing = sample_timing(rng, steps, delta_blocks);
+    if conforming_only {
+        return Strategy { stop_after: None, timing, fault: Fault::None };
+    }
+    let stop_after = if rng.gen_bool(0.25) { Some(rng.gen_range(0..steps)) } else { None };
+    let reachable = stop_after.unwrap_or(steps);
+    let fault = if reachable == 0 {
+        Fault::None
+    } else {
+        match rng.gen_range(0..4u32) {
+            0 => Fault::None,
+            1 => Fault::Garbage { step: rng.gen_range(0..reachable) },
+            2 => Fault::Crash { step: rng.gen_range(0..reachable) },
+            _ => Fault::Outage {
+                step: rng.gen_range(0..reachable),
+                quarters: rng.gen_range(1..17u8),
+            },
+        }
+    };
+    Strategy { stop_after, timing, fault }
+}
+
+/// Draws a joint deviation profile: a uniform deviator count in
+/// `1..=max_deviators`, a uniform subset of that many parties (partial
+/// Fisher–Yates), and an independent strategy per chosen party. Parties
+/// whose draw comes out canonical-compliant are simply absent, so a sample
+/// can also be the all-compliant profile.
+fn sample_profile(spec: &SampleSpec, rng: &mut StdRng) -> BTreeMap<PartyId, Strategy> {
+    let n = spec.parties.len();
+    let deviators = 1 + rng.gen_range(0..spec.max_deviators.min(n));
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in 0..deviators {
+        let j = i + rng.gen_range(0..n - i);
+        order.swap(i, j);
+    }
+    let mut profile = BTreeMap::new();
+    for &slot in &order[..deviators] {
+        let (party, steps) = spec.parties[slot];
+        let strategy = sample_strategy(rng, steps, spec.delta_blocks, spec.conforming_only);
+        if strategy != Strategy::compliant() {
+            profile.insert(party, strategy);
+        }
+    }
+    profile
+}
+
+/// One decoded sampled scenario — the reproducible object a `(seed, index)`
+/// pair re-derives, and the unit the shrinker minimizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampledScenario {
+    /// A two-party swap joint strategy.
+    TwoParty {
+        /// Alice's strategy.
+        alice: Strategy,
+        /// Bob's strategy.
+        bob: Strategy,
+    },
+    /// A deal-engine (multi-party swap or broker) deviators-only profile.
+    Deal {
+        /// The deviating parties' strategies (absent parties are compliant).
+        profile: BTreeMap<PartyId, Strategy>,
+    },
+    /// An auction scenario: a behaviour index into
+    /// [`crate::scenarios::AuctionSweep`]'s auctioneer behaviours plus a
+    /// deviators-only profile.
+    Auction {
+        /// Index into the auctioneer-behaviour table (0 = declare high
+        /// bidder, 1 = declare low bidder, 2 = abandon).
+        behaviour: usize,
+        /// The deviating parties' strategies.
+        profile: BTreeMap<PartyId, Strategy>,
+    },
+}
+
+impl SampledScenario {
+    /// A compact human-readable rendering for scenario labels.
+    fn describe(&self) -> String {
+        match self {
+            SampledScenario::TwoParty { alice, bob } => format!("alice={alice}, bob={bob}"),
+            SampledScenario::Deal { profile } => format!("profile {profile:?}"),
+            SampledScenario::Auction { behaviour, profile } => {
+                format!("behaviour {:?}, profile {profile:?}", BEHAVIOURS[*behaviour])
+            }
+        }
+    }
+}
+
+/// The protocol a [`SampledSweep`] draws scenarios for.
+#[derive(Clone, Debug)]
+enum SampledTarget {
+    TwoParty { config: TwoPartyConfig, protocol: SwapProtocol, conforming_only: bool },
+    Deal { name: String, config: DealConfig },
+    Auction { config: AuctionConfig },
+}
+
+/// A [`ScenarioGen`] family of `samples` randomized deviation profiles
+/// drawn from a seed-pinned RNG; see the module docs for the guarantees.
+#[derive(Clone, Debug)]
+pub struct SampledSweep {
+    target: SampledTarget,
+    seed: u64,
+    samples: usize,
+    replay: bool,
+}
+
+impl SampledSweep {
+    /// Samples the hedged two-party swap (§5.2) over the full
+    /// `stop × delay-vector/outage × faults` axes with up to two
+    /// simultaneous deviators. Expected to hold.
+    pub fn hedged_two_party(config: TwoPartyConfig, seed: u64, samples: usize) -> Self {
+        SampledSweep {
+            target: SampledTarget::TwoParty {
+                config,
+                protocol: SwapProtocol::Hedged,
+                conforming_only: false,
+            },
+            seed,
+            samples,
+            replay: false,
+        }
+    }
+
+    /// Samples the *base* (unhedged) swap over conforming timing profiles
+    /// with a single laggard — one sampled party follows the script but
+    /// chooses when within each legal window to act, against an eager
+    /// compliant counterparty. One Δ-bounded laggard is within the base
+    /// timelock schedule's tolerance, so this family is expected to hold —
+    /// which is exactly what makes it the canary family: a reintroduced
+    /// timing bug turns some conforming delay vector into a violation the
+    /// sampler must find and shrink. (*Two* simultaneous laggards can
+    /// consume the absolute timelocks' whole slack and strand both
+    /// principals; that both-late run is a known hedged violation of the
+    /// unhedged protocol, already surfaced by the enumerated tier, not a
+    /// canary.)
+    pub fn base_two_party(config: TwoPartyConfig, seed: u64, samples: usize) -> Self {
+        SampledSweep {
+            target: SampledTarget::TwoParty {
+                config,
+                protocol: SwapProtocol::Base,
+                conforming_only: true,
+            },
+            seed,
+            samples,
+            replay: false,
+        }
+    }
+
+    /// Samples a deal-engine configuration (multi-party swap or brokered
+    /// sale) with up to two simultaneous deviators.
+    pub fn deal(name: impl Into<String>, config: DealConfig, seed: u64, samples: usize) -> Self {
+        SampledSweep {
+            target: SampledTarget::Deal { name: name.into(), config },
+            seed,
+            samples,
+            replay: false,
+        }
+    }
+
+    /// Samples the auction (§9): a uniform auctioneer behaviour plus one
+    /// deviating party per sample (the enumerated sweep's budget, extended
+    /// to the delay/outage axes).
+    pub fn auction(config: AuctionConfig, seed: u64, samples: usize) -> Self {
+        SampledSweep { target: SampledTarget::Auction { config }, seed, samples, replay: false }
+    }
+
+    /// The family seed samples are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The number of samples this family draws.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Switches this family to the brute-force path (fresh full run per
+    /// sample instead of resuming from the shared compliant prefix); the
+    /// differential tests diff the two paths' summaries.
+    #[cfg(feature = "replay-oracle")]
+    pub fn replay_oracle(mut self) -> Self {
+        self.replay = true;
+        self
+    }
+
+    /// Re-derives sample `index`'s scenario from the family seed — the
+    /// reproduction entry point: same `(seed, index)`, same scenario,
+    /// forever and everywhere.
+    pub fn scenario_at(&self, index: usize) -> SampledScenario {
+        let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, index));
+        match &self.target {
+            SampledTarget::TwoParty { config, protocol, conforming_only } => {
+                let steps = script_steps(*protocol);
+                let spec = SampleSpec {
+                    parties: vec![(ALICE, steps), (BOB, steps)],
+                    delta_blocks: config.delta_blocks,
+                    // Conforming-only (canary) sampling stays single-laggard:
+                    // the base timelock schedule does not tolerate two.
+                    max_deviators: if *conforming_only { 1 } else { 2 },
+                    conforming_only: *conforming_only,
+                };
+                let profile = sample_profile(&spec, &mut rng);
+                SampledScenario::TwoParty {
+                    alice: profile.get(&ALICE).copied().unwrap_or(Strategy::compliant()),
+                    bob: profile.get(&BOB).copied().unwrap_or(Strategy::compliant()),
+                }
+            }
+            SampledTarget::Deal { config, .. } => {
+                let spec = SampleSpec {
+                    parties: config
+                        .parties()
+                        .into_iter()
+                        .map(|party| (party, deal::SCRIPT_STEPS))
+                        .collect(),
+                    delta_blocks: config.delta_blocks,
+                    max_deviators: 2,
+                    conforming_only: false,
+                };
+                SampledScenario::Deal { profile: sample_profile(&spec, &mut rng) }
+            }
+            SampledTarget::Auction { config } => {
+                let behaviour = rng.gen_range(0..BEHAVIOURS.len());
+                let mut parties = vec![(AUCTIONEER, auction::SCRIPT_STEPS)];
+                parties.extend(config.bidders().into_iter().map(|b| (b, auction::SCRIPT_STEPS)));
+                let spec = SampleSpec {
+                    parties,
+                    delta_blocks: config.delta_blocks,
+                    max_deviators: 1,
+                    conforming_only: false,
+                };
+                SampledScenario::Auction { behaviour, profile: sample_profile(&spec, &mut rng) }
+            }
+        }
+    }
+
+    /// Runs one scenario in a fresh world and judges it with the exact
+    /// judges the enumerated tier uses. This is the entry point shrunken
+    /// regression tests call.
+    pub fn check_scenario(&self, scenario: &SampledScenario) -> Vec<Violation> {
+        let mut world = World::new(1);
+        let mut cache = FamilyScratch::default();
+        let label = || format!("{}: {}", self.family(), scenario.describe());
+        self.judge_in(scenario, &label, &mut world, &mut cache)
+    }
+
+    /// The first violating sample index below `limit` (capped at the
+    /// family's sample budget), if any. The canary suite uses this with a
+    /// pinned seed and budget to prove detection.
+    pub fn find_violation(&self, limit: usize) -> Option<usize> {
+        (0..limit.min(self.samples))
+            .find(|&index| !self.check_scenario(&self.scenario_at(index)).is_empty())
+    }
+
+    /// Greedily minimizes the violating sample at `index` (`None` if that
+    /// sample is clean): deviators are dropped, faults cleared, outages
+    /// halved, stop budgets lifted and delay entries zeroed/halved as long
+    /// as some original `(party, property)` verdict is preserved. The
+    /// result is a locally minimal still-violating profile plus its
+    /// rendered regression test.
+    pub fn shrink(&self, index: usize) -> Option<ShrunkViolation> {
+        let original = self.scenario_at(index);
+        let original_violations = self.check_scenario(&original);
+        if original_violations.is_empty() {
+            return None;
+        }
+        let targets: BTreeSet<(PartyId, &'static str)> =
+            original_violations.iter().map(|v| (v.party, v.property)).collect();
+        let profile = scenario_profile(&original);
+        let minimal_profile = shrink_profile(&profile, |candidate| {
+            let candidate_scenario = rebuild_scenario(&original, candidate);
+            self.check_scenario(&candidate_scenario)
+                .iter()
+                .any(|v| targets.contains(&(v.party, v.property)))
+        });
+        let minimal = rebuild_scenario(&original, &minimal_profile);
+        let violations = self.check_scenario(&minimal);
+        Some(ShrunkViolation {
+            family: self.family(),
+            family_seed: self.seed,
+            sample_index: index,
+            original,
+            minimal,
+            violations,
+        })
+    }
+
+    /// Hill-climbs `deviator`'s strategy toward its payoff-maximizing
+    /// deviation with [`best_response`] (ties broken toward *hurting* the
+    /// compliant side, so payoff-indifferent walk-aways are found), and
+    /// reports the worst compliant-party hedge margin the search reached.
+    /// `None` for targets without a per-party margin (auctions).
+    pub fn climb(&self, deviator: PartyId, seed: u64, budget: usize) -> Option<RationalClimb> {
+        match &self.target {
+            SampledTarget::TwoParty { config, protocol, .. } => {
+                let steps = script_steps(*protocol);
+                let compliant_party = if deviator == ALICE { BOB } else { ALICE };
+                let evaluate = |strategy: &Strategy| -> (i128, i128) {
+                    let mut world = World::new(1);
+                    let (alice, bob) = if deviator == ALICE {
+                        (*strategy, Strategy::compliant())
+                    } else {
+                        (Strategy::compliant(), *strategy)
+                    };
+                    let report = match protocol {
+                        SwapProtocol::Hedged => run_hedged_swap_in(&mut world, config, alice, bob),
+                        SwapProtocol::Base => run_base_swap_in(&mut world, config, alice, bob),
+                    };
+                    (
+                        party_total(&report.payoffs, deviator),
+                        two_party_margin(&report, config, compliant_party),
+                    )
+                };
+                let outcome = best_response(
+                    Strategy::compliant(),
+                    seed,
+                    budget,
+                    |strategy| {
+                        let (payoff, margin) = evaluate(strategy);
+                        payoff * SPITE_SCALE - margin
+                    },
+                    |strategy, rng| mutate_strategy(*strategy, rng, steps, config.delta_blocks),
+                );
+                let (deviator_payoff, compliant_margin) = evaluate(&outcome.best);
+                Some(RationalClimb {
+                    family: self.family(),
+                    deviator,
+                    best_strategy: outcome.best,
+                    deviator_payoff,
+                    compliant_margin,
+                    evaluations: outcome.evaluations,
+                    improvements: outcome.improvements,
+                })
+            }
+            SampledTarget::Deal { config, .. } => {
+                if !config.parties().contains(&deviator) {
+                    return None;
+                }
+                let evaluate = |strategy: &Strategy| -> (i128, i128) {
+                    let mut world = World::new(1);
+                    let profile: BTreeMap<PartyId, Strategy> =
+                        [(deviator, *strategy)].into_iter().collect();
+                    let report = run_deal_in(&mut world, config, &profile);
+                    let margin = report
+                        .parties
+                        .iter()
+                        .filter(|(party, _)| **party != deviator)
+                        .map(|(_, outcome)| {
+                            let compensation = if outcome.escrowed_unredeemed > 0 {
+                                config.base_premium.value() as i128
+                            } else {
+                                0
+                            };
+                            outcome.premium_payoff - compensation
+                        })
+                        .min()
+                        .unwrap_or(0);
+                    (party_total(&report.payoffs, deviator), margin)
+                };
+                let outcome = best_response(
+                    Strategy::compliant(),
+                    seed,
+                    budget,
+                    |strategy| {
+                        let (payoff, margin) = evaluate(strategy);
+                        payoff * SPITE_SCALE - margin
+                    },
+                    |strategy, rng| {
+                        mutate_strategy(*strategy, rng, deal::SCRIPT_STEPS, config.delta_blocks)
+                    },
+                );
+                let (deviator_payoff, compliant_margin) = evaluate(&outcome.best);
+                Some(RationalClimb {
+                    family: self.family(),
+                    deviator,
+                    best_strategy: outcome.best,
+                    deviator_payoff,
+                    compliant_margin,
+                    evaluations: outcome.evaluations,
+                    improvements: outcome.improvements,
+                })
+            }
+            SampledTarget::Auction { .. } => None,
+        }
+    }
+
+    /// The size of the documented sampling space, as a float (these spaces
+    /// overflow `usize` on long scripts): per party,
+    /// `stops × timings × faults` with `(Δ+1)^steps + 1` timing profiles
+    /// and `1 + 18·steps` fault profiles (garbage, fixed crash and 16
+    /// outage lengths per step), combined over every deviator subset within
+    /// the family's budget. Conforming-only families document the timing
+    /// axis alone.
+    pub fn sampled_space(&self) -> f64 {
+        match &self.target {
+            SampledTarget::TwoParty { config, protocol, conforming_only } => {
+                let per = per_party_domain(
+                    script_steps(*protocol),
+                    config.delta_blocks,
+                    *conforming_only,
+                );
+                profile_space(2, per, if *conforming_only { 1 } else { 2 })
+            }
+            SampledTarget::Deal { config, .. } => {
+                let per = per_party_domain(deal::SCRIPT_STEPS, config.delta_blocks, false);
+                profile_space(config.parties().len(), per, 2)
+            }
+            SampledTarget::Auction { config } => {
+                let per = per_party_domain(auction::SCRIPT_STEPS, config.delta_blocks, false);
+                BEHAVIOURS.len() as f64 * profile_space(1 + config.bidders().len(), per, 1)
+            }
+        }
+    }
+
+    /// `samples / sampled_space()`: the fraction of the documented space
+    /// this family's draws cover (draws are independent, i.e. with
+    /// replacement, so this is an upper bound on distinct coverage).
+    pub fn coverage(&self) -> f64 {
+        self.samples as f64 / self.sampled_space()
+    }
+
+    /// Runs `scenario` through the shared-prefix entry points (or the
+    /// brute-force oracle in replay mode) and judges the report with the
+    /// enumerated tier's judges.
+    fn judge_in(
+        &self,
+        scenario: &SampledScenario,
+        label: &dyn Fn() -> String,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
+        match (&self.target, scenario) {
+            (
+                SampledTarget::TwoParty { config, protocol, .. },
+                SampledScenario::TwoParty { alice, bob },
+            ) => {
+                let (alice, bob) = (*alice, *bob);
+                let report = oracle_or(
+                    self.replay,
+                    (scratch, cache),
+                    |(scratch, _)| match protocol {
+                        SwapProtocol::Hedged => run_hedged_swap_in(scratch, config, alice, bob),
+                        SwapProtocol::Base => run_base_swap_in(scratch, config, alice, bob),
+                    },
+                    |(scratch, cache)| {
+                        run_swap_shared(
+                            scratch,
+                            config,
+                            *protocol,
+                            alice,
+                            bob,
+                            cache.get_or_default(),
+                        )
+                    },
+                );
+                judge_two_party(&report, alice, bob, label)
+            }
+            (SampledTarget::Deal { config, .. }, SampledScenario::Deal { profile }) => {
+                let report = oracle_or(
+                    self.replay,
+                    (scratch, cache),
+                    |(scratch, _)| run_deal_in(scratch, config, profile),
+                    |(scratch, cache)| {
+                        run_deal_shared(scratch, config, profile, cache.get_or_default())
+                    },
+                );
+                judge_deal(&report, profile, label)
+            }
+            (
+                SampledTarget::Auction { config },
+                SampledScenario::Auction { behaviour, profile },
+            ) => {
+                let config = AuctionConfig { auctioneer: BEHAVIOURS[*behaviour], ..config.clone() };
+                let deviator = profile.keys().next().copied();
+                let report = oracle_or(
+                    self.replay,
+                    (scratch, cache),
+                    |(scratch, _)| run_auction_in(scratch, &config, profile),
+                    |(scratch, cache)| {
+                        let slots = cache.get_or_default::<AuctionPrefixSlots>();
+                        run_auction_shared(
+                            scratch,
+                            &config,
+                            profile,
+                            slots.entry(*behaviour).or_default(),
+                        )
+                    },
+                );
+                judge_auction(&report, deviator, label)
+            }
+            _ => unreachable!("scenario kind always matches its originating target"),
+        }
+    }
+}
+
+impl ScenarioGen for SampledSweep {
+    fn family(&self) -> String {
+        match &self.target {
+            SampledTarget::TwoParty { protocol, conforming_only, .. } => {
+                let kind = match protocol {
+                    SwapProtocol::Hedged => "hedged",
+                    SwapProtocol::Base => "base",
+                };
+                if *conforming_only {
+                    format!("sampled {kind} two-party swap (conforming timings)")
+                } else {
+                    format!("sampled {kind} two-party swap")
+                }
+            }
+            SampledTarget::Deal { name, .. } => format!("sampled {name}"),
+            SampledTarget::Auction { .. } => "sampled auction".into(),
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.samples
+    }
+
+    fn check(
+        &self,
+        index: usize,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
+        let scenario = self.scenario_at(index);
+        // The label carries the reproduction key: re-deriving this exact
+        // scenario needs only the family constructor, the seed and the
+        // sample index (see `scenario_at`).
+        let label = || {
+            format!(
+                "{} [seed={:#x}, sample={index}], {}",
+                self.family(),
+                self.seed,
+                scenario.describe()
+            )
+        };
+        self.judge_in(&scenario, &label, scratch, cache)
+    }
+}
+
+/// The fixed deviator-payoff weight in climb scores: payoffs dominate, the
+/// compliant side's margin only breaks ties (a rational adversary prefers
+/// the spiteful deviation among equally profitable ones — which is what
+/// surfaces the base protocol's free sore-loser attack).
+const SPITE_SCALE: i128 = 1_000_000;
+
+/// The best rational deviation a [`SampledSweep::climb`] found.
+#[derive(Clone, Debug)]
+pub struct RationalClimb {
+    /// The family climbed.
+    pub family: String,
+    /// The deviating party the climb optimized for.
+    pub deviator: PartyId,
+    /// The payoff-maximizing strategy found.
+    pub best_strategy: Strategy,
+    /// The deviator's total payoff under `best_strategy` (over all assets).
+    pub deviator_payoff: i128,
+    /// The worst compliant-party hedge margin under `best_strategy`:
+    /// premium payoff minus owed compensation (and shortfall against the
+    /// expected counter-asset, for completed swaps). Non-negative means the
+    /// hedged guarantee held against the best deviation the rational search
+    /// found; the base protocol goes negative.
+    pub compliant_margin: i128,
+    /// Score evaluations performed.
+    pub evaluations: usize,
+    /// Strict improvements accepted.
+    pub improvements: usize,
+}
+
+/// One climb proposal: mutate a single axis of the incumbent — stop
+/// budget, one delay-vector entry (Procrastinate first concretizes to the
+/// maxed vector), the fault profile, or a timing-endpoint reset.
+fn mutate_strategy(
+    current: Strategy,
+    rng: &mut StdRng,
+    steps: usize,
+    delta_blocks: u64,
+) -> Strategy {
+    let mut next = current;
+    match rng.gen_range(0..4u32) {
+        0 => {
+            next.stop_after = if rng.gen_bool(0.5) { None } else { Some(rng.gen_range(0..steps)) };
+        }
+        1 => {
+            let mut vector = match next.timing {
+                Timing::Delay(vector) => vector,
+                Timing::Eager => DelayVector::ZERO,
+                Timing::Procrastinate => DelayVector([u8::MAX; MAX_DELAY_STEPS]),
+            };
+            let step = rng.gen_range(0..steps.min(MAX_DELAY_STEPS));
+            vector.set(step, rng.gen_range(0..delta_blocks + 2).min(u8::MAX as u64) as u8);
+            next.timing = if vector.is_zero() { Timing::Eager } else { Timing::Delay(vector) };
+        }
+        2 => {
+            next.fault = match rng.gen_range(0..4u32) {
+                0 => Fault::None,
+                1 => Fault::Garbage { step: rng.gen_range(0..steps) },
+                2 => Fault::Crash { step: rng.gen_range(0..steps) },
+                _ => Fault::Outage {
+                    step: rng.gen_range(0..steps),
+                    quarters: rng.gen_range(1..17u8),
+                },
+            };
+        }
+        _ => {
+            next.timing = if rng.gen_bool(0.5) { Timing::Eager } else { Timing::Procrastinate };
+        }
+    }
+    next
+}
+
+/// A party's total payoff over every asset in the run.
+fn party_total(payoffs: &Payoffs, party: PartyId) -> i128 {
+    payoffs.iter().filter(|(p, _, _)| *p == party).map(|(_, _, payoff)| payoff.value()).sum()
+}
+
+/// The hedge margin of one compliant two-party participant: how far above
+/// (or below, negative) the hedged predicate's threshold the run left
+/// them. Mirrors `hedged_check` branch for branch.
+fn two_party_margin(report: &TwoPartyReport, config: &TwoPartyConfig, party: PartyId) -> i128 {
+    let (lockup, counter_gain, expected, premium, compensation) = if party == ALICE {
+        (
+            report.alice_lockup,
+            report.alice_banana_payoff,
+            config.bob_tokens,
+            report.alice_premium_payoff,
+            config.premium_b,
+        )
+    } else {
+        (
+            report.bob_lockup,
+            report.bob_apricot_payoff,
+            config.alice_tokens,
+            report.bob_premium_payoff,
+            config.premium_a,
+        )
+    };
+    if lockup.redeemed {
+        (counter_gain - expected.value() as i128).min(premium)
+    } else if lockup.principal_blocks > 0 {
+        premium - compensation.value() as i128
+    } else {
+        premium
+    }
+}
+
+fn script_steps(protocol: SwapProtocol) -> usize {
+    match protocol {
+        SwapProtocol::Hedged => two_party::SCRIPT_STEPS,
+        SwapProtocol::Base => two_party::BASE_SCRIPT_STEPS,
+    }
+}
+
+/// Per-party sampled domain size; see [`SampledSweep::sampled_space`].
+fn per_party_domain(steps: usize, delta_blocks: u64, conforming_only: bool) -> f64 {
+    let timings = ((delta_blocks + 1) as f64).powi(steps as i32) + 1.0;
+    if conforming_only {
+        return timings;
+    }
+    let stops = (1 + steps) as f64;
+    let faults = 1.0 + 18.0 * steps as f64;
+    stops * timings * faults
+}
+
+/// Profiles with at most `max_deviators` of `n` parties playing one of the
+/// `per_party - 1` non-compliant strategies — the same closed form as
+/// [`crate::scenarios::bounded_profile_count`], in floats.
+fn profile_space(n: usize, per_party: f64, max_deviators: usize) -> f64 {
+    (0..=max_deviators.min(n)).map(|j| binomial_f64(n, j) * (per_party - 1.0).powi(j as i32)).sum()
+}
+
+fn binomial_f64(n: usize, k: usize) -> f64 {
+    (0..k).map(|i| (n - i) as f64 / (i + 1) as f64).product()
+}
+
+/// The deviators-only profile view of a scenario (compliant defaults are
+/// absent), the representation the shrinker minimizes.
+fn scenario_profile(scenario: &SampledScenario) -> BTreeMap<PartyId, Strategy> {
+    match scenario {
+        SampledScenario::TwoParty { alice, bob } => [(ALICE, *alice), (BOB, *bob)]
+            .into_iter()
+            .filter(|(_, strategy)| *strategy != Strategy::compliant())
+            .collect(),
+        SampledScenario::Deal { profile } | SampledScenario::Auction { profile, .. } => {
+            profile.clone()
+        }
+    }
+}
+
+/// Rebuilds a scenario of `original`'s kind from a (possibly shrunken)
+/// profile; non-profile structure (the auction behaviour) is preserved.
+fn rebuild_scenario(
+    original: &SampledScenario,
+    profile: &BTreeMap<PartyId, Strategy>,
+) -> SampledScenario {
+    match original {
+        SampledScenario::TwoParty { .. } => SampledScenario::TwoParty {
+            alice: profile.get(&ALICE).copied().unwrap_or(Strategy::compliant()),
+            bob: profile.get(&BOB).copied().unwrap_or(Strategy::compliant()),
+        },
+        SampledScenario::Deal { .. } => SampledScenario::Deal { profile: profile.clone() },
+        SampledScenario::Auction { behaviour, .. } => {
+            SampledScenario::Auction { behaviour: *behaviour, profile: profile.clone() }
+        }
+    }
+}
+
+/// Greedily minimizes a violating profile under a caller-supplied
+/// still-violates predicate. Every accepted step strictly shrinks the
+/// profile (fewer deviators) or strictly decreases a per-strategy weight
+/// (cleared fault, shorter outage, lifted stop, smaller delay entries), so
+/// the loop terminates at a locally minimal profile: removing any deviator
+/// or applying any single simplification no longer violates.
+pub fn shrink_profile(
+    original: &BTreeMap<PartyId, Strategy>,
+    mut violates: impl FnMut(&BTreeMap<PartyId, Strategy>) -> bool,
+) -> BTreeMap<PartyId, Strategy> {
+    let mut current = original.clone();
+    loop {
+        let mut improved = false;
+        for party in current.keys().copied().collect::<Vec<_>>() {
+            let mut dropped = current.clone();
+            dropped.remove(&party);
+            if violates(&dropped) {
+                current = dropped;
+                improved = true;
+                continue;
+            }
+            // Fixpoint the per-party simplifications before moving on.
+            let mut simplified = true;
+            while simplified {
+                simplified = false;
+                for simpler in simplifications(current[&party]) {
+                    let mut candidate = current.clone();
+                    candidate.insert(party, simpler);
+                    if violates(&candidate) {
+                        current = candidate;
+                        simplified = true;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Strictly simpler variants of one strategy, most aggressive first. Each
+/// candidate has strictly lower weight (stop budget presence + fault
+/// severity + total requested delay), which is what makes
+/// [`shrink_profile`] terminate; candidates equal to the canonical
+/// compliant strategy are excluded (dropping the deviator covers them).
+fn simplifications(strategy: Strategy) -> Vec<Strategy> {
+    let mut out = Vec::new();
+    match strategy.fault {
+        Fault::None => {}
+        Fault::Outage { step, quarters } => {
+            out.push(Strategy { fault: Fault::None, ..strategy });
+            if quarters > 1 {
+                out.push(Strategy {
+                    fault: Fault::Outage { step, quarters: quarters / 2 },
+                    ..strategy
+                });
+                out.push(Strategy {
+                    fault: Fault::Outage { step, quarters: quarters - 1 },
+                    ..strategy
+                });
+            }
+        }
+        _ => out.push(Strategy { fault: Fault::None, ..strategy }),
+    }
+    if strategy.stop_after.is_some() {
+        out.push(Strategy { stop_after: None, ..strategy });
+    }
+    match strategy.timing {
+        Timing::Eager => {}
+        Timing::Procrastinate => {
+            out.push(Strategy { timing: Timing::Eager, ..strategy });
+            // Concretizing to the maxed delay vector lets the per-entry
+            // simplifications below then locate the one step whose delay
+            // actually matters.
+            out.push(Strategy {
+                timing: Timing::Delay(DelayVector([u8::MAX; MAX_DELAY_STEPS])),
+                ..strategy
+            });
+        }
+        Timing::Delay(vector) => {
+            out.push(Strategy { timing: Timing::Eager, ..strategy });
+            for step in 0..MAX_DELAY_STEPS {
+                let entry = vector.0[step];
+                if entry == 0 {
+                    continue;
+                }
+                let mut zeroed = vector;
+                zeroed.set(step, 0);
+                let timing = if zeroed.is_zero() { Timing::Eager } else { Timing::Delay(zeroed) };
+                out.push(Strategy { timing, ..strategy });
+                if entry > 1 {
+                    let mut halved = vector;
+                    halved.set(step, entry / 2);
+                    out.push(Strategy { timing: Timing::Delay(halved), ..strategy });
+                    let mut decremented = vector;
+                    decremented.set(step, entry - 1);
+                    out.push(Strategy { timing: Timing::Delay(decremented), ..strategy });
+                }
+            }
+        }
+    }
+    out.retain(|candidate| *candidate != strategy && *candidate != Strategy::compliant());
+    out
+}
+
+/// A violating sample minimized by [`SampledSweep::shrink`]: the
+/// reproduction key, both profiles, the minimal profile's verdicts and a
+/// rendered regression test.
+#[derive(Clone, Debug)]
+pub struct ShrunkViolation {
+    /// The family the sample came from.
+    pub family: String,
+    /// The family seed — half of the reproduction key.
+    pub family_seed: u64,
+    /// The sample index — the other half.
+    pub sample_index: usize,
+    /// The scenario as originally drawn.
+    pub original: SampledScenario,
+    /// The locally minimal still-violating scenario.
+    pub minimal: SampledScenario,
+    /// The minimal scenario's violations (non-empty by construction).
+    pub violations: Vec<Violation>,
+}
+
+impl ShrunkViolation {
+    /// Renders the minimal profile as a copy-pasteable `#[test]` function.
+    /// `family_expr` is the constructor expression for the family the test
+    /// should re-judge the scenario in, e.g.
+    /// `SampledSweep::base_two_party(TwoPartyConfig::default(), 0x5EED, 1)`.
+    pub fn regression_test(&self, family_expr: &str) -> String {
+        let property = self.violations.first().map(|v| v.property).unwrap_or("hedged");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "/// Minimal still-violating profile shrunk from sample #{} of seed {:#x}\n\
+             /// of the family `{}`.\n\
+             #[test]\n\
+             fn sampled_regression_seed_{:x}_sample_{}() {{\n\
+             \x20   use chainsim::PartyId;\n\
+             \x20   use modelcheck::sampled::{{SampledScenario, SampledSweep}};\n\
+             \x20   use protocols::script::{{DelayVector, Fault, Strategy, Timing}};\n\
+             \n\
+             \x20   let family = {};\n\
+             \x20   let scenario = {};\n\
+             \x20   let violations = family.check_scenario(&scenario);\n\
+             \x20   assert!(\n\
+             \x20       violations.iter().any(|violation| violation.property == \"{}\"),\n\
+             \x20       \"shrunken sample must still violate {}: {{violations:?}}\"\n\
+             \x20   );\n\
+             }}",
+            self.sample_index,
+            self.family_seed,
+            self.family,
+            self.family_seed,
+            self.sample_index,
+            family_expr,
+            scenario_expr(&self.minimal),
+            property,
+            property,
+        );
+        out
+    }
+}
+
+/// Renders a scenario as a Rust expression for generated regression tests.
+fn scenario_expr(scenario: &SampledScenario) -> String {
+    match scenario {
+        SampledScenario::TwoParty { alice, bob } => format!(
+            "SampledScenario::TwoParty {{ alice: {}, bob: {} }}",
+            strategy_expr(alice),
+            strategy_expr(bob)
+        ),
+        SampledScenario::Deal { profile } => {
+            format!("SampledScenario::Deal {{ profile: {} }}", profile_expr(profile))
+        }
+        SampledScenario::Auction { behaviour, profile } => format!(
+            "SampledScenario::Auction {{ behaviour: {behaviour}, profile: {} }}",
+            profile_expr(profile)
+        ),
+    }
+}
+
+fn profile_expr(profile: &BTreeMap<PartyId, Strategy>) -> String {
+    if profile.is_empty() {
+        return "std::collections::BTreeMap::new()".into();
+    }
+    let entries: Vec<String> = profile
+        .iter()
+        .map(|(party, strategy)| format!("(PartyId({}), {})", party.0, strategy_expr(strategy)))
+        .collect();
+    format!("[{}].into_iter().collect()", entries.join(", "))
+}
+
+/// Renders a strategy as a Rust literal.
+fn strategy_expr(strategy: &Strategy) -> String {
+    let stop = match strategy.stop_after {
+        None => "None".to_string(),
+        Some(n) => format!("Some({n})"),
+    };
+    let timing = match strategy.timing {
+        Timing::Eager => "Timing::Eager".to_string(),
+        Timing::Procrastinate => "Timing::Procrastinate".to_string(),
+        Timing::Delay(vector) => format!("Timing::Delay(DelayVector({:?}))", vector.0),
+    };
+    let fault = match strategy.fault {
+        Fault::None => "Fault::None".to_string(),
+        Fault::Garbage { step } => format!("Fault::Garbage {{ step: {step} }}"),
+        Fault::Crash { step } => format!("Fault::Crash {{ step: {step} }}"),
+        Fault::Outage { step, quarters } => {
+            format!("Fault::Outage {{ step: {step}, quarters: {quarters} }}")
+        }
+    };
+    format!("Strategy {{ stop_after: {stop}, timing: {timing}, fault: {fault} }}")
+}
+
+// ---------------------------------------------------------------------------
+// Sampled bootstrap cascades.
+// ---------------------------------------------------------------------------
+
+/// The sampled bootstrap-cascade family: each sample draws one
+/// [`BootstrapDeviation`] (party × level × kind, or none with probability
+/// ⅛) from the seed-pinned RNG. The deviation space here is small and
+/// atomic — there is nothing to shrink — but sampling it keeps the whole
+/// sampled tier's determinism and reproduction story uniform across every
+/// protocol family.
+#[derive(Clone, Copy, Debug)]
+pub struct SampledBootstrap {
+    a: u128,
+    b: u128,
+    ratio: u128,
+    rounds: u32,
+    seed: u64,
+    samples: usize,
+    replay: bool,
+}
+
+impl SampledBootstrap {
+    /// Samples the cascade of `a` against `b` at premium ratio `ratio`
+    /// with `rounds` premium rounds.
+    pub fn new(a: u128, b: u128, ratio: u128, rounds: u32, seed: u64, samples: usize) -> Self {
+        SampledBootstrap { a, b, ratio, rounds, seed, samples, replay: false }
+    }
+
+    /// Switches this family to the brute-force path; see
+    /// [`SampledSweep::replay_oracle`].
+    #[cfg(feature = "replay-oracle")]
+    pub fn replay_oracle(mut self) -> Self {
+        self.replay = true;
+        self
+    }
+
+    /// Re-derives sample `index`'s deviation from the family seed.
+    pub fn deviation_at(&self, index: usize) -> BootstrapDeviation {
+        let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, index));
+        if rng.gen_range(0..8u32) == 0 {
+            return BootstrapDeviation::None;
+        }
+        let party = PartyId(rng.gen_range(0..2u32));
+        let level = rng.gen_range(0..self.rounds + 1);
+        match rng.gen_range(0..3u32) {
+            0 => BootstrapDeviation::StopAtLevel { party, level },
+            1 => BootstrapDeviation::LateAtLevel { party, level },
+            _ => BootstrapDeviation::WrongSecretAtLevel { party, level },
+        }
+    }
+
+    /// The enumerable deviation space the samples draw from.
+    pub fn sampled_space(&self) -> f64 {
+        1.0 + 6.0 * (self.rounds as f64 + 1.0)
+    }
+}
+
+impl ScenarioGen for SampledBootstrap {
+    fn family(&self) -> String {
+        format!(
+            "sampled bootstrap a={}, b={}, ratio={}, rounds={}",
+            self.a, self.b, self.ratio, self.rounds
+        )
+    }
+
+    fn total(&self) -> usize {
+        self.samples
+    }
+
+    fn check(
+        &self,
+        index: usize,
+        scratch: &mut World,
+        cache: &mut FamilyScratch,
+    ) -> Vec<Violation> {
+        let deviation = self.deviation_at(index);
+        let deviator = deviation.party();
+        let report = oracle_or(
+            self.replay,
+            (scratch, cache),
+            |(scratch, _)| {
+                run_bootstrap_in(scratch, self.a, self.b, self.ratio, self.rounds, deviation)
+            },
+            |(scratch, cache)| {
+                run_bootstrap_shared(
+                    scratch,
+                    self.a,
+                    self.b,
+                    self.ratio,
+                    self.rounds,
+                    deviation,
+                    cache.get_or_default(),
+                )
+            },
+        );
+        let label = || {
+            format!(
+                "{} [seed={:#x}, sample={index}], deviation {deviation:?}",
+                self.family(),
+                self.seed
+            )
+        };
+        judge_bootstrap(&report, deviator, &label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ParallelSweep;
+
+    #[test]
+    fn sample_seeds_are_index_sensitive() {
+        let a = sample_seed(42, 0);
+        let b = sample_seed(42, 1);
+        let c = sample_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And pure: the same inputs always produce the same seed.
+        assert_eq!(a, sample_seed(42, 0));
+    }
+
+    #[test]
+    fn scenarios_rederive_bit_identically() {
+        let family = SampledSweep::hedged_two_party(TwoPartyConfig::default(), 0x5EED, 64);
+        for index in 0..family.samples() {
+            assert_eq!(family.scenario_at(index), family.scenario_at(index));
+        }
+        // Different seeds draw different scenario sequences.
+        let other = SampledSweep::hedged_two_party(TwoPartyConfig::default(), 0x5EED + 1, 64);
+        assert!((0..64).any(|i| family.scenario_at(i) != other.scenario_at(i)));
+    }
+
+    #[test]
+    fn sampled_strategies_respect_their_axes() {
+        let conforming = SampledSweep::base_two_party(TwoPartyConfig::default(), 7, 128);
+        for index in 0..128 {
+            let SampledScenario::TwoParty { alice, bob } = conforming.scenario_at(index) else {
+                panic!("two-party target must draw two-party scenarios");
+            };
+            for strategy in [alice, bob] {
+                assert!(strategy.is_compliant(), "conforming-only family drew {strategy}");
+            }
+        }
+        let full = SampledSweep::hedged_two_party(TwoPartyConfig::default(), 7, 128);
+        for index in 0..128 {
+            let SampledScenario::TwoParty { alice, bob } = full.scenario_at(index) else {
+                panic!("two-party target must draw two-party scenarios");
+            };
+            for strategy in [alice, bob] {
+                if let Fault::Outage { quarters, .. } = strategy.fault {
+                    assert!((1..=16).contains(&quarters));
+                }
+                if let Some(stop) = strategy.stop_after {
+                    assert!(stop < two_party::SCRIPT_STEPS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auction_samples_bound_deviators_and_behaviours() {
+        let family = SampledSweep::auction(AuctionConfig::default(), 11, 96);
+        for index in 0..96 {
+            let SampledScenario::Auction { behaviour, profile } = family.scenario_at(index) else {
+                panic!("auction target must draw auction scenarios");
+            };
+            assert!(behaviour < BEHAVIOURS.len());
+            assert!(profile.len() <= 1, "auction sampling is single-deviator");
+        }
+    }
+
+    #[test]
+    fn sampled_space_accounting_matches_closed_forms() {
+        // Conforming-only base swap: timing axis only, (Δ+1)^3 + 1 = 28
+        // per party; a single laggard of 2 parties over 27 non-compliant
+        // choices: 1 + 2·27 = 55.
+        let base = SampledSweep::base_two_party(TwoPartyConfig::default(), 1, 100);
+        assert_eq!(base.sampled_space(), 55.0);
+        assert!((base.coverage() - 100.0 / 55.0).abs() < 1e-12);
+        // Full-axis hedged swap: 5 stops × ((Δ+1)^4 + 1) timings ×
+        // (1 + 18·4) faults per party.
+        let hedged = SampledSweep::hedged_two_party(TwoPartyConfig::default(), 1, 100);
+        let per = 5.0 * 82.0 * 73.0;
+        assert_eq!(hedged.sampled_space(), 1.0 + 2.0 * (per - 1.0) + (per - 1.0) * (per - 1.0));
+        // Bootstrap: the enumerable closed form.
+        let bootstrap = SampledBootstrap::new(1_000, 1_000, 10, 2, 1, 50);
+        assert_eq!(bootstrap.sampled_space(), 19.0);
+    }
+
+    #[test]
+    fn shrinker_minimizes_and_preserves_the_verdict() {
+        // Synthetic predicate: violates iff party 0 delays step 1 by ≥ 1
+        // block (everything else is noise the shrinker must strip).
+        let violates = |profile: &BTreeMap<PartyId, Strategy>| {
+            profile.get(&PartyId(0)).is_some_and(|s| match s.timing {
+                Timing::Delay(v) => v.get(1) >= 1,
+                Timing::Procrastinate => true,
+                Timing::Eager => false,
+            })
+        };
+        let noisy: BTreeMap<PartyId, Strategy> = [
+            (
+                PartyId(0),
+                Strategy {
+                    stop_after: Some(3),
+                    timing: Timing::Delay(DelayVector::from_slice(&[2, 7, 1, 3])),
+                    fault: Fault::Outage { step: 2, quarters: 12 },
+                },
+            ),
+            (PartyId(1), Strategy::stop_after(0)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(violates(&noisy));
+        let minimal = shrink_profile(&noisy, violates);
+        assert_eq!(minimal.len(), 1, "the second deviator is noise: {minimal:?}");
+        let shrunk = minimal[&PartyId(0)];
+        assert_eq!(shrunk.stop_after, None);
+        assert_eq!(shrunk.fault, Fault::None);
+        assert_eq!(
+            shrunk.timing,
+            Timing::Delay(DelayVector::from_slice(&[0, 1])),
+            "only the load-bearing delay entry survives, at its minimum"
+        );
+        // Local minimality: every further simplification stops violating.
+        for simpler in simplifications(shrunk) {
+            let candidate: BTreeMap<PartyId, Strategy> =
+                [(PartyId(0), simpler)].into_iter().collect();
+            assert!(!violates(&candidate), "{simpler:?} still violates");
+        }
+    }
+
+    #[test]
+    fn simplifications_strictly_reduce_weight() {
+        fn weight(s: &Strategy) -> u64 {
+            let stop = s.stop_after.map_or(0, |n| n as u64 + 1);
+            let fault = match s.fault {
+                Fault::None => 0,
+                Fault::Garbage { .. } | Fault::Crash { .. } => 32,
+                Fault::Outage { quarters, .. } => 16 + quarters as u64,
+            };
+            let timing = match s.timing {
+                Timing::Eager => 0,
+                Timing::Procrastinate => 8 * 255 + 1,
+                Timing::Delay(v) => v.0.iter().map(|&e| e as u64).sum(),
+            };
+            stop + fault + timing
+        }
+        let samples = [
+            Strategy::compliant().late(),
+            Strategy::stop_after(2).with_fault(Fault::Outage { step: 1, quarters: 16 }),
+            Strategy::compliant().with_delays(DelayVector::from_slice(&[0, 255, 3])),
+            Strategy::stop_after(0),
+        ];
+        for strategy in samples {
+            for simpler in simplifications(strategy) {
+                assert!(
+                    weight(&simpler) < weight(&strategy),
+                    "{simpler:?} does not reduce {strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regression_rendering_is_copy_pasteable() {
+        let shrunk = ShrunkViolation {
+            family: "sampled base two-party swap (conforming timings)".into(),
+            family_seed: 0x5EED,
+            sample_index: 7,
+            original: SampledScenario::TwoParty {
+                alice: Strategy::compliant().late(),
+                bob: Strategy::compliant(),
+            },
+            minimal: SampledScenario::TwoParty {
+                alice: Strategy::compliant().with_delays(DelayVector::from_slice(&[0, 1])),
+                bob: Strategy::compliant(),
+            },
+            violations: vec![Violation { scenario: "test".into(), party: BOB, property: "hedged" }],
+        };
+        let rendered = shrunk
+            .regression_test("SampledSweep::base_two_party(TwoPartyConfig::default(), 0x5EED, 1)");
+        assert!(rendered.contains("fn sampled_regression_seed_5eed_sample_7()"));
+        assert!(rendered.contains("Timing::Delay(DelayVector([0, 1, 0, 0, 0, 0, 0, 0]))"));
+        assert!(rendered.contains("violation.property == \"hedged\""));
+        assert!(rendered.contains("family.check_scenario(&scenario)"));
+    }
+
+    #[test]
+    fn sampled_sweep_runs_deterministically_on_the_engine() {
+        let family = SampledSweep::hedged_two_party(TwoPartyConfig::default(), 0xFACE, 200);
+        let serial = ParallelSweep::new(1).run(&family);
+        let parallel = ParallelSweep::new(4).run(&family);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.runs, 200);
+        assert!(serial.holds(), "{:?}", serial.violations);
+    }
+
+    #[test]
+    fn sampled_bootstrap_draws_legal_deviations() {
+        let family = SampledBootstrap::new(5_000, 20_000, 10, 3, 21, 64);
+        for index in 0..64 {
+            match family.deviation_at(index) {
+                BootstrapDeviation::None => {}
+                BootstrapDeviation::StopAtLevel { party, level }
+                | BootstrapDeviation::LateAtLevel { party, level }
+                | BootstrapDeviation::WrongSecretAtLevel { party, level } => {
+                    assert!(party.0 < 2);
+                    assert!(level <= 3);
+                }
+            }
+            assert_eq!(family.deviation_at(index), family.deviation_at(index));
+        }
+        let summary = ParallelSweep::new(2).run(&family);
+        assert_eq!(summary.runs, 64);
+        assert!(summary.holds(), "{:?}", summary.violations);
+    }
+}

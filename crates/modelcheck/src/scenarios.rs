@@ -12,9 +12,11 @@ use chainsim::{PartyId, World};
 use protocols::auction::{run_auction_shared, AuctionConfig, AuctionPrefix, AuctioneerBehaviour};
 use protocols::bootstrap::{run_bootstrap_shared, BootstrapDeviation};
 use protocols::broker::{broker_deal_config, BrokerConfig};
-use protocols::deal::{self, run_deal_shared, DealConfig};
+use protocols::deal::{self, run_deal_shared, DealConfig, DealReport};
 use protocols::script::Strategy;
-use protocols::two_party::{self, run_swap_shared, SwapProtocol, TwoPartyConfig, TwoPartyPrefix};
+use protocols::two_party::{
+    self, run_swap_shared, SwapProtocol, TwoPartyConfig, TwoPartyPrefix, TwoPartyReport,
+};
 use swapgraph::{Automorphism, Digraph};
 
 use crate::engine::{FamilyScratch, ScenarioGen};
@@ -31,7 +33,7 @@ use protocols::two_party::{run_base_swap_in, run_hedged_swap_in};
 /// dead (families cannot be switched to replay mode) and the shared path
 /// always runs; the `cfg` lives here once instead of in every family.
 #[cfg(feature = "replay-oracle")]
-fn oracle_or<C, R>(
+pub(crate) fn oracle_or<C, R>(
     replay: bool,
     context: C,
     oracle: impl FnOnce(C) -> R,
@@ -45,7 +47,7 @@ fn oracle_or<C, R>(
 }
 
 #[cfg(not(feature = "replay-oracle"))]
-fn oracle_or<C, R>(
+pub(crate) fn oracle_or<C, R>(
     _replay: bool,
     context: C,
     _oracle: impl FnOnce(C) -> R,
@@ -143,33 +145,44 @@ impl ScenarioGen for TwoPartySweep {
         // Scenario labels are only rendered for violating runs, so the
         // (overwhelmingly common) clean scenario allocates nothing here.
         let scenario = || format!("{}, alice={alice}, bob={bob}", self.family());
-        let mut violations = Vec::new();
-        if alice.is_compliant() && !report.hedged_for_alice {
-            violations.push(Violation {
-                scenario: scenario(),
-                party: two_party::ALICE,
-                property: "hedged",
-            });
-        }
-        if bob.is_compliant() && !report.hedged_for_bob {
-            violations.push(Violation {
-                scenario: scenario(),
-                party: two_party::BOB,
-                property: "hedged",
-            });
-        }
-        // Conservation of party balances is only meaningful when at least
-        // one compliant party remains to settle the contracts; with every
-        // party absent, value legitimately stays escrowed.
-        if (alice.is_compliant() || bob.is_compliant()) && !report.payoffs.conserved() {
-            violations.push(Violation {
-                scenario: scenario(),
-                party: WHOLE_RUN,
-                property: "conservation",
-            });
-        }
-        violations
+        judge_two_party(&report, alice, bob, &scenario)
     }
+}
+
+/// Judges one two-party report: the hedged predicate per compliant party,
+/// plus conservation whenever at least one compliant party remains to
+/// settle the contracts (with every party absent, value legitimately stays
+/// escrowed). Shared verbatim between the enumerated sweep and the sampled
+/// tier so both judge with identical predicates.
+pub(crate) fn judge_two_party(
+    report: &TwoPartyReport,
+    alice: Strategy,
+    bob: Strategy,
+    scenario: &dyn Fn() -> String,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if alice.is_compliant() && !report.hedged_for_alice {
+        violations.push(Violation {
+            scenario: scenario(),
+            party: two_party::ALICE,
+            property: "hedged",
+        });
+    }
+    if bob.is_compliant() && !report.hedged_for_bob {
+        violations.push(Violation {
+            scenario: scenario(),
+            party: two_party::BOB,
+            property: "hedged",
+        });
+    }
+    if (alice.is_compliant() || bob.is_compliant()) && !report.payoffs.conserved() {
+        violations.push(Violation {
+            scenario: scenario(),
+            party: WHOLE_RUN,
+            property: "conservation",
+        });
+    }
+    violations
 }
 
 // ---------------------------------------------------------------------------
@@ -615,68 +628,71 @@ impl ScenarioGen for DealSweep {
         );
         // Rendered only for violating runs; clean scenarios allocate nothing.
         let scenario = || format!("{} with profile {profile:?}", self.name);
-        let mut violations = Vec::new();
-        for (party, outcome) in &report.parties {
-            let compliant =
-                profile.get(party).copied().unwrap_or(Strategy::compliant()).is_compliant();
-            if compliant && !outcome.hedged {
-                violations.push(Violation {
-                    scenario: scenario(),
-                    party: *party,
-                    property: "hedged",
-                });
-            }
-            if compliant && !outcome.safety {
-                violations.push(Violation {
-                    scenario: scenario(),
-                    party: *party,
-                    property: "safety",
-                });
-            }
-            // A compliant party's settle step frees every incident arc
-            // after the final deadline, so none of its principals may end
-            // the run stuck in escrow — under any number of deviators.
-            if compliant && outcome.escrowed_stuck > 0 {
-                violations.push(Violation {
-                    scenario: scenario(),
-                    party: *party,
-                    property: "stranded-principal",
-                });
-            }
-        }
-        // Funds conservation (payoffs sum to zero) holds whenever at most
-        // one party deviates. Several simultaneous walk-aways can strand
-        // their own deposits inside escrows nobody settles — a loss to the
-        // deviators, not a soundness bug — so for those profiles the check
-        // weakens to "no value is ever minted" per asset (the stranded
-        // value is pinned to the deviators by the stranded-principal check
-        // above plus each compliant party's hedged premium bound).
-        // Conforming-but-lazy parties settle everything they can reach, so
-        // they do not count against the strict-conservation budget.
-        let deviators = profile.values().filter(|s| !s.is_compliant()).count();
-        if deviators <= 1 {
-            if !report.payoffs.conserved() {
-                violations.push(Violation {
-                    scenario: scenario(),
-                    party: WHOLE_RUN,
-                    property: "conservation",
-                });
-            }
-        } else {
-            let mut per_asset: BTreeMap<chainsim::AssetId, i128> = BTreeMap::new();
-            for (_, asset, payoff) in report.payoffs.iter() {
-                *per_asset.entry(asset).or_insert(0) += payoff.value();
-            }
-            if per_asset.values().any(|&total| total > 0) {
-                violations.push(Violation {
-                    scenario: scenario(),
-                    party: WHOLE_RUN,
-                    property: "minting",
-                });
-            }
-        }
-        violations
+        judge_deal(&report, profile, &scenario)
     }
+}
+
+/// Judges one deal report under the per-compliant-party hedged, safety and
+/// stranded-principal predicates plus the deviator-count-sensitive
+/// conservation check. Shared verbatim between the enumerated sweeps and
+/// the sampled tier.
+pub(crate) fn judge_deal(
+    report: &DealReport,
+    profile: &BTreeMap<PartyId, Strategy>,
+    scenario: &dyn Fn() -> String,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (party, outcome) in &report.parties {
+        let compliant = profile.get(party).copied().unwrap_or(Strategy::compliant()).is_compliant();
+        if compliant && !outcome.hedged {
+            violations.push(Violation { scenario: scenario(), party: *party, property: "hedged" });
+        }
+        if compliant && !outcome.safety {
+            violations.push(Violation { scenario: scenario(), party: *party, property: "safety" });
+        }
+        // A compliant party's settle step frees every incident arc
+        // after the final deadline, so none of its principals may end
+        // the run stuck in escrow — under any number of deviators.
+        if compliant && outcome.escrowed_stuck > 0 {
+            violations.push(Violation {
+                scenario: scenario(),
+                party: *party,
+                property: "stranded-principal",
+            });
+        }
+    }
+    // Funds conservation (payoffs sum to zero) holds whenever at most
+    // one party deviates. Several simultaneous walk-aways can strand
+    // their own deposits inside escrows nobody settles — a loss to the
+    // deviators, not a soundness bug — so for those profiles the check
+    // weakens to "no value is ever minted" per asset (the stranded
+    // value is pinned to the deviators by the stranded-principal check
+    // above plus each compliant party's hedged premium bound).
+    // Conforming-but-lazy parties settle everything they can reach, so
+    // they do not count against the strict-conservation budget.
+    let deviators = profile.values().filter(|s| !s.is_compliant()).count();
+    if deviators <= 1 {
+        if !report.payoffs.conserved() {
+            violations.push(Violation {
+                scenario: scenario(),
+                party: WHOLE_RUN,
+                property: "conservation",
+            });
+        }
+    } else {
+        let mut per_asset: BTreeMap<chainsim::AssetId, i128> = BTreeMap::new();
+        for (_, asset, payoff) in report.payoffs.iter() {
+            *per_asset.entry(asset).or_insert(0) += payoff.value();
+        }
+        if per_asset.values().any(|&total| total > 0) {
+            violations.push(Violation {
+                scenario: scenario(),
+                party: WHOLE_RUN,
+                property: "minting",
+            });
+        }
+    }
+    violations
 }
 
 /// The number of profiles with at most `max_deviators` deviators: each of
@@ -888,31 +904,42 @@ impl ScenarioGen for BootstrapSweep {
             },
         );
         let scenario = || format!("{}, deviation {deviation:?}", self.family());
-        let mut violations = Vec::new();
-        if !report.loss_bounded_by_initial_risk {
-            // The wronged party is the compliant survivor (or the whole run
-            // when nobody deviated and settlement itself misbehaved).
-            let victim = match deviator {
-                Some(PartyId(0)) => PartyId(1),
-                Some(_) => PartyId(0),
-                None => WHOLE_RUN,
-            };
-            violations.push(Violation {
-                scenario: scenario(),
-                party: victim,
-                property: "bounded-loss",
-            });
-        }
-        // Every cascade settles completely, so payoffs are a pure transfer.
-        if report.alice_payoff + report.bob_payoff != 0 {
-            violations.push(Violation {
-                scenario: scenario(),
-                party: WHOLE_RUN,
-                property: "conservation",
-            });
-        }
-        violations
+        judge_bootstrap(&report, deviator, &scenario)
     }
+}
+
+/// Judges one bootstrap-cascade report: the §6 bounded-loss guarantee for
+/// the compliant survivor plus pure-transfer conservation. Shared between
+/// the enumerated sweep and the sampled tier.
+pub(crate) fn judge_bootstrap(
+    report: &protocols::bootstrap::BootstrapRunReport,
+    deviator: Option<PartyId>,
+    scenario: &dyn Fn() -> String,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !report.loss_bounded_by_initial_risk {
+        // The wronged party is the compliant survivor (or the whole run
+        // when nobody deviated and settlement itself misbehaved).
+        let victim = match deviator {
+            Some(PartyId(0)) => PartyId(1),
+            Some(_) => PartyId(0),
+            None => WHOLE_RUN,
+        };
+        violations.push(Violation {
+            scenario: scenario(),
+            party: victim,
+            property: "bounded-loss",
+        });
+    }
+    // Every cascade settles completely, so payoffs are a pure transfer.
+    if report.alice_payoff + report.bob_payoff != 0 {
+        violations.push(Violation {
+            scenario: scenario(),
+            party: WHOLE_RUN,
+            property: "conservation",
+        });
+    }
+    violations
 }
 
 // ---------------------------------------------------------------------------
@@ -946,10 +973,10 @@ impl Default for AuctionSweep {
 
 /// Per-worker auction prefixes, one per auctioneer behaviour (the
 /// behaviour changes the recorded compliant trajectory).
-type AuctionPrefixSlots = BTreeMap<usize, Option<AuctionPrefix>>;
+pub(crate) type AuctionPrefixSlots = BTreeMap<usize, Option<AuctionPrefix>>;
 
 /// Auctioneer behaviours the sweep ranges over.
-const BEHAVIOURS: [AuctioneerBehaviour; 3] = [
+pub(crate) const BEHAVIOURS: [AuctioneerBehaviour; 3] = [
     AuctioneerBehaviour::DeclareHighBidder,
     AuctioneerBehaviour::DeclareLowBidder,
     AuctioneerBehaviour::Abandon,
@@ -1029,23 +1056,34 @@ impl ScenarioGen for AuctionSweep {
             Some(party) => format!("auction {behaviour:?}, {party} plays {strategy}"),
             None => format!("auction {behaviour:?}, all compliant"),
         };
-        let mut violations = Vec::new();
-        if !report.no_bid_stolen {
-            violations.push(Violation {
-                scenario: scenario(),
-                party: party.unwrap_or(WHOLE_RUN),
-                property: "no-bid-stolen",
-            });
-        }
-        if !report.payoffs.conserved() {
-            violations.push(Violation {
-                scenario: scenario(),
-                party: WHOLE_RUN,
-                property: "conservation",
-            });
-        }
-        violations
+        judge_auction(&report, party, &scenario)
     }
+}
+
+/// Judges one auction report: Lemma 8's no-bid-stolen guarantee (blamed on
+/// the deviator when there is exactly one) plus conservation. Shared
+/// between the enumerated sweep and the sampled tier.
+pub(crate) fn judge_auction(
+    report: &protocols::auction::AuctionReport,
+    deviator: Option<PartyId>,
+    scenario: &dyn Fn() -> String,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !report.no_bid_stolen {
+        violations.push(Violation {
+            scenario: scenario(),
+            party: deviator.unwrap_or(WHOLE_RUN),
+            property: "no-bid-stolen",
+        });
+    }
+    if !report.payoffs.conserved() {
+        violations.push(Violation {
+            scenario: scenario(),
+            party: WHOLE_RUN,
+            property: "conservation",
+        });
+    }
+    violations
 }
 
 #[cfg(test)]

@@ -34,6 +34,57 @@ use chainsim::{run_round_with, Action, Actor, PartyId, RoundBuffers, Time, World
 use contracts::Hashkey;
 use cryptosim::Digest;
 
+/// The maximum script length a [`DelayVector`] can address. Every bundled
+/// script has at most six steps; the fixed size keeps [`Strategy`] `Copy`.
+pub const MAX_DELAY_STEPS: usize = 8;
+
+/// Per-step emission delays, in blocks, for [`Timing::Delay`].
+///
+/// Entry `i` asks to delay step `i`'s emission by that many blocks past its
+/// trigger. The hold is clamped to the last legal tick — within Δ of the
+/// trigger *and* strictly before the step's annotated deadline — so every
+/// vector is conforming by construction: oversized entries simply behave
+/// like [`Timing::Procrastinate`] for that step, and a zero entry is eager.
+/// The sampled tier draws these vectors at random to probe arbitrary points
+/// of each legal window, not just its Eager/Procrastinate endpoints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DelayVector(pub [u8; MAX_DELAY_STEPS]);
+
+impl DelayVector {
+    /// The all-zero vector (behaviourally eager).
+    pub const ZERO: DelayVector = DelayVector([0; MAX_DELAY_STEPS]);
+
+    /// Builds a vector from a prefix of per-step delays (at most
+    /// [`MAX_DELAY_STEPS`]); the remaining steps are eager.
+    pub fn from_slice(delays: &[u8]) -> DelayVector {
+        assert!(delays.len() <= MAX_DELAY_STEPS, "script longer than MAX_DELAY_STEPS");
+        let mut vector = DelayVector::ZERO;
+        vector.0[..delays.len()].copy_from_slice(delays);
+        vector
+    }
+
+    /// The requested delay of `step`, in blocks (zero past the end).
+    pub fn get(&self, step: usize) -> u64 {
+        if step < MAX_DELAY_STEPS {
+            self.0[step] as u64
+        } else {
+            0
+        }
+    }
+
+    /// Sets the requested delay of `step`, in blocks.
+    pub fn set(&mut self, step: usize, blocks: u8) {
+        if step < MAX_DELAY_STEPS {
+            self.0[step] = blocks;
+        }
+    }
+
+    /// Returns `true` if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; MAX_DELAY_STEPS]
+    }
+}
+
 /// When within its legal window a party performs each protocol action.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Timing {
@@ -46,6 +97,34 @@ pub enum Timing {
     /// searchlight for off-by-one timeout semantics: the paper's schedules
     /// are exactly tight enough to accommodate last-instant actors.
     Procrastinate,
+    /// Delay each step's emission by its [`DelayVector`] entry, clamped to
+    /// the same last legal tick as [`Timing::Procrastinate`]. This is the
+    /// sampled tier's timing axis: the space of legal delay vectors is a
+    /// product too large to enumerate, so it is sampled (and hill-climbed)
+    /// rather than swept. Not part of [`Strategy::all`].
+    Delay(DelayVector),
+}
+
+impl Timing {
+    /// Returns `true` if this profile can delay at least one emission, i.e.
+    /// behaves differently from [`Timing::Eager`] on some script.
+    pub fn may_delay_any(&self) -> bool {
+        match self {
+            Timing::Eager => false,
+            Timing::Procrastinate => true,
+            Timing::Delay(vector) => !vector.is_zero(),
+        }
+    }
+
+    /// Returns `true` if this profile delays emissions of script step
+    /// `step` in particular.
+    fn delays_step(&self, step: usize) -> bool {
+        match self {
+            Timing::Eager => false,
+            Timing::Procrastinate => true,
+            Timing::Delay(vector) => vector.get(step) > 0,
+        }
+    }
 }
 
 /// Byzantine noise a party injects on top of its schedule.
@@ -68,6 +147,18 @@ pub enum Fault {
         /// The script step at which the party crashes.
         step: usize,
     },
+    /// Like [`Fault::Crash`], but with a variable outage length of
+    /// `quarters`·Δ/4 blocks (rounded up, at least one block). The ¼Δ…4Δ
+    /// range covers outages that cross no deadline boundary — where the
+    /// party must recover as "merely late", not as having missed a phase —
+    /// as well as outages crossing several. Sampler-only: not part of
+    /// [`Strategy::all`] (a `quarters: 8` outage equals [`Fault::Crash`]).
+    Outage {
+        /// The script step at which the party crashes.
+        step: usize,
+        /// Outage length in quarter-Δ units (`1..=16` spans ¼Δ…4Δ).
+        quarters: u8,
+    },
 }
 
 /// Blocks of outage (in units of the protocol's Δ) a [`Fault::Crash`] party
@@ -75,6 +166,13 @@ pub enum Fault {
 /// boundary in every bundled protocol, short enough that the party recovers
 /// within the run's round budget.
 pub const CRASH_OUTAGE_DELTAS: u64 = 2;
+
+/// Blocks a [`Fault::Outage`] of `quarters` quarter-Δ lasts at synchrony
+/// bound `delta` blocks: `⌈quarters·Δ/4⌉`, at least one block so even a ¼Δ
+/// outage at Δ = 1 is observable.
+pub fn outage_blocks(quarters: u8, delta: u64) -> u64 {
+    (quarters as u64 * delta.max(1)).div_ceil(4)
+}
 
 /// The message a [`Fault::Garbage`] deviator emits: no contract downcasts
 /// it, so the call is rejected with `UnsupportedMessage` — modelling the
@@ -114,6 +212,12 @@ impl Strategy {
     /// This strategy with [`Timing::Procrastinate`].
     pub const fn late(mut self) -> Strategy {
         self.timing = Timing::Procrastinate;
+        self
+    }
+
+    /// This strategy with a per-step [`DelayVector`] timing profile.
+    pub const fn with_delays(mut self, delays: DelayVector) -> Strategy {
+        self.timing = Timing::Delay(delays);
         self
     }
 
@@ -160,6 +264,11 @@ impl Strategy {
     /// The first entry is always [`Strategy::compliant`]. The size follows
     /// the closed form [`Strategy::space_size`]; sweep accounting
     /// (`runs == strategies`) is pinned against it.
+    ///
+    /// The sampled axes — [`Timing::Delay`] vectors and variable-length
+    /// [`Fault::Outage`]s — are deliberately *not* enumerated here: their
+    /// product space is too large to sweep, so the sampled tier in
+    /// `modelcheck` draws from it instead.
     pub fn all(total: usize) -> Vec<Strategy> {
         let mut strategies = Vec::with_capacity(Self::space_size(total));
         for stop in std::iter::once(None).chain((0..total).map(Some)) {
@@ -194,13 +303,26 @@ impl fmt::Display for Strategy {
             None => write!(f, "compliant")?,
             Some(n) => write!(f, "stop-after-{n}")?,
         }
-        if self.timing == Timing::Procrastinate {
-            write!(f, "+late")?;
+        match self.timing {
+            Timing::Eager => {}
+            Timing::Procrastinate => write!(f, "+late")?,
+            Timing::Delay(vector) => {
+                let used = vector.0.iter().rposition(|&d| d > 0).map_or(1, |last| last + 1);
+                write!(f, "+delay[")?;
+                for (i, delay) in vector.0[..used].iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{delay}")?;
+                }
+                write!(f, "]")?;
+            }
         }
         match self.fault {
             Fault::None => {}
             Fault::Garbage { step } => write!(f, "+garbage@{step}")?,
             Fault::Crash { step } => write!(f, "+crash@{step}")?,
+            Fault::Outage { step, quarters } => write!(f, "+outage@{step}x{quarters}q")?,
         }
         Ok(())
     }
@@ -462,6 +584,50 @@ fn procrastinate_hold(now: Time, delta: u64, deadline: Time, block_step: u64) ->
     (hold > now).then_some(hold)
 }
 
+/// The hold tick for `timing`'s emission of script step `step` triggered at
+/// `now`, if the emission is delayed at all. [`Timing::Procrastinate`] holds
+/// to the last legal tick; [`Timing::Delay`] holds to `now` plus the step's
+/// requested blocks, clamped to that same last legal tick — so every hold is
+/// within Δ of its trigger and strictly before `deadline` by construction.
+fn emission_hold(
+    timing: Timing,
+    step: usize,
+    now: Time,
+    delta: u64,
+    deadline: Time,
+    block_step: u64,
+) -> Option<Time> {
+    let last = procrastinate_hold(now, delta, deadline, block_step)?;
+    match timing {
+        Timing::Eager => None,
+        Timing::Procrastinate => Some(last),
+        Timing::Delay(vector) => {
+            let blocks = vector.get(step);
+            if blocks == 0 {
+                return None;
+            }
+            Some(last.min(now.plus(blocks * block_step.max(1))))
+        }
+    }
+}
+
+/// The tick at which a party with the given `timing` actually emits a step
+/// that became ready at `now` under the annotated `deadline`.
+///
+/// Exposed for the sampled tier's legality property tests: whenever the
+/// result differs from `now`, it is within Δ of `now`, strictly before
+/// `deadline`, and on the scheduler's tick grid.
+pub fn delayed_emission_tick(
+    timing: Timing,
+    step: usize,
+    now: Time,
+    delta: u64,
+    deadline: Time,
+    block_step: u64,
+) -> Time {
+    emission_hold(timing, step, now, delta, deadline, block_step).unwrap_or(now)
+}
+
 impl ScriptedParty {
     /// Stages `emitted` into `actions`, firing the one-shot garbage volley
     /// first when this is the [`Fault::Garbage`] step's first emission.
@@ -496,11 +662,20 @@ impl Actor for ScriptedParty {
             return;
         }
         let now = world.now();
-        // Crash-recover: on first reaching the crash step, go dark for a
-        // fixed outage, then resume the script where it left off.
-        if let Fault::Crash { step } = self.fault {
-            if self.crash_until.is_none() && self.cursor == step {
-                self.crash_until = Some(now.plus(CRASH_OUTAGE_DELTAS * self.delta));
+        // Crash-recover: on first reaching the crash step, go dark for the
+        // fault's outage, then resume the script where it left off.
+        if self.crash_until.is_none() {
+            let outage = match self.fault {
+                Fault::Crash { step } if self.cursor == step => {
+                    Some(CRASH_OUTAGE_DELTAS * self.delta)
+                }
+                Fault::Outage { step, quarters } if self.cursor == step => {
+                    Some(outage_blocks(quarters, self.delta))
+                }
+                _ => None,
+            };
+            if let Some(blocks) = outage {
+                self.crash_until = Some(now.plus(blocks));
             }
         }
         if let Some(until) = self.crash_until {
@@ -520,10 +695,10 @@ impl Actor for ScriptedParty {
             }
         }
         let deadline = self.steps[self.cursor].deadline;
-        // A procrastinator peeks at the step to learn whether it is ready to
+        // A delaying party peeks at the step to learn whether it is ready to
         // emit; a suppressed peek must leave no trace, so the memo is saved
         // and restored around it.
-        let may_delay = self.timing == Timing::Procrastinate
+        let may_delay = self.timing.delays_step(self.cursor)
             && deadline.is_some()
             && self.hold.is_none_or(|(held_cursor, _)| held_cursor != self.cursor);
         let saved_memo = may_delay.then(|| self.steps[self.cursor].memo.clone());
@@ -536,9 +711,14 @@ impl Actor for ScriptedParty {
             );
             if emits {
                 let deadline = deadline.expect("may_delay requires a deadline");
-                if let Some(hold) =
-                    procrastinate_hold(now, self.delta, deadline, world.delta_blocks())
-                {
+                if let Some(hold) = emission_hold(
+                    self.timing,
+                    self.cursor,
+                    now,
+                    self.delta,
+                    deadline,
+                    world.delta_blocks(),
+                ) {
                     self.steps[self.cursor].memo = saved;
                     self.hold = Some((self.cursor, hold));
                     self.wake = Some(hold);
@@ -783,14 +963,14 @@ impl DeviationTree {
     ///
     /// * `stop_after(k)` — the first recorded emission at or past the
     ///   budget (the withheld action), plus an earlier all-done round;
-    /// * `Procrastinate` — the party's first recorded emission (the
-    ///   procrastinator may delay exactly that action; before it, lazy and
-    ///   eager parties are both silent);
+    /// * `Procrastinate` / non-zero `Delay` vectors — the party's first
+    ///   recorded emission (the delaying party may hold exactly that
+    ///   action; before it, lazy and eager parties are both silent);
     /// * `Garbage { step }` — the step's first recorded emission (the
     ///   garbage volley rides on it; the party's own progress is
     ///   unchanged);
-    /// * `Crash { step }` — the round the party first reaches the crash
-    ///   step (the outage starts there).
+    /// * `Crash { step }` / `Outage { step, .. }` — the round the party
+    ///   first reaches the crash step (the outage starts there).
     ///
     /// Procrastination and crashes alter the party's *later* behaviour in
     /// ways the compliant record cannot predict, so they also disable the
@@ -809,7 +989,7 @@ impl DeviationTree {
             // predict: resume from their first possible effect and skip the
             // all-done shortcut.
             let mut unpredictable = false;
-            if strategy.timing == Timing::Procrastinate {
+            if strategy.timing.may_delay_any() {
                 if let Some(&(round, _)) = record.emissions.first() {
                     divergence = divergence.min(round);
                     unpredictable = true;
@@ -824,7 +1004,7 @@ impl DeviationTree {
                         divergence = divergence.min(round);
                     }
                 }
-                Fault::Crash { step } => {
+                Fault::Crash { step } | Fault::Outage { step, .. } => {
                     let reached = if step == 0 {
                         Some(0)
                     } else if step <= record.completions.len() {
@@ -982,6 +1162,7 @@ mod tests {
                 match strategy.fault {
                     Fault::None => {}
                     Fault::Garbage { step } | Fault::Crash { step } => assert!(step < reachable),
+                    Fault::Outage { .. } => panic!("variable outages are sampler-only"),
                 }
                 if reachable == 0 {
                     assert_eq!(strategy.timing, Timing::Eager);
@@ -1064,6 +1245,104 @@ mod tests {
         world.advance_blocks(4);
         party.step(&world, &mut actions);
         assert_eq!(party.completed_steps(), 2, "recovered and resumed");
+    }
+
+    #[test]
+    fn outage_blocks_rounds_quarter_deltas_up() {
+        // Δ = 2: ¼Δ…4Δ in quarter units.
+        assert_eq!(outage_blocks(1, 2), 1, "¼Δ rounds up to one block");
+        assert_eq!(outage_blocks(2, 2), 1, "½Δ of Δ=2 is one block");
+        assert_eq!(outage_blocks(4, 2), 2, "Δ exactly");
+        assert_eq!(outage_blocks(8, 2), 4, "2Δ matches Fault::Crash");
+        assert_eq!(outage_blocks(16, 2), 8, "4Δ");
+        // Δ = 1: every sub-Δ outage still lasts at least one block.
+        assert_eq!(outage_blocks(1, 1), 1);
+        assert_eq!(outage_blocks(16, 1), 4);
+        // Equivalence with the fixed crash outage at quarters = 8.
+        for delta in 1..=8u64 {
+            assert_eq!(outage_blocks(8, delta), CRASH_OUTAGE_DELTAS * delta);
+        }
+    }
+
+    #[test]
+    fn variable_outage_party_goes_dark_for_its_quarters() {
+        let mut world = World::new(1);
+        world.add_chain("a");
+        let steps = vec![
+            Step::new("one", |_| StepOutcome::Complete(vec![])),
+            Step::new("two", |_| StepOutcome::Complete(vec![])),
+        ];
+        // ½Δ at Δ = 2: a single block of darkness.
+        let strategy = Strategy::compliant().with_fault(Fault::Outage { step: 1, quarters: 2 });
+        let mut party = ScriptedParty::new(PartyId(0), steps, strategy).with_delta(2);
+        let mut actions = Vec::new();
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 1, "pre-outage step executes normally");
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 1, "dark during the sub-Δ outage");
+        assert_eq!(party.wake, Some(Time(1)));
+        world.advance_blocks(1);
+        party.step(&world, &mut actions);
+        assert_eq!(party.completed_steps(), 2, "recovered after half a Δ");
+    }
+
+    #[test]
+    fn delay_vector_holds_each_step_by_its_entry() {
+        use super::emission_hold;
+        let delays = Timing::Delay(DelayVector::from_slice(&[1, 0, 3]));
+        // Step 0: one block past the trigger, inside the legal window.
+        assert_eq!(emission_hold(delays, 0, Time(0), 4, Time(10), 1), Some(Time(1)));
+        // Step 1: zero delay is eager.
+        assert_eq!(emission_hold(delays, 1, Time(0), 4, Time(10), 1), None);
+        // Step 2: clamped to the procrastinate hold when the request
+        // overshoots the window (Δ = 2 ⇒ last legal tick is t+1).
+        assert_eq!(emission_hold(delays, 2, Time(0), 2, Time(10), 1), Some(Time(1)));
+        // Steps past the vector's end are eager.
+        assert_eq!(emission_hold(delays, MAX_DELAY_STEPS, Time(0), 4, Time(10), 1), None);
+        // The public emission tick defaults to `now` when not delayed.
+        assert_eq!(delayed_emission_tick(delays, 1, Time(7), 4, Time(10), 1), Time(7));
+        assert_eq!(delayed_emission_tick(delays, 0, Time(7), 4, Time(10), 1), Time(8));
+        // Maximal entries reproduce Procrastinate exactly.
+        let maxed = Timing::Delay(DelayVector([u8::MAX; MAX_DELAY_STEPS]));
+        for (now, delta, deadline) in [(0u64, 2u64, 2u64), (0, 2, 10), (8, 2, 10), (5, 2, 5)] {
+            assert_eq!(
+                emission_hold(maxed, 0, Time(now), delta, Time(deadline), 1),
+                emission_hold(Timing::Procrastinate, 0, Time(now), delta, Time(deadline), 1),
+            );
+        }
+    }
+
+    #[test]
+    fn delay_vector_party_matches_the_procrastinator_at_full_delay() {
+        let make_party = |timing: Timing| {
+            let steps = vec![Step::new("emit", |_| {
+                StepOutcome::Complete(vec![Action::publish(
+                    chainsim::ChainId(0),
+                    "x",
+                    Box::new(NoopContract),
+                )])
+            })
+            .with_deadline(Time(4))];
+            let strategy = Strategy { stop_after: None, timing, fault: Fault::None };
+            ScriptedParty::new(PartyId(0), steps, strategy).with_delta(4)
+        };
+        let mut world = World::new(1);
+        world.add_chain("a");
+        let mut late = make_party(Timing::Procrastinate);
+        let mut maxed = make_party(Timing::Delay(DelayVector::from_slice(&[u8::MAX])));
+        let mut modest = make_party(Timing::Delay(DelayVector::from_slice(&[2])));
+        let mut actions = Vec::new();
+        for party in [&mut late, &mut maxed, &mut modest] {
+            party.step(&world, &mut actions);
+        }
+        assert!(actions.is_empty(), "all emissions suppressed at t=0");
+        assert_eq!(late.wake, Some(Time(3)));
+        assert_eq!(maxed.wake, Some(Time(3)), "oversized delay clamps to the last tick");
+        assert_eq!(modest.wake, Some(Time(2)), "a 2-block delay lands mid-window");
+        world.advance_blocks(2);
+        modest.step(&world, &mut actions);
+        assert_eq!(actions.len(), 1, "the mid-window emission fires at t=2");
+        assert!(modest.done());
     }
 
     #[test]

@@ -485,7 +485,14 @@ fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     // last-instant (procrastinating) Alice whose reveal lands exactly at
     // 2Δ − 1: the boundary round in which the secret is on chain but Bob
     // has not seen it yet. He gives up one observation round later instead.
+    //
+    // The `canary-bugs` feature reintroduces the fixed bug so the sampled
+    // sweeps can prove they find and shrink it (see modelcheck's canary
+    // tests); it must never be enabled in a real build.
+    #[cfg(not(feature = "canary-bugs"))]
     let redeem_give_up = config.delta(2).plus(1);
+    #[cfg(feature = "canary-bugs")]
+    let redeem_give_up = config.delta(2);
     let final_deadline = config.delta(3);
     vec![
         Step::new("bob: escrow principal on banana", move |world: &World| {

@@ -21,6 +21,13 @@
 //! (≥ [`LARGE_FAMILY_MIN`] scenarios) — the regression PR 3 shipped with —
 //! provided the machine actually has a second hardware thread to scale
 //! onto; single-core boxes skip the gate rather than flake.
+//!
+//! The `sampled_*` family sets exercise the randomized tier at the pinned
+//! [`SAMPLED_SEED`]: every sweep must hold (zero hedged-theorem violations
+//! at the pinned seed), the run must execute at least
+//! [`MIN_SAMPLED_PROFILES`] randomized deviation profiles in total, and the
+//! JSON records each family's reproduction key plus sampled-space/coverage
+//! accounting and the rational climber's compliant-party margins.
 
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
@@ -28,12 +35,14 @@ use std::time::Instant;
 
 use sore_loser_hedging::modelcheck::engine::{ParallelSweep, ScenarioGen};
 use sore_loser_hedging::modelcheck::multi_party_families;
+use sore_loser_hedging::modelcheck::sampled::{SampledBootstrap, SampledSweep};
 use sore_loser_hedging::modelcheck::scenarios::{
     AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep,
 };
+use sore_loser_hedging::protocols::auction::AuctionConfig;
 use sore_loser_hedging::protocols::broker::BrokerConfig;
-use sore_loser_hedging::protocols::multi_party::random_config;
-use sore_loser_hedging::protocols::two_party::TwoPartyConfig;
+use sore_loser_hedging::protocols::multi_party::{cycle_config, figure3_config, random_config};
+use sore_loser_hedging::protocols::two_party::{TwoPartyConfig, ALICE, BOB};
 
 /// 1-thread scenarios/second measured at PR 2 (the `BTreeMap` ledger,
 /// eager `format!` traces and per-scenario world construction), kept for
@@ -64,9 +73,46 @@ const LARGE_FAMILY_MIN: usize = 200;
 /// `BENCH_ENFORCE_SCALING=1` and the machine has ≥ 2 hardware threads.
 const MIN_TWO_THREAD_EFFICIENCY: f64 = 0.8;
 
+/// The pinned seed every `sampled_*` bench family draws from. Holding the
+/// seed fixed makes the bench a (statistical) correctness gate too: a
+/// violation in any sampled sweep is deterministic and carries its
+/// `(seed, sample)` reproduction key.
+const SAMPLED_SEED: u64 = 0x5EED_CAFE;
+
+/// Every bench run must execute at least this many randomized deviation
+/// profiles across the sampled families (warm-up and measured sweeps at
+/// all thread counts combined).
+const MIN_SAMPLED_PROFILES: u64 = 1_000_000;
+
+/// Search budget for each rational-climber run recorded in the report.
+const CLIMB_BUDGET: usize = 400;
+
+/// Reproduction key and coverage accounting for a `sampled_*` family set.
+struct SampledMeta {
+    seed: u64,
+    samples: usize,
+    space: f64,
+    coverage: f64,
+}
+
 struct FamilySet {
     name: &'static str,
     gens: Vec<Box<dyn ScenarioGen>>,
+    /// `Some` for sampled-tier sets: carries the reproduction key into the
+    /// JSON and obliges every sweep of the set to hold.
+    sampled: Option<SampledMeta>,
+}
+
+/// Wraps one randomized family as a bench set, capturing its reproduction
+/// key and how much of the deviation space the budget covers.
+fn sampled_set(name: &'static str, family: SampledSweep) -> FamilySet {
+    let meta = SampledMeta {
+        seed: family.seed(),
+        samples: family.samples(),
+        space: family.sampled_space(),
+        coverage: family.coverage().min(1.0),
+    };
+    FamilySet { name, gens: vec![Box::new(family)], sampled: Some(meta) }
 }
 
 fn family_sets() -> Vec<FamilySet> {
@@ -91,6 +137,7 @@ fn family_sets() -> Vec<FamilySet> {
                 .into_iter()
                 .map(|f| Box::new(f) as Box<dyn ScenarioGen>)
                 .collect(),
+            sampled: None,
         });
     }
     // A seeded random-digraph batch: eight structurally distinct
@@ -106,6 +153,7 @@ fn family_sets() -> Vec<FamilySet> {
                 )) as Box<dyn ScenarioGen>
             })
             .collect(),
+        sampled: None,
     });
     sets.push(FamilySet {
         name: "two-party hedged+base",
@@ -113,11 +161,17 @@ fn family_sets() -> Vec<FamilySet> {
             Box::new(TwoPartySweep::hedged(TwoPartyConfig::default())),
             Box::new(TwoPartySweep::base(TwoPartyConfig::default())),
         ],
+        sampled: None,
     });
-    sets.push(FamilySet { name: "auction", gens: vec![Box::new(AuctionSweep::default())] });
+    sets.push(FamilySet {
+        name: "auction",
+        gens: vec![Box::new(AuctionSweep::default())],
+        sampled: None,
+    });
     sets.push(FamilySet {
         name: "brokered sale",
         gens: vec![Box::new(BrokerSweep::at_most(&BrokerConfig::default(), 2))],
+        sampled: None,
     });
     sets.push(FamilySet {
         name: "bootstrap rounds 1-3",
@@ -126,6 +180,44 @@ fn family_sets() -> Vec<FamilySet> {
                 Box::new(BootstrapSweep::new(5_000, 20_000, 10, rounds)) as Box<dyn ScenarioGen>
             })
             .collect(),
+        sampled: None,
+    });
+    // The sampled tier: randomized deviation profiles drawn from the
+    // pinned SAMPLED_SEED. Budgets are sized so a full bench run (warm-up
+    // plus measured sweeps at every thread count) executes well past
+    // MIN_SAMPLED_PROFILES randomized profiles while each individual sweep
+    // stays in the tenths-of-a-second range.
+    sets.push(sampled_set(
+        "sampled two-party hedged",
+        SampledSweep::hedged_two_party(TwoPartyConfig::default(), SAMPLED_SEED, 40_000),
+    ));
+    sets.push(sampled_set(
+        "sampled two-party base conforming",
+        SampledSweep::base_two_party(TwoPartyConfig::default(), SAMPLED_SEED, 40_000),
+    ));
+    sets.push(sampled_set(
+        "sampled figure3",
+        SampledSweep::deal("figure3", figure3_config(), SAMPLED_SEED, 15_000),
+    ));
+    sets.push(sampled_set(
+        "sampled cycle-5",
+        SampledSweep::deal("cycle-5", cycle_config(5), SAMPLED_SEED, 8_000),
+    ));
+    sets.push(sampled_set(
+        "sampled auction",
+        SampledSweep::auction(AuctionConfig::default(), SAMPLED_SEED, 25_000),
+    ));
+    let bootstrap = SampledBootstrap::new(5_000, 20_000, 10, 3, SAMPLED_SEED, 25_000);
+    let space = bootstrap.sampled_space();
+    sets.push(FamilySet {
+        name: "sampled bootstrap rounds 3",
+        sampled: Some(SampledMeta {
+            seed: SAMPLED_SEED,
+            samples: 25_000,
+            space,
+            coverage: (25_000.0 / space).min(1.0),
+        }),
+        gens: vec![Box::new(bootstrap)],
     });
     sets
 }
@@ -139,16 +231,26 @@ const MIN_MEASURE_SECONDS: f64 = 0.25;
 
 /// Scenarios/second for one family set at one thread count (one warm-up
 /// sweep, then the fastest of repeated measured sweeps; see
-/// [`MIN_MEASURE_SECONDS`]). Returns `(runs, strategies, rate)` — for
-/// reduced families `runs < strategies` and the rate counts *executed*
-/// scenarios per second.
-fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, usize, f64) {
+/// [`MIN_MEASURE_SECONDS`]). Returns `(runs, strategies, rate, sweeps)` —
+/// for reduced families `runs < strategies`, the rate counts *executed*
+/// scenarios per second, and `sweeps` is the total number of sweeps run
+/// (warm-up included) so callers can account executed profiles. With
+/// `must_hold` the warm-up summary must be violation-free: the sampled
+/// sets use this to make the bench a pinned-seed correctness gate.
+fn measure(
+    gens: &[Box<dyn ScenarioGen>],
+    threads: usize,
+    must_hold: bool,
+) -> (usize, usize, f64, u64) {
     let refs: Vec<&dyn ScenarioGen> = gens.iter().map(|g| g.as_ref() as &dyn ScenarioGen).collect();
     let sweep = ParallelSweep::new(threads);
     let warmup = sweep.run_all(&refs);
+    if must_hold {
+        assert!(warmup.holds(), "pinned-seed sweep must hold: {:?}", warmup.violations);
+    }
     let mut best = f64::INFINITY;
     let mut spent = 0.0;
-    let mut repetitions = 0u32;
+    let mut repetitions = 0u64;
     while repetitions < 2 || spent < MIN_MEASURE_SECONDS {
         let start = Instant::now();
         let summary = sweep.run_all(&refs);
@@ -161,7 +263,12 @@ fn measure(gens: &[Box<dyn ScenarioGen>], threads: usize) -> (usize, usize, f64)
     // A coarse clock (or an empty family) can measure ~zero elapsed time;
     // `finite_or_zero` downstream relies on the rate at least being a
     // number, so keep the division away from 0/0 and ∞.
-    (warmup.runs, warmup.strategies, finite_or_zero(warmup.runs as f64 / best.max(1e-9)))
+    (
+        warmup.runs,
+        warmup.strategies,
+        finite_or_zero(warmup.runs as f64 / best.max(1e-9)),
+        repetitions + 1,
+    )
 }
 
 /// Clamps NaN/∞ — which `{:.N}`-format as literal `NaN`/`inf` and would
@@ -206,17 +313,22 @@ fn main() {
 
     let sets = family_sets();
     let mut violations: Vec<String> = Vec::new();
+    let mut sampled_profiles: u64 = 0;
     println!("\n=== model-checking throughput (scenarios/sec) ===");
     println!("family set | scenarios | threads | scenarios/sec | efficiency");
     for (i, set) in sets.iter().enumerate() {
+        let must_hold = set.sampled.is_some();
         let mut runs = 0usize;
         let mut strategies = 0usize;
         let mut rates = Vec::new();
         for &threads in &thread_counts {
-            let (r, s, rate) = measure(&set.gens, threads);
+            let (r, s, rate, sweeps) = measure(&set.gens, threads, must_hold);
             runs = r;
             strategies = s;
             rates.push((threads, rate));
+            if must_hold {
+                sampled_profiles += r as u64 * sweeps;
+            }
         }
         let single = rates[0].1;
         // Scaling efficiency: throughput per thread relative to 1-thread
@@ -241,8 +353,11 @@ fn main() {
                 // noisy-neighbour hiccup cannot fail CI.
                 let mut retries = 0;
                 while eff < MIN_TWO_THREAD_EFFICIENCY && retries < 2 {
-                    let (_, _, single_rate) = measure(&set.gens, 1);
-                    let (_, _, pair_rate) = measure(&set.gens, 2);
+                    let (r1, _, single_rate, s1) = measure(&set.gens, 1, must_hold);
+                    let (r2, _, pair_rate, s2) = measure(&set.gens, 2, must_hold);
+                    if must_hold {
+                        sampled_profiles += r1 as u64 * s1 + r2 as u64 * s2;
+                    }
                     eff = eff.max(finite_or_zero(pair_rate / (single_rate * 2.0)));
                     retries += 1;
                 }
@@ -267,6 +382,17 @@ fn main() {
             "      \"reduction_ratio\": {:.4},",
             finite_or_zero(runs as f64 / strategies.max(1) as f64)
         );
+        // Sampled sets additionally record their reproduction key and how
+        // much of the deviation space one sweep's budget covers (coverage
+        // saturates at 1.0 for spaces smaller than the budget).
+        if let Some(meta) = &set.sampled {
+            let _ = writeln!(json, "      \"sampled\": {{");
+            let _ = writeln!(json, "        \"seed\": \"{:#x}\",", meta.seed);
+            let _ = writeln!(json, "        \"samples_per_sweep\": {},", meta.samples);
+            let _ = writeln!(json, "        \"sampled_space\": {:e},", finite_or_zero(meta.space));
+            let _ = writeln!(json, "        \"coverage\": {:e}", finite_or_zero(meta.coverage));
+            let _ = writeln!(json, "      }},");
+        }
         let _ = writeln!(json, "      \"scenarios_per_sec\": {{");
         for (j, (threads, rate)) in rates.iter().enumerate() {
             let inner_comma = if j + 1 < rates.len() { "," } else { "" };
@@ -281,7 +407,79 @@ fn main() {
         let _ = writeln!(json, "      }}");
         let _ = writeln!(json, "    }}{comma}");
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Sampled-tier accounting: every sampled sweep above already asserted
+    // it holds, so reaching this point means zero hedged-theorem
+    // violations across all randomized profiles at the pinned seed.
+    println!(
+        "\nsampled tier: {sampled_profiles} randomized profiles executed at seed {SAMPLED_SEED:#x}"
+    );
+    assert!(
+        sampled_profiles >= MIN_SAMPLED_PROFILES,
+        "bench run must execute ≥ {MIN_SAMPLED_PROFILES} randomized profiles, \
+         got {sampled_profiles}"
+    );
+
+    // Rational-climber margins at the pinned seed: the climber must
+    // rediscover the base protocol's sore-loser free-out (a negative
+    // compliant-party margin) and must find no profitable deviation
+    // against the hedged protocol.
+    let climbs = [
+        ("base two-party", false, BOB),
+        ("hedged two-party", true, ALICE),
+        ("hedged two-party", true, BOB),
+    ];
+    println!("\n=== rational climber (budget {CLIMB_BUDGET}) ===");
+    let _ = writeln!(json, "  \"sampled_tier\": {{");
+    let _ = writeln!(json, "    \"seed\": \"{SAMPLED_SEED:#x}\",");
+    let _ = writeln!(json, "    \"profiles_executed\": {sampled_profiles},");
+    let _ = writeln!(json, "    \"rational_climbs\": [");
+    for (j, (name, hedged, deviator)) in climbs.iter().enumerate() {
+        let config = TwoPartyConfig::default();
+        let family = if *hedged {
+            SampledSweep::hedged_two_party(config, SAMPLED_SEED, 1)
+        } else {
+            SampledSweep::base_two_party(config, SAMPLED_SEED, 1)
+        };
+        let climb = family
+            .climb(*deviator, SAMPLED_SEED, CLIMB_BUDGET)
+            .expect("two-party families always climb");
+        if *hedged {
+            assert!(
+                climb.compliant_margin >= 0,
+                "hedged theorem: no deviation may leave a compliant party \
+                 under-compensated, found {climb:?}"
+            );
+            assert!(
+                climb.deviator_payoff <= 0,
+                "hedged theorem: deviating must not profit, found {climb:?}"
+            );
+        } else {
+            assert!(
+                climb.compliant_margin < 0,
+                "negative control: the climber must rediscover the base \
+                 protocol's sore-loser attack, found {climb:?}"
+            );
+        }
+        println!(
+            "{name} deviator={}: payoff={} compliant_margin={} ({} evaluations)",
+            climb.deviator, climb.deviator_payoff, climb.compliant_margin, climb.evaluations
+        );
+        let comma = if j + 1 < climbs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"family\": \"{name}\", \"deviator\": {}, \"deviator_payoff\": {}, \
+             \"compliant_margin\": {}, \"evaluations\": {}, \"improvements\": {}}}{comma}",
+            climb.deviator.0,
+            climb.deviator_payoff,
+            climb.compliant_margin,
+            climb.evaluations,
+            climb.improvements
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    json.push_str("  }\n}\n");
 
     std::fs::write("BENCH_modelcheck.json", &json).expect("write BENCH_modelcheck.json");
     println!("\nwrote BENCH_modelcheck.json ({} bytes)", json.len());

@@ -11,9 +11,10 @@
 use std::collections::BTreeMap;
 
 use sore_loser_hedging::chainsim::{Amount, PartyId, TraceMode, World};
-use sore_loser_hedging::modelcheck::engine::ParallelSweep;
+use sore_loser_hedging::modelcheck::engine::{FamilyScratch, ParallelSweep, ScenarioGen};
+use sore_loser_hedging::modelcheck::sampled::SampledSweep;
 use sore_loser_hedging::modelcheck::scenarios::{DealSweep, TwoPartySweep};
-use sore_loser_hedging::modelcheck::{check_auction, check_bootstrap};
+use sore_loser_hedging::modelcheck::{check_auction, check_bootstrap, sampled_families};
 use sore_loser_hedging::protocols::auction::{run_auction_in, AuctionConfig, AuctioneerBehaviour};
 use sore_loser_hedging::protocols::bootstrap::{run_bootstrap_in, BootstrapDeviation};
 use sore_loser_hedging::protocols::broker::{run_brokered_sale_in, BrokerConfig};
@@ -168,6 +169,47 @@ fn check_summaries_are_identical_across_threads_and_trace_modes() {
             assert_eq!(sweep.run(&hedged), reference_hedged, "threads={threads}, {trace:?}");
             assert_eq!(sweep.run(&base), reference_base, "threads={threads}, {trace:?}");
             assert_eq!(sweep.run(&deal), reference_deal, "threads={threads}, {trace:?}");
+        }
+    }
+}
+
+#[test]
+fn sampled_summaries_are_identical_across_threads_and_trace_modes() {
+    // The sampler's determinism contract: scenario `i` depends only on
+    // `(family_seed, i)`, so the whole `CheckSummary` of every sampled
+    // family must be bit-for-bit identical across thread counts and trace
+    // modes — exactly like the enumerated families above.
+    let families = sampled_families(0x7ACE, 150);
+    let refs: Vec<&dyn ScenarioGen> =
+        families.iter().map(|family| family.as_ref() as &dyn ScenarioGen).collect();
+    let reference = ParallelSweep::new(1).run_all(&refs);
+    assert!(reference.holds(), "{:?}", reference.violations);
+    assert_eq!(reference.runs, 6 * 150);
+
+    for threads in [1usize, 2, 4] {
+        for trace in [TraceMode::Off, TraceMode::Full] {
+            let summary = ParallelSweep::new(threads).trace_mode(trace).run_all(&refs);
+            assert_eq!(summary, reference, "threads={threads}, {trace:?}");
+        }
+    }
+}
+
+#[test]
+fn sampled_scenarios_are_identical_across_trace_modes_and_world_reuse() {
+    // Single-scenario reproduction must also be trace-mode- and
+    // reuse-insensitive: judging sample `i` through the engine-facing
+    // `check` in a fresh Full-trace world, an Off-trace world or a dirty
+    // reused world yields the same verdicts as the standalone
+    // `check_scenario` reproduction entry point (here: all clean).
+    let family = SampledSweep::hedged_two_party(TwoPartyConfig::default(), 0x7ACE, 40);
+    for index in 0..family.samples() {
+        let scenario = family.scenario_at(index);
+        assert_eq!(scenario, family.scenario_at(index), "sample {index} must re-derive");
+        let reference = family.check_scenario(&scenario);
+        for mut world in worlds() {
+            let mut cache = FamilyScratch::default();
+            let violations = family.check(index, &mut world, &mut cache);
+            assert_eq!(violations, reference, "sample {index}");
         }
     }
 }
