@@ -10,6 +10,7 @@ use crate::error::ChainError;
 #[cfg(test)]
 use crate::error::ContractError;
 use crate::events::{CallDesc, ChainEvent, EventKind, TraceMode};
+use crate::gas::{GasMeter, GasSchedule};
 use crate::ids::{AssetId, ChainId, ContractId, PartyId};
 use crate::ledger::{AccountRef, Ledger};
 use crate::time::Time;
@@ -37,6 +38,8 @@ pub struct Blockchain {
     contracts: Vec<Option<Box<dyn Contract>>>,
     events: Vec<ChainEvent>,
     trace: TraceMode,
+    gas_schedule: GasSchedule,
+    gas: GasMeter,
 }
 
 impl Blockchain {
@@ -56,6 +59,8 @@ impl Blockchain {
             contracts: Vec::new(),
             events: Vec::new(),
             trace,
+            gas_schedule: GasSchedule::DEFAULT,
+            gas: GasMeter::new(),
         }
     }
 
@@ -78,6 +83,8 @@ impl Blockchain {
         self.contracts.clear();
         self.events.clear();
         self.trace = trace;
+        self.gas_schedule = GasSchedule::DEFAULT;
+        self.gas.clear();
     }
 
     /// The chain's identifier.
@@ -126,9 +133,30 @@ impl Blockchain {
         }
     }
 
+    /// The chain's gas cost table.
+    pub fn gas_schedule(&self) -> GasSchedule {
+        self.gas_schedule
+    }
+
+    /// Replaces the chain's gas cost table (intended for world setup, before
+    /// any calls are metered).
+    pub fn set_gas_schedule(&mut self, schedule: GasSchedule) {
+        self.gas_schedule = schedule;
+    }
+
+    /// The chain's gas meter: total burned, per-party attribution and the
+    /// cost of the most recent call.
+    pub fn gas_meter(&self) -> &GasMeter {
+        &self.gas
+    }
+
     /// Publishes a new contract and returns its id.
+    ///
+    /// Publishing burns [`GasSchedule::publish`] gas, charged to the
+    /// publisher.
     pub fn publish(&mut self, publisher: PartyId, contract: Box<dyn Contract>) -> ContractId {
         let id = ContractId(self.contracts.len() as u64);
+        self.gas.charge(publisher, self.gas_schedule.publish);
         if self.trace.is_full() {
             self.events.push(ChainEvent {
                 height: self.height,
@@ -168,7 +196,7 @@ impl Blockchain {
             .get_mut(slot)
             .and_then(Option::take)
             .ok_or(ChainError::NoSuchContract { chain: self.id, contract: id })?;
-        let result = {
+        let (result, gas_used) = {
             let mut env = CallEnv::new(
                 self.id,
                 id,
@@ -179,10 +207,14 @@ impl Blockchain {
                 directory,
                 caches,
                 self.trace,
+                self.gas_schedule,
             );
-            contract.handle(&mut env, msg)
+            let result = contract.handle(&mut env, msg);
+            (result, env.gas_used())
         };
         self.contracts[slot] = Some(contract);
+        // Failed calls still burn the gas they consumed before failing.
+        self.gas.charge(caller, gas_used);
         match result {
             Ok(()) => {
                 if self.trace.is_full() {
@@ -261,6 +293,8 @@ impl Blockchain {
                 .map(|slot| slot.as_ref().expect("no call in flight during snapshot").clone_box())
                 .collect(),
             events: self.events.clone(),
+            gas_schedule: self.gas_schedule,
+            gas: self.gas.clone(),
         }
     }
 
@@ -276,6 +310,8 @@ impl Blockchain {
         self.contracts.extend(snap.contracts.iter().map(|c| Some(c.clone_box())));
         self.events.clone_from(&snap.events);
         self.trace = trace;
+        self.gas_schedule = snap.gas_schedule;
+        self.gas.restore_from(&snap.gas);
     }
 }
 
@@ -289,6 +325,8 @@ pub(crate) struct ChainSnapshot {
     ledger: Ledger,
     contracts: Vec<Box<dyn Contract>>,
     events: Vec<ChainEvent>,
+    gas_schedule: GasSchedule,
+    gas: GasMeter,
 }
 
 impl fmt::Debug for Blockchain {
@@ -494,6 +532,50 @@ mod tests {
         // Fresh publishes start over at contract id 0.
         let id = chain.publish(PartyId(1), Box::new(Counter::default()));
         assert_eq!(id, ContractId(0));
+    }
+
+    #[test]
+    fn gas_is_metered_per_call_and_burned_on_failure() {
+        let schedule = GasSchedule::DEFAULT;
+        let mut chain = chain_fixture();
+        chain.mint(PartyId(0), AssetId(0), Amount::new(10));
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        assert_eq!(chain.gas_meter().total(), schedule.publish);
+
+        chain.call(PartyId(1), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
+        assert_eq!(chain.gas_meter().last_call(), schedule.call_base);
+        chain
+            .call(
+                PartyId(0),
+                id,
+                &CounterMsg::Deposit(Amount::new(6)),
+                "Deposit",
+                &dir(),
+                &mut caches(),
+            )
+            .unwrap();
+        assert_eq!(chain.gas_meter().last_call(), schedule.call_base + schedule.ledger_op);
+        // Failed calls still burn their base gas.
+        let _ = chain
+            .call(PartyId(1), id, &CounterMsg::Fail, "Fail", &dir(), &mut caches())
+            .unwrap_err();
+        assert_eq!(chain.gas_meter().last_call(), schedule.call_base);
+        assert_eq!(chain.gas_meter().spent_by(PartyId(1)), 2 * schedule.call_base);
+        assert_eq!(
+            chain.gas_meter().total(),
+            schedule.publish + 3 * schedule.call_base + schedule.ledger_op
+        );
+    }
+
+    #[test]
+    fn gas_meter_is_cleared_by_recycle() {
+        let mut chain = chain_fixture();
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
+        assert!(chain.gas_meter().total() > 0);
+        chain.recycle(ChainId(1), "fresh", AssetId(0), TraceMode::Off);
+        assert_eq!(chain.gas_meter().total(), 0);
+        assert_eq!(chain.gas_meter().last_call(), 0);
     }
 
     #[test]

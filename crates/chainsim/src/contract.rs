@@ -9,6 +9,7 @@ use crate::amount::Amount;
 use crate::caches::SimCaches;
 use crate::error::ContractError;
 use crate::events::{ChainEvent, EventKind, NoteText, TraceMode};
+use crate::gas::GasSchedule;
 use crate::ids::{AssetId, ChainId, ContractId, PartyId};
 use crate::ledger::{AccountRef, Ledger};
 use crate::time::Time;
@@ -83,11 +84,16 @@ pub struct CallEnv<'a> {
     directory: &'a KeyDirectory,
     caches: &'a mut SimCaches,
     trace: TraceMode,
+    gas_schedule: GasSchedule,
+    gas_used: u64,
 }
 
 impl<'a> CallEnv<'a> {
     /// Creates a call environment. Used by [`crate::Blockchain`]; protocol
     /// code never constructs one directly.
+    ///
+    /// The call's base gas cost ([`GasSchedule::call_base`]) is charged at
+    /// construction: dispatching a contract step is work in itself.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         chain: ChainId,
@@ -99,8 +105,21 @@ impl<'a> CallEnv<'a> {
         directory: &'a KeyDirectory,
         caches: &'a mut SimCaches,
         trace: TraceMode,
+        gas_schedule: GasSchedule,
     ) -> Self {
-        CallEnv { chain, contract, caller, now, ledger, events, directory, caches, trace }
+        CallEnv {
+            chain,
+            contract,
+            caller,
+            now,
+            ledger,
+            events,
+            directory,
+            caches,
+            trace,
+            gas_schedule,
+            gas_used: gas_schedule.call_base,
+        }
     }
 
     /// The public-key directory used to verify signatures on hashkey paths.
@@ -163,6 +182,27 @@ impl<'a> CallEnv<'a> {
         } else {
             Err(ContractError::TooEarly { not_before, now: self.now })
         }
+    }
+
+    /// The gas this call has burned so far (base dispatch cost included).
+    ///
+    /// Gas is a pure function of the call's semantics — ledger operations
+    /// performed, notes emitted, explicit [`CallEnv::charge_gas`] charges —
+    /// and is independent of [`TraceMode`], threading and wall-clock time.
+    pub fn gas_used(&self) -> u64 {
+        self.gas_used
+    }
+
+    /// The gas cost table this call is metered against.
+    pub fn gas_schedule(&self) -> GasSchedule {
+        self.gas_schedule
+    }
+
+    /// Charges `extra` gas for contract-specific work (signature-chain
+    /// verification, bid comparisons, …) beyond the per-ledger-op charges
+    /// the environment applies automatically.
+    pub fn charge_gas(&mut self, extra: u64) {
+        self.gas_used += extra;
     }
 
     /// Returns the balance this contract holds in `asset`.
@@ -235,8 +275,10 @@ impl<'a> CallEnv<'a> {
     }
 
     /// Emits a structured note into the chain event log (a no-op under
-    /// [`TraceMode::Off`]).
+    /// [`TraceMode::Off`]). The note's gas cost is charged either way: gas
+    /// must not depend on whether the world happens to be tracing.
     pub fn emit_note(&mut self, text: impl Into<NoteText>) {
+        self.gas_used += self.gas_schedule.note;
         if self.trace.is_full() {
             self.events.push(ChainEvent {
                 height: self.now,
@@ -253,10 +295,12 @@ impl<'a> CallEnv<'a> {
         amount: Amount,
     ) -> Result<(), ContractError> {
         if amount.is_zero() {
-            // Zero-value escrow slots are legal no-ops at the protocol layer.
+            // Zero-value escrow slots are legal no-ops at the protocol layer
+            // (and free: no ledger operation is executed).
             return Ok(());
         }
         self.ledger.transfer(from, to, asset, amount)?;
+        self.gas_used += self.gas_schedule.ledger_op;
         if self.trace.is_full() {
             self.events.push(ChainEvent {
                 height: self.now,
@@ -304,6 +348,7 @@ mod tests {
             empty_directory(),
             caches,
             TraceMode::Full,
+            GasSchedule::DEFAULT,
         )
     }
 
@@ -324,9 +369,13 @@ mod tests {
                 empty_directory(),
                 &mut caches,
                 TraceMode::Off,
+                GasSchedule::DEFAULT,
             );
             env.debit_caller(AssetId(0), Amount::new(4)).unwrap();
             env.emit_note("invisible");
+            // Gas is metered identically with tracing off.
+            let schedule = GasSchedule::DEFAULT;
+            assert_eq!(env.gas_used(), schedule.call_base + schedule.ledger_op + schedule.note);
         }
         assert!(events.is_empty(), "TraceMode::Off must not record events");
         assert_eq!(ledger.balance(AccountRef::Contract(ContractId(7)), AssetId(0)), Amount::new(4));

@@ -47,6 +47,7 @@ mod chain;
 mod contract;
 mod error;
 mod events;
+mod gas;
 mod ids;
 mod ledger;
 mod sim;
@@ -59,6 +60,7 @@ pub use chain::Blockchain;
 pub use contract::{CallEnv, Contract, ContractMessage};
 pub use error::{ChainError, ContractError, LedgerError};
 pub use events::{CallDesc, ChainEvent, EventKind, NoteText, TraceMode};
+pub use gas::{GasMeter, GasSchedule};
 pub use ids::{AssetId, ChainId, ContractAddr, ContractId, Label, PartyId};
 #[cfg(any(test, feature = "map-ledger-oracle"))]
 pub use ledger::oracle::MapLedger;

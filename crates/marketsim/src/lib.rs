@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 pub mod adequacy;
+pub mod market;
 pub mod rational;
 
 /// A simulated price path for one asset.
@@ -66,9 +67,35 @@ impl PricePath {
     }
 
     /// The price at step `index` (clamped to the final sample).
+    ///
+    /// Clamping suits open-ended evaluation loops ("the price after the
+    /// horizon stays at the final sample"); code that derives `index` from a
+    /// bounded schedule should prefer [`PricePath::at_strict`], where an
+    /// out-of-range index is a bug and fails loudly instead of silently
+    /// repeating the last price.
     pub fn at(&self, index: usize) -> f64 {
         let idx = index.min(self.prices.len() - 1);
         self.prices[idx]
+    }
+
+    /// The price at step `index`, or `None` if the path has no such sample.
+    pub fn try_at(&self, index: usize) -> Option<f64> {
+        self.prices.get(index).copied()
+    }
+
+    /// The price at step `index`, panicking on out-of-range indices.
+    ///
+    /// The market driver sizes deals from the price at each deal's start
+    /// round; an index past the simulated horizon there means the horizon
+    /// was computed wrong, which this surfaces immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn at_strict(&self, index: usize) -> f64 {
+        self.try_at(index).unwrap_or_else(|| {
+            panic!("price index {index} out of range for a path of {} samples", self.prices.len())
+        })
     }
 
     /// The number of samples in the path.
@@ -82,8 +109,22 @@ impl PricePath {
     }
 
     /// The relative return between two steps: `price(to) / price(from) - 1`.
+    ///
+    /// Both indices are clamped like [`PricePath::at`]; use
+    /// [`PricePath::relative_return_strict`] when the indices come from a
+    /// bounded schedule.
     pub fn relative_return(&self, from: usize, to: usize) -> f64 {
         self.at(to) / self.at(from) - 1.0
+    }
+
+    /// The relative return between two steps, panicking on out-of-range
+    /// indices; see [`PricePath::at_strict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn relative_return_strict(&self, from: usize, to: usize) -> f64 {
+        self.at_strict(to) / self.at_strict(from) - 1.0
     }
 }
 
@@ -124,6 +165,24 @@ mod tests {
         assert_eq!(path.at(99), path.at(4));
         let r = path.relative_return(0, 4);
         assert!(r > -1.0);
+    }
+
+    #[test]
+    fn strict_accessors_agree_in_range() {
+        let path = PricePath::gbm(100.0, 0.0, 0.3, 1.0 / 365.0, 4, 9);
+        for i in 0..path.len() {
+            assert_eq!(path.at_strict(i), path.at(i));
+            assert_eq!(path.try_at(i), Some(path.at(i)));
+        }
+        assert_eq!(path.try_at(path.len()), None);
+        assert_eq!(path.relative_return_strict(0, 4), path.relative_return(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn at_strict_rejects_out_of_range() {
+        let path = PricePath::gbm(100.0, 0.0, 0.3, 1.0 / 365.0, 4, 9);
+        let _ = path.at_strict(5);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Gas → fees → conservation: the per-shard accounting pass.
+//!
+//! Gas is metered by [`chainsim`] per contract call (a pure function of the
+//! call's semantics) and folded into party payoffs here as virtual fees at
+//! the configured gas price. Fees are *metered, never ledger-deducted*, so
+//! two conservation laws must hold on every shard after a run:
+//!
+//! * raw conservation — per asset, the ledger's total supply still equals
+//!   what setup minted, and no contract account retains a balance once all
+//!   deals have settled;
+//! * fee-adjusted conservation — the parties' aggregate ledger position is
+//!   zero-sum (transfers only move value), so their aggregate *fee-adjusted*
+//!   payoff is exactly `-fees`: the market as a whole pays the chains, and
+//!   nothing else leaks.
+
+use chainsim::AccountRef;
+
+use super::shard::{Shard, NATIVE_ASSET, TOKEN_ASSET};
+
+/// The accounting summary of one shard after a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMetering {
+    /// The shard id.
+    pub shard: u32,
+    /// Total gas metered on the shard's chain.
+    pub gas: u64,
+    /// `gas × gas_price`: the virtual fees charged to this shard's callers.
+    pub fees: u128,
+    /// Contract calls executed.
+    pub calls: u64,
+    /// Contract calls that failed (zero on a correct run).
+    pub failed_calls: u64,
+    /// End-of-run total supply of the shard token.
+    pub token_supply: u128,
+    /// End-of-run total supply of the native currency.
+    pub native_supply: u128,
+    /// Units (any asset) still sitting in contract accounts.
+    pub contract_residue: u128,
+    /// Net aggregate party position in the shard token (must be zero).
+    pub net_token: i128,
+    /// Net aggregate party position in the native currency (must be zero).
+    pub net_native: i128,
+}
+
+impl ShardMetering {
+    /// The parties' aggregate fee-adjusted payoff: ledger position net of
+    /// the virtual fees. Equals `-fees` exactly when transfers conserved.
+    pub fn fee_adjusted_net(&self) -> i128 {
+        self.net_token + self.net_native - self.fees as i128
+    }
+}
+
+/// Measures one shard: gas totals, supplies and aggregate party positions
+/// relative to the minted endowment.
+pub fn meter_shard(shard: &Shard, endowment: u128, gas_price: u64) -> ShardMetering {
+    let chain = shard.chain();
+    let ledger = chain.ledger();
+    let gas = chain.gas_meter().total();
+
+    let mut contract_residue: u128 = 0;
+    let mut net_token: i128 = 0;
+    let mut net_native: i128 = 0;
+    for (account, asset, amount) in ledger.iter() {
+        match account {
+            AccountRef::Contract(_) => contract_residue += amount.value(),
+            AccountRef::Party(_) => {
+                let delta = amount.value() as i128 - endowment as i128;
+                if asset == TOKEN_ASSET {
+                    net_token += delta;
+                } else if asset == NATIVE_ASSET {
+                    net_native += delta;
+                }
+            }
+        }
+    }
+
+    ShardMetering {
+        shard: shard.id(),
+        gas,
+        fees: u128::from(gas) * u128::from(gas_price),
+        calls: shard.calls(),
+        failed_calls: shard.failed_calls(),
+        token_supply: ledger.total_supply(TOKEN_ASSET).value(),
+        native_supply: ledger.total_supply(NATIVE_ASSET).value(),
+        contract_residue,
+        net_token,
+        net_native,
+    }
+}
+
+/// Checks both conservation laws against the shard's minted baseline,
+/// returning one violation string per broken invariant.
+pub fn conservation_violations(m: &ShardMetering, minted_per_asset: u128) -> Vec<String> {
+    let mut violations = Vec::new();
+    if m.token_supply != minted_per_asset {
+        violations.push(format!(
+            "shard {}: token supply {} != minted {minted_per_asset}",
+            m.shard, m.token_supply
+        ));
+    }
+    if m.native_supply != minted_per_asset {
+        violations.push(format!(
+            "shard {}: native supply {} != minted {minted_per_asset}",
+            m.shard, m.native_supply
+        ));
+    }
+    if m.contract_residue != 0 {
+        violations.push(format!(
+            "shard {}: {} units stranded in contract accounts",
+            m.shard, m.contract_residue
+        ));
+    }
+    if m.net_token != 0 || m.net_native != 0 {
+        violations.push(format!(
+            "shard {}: party positions not zero-sum (token {}, native {})",
+            m.shard, m.net_token, m.net_native
+        ));
+    }
+    if m.fee_adjusted_net() != -(m.fees as i128) {
+        violations.push(format!(
+            "shard {}: fee-adjusted net {} != -fees {}",
+            m.shard,
+            m.fee_adjusted_net(),
+            m.fees
+        ));
+    }
+    if m.failed_calls != 0 {
+        violations.push(format!("shard {}: {} failed contract calls", m.shard, m.failed_calls));
+    }
+    violations
+}

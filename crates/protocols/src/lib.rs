@@ -41,6 +41,7 @@ pub mod auction;
 pub mod bootstrap;
 pub mod broker;
 pub mod deal;
+pub mod market;
 pub mod multi_party;
 pub mod outcome;
 pub mod script;

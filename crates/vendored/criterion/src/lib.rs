@@ -1,11 +1,13 @@
 //! Offline stand-in for the `criterion` benchmark harness.
 //!
 //! Implements the subset this workspace's benches use —
-//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and the
-//! [`criterion_group!`]/[`criterion_main!`] macros — with a fixed-iteration
-//! timing loop instead of criterion's adaptive sampling. Good enough to
-//! keep benches compiling, running and printing comparable numbers offline;
-//! swap in real criterion for statistically serious measurements.
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! [`Throughput`] and per-group sample sizes), [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a fixed-iteration timing loop instead of criterion's adaptive
+//! sampling. Signatures mirror the real crate, so swapping in real
+//! criterion for statistically serious measurements is a dependency edit,
+//! not a bench rewrite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,16 +29,95 @@ pub struct Criterion {
 
 impl Criterion {
     /// Runs `f` once with a [`Bencher`] and prints a one-line timing summary.
-    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { total: Duration::ZERO, iters: 0 };
-        f(&mut bencher);
-        let mean = if bencher.iters == 0 { Duration::ZERO } else { bencher.total / bencher.iters };
-        println!("bench: {id:<48} {:>12.3?}/iter ({} iters)", mean, bencher.iters);
+        run_bench(id, MEASURE_ITERS, None, f);
         self
     }
+
+    /// Opens a named group of benchmarks sharing a sample size and an
+    /// optional [`Throughput`], mirroring criterion's `benchmark_group`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: MEASURE_ITERS,
+        }
+    }
+}
+
+/// How much work one iteration of a benchmark processes; when set on a
+/// group, summaries additionally report a rate (elements or bytes per
+/// second).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (accounts, transfers, scenarios, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks, produced by [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Attaches a throughput measure to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` once with a [`Bencher`]; the summary line is prefixed with
+    /// the group name and reports a rate when a throughput is set.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{id}", self.name);
+        run_bench(&full_id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; real criterion finalises reports).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, measure_iters: u32, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { total: Duration::ZERO, iters: 0, measure_iters };
+    f(&mut bencher);
+    let mean = if bencher.iters == 0 { Duration::ZERO } else { bencher.total / bencher.iters };
+    let rate = throughput.and_then(|t| {
+        let per_iter = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let secs = mean.as_secs_f64();
+        (secs > 0.0).then(|| format!(" {:>14.0} {}/s", per_iter.0 as f64 / secs, per_iter.1))
+    });
+    println!(
+        "bench: {id:<48} {:>12.3?}/iter ({} iters){}",
+        mean,
+        bencher.iters,
+        rate.unwrap_or_default()
+    );
 }
 
 /// Times closures passed to [`Bencher::iter`].
@@ -44,6 +125,7 @@ impl Criterion {
 pub struct Bencher {
     total: Duration,
     iters: u32,
+    measure_iters: u32,
 }
 
 impl Bencher {
@@ -52,15 +134,17 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
-        for _ in 0..WARMUP_ITERS {
+        // Heavy per-iteration setups (e.g. populating a million-account
+        // ledger) pick small sample sizes; cap warm-up accordingly.
+        for _ in 0..WARMUP_ITERS.min(self.measure_iters) {
             black_box(f());
         }
         let start = Instant::now();
-        for _ in 0..MEASURE_ITERS {
+        for _ in 0..self.measure_iters {
             black_box(f());
         }
         self.total += start.elapsed();
-        self.iters += MEASURE_ITERS;
+        self.iters += self.measure_iters;
     }
 }
 
