@@ -1,11 +1,13 @@
 //! A single simulated blockchain.
 
-use std::any::Any;
+use std::collections::VecDeque;
 use std::fmt;
+
+use serde::{Deserialize, Serialize};
 
 use crate::amount::Amount;
 use crate::caches::SimCaches;
-use crate::contract::{CallEnv, Contract};
+use crate::contract::{CallEnv, Contract, ContractMessage, UndoOp};
 use crate::error::ChainError;
 #[cfg(test)]
 use crate::error::ContractError;
@@ -14,6 +16,134 @@ use crate::gas::{GasMeter, GasSchedule};
 use crate::ids::{AssetId, ChainId, ContractId, PartyId};
 use crate::ledger::{AccountRef, Ledger};
 use crate::time::Time;
+
+/// Per-chain finality and synchrony parameters.
+///
+/// `depth` is the chain's *finality lag*, measured in rounds: the effects of
+/// the last `depth` rounds are speculative and can be rewound by a
+/// [`ReorgEvent`]; anything older is final. The default depth of zero keeps
+/// the pre-existing instantly-final semantics (no speculative window is
+/// maintained, so the hot sweep paths pay nothing).
+///
+/// `delta` is the chain's own synchrony bound Δ in blocks — how far this
+/// chain advances per world round. A value of zero inherits the world's
+/// global Δ; setting it per chain models heterogeneous block cadences
+/// (a fast chain and a slow chain in the same swap).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FinalityParams {
+    /// Trailing rounds whose effects are revertible. Zero = instantly final.
+    pub depth: u32,
+    /// This chain's Δ in blocks per round; zero inherits the world's Δ.
+    pub delta: u64,
+}
+
+impl FinalityParams {
+    /// Instant finality at the world's global Δ: the default, and the exact
+    /// semantics every chain had before finality lag existed.
+    pub const INSTANT: FinalityParams = FinalityParams { depth: 0, delta: 0 };
+}
+
+/// What a reorg does with the speculative calls it rewinds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReorgPolicy {
+    /// Rewound calls return to the mempool and re-execute, in their original
+    /// order, at the reorg height — the common case on real chains, where
+    /// transactions from orphaned blocks are re-included in the canonical
+    /// branch (and may now fail, e.g. against a deadline they originally
+    /// beat).
+    #[default]
+    Redeliver,
+    /// Rewound calls vanish entirely — censorship or transaction loss.
+    /// Contract publishes are still re-delivered (dropping one would
+    /// invalidate every later contract id on the chain).
+    DropCalls,
+}
+
+/// A deterministic, scheduled chain reorganisation.
+///
+/// At the end of world round `at_round` (before the round's height advance),
+/// the last `depth` speculative rounds of `chain` are rewound to their
+/// pre-round state and the rewound calls are re-delivered or dropped per
+/// `policy`. Block heights never rewind: the rewritten history re-executes
+/// at the reorg height, which is exactly how a live observer experiences a
+/// reorg (the clock keeps moving while the ledger's recent past changes).
+///
+/// Depths beyond the chain's [`FinalityParams::depth`] are clamped to the
+/// speculative window: finalized rounds cannot reorg.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorgEvent {
+    /// The chain to reorganise.
+    pub chain: ChainId,
+    /// The world round at whose end the reorg strikes.
+    pub at_round: u64,
+    /// How many trailing speculative rounds to rewind.
+    pub depth: u32,
+    /// Re-deliver or drop the rewound calls.
+    pub policy: ReorgPolicy,
+}
+
+/// Counters describing the reorgs a chain has absorbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorgStats {
+    /// Reorg events that rewound at least one round.
+    pub reorgs: u64,
+    /// Successful calls rewound by reorgs.
+    pub rewound_calls: u64,
+    /// Rewound calls that were re-delivered and succeeded again.
+    pub redelivered_calls: u64,
+    /// Rewound calls dropped by [`ReorgPolicy::DropCalls`].
+    pub dropped_calls: u64,
+    /// Rewound calls that were re-delivered but failed at the reorg height
+    /// (typically against a deadline they originally beat).
+    pub redelivery_failures: u64,
+}
+
+/// One speculative round: the chain state at the round's start plus the
+/// effective actions applied during it (the replay log a reorg re-delivers).
+struct SpecRound {
+    base: ChainSnapshot,
+    actions: Vec<RecordedAction>,
+}
+
+impl SpecRound {
+    fn clone_data(&self) -> SpecRound {
+        SpecRound {
+            base: self.base.clone_data(),
+            actions: self.actions.iter().map(RecordedAction::clone_data).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for SpecRound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecRound")
+            .field("base_height", &self.base.height)
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
+/// An action recorded in the speculative window for possible re-delivery.
+enum RecordedAction {
+    Publish { publisher: PartyId, contract: Box<dyn Contract> },
+    Call { caller: PartyId, contract: ContractId, msg: Box<dyn ContractMessage>, desc: CallDesc },
+}
+
+impl RecordedAction {
+    fn clone_data(&self) -> RecordedAction {
+        match self {
+            RecordedAction::Publish { publisher, contract } => {
+                RecordedAction::Publish { publisher: *publisher, contract: contract.clone_box() }
+            }
+            RecordedAction::Call { caller, contract, msg, desc } => RecordedAction::Call {
+                caller: *caller,
+                contract: *contract,
+                msg: msg.clone_message(),
+                desc: *desc,
+            },
+        }
+    }
+}
 
 /// A simulated blockchain: a ledger, a contract store and a block clock.
 ///
@@ -40,6 +170,13 @@ pub struct Blockchain {
     trace: TraceMode,
     gas_schedule: GasSchedule,
     gas: GasMeter,
+    finality: FinalityParams,
+    /// The speculative window: one entry per revertible round, oldest first.
+    /// Empty whenever `finality.depth == 0`.
+    window: VecDeque<SpecRound>,
+    reorg_stats: ReorgStats,
+    /// Pooled backing allocation for the per-call undo journal.
+    undo_pool: Vec<UndoOp>,
 }
 
 impl Blockchain {
@@ -61,6 +198,10 @@ impl Blockchain {
             trace,
             gas_schedule: GasSchedule::DEFAULT,
             gas: GasMeter::new(),
+            finality: FinalityParams::INSTANT,
+            window: VecDeque::new(),
+            reorg_stats: ReorgStats::default(),
+            undo_pool: Vec::new(),
         }
     }
 
@@ -85,6 +226,9 @@ impl Blockchain {
         self.trace = trace;
         self.gas_schedule = GasSchedule::DEFAULT;
         self.gas.clear();
+        self.finality = FinalityParams::INSTANT;
+        self.window.clear();
+        self.reorg_stats = ReorgStats::default();
     }
 
     /// The chain's identifier.
@@ -150,6 +294,31 @@ impl Blockchain {
         &self.gas
     }
 
+    /// The chain's finality parameters (instant finality by default).
+    pub fn finality(&self) -> FinalityParams {
+        self.finality
+    }
+
+    /// Sets the chain's finality parameters.
+    ///
+    /// A non-zero `depth` opens the speculative window immediately: from
+    /// this point on, the chain records each round's successful calls and
+    /// publishes so a [`ReorgEvent`] can rewind and re-deliver them.
+    /// Intended for world setup; re-configuring mid-run discards the window
+    /// recorded so far (the past becomes final).
+    pub fn set_finality(&mut self, params: FinalityParams) {
+        self.finality = params;
+        self.window.clear();
+        if params.depth > 0 {
+            self.window.push_back(SpecRound { base: self.capture_core(), actions: Vec::new() });
+        }
+    }
+
+    /// Counters describing the reorgs this chain has absorbed.
+    pub fn reorg_stats(&self) -> ReorgStats {
+        self.reorg_stats
+    }
+
     /// Publishes a new contract and returns its id.
     ///
     /// Publishing burns [`GasSchedule::publish`] gas, charged to the
@@ -167,11 +336,26 @@ impl Blockchain {
                 },
             });
         }
+        if let Some(round) = self.window.back_mut() {
+            // Record the contract's initial state: a re-delivered publish
+            // replays later calls on top, reproducing the rewound history.
+            round
+                .actions
+                .push(RecordedAction::Publish { publisher, contract: contract.clone_box() });
+        }
         self.contracts.push(Some(contract));
         id
     }
 
     /// Calls contract `id` with the typed message `msg` on behalf of `caller`.
+    ///
+    /// Calls are transactional: the dispatch runs inside an implicit
+    /// commit/rollback frame. On success every effect commits; on failure
+    /// the ledger operations and notes the contract performed before failing
+    /// are rolled back and the contract's pre-call state is restored, so a
+    /// failed call leaves **zero residue** — except gas, which stays charged
+    /// for the work attempted (debug builds assert the residue-free
+    /// property after every rollback).
     ///
     /// # Errors
     ///
@@ -183,11 +367,12 @@ impl Blockchain {
         &mut self,
         caller: PartyId,
         id: ContractId,
-        msg: &dyn Any,
+        msg: &dyn ContractMessage,
         call_description: impl Into<CallDesc>,
         directory: &cryptosim::KeyDirectory,
         caches: &mut SimCaches,
     ) -> Result<(), ChainError> {
+        let desc: CallDesc = call_description.into();
         // Temporarily take the contract out of its slot so that it and the
         // ledger can be borrowed mutably at the same time.
         let slot = id.0 as usize;
@@ -196,8 +381,29 @@ impl Blockchain {
             .get_mut(slot)
             .and_then(Option::take)
             .ok_or(ChainError::NoSuchContract { chain: self.id, contract: id })?;
+        // The rollback target: a failed call must restore the contract's
+        // internal state along with the ledger.
+        let backup = contract.clone_box();
+        let events_before = self.events.len();
+        #[cfg(any(debug_assertions, feature = "strict-rollback"))]
+        let balances_probe = {
+            let contract_account = AccountRef::Contract(id);
+            let caller_account = AccountRef::Party(caller);
+            self.ledger
+                .assets()
+                .into_iter()
+                .map(|asset| {
+                    (
+                        asset,
+                        self.ledger.balance(contract_account, asset),
+                        self.ledger.balance(caller_account, asset),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let undo_pool = std::mem::take(&mut self.undo_pool);
         let (result, gas_used) = {
-            let mut env = CallEnv::new(
+            let mut env = CallEnv::with_undo_pool(
                 self.id,
                 id,
                 caller,
@@ -208,35 +414,70 @@ impl Blockchain {
                 caches,
                 self.trace,
                 self.gas_schedule,
+                undo_pool,
             );
-            let result = contract.handle(&mut env, msg);
-            (result, env.gas_used())
+            let result = contract.handle(&mut env, msg.as_any());
+            let gas_used = env.gas_used();
+            self.undo_pool = match &result {
+                Ok(()) => env.into_undo_pool(),
+                Err(_) => env.rollback_all(),
+            };
+            (result, gas_used)
         };
-        self.contracts[slot] = Some(contract);
         // Failed calls still burn the gas they consumed before failing.
         self.gas.charge(caller, gas_used);
         match result {
             Ok(()) => {
+                self.contracts[slot] = Some(contract);
                 if self.trace.is_full() {
                     self.events.push(ChainEvent {
                         height: self.height,
-                        kind: EventKind::CallSucceeded {
-                            contract: id,
-                            caller,
-                            call: call_description.into(),
-                        },
+                        kind: EventKind::CallSucceeded { contract: id, caller, call: desc },
+                    });
+                }
+                if let Some(round) = self.window.back_mut() {
+                    round.actions.push(RecordedAction::Call {
+                        caller,
+                        contract: id,
+                        msg: msg.clone_message(),
+                        desc,
                     });
                 }
                 Ok(())
             }
             Err(err) => {
+                // Rollback frame: the ledger and notes were unwound above;
+                // discard the half-mutated contract for its pre-call state.
+                self.contracts[slot] = Some(backup);
+                #[cfg(any(debug_assertions, feature = "strict-rollback"))]
+                {
+                    assert_eq!(
+                        self.events.len(),
+                        events_before,
+                        "failed call must withdraw every note it emitted"
+                    );
+                    for (asset, contract_before, caller_before) in balances_probe {
+                        assert_eq!(
+                            self.ledger.balance(AccountRef::Contract(id), asset),
+                            contract_before,
+                            "failed call left residue in the contract account"
+                        );
+                        assert_eq!(
+                            self.ledger.balance(AccountRef::Party(caller), asset),
+                            caller_before,
+                            "failed call left residue in the caller account"
+                        );
+                    }
+                }
+                #[cfg(not(any(debug_assertions, feature = "strict-rollback")))]
+                let _ = events_before;
                 if self.trace.is_full() {
                     self.events.push(ChainEvent {
                         height: self.height,
                         kind: EventKind::CallFailed {
                             contract: id,
                             caller,
-                            call: call_description.into(),
+                            call: desc,
                             error: err.clone(),
                         },
                     });
@@ -275,12 +516,85 @@ impl Blockchain {
         self.height = self.height.plus(blocks);
     }
 
-    /// Captures the chain's full state for [`crate::World::snapshot`].
-    ///
-    /// Contracts are deep-cloned via [`Contract::clone_box`]; the event log
-    /// is cloned as-is (empty under [`TraceMode::Off`], so snapshots of
-    /// trace-free sweep worlds never copy events).
-    pub(crate) fn capture(&self) -> ChainSnapshot {
+    /// Closes the current world round: advances the height by `blocks` and,
+    /// when finality lag is configured, rolls the speculative window forward
+    /// (opening the next round's entry and finalizing rounds that fall off
+    /// the window). Called by the world at every round boundary.
+    pub(crate) fn end_round(&mut self, blocks: u64) {
+        self.height = self.height.plus(blocks);
+        if self.finality.depth > 0 {
+            self.window.push_back(SpecRound { base: self.capture_core(), actions: Vec::new() });
+            while self.window.len() > self.finality.depth as usize {
+                self.window.pop_front();
+            }
+        }
+    }
+
+    /// Executes a reorg of `depth` rounds (clamped to the speculative
+    /// window) at the current height: rewinds the chain to the start of the
+    /// oldest rewound round — heights never move backwards — then
+    /// re-delivers the rewound publishes and, per `policy`, the rewound
+    /// calls, in their original order at the current height. Returns the
+    /// number of rounds actually rewound.
+    pub(crate) fn reorg(
+        &mut self,
+        depth: u32,
+        policy: ReorgPolicy,
+        directory: &cryptosim::KeyDirectory,
+        caches: &mut SimCaches,
+    ) -> u32 {
+        let rewound = (depth as usize).min(self.window.len());
+        if rewound == 0 {
+            return 0;
+        }
+        let drained: Vec<SpecRound> = {
+            let keep = self.window.len() - rewound;
+            self.window.split_off(keep).into_iter().collect()
+        };
+        let reorg_height = self.height;
+        self.restore_core_from(&drained[0].base, self.trace);
+        self.height = reorg_height;
+        // Re-open the current round on top of the rewound state; re-delivered
+        // actions are recorded into it like any other call of this round.
+        self.window.push_back(SpecRound { base: self.capture_core(), actions: Vec::new() });
+        self.reorg_stats.reorgs += 1;
+        for round in drained {
+            for action in round.actions {
+                match action {
+                    RecordedAction::Publish { publisher, contract } => {
+                        // Publishes always re-land: contract ids are
+                        // sequential, so dropping one would orphan every
+                        // later id on the chain.
+                        self.publish(publisher, contract);
+                    }
+                    RecordedAction::Call { caller, contract, msg, desc } => {
+                        self.reorg_stats.rewound_calls += 1;
+                        match policy {
+                            ReorgPolicy::DropCalls => self.reorg_stats.dropped_calls += 1,
+                            ReorgPolicy::Redeliver => {
+                                match self.call(
+                                    caller,
+                                    contract,
+                                    msg.as_ref(),
+                                    desc,
+                                    directory,
+                                    caches,
+                                ) {
+                                    Ok(()) => self.reorg_stats.redelivered_calls += 1,
+                                    Err(_) => self.reorg_stats.redelivery_failures += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        rewound as u32
+    }
+
+    /// Captures the chain state minus the speculative window (the form
+    /// stored inside window entries themselves).
+    fn capture_core(&self) -> ChainSnapshot {
         ChainSnapshot {
             id: self.id,
             name: self.name.clone(),
@@ -295,12 +609,27 @@ impl Blockchain {
             events: self.events.clone(),
             gas_schedule: self.gas_schedule,
             gas: self.gas.clone(),
+            finality: self.finality,
+            window: Vec::new(),
+            reorg_stats: self.reorg_stats,
         }
     }
 
-    /// Restores the chain (possibly a recycled spare shell) to the captured
-    /// state, reusing the ledger, event-log and name allocations.
-    pub(crate) fn restore_from(&mut self, snap: &ChainSnapshot, trace: TraceMode) {
+    /// Captures the chain's full state for [`crate::World::snapshot`],
+    /// including the speculative/finalized split (finality parameters, the
+    /// speculative window and reorg counters).
+    ///
+    /// Contracts are deep-cloned via [`Contract::clone_box`]; the event log
+    /// is cloned as-is (empty under [`TraceMode::Off`], so snapshots of
+    /// trace-free sweep worlds never copy events).
+    pub(crate) fn capture(&self) -> ChainSnapshot {
+        let mut snap = self.capture_core();
+        snap.window = self.window.iter().map(SpecRound::clone_data).collect();
+        snap
+    }
+
+    /// Restores everything except the speculative window bookkeeping.
+    fn restore_core_from(&mut self, snap: &ChainSnapshot, trace: TraceMode) {
         self.id = snap.id;
         self.name.clone_from(&snap.name);
         self.native_asset = snap.native_asset;
@@ -312,6 +641,36 @@ impl Blockchain {
         self.trace = trace;
         self.gas_schedule = snap.gas_schedule;
         self.gas.restore_from(&snap.gas);
+    }
+
+    /// Restores the chain (possibly a recycled spare shell) to the captured
+    /// state, reusing the ledger, event-log and name allocations. The
+    /// speculative/finalized split is restored exactly: finality parameters,
+    /// the speculative window and reorg counters all come from the snapshot,
+    /// so state a reorg reverted before the snapshot can never resurrect
+    /// (debug builds assert the restored window's integrity).
+    pub(crate) fn restore_from(&mut self, snap: &ChainSnapshot, trace: TraceMode) {
+        self.restore_core_from(snap, trace);
+        self.finality = snap.finality;
+        self.reorg_stats = snap.reorg_stats;
+        self.window.clear();
+        self.window.extend(snap.window.iter().map(SpecRound::clone_data));
+        debug_assert!(
+            self.window.len() <= self.finality.depth as usize,
+            "restored speculative window exceeds the finality depth"
+        );
+        debug_assert!(
+            self.window.iter().all(|round| round.base.height <= self.height),
+            "restored speculative window reaches past the chain tip: a \
+             restore must never resurrect reverted speculative state"
+        );
+        debug_assert!(
+            self.window
+                .iter()
+                .zip(self.window.iter().skip(1))
+                .all(|(a, b)| { a.base.height <= b.base.height }),
+            "restored speculative window must be oldest-first"
+        );
     }
 }
 
@@ -327,6 +686,30 @@ pub(crate) struct ChainSnapshot {
     events: Vec<ChainEvent>,
     gas_schedule: GasSchedule,
     gas: GasMeter,
+    finality: FinalityParams,
+    window: Vec<SpecRound>,
+    reorg_stats: ReorgStats,
+}
+
+impl ChainSnapshot {
+    /// Deep-clones the snapshot (contracts via `clone_box`, recorded
+    /// messages via `clone_message`).
+    fn clone_data(&self) -> ChainSnapshot {
+        ChainSnapshot {
+            id: self.id,
+            name: self.name.clone(),
+            native_asset: self.native_asset,
+            height: self.height,
+            ledger: self.ledger.clone(),
+            contracts: self.contracts.iter().map(|c| c.clone_box()).collect(),
+            events: self.events.clone(),
+            gas_schedule: self.gas_schedule,
+            gas: self.gas.clone(),
+            finality: self.finality,
+            window: self.window.iter().map(SpecRound::clone_data).collect(),
+            reorg_stats: self.reorg_stats,
+        }
+    }
 }
 
 impl fmt::Debug for Blockchain {
@@ -343,6 +726,8 @@ impl fmt::Debug for Blockchain {
 
 #[cfg(test)]
 mod tests {
+    use std::any::Any;
+
     use super::*;
 
     /// A minimal counter contract used to exercise the chain plumbing.
@@ -352,9 +737,12 @@ mod tests {
         deposited: Amount,
     }
 
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     enum CounterMsg {
         Bump,
+        /// Bumps only while `now <= deadline` — fails with `TooLate` after,
+        /// which is exactly what happens to a re-delivered last-tick call.
+        BumpBefore(Time),
         Deposit(Amount),
         Fail,
     }
@@ -372,6 +760,13 @@ mod tests {
             let msg = msg.downcast_ref::<CounterMsg>().ok_or(ContractError::UnsupportedMessage)?;
             match msg {
                 CounterMsg::Bump => {
+                    self.count += 1;
+                    Ok(())
+                }
+                CounterMsg::BumpBefore(deadline) => {
+                    if env.now() > *deadline {
+                        return Err(ContractError::TooLate { deadline: *deadline, now: env.now() });
+                    }
                     self.count += 1;
                     Ok(())
                 }
@@ -441,7 +836,7 @@ mod tests {
     fn unsupported_message_is_rejected() {
         let mut chain = chain_fixture();
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
-        #[derive(Debug)]
+        #[derive(Clone, Debug)]
         struct Bogus;
         let err = chain.call(PartyId(0), id, &Bogus, "Bogus", &dir(), &mut caches()).unwrap_err();
         assert!(matches!(
@@ -600,5 +995,160 @@ mod tests {
         let id = chain.publish(PartyId(0), Box::new(Counter::default()));
         assert!(chain.contract_as::<Other>(id).is_none());
         assert!(chain.contract_as::<Counter>(ContractId(99)).is_none());
+    }
+
+    #[test]
+    fn finality_window_tracks_the_trailing_rounds() {
+        let mut chain = chain_fixture();
+        chain.set_finality(FinalityParams { depth: 2, delta: 0 });
+        assert_eq!(chain.finality(), FinalityParams { depth: 2, delta: 0 });
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        for _ in 0..5 {
+            chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
+            chain.end_round(1);
+        }
+        assert_eq!(chain.window.len(), 2);
+        assert_eq!(chain.height(), Time(5));
+        // The open (current) round has no actions yet; the previous one
+        // recorded its single call.
+        assert!(chain.window.back().unwrap().actions.is_empty());
+        assert_eq!(chain.window.front().unwrap().actions.len(), 1);
+    }
+
+    #[test]
+    fn redeliver_reorg_replays_history_identically() {
+        let mut chain = chain_fixture();
+        chain.mint(PartyId(0), AssetId(0), Amount::new(10));
+        chain.set_finality(FinalityParams { depth: 3, delta: 0 });
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain.end_round(1);
+        chain
+            .call(
+                PartyId(0),
+                id,
+                &CounterMsg::Deposit(Amount::new(6)),
+                "Deposit",
+                &dir(),
+                &mut caches(),
+            )
+            .unwrap();
+        chain.end_round(1);
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
+
+        let rewound = chain.reorg(2, ReorgPolicy::Redeliver, &dir(), &mut caches());
+        assert_eq!(rewound, 2);
+        // Pure re-delivery of deadline-free calls is observationally
+        // identical: balances and contract state land where they started.
+        assert_eq!(chain.balance(AccountRef::Contract(id), AssetId(0)), Amount::new(6));
+        assert_eq!(chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)), Amount::new(4));
+        let counter = chain.contract_as::<Counter>(id).unwrap();
+        assert_eq!(counter.count, 1);
+        assert_eq!(counter.deposited, Amount::new(6));
+        // Heights never rewind.
+        assert_eq!(chain.height(), Time(2));
+        let stats = chain.reorg_stats();
+        assert_eq!(stats.reorgs, 1);
+        assert_eq!(stats.rewound_calls, 2);
+        assert_eq!(stats.redelivered_calls, 2);
+        assert_eq!(stats.dropped_calls, 0);
+        assert_eq!(stats.redelivery_failures, 0);
+    }
+
+    #[test]
+    fn drop_calls_reorg_erases_calls_but_keeps_publishes() {
+        let mut chain = chain_fixture();
+        chain.mint(PartyId(0), AssetId(0), Amount::new(10));
+        chain.set_finality(FinalityParams { depth: 2, delta: 0 });
+        chain.end_round(1);
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain
+            .call(
+                PartyId(0),
+                id,
+                &CounterMsg::Deposit(Amount::new(6)),
+                "Deposit",
+                &dir(),
+                &mut caches(),
+            )
+            .unwrap();
+
+        let rewound = chain.reorg(1, ReorgPolicy::DropCalls, &dir(), &mut caches());
+        assert_eq!(rewound, 1);
+        // The publish re-landed (same id), the deposit vanished.
+        assert!(chain.contract_as::<Counter>(id).is_some());
+        assert_eq!(chain.balance(AccountRef::Contract(id), AssetId(0)), Amount::ZERO);
+        assert_eq!(chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)), Amount::new(10));
+        let stats = chain.reorg_stats();
+        assert_eq!(stats.dropped_calls, 1);
+        assert_eq!(stats.redelivered_calls, 0);
+    }
+
+    #[test]
+    fn reorg_depth_is_clamped_to_the_speculative_window() {
+        let mut chain = chain_fixture();
+        chain.set_finality(FinalityParams { depth: 2, delta: 0 });
+        chain.end_round(1);
+        // Window holds 2 rounds; asking for 10 rewinds only those 2.
+        let rewound = chain.reorg(10, ReorgPolicy::Redeliver, &dir(), &mut caches());
+        assert_eq!(rewound, 2);
+        // Without a window (instant finality) reorgs are no-ops.
+        let mut instant = chain_fixture();
+        assert_eq!(instant.reorg(3, ReorgPolicy::Redeliver, &dir(), &mut caches()), 0);
+        assert_eq!(instant.reorg_stats(), ReorgStats::default());
+    }
+
+    #[test]
+    fn redelivered_failures_are_counted_not_propagated() {
+        let mut chain = chain_fixture();
+        chain.set_finality(FinalityParams { depth: 2, delta: 0 });
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        // Round 0: a last-tick bump that is only valid while now <= 0.
+        chain
+            .call(PartyId(0), id, &CounterMsg::BumpBefore(Time(0)), "Bump", &dir(), &mut caches())
+            .unwrap();
+        chain.end_round(1);
+        assert_eq!(chain.contract_as::<Counter>(id).unwrap().count, 1);
+
+        // The reorg rewinds both rounds and re-delivers at height 1, past
+        // the deadline the call originally beat: the bump is lost, the
+        // failure is absorbed into the stats rather than propagated.
+        let rewound = chain.reorg(2, ReorgPolicy::Redeliver, &dir(), &mut caches());
+        assert_eq!(rewound, 2);
+        assert_eq!(chain.contract_as::<Counter>(id).unwrap().count, 0);
+        let stats = chain.reorg_stats();
+        assert_eq!(stats.rewound_calls, 1);
+        assert_eq!(stats.redelivery_failures, 1);
+        assert_eq!(stats.redelivered_calls, 0);
+
+        // Failed calls are never recorded, so the reopened round only holds
+        // the publish re-delivery, not the failed bump.
+        let _ = chain.call(PartyId(0), id, &CounterMsg::Fail, "Fail", &dir(), &mut caches());
+        assert_eq!(chain.window.back().unwrap().actions.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_speculative_split() {
+        let mut chain = chain_fixture();
+        chain.mint(PartyId(0), AssetId(0), Amount::new(10));
+        chain.set_finality(FinalityParams { depth: 2, delta: 3 });
+        let id = chain.publish(PartyId(0), Box::new(Counter::default()));
+        chain.end_round(1);
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
+        chain.reorg(1, ReorgPolicy::Redeliver, &dir(), &mut caches());
+
+        let snap = chain.capture();
+        chain.call(PartyId(0), id, &CounterMsg::Bump, "Bump", &dir(), &mut caches()).unwrap();
+        chain.end_round(1);
+        chain.restore_from(&snap, TraceMode::Full);
+
+        assert_eq!(chain.finality(), FinalityParams { depth: 2, delta: 3 });
+        assert_eq!(chain.reorg_stats().reorgs, 1);
+        assert_eq!(chain.contract_as::<Counter>(id).unwrap().count, 1);
+        assert_eq!(chain.window.len(), 2);
+        assert_eq!(chain.height(), Time(1));
+        // The restored window can still absorb a reorg.
+        let rewound = chain.reorg(2, ReorgPolicy::Redeliver, &dir(), &mut caches());
+        assert_eq!(rewound, 2);
+        assert_eq!(chain.contract_as::<Counter>(id).unwrap().count, 1);
     }
 }

@@ -16,18 +16,31 @@ use crate::time::Time;
 
 /// Marker trait for typed contract messages.
 ///
-/// Any `'static` type that is `Debug + Send` can be used as a message; the
-/// blanket implementation below makes that automatic. Contracts downcast the
-/// received `&dyn Any` to their own message type and reject anything else
-/// with [`ContractError::UnsupportedMessage`].
+/// Any `'static` type that is `Clone + Debug + Send` can be used as a
+/// message; the blanket implementation below makes that automatic. Contracts
+/// downcast the received `&dyn Any` to their own message type and reject
+/// anything else with [`ContractError::UnsupportedMessage`].
+///
+/// Messages must be cloneable because chains with a non-zero finality depth
+/// record the calls of every speculative round: a
+/// [`ReorgEvent`](crate::ReorgEvent) rewinds those rounds and re-delivers
+/// the recorded calls, which requires an owned copy of each message.
 pub trait ContractMessage: Any + fmt::Debug + Send {
     /// Upcasts the message to [`Any`] for downcasting by contracts.
     fn as_any(&self) -> &dyn Any;
+
+    /// Clones the message into a fresh box (used by the speculative-round
+    /// call record that reorg injection replays).
+    fn clone_message(&self) -> Box<dyn ContractMessage>;
 }
 
-impl<T: Any + fmt::Debug + Send> ContractMessage for T {
+impl<T: Any + Clone + fmt::Debug + Send> ContractMessage for T {
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_message(&self) -> Box<dyn ContractMessage> {
+        Box::new(self.clone())
     }
 }
 
@@ -56,9 +69,12 @@ pub trait Contract: fmt::Debug + Send {
     ///
     /// Implementations return a [`ContractError`] when the message is
     /// malformed, unauthorised, too early, too late, or inconsistent with
-    /// the contract's current state. A failed call has no effect on the
-    /// ledger beyond what the implementation performed before failing;
-    /// well-written contracts validate before transferring.
+    /// the contract's current state. Calls are *transactional*: when
+    /// `handle` returns an error, [`crate::Blockchain::call`] rolls back
+    /// every ledger operation and note the implementation performed before
+    /// failing and restores the contract's pre-call state, so a failed call
+    /// can never half-apply. Gas consumed up to the failure stays charged,
+    /// mirroring real chains.
     fn handle(&mut self, env: &mut CallEnv<'_>, msg: &dyn Any) -> Result<(), ContractError>;
 
     /// Upcasts to [`Any`] so observers can downcast to the concrete type and
@@ -86,16 +102,46 @@ pub struct CallEnv<'a> {
     trace: TraceMode,
     gas_schedule: GasSchedule,
     gas_used: u64,
+    /// Journal of applied ledger transfers, in execution order. The chain
+    /// reverse-applies it when `handle` fails (and
+    /// [`CallEnv::with_transaction`] reverse-applies its own suffix), so
+    /// multi-op contract steps commit or roll back atomically. The backing
+    /// `Vec` is pooled by the chain across calls.
+    undo: Vec<UndoOp>,
+    /// Event-log length at call entry; the rollback truncation floor.
+    event_mark: usize,
+}
+
+/// One applied ledger transfer, with enough context to reverse it.
+///
+/// `from_before`/`to_before` record the touched balances before the
+/// transfer; the rollback assertions (debug builds, or release with the
+/// `strict-rollback` feature) verify each reversed operation restores them
+/// exactly.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct UndoOp {
+    from: AccountRef,
+    to: AccountRef,
+    asset: AssetId,
+    amount: Amount,
+    // Only read by the cfg-gated rollback audit below; a plain release
+    // build (no debug assertions, no strict-rollback) never touches them.
+    #[cfg_attr(not(any(debug_assertions, feature = "strict-rollback")), allow(dead_code))]
+    from_before: Amount,
+    #[cfg_attr(not(any(debug_assertions, feature = "strict-rollback")), allow(dead_code))]
+    to_before: Amount,
 }
 
 impl<'a> CallEnv<'a> {
     /// Creates a call environment. Used by [`crate::Blockchain`]; protocol
-    /// code never constructs one directly.
+    /// code never constructs one directly. The undo-journal allocation is
+    /// pooled by the chain across calls (handed in here, reclaimed via
+    /// [`CallEnv::into_undo_pool`] / [`CallEnv::rollback_all`] afterwards).
     ///
     /// The call's base gas cost ([`GasSchedule::call_base`]) is charged at
     /// construction: dispatching a contract step is work in itself.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
+    pub(crate) fn with_undo_pool(
         chain: ChainId,
         contract: ContractId,
         caller: PartyId,
@@ -106,7 +152,10 @@ impl<'a> CallEnv<'a> {
         caches: &'a mut SimCaches,
         trace: TraceMode,
         gas_schedule: GasSchedule,
+        mut undo: Vec<UndoOp>,
     ) -> Self {
+        undo.clear();
+        let event_mark = events.len();
         CallEnv {
             chain,
             contract,
@@ -119,6 +168,81 @@ impl<'a> CallEnv<'a> {
             trace,
             gas_schedule,
             gas_used: gas_schedule.call_base,
+            undo,
+            event_mark,
+        }
+    }
+
+    /// Rolls back every ledger operation and note this call has applied so
+    /// far, returning the journal's backing allocation to the caller. Used
+    /// by [`crate::Blockchain::call`] when `handle` fails; gas already
+    /// metered is deliberately left charged.
+    pub(crate) fn rollback_all(mut self) -> Vec<UndoOp> {
+        let event_mark = self.event_mark;
+        self.rollback_to(0, event_mark);
+        self.undo
+    }
+
+    /// Reclaims the pooled undo allocation after a successful call.
+    pub(crate) fn into_undo_pool(self) -> Vec<UndoOp> {
+        self.undo
+    }
+
+    /// Reverse-applies journal entries past `undo_mark` and truncates the
+    /// event log to `event_mark` (never below the call-entry floor).
+    fn rollback_to(&mut self, undo_mark: usize, event_mark: usize) {
+        while self.undo.len() > undo_mark {
+            let op = self.undo.pop().expect("length checked above");
+            self.ledger
+                .transfer(op.to, op.from, op.asset, op.amount)
+                .expect("reversing an applied transfer cannot fail");
+            #[cfg(any(debug_assertions, feature = "strict-rollback"))]
+            {
+                assert_eq!(
+                    self.ledger.balance(op.from, op.asset),
+                    op.from_before,
+                    "rollback must restore the debited balance exactly"
+                );
+                assert_eq!(
+                    self.ledger.balance(op.to, op.asset),
+                    op.to_before,
+                    "rollback must restore the credited balance exactly"
+                );
+            }
+        }
+        self.events.truncate(event_mark.max(self.event_mark));
+    }
+
+    /// Runs `f` inside an explicit commit/rollback frame.
+    ///
+    /// On `Ok` the frame commits: every ledger operation and note `f`
+    /// performed stays applied. On `Err` the frame rolls back: transfers are
+    /// reverse-applied in reverse order and notes emitted inside the frame
+    /// are withdrawn, leaving the chain exactly as it was at frame entry —
+    /// except gas, which stays charged for the work actually attempted.
+    /// Frames nest: an inner rollback leaves the outer frame's effects
+    /// intact.
+    ///
+    /// [`crate::Blockchain::call`] wraps every `handle` dispatch in an
+    /// implicit outer frame, so plain contracts are transactional without
+    /// opting in; `with_transaction` is for contracts that want to attempt a
+    /// compound sub-step and fall back without failing the whole call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error after rolling the frame back.
+    pub fn with_transaction<T>(
+        &mut self,
+        f: impl FnOnce(&mut CallEnv<'a>) -> Result<T, ContractError>,
+    ) -> Result<T, ContractError> {
+        let undo_mark = self.undo.len();
+        let event_mark = self.events.len();
+        match f(self) {
+            Ok(value) => Ok(value),
+            Err(err) => {
+                self.rollback_to(undo_mark, event_mark);
+                Err(err)
+            }
         }
     }
 
@@ -299,7 +423,10 @@ impl<'a> CallEnv<'a> {
             // (and free: no ledger operation is executed).
             return Ok(());
         }
+        let from_before = self.ledger.balance(from, asset);
+        let to_before = self.ledger.balance(to, asset);
         self.ledger.transfer(from, to, asset, amount)?;
+        self.undo.push(UndoOp { from, to, asset, amount, from_before, to_before });
         self.gas_used += self.gas_schedule.ledger_op;
         if self.trace.is_full() {
             self.events.push(ChainEvent {
@@ -338,7 +465,7 @@ mod tests {
         caches: &'a mut SimCaches,
         now: Time,
     ) -> CallEnv<'a> {
-        CallEnv::new(
+        CallEnv::with_undo_pool(
             ChainId(0),
             ContractId(7),
             PartyId(1),
@@ -349,6 +476,7 @@ mod tests {
             caches,
             TraceMode::Full,
             GasSchedule::DEFAULT,
+            Vec::new(),
         )
     }
 
@@ -359,7 +487,7 @@ mod tests {
         let mut caches = SimCaches::new();
         ledger.mint(AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(10));
         {
-            let mut env = CallEnv::new(
+            let mut env = CallEnv::with_undo_pool(
                 ChainId(0),
                 ContractId(7),
                 PartyId(1),
@@ -370,6 +498,7 @@ mod tests {
                 &mut caches,
                 TraceMode::Off,
                 GasSchedule::DEFAULT,
+                Vec::new(),
             );
             env.debit_caller(AssetId(0), Amount::new(4)).unwrap();
             env.emit_note("invisible");
@@ -462,11 +591,78 @@ mod tests {
 
     #[test]
     fn contract_message_blanket_impl() {
-        #[derive(Debug)]
+        #[derive(Clone, Debug)]
         struct Ping;
         let msg: Box<dyn ContractMessage> = Box::new(Ping);
-        // Call through the trait object (not the `Box` blanket impl) so the
+        // Call through the trait object (not a `Box` blanket impl) so the
         // concrete type seen by `Any` is `Ping`.
         assert!(msg.as_ref().as_any().downcast_ref::<Ping>().is_some());
+        // Cloning through the trait object preserves the concrete type.
+        let cloned = msg.as_ref().clone_message();
+        assert!(cloned.as_ref().as_any().downcast_ref::<Ping>().is_some());
+    }
+
+    #[test]
+    fn with_transaction_commits_on_ok_and_rolls_back_on_err() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        let mut caches = SimCaches::new();
+        ledger.mint(AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(10));
+        let mut env = env_fixture(&mut ledger, &mut events, &mut caches, Time(2));
+
+        // Committed frame: effects stay.
+        env.with_transaction(|env| {
+            env.debit_caller(AssetId(0), Amount::new(4))?;
+            env.emit_note("kept");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(env.contract_balance(AssetId(0)), Amount::new(4));
+
+        // Rolled-back frame: the mid-frame transfer and note are withdrawn,
+        // the committed frame above is untouched, gas stays charged.
+        let gas_before = env.gas_used();
+        let err = env
+            .with_transaction(|env| {
+                env.debit_caller(AssetId(0), Amount::new(5))?;
+                env.emit_note("withdrawn");
+                Err::<(), _>(ContractError::invalid_state("abort"))
+            })
+            .unwrap_err();
+        assert!(matches!(err, ContractError::InvalidState { .. }));
+        assert_eq!(env.contract_balance(AssetId(0)), Amount::new(4));
+        assert_eq!(env.caller_balance(AssetId(0)), Amount::new(6));
+        assert!(env.gas_used() > gas_before, "attempted work stays metered");
+        drop(env);
+        let notes: Vec<String> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Note { .. }))
+            .map(|e| e.to_string())
+            .collect();
+        assert_eq!(notes.len(), 1, "the rolled-back note is withdrawn: {notes:?}");
+        assert!(notes[0].contains("kept"));
+    }
+
+    #[test]
+    fn nested_transactions_roll_back_only_the_inner_frame() {
+        let mut ledger = Ledger::new();
+        let mut events = Vec::new();
+        let mut caches = SimCaches::new();
+        ledger.mint(AccountRef::Party(PartyId(1)), AssetId(0), Amount::new(10));
+        let mut env = env_fixture(&mut ledger, &mut events, &mut caches, Time(2));
+        env.with_transaction(|env| {
+            env.debit_caller(AssetId(0), Amount::new(2))?;
+            let inner: Result<(), ContractError> = env.with_transaction(|env| {
+                env.debit_caller(AssetId(0), Amount::new(3))?;
+                Err(ContractError::invalid_state("inner abort"))
+            });
+            assert!(inner.is_err());
+            // The outer frame's transfer survived the inner rollback.
+            assert_eq!(env.contract_balance(AssetId(0)), Amount::new(2));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(env.contract_balance(AssetId(0)), Amount::new(2));
+        assert_eq!(env.caller_balance(AssetId(0)), Amount::new(8));
     }
 }

@@ -56,7 +56,7 @@ mod world;
 
 pub use amount::{Amount, Payoff};
 pub use caches::SimCaches;
-pub use chain::Blockchain;
+pub use chain::{Blockchain, FinalityParams, ReorgEvent, ReorgPolicy, ReorgStats};
 pub use contract::{CallEnv, Contract, ContractMessage};
 pub use error::{ChainError, ContractError, LedgerError};
 pub use events::{CallDesc, ChainEvent, EventKind, NoteText, TraceMode};

@@ -248,7 +248,7 @@ fn apply_action(world: &mut World, party: PartyId, action: Action) -> ActionOutc
             ActionOutcome { party, description, result: Ok(()) }
         }
         Action::Call { addr, msg, description } => {
-            let result = world.call(party, addr, msg.as_ref().as_any(), description);
+            let result = world.call(party, addr, msg.as_ref(), description);
             ActionOutcome { party, description, result }
         }
     }
@@ -270,7 +270,7 @@ mod tests {
         total: Amount,
     }
 
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct DepositMsg(Amount);
 
     impl Contract for Pot {

@@ -8,7 +8,8 @@ use cryptosim::KeyDirectory;
 
 use crate::amount::Amount;
 use crate::caches::SimCaches;
-use crate::chain::{Blockchain, ChainSnapshot};
+use crate::chain::{Blockchain, ChainSnapshot, FinalityParams, ReorgEvent};
+use crate::contract::ContractMessage;
 use crate::error::ChainError;
 use crate::events::{CallDesc, TraceMode};
 #[cfg(test)]
@@ -60,6 +61,12 @@ pub struct World {
     delta_blocks: u64,
     started_at: Time,
     trace: TraceMode,
+    /// World rounds completed so far (one per [`World::advance_delta`]);
+    /// the clock that [`ReorgEvent::at_round`] schedules against.
+    rounds_elapsed: u64,
+    /// Pending scheduled reorgs, fired (and removed) by
+    /// [`World::advance_delta`] at the end of their round.
+    pending_reorgs: Vec<ReorgEvent>,
     /// Per-world memo store (see [`SimCaches`]): survives [`World::reset`]
     /// and [`World::restore`], and is deliberately excluded from snapshots.
     caches: SimCaches,
@@ -108,6 +115,8 @@ impl World {
             delta_blocks,
             started_at: Time::ZERO,
             trace,
+            rounds_elapsed: 0,
+            pending_reorgs: Vec::new(),
             caches: SimCaches::new(),
             registry_version: next_registry_version(),
         }
@@ -133,6 +142,8 @@ impl World {
         self.registry_version = next_registry_version();
         self.delta_blocks = delta_blocks;
         self.started_at = Time::ZERO;
+        self.rounds_elapsed = 0;
+        self.pending_reorgs.clear();
     }
 
     /// The trace mode of this world.
@@ -245,18 +256,67 @@ impl World {
         self.started_at = self.now();
     }
 
-    /// Advances every chain by Δ blocks.
+    /// Ends the current round: fires any reorg scheduled for it, then
+    /// advances every chain by its per-round block count — the world Δ, or
+    /// the chain's own [`FinalityParams::delta`] when one is set (the
+    /// heterogeneous-Δ case, where a fast chain mines more blocks per round
+    /// than a slow one).
     pub fn advance_delta(&mut self) {
-        for chain in &mut self.chains {
-            chain.advance_blocks(self.delta_blocks);
+        let round = self.rounds_elapsed;
+        if !self.pending_reorgs.is_empty() {
+            let mut i = 0;
+            while i < self.pending_reorgs.len() {
+                if self.pending_reorgs[i].at_round == round {
+                    // `remove` keeps the schedule in insertion order, so
+                    // same-round events always fire in the order scheduled.
+                    let event = self.pending_reorgs.remove(i);
+                    let World { chains, directory, caches, .. } = self;
+                    if let Some(chain) = chains.get_mut(event.chain.0 as usize) {
+                        chain.reorg(event.depth, event.policy, directory, caches);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
         }
+        for chain in &mut self.chains {
+            let per_chain = chain.finality().delta;
+            let blocks = if per_chain == 0 { self.delta_blocks } else { per_chain };
+            chain.end_round(blocks);
+        }
+        self.rounds_elapsed += 1;
     }
 
     /// Advances every chain by an arbitrary number of blocks.
+    ///
+    /// This is a raw clock jump used by tests and deadline-alignment code:
+    /// it does not close a round, so scheduled reorgs do not fire and
+    /// speculative windows do not roll forward.
     pub fn advance_blocks(&mut self, blocks: u64) {
         for chain in &mut self.chains {
             chain.advance_blocks(blocks);
         }
+    }
+
+    /// World rounds completed so far (one per [`World::advance_delta`]).
+    pub fn rounds_elapsed(&self) -> u64 {
+        self.rounds_elapsed
+    }
+
+    /// Sets a chain's finality/synchrony parameters; see [`FinalityParams`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain does not exist.
+    pub fn set_finality(&mut self, chain: ChainId, params: FinalityParams) {
+        self.chain_mut(chain).set_finality(params);
+    }
+
+    /// Schedules a deterministic reorg; see [`ReorgEvent`]. Events whose
+    /// round already passed, or whose chain has no speculative window, are
+    /// silently inert.
+    pub fn schedule_reorg(&mut self, event: ReorgEvent) {
+        self.pending_reorgs.push(event);
     }
 
     /// Publishes `contract` on `chain` under `label` and returns its address.
@@ -295,7 +355,7 @@ impl World {
         &mut self,
         caller: PartyId,
         addr: ContractAddr,
-        msg: &dyn std::any::Any,
+        msg: &dyn ContractMessage,
         call_description: impl Into<CallDesc>,
     ) -> Result<(), ChainError> {
         let World { chains, directory, caches, .. } = self;
@@ -333,6 +393,8 @@ impl World {
             delta_blocks: self.delta_blocks,
             started_at: self.started_at,
             trace: self.trace,
+            rounds_elapsed: self.rounds_elapsed,
+            pending_reorgs: self.pending_reorgs.clone(),
             registry_version: self.registry_version,
         }
     }
@@ -377,6 +439,8 @@ impl World {
         self.delta_blocks = snap.delta_blocks;
         self.started_at = snap.started_at;
         self.trace = snap.trace;
+        self.rounds_elapsed = snap.rounds_elapsed;
+        self.pending_reorgs.clone_from(&snap.pending_reorgs);
     }
 
     /// Total balance of `party` in `asset` summed over every chain.
@@ -400,6 +464,8 @@ pub struct WorldSnapshot {
     delta_blocks: u64,
     started_at: Time,
     trace: TraceMode,
+    rounds_elapsed: u64,
+    pending_reorgs: Vec<ReorgEvent>,
     registry_version: u64,
 }
 
@@ -584,6 +650,99 @@ mod tests {
         // The recycled chain starts its contract ids over.
         let addr = world.publish_labeled(a2, PartyId(0), "escrow", Box::new(Noop));
         assert_eq!(addr.contract, ContractId(0));
+    }
+
+    #[test]
+    fn scheduled_reorg_fires_at_its_round_and_drops_calls() {
+        use crate::chain::ReorgPolicy;
+
+        #[derive(Clone, Debug, Default)]
+        struct Sink;
+        impl Contract for Sink {
+            fn type_name(&self) -> &'static str {
+                "Sink"
+            }
+            fn clone_box(&self) -> Box<dyn Contract> {
+                Box::new(self.clone())
+            }
+            fn handle(&mut self, env: &mut CallEnv<'_>, _: &dyn Any) -> Result<(), ContractError> {
+                env.debit_caller(AssetId(0), Amount::new(1))?;
+                Ok(())
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+
+        let mut world = World::new(1);
+        let a = world.add_chain("a");
+        world.chain_mut(a).mint(PartyId(0), AssetId(0), Amount::new(5));
+        world.set_finality(a, FinalityParams { depth: 2, delta: 0 });
+        let addr = world.publish_labeled(a, PartyId(0), "sink", Box::new(Sink));
+        world.schedule_reorg(ReorgEvent {
+            chain: a,
+            at_round: 1,
+            depth: 1,
+            policy: ReorgPolicy::DropCalls,
+        });
+
+        world.advance_delta(); // round 0: nothing fires
+        world.call(PartyId(0), addr, &(), "drip").unwrap();
+        world.advance_delta(); // round 1: the round's deposit is dropped
+        assert_eq!(world.rounds_elapsed(), 2);
+        assert_eq!(world.party_balance(PartyId(0), AssetId(0)), Amount::new(5));
+        assert_eq!(world.chain(a).reorg_stats().dropped_calls, 1);
+
+        // The event fired exactly once; later rounds are unaffected.
+        world.call(PartyId(0), addr, &(), "drip").unwrap();
+        world.advance_delta();
+        assert_eq!(world.party_balance(PartyId(0), AssetId(0)), Amount::new(4));
+    }
+
+    #[test]
+    fn heterogeneous_delta_chains_advance_at_their_own_cadence() {
+        let mut world = World::new(2);
+        let fast = world.add_chain("fast");
+        let slow = world.add_chain("slow");
+        world.set_finality(fast, FinalityParams { depth: 0, delta: 5 });
+        world.advance_delta();
+        world.advance_delta();
+        assert_eq!(world.chain(fast).height(), Time(10));
+        assert_eq!(world.chain(slow).height(), Time(4));
+    }
+
+    #[test]
+    fn snapshot_restores_the_speculative_split_and_schedule() {
+        use crate::chain::ReorgPolicy;
+        let mut world = World::new(1);
+        let a = world.add_chain("a");
+        world.set_finality(a, FinalityParams { depth: 2, delta: 0 });
+        let addr = world.publish_labeled(a, PartyId(0), "noop", Box::new(Noop));
+        world.schedule_reorg(ReorgEvent {
+            chain: a,
+            at_round: 3,
+            depth: 2,
+            policy: ReorgPolicy::Redeliver,
+        });
+        world.advance_delta();
+        world.call(PartyId(0), addr, &(), "noop").unwrap();
+
+        let snap = world.snapshot();
+        world.call(PartyId(0), addr, &(), "noop").unwrap();
+        world.advance_delta();
+        world.advance_delta();
+        world.advance_delta(); // fires the scheduled reorg
+        assert!(world.chain(a).reorg_stats().reorgs > 0);
+
+        world.restore(&snap);
+        // The restored world is back before the reorg, with the schedule and
+        // round clock intact: replaying the rounds fires it again.
+        assert_eq!(world.rounds_elapsed(), 1);
+        assert_eq!(world.chain(a).reorg_stats().reorgs, 0);
+        world.advance_delta();
+        world.advance_delta();
+        world.advance_delta();
+        assert_eq!(world.chain(a).reorg_stats().reorgs, 1);
     }
 
     #[test]

@@ -19,9 +19,12 @@ struct Vault {
     calls: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum VaultMsg {
     Deposit(Amount),
+    /// Debits the caller, emits a note, and *then* fails: a multi-op call
+    /// whose partial effects the transactional frame must roll back.
+    DepositThenFail(Amount),
     Fail,
 }
 
@@ -40,6 +43,13 @@ impl Contract for Vault {
                 self.total += *amount;
                 self.calls += 1;
                 Ok(())
+            }
+            VaultMsg::DepositThenFail(amount) => {
+                env.debit_caller(AssetId(0), *amount)?;
+                self.total += *amount;
+                self.calls += 1;
+                env.emit_note("about to fail");
+                Err(ContractError::invalid_state("asked to fail after depositing"))
             }
             VaultMsg::Fail => {
                 self.calls += 1;
@@ -106,8 +116,8 @@ fn restore_after_a_failed_call_discards_its_side_effects() {
     let (mut world, addr) = build_world(TraceMode::Full);
     let snap = world.snapshot();
 
-    // A failing call still mutates contract-internal state (`calls`) and
-    // appends a CallFailed event before erroring.
+    // A failing call is rolled back transactionally, but it still appends a
+    // CallFailed event (and burns gas) before erroring.
     let err = world.call(PartyId(0), addr, &VaultMsg::Fail, "fail").unwrap_err();
     assert!(matches!(err, ChainError::ContractFailed { .. }));
     assert_ne!(observable_state(&world, addr), observable_state_of_snapshot(&snap, addr));
@@ -182,6 +192,55 @@ fn snapshots_skip_retired_spare_shells() {
     // The retired shells are recycled by later add_chain calls.
     let recycled = other.add_chain("w");
     assert_eq!(recycled.0, 1);
+}
+
+#[test]
+fn failed_calls_charge_gas_but_leave_zero_residue() {
+    // Pin of the transactional-call contract: a multi-op call that debits
+    // the caller, emits a note and then fails must charge gas for the work
+    // attempted while leaving ledger, notes and contract state untouched.
+    let (mut world, addr) = build_world(TraceMode::Full);
+    let chain = world.chain(addr.chain);
+    let schedule = chain.gas_schedule();
+    let gas_before = chain.gas_meter().total();
+    let party_before = chain.balance(AccountRef::Party(PartyId(0)), AssetId(0));
+    let vault_before = chain.balance(AccountRef::Contract(addr.contract), AssetId(0));
+    let calls_before = chain.contract_as::<Vault>(addr.contract).unwrap().calls;
+    let notes_before = chain
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, chainsim::EventKind::Note { .. }))
+        .count();
+
+    let err = world
+        .call(PartyId(0), addr, &VaultMsg::DepositThenFail(Amount::new(40)), "doomed")
+        .unwrap_err();
+    assert!(matches!(err, ChainError::ContractFailed { .. }));
+
+    let chain = world.chain(addr.chain);
+    // Gas is charged for everything the call attempted: dispatch, the
+    // rolled-back transfer, and the withdrawn note.
+    assert_eq!(
+        chain.gas_meter().total() - gas_before,
+        schedule.call_base + schedule.ledger_op + schedule.note,
+        "failed calls still pay for the work attempted"
+    );
+    assert_eq!(
+        chain.gas_meter().last_call(),
+        schedule.call_base + schedule.ledger_op + schedule.note
+    );
+    // ...but zero residue remains.
+    assert_eq!(chain.balance(AccountRef::Party(PartyId(0)), AssetId(0)), party_before);
+    assert_eq!(chain.balance(AccountRef::Contract(addr.contract), AssetId(0)), vault_before);
+    assert_eq!(chain.contract_as::<Vault>(addr.contract).unwrap().calls, calls_before);
+    let notes_after = chain
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, chainsim::EventKind::Note { .. }))
+        .count();
+    assert_eq!(notes_after, notes_before, "notes from the failed call are withdrawn");
+    // Conservation: total supply of the asset is untouched.
+    assert_eq!(chain.ledger().total_supply(AssetId(0)), Amount::new(100));
 }
 
 #[test]

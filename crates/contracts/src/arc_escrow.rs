@@ -353,6 +353,15 @@ impl ArcEscrow {
         if self.escrow_premium != PremiumSlotState::NotDeposited {
             return Err(ContractError::invalid_state("escrow premium already deposited"));
         }
+        if self.principal != PrincipalState::NotEscrowed {
+            // The escrow premium compensates the receiver if the asset never
+            // shows up; once the principal is escrowed it can serve no
+            // purpose — and no disposition rule would ever release it (the
+            // escrow-time refund already ran, and settle's disposition only
+            // covers the never-escrowed case), so accepting it here would
+            // strand the deposit forever. Found by the raw-call fuzz harness.
+            return Err(ContractError::invalid_state("asset already escrowed"));
+        }
         env.ensure_before(self.params.deadlines.escrow_premium_deadline)?;
         env.debit_caller(self.params.premium_asset, self.params.escrow_premium)?;
         self.escrow_premium = PremiumSlotState::Held;
@@ -373,6 +382,15 @@ impl ArcEscrow {
         }
         if self.redemption.contains_key(&leader) {
             return Err(ContractError::invalid_state("redemption premium already deposited"));
+        }
+        if self.presented.contains_key(&leader) {
+            // The premium insures the receiver against this leader's hashkey
+            // never arriving; once it has been presented the deposit can
+            // serve no purpose, and no disposition rule would ever release
+            // it (the presentation-time refund already ran, and settle only
+            // disposes premiums of never-presented leaders). Found by the
+            // raw-call fuzz harness.
+            return Err(ContractError::invalid_state("hashkey already presented"));
         }
         env.ensure_before(self.params.deadlines.redemption_path_deadline(path.len()))?;
         // Validate the path: starts at the receiver, ends at the leader, and

@@ -313,7 +313,7 @@ mod tests {
     #[test]
     fn unsupported_message_is_rejected() {
         let mut f = setup(Time(10));
-        #[derive(Debug)]
+        #[derive(Clone, Debug)]
         struct Bogus;
         assert!(f.world.call(ALICE, f.addr, &Bogus, "bogus").is_err());
     }

@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 
-use chainsim::{Amount, ContractAddr, PartyId, Time, World};
+use chainsim::{
+    AccountRef, Amount, ContractAddr, FinalityParams, PartyId, ReorgEvent, ReorgPolicy, Time, World,
+};
 use contracts::{
     ArcDeadlines, ArcEscrow, ArcEscrowMsg, ArcEscrowParams, AuctionCoinContract, AuctionCoinMsg,
     AuctionParams, AuctionTicketContract, AuctionTicketMsg, Hashkey, HashkeyVerifyCache,
@@ -604,6 +606,92 @@ fn arc_asset_escrow_survives_a_half_delta_outage_but_settle_recovers_a_crossing_
     assert!(f.world.call(BOB, f.addr, &ArcEscrowMsg::EscrowAsset, "late escrow").is_err());
     f.world.call(BOB, f.addr, &ArcEscrowMsg::Settle, "recovery settle").unwrap();
     assert_eq!(arc(&f).escrow_premium_state(), PremiumSlotState::Refunded);
+}
+
+// ---------------------------------------------------------------------------
+// Reorgs on the deadline tick. With finality lag configured, the last
+// `depth` rounds are speculative: a reorg rewinds them and re-delivers (or
+// drops) the rewound calls at the reorg height — which may now sit at or
+// past a deadline the original execution beat. These pins fix the
+// contract-level consequences: a censored (DropCalls) last-tick action
+// loses the *action* but never the *funds* (the inclusive settle/refund
+// path still recovers them), and a re-delivered action survives exactly
+// when the reorg height still beats its deadline.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drop_calls_reorg_censors_a_last_tick_redeem_but_refund_recovers() {
+    let mut f = htlc_fixture();
+    f.world.set_finality(f.addr.chain, FinalityParams { depth: 1, delta: 0 });
+    f.world.call(ALICE, f.addr, &HtlcMsg::Escrow, "escrow").unwrap();
+    for _ in 0..HTLC_TIMELOCK.height() - 1 {
+        f.world.advance_delta();
+    }
+    // Bob redeems at the last legal tick T − 1…
+    let secret = f.secret.clone();
+    f.world.call(BOB, f.addr, &HtlcMsg::Redeem { secret }, "last-tick redeem").unwrap();
+    assert_eq!(htlc_state(&f), HtlcState::Redeemed);
+    // …but a depth-1 DropCalls reorg at this round's close censors it.
+    f.world.schedule_reorg(ReorgEvent {
+        chain: f.addr.chain,
+        at_round: f.world.rounds_elapsed(),
+        depth: 1,
+        policy: ReorgPolicy::DropCalls,
+    });
+    f.world.advance_delta();
+    assert_eq!(htlc_state(&f), HtlcState::Escrowed, "the censored redeem must be unwound");
+    let stats = f.world.chain(f.addr.chain).reorg_stats();
+    assert_eq!((stats.reorgs, stats.rewound_calls, stats.dropped_calls), (1, 1, 1));
+    // The clock is now at T: the principal is past the redeem window but
+    // never stranded — Alice's inclusive refund recovers it.
+    f.world.call(ALICE, f.addr, &HtlcMsg::Refund, "recovery refund").unwrap();
+    assert_eq!(htlc_state(&f), HtlcState::Refunded);
+}
+
+#[test]
+fn redelivered_premium_survives_at_its_height_but_a_deeper_reorg_misses_the_deadline() {
+    // Depth 1: the rewound deposit re-executes at its original height
+    // (the reorg height equals the round it was made in), so it lands again.
+    let mut f = hedged_fixture();
+    f.world.set_finality(f.addr.chain, FinalityParams { depth: 1, delta: 0 });
+    f.world.advance_delta(); // height 1 = premium deadline − 1
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "edge premium").unwrap();
+    f.world.schedule_reorg(ReorgEvent {
+        chain: f.addr.chain,
+        at_round: f.world.rounds_elapsed(),
+        depth: 1,
+        policy: ReorgPolicy::Redeliver,
+    });
+    f.world.advance_delta();
+    assert_eq!(hedged(&f).premium_state(), HedgedPremiumState::Held);
+    let stats = f.world.chain(f.addr.chain).reorg_stats();
+    assert_eq!((stats.redelivered_calls, stats.redelivery_failures), (1, 0));
+
+    // Depth 2: the reorg strikes one round later, so the same last-tick
+    // deposit re-executes at exactly the premium deadline and is rejected —
+    // the loss is counted, and the rewind leaves Alice's funds intact.
+    let mut f = hedged_fixture();
+    let native = f.world.chain(f.addr.chain).native_asset();
+    f.world.set_finality(f.addr.chain, FinalityParams { depth: 2, delta: 0 });
+    f.world.advance_delta(); // height 1
+    f.world.call(ALICE, f.addr, &HedgedEscrowMsg::DepositPremium, "edge premium").unwrap();
+    f.world.advance_delta(); // height 2 = the premium deadline
+    f.world.schedule_reorg(ReorgEvent {
+        chain: f.addr.chain,
+        at_round: f.world.rounds_elapsed(),
+        depth: 2,
+        policy: ReorgPolicy::Redeliver,
+    });
+    f.world.advance_delta();
+    assert_eq!(hedged(&f).premium_state(), HedgedPremiumState::NotDeposited);
+    let stats = f.world.chain(f.addr.chain).reorg_stats();
+    assert_eq!((stats.redelivered_calls, stats.redelivery_failures), (0, 1));
+    let ledger = f.world.chain(f.addr.chain).ledger();
+    assert_eq!(
+        ledger.balance(AccountRef::Party(ALICE), native),
+        Amount::new(10),
+        "the rewound deposit must return to Alice, not strand in the contract"
+    );
 }
 
 #[test]

@@ -305,6 +305,7 @@ fn build_report(cfg: &MarketConfig, rounds: u32, shards: &[Shard]) -> MarketRepo
 
     latencies.sort_unstable();
     let gas_total: u64 = meterings.iter().map(|m| m.gas).sum();
+    let reorg_stats: Vec<chainsim::ReorgStats> = shards.iter().map(Shard::reorg_stats).collect();
     MarketReport {
         seed: cfg.seed,
         shards: cfg.shards,
@@ -314,6 +315,8 @@ fn build_report(cfg: &MarketConfig, rounds: u32, shards: &[Shard]) -> MarketRepo
         delta_blocks: cfg.delta_blocks,
         gas_price: cfg.gas_price,
         walkaway_percent: cfg.walkaway_percent,
+        reorg_interval: cfg.reorg_interval,
+        reorg_depth: cfg.reorg_depth,
         rounds,
         settled,
         settled_by_kind,
@@ -327,6 +330,10 @@ fn build_report(cfg: &MarketConfig, rounds: u32, shards: &[Shard]) -> MarketRepo
         fees_total: meterings.iter().map(|m| m.fees).sum(),
         calls: meterings.iter().map(|m| m.calls).sum(),
         failed_calls: meterings.iter().map(|m| m.failed_calls).sum(),
+        reorgs: reorg_stats.iter().map(|r| r.reorgs).sum(),
+        reorg_rewound_calls: reorg_stats.iter().map(|r| r.rewound_calls).sum(),
+        reorg_redelivered_calls: reorg_stats.iter().map(|r| r.redelivered_calls).sum(),
+        reorg_redelivery_failures: reorg_stats.iter().map(|r| r.redelivery_failures).sum(),
         shard_summaries: shards
             .iter()
             .zip(&meterings)
@@ -402,6 +409,60 @@ mod tests {
         let base = run_market(&smoke_cfg()).report;
         let cfg = MarketConfig { trace: TraceMode::Full, workers: 2, ..smoke_cfg() };
         assert_eq!(run_market(&cfg).report.digest(), base.digest());
+    }
+
+    fn reorg_cfg() -> MarketConfig {
+        MarketConfig { reorg_interval: 3, reorg_depth: 1, ..smoke_cfg() }
+    }
+
+    #[test]
+    fn depth_one_reorgs_are_observationally_harmless() {
+        // A depth-1 redelivering reorg rewinds only the open round and
+        // replays it verbatim, so settlement must match the no-reorg
+        // baseline exactly — only the reorg counters (and the config echo)
+        // may differ.
+        let baseline = run_market(&smoke_cfg()).report;
+        let report = run_market(&reorg_cfg()).report;
+        assert!(report.reorgs > 0, "the injector never fired");
+        assert_eq!(report.reorg_redelivered_calls, report.reorg_rewound_calls);
+        assert_eq!(report.reorg_redelivery_failures, 0);
+        assert_eq!(report.violations, 0, "violations: {:?}", report.violation_details);
+        assert_eq!(report.settled, baseline.settled);
+        assert_eq!(report.settled_by_kind, baseline.settled_by_kind);
+        assert_eq!(report.latency_p50_rounds, baseline.latency_p50_rounds);
+        assert_eq!(report.latency_max_rounds, baseline.latency_max_rounds);
+        assert_eq!(report.shard_summaries, baseline.shard_summaries);
+    }
+
+    #[test]
+    fn depth_two_reorgs_degrade_unmargined_deals_deterministically() {
+        // Market deal plans are compiled without a finality margin, so a
+        // depth-2 reorg re-delivers deadline-tight calls up to one round
+        // late and some deals miss their windows — the market-scale echo of
+        // the zero-margin sore-loser-by-reorg violation the sampled tier
+        // pins (and that `finality_margin ≥ depth − 1` repairs there). The
+        // degradation must be loud (counted, reported) and reproducible.
+        let cfg = MarketConfig { reorg_depth: 2, ..reorg_cfg() };
+        let report = run_market(&cfg).report;
+        assert!(report.reorgs > 0);
+        assert!(report.reorg_rewound_calls > 0, "depth-2 reorgs must rewind work");
+        assert!(report.reorg_redelivery_failures > 0, "late re-delivery must miss deadlines");
+        assert!(report.violations > 0, "missed deadlines must surface as violations");
+        assert!(report.settled < 60 && report.settled > 0, "settled {}", report.settled);
+        // Deterministic degradation: the same seed reproduces the same report.
+        assert_eq!(run_market(&cfg).report, report);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report_under_reorgs() {
+        let cfg = MarketConfig { reorg_depth: 2, ..reorg_cfg() };
+        let base = run_market(&cfg).report;
+        assert!(base.reorgs > 0, "the injector never fired");
+        for workers in [2, 4, 8] {
+            let run = run_market(&MarketConfig { workers, ..cfg.clone() });
+            assert_eq!(run.report, base, "workers={workers} diverged under reorgs");
+            assert_eq!(run.report.canonical_string(), base.canonical_string());
+        }
     }
 
     #[test]

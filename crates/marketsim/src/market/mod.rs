@@ -74,6 +74,21 @@ pub struct MarketConfig {
     /// premium phase, and the same share whose leader walks away after
     /// escrow — the scripted sore-loser load.
     pub walkaway_percent: u8,
+    /// Mean rounds between reorgs per shard (0 = no reorg injection). When
+    /// non-zero, each shard fires a redelivering reorg in any round where a
+    /// pure hash of `(seed, shard, round)` lands in the `1/reorg_interval`
+    /// bucket — a function of nothing else, so injection is byte-identical
+    /// across worker counts by construction.
+    #[serde(default)]
+    pub reorg_interval: u32,
+    /// Finality-window depth of every shard chain, and the depth of each
+    /// injected reorg (0 = instant finality, required when
+    /// `reorg_interval` is 0-free). Depth 1 rewinds and replays only the
+    /// open round — observationally identical settlement with non-zero
+    /// reorg counters; deeper reorgs re-deliver earlier rounds' calls up to
+    /// `depth − 1` rounds late.
+    #[serde(default)]
+    pub reorg_depth: u32,
 }
 
 impl Default for MarketConfig {
@@ -90,6 +105,8 @@ impl Default for MarketConfig {
             gas_price: 3,
             endowment: 1_000_000_000,
             walkaway_percent: 10,
+            reorg_interval: 0,
+            reorg_depth: 0,
         }
     }
 }
@@ -115,6 +132,10 @@ impl MarketConfig {
         assert!(self.delta_blocks > 0, "Δ must be at least one block");
         assert!(self.walkaway_percent <= 100, "walk-away share is a percent");
         assert!(self.endowment > 0, "parties need endowments");
+        assert!(
+            self.reorg_interval == 0 || self.reorg_depth > 0,
+            "reorg injection needs a non-zero reorg depth"
+        );
     }
 }
 

@@ -70,6 +70,13 @@ pub struct MarketReport {
     pub gas_price: u64,
     /// Scripted walk-away share of hedged swaps, in percent.
     pub walkaway_percent: u8,
+    /// Mean rounds between injected reorgs per shard (0 = injection off).
+    #[serde(default)]
+    pub reorg_interval: u32,
+    /// Finality-window depth of every shard chain and of each injected
+    /// reorg (0 = instant finality).
+    #[serde(default)]
+    pub reorg_depth: u32,
     /// Driver rounds executed.
     pub rounds: u32,
     /// Deals that reached their expected terminal state.
@@ -96,6 +103,18 @@ pub struct MarketReport {
     pub calls: u64,
     /// Total failed contract calls.
     pub failed_calls: u64,
+    /// Reorgs fired across all shards.
+    #[serde(default)]
+    pub reorgs: u64,
+    /// Calls rewound out of speculative rounds by those reorgs.
+    #[serde(default)]
+    pub reorg_rewound_calls: u64,
+    /// Rewound calls that re-applied successfully on the rebuilt chain.
+    #[serde(default)]
+    pub reorg_redelivered_calls: u64,
+    /// Rewound calls whose re-application failed (counted, never silent).
+    #[serde(default)]
+    pub reorg_redelivery_failures: u64,
     /// Per-shard accounting.
     pub shard_summaries: Vec<ShardSummary>,
 }
@@ -108,7 +127,7 @@ impl MarketReport {
         let _ = writeln!(
             s,
             "market seed={} shards={} accounts={} deals={} deals_per_round={} delta={} \
-             gas_price={} walkaway={}",
+             gas_price={} walkaway={} reorg_interval={} reorg_depth={}",
             self.seed,
             self.shards,
             self.accounts,
@@ -116,7 +135,9 @@ impl MarketReport {
             self.deals_per_round,
             self.delta_blocks,
             self.gas_price,
-            self.walkaway_percent
+            self.walkaway_percent,
+            self.reorg_interval,
+            self.reorg_depth
         );
         let _ = writeln!(
             s,
@@ -141,6 +162,14 @@ impl MarketReport {
             s,
             "gas total={} per_deal={} fees={} calls={} failed={}",
             self.gas_total, self.gas_per_deal, self.fees_total, self.calls, self.failed_calls
+        );
+        let _ = writeln!(
+            s,
+            "reorgs fired={} rewound={} redelivered={} redelivery_failures={}",
+            self.reorgs,
+            self.reorg_rewound_calls,
+            self.reorg_redelivered_calls,
+            self.reorg_redelivery_failures
         );
         for sh in &self.shard_summaries {
             let _ = writeln!(
@@ -222,6 +251,8 @@ mod tests {
             delta_blocks: 2,
             gas_price: 3,
             walkaway_percent: 10,
+            reorg_interval: 0,
+            reorg_depth: 0,
             rounds: 11,
             settled: 10,
             settled_by_kind: SettledByKind::default(),
@@ -235,12 +266,19 @@ mod tests {
             fees_total: 3000,
             calls: 80,
             failed_calls: 0,
+            reorgs: 0,
+            reorg_rewound_calls: 0,
+            reorg_redelivered_calls: 0,
+            reorg_redelivery_failures: 0,
             shard_summaries: Vec::new(),
         };
         let mut other = base.clone();
         assert_eq!(base.canonical_string(), other.canonical_string());
         assert_eq!(base.digest(), other.digest());
         other.settled = 9;
+        assert_ne!(base.digest(), other.digest());
+        other.settled = base.settled;
+        other.reorgs = 3;
         assert_ne!(base.digest(), other.digest());
     }
 }

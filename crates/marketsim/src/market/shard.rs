@@ -14,7 +14,10 @@
 
 use std::collections::BTreeMap;
 
-use chainsim::{Amount, AssetId, Blockchain, ChainId, Contract, ContractAddr, PartyId, World};
+use chainsim::{
+    Amount, AssetId, Blockchain, ChainId, Contract, ContractAddr, FinalityParams, PartyId,
+    ReorgEvent, ReorgPolicy, ReorgStats, World,
+};
 use contracts::{AuctionCoinContract, AuctionCoinMsg, AuctionTicketMsg, HedgedEscrowMsg, HtlcMsg};
 
 use super::deals::Deal;
@@ -114,6 +117,9 @@ pub struct Shard {
     failed_calls: u64,
     failures: Vec<String>,
     minted_per_asset: u128,
+    reorg_seed: u64,
+    reorg_interval: u32,
+    reorg_depth: u32,
 }
 
 impl Shard {
@@ -136,6 +142,11 @@ impl Shard {
             chain_mut.mint(PartyId(p), TOKEN_ASSET, endowment);
             chain_mut.mint(PartyId(p), NATIVE_ASSET, endowment);
         }
+        if cfg.reorg_depth > 0 {
+            // `delta: 0` inherits the world Δ, so confirmation lag scales
+            // with the run's synchrony bound.
+            world.set_finality(chain, FinalityParams { depth: cfg.reorg_depth, delta: 0 });
+        }
 
         Shard {
             id,
@@ -151,6 +162,9 @@ impl Shard {
             failed_calls: 0,
             failures: Vec::new(),
             minted_per_asset: u128::from(cfg.accounts) * cfg.endowment,
+            reorg_seed: cfg.seed,
+            reorg_interval: cfg.reorg_interval,
+            reorg_depth: cfg.reorg_depth,
         }
     }
 
@@ -233,7 +247,36 @@ impl Shard {
         }
         self.deals = deals;
 
+        if self.reorg_due(round) {
+            // Fires inside `advance_delta` at this round's close: the chain
+            // rewinds its speculative window and re-delivers the rewound
+            // calls in order. The decision is a pure function of
+            // `(seed, shard, round)`, so injection cannot depend on the
+            // worker count.
+            self.world.schedule_reorg(ReorgEvent {
+                chain: self.chain,
+                at_round: self.world.rounds_elapsed(),
+                depth: self.reorg_depth,
+                policy: ReorgPolicy::Redeliver,
+            });
+        }
         self.world.advance_delta();
+    }
+
+    /// Whether the seed-pinned injector fires a reorg on this shard this
+    /// round. Round 0 is exempt so endowment setup is never rewound into a
+    /// half-open window.
+    fn reorg_due(&self, round: u32) -> bool {
+        if self.reorg_interval == 0 || round == 0 {
+            return false;
+        }
+        let stream = self.reorg_seed ^ (u64::from(self.id) << 32) ^ u64::from(round);
+        super::SplitMix64::new(stream).below(u64::from(self.reorg_interval)) == 0
+    }
+
+    /// Reorg counters of this shard's chain (all zero when injection is off).
+    pub fn reorg_stats(&self) -> ReorgStats {
+        self.chain().reorg_stats()
     }
 
     fn step_deal(&mut self, deal: &mut Deal, offset: u32) {

@@ -76,6 +76,7 @@ pub fn compare_protocols(experiment: &RationalExperiment) -> RationalComparison 
         premium_a: chainsim::Amount::new(premium),
         premium_b: chainsim::Amount::new(premium),
         delta_blocks: 2,
+        ..TwoPartyConfig::default()
     };
 
     let mut base = RationalOutcome::default();

@@ -37,7 +37,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
-use chainsim::{PartyId, World};
+use chainsim::{ChainId, PartyId, ReorgEvent, ReorgPolicy, World};
 use marketsim::rational::best_response;
 use protocols::auction::{self, run_auction_in, run_auction_shared, AuctionConfig, AUCTIONEER};
 use protocols::bootstrap::{run_bootstrap_in, run_bootstrap_shared, BootstrapDeviation};
@@ -45,8 +45,8 @@ use protocols::deal::{self, run_deal_in, run_deal_shared, DealConfig};
 use protocols::outcome::Payoffs;
 use protocols::script::{DelayVector, Fault, Strategy, Timing, MAX_DELAY_STEPS};
 use protocols::two_party::{
-    self, run_base_swap_in, run_hedged_swap_in, run_swap_shared, SwapProtocol, TwoPartyConfig,
-    TwoPartyReport, ALICE, BOB,
+    self, run_base_swap_in, run_hedged_swap_in, run_swap_shared, run_swap_with_realism_in,
+    swap_max_rounds, SwapProtocol, SwapRealism, TwoPartyConfig, TwoPartyReport, ALICE, BOB,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -160,6 +160,35 @@ fn sample_profile(spec: &SampleSpec, rng: &mut StdRng) -> BTreeMap<PartyId, Stra
     profile
 }
 
+/// The deepest reorg the sampled realism axis draws; both chains of a
+/// reorg family run a finality window of this depth. A family whose config
+/// carries `finality_margin ≥ MAX_REORG_DEPTH − 1` is expected to hold.
+pub const MAX_REORG_DEPTH: u32 = 2;
+
+/// Draws the chain-realism overlay for one reorg-family sample: both
+/// chains at the maximum finality depth, plus (with probability ⅞) one
+/// redelivering reorg with a uniform chain, round within the run horizon
+/// and depth in `1..=MAX_REORG_DEPTH`. Only [`ReorgPolicy::Redeliver`] is
+/// sampled: a call-dropping reorg silently deletes a compliant party's
+/// action, which no deadline schedule can defend against — that axis is
+/// covered by the explicit drop-policy pins, not the theorem families.
+fn sample_realism(rng: &mut StdRng, horizon: u64) -> SwapRealism {
+    let mut realism = SwapRealism {
+        apricot_depth: MAX_REORG_DEPTH,
+        banana_depth: MAX_REORG_DEPTH,
+        reorgs: Vec::new(),
+    };
+    if rng.gen_range(0..8u32) != 0 {
+        realism.reorgs.push(ReorgEvent {
+            chain: ChainId(rng.gen_range(0..2u32)),
+            at_round: rng.gen_range(1..horizon),
+            depth: rng.gen_range(1..MAX_REORG_DEPTH + 1),
+            policy: ReorgPolicy::Redeliver,
+        });
+    }
+    realism
+}
+
 /// One decoded sampled scenario — the reproducible object a `(seed, index)`
 /// pair re-derives, and the unit the shrinker minimizes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -170,6 +199,16 @@ pub enum SampledScenario {
         alice: Strategy,
         /// Bob's strategy.
         bob: Strategy,
+    },
+    /// A two-party swap joint strategy under a chain-realism overlay
+    /// (finality lag plus a sampled reorg schedule).
+    TwoPartyReorg {
+        /// Alice's strategy.
+        alice: Strategy,
+        /// Bob's strategy.
+        bob: Strategy,
+        /// The sampled finality/reorg overlay.
+        realism: SwapRealism,
     },
     /// A deal-engine (multi-party swap or broker) deviators-only profile.
     Deal {
@@ -193,6 +232,17 @@ impl SampledScenario {
     fn describe(&self) -> String {
         match self {
             SampledScenario::TwoParty { alice, bob } => format!("alice={alice}, bob={bob}"),
+            SampledScenario::TwoPartyReorg { alice, bob, realism } => {
+                let mut out = format!("alice={alice}, bob={bob}");
+                for reorg in &realism.reorgs {
+                    let _ = write!(
+                        out,
+                        ", reorg(chain={}, round={}, depth={})",
+                        reorg.chain.0, reorg.at_round, reorg.depth
+                    );
+                }
+                out
+            }
             SampledScenario::Deal { profile } => format!("profile {profile:?}"),
             SampledScenario::Auction { behaviour, profile } => {
                 format!("behaviour {:?}, profile {profile:?}", BEHAVIOURS[*behaviour])
@@ -205,6 +255,7 @@ impl SampledScenario {
 #[derive(Clone, Debug)]
 enum SampledTarget {
     TwoParty { config: TwoPartyConfig, protocol: SwapProtocol, conforming_only: bool },
+    TwoPartyReorg { config: TwoPartyConfig },
     Deal { name: String, config: DealConfig },
     Auction { config: AuctionConfig },
 }
@@ -230,6 +281,29 @@ impl SampledSweep {
                 protocol: SwapProtocol::Hedged,
                 conforming_only: false,
             },
+            seed,
+            samples,
+            replay: false,
+        }
+    }
+
+    /// Samples the hedged swap under chain realism: both chains run a
+    /// [`MAX_REORG_DEPTH`]-deep finality window and each sample draws,
+    /// besides a full-axis strategy profile, up to one redelivering reorg
+    /// (chain × round × depth). With
+    /// [`TwoPartyConfig::finality_margin`]` ≥ MAX_REORG_DEPTH − 1` the
+    /// padded contract deadlines absorb every re-delivery and the family
+    /// is expected to hold; with a zero margin a reorg can push a
+    /// conforming party's last-tick call past its unpadded deadline — the
+    /// documented sore-loser-by-reorg violation the rendered-regression
+    /// tests pin.
+    ///
+    /// Reorg scenarios rewind speculative rounds from the very first
+    /// round, so the shared-prefix resumption the other two-party families
+    /// use is not sound here: every sample replays in full.
+    pub fn hedged_two_party_reorgs(config: TwoPartyConfig, seed: u64, samples: usize) -> Self {
+        SampledSweep {
+            target: SampledTarget::TwoPartyReorg { config },
             seed,
             samples,
             replay: false,
@@ -320,6 +394,22 @@ impl SampledSweep {
                     bob: profile.get(&BOB).copied().unwrap_or(Strategy::compliant()),
                 }
             }
+            SampledTarget::TwoPartyReorg { config } => {
+                let steps = script_steps(SwapProtocol::Hedged);
+                let spec = SampleSpec {
+                    parties: vec![(ALICE, steps), (BOB, steps)],
+                    delta_blocks: config.delta_blocks,
+                    max_deviators: 2,
+                    conforming_only: false,
+                };
+                let profile = sample_profile(&spec, &mut rng);
+                let realism = sample_realism(&mut rng, swap_max_rounds(config));
+                SampledScenario::TwoPartyReorg {
+                    alice: profile.get(&ALICE).copied().unwrap_or(Strategy::compliant()),
+                    bob: profile.get(&BOB).copied().unwrap_or(Strategy::compliant()),
+                    realism,
+                }
+            }
             SampledTarget::Deal { config, .. } => {
                 let spec = SampleSpec {
                     parties: config
@@ -380,14 +470,32 @@ impl SampledSweep {
         }
         let targets: BTreeSet<(PartyId, &'static str)> =
             original_violations.iter().map(|v| (v.party, v.property)).collect();
-        let profile = scenario_profile(&original);
+        // Reorg scenarios shrink their realism overlay first (drop the
+        // reorg, then reduce its depth), so the rendered regression carries
+        // the smallest reorg that still witnesses the violation.
+        let base = if let SampledScenario::TwoPartyReorg { alice, bob, realism } = &original {
+            let minimal_realism = shrink_realism(realism, |candidate| {
+                let scenario = SampledScenario::TwoPartyReorg {
+                    alice: *alice,
+                    bob: *bob,
+                    realism: candidate.clone(),
+                };
+                self.check_scenario(&scenario)
+                    .iter()
+                    .any(|v| targets.contains(&(v.party, v.property)))
+            });
+            SampledScenario::TwoPartyReorg { alice: *alice, bob: *bob, realism: minimal_realism }
+        } else {
+            original.clone()
+        };
+        let profile = scenario_profile(&base);
         let minimal_profile = shrink_profile(&profile, |candidate| {
-            let candidate_scenario = rebuild_scenario(&original, candidate);
+            let candidate_scenario = rebuild_scenario(&base, candidate);
             self.check_scenario(&candidate_scenario)
                 .iter()
                 .any(|v| targets.contains(&(v.party, v.property)))
         });
-        let minimal = rebuild_scenario(&original, &minimal_profile);
+        let minimal = rebuild_scenario(&base, &minimal_profile);
         let violations = self.check_scenario(&minimal);
         Some(ShrunkViolation {
             family: self.family(),
@@ -494,7 +602,9 @@ impl SampledSweep {
                     improvements: outcome.improvements,
                 })
             }
-            SampledTarget::Auction { .. } => None,
+            // No per-party margin to climb against for auctions; for reorg
+            // families the adversary is the environment, not a strategy.
+            SampledTarget::TwoPartyReorg { .. } | SampledTarget::Auction { .. } => None,
         }
     }
 
@@ -514,6 +624,18 @@ impl SampledSweep {
                     *conforming_only,
                 );
                 profile_space(2, per, if *conforming_only { 1 } else { 2 })
+            }
+            SampledTarget::TwoPartyReorg { config } => {
+                let per = per_party_domain(
+                    script_steps(SwapProtocol::Hedged),
+                    config.delta_blocks,
+                    false,
+                );
+                // The realism axis: no reorg, or one redelivering reorg with
+                // a free chain (2), round (1..horizon) and depth.
+                let realism_axis =
+                    1.0 + 2.0 * f64::from(MAX_REORG_DEPTH) * (swap_max_rounds(config) - 1) as f64;
+                profile_space(2, per, 2) * realism_axis
             }
             SampledTarget::Deal { config, .. } => {
                 let per = per_party_domain(deal::SCRIPT_STEPS, config.delta_blocks, false);
@@ -569,6 +691,23 @@ impl SampledSweep {
                 );
                 judge_two_party(&report, alice, bob, label)
             }
+            (
+                SampledTarget::TwoPartyReorg { config },
+                SampledScenario::TwoPartyReorg { alice, bob, realism },
+            ) => {
+                // No shared-prefix fast path: reorgs rewind speculative
+                // rounds from round one, so the full run is the only sound
+                // execution (and the replay oracle coincides with it).
+                let report = run_swap_with_realism_in(
+                    scratch,
+                    config,
+                    SwapProtocol::Hedged,
+                    *alice,
+                    *bob,
+                    realism,
+                );
+                judge_two_party(&report, *alice, *bob, label)
+            }
             (SampledTarget::Deal { config, .. }, SampledScenario::Deal { profile }) => {
                 let report = oracle_or(
                     self.replay,
@@ -621,6 +760,10 @@ impl ScenarioGen for SampledSweep {
                     format!("sampled {kind} two-party swap")
                 }
             }
+            SampledTarget::TwoPartyReorg { config } => format!(
+                "sampled hedged two-party swap under reorgs (margin {})",
+                config.finality_margin
+            ),
             SampledTarget::Deal { name, .. } => format!("sampled {name}"),
             SampledTarget::Auction { .. } => "sampled auction".into(),
         }
@@ -791,7 +934,8 @@ fn binomial_f64(n: usize, k: usize) -> f64 {
 /// absent), the representation the shrinker minimizes.
 fn scenario_profile(scenario: &SampledScenario) -> BTreeMap<PartyId, Strategy> {
     match scenario {
-        SampledScenario::TwoParty { alice, bob } => [(ALICE, *alice), (BOB, *bob)]
+        SampledScenario::TwoParty { alice, bob }
+        | SampledScenario::TwoPartyReorg { alice, bob, .. } => [(ALICE, *alice), (BOB, *bob)]
             .into_iter()
             .filter(|(_, strategy)| *strategy != Strategy::compliant())
             .collect(),
@@ -811,6 +955,11 @@ fn rebuild_scenario(
         SampledScenario::TwoParty { .. } => SampledScenario::TwoParty {
             alice: profile.get(&ALICE).copied().unwrap_or(Strategy::compliant()),
             bob: profile.get(&BOB).copied().unwrap_or(Strategy::compliant()),
+        },
+        SampledScenario::TwoPartyReorg { realism, .. } => SampledScenario::TwoPartyReorg {
+            alice: profile.get(&ALICE).copied().unwrap_or(Strategy::compliant()),
+            bob: profile.get(&BOB).copied().unwrap_or(Strategy::compliant()),
+            realism: realism.clone(),
         },
         SampledScenario::Deal { .. } => SampledScenario::Deal { profile: profile.clone() },
         SampledScenario::Auction { behaviour, .. } => {
@@ -854,6 +1003,44 @@ pub fn shrink_profile(
                         break;
                     }
                 }
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Greedily minimizes the realism overlay of a violating reorg sample
+/// under a caller-supplied still-violates predicate: reorgs are dropped
+/// outright, then surviving depths decremented, as long as the verdict is
+/// preserved. Finality depths are left as drawn — with no (or shallower)
+/// reorgs they are inert, and keeping them pins the window the surviving
+/// reorg needs.
+fn shrink_realism(
+    original: &SwapRealism,
+    mut violates: impl FnMut(&SwapRealism) -> bool,
+) -> SwapRealism {
+    let mut current = original.clone();
+    loop {
+        let mut improved = false;
+        for index in (0..current.reorgs.len()).rev() {
+            let mut dropped = current.clone();
+            dropped.reorgs.remove(index);
+            if violates(&dropped) {
+                current = dropped;
+                improved = true;
+            }
+        }
+        for index in 0..current.reorgs.len() {
+            while current.reorgs[index].depth > 1 {
+                let mut shallower = current.clone();
+                shallower.reorgs[index].depth -= 1;
+                if !violates(&shallower) {
+                    break;
+                }
+                current = shallower;
+                improved = true;
             }
         }
         if !improved {
@@ -994,6 +1181,12 @@ fn scenario_expr(scenario: &SampledScenario) -> String {
             strategy_expr(alice),
             strategy_expr(bob)
         ),
+        SampledScenario::TwoPartyReorg { alice, bob, realism } => format!(
+            "SampledScenario::TwoPartyReorg {{ alice: {}, bob: {}, realism: {} }}",
+            strategy_expr(alice),
+            strategy_expr(bob),
+            realism_expr(realism)
+        ),
         SampledScenario::Deal { profile } => {
             format!("SampledScenario::Deal {{ profile: {} }}", profile_expr(profile))
         }
@@ -1002,6 +1195,29 @@ fn scenario_expr(scenario: &SampledScenario) -> String {
             profile_expr(profile)
         ),
     }
+}
+
+/// Renders a [`SwapRealism`] overlay as a fully-qualified Rust expression,
+/// so generated regression tests need no extra imports.
+fn realism_expr(realism: &SwapRealism) -> String {
+    let reorgs: Vec<String> = realism
+        .reorgs
+        .iter()
+        .map(|reorg| {
+            format!(
+                "chainsim::ReorgEvent {{ chain: chainsim::ChainId({}), at_round: {}, \
+                 depth: {}, policy: chainsim::ReorgPolicy::{:?} }}",
+                reorg.chain.0, reorg.at_round, reorg.depth, reorg.policy
+            )
+        })
+        .collect();
+    format!(
+        "protocols::two_party::SwapRealism {{ apricot_depth: {}, banana_depth: {}, \
+         reorgs: vec![{}] }}",
+        realism.apricot_depth,
+        realism.banana_depth,
+        reorgs.join(", ")
+    )
 }
 
 fn profile_expr(profile: &BTreeMap<PartyId, Strategy>) -> String {
@@ -1225,6 +1441,12 @@ mod tests {
         // Bootstrap: the enumerable closed form.
         let bootstrap = SampledBootstrap::new(1_000, 1_000, 10, 2, 1, 50);
         assert_eq!(bootstrap.sampled_space(), 19.0);
+        // Reorg family: the hedged profile space times the realism axis —
+        // no reorg, or chain (2) × depth (MAX_REORG_DEPTH) × round
+        // (horizon − 1 = 19 at the default config's 8Δ + 4 = 20 rounds).
+        let reorgs = SampledSweep::hedged_two_party_reorgs(TwoPartyConfig::default(), 1, 100);
+        let hedged_space = 1.0 + 2.0 * (per - 1.0) + (per - 1.0) * (per - 1.0);
+        assert_eq!(reorgs.sampled_space(), hedged_space * 77.0);
     }
 
     #[test]
@@ -1323,6 +1545,82 @@ mod tests {
         assert!(rendered.contains("fn sampled_regression_seed_5eed_sample_7()"));
         assert!(rendered.contains("Timing::Delay(DelayVector([0, 1, 0, 0, 0, 0, 0, 0]))"));
         assert!(rendered.contains("violation.property == \"hedged\""));
+        assert!(rendered.contains("family.check_scenario(&scenario)"));
+    }
+
+    #[test]
+    fn reorg_scenarios_rederive_and_respect_their_axes() {
+        let config = TwoPartyConfig {
+            finality_margin: u64::from(MAX_REORG_DEPTH - 1),
+            ..TwoPartyConfig::default()
+        };
+        let horizon = swap_max_rounds(&config);
+        let family = SampledSweep::hedged_two_party_reorgs(config, 0x5EED, 256);
+        let mut with_reorg = 0usize;
+        for index in 0..256 {
+            assert_eq!(family.scenario_at(index), family.scenario_at(index));
+            let SampledScenario::TwoPartyReorg { realism, .. } = family.scenario_at(index) else {
+                panic!("reorg target must draw reorg scenarios");
+            };
+            assert_eq!(realism.apricot_depth, MAX_REORG_DEPTH);
+            assert_eq!(realism.banana_depth, MAX_REORG_DEPTH);
+            assert!(realism.reorgs.len() <= 1, "at most one sampled reorg");
+            for reorg in &realism.reorgs {
+                assert!(reorg.chain.0 < 2);
+                assert!((1..=MAX_REORG_DEPTH).contains(&reorg.depth));
+                assert!((1..horizon).contains(&reorg.at_round));
+                assert_eq!(reorg.policy, ReorgPolicy::Redeliver);
+                with_reorg += 1;
+            }
+        }
+        assert!(with_reorg > 128, "most samples carry a reorg ({with_reorg}/256)");
+    }
+
+    #[test]
+    fn reorg_family_with_margin_holds_on_the_engine() {
+        // The documented fix: a finality margin of `MAX_REORG_DEPTH − 1`
+        // absorbs every redelivering reorg the family samples, so the
+        // hedged theorem holds across the full strategy × reorg space.
+        let config = TwoPartyConfig {
+            finality_margin: u64::from(MAX_REORG_DEPTH - 1),
+            ..TwoPartyConfig::default()
+        };
+        let family = SampledSweep::hedged_two_party_reorgs(config, 0xFACE, 300);
+        let serial = ParallelSweep::new(1).run(&family);
+        let parallel = ParallelSweep::new(4).run(&family);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.runs, 300);
+        assert!(serial.holds(), "{:?}", serial.violations);
+    }
+
+    #[test]
+    fn zero_margin_reorg_violation_is_found_shrunk_and_rendered() {
+        // The documented sore-loser-by-reorg regression, pinned through the
+        // sampled tier's full reproduction pipeline: with a zero finality
+        // margin the family must surface a violation within the pinned
+        // budget, shrink it to a minimal still-violating scenario and
+        // render a regression test for it. This is the "no silent red"
+        // path — the violation is genuine and its fix (the margin) is
+        // pinned by `reorg_family_with_margin_holds_on_the_engine`.
+        let family =
+            SampledSweep::hedged_two_party_reorgs(TwoPartyConfig::default(), 0x5EED, 4_000);
+        let index = family
+            .find_violation(4_000)
+            .expect("a zero-margin reorg family must surface a violation in the pinned budget");
+        let shrunk = family.shrink(index).expect("the violating sample must shrink");
+        assert!(
+            !family.check_scenario(&shrunk.minimal).is_empty(),
+            "the minimal scenario still violates"
+        );
+        let SampledScenario::TwoPartyReorg { realism, .. } = &shrunk.minimal else {
+            panic!("reorg shrinks stay reorg scenarios");
+        };
+        assert_eq!(realism.reorgs.len(), 1, "the reorg is load-bearing: {:?}", shrunk.minimal);
+        let rendered = shrunk.regression_test(
+            "SampledSweep::hedged_two_party_reorgs(TwoPartyConfig::default(), 0x5EED, 4_000)",
+        );
+        assert!(rendered.contains("SampledScenario::TwoPartyReorg"));
+        assert!(rendered.contains("chainsim::ReorgEvent"));
         assert!(rendered.contains("family.check_scenario(&scenario)"));
     }
 

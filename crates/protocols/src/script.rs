@@ -177,7 +177,7 @@ pub fn outage_blocks(quarters: u8, delta: u64) -> u64 {
 /// The message a [`Fault::Garbage`] deviator emits: no contract downcasts
 /// it, so the call is rejected with `UnsupportedMessage` — modelling the
 /// wrong-preimage/garbage emissions well-formed contracts must shrug off.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct GarbageCall;
 
 /// How a party behaves during a protocol run: a walk-away budget, a timing
@@ -1376,7 +1376,7 @@ mod tests {
     }
 
     /// Minimal contract/message fixtures for the fault tests.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct Ping;
 
     #[derive(Clone, Debug)]

@@ -77,6 +77,26 @@ pub struct TwoPartyConfig {
     pub premium_b: Amount,
     /// The synchrony bound Δ, in blocks.
     pub delta_blocks: u64,
+    /// Per-chain Δ override for the apricot chain, in blocks (zero inherits
+    /// [`delta_blocks`](TwoPartyConfig::delta_blocks)). Heterogeneous
+    /// per-chain Δ stretches the deadline ladder: each step's deadline
+    /// extends the previous one by the Δ of the chain that step's action
+    /// must propagate on.
+    #[serde(default)]
+    pub delta_apricot: u64,
+    /// Per-chain Δ override for the banana chain; see
+    /// [`delta_apricot`](TwoPartyConfig::delta_apricot).
+    #[serde(default)]
+    pub delta_banana: u64,
+    /// Finality margin in blocks, padded into every *contract* deadline but
+    /// never into the compliant scripts' give-up times. A re-delivered call
+    /// displaced by a depth-`d` reorg lands at most `d − 1` rounds late, so
+    /// a margin of `d − 1` makes re-delivering reorgs observationally
+    /// harmless to compliant parties; with a margin of zero a reorg can
+    /// push a last-tick call past its deadline (the sore-loser-by-reorg
+    /// scenario the sampled sweeps hunt).
+    #[serde(default)]
+    pub finality_margin: u64,
 }
 
 impl Default for TwoPartyConfig {
@@ -87,13 +107,84 @@ impl Default for TwoPartyConfig {
             premium_a: Amount::new(2),
             premium_b: Amount::new(2),
             delta_blocks: 2,
+            delta_apricot: 0,
+            delta_banana: 0,
+            finality_margin: 0,
         }
     }
 }
 
+/// The hedged swap's six-deadline ladder (§5.2), generalized over per-chain
+/// Δ. With both chains at the global Δ this is exactly the paper's
+/// `1Δ, 2Δ, …, 6Δ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HedgedSchedule {
+    /// Alice's premium deposit on the banana chain (`1Δ`).
+    pub premium_banana: Time,
+    /// Bob's premium deposit on the apricot chain (`2Δ`).
+    pub premium_apricot: Time,
+    /// Alice's principal escrow on the apricot chain (`3Δ`).
+    pub escrow_apricot: Time,
+    /// Bob's principal escrow on the banana chain (`4Δ`).
+    pub escrow_banana: Time,
+    /// Alice's redemption on the banana chain (`5Δ`).
+    pub redeem_banana: Time,
+    /// Bob's redemption on the apricot chain (`6Δ`).
+    pub redeem_apricot: Time,
+}
+
 impl TwoPartyConfig {
-    fn delta(&self, steps: u64) -> Time {
-        Time(self.delta_blocks * steps)
+    /// The apricot chain's effective Δ in blocks.
+    pub fn delta_a(&self) -> u64 {
+        if self.delta_apricot == 0 {
+            self.delta_blocks
+        } else {
+            self.delta_apricot
+        }
+    }
+
+    /// The banana chain's effective Δ in blocks.
+    pub fn delta_b(&self) -> u64 {
+        if self.delta_banana == 0 {
+            self.delta_blocks
+        } else {
+            self.delta_banana
+        }
+    }
+
+    /// The hedged deadline ladder for this configuration: cumulative sums
+    /// where each step adds the Δ of the chain its action propagates on.
+    pub fn hedged_schedule(&self) -> HedgedSchedule {
+        let (da, db) = (self.delta_a(), self.delta_b());
+        let t1 = db; // Alice's premium is on banana
+        let t2 = t1 + da; // Bob's premium is on apricot
+        let t3 = t2 + da; // Alice's escrow is on apricot
+        let t4 = t3 + db; // Bob's escrow is on banana
+        let t5 = t4 + db; // Alice's redeem is on banana
+        let t6 = t5 + da; // Bob's redeem is on apricot
+        HedgedSchedule {
+            premium_banana: Time(t1),
+            premium_apricot: Time(t2),
+            escrow_apricot: Time(t3),
+            escrow_banana: Time(t4),
+            redeem_banana: Time(t5),
+            redeem_apricot: Time(t6),
+        }
+    }
+
+    /// The base (§5.1) HTLC timelocks `(banana, apricot)`: the banana leg
+    /// times out after `Δ_a + Δ_b` (the paper's `2Δ`), the apricot leg one
+    /// apricot-propagation later (`2Δ_a + Δ_b`, the paper's `3Δ`).
+    pub fn base_timelocks(&self) -> (Time, Time) {
+        let (da, db) = (self.delta_a(), self.delta_b());
+        (Time(da + db), Time(2 * da + db))
+    }
+
+    /// Pads a contract-side deadline with the finality margin. Compliant
+    /// scripts keep the unpadded time, so their last legal call is at least
+    /// `finality_margin` blocks clear of the contract's cut-off.
+    fn padded(&self, deadline: Time) -> Time {
+        deadline.plus(self.finality_margin)
     }
 }
 
@@ -181,7 +272,11 @@ fn hedged_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
     let banana = world.chains().nth(1).expect("banana chain").id();
     let secret = Secret::from_seed(0xA11CE);
     let hashlock = secret.hashlock();
+    let sched = config.hedged_schedule();
 
+    // Contract deadlines are padded with the finality margin; the compliant
+    // scripts act against the unpadded ladder, so a reorg re-delivering a
+    // last-tick call up to `finality_margin` blocks late still lands.
     // Banana-chain contract: Bob escrows B, Alice deposits p_a + p_b.
     let banana_contract = world.publish_labeled(
         banana,
@@ -195,9 +290,9 @@ fn hedged_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
             premium_asset: banana_native,
             premium_amount: config.premium_a + config.premium_b,
             hashlock,
-            premium_deadline: config.delta(1),
-            escrow_deadline: config.delta(4),
-            redeem_deadline: config.delta(5),
+            premium_deadline: config.padded(sched.premium_banana),
+            escrow_deadline: config.padded(sched.escrow_banana),
+            redeem_deadline: config.padded(sched.redeem_banana),
         })),
     );
     // Apricot-chain contract: Alice escrows A, Bob deposits p_b.
@@ -213,9 +308,9 @@ fn hedged_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
             premium_asset: apricot_native,
             premium_amount: config.premium_b,
             hashlock,
-            premium_deadline: config.delta(2),
-            escrow_deadline: config.delta(3),
-            redeem_deadline: config.delta(6),
+            premium_deadline: config.padded(sched.premium_apricot),
+            escrow_deadline: config.padded(sched.escrow_apricot),
+            redeem_deadline: config.padded(sched.redeem_apricot),
         })),
     );
     Setup {
@@ -236,7 +331,10 @@ fn base_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
     let secret = Secret::from_seed(0xA11CE);
     let hashlock = secret.hashlock();
 
-    // §5.1: Alice's apricot escrow with timelock 3Δ, Bob's banana escrow with 2Δ.
+    // §5.1: Alice's apricot escrow with timelock 3Δ, Bob's banana escrow
+    // with 2Δ (both generalized over per-chain Δ and padded with the
+    // finality margin, like the hedged contracts).
+    let (banana_timelock, apricot_timelock) = config.base_timelocks();
     let apricot_contract = world.publish_labeled(
         apricot,
         ALICE,
@@ -247,7 +345,7 @@ fn base_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
             apricot_token,
             config.alice_tokens,
             hashlock,
-            config.delta(3),
+            config.padded(apricot_timelock),
         )),
     );
     let banana_contract = world.publish_labeled(
@@ -260,7 +358,7 @@ fn base_setup(world: &mut World, config: &TwoPartyConfig) -> Setup {
             banana_token,
             config.bob_tokens,
             hashlock,
-            config.delta(2),
+            config.padded(banana_timelock),
         )),
     );
     Setup {
@@ -305,10 +403,13 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     let banana = setup.banana_contract;
     let apricot = setup.apricot_contract;
     let secret = setup.secret.clone();
-    let premium_give_up = config.delta(1);
-    let escrow_give_up = config.delta(3);
-    let redeem_give_up = config.delta(5);
-    let final_deadline = config.delta(6);
+    let sched = config.hedged_schedule();
+    let premium_give_up = sched.premium_banana;
+    let escrow_give_up = sched.escrow_apricot;
+    let redeem_give_up = sched.redeem_banana;
+    // Settlement waits for the *padded* final deadline: contracts only
+    // become settleable once their (margin-padded) cut-offs pass.
+    let final_deadline = config.padded(sched.redeem_apricot);
     vec![
         Step::new("alice: deposit premium on banana", move |_world: &World| {
             StepOutcome::Complete(vec![Action::call(
@@ -356,10 +457,11 @@ fn hedged_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
 fn hedged_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     let banana = setup.banana_contract;
     let apricot = setup.apricot_contract;
-    let premium_give_up = config.delta(2);
-    let escrow_give_up = config.delta(4);
-    let redeem_give_up = config.delta(6);
-    let final_deadline = config.delta(6);
+    let sched = config.hedged_schedule();
+    let premium_give_up = sched.premium_apricot;
+    let escrow_give_up = sched.escrow_banana;
+    let redeem_give_up = sched.redeem_apricot;
+    let final_deadline = config.padded(sched.redeem_apricot);
     vec![
         Step::new("bob: deposit premium on apricot", move |world: &World| {
             if world.now().has_reached(premium_give_up) {
@@ -437,10 +539,13 @@ fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     let banana = setup.banana_contract;
     let secret = setup.secret.clone();
     // Alice's escrow is legal until the apricot timelock (3Δ); her
-    // redemption must land strictly before the banana timelock (2Δ).
-    let escrow_deadline = config.delta(3);
-    let redeem_give_up = config.delta(2);
-    let final_deadline = config.delta(3);
+    // redemption must land strictly before the banana timelock (2Δ). The
+    // give-ups use the unpadded timelocks: the margin is contract-side
+    // slack for reorg re-delivery, not extra time to act.
+    let (banana_timelock, apricot_timelock) = config.base_timelocks();
+    let escrow_deadline = apricot_timelock;
+    let redeem_give_up = banana_timelock;
+    let final_deadline = config.padded(apricot_timelock);
     vec![
         Step::new("alice: escrow principal on apricot", move |_world: &World| {
             StepOutcome::Complete(vec![Action::call(
@@ -477,7 +582,8 @@ fn base_alice_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
 fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     let apricot = setup.apricot_contract;
     let banana = setup.banana_contract;
-    let escrow_give_up = config.delta(2);
+    let (banana_timelock, apricot_timelock) = config.base_timelocks();
+    let escrow_give_up = banana_timelock;
     // The secret can only *appear* strictly before the banana timelock
     // (2Δ), but Bob observes the chain with a one-round lag and can legally
     // redeem until the apricot timelock (3Δ). Giving up already at 2Δ — as
@@ -490,10 +596,10 @@ fn base_bob_steps(setup: &Setup, config: &TwoPartyConfig) -> Vec<Step> {
     // sweeps can prove they find and shrink it (see modelcheck's canary
     // tests); it must never be enabled in a real build.
     #[cfg(not(feature = "canary-bugs"))]
-    let redeem_give_up = config.delta(2).plus(1);
+    let redeem_give_up = banana_timelock.plus(1);
     #[cfg(feature = "canary-bugs")]
-    let redeem_give_up = config.delta(2);
-    let final_deadline = config.delta(3);
+    let redeem_give_up = banana_timelock;
+    let final_deadline = config.padded(apricot_timelock);
     vec![
         Step::new("bob: escrow principal on banana", move |world: &World| {
             if world.now().has_reached(escrow_give_up) {
@@ -603,8 +709,17 @@ fn swap_actors(
     ]
 }
 
-fn swap_max_rounds(config: &TwoPartyConfig) -> u64 {
-    config.delta_blocks * 8 + 4
+/// The round budget a two-party run gets before the driver declares it
+/// stuck: the last padded deadline plus two propagation rounds of slack.
+/// Also the horizon for [`SwapRealism`] reorg schedules — a reorg at or
+/// beyond this round can never fire within the run.
+pub fn swap_max_rounds(config: &TwoPartyConfig) -> u64 {
+    // Reduces to the long-standing `8Δ + 4` bound when both chains share
+    // the global Δ and the margin is zero, keeping homogeneous runs
+    // bit-identical.
+    config.padded(config.hedged_schedule().redeem_apricot).0
+        + 2 * config.delta_a().max(config.delta_b())
+        + 4
 }
 
 fn swap_assets(setup: &Setup) -> [AssetId; 4] {
@@ -816,6 +931,72 @@ pub fn run_base_swap_in(
     run(world, config, SwapProtocol::Base, alice, bob)
 }
 
+/// Chain-realism overlay for a two-party run: per-chain finality lag plus a
+/// deterministic reorg schedule, applied to the freshly set-up world before
+/// the first protocol round. The default overlay (zero depths, no reorgs)
+/// reproduces [`run_hedged_swap_in`]/[`run_base_swap_in`] exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwapRealism {
+    /// Finality lag (revertible trailing rounds) of the apricot chain.
+    pub apricot_depth: u32,
+    /// Finality lag of the banana chain.
+    pub banana_depth: u32,
+    /// Reorgs to schedule, in firing order. In two-party worlds the apricot
+    /// chain is [`chainsim::ChainId`]`(0)` and the banana chain is
+    /// `ChainId(1)`; `at_round` counts protocol rounds from setup.
+    pub reorgs: Vec<chainsim::ReorgEvent>,
+}
+
+/// Runs a two-party swap under a [`SwapRealism`] overlay: finality lag on
+/// either chain and scheduled reorgs that rewind speculative rounds and
+/// re-deliver (or drop) the affected calls.
+///
+/// This is the entry point for the reorg fault axis in sampled sweeps: with
+/// [`TwoPartyConfig::finality_margin`] at least `depth − 1`, re-delivering
+/// reorgs are absorbed by the padded contract deadlines; with a zero margin
+/// they can push a compliant party's last-tick call past its deadline.
+pub fn run_swap_with_realism_in(
+    world: &mut World,
+    config: &TwoPartyConfig,
+    protocol: SwapProtocol,
+    alice: Strategy,
+    bob: Strategy,
+    realism: &SwapRealism,
+) -> TwoPartyReport {
+    let setup = swap_setup(world, config, protocol);
+    let apricot = world.chains().next().expect("apricot chain").id();
+    let banana = world.chains().nth(1).expect("banana chain").id();
+    if realism.apricot_depth > 0 {
+        world.set_finality(
+            apricot,
+            chainsim::FinalityParams { depth: realism.apricot_depth, delta: 0 },
+        );
+    }
+    if realism.banana_depth > 0 {
+        world.set_finality(
+            banana,
+            chainsim::FinalityParams { depth: realism.banana_depth, delta: 0 },
+        );
+    }
+    for event in &realism.reorgs {
+        world.schedule_reorg(*event);
+    }
+    let before = BalanceSnapshot::capture(world, &[ALICE, BOB], &swap_assets(&setup));
+    let actors = swap_actors(&setup, config, protocol, alice, bob);
+    let run_report = run_parties(world, actors, swap_max_rounds(config));
+    finish_swap_report(
+        world,
+        config,
+        protocol,
+        alice,
+        bob,
+        &setup,
+        &before,
+        run_report.failures().len(),
+        run_report.rounds(),
+    )
+}
+
 /// The per-worker deviation-tree cache for one two-party configuration
 /// (one per protocol variant): the recorded compliant prefix plus the
 /// setup report derivation needs.
@@ -983,5 +1164,162 @@ mod tests {
         cfg.delta_blocks = 6;
         let report = run_base_swap(&cfg, Strategy::compliant(), Strategy::stop_after(0));
         assert_eq!(report.alice_lockup.principal_blocks, 18);
+    }
+
+    #[test]
+    fn hedged_schedule_reduces_to_the_paper_ladder_at_equal_delta() {
+        let sched = config().hedged_schedule();
+        let d = config().delta_blocks;
+        assert_eq!(sched.premium_banana, Time(d));
+        assert_eq!(sched.premium_apricot, Time(2 * d));
+        assert_eq!(sched.escrow_apricot, Time(3 * d));
+        assert_eq!(sched.escrow_banana, Time(4 * d));
+        assert_eq!(sched.redeem_banana, Time(5 * d));
+        assert_eq!(sched.redeem_apricot, Time(6 * d));
+        assert_eq!(config().base_timelocks(), (Time(2 * d), Time(3 * d)));
+    }
+
+    #[test]
+    fn heterogeneous_delta_stretches_the_ladder_per_chain() {
+        let cfg = TwoPartyConfig { delta_apricot: 1, delta_banana: 3, ..config() };
+        let sched = cfg.hedged_schedule();
+        // t1 = Δ_b, then +Δ_a, +Δ_a, +Δ_b, +Δ_b, +Δ_a.
+        assert_eq!(sched.premium_banana, Time(3));
+        assert_eq!(sched.premium_apricot, Time(4));
+        assert_eq!(sched.escrow_apricot, Time(5));
+        assert_eq!(sched.escrow_banana, Time(8));
+        assert_eq!(sched.redeem_banana, Time(11));
+        assert_eq!(sched.redeem_apricot, Time(12));
+        assert_eq!(cfg.base_timelocks(), (Time(4), Time(5)));
+    }
+
+    #[test]
+    fn heterogeneous_delta_swaps_complete_and_stay_hedged() {
+        for (da, db) in [(1, 3), (3, 1), (2, 5)] {
+            let cfg = TwoPartyConfig { delta_apricot: da, delta_banana: db, ..config() };
+            let report = run_hedged_swap(&cfg, Strategy::compliant(), Strategy::compliant());
+            assert!(report.swap_completed, "compliant hedged swap completes at Δ=({da},{db})");
+            assert!(report.hedged_for_alice && report.hedged_for_bob);
+            assert!(report.payoffs.conserved());
+            // Unilateral walk-aways stay compensated under skewed Δ too.
+            for k in 0..4 {
+                let r = run_hedged_swap(&cfg, Strategy::compliant(), Strategy::stop_after(k));
+                assert!(r.hedged_for_alice, "Alice hedged at Δ=({da},{db}), Bob stops after {k}");
+                let r = run_hedged_swap(&cfg, Strategy::stop_after(k), Strategy::compliant());
+                assert!(r.hedged_for_bob, "Bob hedged at Δ=({da},{db}), Alice stops after {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_realism_reproduces_the_plain_run() {
+        let plain = run_hedged_swap(&config(), Strategy::compliant(), Strategy::compliant());
+        let overlay = run_swap_with_realism_in(
+            &mut World::new(1),
+            &config(),
+            SwapProtocol::Hedged,
+            Strategy::compliant(),
+            Strategy::compliant(),
+            &SwapRealism::default(),
+        );
+        assert_eq!(plain.swap_completed, overlay.swap_completed);
+        assert_eq!(plain.payoffs, overlay.payoffs);
+        assert_eq!(plain.rounds, overlay.rounds);
+        assert_eq!(plain.failed_actions, overlay.failed_actions);
+    }
+
+    #[test]
+    fn redeliver_reorgs_with_margin_are_absorbed_by_compliant_runs() {
+        // Finality lag 2 on both chains, margin depth − 1 = 1, and a
+        // redelivering reorg in every protocol round on alternating chains:
+        // the padded deadlines absorb every re-delivery, so the swap still
+        // completes and both parties stay hedged.
+        let cfg = TwoPartyConfig { finality_margin: 1, ..config() };
+        let mut realism = SwapRealism { apricot_depth: 2, banana_depth: 2, reorgs: Vec::new() };
+        for round in 0..20 {
+            realism.reorgs.push(chainsim::ReorgEvent {
+                chain: chainsim::ChainId((round % 2) as u32),
+                at_round: round,
+                depth: 2,
+                policy: chainsim::ReorgPolicy::Redeliver,
+            });
+        }
+        for (alice, bob) in [
+            (Strategy::compliant(), Strategy::compliant()),
+            (Strategy::compliant().late(), Strategy::compliant()),
+            (Strategy::compliant(), Strategy::compliant().late()),
+        ] {
+            let report = run_swap_with_realism_in(
+                &mut World::new(1),
+                &cfg,
+                SwapProtocol::Hedged,
+                alice,
+                bob,
+                &realism,
+            );
+            assert!(report.swap_completed, "reorgs within the margin cannot break the swap");
+            assert!(report.hedged_for_alice && report.hedged_for_bob);
+            assert!(report.payoffs.conserved());
+        }
+    }
+
+    #[test]
+    fn zero_margin_reorg_swallows_a_procrastinated_redeem() {
+        // The sore-loser-by-reorg scenario: with no finality margin, a
+        // depth-2 redelivering reorg can push a procrastinating (but fully
+        // compliant) party's last-tick call past its unpadded deadline, so
+        // the swap dies even though nobody deviated. Scan every candidate
+        // reorg round: at least one must break the zero-margin run, and a
+        // `finality_margin` of depth − 1 must absorb every single one.
+        let cfg = config();
+        let horizon = swap_max_rounds(&cfg);
+        let realism_at = |at_round: u64| SwapRealism {
+            apricot_depth: 0,
+            banana_depth: 2,
+            reorgs: vec![chainsim::ReorgEvent {
+                chain: chainsim::ChainId(1),
+                at_round,
+                depth: 2,
+                policy: chainsim::ReorgPolicy::Redeliver,
+            }],
+        };
+        let mut violating_rounds = Vec::new();
+        for at_round in 1..horizon {
+            let report = run_swap_with_realism_in(
+                &mut World::new(1),
+                &cfg,
+                SwapProtocol::Hedged,
+                Strategy::compliant().late(),
+                Strategy::compliant().late(),
+                &realism_at(at_round),
+            );
+            assert!(report.payoffs.conserved());
+            if !(report.swap_completed && report.hedged_for_alice && report.hedged_for_bob) {
+                violating_rounds.push(at_round);
+            }
+        }
+        assert!(
+            !violating_rounds.is_empty(),
+            "some reorg round must swallow a last-tick call at margin 0"
+        );
+        // The same schedules with the margin keep the theorem intact: every
+        // previously violating reorg round now completes, hedged for both.
+        let fixed_cfg = TwoPartyConfig { finality_margin: 1, ..cfg };
+        for at_round in violating_rounds {
+            let fixed = run_swap_with_realism_in(
+                &mut World::new(1),
+                &fixed_cfg,
+                SwapProtocol::Hedged,
+                Strategy::compliant().late(),
+                Strategy::compliant().late(),
+                &realism_at(at_round),
+            );
+            assert!(
+                fixed.swap_completed,
+                "a finality margin of depth − 1 absorbs the reorg at round {at_round}"
+            );
+            assert!(fixed.hedged_for_alice && fixed.hedged_for_bob);
+            assert!(fixed.payoffs.conserved());
+        }
     }
 }

@@ -104,6 +104,35 @@ fn main() {
         assert!(base.accounts >= 100_000, "committed run must use >= 100k shared accounts");
     }
 
+    // The same market under seed-pinned reorg injection: every shard chain
+    // keeps a depth-1 finality window and fires a redelivering reorg
+    // roughly every 4 rounds. Depth-1 rewinds replay the open round
+    // verbatim, so settlement must stay clean — and the report must stay
+    // byte-identical across worker counts with reorgs firing.
+    let reorg_cfg = MarketConfig { reorg_interval: 4, reorg_depth: 1, ..cfg.clone() };
+    let reorg_base = run_market(&reorg_cfg).report;
+    assert!(reorg_base.reorgs > 0, "reorg injector never fired");
+    assert_eq!(
+        reorg_base.violations, 0,
+        "depth-1 reorgs must not break settlement: {:?}",
+        reorg_base.violation_details
+    );
+    assert_eq!(reorg_base.settled, cfg.deals, "reorg run: not every deal settled");
+    for &workers in &WORKER_COUNTS[1..] {
+        let run = run_market(&MarketConfig { workers, ..reorg_cfg.clone() });
+        assert_eq!(
+            run.report.canonical_string(),
+            reorg_base.canonical_string(),
+            "workers={workers}: reorg-run report diverged from 1-worker run"
+        );
+    }
+    let reorg_digest = reorg_base.digest();
+    println!(
+        "reorg run: {} reorgs, {} calls rewound+replayed, digest {reorg_digest} identical \
+         across workers {WORKER_COUNTS:?}",
+        reorg_base.reorgs, reorg_base.reorg_rewound_calls
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"market_settlement\",\n");
@@ -137,6 +166,18 @@ fn main() {
     let _ = writeln!(json, "    \"calls\": {},", base.calls);
     let _ = writeln!(json, "    \"failed_calls\": {},", base.failed_calls);
     let _ = writeln!(json, "    \"digest\": \"{digest}\"");
+    json.push_str("  },\n");
+    json.push_str("  \"reorg_run\": {\n");
+    let _ = writeln!(json, "    \"reorg_interval\": {},", reorg_cfg.reorg_interval);
+    let _ = writeln!(json, "    \"reorg_depth\": {},", reorg_cfg.reorg_depth);
+    let _ = writeln!(json, "    \"reorgs\": {},", reorg_base.reorgs);
+    let _ = writeln!(json, "    \"rewound_calls\": {},", reorg_base.reorg_rewound_calls);
+    let _ = writeln!(json, "    \"redelivered_calls\": {},", reorg_base.reorg_redelivered_calls);
+    let _ =
+        writeln!(json, "    \"redelivery_failures\": {},", reorg_base.reorg_redelivery_failures);
+    let _ = writeln!(json, "    \"settled\": {},", reorg_base.settled);
+    let _ = writeln!(json, "    \"violations\": {},", reorg_base.violations);
+    let _ = writeln!(json, "    \"digest\": \"{reorg_digest}\"");
     json.push_str("  },\n");
     json.push_str("  \"settled_deals_per_sec\": {\n");
     for (i, (workers, run)) in runs.iter().enumerate() {

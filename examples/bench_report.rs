@@ -39,7 +39,7 @@ use std::time::Instant;
 
 use sore_loser_hedging::modelcheck::engine::{ParallelSweep, ScenarioGen};
 use sore_loser_hedging::modelcheck::multi_party_families;
-use sore_loser_hedging::modelcheck::sampled::{SampledBootstrap, SampledSweep};
+use sore_loser_hedging::modelcheck::sampled::{SampledBootstrap, SampledSweep, MAX_REORG_DEPTH};
 use sore_loser_hedging::modelcheck::scenarios::{
     AuctionSweep, BootstrapSweep, BrokerSweep, DealSweep, TwoPartySweep,
 };
@@ -97,6 +97,10 @@ struct SampledMeta {
     samples: usize,
     space: f64,
     coverage: f64,
+    /// `Some((finality_depth, finality_margin))` for families that run the
+    /// chain-realism overlay; recorded in the JSON so the reproduction key
+    /// pins the reorg parameters alongside the seed.
+    realism: Option<(u32, u64)>,
 }
 
 struct FamilySet {
@@ -110,11 +114,22 @@ struct FamilySet {
 /// Wraps one randomized family as a bench set, capturing its reproduction
 /// key and how much of the deviation space the budget covers.
 fn sampled_set(name: &'static str, family: SampledSweep) -> FamilySet {
+    sampled_set_realism(name, family, None)
+}
+
+/// Like [`sampled_set`], additionally pinning the chain-realism parameters
+/// (finality depth, finality margin) into the reproduction key.
+fn sampled_set_realism(
+    name: &'static str,
+    family: SampledSweep,
+    realism: Option<(u32, u64)>,
+) -> FamilySet {
     let meta = SampledMeta {
         seed: family.seed(),
         samples: family.samples(),
         space: family.sampled_space(),
         coverage: family.coverage().min(1.0),
+        realism,
     };
     FamilySet { name, gens: vec![Box::new(family)], sampled: Some(meta) }
 }
@@ -195,6 +210,22 @@ fn family_sets() -> Vec<FamilySet> {
         "sampled two-party hedged",
         SampledSweep::hedged_two_party(TwoPartyConfig::default(), SAMPLED_SEED, 40_000),
     ));
+    // The chain-realism family: both chains at a MAX_REORG_DEPTH finality
+    // window, each sample drawing a full-axis strategy profile plus up to
+    // one redelivering reorg. The margin-padded deadlines must absorb
+    // every re-delivery (margin = MAX_REORG_DEPTH − 1 is the theorem's
+    // threshold); the budget is smaller than the reorg-free families'
+    // because reorg samples forgo the shared-prefix fast path.
+    let margin = u64::from(MAX_REORG_DEPTH - 1);
+    sets.push(sampled_set_realism(
+        "sampled two-party hedged under reorgs",
+        SampledSweep::hedged_two_party_reorgs(
+            TwoPartyConfig { finality_margin: margin, ..TwoPartyConfig::default() },
+            SAMPLED_SEED,
+            10_000,
+        ),
+        Some((MAX_REORG_DEPTH, margin)),
+    ));
     sets.push(sampled_set(
         "sampled two-party base conforming",
         SampledSweep::base_two_party(TwoPartyConfig::default(), SAMPLED_SEED, 40_000),
@@ -220,6 +251,7 @@ fn family_sets() -> Vec<FamilySet> {
             samples: 25_000,
             space,
             coverage: (25_000.0 / space).min(1.0),
+            realism: None,
         }),
         gens: vec![Box::new(bootstrap)],
     });
@@ -441,6 +473,10 @@ fn main() {
             let _ = writeln!(json, "        \"seed\": \"{:#x}\",", meta.seed);
             let _ = writeln!(json, "        \"samples_per_sweep\": {},", meta.samples);
             let _ = writeln!(json, "        \"sampled_space\": {:e},", finite_or_zero(meta.space));
+            if let Some((depth, margin)) = meta.realism {
+                let _ = writeln!(json, "        \"finality_depth\": {depth},");
+                let _ = writeln!(json, "        \"finality_margin\": {margin},");
+            }
             let _ = writeln!(json, "        \"coverage\": {:e}", finite_or_zero(meta.coverage));
             let _ = writeln!(json, "      }},");
         }

@@ -37,6 +37,7 @@ proptest! {
             premium_a: Amount::new(premium_a),
             premium_b: Amount::new(premium_b),
             delta_blocks: 2,
+            ..TwoPartyConfig::default()
         };
         let alice = if alice_compliant { Strategy::compliant() } else { Strategy::stop_after(alice_stop) };
         let bob = if bob_compliant { Strategy::compliant() } else { Strategy::stop_after(bob_stop) };
