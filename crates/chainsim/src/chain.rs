@@ -506,6 +506,14 @@ impl Blockchain {
         self.contracts.len()
     }
 
+    /// Iterates over the live contracts on this chain, in publication
+    /// order. Static analyzers use this to collect every published
+    /// contract's [`StateSpec`](crate::StateSpec) without knowing the
+    /// concrete types.
+    pub fn contracts(&self) -> impl Iterator<Item = &dyn Contract> {
+        self.contracts.iter().filter_map(|slot| slot.as_deref())
+    }
+
     /// The chain's public event log (empty under [`TraceMode::Off`]).
     pub fn events(&self) -> &[ChainEvent] {
         &self.events

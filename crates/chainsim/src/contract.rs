@@ -12,6 +12,7 @@ use crate::events::{ChainEvent, EventKind, NoteText, TraceMode};
 use crate::gas::GasSchedule;
 use crate::ids::{AssetId, ChainId, ContractId, PartyId};
 use crate::ledger::{AccountRef, Ledger};
+use crate::spec::StateSpec;
 use crate::time::Time;
 
 /// Marker trait for typed contract messages.
@@ -80,6 +81,19 @@ pub trait Contract: fmt::Debug + Send {
     /// Upcasts to [`Any`] so observers can downcast to the concrete type and
     /// read its public state.
     fn as_any(&self) -> &dyn Any;
+
+    /// The contract's static custody specification, if it declares one.
+    ///
+    /// Production contract families return a [`StateSpec`] describing their
+    /// states, depositable funds and disposition edges so the `staticcheck`
+    /// analyzer can prove disposition-completeness without executing calls;
+    /// see the [`crate::spec`] module docs (exported via [`StateSpec`]) for
+    /// the obligations a spec carries — custody fidelity, window fidelity
+    /// and composite-state completeness. The default is `None`, which the
+    /// analyzer treats as "opted out" (test doubles, fixtures).
+    fn state_spec(&self) -> Option<StateSpec> {
+        None
+    }
 }
 
 /// The execution environment handed to a contract during a call.

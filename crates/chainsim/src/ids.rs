@@ -156,6 +156,9 @@ mod tests {
 
     #[test]
     fn ids_are_copy_and_hashable() {
+        // The point of this test is that ids are hashable; the set is
+        // local and its order is never observed.
+        // staticcheck: allow(SC302)
         use std::collections::HashSet;
         let mut set = HashSet::new();
         set.insert(PartyId(1));

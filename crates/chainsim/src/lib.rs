@@ -51,6 +51,7 @@ mod gas;
 mod ids;
 mod ledger;
 mod sim;
+mod spec;
 mod time;
 mod world;
 
@@ -69,6 +70,7 @@ pub use sim::{
     run_round, run_round_with, Action, ActionOutcome, Actor, RoundBuffers, RunReport, Scheduler,
     StepTrace,
 };
+pub use spec::{Disposition, FundSpec, StateMachine, StateSpec, TimeWindow, TransitionSpec};
 pub use time::{StepSchedule, Time};
 pub use world::{World, WorldSnapshot};
 

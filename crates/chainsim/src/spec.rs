@@ -1,0 +1,313 @@
+//! Machine-readable contract state specifications for static analysis.
+//!
+//! A [`StateSpec`] is a contract author's declaration of the contract's
+//! custody behaviour as one or more finite [`StateMachine`]s: which states
+//! exist, which transitions deposit funds into contract custody, and which
+//! transitions *dispose* of them (redeem, refund or forfeit) inside which
+//! time windows. Static analyzers (the `staticcheck` crate) consume these
+//! specs to prove disposition-completeness — every depositable fund in
+//! every reachable state has at least one feasible exit path — without
+//! executing a single call.
+//!
+//! # Contract-author obligations
+//!
+//! A spec is a *claim about the implementation*, so authors owe the
+//! analyzer three things:
+//!
+//! 1. **Custody fidelity.** Every `debit_caller`/`pay_into_contract` site
+//!    in the contract must correspond to a transition that lists the fund
+//!    in [`TransitionSpec::deposits`], and every `pay_out` site to a
+//!    transition listing it in [`TransitionSpec::releases`]. A guard that
+//!    rejects a deposit in some state is modelled by *omitting* the
+//!    deposit transition from that state — and conversely, relaxing a
+//!    runtime guard without adding the matching spec transition silently
+//!    hides a stranding hazard from the analyzer. Keep the spec edit
+//!    adjacent to the guard edit (the `canary-bugs` gates in
+//!    `contracts::arc_escrow` are the worked example).
+//! 2. **Window fidelity.** A transition's [`TimeWindow`] must use the same
+//!    bounds the implementation enforces via [`CallEnv::ensure_before`]
+//!    (exclusive upper bound) and [`CallEnv::ensure_reached`] (inclusive
+//!    lower bound). Data guards (hashlock matches, signature checks,
+//!    caller identity) are intentionally *not* modelled: the analyzer
+//!    over-approximates reachability, which is sound for stranding
+//!    detection.
+//! 3. **Completeness of states.** Composite custody situations (two funds
+//!    held at once) need composite states; a spec that collapses them can
+//!    mask a stranding that only occurs in the combined state.
+//!
+//! [`CallEnv::ensure_before`]: crate::CallEnv::ensure_before
+//! [`CallEnv::ensure_reached`]: crate::CallEnv::ensure_reached
+
+use crate::time::Time;
+
+/// How a disposition transition releases a fund from contract custody.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Disposition {
+    /// The fund reaches the counterparty the protocol intends (principal
+    /// redeemed by the receiver, winning bid collected, …).
+    Redeem,
+    /// The fund returns to its depositor.
+    Refund,
+    /// The fund is paid to the counterparty as compensation (the sore-loser
+    /// premium payouts).
+    Forfeit,
+}
+
+impl Disposition {
+    /// Stable lower-case label used in analyzer output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Redeem => "redeem",
+            Disposition::Refund => "refund",
+            Disposition::Forfeit => "forfeit",
+        }
+    }
+}
+
+/// The legal time window of a transition, mirroring the [`CallEnv`] guard
+/// semantics: `not_before` is inclusive ([`CallEnv::ensure_reached`]) and
+/// `before` is exclusive ([`CallEnv::ensure_before`]).
+///
+/// [`CallEnv`]: crate::CallEnv
+/// [`CallEnv::ensure_reached`]: crate::CallEnv::ensure_reached
+/// [`CallEnv::ensure_before`]: crate::CallEnv::ensure_before
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// Inclusive lower bound: the transition is rejected strictly before
+    /// this height. `None` means "from the beginning of time".
+    pub not_before: Option<Time>,
+    /// Exclusive upper bound: the transition is rejected from this height
+    /// on. `None` means "never expires".
+    pub before: Option<Time>,
+}
+
+impl TimeWindow {
+    /// A window with no bounds: legal at any height.
+    pub const ALWAYS: TimeWindow = TimeWindow { not_before: None, before: None };
+
+    /// Legal strictly before `deadline` (an `ensure_before` guard).
+    pub fn before(deadline: Time) -> Self {
+        TimeWindow { not_before: None, before: Some(deadline) }
+    }
+
+    /// Legal from `start` on (an `ensure_reached` guard).
+    pub fn from(start: Time) -> Self {
+        TimeWindow { not_before: Some(start), before: None }
+    }
+
+    /// Legal in `[start, deadline)`.
+    pub fn between(start: Time, deadline: Time) -> Self {
+        TimeWindow { not_before: Some(start), before: Some(deadline) }
+    }
+
+    /// Whether any height satisfies the window at all.
+    pub fn is_satisfiable(&self) -> bool {
+        match (self.not_before, self.before) {
+            (Some(start), Some(deadline)) => start.is_before(deadline),
+            _ => true,
+        }
+    }
+
+    /// The earliest height at which the window is open when entered at
+    /// `entry`, or `None` if no such height exists (the window closed
+    /// before `entry`, or is unsatisfiable outright).
+    pub fn earliest_from(&self, entry: Time) -> Option<Time> {
+        let at = match self.not_before {
+            Some(start) if entry.is_before(start) => start,
+            _ => entry,
+        };
+        match self.before {
+            Some(deadline) if !at.is_before(deadline) => None,
+            _ => Some(at),
+        }
+    }
+}
+
+/// A fund (asset or premium) a [`StateMachine`] may take into custody.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FundSpec {
+    /// Stable fund name, referenced by [`TransitionSpec::deposits`] and
+    /// [`TransitionSpec::releases`] and surfaced in analyzer findings.
+    pub name: String,
+}
+
+impl FundSpec {
+    /// Declares a fund by name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FundSpec { name: name.into() }
+    }
+}
+
+/// One transition of a [`StateMachine`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionSpec {
+    /// Human-readable name (typically the message or guard it models).
+    pub name: String,
+    /// Source state.
+    pub from: String,
+    /// Destination state.
+    pub to: String,
+    /// The window in which the implementation accepts the transition.
+    pub window: TimeWindow,
+    /// Funds this transition takes into custody.
+    pub deposits: Vec<String>,
+    /// Funds this transition releases from custody, with how.
+    pub releases: Vec<(String, Disposition)>,
+}
+
+impl TransitionSpec {
+    /// A bare transition with no deposits or releases.
+    pub fn new(
+        name: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        window: TimeWindow,
+    ) -> Self {
+        TransitionSpec {
+            name: name.into(),
+            from: from.into(),
+            to: to.into(),
+            window,
+            deposits: Vec::new(),
+            releases: Vec::new(),
+        }
+    }
+
+    /// Adds a fund this transition deposits into custody.
+    #[must_use]
+    pub fn deposits(mut self, fund: impl Into<String>) -> Self {
+        self.deposits.push(fund.into());
+        self
+    }
+
+    /// Adds a fund this transition releases from custody.
+    #[must_use]
+    pub fn releases(mut self, fund: impl Into<String>, how: Disposition) -> Self {
+        self.releases.push((fund.into(), how));
+        self
+    }
+}
+
+/// One finite custody machine of a contract.
+///
+/// Contracts with independent custody concerns (e.g. the per-leader
+/// redemption-premium slots of an arc escrow) declare one machine per
+/// concern; the analyzer checks each in isolation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateMachine {
+    /// Machine name, unique within the contract's spec.
+    pub name: String,
+    /// All states, in declaration order. Must contain `initial`.
+    pub states: Vec<String>,
+    /// The state the machine starts in.
+    pub initial: String,
+    /// Funds the machine may hold.
+    pub funds: Vec<FundSpec>,
+    /// The transition relation.
+    pub transitions: Vec<TransitionSpec>,
+}
+
+impl StateMachine {
+    /// Creates an empty machine with the given initial state.
+    pub fn new(name: impl Into<String>, initial: impl Into<String>) -> Self {
+        let initial = initial.into();
+        StateMachine {
+            name: name.into(),
+            states: vec![initial.clone()],
+            initial,
+            funds: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Declares a state (idempotent).
+    #[must_use]
+    pub fn state(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        if !self.states.contains(&name) {
+            self.states.push(name);
+        }
+        self
+    }
+
+    /// Declares a fund.
+    #[must_use]
+    pub fn fund(mut self, name: impl Into<String>) -> Self {
+        self.funds.push(FundSpec::new(name));
+        self
+    }
+
+    /// Adds a transition, auto-declaring its endpoint states.
+    #[must_use]
+    pub fn transition(mut self, t: TransitionSpec) -> Self {
+        if !self.states.contains(&t.from) {
+            self.states.push(t.from.clone());
+        }
+        if !self.states.contains(&t.to) {
+            self.states.push(t.to.clone());
+        }
+        self.transitions.push(t);
+        self
+    }
+}
+
+/// A contract's full static specification: its custody machines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateSpec {
+    /// The contract type the spec describes (normally
+    /// [`Contract::type_name`]).
+    ///
+    /// [`Contract::type_name`]: crate::Contract::type_name
+    pub contract: String,
+    /// The custody machines, in a stable order.
+    pub machines: Vec<StateMachine>,
+}
+
+impl StateSpec {
+    /// Creates an empty spec for the named contract.
+    pub fn new(contract: impl Into<String>) -> Self {
+        StateSpec { contract: contract.into(), machines: Vec::new() }
+    }
+
+    /// Adds a machine.
+    #[must_use]
+    pub fn machine(mut self, machine: StateMachine) -> Self {
+        self.machines.push(machine);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_satisfiability_matches_guard_semantics() {
+        assert!(TimeWindow::ALWAYS.is_satisfiable());
+        assert!(TimeWindow::between(Time(1), Time(2)).is_satisfiable());
+        // `not_before` is inclusive and `before` exclusive, so an equal
+        // pair admits no height at all.
+        assert!(!TimeWindow::between(Time(2), Time(2)).is_satisfiable());
+        assert!(!TimeWindow::between(Time(3), Time(2)).is_satisfiable());
+    }
+
+    #[test]
+    fn earliest_from_respects_both_bounds() {
+        let w = TimeWindow::between(Time(5), Time(8));
+        assert_eq!(w.earliest_from(Time(0)), Some(Time(5)));
+        assert_eq!(w.earliest_from(Time(6)), Some(Time(6)));
+        assert_eq!(w.earliest_from(Time(8)), None);
+        assert_eq!(TimeWindow::before(Time(3)).earliest_from(Time(3)), None);
+        assert_eq!(TimeWindow::from(Time(3)).earliest_from(Time(9)), Some(Time(9)));
+    }
+
+    #[test]
+    fn builders_auto_declare_states() {
+        let m = StateMachine::new("m", "Init").fund("f").transition(
+            TransitionSpec::new("Deposit", "Init", "Held", TimeWindow::before(Time(4)))
+                .deposits("f"),
+        );
+        assert_eq!(m.states, vec!["Init".to_string(), "Held".to_string()]);
+        assert_eq!(m.transitions[0].deposits, vec!["f".to_string()]);
+    }
+}

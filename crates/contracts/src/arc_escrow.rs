@@ -5,7 +5,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, NoteText, PartyId, Time};
+use chainsim::{
+    Amount, AssetId, CallEnv, Contract, ContractError, Disposition, NoteText, PartyId,
+    StateMachine, StateSpec, Time, TimeWindow, TransitionSpec,
+};
 use cryptosim::{Digest, Hashlock, Secret};
 use serde::{Deserialize, Serialize};
 use swapgraph::{premiums, Digraph};
@@ -353,13 +356,17 @@ impl ArcEscrow {
         if self.escrow_premium != PremiumSlotState::NotDeposited {
             return Err(ContractError::invalid_state("escrow premium already deposited"));
         }
+        // The escrow premium compensates the receiver if the asset never
+        // shows up; once the principal is escrowed it can serve no
+        // purpose — and no disposition rule would ever release it (the
+        // escrow-time refund already ran, and settle's disposition only
+        // covers the never-escrowed case), so accepting it here would
+        // strand the deposit forever. Found by the raw-call fuzz harness.
+        // The canary-bugs feature compiles the guard out (and mirrors the
+        // resulting stranding edge in `state_spec` below) so `staticcheck`
+        // can prove it rediscovers the bug.
+        #[cfg(not(feature = "canary-bugs"))]
         if self.principal != PrincipalState::NotEscrowed {
-            // The escrow premium compensates the receiver if the asset never
-            // shows up; once the principal is escrowed it can serve no
-            // purpose — and no disposition rule would ever release it (the
-            // escrow-time refund already ran, and settle's disposition only
-            // covers the never-escrowed case), so accepting it here would
-            // strand the deposit forever. Found by the raw-call fuzz harness.
             return Err(ContractError::invalid_state("asset already escrowed"));
         }
         env.ensure_before(self.params.deadlines.escrow_premium_deadline)?;
@@ -383,13 +390,17 @@ impl ArcEscrow {
         if self.redemption.contains_key(&leader) {
             return Err(ContractError::invalid_state("redemption premium already deposited"));
         }
+        // The premium insures the receiver against this leader's hashkey
+        // never arriving; once it has been presented the deposit can
+        // serve no purpose, and no disposition rule would ever release
+        // it (the presentation-time refund already ran, and settle only
+        // disposes premiums of never-presented leaders). Found by the
+        // raw-call fuzz harness. The canary-bugs feature compiles the
+        // guard out (and mirrors the resulting stranding edge in
+        // `state_spec` below) so `staticcheck` can prove it rediscovers
+        // the bug.
+        #[cfg(not(feature = "canary-bugs"))]
         if self.presented.contains_key(&leader) {
-            // The premium insures the receiver against this leader's hashkey
-            // never arriving; once it has been presented the deposit can
-            // serve no purpose, and no disposition rule would ever release
-            // it (the presentation-time refund already ran, and settle only
-            // disposes premiums of never-presented leaders). Found by the
-            // raw-call fuzz harness.
             return Err(ContractError::invalid_state("hashkey already presented"));
         }
         env.ensure_before(self.params.deadlines.redemption_path_deadline(path.len()))?;
@@ -589,6 +600,179 @@ impl Contract for ArcEscrow {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    // Custody spec. Two machine kinds: the `escrow` machine tracks the
+    // principal and the sender's escrow premium (whose lifecycles are
+    // coupled: escrowing the asset refunds a held premium, Lemma 1), and
+    // one `hashkey[leader]` machine per leader tracks that leader's
+    // redemption-premium slot (independent slots, so independent
+    // machines). Windows mirror the guards above; the per-hop ladders
+    // (`hashkey_deadline(ℓ)`, `redemption_path_deadline(ℓ)`) are
+    // over-approximated by their loosest instance — path lengths are
+    // bounded by the digraph's vertex count — which is what a sound
+    // reachability analysis needs, while the ladder structure itself is
+    // checked by the schedule pass over [`ArcDeadlines`].
+    fn state_spec(&self) -> Option<StateSpec> {
+        let d = &self.params.deadlines;
+        let last_hashkey = d.hashkey_deadline(self.params.digraph.vertex_count());
+        let escrow = StateMachine::new("escrow", "Init")
+            .fund("escrow_premium")
+            .fund("principal")
+            .transition(
+                TransitionSpec::new(
+                    "DepositEscrowPremium",
+                    "Init",
+                    "EpHeld",
+                    TimeWindow::before(d.escrow_premium_deadline),
+                )
+                .deposits("escrow_premium"),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "EscrowAsset",
+                    "Init",
+                    "AssetHeld",
+                    TimeWindow::before(d.asset_escrow_deadline),
+                )
+                .deposits("principal"),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "EscrowAssetRefundsEp",
+                    "EpHeld",
+                    "AssetHeld",
+                    TimeWindow::before(d.asset_escrow_deadline),
+                )
+                .deposits("principal")
+                .releases("escrow_premium", Disposition::Refund),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "SettleEpForfeit",
+                    "EpHeld",
+                    "EpSettled",
+                    TimeWindow::from(d.asset_escrow_deadline),
+                )
+                .releases("escrow_premium", Disposition::Forfeit),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "SettleEpRefund",
+                    "EpHeld",
+                    "EpSettled",
+                    TimeWindow::from(d.asset_escrow_deadline),
+                )
+                .releases("escrow_premium", Disposition::Refund),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "RedeemAllHashkeys",
+                    "AssetHeld",
+                    "Redeemed",
+                    TimeWindow::before(last_hashkey),
+                )
+                .releases("principal", Disposition::Redeem),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "SettlePrincipalRefund",
+                    "AssetHeld",
+                    "Refunded",
+                    TimeWindow::from(d.final_deadline),
+                )
+                .releases("principal", Disposition::Refund),
+            );
+        // Mirrors the relaxed runtime guard in `deposit_escrow_premium`:
+        // with the already-escrowed check compiled out, the premium is also
+        // accepted after the asset is escrowed, where no disposition rule
+        // can ever release it (the escrow-time refund already ran, and
+        // settle's branch requires a never-escrowed principal).
+        #[cfg(feature = "canary-bugs")]
+        let escrow = escrow
+            .transition(
+                TransitionSpec::new(
+                    "DepositEscrowPremiumLate",
+                    "AssetHeld",
+                    "AssetHeldEpHeld",
+                    TimeWindow::before(d.escrow_premium_deadline),
+                )
+                .deposits("escrow_premium"),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "RedeemAllHashkeys",
+                    "AssetHeldEpHeld",
+                    "RedeemedEpStuck",
+                    TimeWindow::before(last_hashkey),
+                )
+                .releases("principal", Disposition::Redeem),
+            )
+            .transition(
+                TransitionSpec::new(
+                    "SettlePrincipalRefund",
+                    "AssetHeldEpHeld",
+                    "RefundedEpStuck",
+                    TimeWindow::from(d.final_deadline),
+                )
+                .releases("principal", Disposition::Refund),
+            );
+        let mut spec = StateSpec::new(self.type_name()).machine(escrow);
+        for (leader, _) in self.params.hashlocks.iter() {
+            let machine = StateMachine::new(format!("hashkey[{leader}]"), "Init")
+                .fund("redemption_premium")
+                .transition(
+                    TransitionSpec::new(
+                        "DepositRedemptionPremium",
+                        "Init",
+                        "RpHeld",
+                        TimeWindow::before(d.redemption_premium_deadline),
+                    )
+                    .deposits("redemption_premium"),
+                )
+                .transition(TransitionSpec::new(
+                    "PresentHashkey",
+                    "Init",
+                    "Presented",
+                    TimeWindow::before(last_hashkey),
+                ))
+                .transition(
+                    TransitionSpec::new(
+                        "PresentHashkeyRefundsRp",
+                        "RpHeld",
+                        "Presented",
+                        TimeWindow::before(last_hashkey),
+                    )
+                    .releases("redemption_premium", Disposition::Refund),
+                )
+                .transition(
+                    TransitionSpec::new(
+                        "SettleRpForfeit",
+                        "RpHeld",
+                        "RpForfeited",
+                        TimeWindow::from(d.final_deadline),
+                    )
+                    .releases("redemption_premium", Disposition::Forfeit),
+                );
+            // Mirrors the relaxed runtime guard in
+            // `deposit_redemption_premium`: with the already-presented
+            // check compiled out, the premium is also accepted after the
+            // hashkey arrived, where no disposition rule can ever release
+            // it (the presentation-time refund already ran, and settle
+            // only disposes premiums of never-presented leaders).
+            #[cfg(feature = "canary-bugs")]
+            let machine = machine.transition(
+                TransitionSpec::new(
+                    "DepositRedemptionPremiumLate",
+                    "Presented",
+                    "PresentedRpHeld",
+                    TimeWindow::before(d.redemption_premium_deadline),
+                )
+                .deposits("redemption_premium"),
+            );
+            spec = spec.machine(machine);
+        }
+        Some(spec)
     }
 }
 

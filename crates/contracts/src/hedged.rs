@@ -2,7 +2,10 @@
 
 use std::any::Any;
 
-use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, PartyId, Time};
+use chainsim::{
+    Amount, AssetId, CallEnv, Contract, ContractError, Disposition, PartyId, StateMachine,
+    StateSpec, Time, TimeWindow, TransitionSpec,
+};
 use cryptosim::{Hashlock, Secret};
 use serde::{Deserialize, Serialize};
 
@@ -284,6 +287,69 @@ impl Contract for HedgedEscrow {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    // Custody spec. One composite machine: the premium is deposited first,
+    // the principal only on top of a held premium (`escrow_principal`
+    // requires `premium == Held`), so the `Escrowed` state always holds
+    // both funds and every exit edge disposes of both. Windows mirror the
+    // guards above: deposits via `ensure_before`, the two settle branches
+    // via the `has_reached` tests in `settle`.
+    fn state_spec(&self) -> Option<StateSpec> {
+        Some(
+            StateSpec::new(self.type_name()).machine(
+                StateMachine::new("custody", "Start")
+                    .fund("premium")
+                    .fund("principal")
+                    .transition(
+                        TransitionSpec::new(
+                            "DepositPremium",
+                            "Start",
+                            "PremiumHeld",
+                            TimeWindow::before(self.params.premium_deadline),
+                        )
+                        .deposits("premium"),
+                    )
+                    .transition(
+                        TransitionSpec::new(
+                            "EscrowPrincipal",
+                            "PremiumHeld",
+                            "Escrowed",
+                            TimeWindow::before(self.params.escrow_deadline),
+                        )
+                        .deposits("principal"),
+                    )
+                    .transition(
+                        TransitionSpec::new(
+                            "Redeem",
+                            "Escrowed",
+                            "Redeemed",
+                            TimeWindow::before(self.params.redeem_deadline),
+                        )
+                        .releases("principal", Disposition::Redeem)
+                        .releases("premium", Disposition::Refund),
+                    )
+                    .transition(
+                        TransitionSpec::new(
+                            "SettleUnescrowed",
+                            "PremiumHeld",
+                            "SettledUnescrowed",
+                            TimeWindow::from(self.params.escrow_deadline),
+                        )
+                        .releases("premium", Disposition::Refund),
+                    )
+                    .transition(
+                        TransitionSpec::new(
+                            "SettleTimeout",
+                            "Escrowed",
+                            "TimedOut",
+                            TimeWindow::from(self.params.redeem_deadline),
+                        )
+                        .releases("principal", Disposition::Refund)
+                        .releases("premium", Disposition::Forfeit),
+                    ),
+            ),
+        )
     }
 }
 

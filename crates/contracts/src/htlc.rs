@@ -2,7 +2,10 @@
 
 use std::any::Any;
 
-use chainsim::{Amount, AssetId, CallEnv, Contract, ContractError, PartyId, Time};
+use chainsim::{
+    Amount, AssetId, CallEnv, Contract, ContractError, Disposition, PartyId, StateMachine,
+    StateSpec, Time, TimeWindow, TransitionSpec,
+};
 use cryptosim::{Hashlock, Secret};
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +184,46 @@ impl Contract for HtlcEscrow {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    // Custody spec. One machine, one fund: the principal is escrowed before
+    // the timelock and leaves custody either by redemption (strictly before
+    // the timelock) or by refund (from the timelock on) — the windows
+    // mirror the `ensure_before`/`ensure_reached` guards above exactly.
+    fn state_spec(&self) -> Option<StateSpec> {
+        Some(
+            StateSpec::new(self.type_name()).machine(
+                StateMachine::new("principal", "Created")
+                    .fund("principal")
+                    .transition(
+                        TransitionSpec::new(
+                            "Escrow",
+                            "Created",
+                            "Escrowed",
+                            TimeWindow::before(self.timelock),
+                        )
+                        .deposits("principal"),
+                    )
+                    .transition(
+                        TransitionSpec::new(
+                            "Redeem",
+                            "Escrowed",
+                            "Redeemed",
+                            TimeWindow::before(self.timelock),
+                        )
+                        .releases("principal", Disposition::Redeem),
+                    )
+                    .transition(
+                        TransitionSpec::new(
+                            "Refund",
+                            "Escrowed",
+                            "Refunded",
+                            TimeWindow::from(self.timelock),
+                        )
+                        .releases("principal", Disposition::Refund),
+                    ),
+            ),
+        )
     }
 }
 

@@ -1,5 +1,7 @@
 //! Simulated key pairs, signatures and the verification directory.
 
+// staticcheck: allow(SC302) — lookup-only map (insert/get/contains_key),
+// never iterated, so RandomState cannot leak into outcomes or output.
 use std::collections::HashMap;
 use std::fmt;
 
@@ -126,6 +128,7 @@ impl fmt::Debug for Signature {
 /// party's secret key.
 #[derive(Clone, Default)]
 pub struct KeyDirectory {
+    // staticcheck: allow(SC302) — lookup-only, never iterated.
     keys: HashMap<PublicKey, KeyPair>,
 }
 

@@ -10,6 +10,9 @@
 //! argument: reports are byte-identical across worker counts by
 //! construction, and the determinism suite checks it.
 
+// staticcheck: allow-file(SC301) — the driver times its own phases
+// (wall-clock throughput numbers in the market report); timing feeds the
+// perf columns only, never simulated outcomes.
 use std::time::{Duration, Instant};
 
 use chainsim::ContractAddr;

@@ -394,6 +394,17 @@ pub fn run_auction(
     run_auction_in(&mut World::new(1), config, strategies)
 }
 
+/// Builds the auction's world (both contracts published with their real
+/// deadline parameters) and compliant scripted parties without executing a
+/// single round. Static analyzers consume the contracts' state specs and
+/// the scripts' deadline annotations from the result.
+pub fn auction_static_setup(config: &AuctionConfig) -> (World, Vec<ScriptedParty>) {
+    let mut world = World::new(1);
+    let setup = build(&mut world, config);
+    let actors = auction_actors(config, &setup, &|_| Strategy::compliant());
+    (world, actors)
+}
+
 /// Runs the auction inside a caller-provided world (reset first; its
 /// [`chainsim::TraceMode`] is preserved). Hot-path variant of
 /// [`run_auction`] for sweep engines that pool worlds across scenarios.

@@ -232,6 +232,15 @@ impl DealConfig {
         self.digraph.vertex_count() as u64
     }
 
+    /// The §7 phase deadlines this configuration publishes on every arc
+    /// escrow: `ℓΔ`-staggered ladders anchored at `nΔ, 2nΔ, 3nΔ` with the
+    /// final deadline at `(4n + diam + 1)·Δ`. Public so static schedule
+    /// checks (the `staticcheck` crate) can verify the ladder against the
+    /// digraph without building a deal.
+    pub fn arc_deadlines(&self) -> ArcDeadlines {
+        self.deadlines()
+    }
+
     fn deadlines(&self) -> ArcDeadlines {
         self.caches
             .deadlines
@@ -307,7 +316,7 @@ impl DealConfig {
     /// §7 schedule: every hop — including a last-instant one — leaves the
     /// next a full Δ, and the deepest party's deadline is still at most the
     /// phase end `3nΔ`.
-    fn asset_escrow_deadline_of(&self, sender: PartyId) -> Time {
+    pub fn asset_escrow_deadline_of(&self, sender: PartyId) -> Time {
         let deadlines = self.deadlines();
         let depth = self.escrow_depths().get(&sender).copied().unwrap_or(0);
         deadlines
@@ -931,6 +940,17 @@ fn party_steps(config: &DealConfig, setup: &DealSetup, me: PartyId) -> Vec<Step>
     }
 
     steps
+}
+
+/// Builds the deal's world (every arc escrow published with its real
+/// deadline parameters) and compliant scripted parties without executing a
+/// single round. Static analyzers consume the contracts' state specs and
+/// the scripts' deadline annotations from the result.
+pub fn deal_static_setup(config: &DealConfig) -> (World, Vec<ScriptedParty>) {
+    let mut world = World::new(1);
+    let setup = build(&mut world, config);
+    let actors = deal_actors(config, &setup, &|_| Strategy::compliant());
+    (world, actors)
 }
 
 /// Runs a hedged deal with the given per-party strategies.

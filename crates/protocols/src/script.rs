@@ -430,6 +430,12 @@ impl Step {
         self.deadline = Some(deadline);
         self
     }
+
+    /// The step's annotated last-legal-emission deadline, if any. Static
+    /// schedule checks read this to verify per-party deadline ladders.
+    pub fn deadline(&self) -> Option<Time> {
+        self.deadline
+    }
 }
 
 impl fmt::Debug for Step {
@@ -506,6 +512,22 @@ impl ScriptedParty {
     /// The total number of steps in the script.
     pub fn total_steps(&self) -> usize {
         self.steps.len()
+    }
+
+    /// The party this script belongs to.
+    pub fn party(&self) -> PartyId {
+        self.party
+    }
+
+    /// The synchrony bound Δ (in blocks) the script was built with.
+    pub fn delta_blocks(&self) -> u64 {
+        self.delta
+    }
+
+    /// The steps' `(name, annotated deadline)` metadata, in script order.
+    /// Static schedule checks consume this without executing any step.
+    pub fn step_deadlines(&self) -> Vec<(&'static str, Option<Time>)> {
+        self.steps.iter().map(|s| (s.name, s.deadline())).collect()
     }
 
     /// Clones this party's mid-run state under a (possibly different)

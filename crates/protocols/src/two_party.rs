@@ -709,6 +709,21 @@ fn swap_actors(
     ]
 }
 
+/// Builds the swap's world (contracts published with their real deadline
+/// parameters) and compliant scripted parties without executing a single
+/// round. Static analyzers consume the contracts' state specs and the
+/// scripts' deadline annotations from the result.
+pub fn swap_static_setup(
+    config: &TwoPartyConfig,
+    protocol: SwapProtocol,
+) -> (World, Vec<ScriptedParty>) {
+    let mut world = World::new(1);
+    let setup = swap_setup(&mut world, config, protocol);
+    let actors =
+        swap_actors(&setup, config, protocol, Strategy::compliant(), Strategy::compliant());
+    (world, actors)
+}
+
 /// The round budget a two-party run gets before the driver declares it
 /// stuck: the last padded deadline plus two propagation rounds of slack.
 /// Also the horizon for [`SwapRealism`] reorg schedules — a reorg at or

@@ -1,0 +1,21 @@
+//! The `staticcheck` binary: runs the full static-analysis suite and
+//! exits nonzero on any finding, so CI can gate on an empty report.
+//!
+//! Usage: `staticcheck [repo-root]` — the root defaults to the workspace
+//! this crate was built from.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = match std::env::args().nth(1) {
+        Some(root) => staticcheck::analyze_suite(&PathBuf::from(root)),
+        None => staticcheck::analyze_default_suite(),
+    };
+    print!("{}", report.render());
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,48 @@
+//! Canary suite: with `--features canary-bugs` the two PR 9 arc-escrow
+//! stranding bugs are reintroduced (their runtime guards compiled out and
+//! the resulting custody edges mirrored in the `ArcEscrow` spec), and the
+//! disposition-completeness pass must *statically* rediscover both — the
+//! same bugs the raw-call fuzz harness originally caught dynamically.
+//!
+//! Run via `cargo test -p staticcheck --features canary-bugs --test canary`.
+
+#![cfg(feature = "canary-bugs")]
+
+use staticcheck::{analyze_default_suite, codes};
+
+#[test]
+fn both_stranding_bugs_are_rediscovered_statically() {
+    let report = analyze_default_suite();
+
+    // Every canary finding is a stranded fund in an ArcEscrow machine; the
+    // canary gates touch nothing else, so no other code may fire.
+    assert!(!report.findings.is_empty(), "canary bugs produced no findings");
+    for finding in &report.findings {
+        assert_eq!(finding.code, codes::STRANDED_FUND, "unexpected finding: {finding}");
+        assert!(finding.subject.starts_with("ArcEscrow::"), "unexpected subject: {finding}");
+    }
+
+    // Bug 1: `deposit_escrow_premium` after the asset is escrowed strands
+    // the escrow premium — no settle path ever releases it again.
+    let escrow_premium = report
+        .findings
+        .iter()
+        .find(|f| f.subject == "ArcEscrow::escrow")
+        .expect("escrow-premium stranding not rediscovered");
+    assert!(escrow_premium.message.contains("`escrow_premium`"));
+    assert!(escrow_premium.message.contains("AssetHeldEpHeld"));
+
+    // Bug 2: `deposit_redemption_premium` after the leader's hashkey is
+    // presented strands that leader's redemption premium.
+    let redemption = report
+        .findings
+        .iter()
+        .find(|f| f.subject.starts_with("ArcEscrow::hashkey["))
+        .expect("redemption-premium stranding not rediscovered");
+    assert!(redemption.message.contains("`redemption_premium`"));
+    assert!(redemption.message.contains("PresentedRpHeld"));
+
+    // The schedule and determinism passes are untouched by the canaries.
+    assert_eq!(report.schedule_findings, 0);
+    assert_eq!(report.determinism_findings, 0);
+}

@@ -1,0 +1,37 @@
+//! Cross-check against the dynamic tiers: a configuration the static
+//! analyzer passes must also hold under the model checker's exhaustive
+//! dynamic sweep, and vice versa for the properties both can see. The
+//! static pass proves schedule feasibility and disposition-completeness;
+//! the dynamic sweep proves the end-to-end hedged property over every
+//! strategy profile — agreement on the shared configurations is what lets
+//! CI gate on the (much cheaper) static suite.
+
+#![cfg(not(feature = "canary-bugs"))]
+
+use protocols::multi_party::{cycle_config, figure3_config};
+use staticcheck::schedule;
+
+#[test]
+fn statically_clean_configs_hold_dynamically() {
+    for (label, config) in [("figure3", figure3_config()), ("cycle3", cycle_config(3))] {
+        // Static: the published §7 ladder is feasible.
+        assert!(schedule::check_deal(label, &config).is_empty(), "{label} failed statically");
+        // Dynamic: every ≤1-deviator strategy profile satisfies the hedged
+        // property under real execution.
+        let summary = modelcheck::check_deal(&config, 1);
+        assert!(summary.runs > 0);
+        assert!(
+            summary.holds(),
+            "{label} passed statically but violated dynamically: {:?}",
+            summary.violations
+        );
+    }
+}
+
+#[test]
+fn two_party_static_and_dynamic_agree() {
+    let config = protocols::two_party::TwoPartyConfig::default();
+    assert!(schedule::check_two_party("default", &config).is_empty());
+    let summary = modelcheck::check_hedged_two_party();
+    assert!(summary.holds(), "violations: {:?}", summary.violations);
+}

@@ -13,7 +13,9 @@
 //! * [`protocols`] — the hedged two-party, multi-party, broker and auction
 //!   protocols with payoff accounting;
 //! * [`modelcheck`] — exhaustive deviation-strategy sweeps;
-//! * [`marketsim`] — price paths, rational sore losers and premium adequacy.
+//! * [`marketsim`] — price paths, rational sore losers and premium adequacy;
+//! * [`staticcheck`] — static protocol analysis: disposition-completeness,
+//!   deadline-schedule feasibility and determinism lints.
 //!
 //! # Quick start
 //!
@@ -41,4 +43,5 @@ pub use cryptosim;
 pub use marketsim;
 pub use modelcheck;
 pub use protocols;
+pub use staticcheck;
 pub use swapgraph;
